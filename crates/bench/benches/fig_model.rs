@@ -1,0 +1,83 @@
+//! Criterion benches for the analytical figures (1–9) — one group per
+//! figure, measuring full regeneration of the published series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nds_bench::figures::{
+    fixed_size_figure, scaled_figure, task_ratio_by_size_figure, task_ratio_figure_w60,
+    FixedSizeMetric,
+};
+use std::hint::black_box;
+
+fn fig01(c: &mut Criterion) {
+    c.bench_function("fig01_speedup_j1000", |b| {
+        b.iter(|| black_box(fixed_size_figure(1000.0, FixedSizeMetric::Speedup)))
+    });
+}
+
+fn fig02(c: &mut Criterion) {
+    c.bench_function("fig02_efficiency_j1000", |b| {
+        b.iter(|| black_box(fixed_size_figure(1000.0, FixedSizeMetric::Efficiency)))
+    });
+}
+
+fn fig03(c: &mut Criterion) {
+    c.bench_function("fig03_weighted_speedup_j1000", |b| {
+        b.iter(|| black_box(fixed_size_figure(1000.0, FixedSizeMetric::WeightedSpeedup)))
+    });
+}
+
+fn fig04(c: &mut Criterion) {
+    c.bench_function("fig04_weighted_efficiency_j1000", |b| {
+        b.iter(|| {
+            black_box(fixed_size_figure(
+                1000.0,
+                FixedSizeMetric::WeightedEfficiency,
+            ))
+        })
+    });
+}
+
+fn fig05(c: &mut Criterion) {
+    c.bench_function("fig05_weighted_speedup_j10000", |b| {
+        b.iter(|| {
+            black_box(fixed_size_figure(
+                10_000.0,
+                FixedSizeMetric::WeightedSpeedup,
+            ))
+        })
+    });
+}
+
+fn fig06(c: &mut Criterion) {
+    c.bench_function("fig06_weighted_efficiency_j10000", |b| {
+        b.iter(|| {
+            black_box(fixed_size_figure(
+                10_000.0,
+                FixedSizeMetric::WeightedEfficiency,
+            ))
+        })
+    });
+}
+
+fn fig07(c: &mut Criterion) {
+    c.bench_function("fig07_task_ratio_w60", |b| {
+        b.iter(|| black_box(task_ratio_figure_w60()))
+    });
+}
+
+fn fig08(c: &mut Criterion) {
+    c.bench_function("fig08_task_ratio_by_size", |b| {
+        b.iter(|| black_box(task_ratio_by_size_figure()))
+    });
+}
+
+fn fig09(c: &mut Criterion) {
+    c.bench_function("fig09_scaled", |b| b.iter(|| black_box(scaled_figure())));
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09
+);
+criterion_main!(figures);

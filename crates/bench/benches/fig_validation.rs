@@ -1,0 +1,42 @@
+//! Criterion benches for the simulation-backed experiments: Figures
+//! 10–11 (PVM validation) and V1 (simulation vs analysis). Reduced
+//! replication counts keep bench wall time sane; the binaries run the
+//! full configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nds_bench::figures::{validation_speedup_figure, validation_time_figure};
+use nds_bench::validation::sim_vs_analysis;
+use nds_core::comparison::ValidationSuite;
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    c.bench_function("fig10_validation_time_2reps", |b| {
+        b.iter(|| black_box(validation_time_figure(2)))
+    });
+}
+
+fn fig11(c: &mut Criterion) {
+    c.bench_function("fig11_validation_speedup_2reps", |b| {
+        b.iter(|| black_box(validation_speedup_figure(2)))
+    });
+}
+
+fn v1_point(c: &mut Criterion) {
+    let suite = ValidationSuite::quick(7);
+    c.bench_function("v1_single_point_w10_u10", |b| {
+        b.iter(|| black_box(suite.validate_point(1000.0, 10, 0.10).unwrap()))
+    });
+}
+
+fn v1_sweep(c: &mut Criterion) {
+    c.bench_function("v1_quick_sweep", |b| {
+        b.iter(|| black_box(sim_vs_analysis(true, 7)))
+    });
+}
+
+criterion_group!(
+    name = validation;
+    config = Criterion::default().sample_size(10);
+    targets = fig10, fig11, v1_point, v1_sweep
+);
+criterion_main!(validation);

@@ -1,0 +1,8 @@
+//! C1: the paper's §5 thresholds — task ratio required for 80% weighted
+//! efficiency, by utilization and pool size.
+use nds_bench::validation::required_ratio_table;
+
+fn main() {
+    print!("{}", required_ratio_table().render());
+    println!("\npaper's §5 claims: >=8 at U=5%, >=13 at U=10%, >=20 at U=20%");
+}

@@ -1,0 +1,55 @@
+//! Extension: synchronization amplifies interference.
+//!
+//! The paper's job has exactly one barrier (at the end). Iterative
+//! codes barrier every round; each round pays its own max-of-W owner
+//! delay. Same total demand, same owners — only the round count varies.
+use nds_cluster::owner::OwnerWorkload;
+use nds_core::report::Table;
+use nds_model::expectation::expected_job_time;
+use nds_model::params::OwnerParams;
+use nds_pvm::apps::sync_rounds;
+use nds_pvm::lan::LanModel;
+use nds_pvm::vm::{InterferenceMode, VirtualMachine};
+
+fn main() {
+    let reps = 50u64;
+    let w = 12usize;
+    let demand = 600.0;
+    let u = 0.10;
+    let owner_model = OwnerParams::from_utilization(10.0, u).unwrap();
+    let mut table = Table::new(format!(
+        "Synchronized rounds (W={w}, total T={demand}, U={u}): interference per barrier"
+    ))
+    .headers(["rounds K", "measured compute", "model K*E_j(T/K)", "slowdown vs K=1"]);
+    let mut base = 0.0;
+    for k in [1u32, 4, 16, 64] {
+        let owner = OwnerWorkload::continuous_exponential(10.0, u).unwrap();
+        let mut sum = 0.0;
+        for rep in 0..reps {
+            let mut vm = VirtualMachine::new(
+                w,
+                InterferenceMode::Continuous(owner.clone()),
+                LanModel::instantaneous(),
+                1993 ^ u64::from(k) << 32 ^ rep,
+            )
+            .unwrap();
+            sum += sync_rounds::run(&mut vm, demand, k, rep).unwrap().compute_time;
+        }
+        let measured = sum / reps as f64;
+        if k == 1 {
+            base = measured;
+        }
+        let model = f64::from(k)
+            * expected_job_time(demand / f64::from(k), w as u32, owner_model);
+        table.row([
+            k.to_string(),
+            format!("{measured:.1}"),
+            format!("{model:.1}"),
+            format!("{:.3}x", measured / base),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nevery barrier converts one max-of-W into K of them: the task");
+    println!("ratio that matters is T/(K*O), not T/O — synchronized codes need");
+    println!("K-times-larger problems to stay feasible.");
+}

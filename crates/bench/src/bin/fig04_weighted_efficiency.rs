@@ -1,0 +1,7 @@
+//! Figure 4: weighted efficiency vs number of workstations, J = 1000.
+use nds_bench::figures::{fixed_size_figure, FixedSizeMetric};
+
+fn main() {
+    let fig = fixed_size_figure(1000.0, FixedSizeMetric::WeightedEfficiency);
+    print!("{}", fig.to_table(4).render());
+}

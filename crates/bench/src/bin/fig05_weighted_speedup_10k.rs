@@ -1,0 +1,7 @@
+//! Figure 5: weighted speedup vs number of workstations, J = 10,000.
+use nds_bench::figures::{fixed_size_figure, FixedSizeMetric};
+
+fn main() {
+    let fig = fixed_size_figure(10_000.0, FixedSizeMetric::WeightedSpeedup);
+    print!("{}", fig.to_table(3).render());
+}

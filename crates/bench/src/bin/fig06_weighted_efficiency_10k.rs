@@ -1,0 +1,7 @@
+//! Figure 6: weighted efficiency vs number of workstations, J = 10,000.
+use nds_bench::figures::{fixed_size_figure, FixedSizeMetric};
+
+fn main() {
+    let fig = fixed_size_figure(10_000.0, FixedSizeMetric::WeightedEfficiency);
+    print!("{}", fig.to_table(4).render());
+}

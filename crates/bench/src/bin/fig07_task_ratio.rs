@@ -1,0 +1,6 @@
+//! Figure 7: weighted efficiency vs task ratio at W = 60.
+use nds_bench::figures::task_ratio_figure_w60;
+
+fn main() {
+    print!("{}", task_ratio_figure_w60().to_table(4).render());
+}

@@ -1,0 +1,7 @@
+//! Figure 8: weighted efficiency vs task ratio for several pool sizes,
+//! owner utilization 10%.
+use nds_bench::figures::task_ratio_by_size_figure;
+
+fn main() {
+    print!("{}", task_ratio_by_size_figure().to_table(4).render());
+}

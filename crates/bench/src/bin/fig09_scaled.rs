@@ -1,0 +1,14 @@
+//! Figure 9: scaled problem (J = 100·W): job execution time vs W.
+use nds_bench::figures::scaled_figure;
+
+fn main() {
+    let fig = scaled_figure();
+    print!("{}", fig.to_table(2).render());
+    // The §3.2 headline numbers: inflation at W = 100 vs dedicated T0.
+    println!();
+    println!("inflation at W=100 (vs dedicated T0 = 100):");
+    for (name, ys) in &fig.curves {
+        let last = ys.last().expect("non-empty");
+        println!("  {name}: +{:.1}%", (last / 100.0 - 1.0) * 100.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Figure 10: PVM validation — measured (simulated cluster) and
+//! analytic max task execution time vs W, U = 3%, demands 1..16 min.
+use nds_bench::figures::validation_time_figure;
+
+fn main() {
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    print!("{}", validation_time_figure(reps).to_table(1).render());
+}

@@ -1,0 +1,10 @@
+//! Figure 11: PVM validation — measured speedup vs W per demand.
+use nds_bench::figures::validation_speedup_figure;
+
+fn main() {
+    let reps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    print!("{}", validation_speedup_figure(reps).to_table(2).render());
+}

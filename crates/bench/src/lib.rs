@@ -1,0 +1,14 @@
+//! # nds-bench — figure regeneration and benchmark harness
+//!
+//! One generator per figure of the paper (see [`figures`]); each has a
+//! binary (`cargo run -p nds-bench --bin fig01_speedup`, ...) that
+//! prints the figure's series as an aligned table, and a Criterion
+//! bench group that measures regeneration cost. The extension
+//! experiments (`ext_*` binaries) cover the paper's stated future work.
+
+pub mod figures;
+pub mod series;
+pub mod validation;
+
+pub use figures::FixedSizeMetric;
+pub use series::FigureSeries;

@@ -1,0 +1,99 @@
+//! Figure series: x values plus named curves, renderable as a table.
+
+use nds_core::report::Table;
+
+/// Data behind one figure: an x axis and one or more named curves.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Figure title (e.g. `"Figure 1: Speedup, J = 1000"`).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// x values.
+    pub x: Vec<f64>,
+    /// `(curve name, y values)` — each the same length as `x`.
+    pub curves: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureSeries {
+    /// Validate internal consistency (every curve matches the x length).
+    pub fn is_consistent(&self) -> bool {
+        self.curves.iter().all(|(_, ys)| ys.len() == self.x.len())
+    }
+
+    /// Render as an aligned text table with the given y precision.
+    pub fn to_table(&self, precision: usize) -> Table {
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.curves.iter().map(|(name, _)| name.clone()));
+        let mut table = Table::new(self.title.clone()).headers(headers);
+        for (i, &x) in self.x.iter().enumerate() {
+            let mut row = vec![trim_number(x)];
+            for (_, ys) in &self.curves {
+                row.push(format!("{:.*}", precision, ys[i]));
+            }
+            table.row(row);
+        }
+        table
+    }
+
+    /// Look up a curve by name.
+    pub fn curve(&self, name: &str) -> Option<&[f64]> {
+        self.curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ys)| ys.as_slice())
+    }
+}
+
+fn trim_number(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureSeries {
+        FigureSeries {
+            title: "t".into(),
+            x_label: "W".into(),
+            x: vec![1.0, 2.0],
+            curves: vec![("a".into(), vec![0.5, 0.25]), ("b".into(), vec![1.0, 2.0])],
+        }
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut s = sample();
+        assert!(s.is_consistent());
+        s.curves[0].1.pop();
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn renders_rows_per_x() {
+        let s = sample();
+        let t = s.to_table(3);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains("0.500"));
+        assert!(text.contains("W"));
+    }
+
+    #[test]
+    fn curve_lookup() {
+        let s = sample();
+        assert_eq!(s.curve("b"), Some(&[1.0, 2.0][..]));
+        assert!(s.curve("zzz").is_none());
+    }
+
+    #[test]
+    fn integer_x_rendered_clean() {
+        assert_eq!(trim_number(5.0), "5");
+        assert_eq!(trim_number(2.5), "2.50");
+    }
+}

@@ -1,0 +1,104 @@
+//! V1/C1 experiment helpers: simulation-vs-analysis agreement and the
+//! required-task-ratio table.
+
+use nds_core::comparison::{ComparisonRow, ValidationSuite};
+use nds_core::report::Table;
+use nds_model::params::OwnerParams;
+use nds_model::solver::required_task_ratio;
+
+/// V1: rerun the paper's §2.2 validation over Figure 1 points.
+///
+/// `quick` uses 10×100 samples per point (tests); otherwise the paper's
+/// 20×1000.
+pub fn sim_vs_analysis(quick: bool, seed: u64) -> Vec<ComparisonRow> {
+    let suite = if quick {
+        ValidationSuite::quick(seed)
+    } else {
+        ValidationSuite::paper(seed)
+    };
+    let workstations = [1u32, 10, 25, 50, 100];
+    let utilizations = [0.01, 0.05, 0.10, 0.20];
+    suite
+        .validate_sweep(1000.0, &workstations, &utilizations)
+        .expect("valid sweep")
+}
+
+/// Render V1 rows as a table.
+pub fn sim_vs_analysis_table(rows: &[ComparisonRow]) -> Table {
+    let mut table = Table::new("V1: simulation vs analysis, J = 1000, O = 10").headers([
+        "U",
+        "W",
+        "T",
+        "analytic E_j",
+        "simulated",
+        "CI half-width",
+        "rel err",
+        "agrees",
+    ]);
+    for r in rows {
+        table.row([
+            format!("{:.2}", r.utilization),
+            r.workstations.to_string(),
+            r.task_demand.to_string(),
+            format!("{:.3}", r.analytic),
+            format!("{:.3}", r.outcome.report.mean),
+            format!("{:.3}", r.outcome.report.half_width),
+            format!("{:.4}", r.outcome.relative_error),
+            if r.outcome.agrees() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table
+}
+
+/// C1: the required task ratio for 80% weighted efficiency across
+/// utilizations and pool sizes (the paper's §5 thresholds live in the
+/// `W = 100` column).
+pub fn required_ratio_table() -> Table {
+    let utilizations = [0.01, 0.05, 0.10, 0.20];
+    let pools = [2u32, 8, 20, 60, 100];
+    let mut headers = vec!["U".to_string()];
+    headers.extend(pools.iter().map(|w| format!("W={w}")));
+    let mut table =
+        Table::new("C1: task ratio required for 80% weighted efficiency").headers(headers);
+    for &u in &utilizations {
+        let owner = OwnerParams::from_utilization(10.0, u).expect("valid");
+        let mut row = vec![format!("{u:.2}")];
+        for &w in &pools {
+            let ratio = required_task_ratio(w, owner, 0.80).expect("solvable");
+            row.push(format!("{ratio:.1}"));
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_v1_all_points_agree() {
+        let rows = sim_vs_analysis(true, 2024);
+        assert_eq!(rows.len(), 20);
+        for r in &rows {
+            // With 1000 samples the quick run should land within 3%.
+            assert!(
+                r.outcome.relative_error < 0.03,
+                "W={} U={} rel err {}",
+                r.workstations,
+                r.utilization,
+                r.outcome.relative_error
+            );
+        }
+        let t = sim_vs_analysis_table(&rows);
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    fn required_ratio_table_shape() {
+        let t = required_ratio_table();
+        assert_eq!(t.len(), 4);
+        let text = t.render();
+        assert!(text.contains("W=100"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Scenario configuration for cluster experiments.
+
+use crate::error::ClusterError;
+use crate::owner::OwnerWorkload;
+
+/// A complete non-dedicated-cluster scenario: pool size, per-station
+/// owner behaviour, and the parallel job's demand.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    workstations: u32,
+    owners: Vec<OwnerWorkload>,
+    job_demand: f64,
+}
+
+impl ClusterConfig {
+    /// A homogeneous pool (the paper's setting): every station has the
+    /// same owner behaviour.
+    pub fn homogeneous(
+        workstations: u32,
+        owner: OwnerWorkload,
+        job_demand: f64,
+    ) -> Result<Self, ClusterError> {
+        if workstations == 0 {
+            return Err(ClusterError::InvalidConfig {
+                field: "workstations",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if !job_demand.is_finite() || job_demand <= 0.0 {
+            return Err(ClusterError::InvalidConfig {
+                field: "job_demand",
+                reason: format!("{job_demand} must be finite and > 0"),
+            });
+        }
+        Ok(Self {
+            workstations,
+            owners: vec![owner; workstations as usize],
+            job_demand,
+        })
+    }
+
+    /// A heterogeneous pool: one owner workload per station.
+    pub fn heterogeneous(
+        owners: Vec<OwnerWorkload>,
+        job_demand: f64,
+    ) -> Result<Self, ClusterError> {
+        if owners.is_empty() {
+            return Err(ClusterError::InvalidConfig {
+                field: "owners",
+                reason: "need at least one workstation".into(),
+            });
+        }
+        if !job_demand.is_finite() || job_demand <= 0.0 {
+            return Err(ClusterError::InvalidConfig {
+                field: "job_demand",
+                reason: format!("{job_demand} must be finite and > 0"),
+            });
+        }
+        Ok(Self {
+            workstations: owners.len() as u32,
+            owners,
+            job_demand,
+        })
+    }
+
+    /// Number of workstations.
+    pub fn workstations(&self) -> u32 {
+        self.workstations
+    }
+
+    /// Per-station owner workloads.
+    pub fn owners(&self) -> &[OwnerWorkload] {
+        &self.owners
+    }
+
+    /// Total parallel job demand `J`.
+    pub fn job_demand(&self) -> f64 {
+        self.job_demand
+    }
+
+    /// Per-task demand `T = J / W`.
+    pub fn task_demand(&self) -> f64 {
+        self.job_demand / f64::from(self.workstations)
+    }
+
+    /// Task ratio `T / mean owner demand`, averaged across stations.
+    pub fn task_ratio(&self) -> f64 {
+        let mean_o = self.owners.iter().map(|o| o.mean_service()).sum::<f64>()
+            / self.owners.len() as f64;
+        self.task_demand() / mean_o
+    }
+
+    /// Mean owner utilization across the pool.
+    pub fn mean_utilization(&self) -> f64 {
+        self.owners.iter().map(|o| o.utilization()).sum::<f64>() / self.owners.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_config() {
+        let owner = OwnerWorkload::paper_from_utilization(10.0, 0.1).unwrap();
+        let c = ClusterConfig::homogeneous(10, owner, 1000.0).unwrap();
+        assert_eq!(c.workstations(), 10);
+        assert_eq!(c.task_demand(), 100.0);
+        assert!((c.task_ratio() - 10.0).abs() < 1e-12);
+        assert!((c.mean_utilization() - 0.1).abs() < 1e-12);
+        assert_eq!(c.owners().len(), 10);
+    }
+
+    #[test]
+    fn heterogeneous_config() {
+        let owners = vec![
+            OwnerWorkload::continuous_exponential(10.0, 0.05).unwrap(),
+            OwnerWorkload::continuous_exponential(10.0, 0.15).unwrap(),
+        ];
+        let c = ClusterConfig::heterogeneous(owners, 200.0).unwrap();
+        assert_eq!(c.workstations(), 2);
+        assert!((c.mean_utilization() - 0.10).abs() < 1e-9);
+        assert_eq!(c.task_demand(), 100.0);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let owner = OwnerWorkload::paper_from_utilization(10.0, 0.1).unwrap();
+        assert!(ClusterConfig::homogeneous(0, owner.clone(), 100.0).is_err());
+        assert!(ClusterConfig::homogeneous(4, owner.clone(), 0.0).is_err());
+        assert!(ClusterConfig::homogeneous(4, owner, f64::NAN).is_err());
+        assert!(ClusterConfig::heterogeneous(vec![], 100.0).is_err());
+    }
+}

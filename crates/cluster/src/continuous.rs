@@ -1,0 +1,327 @@
+//! Continuous-time workstation simulation on the DES engine.
+//!
+//! One workstation is one preemptive-priority [`Facility`] (its CPU).
+//! The parallel task is a low-priority request for `T` units of service;
+//! the owner alternates think/use cycles drawn from an
+//! [`OwnerWorkload`], each use burst preempting the task instantly —
+//! the paper's interference assumption transplanted to continuous time
+//! with arbitrary distributions (its stated future work).
+
+use crate::owner::OwnerWorkload;
+use crate::task::TaskOutcome;
+use nds_des::{Engine, EventId, Facility, Request, RequestOutcome, SimTime};
+use nds_stats::rng::Xoshiro256StarStar;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Priority of owner processes (preempts tasks).
+pub const OWNER_PRIORITY: i32 = 10;
+/// Priority of parallel tasks ("niced" in the paper's PVM experiment).
+pub const TASK_PRIORITY: i32 = 0;
+
+/// The task's facility request id (owners use ids from 1 upward).
+const TASK_REQ: u64 = 0;
+
+struct WsState {
+    facility: Facility,
+    owner: OwnerWorkload,
+    rng: Xoshiro256StarStar,
+    task_completion: Option<EventId>,
+    task_done: Option<SimTime>,
+    interruptions: u64,
+    next_owner_req: u64,
+}
+
+/// A single non-dedicated workstation executing one parallel task under
+/// continuous-time owner interference.
+#[derive(Debug, Clone)]
+pub struct ContinuousWorkstation {
+    owner: OwnerWorkload,
+}
+
+impl ContinuousWorkstation {
+    /// Create a workstation with the given owner behaviour.
+    pub fn new(owner: OwnerWorkload) -> Self {
+        Self { owner }
+    }
+
+    /// The owner workload.
+    pub fn owner(&self) -> &OwnerWorkload {
+        &self.owner
+    }
+
+    /// Execute one parallel task of the given demand to completion and
+    /// report its outcome. The caller's RNG seeds an internal stream, so
+    /// successive calls with the same RNG state are reproducible.
+    pub fn run_task(&self, task_demand: f64, rng: &mut Xoshiro256StarStar) -> TaskOutcome {
+        assert!(
+            task_demand > 0.0 && task_demand.is_finite(),
+            "task demand must be finite and > 0"
+        );
+        let mut engine = Engine::new();
+        let state = Rc::new(RefCell::new(WsState {
+            facility: Facility::new("cpu"),
+            owner: self.owner.clone(),
+            rng: Xoshiro256StarStar::new(rng.next()),
+            task_completion: None,
+            task_done: None,
+            interruptions: 0,
+            next_owner_req: 1,
+        }));
+
+        // Submit the task at t = 0.
+        {
+            let mut st = state.borrow_mut();
+            let (outcome, _) = st
+                .facility
+                .submit(
+                    SimTime::ZERO,
+                    Request {
+                        id: TASK_REQ,
+                        priority: TASK_PRIORITY,
+                        demand: task_demand,
+                    },
+                )
+                .expect("fresh facility accepts the task");
+            let RequestOutcome::Started { completion } = outcome else {
+                unreachable!("idle facility starts immediately");
+            };
+            let sc = state.clone();
+            let ev = engine
+                .schedule(completion, move |e| task_complete(e, &sc))
+                .expect("schedule task completion");
+            st.task_completion = Some(ev);
+        }
+
+        // First owner arrival after one think period.
+        {
+            let think = {
+                let mut guard = state.borrow_mut();
+                let st = &mut *guard;
+                st.owner.sample_think(&mut st.rng)
+            };
+            let sc = state.clone();
+            engine
+                .schedule(SimTime::new(think), move |e| owner_arrival(e, &sc))
+                .expect("schedule first owner arrival");
+        }
+
+        engine.run_to_quiescence(None);
+
+        let st = state.borrow();
+        let done = st
+            .task_done
+            .expect("task must complete once the calendar drains")
+            .as_f64();
+        TaskOutcome {
+            execution_time: done,
+            demand: task_demand,
+            interruptions: st.interruptions,
+            suspended_time: done - task_demand,
+        }
+    }
+}
+
+fn owner_arrival(engine: &mut Engine, state: &Rc<RefCell<WsState>>) {
+    let now = engine.now();
+    let mut guard = state.borrow_mut();
+    let st = &mut *guard;
+    if st.task_done.is_some() {
+        // The job is over; stop generating interference so the run ends.
+        return;
+    }
+    let demand = st.owner.sample_service(&mut st.rng);
+    let req_id = st.next_owner_req;
+    st.next_owner_req += 1;
+    let (outcome, preempted) = st
+        .facility
+        .submit(
+            now,
+            Request {
+                id: req_id,
+                priority: OWNER_PRIORITY,
+                demand,
+            },
+        )
+        .expect("owner demand is positive");
+    let RequestOutcome::Started { completion } = outcome else {
+        unreachable!("owner always outranks the running task");
+    };
+    if preempted.is_some() {
+        st.interruptions += 1;
+        if let Some(ev) = st.task_completion.take() {
+            engine.cancel(ev);
+        }
+    }
+    let sc = state.clone();
+    drop(guard);
+    engine
+        .schedule(completion, move |e| owner_complete(e, &sc))
+        .expect("schedule owner completion");
+}
+
+fn owner_complete(engine: &mut Engine, state: &Rc<RefCell<WsState>>) {
+    let now = engine.now();
+    let mut guard = state.borrow_mut();
+    let st = &mut *guard;
+    let (_owner_id, resumed) = st
+        .facility
+        .complete_current(now)
+        .expect("owner burst was in service");
+    if let Some((id, completion)) = resumed {
+        debug_assert_eq!(id, TASK_REQ, "only the task can be resumed");
+        let sc = state.clone();
+        let ev = engine
+            .schedule(completion, move |e| task_complete(e, &sc))
+            .expect("schedule resumed task completion");
+        st.task_completion = Some(ev);
+    }
+    // Next owner cycle: think, then use again.
+    if st.task_done.is_none() {
+        let think = st.owner.sample_think(&mut st.rng);
+        let sc = state.clone();
+        drop(guard);
+        engine
+            .schedule(now + SimTime::new(think), move |e| owner_arrival(e, &sc))
+            .expect("schedule next owner arrival");
+    }
+}
+
+fn task_complete(engine: &mut Engine, state: &Rc<RefCell<WsState>>) {
+    let now = engine.now();
+    let mut st = state.borrow_mut();
+    let (id, next) = st
+        .facility
+        .complete_current(now)
+        .expect("task was in service");
+    debug_assert_eq!(id, TASK_REQ);
+    debug_assert!(next.is_none(), "no owner can be waiting behind the task");
+    st.task_completion = None;
+    st.task_done = Some(now);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_stats::summary::RunningStats;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(seed)
+    }
+
+    #[test]
+    fn dedicated_machine_runs_at_demand() {
+        // Utilization so low the task almost never sees interference.
+        let ws = ContinuousWorkstation::new(
+            OwnerWorkload::continuous_exponential(1.0, 1e-6).unwrap(),
+        );
+        let out = ws.run_task(100.0, &mut rng(1));
+        assert!(
+            (out.execution_time - 100.0).abs() < 1.0,
+            "time {}",
+            out.execution_time
+        );
+        assert!(out.is_consistent());
+    }
+
+    #[test]
+    fn outcome_consistency_under_interference() {
+        let ws = ContinuousWorkstation::new(
+            OwnerWorkload::continuous_exponential(10.0, 0.2).unwrap(),
+        );
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let out = ws.run_task(50.0, &mut r);
+            assert!(out.is_consistent());
+            assert!(out.execution_time >= 50.0);
+            assert_eq!(out.demand, 50.0);
+        }
+    }
+
+    #[test]
+    fn mean_slowdown_matches_utilization() {
+        // Under preempt-resume with owner utilization U, the task sees
+        // the CPU at rate (1-U) in the long run: E[time] ≈ T/(1-U).
+        let u = 0.2;
+        let ws =
+            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(5.0, u).unwrap());
+        let mut r = rng(3);
+        let mut stats = RunningStats::new();
+        for _ in 0..300 {
+            stats.push(ws.run_task(500.0, &mut r).execution_time);
+        }
+        let expected = 500.0 / (1.0 - u);
+        let rel = (stats.mean() - expected).abs() / expected;
+        assert!(
+            rel < 0.05,
+            "mean {} vs expected {expected} (rel err {rel})",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn higher_utilization_slows_tasks() {
+        let mut means = Vec::new();
+        for u in [0.01, 0.1, 0.3] {
+            let ws = ContinuousWorkstation::new(
+                OwnerWorkload::continuous_exponential(10.0, u).unwrap(),
+            );
+            let mut r = rng(4);
+            let mut stats = RunningStats::new();
+            for _ in 0..200 {
+                stats.push(ws.run_task(200.0, &mut r).execution_time);
+            }
+            means.push(stats.mean());
+        }
+        assert!(means[0] < means[1] && means[1] < means[2], "{means:?}");
+    }
+
+    #[test]
+    fn interruptions_counted() {
+        let ws = ContinuousWorkstation::new(
+            OwnerWorkload::continuous_exponential(5.0, 0.3).unwrap(),
+        );
+        let mut r = rng(5);
+        let out = ws.run_task(1000.0, &mut r);
+        assert!(out.interruptions > 0, "high utilization must interrupt");
+        assert!(out.suspended_time > 0.0);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let ws = ContinuousWorkstation::new(
+            OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap(),
+        );
+        let a = ws.run_task(100.0, &mut rng(7));
+        let b = ws.run_task(100.0, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn long_job_owner_stalls_task() {
+        // A long-running owner job (paper §5's open problem) can pin the
+        // task for its full duration.
+        let ws = ContinuousWorkstation::new(
+            OwnerWorkload::with_long_jobs(2.0, 500.0, 0.05, 0.10).unwrap(),
+        );
+        let mut r = rng(8);
+        let mut worst: f64 = 0.0;
+        for _ in 0..100 {
+            let out = ws.run_task(50.0, &mut r);
+            worst = worst.max(out.execution_time);
+        }
+        assert!(
+            worst > 300.0,
+            "expected some run stalled by a long owner job, worst {worst}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "task demand must be finite and > 0")]
+    fn rejects_zero_demand() {
+        let ws = ContinuousWorkstation::new(
+            OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap(),
+        );
+        ws.run_task(0.0, &mut rng(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the cluster simulator.
+
+use std::fmt;
+
+/// Errors from cluster configuration or simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// An underlying statistics error.
+    Stats(nds_stats::StatsError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig { field, reason } => {
+                write!(f, "invalid cluster config: {field}: {reason}")
+            }
+            ClusterError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nds_stats::StatsError> for ClusterError {
+    fn from(e: nds_stats::StatsError) -> Self {
+        ClusterError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ClusterError::InvalidConfig {
+            field: "workstations",
+            reason: "must be >= 1".into(),
+        };
+        assert!(e.to_string().contains("workstations"));
+        let s: ClusterError = nds_stats::StatsError::InsufficientData { needed: 2, got: 1 }.into();
+        assert!(s.to_string().contains("statistics error"));
+        use std::error::Error;
+        assert!(s.source().is_some());
+    }
+}

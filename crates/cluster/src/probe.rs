@@ -1,0 +1,129 @@
+//! Utilization measurement — the stand-in for the paper's `uptime`
+//! calibration.
+//!
+//! The paper sets its model's utilization input to 3% by averaging Unix
+//! `uptime` readings over two working days with no PVM programs running.
+//! [`measure_utilization`] does the equivalent for a simulated owner:
+//! run the owner's think/use cycle alone for a horizon and report the
+//! busy fraction.
+
+use crate::owner::OwnerWorkload;
+use nds_stats::rng::Xoshiro256StarStar;
+
+/// A utilization measurement over an observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// Fraction of the window the owner kept the CPU busy.
+    pub utilization: f64,
+    /// Observation window length (time units).
+    pub horizon: f64,
+    /// Owner bursts observed.
+    pub bursts: u64,
+}
+
+/// Observe an owner's cycle for `horizon` time units and report the busy
+/// fraction. A burst straddling the horizon is counted only up to the
+/// horizon (as a real `uptime` average would).
+pub fn measure_utilization(
+    owner: &OwnerWorkload,
+    horizon: f64,
+    rng: &mut Xoshiro256StarStar,
+) -> UtilizationSample {
+    assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be > 0");
+    let mut t = 0.0;
+    let mut busy = 0.0;
+    let mut bursts = 0;
+    loop {
+        let think = owner.sample_think(rng);
+        t += think;
+        if t >= horizon {
+            break;
+        }
+        let service = owner.sample_service(rng);
+        bursts += 1;
+        let end = t + service;
+        busy += if end > horizon { horizon - t } else { service };
+        t = end;
+        if t >= horizon {
+            break;
+        }
+    }
+    UtilizationSample {
+        utilization: busy / horizon,
+        horizon,
+        bursts,
+    }
+}
+
+/// Average several independent measurements (the paper averaged over two
+/// working days of readings).
+pub fn mean_utilization(
+    owner: &OwnerWorkload,
+    horizon: f64,
+    replications: u32,
+    rng: &mut Xoshiro256StarStar,
+) -> f64 {
+    assert!(replications > 0, "need at least one replication");
+    (0..replications)
+        .map(|_| measure_utilization(owner, horizon, rng).utilization)
+        .sum::<f64>()
+        / f64::from(replications)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_paper_owner_near_target() {
+        let owner = OwnerWorkload::paper_from_utilization(10.0, 0.10).unwrap();
+        let mut rng = Xoshiro256StarStar::new(1);
+        let u = mean_utilization(&owner, 100_000.0, 5, &mut rng);
+        assert!((u - 0.10).abs() < 0.01, "measured {u}");
+    }
+
+    #[test]
+    fn measures_continuous_owner_near_target() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.03).unwrap();
+        let mut rng = Xoshiro256StarStar::new(2);
+        let u = mean_utilization(&owner, 200_000.0, 5, &mut rng);
+        assert!((u - 0.03).abs() < 0.005, "measured {u}");
+    }
+
+    #[test]
+    fn sample_fields_consistent() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.2).unwrap();
+        let mut rng = Xoshiro256StarStar::new(3);
+        let s = measure_utilization(&owner, 10_000.0, &mut rng);
+        assert!(s.utilization >= 0.0 && s.utilization <= 1.0);
+        assert_eq!(s.horizon, 10_000.0);
+        assert!(s.bursts > 0);
+    }
+
+    #[test]
+    fn zero_ish_utilization_owner_rarely_busy() {
+        let owner = OwnerWorkload::continuous_exponential(1.0, 1e-5).unwrap();
+        let mut rng = Xoshiro256StarStar::new(4);
+        let s = measure_utilization(&owner, 10_000.0, &mut rng);
+        assert!(s.utilization < 0.01);
+    }
+
+    #[test]
+    fn straddling_burst_clamped() {
+        // Long-job owner: a burst can straddle the horizon; utilization
+        // must stay within [0, 1].
+        let owner = OwnerWorkload::with_long_jobs(1.0, 10_000.0, 0.5, 0.5).unwrap();
+        let mut rng = Xoshiro256StarStar::new(5);
+        for _ in 0..20 {
+            let s = measure_utilization(&owner, 100.0, &mut rng);
+            assert!(s.utilization <= 1.0, "utilization {}", s.utilization);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be > 0")]
+    fn rejects_bad_horizon() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap();
+        measure_utilization(&owner, 0.0, &mut Xoshiro256StarStar::new(1));
+    }
+}

@@ -1,0 +1,308 @@
+//! Multiprocessor (SMP) workstations — an extension beyond the paper's
+//! single-CPU model.
+//!
+//! With `k` CPUs per workstation, an owner burst occupies one CPU and
+//! only preempts the parallel task when **every** CPU is busy. Since
+//! the paper's workload has one owner and one task per workstation, a
+//! second CPU absorbs essentially all interference; the module also
+//! supports multiple owner streams per machine (a shared departmental
+//! server), where contention reappears.
+
+use crate::owner::OwnerWorkload;
+use crate::task::TaskOutcome;
+use nds_des::resource::MultiFacility;
+use nds_des::{Engine, EventId, Request, RequestId, RequestOutcome, SimTime};
+use nds_stats::rng::Xoshiro256StarStar;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const OWNER_PRIORITY: i32 = 10;
+const TASK_PRIORITY: i32 = 0;
+const TASK_REQ: RequestId = 0;
+const OWNER_BASE: RequestId = 1 << 32;
+
+struct SmpState {
+    facility: MultiFacility,
+    owners: Vec<OwnerWorkload>,
+    rng: Xoshiro256StarStar,
+    task_completion: Option<EventId>,
+    task_done: Option<SimTime>,
+    interruptions: u64,
+    next_owner_req: RequestId,
+    /// Which owner stream issued each live owner request.
+    req_owner: std::collections::HashMap<RequestId, usize>,
+}
+
+/// A workstation with `cpus` identical CPUs, one parallel task, and one
+/// or more independent owner streams.
+#[derive(Debug, Clone)]
+pub struct SmpWorkstation {
+    cpus: usize,
+    owners: Vec<OwnerWorkload>,
+}
+
+impl SmpWorkstation {
+    /// A `cpus`-CPU workstation with a single owner.
+    pub fn new(cpus: usize, owner: OwnerWorkload) -> Self {
+        Self::with_owners(cpus, vec![owner])
+    }
+
+    /// A `cpus`-CPU machine shared by several independent owners
+    /// (each with their own think/use cycle).
+    pub fn with_owners(cpus: usize, owners: Vec<OwnerWorkload>) -> Self {
+        assert!(cpus >= 1, "need at least one CPU");
+        assert!(!owners.is_empty(), "need at least one owner");
+        Self { cpus, owners }
+    }
+
+    /// CPU count.
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// Run one parallel task to completion under the machine's owner
+    /// interference.
+    pub fn run_task(&self, task_demand: f64, rng: &mut Xoshiro256StarStar) -> TaskOutcome {
+        assert!(
+            task_demand > 0.0 && task_demand.is_finite(),
+            "task demand must be finite and > 0"
+        );
+        let mut engine = Engine::new();
+        let state = Rc::new(RefCell::new(SmpState {
+            facility: MultiFacility::new("smp", self.cpus),
+            owners: self.owners.clone(),
+            rng: Xoshiro256StarStar::new(rng.next()),
+            task_completion: None,
+            task_done: None,
+            interruptions: 0,
+            next_owner_req: OWNER_BASE,
+            req_owner: std::collections::HashMap::new(),
+        }));
+
+        // Submit the task.
+        {
+            let mut guard = state.borrow_mut();
+            let st = &mut *guard;
+            let (outcome, _) = st
+                .facility
+                .submit(
+                    SimTime::ZERO,
+                    Request {
+                        id: TASK_REQ,
+                        priority: TASK_PRIORITY,
+                        demand: task_demand,
+                    },
+                )
+                .expect("fresh facility accepts the task");
+            let RequestOutcome::Started { completion } = outcome else {
+                unreachable!("empty facility starts immediately");
+            };
+            let sc = state.clone();
+            let ev = engine
+                .schedule(completion, move |e| smp_task_complete(e, &sc))
+                .expect("schedule task completion");
+            st.task_completion = Some(ev);
+        }
+        // One arrival process per owner.
+        for owner_idx in 0..self.owners.len() {
+            let think = {
+                let mut guard = state.borrow_mut();
+                let st = &mut *guard;
+                st.owners[owner_idx].sample_think(&mut st.rng)
+            };
+            let sc = state.clone();
+            engine
+                .schedule(SimTime::new(think), move |e| {
+                    smp_owner_arrival(e, &sc, owner_idx)
+                })
+                .expect("schedule first owner arrival");
+        }
+        engine.run_to_quiescence(None);
+
+        let st = state.borrow();
+        let done = st
+            .task_done
+            .expect("task completes once the calendar drains")
+            .as_f64();
+        TaskOutcome {
+            execution_time: done,
+            demand: task_demand,
+            interruptions: st.interruptions,
+            suspended_time: done - task_demand,
+        }
+    }
+}
+
+fn smp_owner_arrival(engine: &mut Engine, state: &Rc<RefCell<SmpState>>, owner_idx: usize) {
+    let now = engine.now();
+    let mut guard = state.borrow_mut();
+    let st = &mut *guard;
+    if st.task_done.is_some() {
+        return;
+    }
+    let demand = st.owners[owner_idx].sample_service(&mut st.rng);
+    let id = st.next_owner_req;
+    st.next_owner_req += 1;
+    st.req_owner.insert(id, owner_idx);
+    let (outcome, preempted) = st
+        .facility
+        .submit(
+            now,
+            Request {
+                id,
+                priority: OWNER_PRIORITY,
+                demand,
+            },
+        )
+        .expect("owner demand positive");
+    if preempted.is_some() {
+        st.interruptions += 1;
+        if let Some(ev) = st.task_completion.take() {
+            engine.cancel(ev);
+        }
+    }
+    match outcome {
+        RequestOutcome::Started { completion } => {
+            let sc = state.clone();
+            drop(guard);
+            engine
+                .schedule(completion, move |e| smp_owner_complete(e, &sc, id))
+                .expect("schedule owner completion");
+        }
+        RequestOutcome::Queued => {
+            // All CPUs hold owners already; this burst waits its turn.
+            // Its completion event is scheduled when a completion
+            // handler promotes it out of the queue.
+        }
+    }
+}
+
+fn smp_owner_complete(engine: &mut Engine, state: &Rc<RefCell<SmpState>>, id: RequestId) {
+    let now = engine.now();
+    let mut guard = state.borrow_mut();
+    let st = &mut *guard;
+    let owner_idx = st
+        .req_owner
+        .remove(&id)
+        .expect("every owner request is tracked");
+    let promoted = st
+        .facility
+        .complete(now, id)
+        .expect("owner burst was in service");
+    if let Some((rid, completion)) = promoted {
+        if rid == TASK_REQ {
+            let sc = state.clone();
+            let ev = engine
+                .schedule(completion, move |e| smp_task_complete(e, &sc))
+                .expect("schedule resumed task");
+            st.task_completion = Some(ev);
+        } else {
+            // A queued owner burst reaches a server; schedule its
+            // completion (its stream is recovered from req_owner then).
+            let sc = state.clone();
+            engine
+                .schedule(completion, move |e| smp_owner_complete(e, &sc, rid))
+                .expect("schedule promoted owner completion");
+        }
+    }
+    // The finishing burst's owner starts thinking again.
+    if st.task_done.is_none() {
+        let think = st.owners[owner_idx].sample_think(&mut st.rng);
+        let sc = state.clone();
+        drop(guard);
+        engine
+            .schedule(now + SimTime::new(think), move |e| {
+                smp_owner_arrival(e, &sc, owner_idx)
+            })
+            .expect("schedule next owner arrival");
+    }
+}
+
+fn smp_task_complete(engine: &mut Engine, state: &Rc<RefCell<SmpState>>) {
+    let now = engine.now();
+    let mut guard = state.borrow_mut();
+    let st = &mut *guard;
+    st.facility
+        .complete(now, TASK_REQ)
+        .expect("task was in service");
+    st.task_completion = None;
+    st.task_done = Some(now);
+    let _ = engine;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(u: f64) -> OwnerWorkload {
+        OwnerWorkload::continuous_exponential(10.0, u).unwrap()
+    }
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(seed)
+    }
+
+    fn mean_time(ws: &SmpWorkstation, t: f64, reps: u32, seed: u64) -> f64 {
+        let mut r = rng(seed);
+        (0..reps).map(|_| ws.run_task(t, &mut r).execution_time).sum::<f64>() / f64::from(reps)
+    }
+
+    #[test]
+    fn single_cpu_matches_interference_rate() {
+        let ws = SmpWorkstation::new(1, owner(0.2));
+        let mean = mean_time(&ws, 500.0, 200, 1);
+        let expected = 500.0 / 0.8;
+        assert!(
+            (mean - expected).abs() / expected < 0.06,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn second_cpu_absorbs_single_owner() {
+        let ws = SmpWorkstation::new(2, owner(0.3));
+        let mean = mean_time(&ws, 300.0, 100, 2);
+        assert!(
+            (mean - 300.0).abs() < 2.0,
+            "dual-CPU task should run nearly dedicated, got {mean}"
+        );
+    }
+
+    #[test]
+    fn shared_server_brings_contention_back() {
+        // 2 CPUs but 4 independent owners at 30% each: the task often
+        // finds both CPUs owner-occupied.
+        let busy = SmpWorkstation::with_owners(2, vec![owner(0.3); 4]);
+        let mean = mean_time(&busy, 300.0, 100, 3);
+        assert!(mean > 315.0, "4 owners on 2 CPUs must interfere: {mean}");
+        // And 4 CPUs absorb those same owners much better.
+        let roomy = SmpWorkstation::with_owners(4, vec![owner(0.3); 4]);
+        let mean4 = mean_time(&roomy, 300.0, 100, 3);
+        assert!(mean4 < mean, "more CPUs must help: {mean4} vs {mean}");
+    }
+
+    #[test]
+    fn outcome_consistent() {
+        let ws = SmpWorkstation::new(1, owner(0.2));
+        let mut r = rng(4);
+        for _ in 0..20 {
+            let out = ws.run_task(100.0, &mut r);
+            assert!(out.is_consistent());
+            assert!(out.execution_time >= 100.0);
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let ws = SmpWorkstation::new(2, owner(0.1));
+        let a = ws.run_task(200.0, &mut rng(5));
+        let b = ws.run_task(200.0, &mut rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one CPU")]
+    fn rejects_zero_cpus() {
+        SmpWorkstation::new(0, owner(0.1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Task-level result types shared by the discrete and continuous
+//! simulators.
+
+/// What happened to one parallel task during its tenure on a
+/// workstation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskOutcome {
+    /// Wall-clock execution time: from the moment the task started
+    /// computing to the moment it finished its demand (the quantity the
+    /// paper's PVM experiment records per task).
+    pub execution_time: f64,
+    /// Pure computation demand the task carried.
+    pub demand: f64,
+    /// Number of owner bursts that interrupted the task.
+    pub interruptions: u64,
+    /// Total time spent suspended beneath owner processes.
+    pub suspended_time: f64,
+}
+
+impl TaskOutcome {
+    /// Interference overhead relative to the dedicated execution time:
+    /// `execution_time / demand - 1`.
+    pub fn overhead(&self) -> f64 {
+        if self.demand == 0.0 {
+            0.0
+        } else {
+            self.execution_time / self.demand - 1.0
+        }
+    }
+
+    /// Consistency check: execution time must equal demand plus
+    /// suspension (there is no other source of delay in this model).
+    pub fn is_consistent(&self) -> bool {
+        (self.execution_time - self.demand - self.suspended_time).abs()
+            <= 1e-9 * self.execution_time.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_computation() {
+        let t = TaskOutcome {
+            execution_time: 120.0,
+            demand: 100.0,
+            interruptions: 2,
+            suspended_time: 20.0,
+        };
+        assert!((t.overhead() - 0.2).abs() < 1e-12);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn zero_demand_task() {
+        let t = TaskOutcome {
+            execution_time: 0.0,
+            demand: 0.0,
+            interruptions: 0,
+            suspended_time: 0.0,
+        };
+        assert_eq!(t.overhead(), 0.0);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_detected() {
+        let t = TaskOutcome {
+            execution_time: 130.0,
+            demand: 100.0,
+            interruptions: 2,
+            suspended_time: 20.0,
+        };
+        assert!(!t.is_consistent());
+    }
+}

@@ -1,0 +1,245 @@
+//! The one-stop feasibility API.
+//!
+//! [`FeasibilityAnalyzer`] answers the paper's title question for a
+//! concrete configuration: metrics, a feasibility verdict against the
+//! paper's 80%-of-possible-speedup bar, the required task ratio, the
+//! largest useful pool, and tail statistics the paper's mean-only
+//! analysis cannot provide.
+
+use crate::error::CoreError;
+use nds_model::distribution::JobTimeDistribution;
+use nds_model::metrics::{evaluate, Metrics};
+use nds_model::params::{ModelInputs, OwnerParams, Workload};
+use nds_model::solver;
+
+/// Builder-configured analyzer for one system configuration.
+#[derive(Debug, Clone)]
+pub struct FeasibilityAnalyzer {
+    inputs: ModelInputs,
+    target: f64,
+}
+
+/// Everything [`FeasibilityAnalyzer::assess`] computes.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// All §3.1 metrics at this configuration.
+    pub metrics: Metrics,
+    /// Verdict against the target weighted efficiency.
+    pub feasible: bool,
+    /// Target weighted efficiency used (default: the paper's 0.80).
+    pub target_weighted_efficiency: f64,
+    /// Minimum task ratio that would reach the target on this pool.
+    pub required_task_ratio: f64,
+    /// Largest pool size at which this job still meets the target.
+    pub max_useful_workstations: Option<u32>,
+    /// 95th percentile of the job completion time (integer-T model).
+    pub job_time_p95: f64,
+    /// Worst-case job completion time `T(1 + O)`.
+    pub job_time_worst_case: f64,
+}
+
+/// Builder for [`FeasibilityAnalyzer`].
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    workstations: Option<u32>,
+    owner_demand: Option<f64>,
+    owner_utilization: Option<f64>,
+    job_demand: Option<f64>,
+    target: Option<f64>,
+}
+
+impl Builder {
+    /// Pool size `W`.
+    pub fn workstations(mut self, w: u32) -> Self {
+        self.workstations = Some(w);
+        self
+    }
+
+    /// Owner service demand `O` (time units).
+    pub fn owner_demand(mut self, o: f64) -> Self {
+        self.owner_demand = Some(o);
+        self
+    }
+
+    /// Owner utilization `U` in (0, 1).
+    pub fn owner_utilization(mut self, u: f64) -> Self {
+        self.owner_utilization = Some(u);
+        self
+    }
+
+    /// Total job demand `J` (time units on a dedicated machine).
+    pub fn job_demand(mut self, j: f64) -> Self {
+        self.job_demand = Some(j);
+        self
+    }
+
+    /// Target weighted efficiency (default 0.80, the paper's bar).
+    pub fn target_weighted_efficiency(mut self, t: f64) -> Self {
+        self.target = Some(t);
+        self
+    }
+
+    /// Validate and build the analyzer.
+    pub fn build(self) -> Result<FeasibilityAnalyzer, CoreError> {
+        let missing = |what: &str| CoreError::Builder {
+            reason: format!("{what} is required"),
+        };
+        let w = self.workstations.ok_or_else(|| missing("workstations"))?;
+        let o = self.owner_demand.ok_or_else(|| missing("owner_demand"))?;
+        let u = self
+            .owner_utilization
+            .ok_or_else(|| missing("owner_utilization"))?;
+        let j = self.job_demand.ok_or_else(|| missing("job_demand"))?;
+        let target = self.target.unwrap_or(0.80);
+        if !(0.0..1.0).contains(&target) || target <= 0.0 {
+            return Err(CoreError::Builder {
+                reason: format!("target weighted efficiency {target} must be in (0,1)"),
+            });
+        }
+        let inputs = ModelInputs::new(Workload::new(j, w)?, OwnerParams::from_utilization(o, u)?);
+        Ok(FeasibilityAnalyzer { inputs, target })
+    }
+}
+
+impl FeasibilityAnalyzer {
+    /// Start building an analyzer.
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// Construct directly from validated model inputs.
+    pub fn from_inputs(inputs: ModelInputs, target: f64) -> Self {
+        Self { inputs, target }
+    }
+
+    /// The underlying model inputs.
+    pub fn inputs(&self) -> &ModelInputs {
+        &self.inputs
+    }
+
+    /// Run the full assessment.
+    pub fn assess(&self) -> Result<Assessment, CoreError> {
+        let metrics = evaluate(&self.inputs);
+        let owner = self.inputs.owner();
+        let w = self.inputs.workload().workstations();
+        let required_task_ratio = solver::required_task_ratio(w, owner, self.target)?;
+        let max_useful_workstations = solver::max_workstations(
+            self.inputs.workload().job_demand(),
+            owner,
+            self.target,
+            4096,
+        )?;
+        let t_int = self.inputs.task_demand().round().max(1.0) as u64;
+        let dist = JobTimeDistribution::new(t_int, w, owner);
+        Ok(Assessment {
+            metrics,
+            feasible: metrics.weighted_efficiency >= self.target,
+            target_weighted_efficiency: self.target,
+            required_task_ratio,
+            max_useful_workstations,
+            job_time_p95: dist.quantile(0.95),
+            job_time_worst_case: dist.worst_case(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer(j: f64, w: u32, o: f64, u: f64) -> FeasibilityAnalyzer {
+        FeasibilityAnalyzer::builder()
+            .workstations(w)
+            .owner_demand(o)
+            .owner_utilization(u)
+            .job_demand(j)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn big_job_on_lightly_used_pool_is_feasible() {
+        let a = analyzer(60_000.0, 60, 10.0, 0.05).assess().unwrap();
+        assert!(a.feasible);
+        assert!(a.metrics.task_ratio >= a.required_task_ratio);
+        assert!(a.job_time_p95 >= a.metrics.expected_job_time * 0.99);
+        assert!(a.job_time_worst_case >= a.job_time_p95);
+    }
+
+    #[test]
+    fn tiny_job_on_busy_pool_is_infeasible() {
+        let a = analyzer(600.0, 60, 10.0, 0.20).assess().unwrap();
+        assert!(!a.feasible);
+        assert!(a.metrics.task_ratio < a.required_task_ratio);
+        // But some smaller pool would work:
+        assert!(a.max_useful_workstations.is_some());
+    }
+
+    #[test]
+    fn max_useful_pool_consistent_with_verdict() {
+        let a = analyzer(10_000.0, 20, 10.0, 0.10);
+        let assessment = a.assess().unwrap();
+        if let Some(max_w) = assessment.max_useful_workstations {
+            if assessment.feasible {
+                assert!(max_w >= 20, "feasible at 20 implies max >= 20, got {max_w}");
+            } else {
+                assert!(max_w < 20);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_target_respected() {
+        let strict = FeasibilityAnalyzer::builder()
+            .workstations(60)
+            .owner_demand(10.0)
+            .owner_utilization(0.10)
+            .job_demand(60_000.0)
+            .target_weighted_efficiency(0.99)
+            .build()
+            .unwrap()
+            .assess()
+            .unwrap();
+        assert_eq!(strict.target_weighted_efficiency, 0.99);
+        let lax = analyzer(60_000.0, 60, 10.0, 0.10).assess().unwrap();
+        assert!(strict.required_task_ratio > lax.required_task_ratio);
+    }
+
+    #[test]
+    fn builder_reports_missing_fields() {
+        let err = FeasibilityAnalyzer::builder().build().unwrap_err();
+        assert!(matches!(err, CoreError::Builder { .. }));
+        let err = FeasibilityAnalyzer::builder()
+            .workstations(4)
+            .owner_demand(10.0)
+            .owner_utilization(0.1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("job_demand"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_target() {
+        let err = FeasibilityAnalyzer::builder()
+            .workstations(4)
+            .owner_demand(10.0)
+            .owner_utilization(0.1)
+            .job_demand(100.0)
+            .target_weighted_efficiency(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Builder { .. }));
+    }
+
+    #[test]
+    fn invalid_model_params_propagate() {
+        let err = FeasibilityAnalyzer::builder()
+            .workstations(4)
+            .owner_demand(1.0)
+            .owner_utilization(0.95) // implies P > 1
+            .job_demand(100.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the feasibility toolkit.
+
+use std::fmt;
+
+/// Errors surfaced by the high-level API (wrapping the lower crates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Missing or inconsistent builder inputs.
+    Builder {
+        /// Explanation.
+        reason: String,
+    },
+    /// A model-layer error.
+    Model(nds_model::ModelError),
+    /// A cluster-simulation error.
+    Cluster(nds_cluster::ClusterError),
+    /// A PVM-layer error.
+    Pvm(nds_pvm::PvmError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Builder { reason } => write!(f, "builder error: {reason}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CoreError::Pvm(e) => write!(f, "pvm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Builder { .. } => None,
+            CoreError::Model(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Pvm(e) => Some(e),
+        }
+    }
+}
+
+impl From<nds_model::ModelError> for CoreError {
+    fn from(e: nds_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<nds_cluster::ClusterError> for CoreError {
+    fn from(e: nds_cluster::ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<nds_pvm::PvmError> for CoreError {
+    fn from(e: nds_pvm::PvmError) -> Self {
+        CoreError::Pvm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let b = CoreError::Builder {
+            reason: "missing W".into(),
+        };
+        assert!(b.to_string().contains("missing W"));
+        assert!(b.source().is_none());
+
+        let m: CoreError = nds_model::ModelError::NoSolution { what: "x" }.into();
+        assert!(m.to_string().contains("model error"));
+        assert!(m.source().is_some());
+
+        let p: CoreError = nds_pvm::PvmError::UnknownTask { id: 1 }.into();
+        assert!(p.to_string().contains("pvm error"));
+    }
+}

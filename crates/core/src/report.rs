@@ -1,0 +1,150 @@
+//! Plain-text table rendering for figure regeneration.
+//!
+//! Every figure binary prints its series as an aligned table: an x
+//! column plus one column per curve — the textual equivalent of the
+//! paper's gnuplot figures, ready to paste into EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn headers<I, S>(mut self, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row of pre-rendered cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append a row of numbers rendered with the given precision.
+    pub fn numeric_row(&mut self, cells: &[f64], precision: usize) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|v| format!("{v:.precision$}")).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        if !self.headers.is_empty() {
+            let line: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            let _ = writeln!(out, "{}", rule.join("  "));
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Figure X").headers(["W", "speedup"]);
+        t.row(["1", "1.00"]);
+        t.row(["100", "61.02"]);
+        let s = t.render();
+        assert!(s.starts_with("# Figure X\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        // Right-aligned columns: all data/header lines share a width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn numeric_rows_respect_precision() {
+        let mut t = Table::new("t").headers(["a", "b"]);
+        t.numeric_row(&[1.23456, 2.0], 2);
+        let s = t.render();
+        assert!(s.contains("1.23"));
+        assert!(s.contains("2.00"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = Table::new("empty");
+        assert_eq!(t.render(), "# empty\n");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn headerless_table() {
+        let mut t = Table::new("");
+        t.row(["x", "y"]);
+        let s = t.render();
+        assert_eq!(s, "x  y\n");
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's named experiments, parameterized exactly once.
+//!
+//! Benches, examples, tests, and EXPERIMENTS.md all refer to these
+//! definitions, so "Figure 7" means the same parameters everywhere.
+
+/// Default owner demand used throughout the paper's analysis section.
+pub const OWNER_DEMAND: f64 = 10.0;
+/// The utilizations swept in Figures 1–7 and 9.
+pub const UTILIZATIONS: [f64; 4] = [0.01, 0.05, 0.10, 0.20];
+/// The paper's feasibility bar: 80% of the possible speedup.
+pub const TARGET_WEIGHTED_EFFICIENCY: f64 = 0.80;
+
+/// A named experiment from the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Figures 1–4: fixed-size job, `J = 1000`, `W` swept 1..=100.
+    FixedSize1K,
+    /// Figures 5–6: fixed-size job, `J = 10_000`.
+    FixedSize10K,
+    /// Figure 7: task-ratio sweep at `W = 60`.
+    TaskRatioAt60,
+    /// Figure 8: task-ratio sweep at `U = 10%` over several pool sizes.
+    TaskRatioBySize,
+    /// Figure 9: memory-bounded scaleup, `T₀ = 100`.
+    Scaled,
+    /// Figures 10–11: PVM validation at 3% utilization, 1–12 stations.
+    PvmValidation,
+}
+
+impl Scenario {
+    /// Workstation counts swept by this scenario.
+    pub fn workstations(&self) -> Vec<u32> {
+        match self {
+            Scenario::FixedSize1K | Scenario::FixedSize10K | Scenario::Scaled => {
+                let mut v = vec![1u32];
+                v.extend((5..=100).step_by(5));
+                v
+            }
+            Scenario::TaskRatioAt60 => vec![60],
+            Scenario::TaskRatioBySize => vec![2, 4, 8, 20, 60, 100],
+            Scenario::PvmValidation => (1..=12).collect(),
+        }
+    }
+
+    /// Owner utilizations swept by this scenario.
+    pub fn utilizations(&self) -> Vec<f64> {
+        match self {
+            Scenario::TaskRatioBySize => vec![0.10],
+            Scenario::PvmValidation => vec![0.03],
+            _ => UTILIZATIONS.to_vec(),
+        }
+    }
+
+    /// Total job demand, if the scenario fixes one.
+    pub fn job_demand(&self) -> Option<f64> {
+        match self {
+            Scenario::FixedSize1K => Some(1_000.0),
+            Scenario::FixedSize10K => Some(10_000.0),
+            _ => None,
+        }
+    }
+
+    /// Task ratios swept (Figures 7–8).
+    pub fn task_ratios(&self) -> Vec<f64> {
+        match self {
+            Scenario::TaskRatioAt60 | Scenario::TaskRatioBySize => {
+                (1..=60).map(f64::from).collect()
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Per-node demand for scaled problems (Figure 9).
+    pub fn per_node_demand(&self) -> Option<f64> {
+        match self {
+            Scenario::Scaled => Some(100.0),
+            _ => None,
+        }
+    }
+
+    /// Problem demands in dedicated minutes (Figures 10–11).
+    pub fn demand_minutes(&self) -> Vec<u32> {
+        match self {
+            Scenario::PvmValidation => vec![1, 2, 4, 8, 16],
+            _ => vec![],
+        }
+    }
+
+    /// Human-readable figure label.
+    pub fn figure_label(&self) -> &'static str {
+        match self {
+            Scenario::FixedSize1K => "Figures 1-4 (J = 1000)",
+            Scenario::FixedSize10K => "Figures 5-6 (J = 10,000)",
+            Scenario::TaskRatioAt60 => "Figure 7 (W = 60)",
+            Scenario::TaskRatioBySize => "Figure 8 (U = 10%)",
+            Scenario::Scaled => "Figure 9 (T0 = 100)",
+            Scenario::PvmValidation => "Figures 10-11 (PVM, U = 3%)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_sweeps_reach_100() {
+        let w = Scenario::FixedSize1K.workstations();
+        assert_eq!(*w.first().unwrap(), 1);
+        assert_eq!(*w.last().unwrap(), 100);
+        assert_eq!(Scenario::FixedSize1K.job_demand(), Some(1000.0));
+        assert_eq!(Scenario::FixedSize10K.job_demand(), Some(10_000.0));
+    }
+
+    #[test]
+    fn task_ratio_scenarios() {
+        assert_eq!(Scenario::TaskRatioAt60.workstations(), vec![60]);
+        assert_eq!(Scenario::TaskRatioAt60.task_ratios().len(), 60);
+        assert_eq!(
+            Scenario::TaskRatioBySize.workstations(),
+            vec![2, 4, 8, 20, 60, 100]
+        );
+        assert_eq!(Scenario::TaskRatioBySize.utilizations(), vec![0.10]);
+    }
+
+    #[test]
+    fn pvm_scenario_matches_paper() {
+        let s = Scenario::PvmValidation;
+        assert_eq!(s.workstations(), (1..=12).collect::<Vec<_>>());
+        assert_eq!(s.demand_minutes(), vec![1, 2, 4, 8, 16]);
+        assert_eq!(s.utilizations(), vec![0.03]);
+    }
+
+    #[test]
+    fn scaled_scenario() {
+        assert_eq!(Scenario::Scaled.per_node_demand(), Some(100.0));
+        assert!(Scenario::Scaled.job_demand().is_none());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let all = [
+            Scenario::FixedSize1K,
+            Scenario::FixedSize10K,
+            Scenario::TaskRatioAt60,
+            Scenario::TaskRatioBySize,
+            Scenario::Scaled,
+            Scenario::PvmValidation,
+        ];
+        let labels: std::collections::HashSet<_> =
+            all.iter().map(|s| s.figure_label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

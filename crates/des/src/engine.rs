@@ -1,0 +1,364 @@
+//! The event calendar and simulation clock.
+//!
+//! Events are closures scheduled at a future [`SimTime`]; when the clock
+//! reaches them they execute with mutable access to the engine so they
+//! can schedule follow-up events. Ties in time are broken by insertion
+//! sequence number, which makes runs bit-for-bit deterministic.
+
+use crate::error::DesError;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event, usable for cancellation.
+pub type EventId = u64;
+
+type Action = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event simulation engine: clock + event calendar.
+///
+/// # Example
+///
+/// ```
+/// use nds_des::{Engine, SimTime};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::new(10.0), |e| {
+///     // schedule a follow-up two units later
+///     let next = e.now() + SimTime::new(2.0);
+///     e.schedule(next, |_| {}).unwrap();
+/// }).unwrap();
+/// engine.run_to_quiescence(None);
+/// assert_eq!(engine.now().as_f64(), 12.0);
+/// ```
+pub struct Engine {
+    clock: SimTime,
+    next_seq: u64,
+    next_id: EventId,
+    queue: BinaryHeap<Scheduled>,
+    /// Ids scheduled but not yet fired or cancelled.
+    alive: HashSet<EventId>,
+    /// Ids cancelled but still physically in the heap (lazy deletion).
+    cancelled: HashSet<EventId>,
+    executed: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            clock: SimTime::ZERO,
+            next_seq: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            alive: HashSet::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (excluding cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `action` to run at absolute time `at` (>= now).
+    pub fn schedule<F>(&mut self, at: SimTime, action: F) -> Result<EventId, DesError>
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        if at < self.clock {
+            return Err(DesError::ScheduleInPast {
+                now: self.clock.as_f64(),
+                requested: at.as_f64(),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.alive.insert(id);
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            id,
+            action: Box::new(action),
+        });
+        Ok(id)
+    }
+
+    /// Schedule `action` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, action: F) -> Result<EventId, DesError>
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        self.schedule(self.clock + delay, action)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event existed and
+    /// had not yet fired (idempotent: cancelling twice returns `false`).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: mark and skip at pop time.
+        if self.alive.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Execute the next event, if any. Returns `false` when the calendar
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.clock, "time went backwards");
+            self.alive.remove(&ev.id);
+            self.clock = ev.time;
+            self.executed += 1;
+            (ev.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the calendar is exhausted or `max_events` have executed.
+    /// Returns the number of events executed by this call.
+    pub fn run_to_quiescence(&mut self, max_events: Option<u64>) -> u64 {
+        let start = self.executed;
+        let limit = max_events.unwrap_or(u64::MAX);
+        while self.executed - start < limit && self.step() {}
+        self.executed - start
+    }
+
+    /// Run until the clock would pass `horizon` (events at exactly
+    /// `horizon` still execute). Pending later events remain queued; the
+    /// clock is advanced to `horizon` on return.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let start = self.executed;
+        loop {
+            // Peek for the next non-cancelled event.
+            let next_time = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if self.cancelled.contains(&ev.id) => {
+                        let ev = self.queue.pop().expect("peeked");
+                        self.cancelled.remove(&ev.id);
+                    }
+                    Some(ev) => break Some(ev.time),
+                }
+            };
+            match next_time {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.clock < horizon {
+            self.clock = horizon;
+        }
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut e = Engine::new();
+        for &t in &[5.0, 1.0, 3.0] {
+            let order = order.clone();
+            e.schedule(SimTime::new(t), move |eng| {
+                order.borrow_mut().push(eng.now().as_f64());
+            })
+            .unwrap();
+        }
+        e.run_to_quiescence(None);
+        assert_eq!(*order.borrow(), vec![1.0, 3.0, 5.0]);
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut e = Engine::new();
+        for tag in 0..5 {
+            let order = order.clone();
+            e.schedule(SimTime::new(2.0), move |_| {
+                order.borrow_mut().push(tag);
+            })
+            .unwrap();
+        }
+        e.run_to_quiescence(None);
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let fired = Rc::new(RefCell::new(0u32));
+        let mut e = Engine::new();
+        let f = fired.clone();
+        e.schedule(SimTime::new(1.0), move |eng| {
+            *f.borrow_mut() += 1;
+            let f2 = f.clone();
+            eng.schedule_in(SimTime::new(4.0), move |_| {
+                *f2.borrow_mut() += 1;
+            })
+            .unwrap();
+        })
+        .unwrap();
+        e.run_to_quiescence(None);
+        assert_eq!(*fired.borrow(), 2);
+        assert_eq!(e.now().as_f64(), 5.0);
+    }
+
+    #[test]
+    fn scheduling_in_past_rejected() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::new(10.0), |_| {}).unwrap();
+        e.run_to_quiescence(None);
+        assert!(matches!(
+            e.schedule(SimTime::new(5.0), |_| {}),
+            Err(DesError::ScheduleInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let fired = Rc::new(RefCell::new(false));
+        let mut e = Engine::new();
+        let f = fired.clone();
+        let id = e
+            .schedule(SimTime::new(1.0), move |_| {
+                *f.borrow_mut() = true;
+            })
+            .unwrap();
+        assert!(e.cancel(id));
+        assert!(!e.cancel(id), "double cancel must be false");
+        e.run_to_quiescence(None);
+        assert!(!*fired.borrow());
+        assert_eq!(e.executed(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut e = Engine::new();
+        assert!(!e.cancel(42));
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut e = Engine::new();
+        let a = e.schedule(SimTime::new(1.0), |_| {}).unwrap();
+        e.schedule(SimTime::new(2.0), |_| {}).unwrap();
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let count = Rc::new(RefCell::new(0u32));
+        let mut e = Engine::new();
+        for t in 1..=10 {
+            let c = count.clone();
+            e.schedule(SimTime::new(t as f64), move |_| {
+                *c.borrow_mut() += 1;
+            })
+            .unwrap();
+        }
+        let ran = e.run_until(SimTime::new(4.5));
+        assert_eq!(ran, 4);
+        assert_eq!(*count.borrow(), 4);
+        assert_eq!(e.now().as_f64(), 4.5);
+        // Remaining events still fire afterwards.
+        e.run_to_quiescence(None);
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    fn run_until_includes_horizon_events() {
+        let count = Rc::new(RefCell::new(0u32));
+        let mut e = Engine::new();
+        let c = count.clone();
+        e.schedule(SimTime::new(5.0), move |_| {
+            *c.borrow_mut() += 1;
+        })
+        .unwrap();
+        e.run_until(SimTime::new(5.0));
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn run_to_quiescence_respects_max_events() {
+        let mut e = Engine::new();
+        // A self-perpetuating clock: would run forever without the cap.
+        fn tick(eng: &mut Engine) {
+            eng.schedule_in(SimTime::new(1.0), tick).unwrap();
+        }
+        e.schedule(SimTime::new(0.0), tick).unwrap();
+        let ran = e.run_to_quiescence(Some(100));
+        assert_eq!(ran, 100);
+        assert_eq!(e.now().as_f64(), 99.0);
+    }
+
+    #[test]
+    fn clock_advances_to_horizon_even_without_events() {
+        let mut e = Engine::new();
+        e.run_until(SimTime::new(42.0));
+        assert_eq!(e.now().as_f64(), 42.0);
+    }
+}

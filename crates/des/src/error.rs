@@ -1,0 +1,64 @@
+//! Error type for the simulation engine.
+
+use std::fmt;
+
+/// Errors produced by the discrete-event engine and its resources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesError {
+    /// An event was scheduled in the past.
+    ScheduleInPast {
+        /// Current simulation time.
+        now: f64,
+        /// Requested (past) event time.
+        requested: f64,
+    },
+    /// An operation referenced a request the facility does not hold.
+    UnknownRequest {
+        /// The offending request id.
+        id: u64,
+    },
+    /// `complete_current` was called while the facility was idle.
+    FacilityIdle,
+    /// A demand or service time was invalid.
+    InvalidDemand {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::ScheduleInPast { now, requested } => {
+                write!(f, "cannot schedule at {requested} before current time {now}")
+            }
+            DesError::UnknownRequest { id } => write!(f, "unknown request id {id}"),
+            DesError::FacilityIdle => write!(f, "facility is idle"),
+            DesError::InvalidDemand { value } => {
+                write!(f, "invalid demand {value}: must be finite and > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(DesError::ScheduleInPast {
+            now: 5.0,
+            requested: 3.0
+        }
+        .to_string()
+        .contains("before current time"));
+        assert!(DesError::UnknownRequest { id: 7 }.to_string().contains('7'));
+        assert_eq!(DesError::FacilityIdle.to_string(), "facility is idle");
+        assert!(DesError::InvalidDemand { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # nds-des — a discrete-event simulation engine (CSIM replacement)
+//!
+//! The paper validates its analysis with a simulation written in CSIM
+//! (Schwetman 1986), a proprietary C library. This crate is the
+//! from-scratch Rust substrate that fills that role for the whole
+//! workspace:
+//!
+//! * [`engine::Engine`] — event calendar + simulation clock; schedule
+//!   closures ([`engine::Engine::schedule`]) or typed events, run to a
+//!   horizon or to quiescence,
+//! * [`facility::Facility`] — a CSIM-style service facility with
+//!   **preemptive-priority** scheduling, the exact discipline the paper
+//!   assumes ("when an owner process starts execution an executing
+//!   parallel task is suspended and the owner process is immediately
+//!   started"),
+//! * [`monitor::Monitor`] — time-weighted and tally statistics collected
+//!   during a run,
+//! * [`trace`] — optional structured event tracing for debugging
+//!   simulations.
+//!
+//! Unlike CSIM the engine is event-driven rather than process-oriented
+//! (no coroutines), which keeps it deterministic, allocation-light, and
+//! trivially reproducible from a seed. Determinism guarantee: two runs
+//! with the same seed and same schedule order produce identical event
+//! sequences — ties in time are broken by insertion sequence number.
+
+pub mod engine;
+pub mod error;
+pub mod facility;
+pub mod monitor;
+pub mod resource;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, EventId};
+pub use error::DesError;
+pub use facility::{Facility, Preempted, Request, RequestId, RequestOutcome};
+pub use monitor::Monitor;
+pub use resource::MultiFacility;
+pub use time::SimTime;
+pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,176 @@
+//! Run-time statistics collection.
+//!
+//! [`Monitor`] tracks a piecewise-constant quantity (queue length,
+//! number of busy stations, ...) and reports its **time-weighted**
+//! average — the standard DES statistic CSIM calls a "table"/"qtable".
+//! Point observations (tally statistics) are better served by
+//! [`nds_stats::RunningStats`].
+
+use crate::time::SimTime;
+
+/// Time-weighted statistics for a piecewise-constant signal.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    name: String,
+    last_time: SimTime,
+    current: f64,
+    area: f64,
+    min: f64,
+    max: f64,
+    changes: u64,
+    started: bool,
+    start_time: SimTime,
+}
+
+impl Monitor {
+    /// Create a monitor with an initial value of 0 at time 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            last_time: SimTime::ZERO,
+            current: 0.0,
+            area: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            changes: 0,
+            started: false,
+            start_time: SimTime::ZERO,
+        }
+    }
+
+    /// The monitor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    /// Times must be nondecreasing.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(
+            now >= self.last_time,
+            "monitor updates must move forward in time"
+        );
+        if !self.started {
+            self.started = true;
+            self.start_time = now;
+        } else {
+            self.area += self.current * (now - self.last_time).as_f64();
+        }
+        self.last_time = now;
+        self.current = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.changes += 1;
+    }
+
+    /// Adjust the signal by a delta (convenience for counters).
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time-weighted mean over `[first update, now]`.
+    /// Returns 0 if no time has elapsed.
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let span = (now - self.start_time).as_f64();
+        if span <= 0.0 {
+            return self.current;
+        }
+        let area = self.area + self.current * (now - self.last_time).as_f64();
+        area / span
+    }
+
+    /// Smallest value observed.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of `set`/`add` calls.
+    pub fn changes(&self) -> u64 {
+        self.changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::new(v)
+    }
+
+    #[test]
+    fn constant_signal_average() {
+        let mut m = Monitor::new("q");
+        m.set(t(0.0), 3.0);
+        assert_eq!(m.time_average(t(10.0)), 3.0);
+    }
+
+    #[test]
+    fn step_signal_average() {
+        let mut m = Monitor::new("q");
+        m.set(t(0.0), 0.0);
+        m.set(t(4.0), 2.0); // 0 for 4 units
+        m.set(t(8.0), 1.0); // 2 for 4 units
+        // Up to t=10: (0*4 + 2*4 + 1*2) / 10 = 1.0
+        assert_eq!(m.time_average(t(10.0)), 1.0);
+    }
+
+    #[test]
+    fn add_is_relative() {
+        let mut m = Monitor::new("q");
+        m.set(t(0.0), 1.0);
+        m.add(t(2.0), 2.0);
+        assert_eq!(m.current(), 3.0);
+        m.add(t(4.0), -3.0);
+        assert_eq!(m.current(), 0.0);
+        // (1*2 + 3*2 + 0*1)/5 = 8/5
+        assert_eq!(m.time_average(t(5.0)), 8.0 / 5.0);
+    }
+
+    #[test]
+    fn min_max_changes() {
+        let mut m = Monitor::new("q");
+        m.set(t(0.0), 5.0);
+        m.set(t(1.0), -2.0);
+        m.set(t(2.0), 3.0);
+        assert_eq!(m.min(), -2.0);
+        assert_eq!(m.max(), 5.0);
+        assert_eq!(m.changes(), 3);
+    }
+
+    #[test]
+    fn empty_monitor_average_zero() {
+        let m = Monitor::new("q");
+        assert_eq!(m.time_average(t(100.0)), 0.0);
+    }
+
+    #[test]
+    fn average_starts_at_first_update() {
+        let mut m = Monitor::new("q");
+        m.set(t(10.0), 4.0);
+        // Window is [10, 20], not [0, 20].
+        assert_eq!(m.time_average(t(20.0)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in time")]
+    fn rejects_time_regression() {
+        let mut m = Monitor::new("q");
+        m.set(t(5.0), 1.0);
+        m.set(t(4.0), 2.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! A multi-server preemptive-priority resource.
+//!
+//! [`Facility`](crate::facility::Facility) models the paper's
+//! single-CPU workstation. `MultiFacility` generalizes to `k` servers —
+//! an SMP workstation where up to `k` requests run concurrently and a
+//! high-priority arrival evicts the *lowest-priority* running request
+//! when no server is free. Used by the multiprocessor-workstation
+//! extension experiments.
+
+use crate::error::DesError;
+use crate::facility::{Preempted, Request, RequestId, RequestOutcome};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    id: RequestId,
+    priority: i32,
+    since: SimTime,
+    remaining: f64,
+}
+
+/// `k`-server preempt-resume resource with FIFO order within a
+/// priority class.
+#[derive(Debug, Clone)]
+pub struct MultiFacility {
+    name: String,
+    servers: usize,
+    active: Vec<Active>,
+    queue: VecDeque<(i32, RequestId, f64)>,
+    busy_area: f64,
+    completions: u64,
+    preemptions: u64,
+}
+
+impl MultiFacility {
+    /// A resource with `servers >= 1` identical servers.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        Self {
+            name: name.into(),
+            servers,
+            active: Vec::with_capacity(servers),
+            queue: VecDeque::new(),
+            busy_area: 0.0,
+            completions: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// The resource's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Requests currently in service.
+    pub fn in_service(&self) -> Vec<RequestId> {
+        self.active.iter().map(|a| a.id).collect()
+    }
+
+    /// Queued (waiting) request count.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Completed services so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Preemptions so far.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Cumulative busy server-time up to `now`.
+    pub fn busy_time(&self, now: SimTime) -> f64 {
+        let mut area = self.busy_area;
+        for a in &self.active {
+            area += (now.max(a.since) - a.since).as_f64();
+        }
+        area
+    }
+
+    /// Submit a request at `now`. Mirrors
+    /// [`Facility::submit`](crate::facility::Facility::submit) but may
+    /// run up to `servers` requests concurrently.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        req: Request,
+    ) -> Result<(RequestOutcome, Option<Preempted>), DesError> {
+        if !req.demand.is_finite() || req.demand <= 0.0 {
+            return Err(DesError::InvalidDemand { value: req.demand });
+        }
+        if self.active.len() < self.servers {
+            self.active.push(Active {
+                id: req.id,
+                priority: req.priority,
+                since: now,
+                remaining: req.demand,
+            });
+            return Ok((
+                RequestOutcome::Started {
+                    completion: now + SimTime::new(req.demand),
+                },
+                None,
+            ));
+        }
+        // All servers busy: find the weakest running request.
+        let victim_idx = self
+            .active
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.priority
+                    .cmp(&b.priority)
+                    // Among equals, evict the most recently started.
+                    .then_with(|| b.since.cmp(&a.since))
+            })
+            .map(|(i, _)| i)
+            .expect("servers are busy");
+        if self.active[victim_idx].priority < req.priority {
+            let victim = self.active[victim_idx];
+            let done = (now - victim.since).as_f64();
+            let remaining = (victim.remaining - done).max(0.0);
+            self.busy_area += done;
+            self.preemptions += 1;
+            self.queue.push_front((victim.priority, victim.id, remaining));
+            self.active[victim_idx] = Active {
+                id: req.id,
+                priority: req.priority,
+                since: now,
+                remaining: req.demand,
+            };
+            Ok((
+                RequestOutcome::Started {
+                    completion: now + SimTime::new(req.demand),
+                },
+                Some(Preempted {
+                    id: victim.id,
+                    remaining,
+                }),
+            ))
+        } else {
+            self.queue.push_back((req.priority, req.id, req.demand));
+            Ok((RequestOutcome::Queued, None))
+        }
+    }
+
+    /// Complete the in-service request with the given id at `now`.
+    /// Returns the promoted request (if any) and its completion time.
+    pub fn complete(
+        &mut self,
+        now: SimTime,
+        id: RequestId,
+    ) -> Result<Option<(RequestId, SimTime)>, DesError> {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.id == id)
+            .ok_or(DesError::UnknownRequest { id })?;
+        let finished = self.active.swap_remove(idx);
+        self.busy_area += (now - finished.since).as_f64();
+        self.completions += 1;
+        // Promote the strongest waiter.
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by(|(ia, (pa, _, _)), (ib, (pb, _, _))| {
+                pa.cmp(pb).then_with(|| ib.cmp(ia))
+            })
+            .map(|(i, _)| i);
+        Ok(best.and_then(|i| self.queue.remove(i)).map(
+            |(priority, id, remaining)| {
+                self.active.push(Active {
+                    id,
+                    priority,
+                    since: now,
+                    remaining,
+                });
+                (id, now + SimTime::new(remaining))
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::new(v)
+    }
+
+    fn req(id: RequestId, priority: i32, demand: f64) -> Request {
+        Request {
+            id,
+            priority,
+            demand,
+        }
+    }
+
+    #[test]
+    fn k_requests_run_concurrently() {
+        let mut f = MultiFacility::new("smp", 2);
+        let (o1, _) = f.submit(t(0.0), req(1, 0, 5.0)).unwrap();
+        let (o2, _) = f.submit(t(0.0), req(2, 0, 5.0)).unwrap();
+        assert!(matches!(o1, RequestOutcome::Started { .. }));
+        assert!(matches!(o2, RequestOutcome::Started { .. }));
+        let (o3, _) = f.submit(t(0.0), req(3, 0, 5.0)).unwrap();
+        assert_eq!(o3, RequestOutcome::Queued);
+        assert_eq!(f.in_service().len(), 2);
+        assert_eq!(f.queue_len(), 1);
+    }
+
+    #[test]
+    fn owner_preempts_weakest_task_only_when_full() {
+        let mut f = MultiFacility::new("smp", 2);
+        f.submit(t(0.0), req(1, 0, 10.0)).unwrap();
+        // Second server free: owner takes it, no preemption.
+        let (_, pre) = f.submit(t(1.0), req(100, 10, 2.0)).unwrap();
+        assert!(pre.is_none());
+        // Third arrival (owner) must evict the task, not the owner.
+        let (_, pre) = f.submit(t(1.5), req(101, 10, 2.0)).unwrap();
+        let pre = pre.unwrap();
+        assert_eq!(pre.id, 1);
+        assert_eq!(pre.remaining, 8.5);
+        assert_eq!(f.preemptions(), 1);
+    }
+
+    #[test]
+    fn equal_priority_never_preempts() {
+        let mut f = MultiFacility::new("smp", 1);
+        f.submit(t(0.0), req(1, 5, 5.0)).unwrap();
+        let (o, pre) = f.submit(t(1.0), req(2, 5, 5.0)).unwrap();
+        assert_eq!(o, RequestOutcome::Queued);
+        assert!(pre.is_none());
+    }
+
+    #[test]
+    fn complete_promotes_strongest_waiter() {
+        let mut f = MultiFacility::new("smp", 1);
+        f.submit(t(0.0), req(1, 0, 4.0)).unwrap();
+        f.submit(t(0.0), req(2, 0, 4.0)).unwrap();
+        f.submit(t(0.0), req(3, 5, 4.0)).unwrap(); // preempts 1
+        // Now 3 in service; queue holds 1 (remaining 4, front) and 2.
+        let next = f.complete(t(4.0), 3).unwrap();
+        let (id, completion) = next.unwrap();
+        assert_eq!(id, 1, "preempted task resumes before task 2");
+        assert_eq!(completion, t(8.0));
+    }
+
+    #[test]
+    fn work_conservation_across_preemption() {
+        let mut f = MultiFacility::new("smp", 1);
+        f.submit(t(0.0), req(1, 0, 10.0)).unwrap();
+        f.submit(t(4.0), req(2, 1, 3.0)).unwrap();
+        f.complete(t(7.0), 2).unwrap();
+        f.complete(t(13.0), 1).unwrap();
+        assert_eq!(f.busy_time(t(13.0)), 13.0);
+        assert_eq!(f.completions(), 2);
+    }
+
+    #[test]
+    fn single_server_matches_facility_semantics() {
+        // Spot-check the k=1 case against the single-server Facility.
+        use crate::facility::Facility;
+        let mut multi = MultiFacility::new("m", 1);
+        let mut single = Facility::new("s");
+        multi.submit(t(0.0), req(1, 0, 10.0)).unwrap();
+        single.submit(t(0.0), req(1, 0, 10.0)).unwrap();
+        let (_, pm) = multi.submit(t(3.0), req(2, 9, 2.0)).unwrap();
+        let (_, ps) = single.submit(t(3.0), req(2, 9, 2.0)).unwrap();
+        assert_eq!(pm, ps);
+        let nm = multi.complete(t(5.0), 2).unwrap();
+        let (_, ns) = single.complete_current(t(5.0)).unwrap();
+        assert_eq!(nm, ns);
+    }
+
+    #[test]
+    fn unknown_completion_rejected() {
+        let mut f = MultiFacility::new("smp", 2);
+        assert!(matches!(
+            f.complete(t(0.0), 9),
+            Err(DesError::UnknownRequest { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn more_servers_reduce_interference() {
+        // With 2 servers, an owner burst does not stall the task at all
+        // when a server is free.
+        let mut f = MultiFacility::new("smp", 2);
+        f.submit(t(0.0), req(1, 0, 10.0)).unwrap();
+        let (_, pre) = f.submit(t(2.0), req(100, 10, 5.0)).unwrap();
+        assert!(pre.is_none(), "no preemption needed with a free server");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rejects_zero_servers() {
+        MultiFacility::new("x", 0);
+    }
+}

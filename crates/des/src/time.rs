@@ -1,0 +1,146 @@
+//! Simulation time.
+//!
+//! Time is an `f64` wrapped in a newtype with a total order, so it can
+//! key the event calendar. The discrete-time replica of the paper's
+//! model uses integer-valued times exactly representable in `f64`; the
+//! continuous-time generalizations use arbitrary nonnegative reals.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time. Always finite and nonnegative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from a nonnegative, finite number of time units.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "SimTime must be finite and >= 0, got {t}");
+        SimTime(t)
+    }
+
+    /// The raw value in time units.
+    pub fn as_f64(&self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction (never goes below zero).
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+// SimTime is always finite, so f64 comparison is total here.
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 - rhs.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(t: f64) -> Self {
+        SimTime::new(t)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.5);
+        assert!(a < b);
+        assert_eq!((a + b).as_f64(), 3.5);
+        assert_eq!((b - a).as_f64(), 1.5);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_f64(), 1.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        t += SimTime::new(3.0);
+        t += SimTime::new(4.0);
+        assert_eq!(t.as_f64(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn rejects_negative() {
+        SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn rejects_nan() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subtraction_below_zero_panics() {
+        let _ = SimTime::new(1.0) - SimTime::new(2.0);
+    }
+
+    #[test]
+    fn from_and_display() {
+        let t: SimTime = 4.25.into();
+        assert_eq!(t.to_string(), "4.25");
+    }
+}

@@ -1,0 +1,126 @@
+//! Fast closed-form approximations of the expected maximum.
+//!
+//! The exact `E_j` (eq. 7) costs O(T) per evaluation. For design-space
+//! sweeps over millions of configurations, this module provides O(1)
+//! approximations based on extreme-value theory: the max of `W` iid
+//! binomials is approximately `μ + σ·a(W)` where `a(W)` is the
+//! normal-order-statistic constant. Accuracy is a few percent for
+//! moderate `T·P` and large `W` — good enough to *search* a design
+//! space before confirming with the exact model.
+
+use crate::params::OwnerParams;
+use nds_stats::special::inverse_normal_cdf;
+
+/// Expected maximum of `w` iid standard normals (Blom's approximation
+/// of the first order statistic: `Φ⁻¹((w - 0.375)/(w + 0.25))`).
+pub fn normal_max_constant(w: u32) -> f64 {
+    assert!(w >= 1, "need at least one variate");
+    if w == 1 {
+        return 0.0;
+    }
+    inverse_normal_cdf((f64::from(w) - 0.375) / (f64::from(w) + 0.25))
+}
+
+/// O(1) approximation of the expected maximum interruption count over
+/// `w` workstations: `T·P + sqrt(T·P·(1-P)) · a(w)`, clamped to the
+/// valid range `[T·P, T]`.
+pub fn approx_expected_max(t: f64, p: f64, w: u32) -> f64 {
+    assert!(t >= 0.0 && (0.0..=1.0).contains(&p), "bad parameters");
+    let mean = t * p;
+    let sigma = (t * p * (1.0 - p)).sqrt();
+    (mean + sigma * normal_max_constant(w)).clamp(mean, t)
+}
+
+/// O(1) approximation of `E_j` (eq. 7): `T + O · approx_expected_max`.
+pub fn approx_expected_job_time(t: f64, w: u32, owner: OwnerParams) -> f64 {
+    t + owner.demand() * approx_expected_max(t, owner.request_prob(), w)
+}
+
+/// O(1) approximation of the weighted efficiency.
+pub fn approx_weighted_efficiency(t: f64, w: u32, owner: OwnerParams) -> f64 {
+    let e_j = approx_expected_job_time(t, w, owner);
+    if e_j == 0.0 {
+        1.0
+    } else {
+        t / ((1.0 - owner.utilization()) * e_j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectation::expected_job_time_int;
+
+    fn owner(u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(10.0, u).unwrap()
+    }
+
+    #[test]
+    fn normal_max_constants_match_tables() {
+        // Known E[max of W standard normals]: W=2 -> 0.5642, W=10 ->
+        // 1.5388, W=100 -> 2.5076 (Blom is within ~1%).
+        assert_eq!(normal_max_constant(1), 0.0);
+        assert!((normal_max_constant(2) - 0.5642).abs() < 0.03);
+        assert!((normal_max_constant(10) - 1.5388).abs() < 0.03);
+        assert!((normal_max_constant(100) - 2.5076).abs() < 0.03);
+    }
+
+    #[test]
+    fn constants_increase_with_w() {
+        let mut prev = -1.0;
+        for w in [1u32, 2, 5, 10, 50, 100, 1000] {
+            let a = normal_max_constant(w);
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn approx_tracks_exact_for_moderate_counts() {
+        // T·P >= ~5 is where the normal approximation is trustworthy.
+        for (t, u, w) in [(1000u64, 0.10, 20u32), (2000, 0.05, 60), (500, 0.20, 100)] {
+            let ow = owner(u);
+            let exact = expected_job_time_int(t, w, ow);
+            let approx = approx_expected_job_time(t as f64, w, ow);
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel < 0.05,
+                "T={t} U={u} W={w}: approx {approx} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_within_model_bounds() {
+        let ow = owner(0.10);
+        for w in [1u32, 10, 100, 1000] {
+            let e = approx_expected_job_time(100.0, w, ow);
+            assert!(e >= 100.0);
+            assert!(e <= 100.0 * (1.0 + ow.demand()));
+        }
+    }
+
+    #[test]
+    fn single_station_reduces_to_mean() {
+        let ow = owner(0.10);
+        let e = approx_expected_job_time(500.0, 1, ow);
+        // E_t = T(1 + O·P).
+        let expected = 500.0 * (1.0 + ow.demand() * ow.request_prob());
+        assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_weighted_efficiency_reasonable() {
+        let ow = owner(0.10);
+        let we = approx_weighted_efficiency(130.0, 100, ow);
+        assert!(we > 0.5 && we <= 1.0, "weff {we}");
+        // Monotone in T.
+        assert!(approx_weighted_efficiency(1000.0, 100, ow) > we);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one")]
+    fn rejects_zero_w() {
+        normal_max_constant(0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Numerically stable Binomial(n, p) distribution.
+//!
+//! The model needs the full pmf of the number of owner interruptions,
+//! `Bin(T, P)` (paper eq. 2), for `T` from a handful up to 10^9 (the
+//! solver probes very large demands). The pmf is computed by the
+//! multiplicative recurrence seeded in log space at the mode, which is
+//! stable across the whole range. For large `n` only a window of
+//! `±40σ` around the mean is materialized — the truncated tail mass is
+//! below 10^-300 and numerically indistinguishable from zero.
+
+use nds_stats::special::ln_choose;
+
+/// Number of trials above which the pmf is windowed instead of fully
+/// materialized.
+const FULL_MATERIALIZATION_LIMIT: u64 = 1 << 16;
+
+/// Width of the materialized window in standard deviations on each side
+/// of the mean.
+const WINDOW_SIGMAS: f64 = 40.0;
+
+/// Binomial distribution `Bin(n, p)` with a materialized (possibly
+/// windowed) pmf.
+#[derive(Debug, Clone)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+    /// First outcome covered by `pmf`/`cdf`. Outcomes below carry
+    /// negligible (< 1e-300) probability and are treated as zero.
+    offset: u64,
+    pmf: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl Binomial {
+    /// Construct `Bin(n, p)` with `p in [0, 1]`.
+    ///
+    /// `n = 0` yields the degenerate point mass at 0 (a zero-demand task
+    /// is never interrupted).
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p) && p.is_finite(),
+            "binomial p must be in [0,1], got {p}"
+        );
+        if p == 0.0 {
+            return Self {
+                n,
+                p,
+                offset: 0,
+                pmf: vec![1.0],
+                cdf: vec![1.0],
+            };
+        }
+        if p == 1.0 {
+            return Self {
+                n,
+                p,
+                offset: n,
+                pmf: vec![1.0],
+                cdf: vec![1.0],
+            };
+        }
+
+        let nf = n as f64;
+        let (lo, hi) = if n <= FULL_MATERIALIZATION_LIMIT {
+            (0u64, n)
+        } else {
+            let mean = nf * p;
+            let sigma = (nf * p * (1.0 - p)).sqrt();
+            let half = (WINDOW_SIGMAS * sigma).max(64.0);
+            let lo = (mean - half).floor().max(0.0) as u64;
+            let hi = (mean + half).ceil().min(nf) as u64;
+            (lo, hi)
+        };
+
+        let len = (hi - lo + 1) as usize;
+        let mut pmf = vec![0.0f64; len];
+        // Seed at the mode (clamped into the window) in log space, then
+        // run the recurrence pmf[k+1]/pmf[k] = (n-k)/(k+1) · p/(1-p)
+        // outward in both directions. Terms that underflow to 0 are
+        // genuinely below ~1e-308 and contribute nothing.
+        let mode = (((nf + 1.0) * p).floor().min(nf) as u64).clamp(lo, hi);
+        // ln(1-p) via ln_1p(-p) keeps accuracy for tiny p.
+        let ln_mode =
+            ln_choose(n, mode) + mode as f64 * p.ln() + (nf - mode as f64) * (-p).ln_1p();
+        let pm = ln_mode.exp();
+        pmf[(mode - lo) as usize] = pm;
+        let ratio = p / (1.0 - p);
+        // Upward from the mode.
+        let mut cur = pm;
+        for k in mode..hi {
+            cur *= (nf - k as f64) / (k as f64 + 1.0) * ratio;
+            pmf[(k + 1 - lo) as usize] = cur;
+        }
+        // Downward from the mode.
+        let mut cur = pm;
+        for k in ((lo + 1)..=mode).rev() {
+            cur *= k as f64 / ((nf - k as f64 + 1.0) * ratio);
+            pmf[(k - 1 - lo) as usize] = cur;
+        }
+        // Normalize away the tiny truncation/rounding error so the cdf
+        // tops out at exactly 1.
+        let total: f64 = pmf.iter().sum();
+        if total > 0.0 {
+            for v in &mut pmf {
+                *v /= total;
+            }
+        }
+        let mut cdf = Vec::with_capacity(len);
+        let mut acc = 0.0;
+        for &v in &pmf {
+            acc += v;
+            cdf.push(acc.min(1.0));
+        }
+        // Force exact 1.0 at the top; the model's S[T] must be 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            n,
+            p,
+            offset: lo,
+            pmf,
+            cdf,
+        }
+    }
+
+    /// Number of trials `n`.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// First outcome of the materialized support window.
+    pub fn support_offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Last outcome of the materialized support window (inclusive).
+    pub fn support_end(&self) -> u64 {
+        self.offset + (self.pmf.len() as u64 - 1)
+    }
+
+    /// `P(X = k)`; zero outside the materialized window (where the true
+    /// mass is below 1e-300).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k < self.offset {
+            return 0.0;
+        }
+        self.pmf.get((k - self.offset) as usize).copied().unwrap_or(0.0)
+    }
+
+    /// `P(X <= k)`; 0 below the window, 1 above it.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k < self.offset {
+            return 0.0;
+        }
+        let idx = (k - self.offset) as usize;
+        if idx >= self.cdf.len() {
+            1.0
+        } else {
+            self.cdf[idx]
+        }
+    }
+
+    /// `P(X > k)`.
+    pub fn survival(&self, k: u64) -> f64 {
+        1.0 - self.cdf(k)
+    }
+
+    /// The materialized pmf window; index `i` is outcome
+    /// `support_offset() + i`.
+    pub fn pmf_slice(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// The materialized cdf window; index `i` is outcome
+    /// `support_offset() + i`.
+    pub fn cdf_slice(&self) -> &[f64] {
+        &self.cdf
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn small_exact_cases() {
+        // Bin(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+        let b = Binomial::new(4, 0.5);
+        close(b.pmf(0), 1.0 / 16.0, 1e-14);
+        close(b.pmf(1), 4.0 / 16.0, 1e-14);
+        close(b.pmf(2), 6.0 / 16.0, 1e-14);
+        close(b.pmf(3), 4.0 / 16.0, 1e-14);
+        close(b.pmf(4), 1.0 / 16.0, 1e-14);
+        assert_eq!(b.pmf(5), 0.0);
+        assert_eq!(b.support_offset(), 0);
+    }
+
+    #[test]
+    fn degenerate_p_zero_and_one() {
+        let z = Binomial::new(10, 0.0);
+        assert_eq!(z.pmf(0), 1.0);
+        assert_eq!(z.cdf(0), 1.0);
+        let o = Binomial::new(10, 1.0);
+        assert_eq!(o.pmf(10), 1.0);
+        assert_eq!(o.cdf(9), 0.0);
+        assert_eq!(o.cdf(10), 1.0);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let b = Binomial::new(0, 0.3);
+        assert_eq!(b.pmf(0), 1.0);
+        assert_eq!(b.cdf(0), 1.0);
+        assert_eq!(b.mean(), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_various() {
+        for (n, p) in [
+            (10u64, 0.3),
+            (100, 0.01),
+            (1000, 0.001),
+            (10_000, 1.0 / 90.0),
+            (100_000, 0.005),
+        ] {
+            let b = Binomial::new(n, p);
+            let total: f64 = b.pmf_slice().iter().sum();
+            close(total, 1.0, 1e-12);
+            assert_eq!(b.cdf(n), 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_pmf_expectation() {
+        for (n, p) in [(50u64, 0.2), (1000, 0.004), (10_000, 0.0005)] {
+            let b = Binomial::new(n, p);
+            let off = b.support_offset();
+            let ex: f64 = b
+                .pmf_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (off + i as u64) as f64 * v)
+                .sum();
+            close(ex, b.mean(), 1e-9 * (1.0 + b.mean()));
+        }
+    }
+
+    #[test]
+    fn variance_matches_pmf() {
+        let b = Binomial::new(200, 0.05);
+        let mean = b.mean();
+        let var: f64 = b
+            .pmf_slice()
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (k as f64 - mean).powi(2) * v)
+            .sum();
+        close(var, b.variance(), 1e-9);
+    }
+
+    #[test]
+    fn cdf_monotone_nondecreasing() {
+        let b = Binomial::new(500, 0.013);
+        let mut prev = 0.0;
+        for k in 0..=500 {
+            let c = b.cdf(k);
+            assert!(c >= prev - 1e-15, "cdf decreased at {k}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn paper_fig1_point() {
+        // J = 1000, W = 100 => T = 10; U = 1%, O = 10 => P = 1/990.
+        let p = 0.01 / (10.0 * 0.99);
+        let b = Binomial::new(10, p);
+        // S[0] = (1-P)^10
+        close(b.cdf(0), (1.0 - p).powi(10), 1e-12);
+    }
+
+    #[test]
+    fn survival_is_complement() {
+        let b = Binomial::new(60, 0.1);
+        for k in [0u64, 3, 10, 60] {
+            close(b.survival(k), 1.0 - b.cdf(k), 1e-15);
+        }
+    }
+
+    #[test]
+    fn tiny_p_no_underflow_in_head() {
+        // Extremely small p at moderate n: pmf(0) ~ 1.
+        let b = Binomial::new(60_000, 1e-9);
+        close(b.pmf(0), 1.0 - 60_000.0 * 1e-9, 1e-7);
+        let total: f64 = b.pmf_slice().iter().sum();
+        close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn windowed_large_n_moments() {
+        // n large enough to trigger windowing.
+        let n = 10_000_000u64;
+        let p = 1.0 / 90.0;
+        let b = Binomial::new(n, p);
+        assert!(b.support_offset() > 0, "window should not start at 0");
+        assert!(b.pmf_slice().len() < 100_000, "window too wide");
+        let off = b.support_offset();
+        let total: f64 = b.pmf_slice().iter().sum();
+        close(total, 1.0, 1e-12);
+        let ex: f64 = b
+            .pmf_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (off + i as u64) as f64 * v)
+            .sum();
+        close(ex, b.mean(), 1e-6 * b.mean());
+        // cdf semantics around the window.
+        assert_eq!(b.cdf(0), 0.0);
+        assert_eq!(b.cdf(n), 1.0);
+        close(b.cdf((b.mean()) as u64), 0.5, 0.05);
+    }
+
+    #[test]
+    fn windowed_huge_n_does_not_allocate_everything() {
+        let b = Binomial::new(1_000_000_000, 0.001);
+        assert!(b.pmf_slice().len() < 6_000_000, "len {}", b.pmf_slice().len());
+        let total: f64 = b.pmf_slice().iter().sum();
+        close(total, 1.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "binomial p must be in [0,1]")]
+    fn rejects_bad_p() {
+        Binomial::new(5, 1.5);
+    }
+}

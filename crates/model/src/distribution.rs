@@ -1,0 +1,209 @@
+//! The full distribution of the job completion time — an extension
+//! beyond the paper's expectations.
+//!
+//! With integer task demand `T`, the job time takes values
+//! `T + n·O` for `n = 0..=T` with probability `Max[W, n]` (eq. 6), so
+//! the entire distribution is available in closed form. This module
+//! exposes its variance, quantiles, and tail probabilities, which the
+//! paper's "expectations only" analysis cannot answer (e.g. *what is the
+//! 95th-percentile job time?* — the quantity a deadline-driven user
+//! actually cares about).
+
+use crate::interference::InterferenceProfile;
+use crate::params::OwnerParams;
+
+/// Distribution of the job completion time `T + O·max_i(n_i)`.
+#[derive(Debug, Clone)]
+pub struct JobTimeDistribution {
+    task_demand: u64,
+    owner_demand: f64,
+    profile: InterferenceProfile,
+}
+
+impl JobTimeDistribution {
+    /// Build for integer task demand `t`, `w` workstations, and the
+    /// given owner parameters.
+    pub fn new(t: u64, w: u32, owner: OwnerParams) -> Self {
+        Self {
+            task_demand: t,
+            owner_demand: owner.demand(),
+            profile: InterferenceProfile::new(t, owner.request_prob(), w),
+        }
+    }
+
+    /// The support point for `n` interruptions: `T + n·O`.
+    pub fn value(&self, n: u64) -> f64 {
+        self.task_demand as f64 + n as f64 * self.owner_demand
+    }
+
+    /// `P(job time = T + n·O)`.
+    pub fn pmf(&self, n: u64) -> f64 {
+        self.profile.max_pmf(n)
+    }
+
+    /// Expected job time (matches eq. 7).
+    pub fn mean(&self) -> f64 {
+        self.task_demand as f64 + self.owner_demand * self.profile.expected_max()
+    }
+
+    /// Variance of the job time: `O² · Var(max)`.
+    pub fn variance(&self) -> f64 {
+        self.owner_demand * self.owner_demand * self.profile.variance_of_max()
+    }
+
+    /// Standard deviation of the job time.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// `P(job time <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.task_demand as f64 {
+            return 0.0;
+        }
+        let n = ((x - self.task_demand as f64) / self.owner_demand).floor();
+        self.profile.c(n as u64)
+    }
+
+    /// Smallest support point whose cdf reaches `q` (a true quantile of
+    /// the discrete distribution). `q` must be in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile requires q in (0,1]");
+        if self.task_demand == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for n in self.profile.support_offset()..=self.profile.support_end() {
+            acc += self.profile.max_pmf(n);
+            if acc >= q - 1e-15 {
+                return self.value(n);
+            }
+        }
+        self.value(self.profile.support_end())
+    }
+
+    /// `P(job time > x)` — the deadline-miss probability for deadline `x`.
+    pub fn tail(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Worst-case job time `T + T·O` (paper: "guaranteed ... at most
+    /// T + (T × O) units").
+    pub fn worst_case(&self) -> f64 {
+        self.task_demand as f64 * (1.0 + self.owner_demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(o: f64, u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(o, u).unwrap()
+    }
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mean_matches_expectation_module() {
+        let ow = owner(10.0, 0.1);
+        let d = JobTimeDistribution::new(100, 20, ow);
+        close(
+            d.mean(),
+            crate::expectation::expected_job_time_int(100, 20, ow),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn support_and_worst_case() {
+        let ow = owner(10.0, 0.05);
+        let d = JobTimeDistribution::new(50, 5, ow);
+        assert_eq!(d.value(0), 50.0);
+        assert_eq!(d.value(3), 80.0);
+        assert_eq!(d.worst_case(), 50.0 * 11.0);
+    }
+
+    #[test]
+    fn cdf_zero_below_t_one_at_worst_case() {
+        let ow = owner(10.0, 0.1);
+        let d = JobTimeDistribution::new(40, 8, ow);
+        assert_eq!(d.cdf(39.9), 0.0);
+        close(d.cdf(d.worst_case()), 1.0, 1e-12);
+        close(d.tail(d.worst_case()), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cdf_nondecreasing() {
+        let ow = owner(10.0, 0.2);
+        let d = JobTimeDistribution::new(30, 10, ow);
+        let mut prev = 0.0;
+        let mut x = 25.0;
+        while x < d.worst_case() + 20.0 {
+            let c = d.cdf(x);
+            assert!(c >= prev - 1e-15);
+            prev = c;
+            x += 7.3;
+        }
+    }
+
+    #[test]
+    fn quantile_reaches_cdf_level() {
+        let ow = owner(10.0, 0.1);
+        let d = JobTimeDistribution::new(60, 12, ow);
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            let x = d.quantile(q);
+            assert!(d.cdf(x) >= q - 1e-9, "cdf({x}) = {} < {q}", d.cdf(x));
+        }
+    }
+
+    #[test]
+    fn median_between_mean_bounds() {
+        let ow = owner(10.0, 0.1);
+        let d = JobTimeDistribution::new(100, 10, ow);
+        let med = d.quantile(0.5);
+        assert!(med >= 100.0 && med <= d.worst_case());
+    }
+
+    #[test]
+    fn variance_nonnegative_and_degenerate_cases() {
+        let ow = owner(10.0, 0.1);
+        let d = JobTimeDistribution::new(100, 10, ow);
+        assert!(d.variance() >= 0.0);
+        assert!(d.std_dev() >= 0.0);
+        // Degenerate: T = 0 can never be interrupted.
+        let z = JobTimeDistribution::new(0, 10, ow);
+        assert_eq!(z.variance(), 0.0);
+        assert_eq!(z.mean(), 0.0);
+    }
+
+    #[test]
+    fn tail_decreases_with_larger_deadline() {
+        let ow = owner(10.0, 0.2);
+        let d = JobTimeDistribution::new(50, 20, ow);
+        assert!(d.tail(50.0) >= d.tail(100.0));
+        assert!(d.tail(100.0) >= d.tail(300.0));
+    }
+
+    #[test]
+    fn more_workstations_shift_distribution_right() {
+        let ow = owner(10.0, 0.1);
+        let small = JobTimeDistribution::new(100, 2, ow);
+        let large = JobTimeDistribution::new(100, 50, ow);
+        assert!(large.mean() > small.mean());
+        // Stochastic dominance at a few probe points.
+        for x in [110.0, 130.0, 160.0] {
+            assert!(large.cdf(x) <= small.cdf(x) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_matches_profile() {
+        let ow = owner(10.0, 0.1);
+        let d = JobTimeDistribution::new(20, 5, ow);
+        let total: f64 = (0..=20).map(|n| d.pmf(n)).sum();
+        close(total, 1.0, 1e-10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the analytical model.
+
+use std::fmt;
+
+/// Errors produced while constructing model parameters or evaluating
+/// the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A solver failed to bracket or converge on a solution.
+    NoSolution {
+        /// Description of what was being solved.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            ModelError::NoSolution { what } => write!(f, "no solution found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::InvalidParameter {
+            name: "P",
+            value: 2.0,
+            constraint: "must be in (0,1)",
+        };
+        assert!(e.to_string().contains("P = 2"));
+        let n = ModelError::NoSolution { what: "task ratio" };
+        assert_eq!(n.to_string(), "no solution found: task ratio");
+    }
+}

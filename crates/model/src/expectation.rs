@@ -1,0 +1,202 @@
+//! Expected task and job completion times (paper eqs. 3 and 7).
+//!
+//! The paper's analysis treats the task demand `T` as the binomial trial
+//! count, which is only meaningful at integers, yet every figure sweeps
+//! `W` continuously so that `T = J/W` is usually fractional. We evaluate
+//! the model at `floor(T)` and `ceil(T)` (with `O` interruptions scaled by
+//! the true `T`'s work content) and interpolate linearly — exact at
+//! integers, smooth in between, and monotone in between because both
+//! endpoints move the same direction.
+
+use crate::interference::InterferenceProfile;
+use crate::params::{ModelInputs, OwnerParams};
+
+/// Expected task execution time `E_t = T(1 + O·P)` (closed form of
+/// paper eq. 3, exact for all real `T >= 0`).
+pub fn expected_task_time(task_demand: f64, owner: OwnerParams) -> f64 {
+    assert!(
+        task_demand >= 0.0 && task_demand.is_finite(),
+        "task demand must be finite and >= 0"
+    );
+    task_demand * (1.0 + owner.demand() * owner.request_prob())
+}
+
+/// Expected task time from the summation form of eq. 3 — used in tests
+/// to validate the closed form, and exposed for instrumentation.
+pub fn expected_task_time_sum(task_demand_int: u64, owner: OwnerParams) -> f64 {
+    let b = crate::binomial::Binomial::new(task_demand_int, owner.request_prob());
+    let off = b.support_offset();
+    let interruption_work: f64 = b
+        .pmf_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &prob)| owner.demand() * (off + i as u64) as f64 * prob)
+        .sum();
+    task_demand_int as f64 + interruption_work
+}
+
+/// Expected job completion time `E_j = T + O · Σ i·Max[W,i]`
+/// (paper eq. 7) for an **integer** task demand.
+pub fn expected_job_time_int(task_demand: u64, workstations: u32, owner: OwnerParams) -> f64 {
+    let prof = InterferenceProfile::new(task_demand, owner.request_prob(), workstations);
+    task_demand as f64 + owner.demand() * prof.expected_max()
+}
+
+/// Expected job completion time for a real task demand `T >= 0`, by
+/// linear interpolation between the integer lattice points.
+pub fn expected_job_time(task_demand: f64, workstations: u32, owner: OwnerParams) -> f64 {
+    assert!(
+        task_demand >= 0.0 && task_demand.is_finite(),
+        "task demand must be finite and >= 0"
+    );
+    let lo = task_demand.floor();
+    let hi = task_demand.ceil();
+    let e_lo = expected_job_time_int(lo as u64, workstations, owner);
+    if lo == hi {
+        return e_lo;
+    }
+    let e_hi = expected_job_time_int(hi as u64, workstations, owner);
+    let frac = task_demand - lo;
+    e_lo + frac * (e_hi - e_lo)
+}
+
+/// Expected job time for complete [`ModelInputs`].
+pub fn expected_job_time_for(inputs: &ModelInputs) -> f64 {
+    expected_job_time(
+        inputs.task_demand(),
+        inputs.workload().workstations(),
+        inputs.owner(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Workload;
+
+    fn owner(o: f64, u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(o, u).unwrap()
+    }
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn closed_form_matches_summation() {
+        for (t, o, u) in [(100u64, 10.0, 0.05), (1000, 10.0, 0.2), (10, 5.0, 0.01)] {
+            let ow = owner(o, u);
+            close(
+                expected_task_time(t as f64, ow),
+                expected_task_time_sum(t, ow),
+                1e-8 * t as f64,
+            );
+        }
+    }
+
+    #[test]
+    fn task_time_equals_t_over_one_minus_u() {
+        // With P = U/(O(1-U)): E_t = T(1 + O·P) = T/(1-U).
+        for u in [0.01, 0.05, 0.1, 0.2] {
+            let ow = owner(10.0, u);
+            close(expected_task_time(960.0, ow), 960.0 / (1.0 - u), 1e-9);
+        }
+    }
+
+    #[test]
+    fn job_time_single_station_is_task_time() {
+        let ow = owner(10.0, 0.1);
+        for t in [10u64, 100, 1000] {
+            close(
+                expected_job_time_int(t, 1, ow),
+                expected_task_time(t as f64, ow),
+                1e-8 * t as f64,
+            );
+        }
+    }
+
+    #[test]
+    fn job_time_increases_with_w() {
+        let ow = owner(10.0, 0.1);
+        let mut prev = 0.0;
+        for w in [1u32, 2, 5, 10, 50, 100] {
+            let e = expected_job_time_int(100, w, ow);
+            assert!(e >= prev, "E_j decreased at W={w}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn job_time_bounds() {
+        // T <= E_j <= T + T·O (paper: "at most T + (T × O) units").
+        let ow = owner(10.0, 0.2);
+        let t = 50u64;
+        for w in [1u32, 10, 100] {
+            let e = expected_job_time_int(t, w, ow);
+            assert!(e >= t as f64);
+            assert!(e <= t as f64 + t as f64 * ow.demand());
+        }
+    }
+
+    #[test]
+    fn interpolation_exact_at_integers() {
+        let ow = owner(10.0, 0.05);
+        close(
+            expected_job_time(100.0, 10, ow),
+            expected_job_time_int(100, 10, ow),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn interpolation_between_lattice_points() {
+        let ow = owner(10.0, 0.05);
+        let lo = expected_job_time_int(100, 10, ow);
+        let hi = expected_job_time_int(101, 10, ow);
+        let mid = expected_job_time(100.5, 10, ow);
+        close(mid, 0.5 * (lo + hi), 1e-12);
+        assert!(mid >= lo && mid <= hi);
+    }
+
+    #[test]
+    fn zero_demand_zero_time() {
+        let ow = owner(10.0, 0.1);
+        assert_eq!(expected_job_time(0.0, 10, ow), 0.0);
+        assert_eq!(expected_task_time(0.0, ow), 0.0);
+    }
+
+    #[test]
+    fn inputs_wrapper_consistent() {
+        let inputs = ModelInputs::new(Workload::new(1000.0, 10).unwrap(), owner(10.0, 0.1));
+        close(
+            expected_job_time_for(&inputs),
+            expected_job_time(100.0, 10, owner(10.0, 0.1)),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn paper_fig1_anchor_util_1pct() {
+        // Paper §3.1: at 100 nodes, util 1%, J=1000, O=10 the speedup is
+        // ~61% of optimal, i.e. E_j ~ 1000/61 ≈ 16.4.
+        let ow = owner(10.0, 0.01);
+        let e = expected_job_time_int(10, 100, ow);
+        let speedup = 1000.0 / e;
+        assert!(
+            speedup > 55.0 && speedup < 67.0,
+            "speedup {speedup} out of paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn paper_fig1_anchor_util_20pct() {
+        // Paper §3.1: util 20% at 100 nodes gives ~32.5% of optimal.
+        let ow = owner(10.0, 0.20);
+        let e = expected_job_time_int(10, 100, ow);
+        let speedup = 1000.0 / e;
+        assert!(
+            speedup > 28.0 && speedup < 38.0,
+            "speedup {speedup} out of paper's ballpark"
+        );
+    }
+}

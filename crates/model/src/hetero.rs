@@ -1,0 +1,244 @@
+//! Heterogeneous-owner generalization of the model.
+//!
+//! The paper assumes every workstation has the same `(O, P)`. Real pools
+//! do not: some owners are heavy users, some machines are nearly idle.
+//! Independence still factorizes the job-time cdf:
+//!
+//! ```text
+//! P(job ≤ T + y) = Π_i  S_i( floor(y / O_i) ),    y ≥ 0
+//! ```
+//!
+//! where `S_i` is workstation `i`'s binomial interruption cdf. The
+//! expected job time follows by integrating the survival function, which
+//! is piecewise constant with breakpoints at `y = k·O_i`.
+//!
+//! This module is the analytical counterpart of the cluster simulator's
+//! per-workstation owner configuration, and backs the `ext_hetero`
+//! experiment binary.
+
+use crate::binomial::Binomial;
+use crate::error::ModelError;
+use crate::params::OwnerParams;
+
+/// A heterogeneous system: one owner parameter set per workstation, all
+/// executing tasks of the same integer demand `T`.
+#[derive(Debug, Clone)]
+pub struct HeteroSystem {
+    task_demand: u64,
+    stations: Vec<OwnerParams>,
+}
+
+impl HeteroSystem {
+    /// Build from a task demand and per-workstation owner parameters
+    /// (at least one workstation).
+    pub fn new(task_demand: u64, stations: Vec<OwnerParams>) -> Result<Self, ModelError> {
+        if stations.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "stations",
+                value: 0.0,
+                constraint: "need at least one workstation",
+            });
+        }
+        Ok(Self {
+            task_demand,
+            stations,
+        })
+    }
+
+    /// Number of workstations.
+    pub fn workstations(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Per-task demand `T`.
+    pub fn task_demand(&self) -> u64 {
+        self.task_demand
+    }
+
+    /// `P(job time <= T + y)` for extra delay `y >= 0`.
+    pub fn cdf_extra_delay(&self, y: f64) -> f64 {
+        if y < 0.0 {
+            return 0.0;
+        }
+        self.station_binomials()
+            .iter()
+            .zip(&self.stations)
+            .map(|(b, ow)| b.cdf((y / ow.demand()).floor() as u64))
+            .product()
+    }
+
+    /// Expected job completion time, exact up to floating point.
+    pub fn expected_job_time(&self) -> f64 {
+        let t = self.task_demand;
+        if t == 0 {
+            return 0.0;
+        }
+        let binomials = self.station_binomials();
+        // Survival of the extra delay is piecewise constant with
+        // breakpoints at every k·O_i; integrate exactly between them.
+        let mut breakpoints: Vec<f64> = Vec::new();
+        for ow in &self.stations {
+            for k in 1..=t {
+                breakpoints.push(k as f64 * ow.demand());
+            }
+        }
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut expected_extra = 0.0;
+        let mut prev = 0.0;
+        for &bp in &breakpoints {
+            let mid = 0.5 * (prev + bp);
+            let cdf: f64 = binomials
+                .iter()
+                .zip(&self.stations)
+                .map(|(b, ow)| b.cdf((mid / ow.demand()).floor() as u64))
+                .product();
+            expected_extra += (1.0 - cdf) * (bp - prev);
+            prev = bp;
+        }
+        t as f64 + expected_extra
+    }
+
+    /// Mean owner utilization across the pool.
+    pub fn mean_utilization(&self) -> f64 {
+        self.stations.iter().map(|s| s.utilization()).sum::<f64>() / self.stations.len() as f64
+    }
+
+    /// Weighted efficiency generalized to heterogeneous pools: realized
+    /// work rate `J/E_j` over the aggregate idle capacity
+    /// `Σ_i (1-U_i)`.
+    pub fn weighted_efficiency(&self) -> f64 {
+        let e_j = self.expected_job_time();
+        if e_j == 0.0 {
+            return 1.0;
+        }
+        let j = self.task_demand as f64 * self.stations.len() as f64;
+        let idle_capacity: f64 = self.stations.iter().map(|s| 1.0 - s.utilization()).sum();
+        j / (idle_capacity * e_j)
+    }
+
+    fn station_binomials(&self) -> Vec<Binomial> {
+        self.stations
+            .iter()
+            .map(|ow| Binomial::new(self.task_demand, ow.request_prob()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectation::expected_job_time_int;
+
+    fn owner(o: f64, u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(o, u).unwrap()
+    }
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn homogeneous_matches_base_model() {
+        let ow = owner(10.0, 0.1);
+        for w in [1usize, 2, 8] {
+            let sys = HeteroSystem::new(50, vec![ow; w]).unwrap();
+            close(
+                sys.expected_job_time(),
+                expected_job_time_int(50, w as u32, ow),
+                1e-6 * 50.0,
+            );
+        }
+    }
+
+    #[test]
+    fn one_busy_station_dominates() {
+        // A pool of nearly idle stations plus one heavily used one should
+        // behave close to the busy station alone.
+        let idle = owner(10.0, 0.01);
+        let busy = owner(10.0, 0.30);
+        let mixed = HeteroSystem::new(100, vec![idle, idle, idle, busy]).unwrap();
+        let busy_alone = HeteroSystem::new(100, vec![busy]).unwrap();
+        let idle_pool = HeteroSystem::new(100, vec![idle; 4]).unwrap();
+        let m = mixed.expected_job_time();
+        assert!(m >= busy_alone.expected_job_time() - 1e-9);
+        assert!(m > idle_pool.expected_job_time());
+    }
+
+    #[test]
+    fn cdf_extra_delay_monotone() {
+        let sys = HeteroSystem::new(
+            30,
+            vec![owner(10.0, 0.1), owner(5.0, 0.2), owner(20.0, 0.05)],
+        )
+        .unwrap();
+        let mut prev = 0.0;
+        let mut y = 0.0;
+        while y < 400.0 {
+            let c = sys.cdf_extra_delay(y);
+            assert!(c >= prev - 1e-12, "cdf fell at y={y}");
+            assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+            y += 3.7;
+        }
+        assert_eq!(sys.cdf_extra_delay(-1.0), 0.0);
+    }
+
+    #[test]
+    fn adding_stations_never_speeds_job() {
+        let base = HeteroSystem::new(60, vec![owner(10.0, 0.1); 3]).unwrap();
+        let more = HeteroSystem::new(60, {
+            let mut v = vec![owner(10.0, 0.1); 3];
+            v.push(owner(10.0, 0.05));
+            v
+        })
+        .unwrap();
+        assert!(more.expected_job_time() >= base.expected_job_time() - 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_job_is_instant() {
+        let sys = HeteroSystem::new(0, vec![owner(10.0, 0.2); 5]).unwrap();
+        assert_eq!(sys.expected_job_time(), 0.0);
+        assert_eq!(sys.weighted_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn mean_utilization_averages() {
+        let sys = HeteroSystem::new(10, vec![owner(10.0, 0.1), owner(10.0, 0.3)]).unwrap();
+        close(sys.mean_utilization(), 0.2, 1e-12);
+    }
+
+    #[test]
+    fn weighted_efficiency_bounded() {
+        let sys = HeteroSystem::new(
+            200,
+            vec![owner(10.0, 0.05), owner(10.0, 0.10), owner(10.0, 0.20)],
+        )
+        .unwrap();
+        let we = sys.weighted_efficiency();
+        assert!(we > 0.0 && we <= 1.0 + 1e-9, "weff {we}");
+    }
+
+    #[test]
+    fn rejects_empty_pool() {
+        assert!(HeteroSystem::new(10, vec![]).is_err());
+    }
+
+    #[test]
+    fn hetero_worse_than_uniform_at_same_mean_util() {
+        // Jensen-style: a 2-station pool at (5%, 15%) should be no faster
+        // than a uniform pool at 10% — the max is driven by the worst
+        // station.
+        let uniform = HeteroSystem::new(100, vec![owner(10.0, 0.10); 2]).unwrap();
+        let spread =
+            HeteroSystem::new(100, vec![owner(10.0, 0.05), owner(10.0, 0.15)]).unwrap();
+        assert!(
+            spread.expected_job_time() >= uniform.expected_job_time() - 0.5,
+            "spread {} vs uniform {}",
+            spread.expected_job_time(),
+            uniform.expected_job_time()
+        );
+    }
+}

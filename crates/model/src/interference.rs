@@ -1,0 +1,213 @@
+//! Interference order statistics: the paper's `S`, `C`, and `Max`
+//! functions (eqs. 4–6).
+//!
+//! * `S[n]` — probability an individual task is interrupted by at most
+//!   `n` owner processes (the binomial cdf).
+//! * `C[W,n] = S[n]^W` — probability **all** `W` tasks are interrupted by
+//!   at most `n` owner processes (independence across workstations).
+//! * `Max[W,n] = C[W,n] - C[W,n-1]` — pmf of the maximum interruption
+//!   count over the `W` tasks.
+
+use crate::binomial::Binomial;
+
+/// Distribution of the per-task and maximum interruption counts for a
+/// job of integer task demand `T` on `W` workstations.
+#[derive(Debug, Clone)]
+pub struct InterferenceProfile {
+    binomial: Binomial,
+    workstations: u32,
+    /// First interruption count covered by `c`/`max_pmf` (the binomial's
+    /// materialized window start; counts below carry negligible mass).
+    offset: u64,
+    /// `C[W,n]` for `n = offset..` (windowed).
+    c: Vec<f64>,
+    /// `Max[W,n]` for `n = offset..` (windowed).
+    max_pmf: Vec<f64>,
+}
+
+impl InterferenceProfile {
+    /// Build the profile for integer task demand `t`, request probability
+    /// `p`, and `w >= 1` workstations.
+    pub fn new(t: u64, p: f64, w: u32) -> Self {
+        assert!(w >= 1, "need at least one workstation");
+        let binomial = Binomial::new(t, p);
+        let offset = binomial.support_offset();
+        let wf = w as f64;
+        let mut c = Vec::with_capacity(binomial.cdf_slice().len());
+        for &s in binomial.cdf_slice() {
+            c.push(s.powf(wf));
+        }
+        let mut max_pmf = Vec::with_capacity(c.len());
+        let mut prev = 0.0;
+        for &ci in &c {
+            max_pmf.push((ci - prev).max(0.0));
+            prev = ci;
+        }
+        Self {
+            binomial,
+            workstations: w,
+            offset,
+            c,
+            max_pmf,
+        }
+    }
+
+    /// The per-task interruption-count distribution `Bin(T, P)`.
+    pub fn per_task(&self) -> &Binomial {
+        &self.binomial
+    }
+
+    /// Number of workstations `W`.
+    pub fn workstations(&self) -> u32 {
+        self.workstations
+    }
+
+    /// `S[n]`: probability a single task suffers at most `n` interruptions.
+    pub fn s(&self, n: u64) -> f64 {
+        self.binomial.cdf(n)
+    }
+
+    /// `C[W,n]`: probability every task suffers at most `n` interruptions.
+    pub fn c(&self, n: u64) -> f64 {
+        if n < self.offset {
+            return 0.0;
+        }
+        let idx = (n - self.offset) as usize;
+        if idx >= self.c.len() {
+            1.0
+        } else {
+            self.c[idx]
+        }
+    }
+
+    /// `Max[W,n]`: probability the maximum interruption count equals `n`.
+    pub fn max_pmf(&self, n: u64) -> f64 {
+        if n < self.offset {
+            return 0.0;
+        }
+        self.max_pmf.get((n - self.offset) as usize).copied().unwrap_or(0.0)
+    }
+
+    /// First interruption count of the materialized window.
+    pub fn support_offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Last interruption count of the materialized window (inclusive).
+    pub fn support_end(&self) -> u64 {
+        self.offset + (self.max_pmf.len() as u64 - 1)
+    }
+
+    /// The materialized `Max[W,·]` pmf window; index `i` is count
+    /// `support_offset() + i`.
+    pub fn max_pmf_slice(&self) -> &[f64] {
+        &self.max_pmf
+    }
+
+    /// Expected maximum interruption count `Σ n·Max[W,n]`.
+    pub fn expected_max(&self) -> f64 {
+        self.max_pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (self.offset + i as u64) as f64 * p)
+            .sum()
+    }
+
+    /// Variance of the maximum interruption count.
+    pub fn variance_of_max(&self) -> f64 {
+        let mean = self.expected_max();
+        self.max_pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ((self.offset + i as u64) as f64 - mean).powi(2) * p)
+            .sum()
+    }
+
+    /// Expected per-task interruption count `T·P`.
+    pub fn expected_per_task(&self) -> f64 {
+        self.binomial.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_workstation_max_is_per_task() {
+        let prof = InterferenceProfile::new(50, 0.05, 1);
+        for n in 0..=50 {
+            close(prof.max_pmf(n), prof.per_task().pmf(n), 1e-12);
+        }
+        close(prof.expected_max(), prof.expected_per_task(), 1e-9);
+    }
+
+    #[test]
+    fn c_is_s_to_the_w() {
+        let prof = InterferenceProfile::new(20, 0.1, 8);
+        for n in 0..=20 {
+            close(prof.c(n), prof.s(n).powi(8), 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_pmf_sums_to_one() {
+        for w in [1u32, 2, 10, 100] {
+            let prof = InterferenceProfile::new(100, 0.02, w);
+            let total: f64 = prof.max_pmf_slice().iter().sum();
+            close(total, 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn expected_max_nondecreasing_in_w() {
+        let mut prev = 0.0;
+        for w in [1u32, 2, 4, 8, 16, 32, 64] {
+            let prof = InterferenceProfile::new(100, 0.02, w);
+            let em = prof.expected_max();
+            assert!(em >= prev - 1e-12, "E[max] decreased at W={w}");
+            prev = em;
+        }
+    }
+
+    #[test]
+    fn expected_max_dominates_per_task_mean() {
+        let prof = InterferenceProfile::new(100, 0.02, 30);
+        assert!(prof.expected_max() >= prof.expected_per_task());
+    }
+
+    #[test]
+    fn zero_demand_task_never_interrupted() {
+        let prof = InterferenceProfile::new(0, 0.5, 10);
+        assert_eq!(prof.max_pmf(0), 1.0);
+        assert_eq!(prof.expected_max(), 0.0);
+    }
+
+    #[test]
+    fn beyond_support_is_certain() {
+        let prof = InterferenceProfile::new(5, 0.3, 3);
+        assert_eq!(prof.c(5), 1.0);
+        assert_eq!(prof.c(100), 1.0);
+        assert_eq!(prof.max_pmf(6), 0.0);
+    }
+
+    #[test]
+    fn variance_of_max_nonnegative() {
+        let prof = InterferenceProfile::new(60, 0.05, 12);
+        assert!(prof.variance_of_max() >= 0.0);
+    }
+
+    #[test]
+    fn two_station_max_hand_check() {
+        // T=1, p=0.5, W=2: per-task is Bernoulli(0.5).
+        // Max=0 with prob 0.25, Max=1 with prob 0.75.
+        let prof = InterferenceProfile::new(1, 0.5, 2);
+        close(prof.max_pmf(0), 0.25, 1e-12);
+        close(prof.max_pmf(1), 0.75, 1e-12);
+        close(prof.expected_max(), 0.75, 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! # nds-model — the paper's analytical model, exactly
+//!
+//! This crate implements the discrete-time analytical model of
+//! Leutenegger & Sun, *Distributed Computing Feasibility in a
+//! Non-Dedicated Homogeneous Distributed System* (SC '93, ICASE 93-65),
+//! plus the generalizations the paper lists as future work.
+//!
+//! ## The model (paper §2)
+//!
+//! A parallel job of total demand `J` is split into `W` perfectly
+//! balanced tasks of demand `T = J / W`, one per workstation. Time is
+//! discrete. At each time unit a workstation's owner requests the CPU
+//! with probability `P` (geometric think time, mean `1/P`); the owner
+//! process runs for a deterministic `O` units with **preemptive priority**
+//! over the parallel task, which then resumes and is guaranteed at least
+//! one unit of progress before the next owner request.
+//!
+//! Consequently the number of owner interruptions a task suffers is
+//! `n ~ Binomial(T, P)` and
+//!
+//! ```text
+//! task time          = T + n·O                                   (eq. 1)
+//! E_t                = T + O · Σ i·Bin(T,i,P)  = T(1 + O·P)       (eq. 3)
+//! S[n]               = Σ_{i<=n} Bin(T,i,P)                       (eq. 4)
+//! C[W,n]             = S[n]^W                                    (eq. 5)
+//! Max[W,n]           = C[W,n] - C[W,n-1]                         (eq. 6)
+//! E_j                = T + O · Σ i·Max[W,i]                      (eq. 7)
+//! U                  = O / (O + 1/P)                             (eq. 8)
+//! ```
+//!
+//! and the paper's metrics are
+//!
+//! ```text
+//! task ratio          = T / O
+//! speedup             = J / E_j
+//! weighted speedup    = J / ((1-U) · E_j)
+//! efficiency          = J / (W · E_j)
+//! weighted efficiency = J / (W · (1-U) · E_j)
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`params`] — validated model parameters ([`params::OwnerParams`],
+//!   [`params::ModelInputs`], [`params::Workload`]).
+//! * [`binomial`] — numerically stable Binomial(T, P) pmf/cdf.
+//! * [`interference`] — `S`, `C`, and `Max` (eqs. 4–6).
+//! * [`expectation`] — `E_t` and `E_j` (eqs. 3 and 7), with smooth
+//!   interpolation for non-integer task demands `T = J/W`.
+//! * [`metrics`] — the five metrics plus task ratio (§3.1).
+//! * [`distribution`] — the full job-time distribution (variance,
+//!   quantiles, tail probabilities), beyond the paper's means.
+//! * [`solver`] — inverse questions: required task ratio for a target
+//!   weighted efficiency (the paper's 8/13/20 thresholds), required
+//!   demand, maximum useful system size.
+//! * [`hetero`] — heterogeneous owner parameters per workstation
+//!   (`C[n] = Π_i S_i[n]`), a model generalization.
+//! * [`scaled`] — memory-bounded scaleup analysis (§3.2, Figure 9).
+
+pub mod approx;
+pub mod binomial;
+pub mod distribution;
+pub mod error;
+pub mod expectation;
+pub mod hetero;
+pub mod interference;
+pub mod metrics;
+pub mod params;
+pub mod scaled;
+pub mod sensitivity;
+pub mod solver;
+pub mod variance;
+
+pub use binomial::Binomial;
+pub use distribution::JobTimeDistribution;
+pub use error::ModelError;
+pub use expectation::{expected_job_time, expected_task_time};
+pub use interference::InterferenceProfile;
+pub use metrics::{FeasibilityMetrics, Metrics};
+pub use params::{ModelInputs, OwnerParams, Workload};

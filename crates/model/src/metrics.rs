@@ -1,0 +1,263 @@
+//! The paper's performance metrics (§3.1).
+//!
+//! Beyond classic speedup/efficiency, the paper introduces *weighted*
+//! variants that discount by the cycles already consumed by the
+//! (higher-priority) owner processes, so they measure how well the
+//! parallel job exploits the **idle** cycles specifically:
+//!
+//! ```text
+//! speedup              = J / E_j
+//! weighted speedup     = J / ((1-U) · E_j)
+//! efficiency           = J / (W · E_j)
+//! weighted efficiency  = J / (W · (1-U) · E_j)
+//! ```
+
+use crate::error::ModelError;
+use crate::expectation::expected_job_time_for;
+use crate::params::ModelInputs;
+
+/// All of the paper's §3.1 metrics for one parameter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Task ratio `T / O`.
+    pub task_ratio: f64,
+    /// Expected job completion time `E_j` (eq. 7).
+    pub expected_job_time: f64,
+    /// Expected task completion time `E_t` (eq. 3).
+    pub expected_task_time: f64,
+    /// `J / E_j`.
+    pub speedup: f64,
+    /// `J / ((1-U)·E_j)`.
+    pub weighted_speedup: f64,
+    /// `J / (W·E_j)`, in `[0, 1]` for this model.
+    pub efficiency: f64,
+    /// `J / (W·(1-U)·E_j)`, in `[0, 1]` for this model.
+    pub weighted_efficiency: f64,
+    /// Owner utilization `U` (eq. 8).
+    pub owner_utilization: f64,
+}
+
+/// Evaluate every metric for the given inputs.
+pub fn evaluate(inputs: &ModelInputs) -> Metrics {
+    let j = inputs.workload().job_demand();
+    let w = inputs.workload().workstations() as f64;
+    let u = inputs.owner().utilization();
+    let e_j = expected_job_time_for(inputs);
+    let e_t = crate::expectation::expected_task_time(inputs.task_demand(), inputs.owner());
+    Metrics {
+        task_ratio: inputs.task_ratio(),
+        expected_job_time: e_j,
+        expected_task_time: e_t,
+        speedup: j / e_j,
+        weighted_speedup: j / ((1.0 - u) * e_j),
+        efficiency: j / (w * e_j),
+        weighted_efficiency: j / (w * (1.0 - u) * e_j),
+        owner_utilization: u,
+    }
+}
+
+/// A metrics evaluator with a feasibility verdict attached — the
+/// question the paper poses in its title.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibilityMetrics {
+    /// The raw metrics.
+    pub metrics: Metrics,
+    /// Target weighted efficiency used for the verdict (paper uses 0.80).
+    pub target_weighted_efficiency: f64,
+}
+
+impl FeasibilityMetrics {
+    /// The paper's feasibility bar: 80% of the possible (utilization
+    /// adjusted) speedup.
+    pub const PAPER_TARGET: f64 = 0.80;
+
+    /// Evaluate with the paper's 80% target.
+    pub fn evaluate(inputs: &ModelInputs) -> Self {
+        Self::evaluate_with_target(inputs, Self::PAPER_TARGET)
+    }
+
+    /// Evaluate with a custom target in `(0, 1]`.
+    pub fn evaluate_with_target(inputs: &ModelInputs, target: f64) -> Self {
+        Self {
+            metrics: evaluate(inputs),
+            target_weighted_efficiency: target,
+        }
+    }
+
+    /// Whether this configuration clears the target.
+    pub fn is_feasible(&self) -> bool {
+        self.metrics.weighted_efficiency >= self.target_weighted_efficiency
+    }
+}
+
+/// Sweep helper: metrics across a range of workstation counts with the
+/// job demand held fixed (the Figure 1–6 experiment shape).
+pub fn fixed_size_sweep(
+    job_demand: f64,
+    workstations: &[u32],
+    owner_demand: f64,
+    utilization: f64,
+) -> Result<Vec<(u32, Metrics)>, ModelError> {
+    workstations
+        .iter()
+        .map(|&w| {
+            let inputs =
+                ModelInputs::from_utilization(job_demand, w, owner_demand, utilization)?;
+            Ok((w, evaluate(&inputs)))
+        })
+        .collect()
+}
+
+/// Sweep helper: metrics across task ratios with `W`, `O`, `U` fixed
+/// (the Figure 7–8 experiment shape). The task demand is `ratio · O`.
+pub fn task_ratio_sweep(
+    task_ratios: &[f64],
+    workstations: u32,
+    owner_demand: f64,
+    utilization: f64,
+) -> Result<Vec<(f64, Metrics)>, ModelError> {
+    task_ratios
+        .iter()
+        .map(|&ratio| {
+            if !ratio.is_finite() || ratio <= 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    name: "task ratio",
+                    value: ratio,
+                    constraint: "must be finite and > 0",
+                });
+            }
+            let task_demand = ratio * owner_demand;
+            let job_demand = task_demand * workstations as f64;
+            let inputs =
+                ModelInputs::from_utilization(job_demand, workstations, owner_demand, utilization)?;
+            Ok((ratio, evaluate(&inputs)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(j: f64, w: u32, o: f64, u: f64) -> ModelInputs {
+        ModelInputs::from_utilization(j, w, o, u).unwrap()
+    }
+
+    #[test]
+    fn metric_identities() {
+        let m = evaluate(&inputs(1000.0, 20, 10.0, 0.1));
+        let w = 20.0;
+        let u = m.owner_utilization;
+        assert!((m.efficiency - m.speedup / w).abs() < 1e-12);
+        assert!((m.weighted_speedup - m.speedup / (1.0 - u)).abs() < 1e-9);
+        assert!((m.weighted_efficiency - m.weighted_speedup / w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_dominates_unweighted() {
+        let m = evaluate(&inputs(1000.0, 20, 10.0, 0.2));
+        assert!(m.weighted_speedup > m.speedup);
+        assert!(m.weighted_efficiency > m.efficiency);
+    }
+
+    #[test]
+    fn efficiency_bounded_by_one() {
+        for u in [0.01, 0.05, 0.1, 0.2] {
+            for w in [1u32, 10, 60, 100] {
+                let m = evaluate(&inputs(1000.0, w, 10.0, u));
+                assert!(m.efficiency <= 1.0 + 1e-12, "eff {} at W={w} U={u}", m.efficiency);
+                assert!(
+                    m.weighted_efficiency <= 1.0 + 1e-9,
+                    "weff {} at W={w} U={u}",
+                    m.weighted_efficiency
+                );
+                assert!(m.efficiency > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_station_weighted_efficiency_is_one() {
+        // W=1: E_j = E_t = T/(1-U), so weighted efficiency = 1 exactly.
+        for u in [0.01, 0.1, 0.2] {
+            let m = evaluate(&inputs(1000.0, 1, 10.0, u));
+            assert!(
+                (m.weighted_efficiency - 1.0).abs() < 1e-9,
+                "weff {} at U={u}",
+                m.weighted_efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_declines_relative_to_perfect_as_w_grows() {
+        let sweep = fixed_size_sweep(1000.0, &[1, 10, 50, 100], 10.0, 0.1).unwrap();
+        let mut prev_frac = f64::INFINITY;
+        for (w, m) in sweep {
+            let frac = m.speedup / w as f64;
+            assert!(frac <= prev_frac + 1e-12, "efficiency rose at W={w}");
+            prev_frac = frac;
+        }
+    }
+
+    #[test]
+    fn paper_weighted_efficiency_anchors() {
+        // §3.1: weighted efficiency at 100 nodes ≈ 61.5% (U=1%) and
+        // ≈ 41% (U=20%) for J=1000, O=10.
+        let m1 = evaluate(&inputs(1000.0, 100, 10.0, 0.01));
+        assert!(
+            (m1.weighted_efficiency - 0.615).abs() < 0.03,
+            "weff {}",
+            m1.weighted_efficiency
+        );
+        let m20 = evaluate(&inputs(1000.0, 100, 10.0, 0.20));
+        assert!(
+            (m20.weighted_efficiency - 0.41).abs() < 0.03,
+            "weff {}",
+            m20.weighted_efficiency
+        );
+    }
+
+    #[test]
+    fn task_ratio_sweep_monotone_in_ratio() {
+        let sweep = task_ratio_sweep(
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 60.0],
+            60,
+            10.0,
+            0.1,
+        )
+        .unwrap();
+        let mut prev = 0.0;
+        for (ratio, m) in sweep {
+            assert!(
+                m.weighted_efficiency >= prev - 1e-9,
+                "weighted efficiency fell at ratio {ratio}"
+            );
+            prev = m.weighted_efficiency;
+        }
+    }
+
+    #[test]
+    fn task_ratio_sweep_rejects_bad_ratio() {
+        assert!(task_ratio_sweep(&[0.0], 60, 10.0, 0.1).is_err());
+        assert!(task_ratio_sweep(&[-1.0], 60, 10.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn feasibility_verdict() {
+        // Large task ratio at modest utilization: feasible.
+        let good = FeasibilityMetrics::evaluate(&inputs(60_000.0, 60, 10.0, 0.05));
+        assert!(good.is_feasible(), "weff {}", good.metrics.weighted_efficiency);
+        // Tiny task ratio at high utilization: infeasible.
+        let bad = FeasibilityMetrics::evaluate(&inputs(600.0, 60, 10.0, 0.20));
+        assert!(!bad.is_feasible(), "weff {}", bad.metrics.weighted_efficiency);
+    }
+
+    #[test]
+    fn fixed_size_sweep_shape() {
+        let sweep = fixed_size_sweep(1000.0, &[1, 2, 3], 10.0, 0.05).unwrap();
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].0, 1);
+        assert_eq!(sweep[2].0, 3);
+    }
+}

@@ -1,0 +1,250 @@
+//! Validated model parameters.
+//!
+//! Mirrors Table 1 of the paper:
+//!
+//! | Symbol | Meaning                                   | Here |
+//! |--------|-------------------------------------------|------|
+//! | `J`    | total demand of the parallel job          | [`Workload::job_demand`] |
+//! | `W`    | number of workstations                    | [`Workload::workstations`] |
+//! | `T`    | demand of one parallel task = `J/W`       | [`ModelInputs::task_demand`] |
+//! | `O`    | time an owner process uses the CPU        | [`OwnerParams::demand`] |
+//! | `U`    | owner utilization of a workstation        | [`OwnerParams::utilization`] |
+//! | `P`    | per-unit-time owner request probability   | [`OwnerParams::request_prob`] |
+
+use crate::error::ModelError;
+
+/// Owner-process behaviour at one workstation: deterministic demand `O`
+/// and geometric think time with per-step request probability `P`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OwnerParams {
+    demand: f64,
+    request_prob: f64,
+}
+
+impl OwnerParams {
+    /// Construct from demand `O > 0` and request probability `P in (0, 1)`.
+    pub fn new(demand: f64, request_prob: f64) -> Result<Self, ModelError> {
+        if !demand.is_finite() || demand <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "O (owner demand)",
+                value: demand,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !request_prob.is_finite() || request_prob <= 0.0 || request_prob >= 1.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "P (request probability)",
+                value: request_prob,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        Ok(Self {
+            demand,
+            request_prob,
+        })
+    }
+
+    /// Construct from demand `O` and target owner utilization
+    /// `U in (0, 1)`, inverting the paper's eq. 8
+    /// `U = O / (O + 1/P)` to `P = U / (O · (1 - U))`.
+    ///
+    /// Fails if the implied `P` is not in `(0, 1)` (i.e. the requested
+    /// utilization is unreachable with geometric think times for this `O`).
+    pub fn from_utilization(demand: f64, utilization: f64) -> Result<Self, ModelError> {
+        if !utilization.is_finite() || utilization <= 0.0 || utilization >= 1.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "U (owner utilization)",
+                value: utilization,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        if !demand.is_finite() || demand <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "O (owner demand)",
+                value: demand,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let p = utilization / (demand * (1.0 - utilization));
+        Self::new(demand, p)
+    }
+
+    /// Owner service demand `O`.
+    pub fn demand(&self) -> f64 {
+        self.demand
+    }
+
+    /// Per-time-unit request probability `P`.
+    pub fn request_prob(&self) -> f64 {
+        self.request_prob
+    }
+
+    /// Owner utilization `U = O / (O + 1/P)` (paper eq. 8).
+    pub fn utilization(&self) -> f64 {
+        self.demand / (self.demand + 1.0 / self.request_prob)
+    }
+
+    /// Mean owner think time `1/P`.
+    pub fn mean_think_time(&self) -> f64 {
+        1.0 / self.request_prob
+    }
+}
+
+/// A parallel job: total demand `J` spread over `W` workstations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    job_demand: f64,
+    workstations: u32,
+}
+
+impl Workload {
+    /// A job of total demand `J > 0` on `W >= 1` workstations.
+    pub fn new(job_demand: f64, workstations: u32) -> Result<Self, ModelError> {
+        if !job_demand.is_finite() || job_demand <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "J (job demand)",
+                value: job_demand,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if workstations == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "W (workstations)",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        Ok(Self {
+            job_demand,
+            workstations,
+        })
+    }
+
+    /// Total job demand `J`.
+    pub fn job_demand(&self) -> f64 {
+        self.job_demand
+    }
+
+    /// Number of workstations `W`.
+    pub fn workstations(&self) -> u32 {
+        self.workstations
+    }
+
+    /// Per-task demand `T = J / W` (perfect balance, paper §2).
+    pub fn task_demand(&self) -> f64 {
+        self.job_demand / self.workstations as f64
+    }
+}
+
+/// Complete model inputs: a workload plus homogeneous owner behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInputs {
+    workload: Workload,
+    owner: OwnerParams,
+}
+
+impl ModelInputs {
+    /// Combine a workload and owner parameters.
+    pub fn new(workload: Workload, owner: OwnerParams) -> Self {
+        Self { workload, owner }
+    }
+
+    /// Convenience constructor from the paper's usual sweep inputs:
+    /// `(J, W, O, U)`.
+    pub fn from_utilization(
+        job_demand: f64,
+        workstations: u32,
+        owner_demand: f64,
+        utilization: f64,
+    ) -> Result<Self, ModelError> {
+        Ok(Self::new(
+            Workload::new(job_demand, workstations)?,
+            OwnerParams::from_utilization(owner_demand, utilization)?,
+        ))
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The owner parameters.
+    pub fn owner(&self) -> OwnerParams {
+        self.owner
+    }
+
+    /// Per-task demand `T = J / W`.
+    pub fn task_demand(&self) -> f64 {
+        self.workload.task_demand()
+    }
+
+    /// The paper's **task ratio**: `T / O`, parallel task demand relative
+    /// to owner demand. The paper's central thesis is that this ratio
+    /// determines feasibility.
+    pub fn task_ratio(&self) -> f64 {
+        self.task_demand() / self.owner.demand()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_from_utilization_round_trips() {
+        for u in [0.01, 0.05, 0.10, 0.20, 0.5, 0.9] {
+            let o = OwnerParams::from_utilization(10.0, u).unwrap();
+            assert!((o.utilization() - u).abs() < 1e-12, "u={u}");
+        }
+    }
+
+    #[test]
+    fn paper_parameters() {
+        // O = 10, U = 10% => P = 0.1 / (10 * 0.9) = 1/90.
+        let o = OwnerParams::from_utilization(10.0, 0.10).unwrap();
+        assert!((o.request_prob() - 1.0 / 90.0).abs() < 1e-15);
+        assert!((o.mean_think_time() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn owner_rejects_bad_params() {
+        assert!(OwnerParams::new(0.0, 0.5).is_err());
+        assert!(OwnerParams::new(10.0, 0.0).is_err());
+        assert!(OwnerParams::new(10.0, 1.0).is_err());
+        assert!(OwnerParams::from_utilization(10.0, 0.0).is_err());
+        assert!(OwnerParams::from_utilization(10.0, 1.0).is_err());
+        assert!(OwnerParams::from_utilization(-1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn utilization_unreachable_for_small_o() {
+        // U = 0.9 with O = 1 needs P = 9 > 1: impossible in the
+        // discrete-time model.
+        assert!(OwnerParams::from_utilization(1.0, 0.9).is_err());
+    }
+
+    #[test]
+    fn workload_task_demand() {
+        let w = Workload::new(1000.0, 100).unwrap();
+        assert_eq!(w.task_demand(), 10.0);
+        assert_eq!(w.job_demand(), 1000.0);
+        assert_eq!(w.workstations(), 100);
+    }
+
+    #[test]
+    fn workload_rejects_bad_params() {
+        assert!(Workload::new(0.0, 4).is_err());
+        assert!(Workload::new(-5.0, 4).is_err());
+        assert!(Workload::new(100.0, 0).is_err());
+        assert!(Workload::new(f64::NAN, 4).is_err());
+    }
+
+    #[test]
+    fn model_inputs_task_ratio() {
+        let m = ModelInputs::from_utilization(1000.0, 10, 10.0, 0.05).unwrap();
+        // T = 100, O = 10 => task ratio 10.
+        assert!((m.task_ratio() - 10.0).abs() < 1e-12);
+        assert_eq!(m.task_demand(), 100.0);
+        assert!((m.owner().utilization() - 0.05).abs() < 1e-12);
+    }
+}

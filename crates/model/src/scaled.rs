@@ -1,0 +1,164 @@
+//! Memory-bounded scaleup analysis (paper §3.2, Figure 9).
+//!
+//! Under memory-bounded scaleup (Sun & Ni), the job demand grows linearly
+//! with the number of workstations: `J = T₀·W`, so the per-task demand —
+//! and therefore the task ratio — stays **fixed** as the system grows.
+//! The paper's Figure 9 plots `E_j` against `W` for `T₀ = 100` and shows
+//! response time rising by only 14/30/44/71% at `W = 100` for
+//! utilizations of 1/5/10/20%.
+//!
+//! **Reproduction note.** The paper's prose says the percentages are
+//! "relative to the response time for a problem using one workstation
+//! with the same owner utilization", but the quoted numbers (and the
+//! Figure 9 axis, which spans 100–180) match `E_j / T₀ - 1`, i.e.
+//! inflation relative to the *dedicated* single-workstation time `T₀`
+//! exactly (13.9/30.1/44.4/71.4%). We therefore report
+//! [`ScaledPoint::inflation`] against the dedicated baseline — matching
+//! the published numbers — and additionally expose
+//! [`ScaledPoint::inflation_vs_single`] against the same-utilization
+//! `W = 1` baseline the prose describes.
+
+use crate::error::ModelError;
+use crate::expectation::expected_job_time;
+use crate::params::OwnerParams;
+
+/// One point of a scaled-problem sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledPoint {
+    /// System size `W`.
+    pub workstations: u32,
+    /// Total job demand `J = T₀·W`.
+    pub job_demand: f64,
+    /// Expected job completion time `E_j`.
+    pub expected_job_time: f64,
+    /// Inflation relative to the dedicated single-workstation time:
+    /// `E_j(W)/T₀ - 1`. This is the definition that reproduces the
+    /// paper's 14/30/44/71% figures.
+    pub inflation: f64,
+    /// Inflation relative to the same-utilization `W = 1` response time:
+    /// `E_j(W)/E_j(1) - 1` (the definition the paper's prose describes).
+    pub inflation_vs_single: f64,
+    /// Scaled speedup `W·E_j(1)/E_j(W)` — how close the system comes to
+    /// doing `W`× the work in the same time.
+    pub scaled_speedup: f64,
+}
+
+/// Sweep a memory-bounded-scaleup experiment: per-node demand `t0` is
+/// fixed, the job demand grows as `t0·W`.
+pub fn scaled_sweep(
+    t0: f64,
+    workstations: &[u32],
+    owner: OwnerParams,
+) -> Result<Vec<ScaledPoint>, ModelError> {
+    if !t0.is_finite() || t0 <= 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "t0 (per-node demand)",
+            value: t0,
+            constraint: "must be finite and > 0",
+        });
+    }
+    let base = expected_job_time(t0, 1, owner);
+    Ok(workstations
+        .iter()
+        .map(|&w| {
+            let e_j = expected_job_time(t0, w, owner);
+            ScaledPoint {
+                workstations: w,
+                job_demand: t0 * w as f64,
+                expected_job_time: e_j,
+                inflation: e_j / t0 - 1.0,
+                inflation_vs_single: e_j / base - 1.0,
+                scaled_speedup: w as f64 * base / e_j,
+            }
+        })
+        .collect())
+}
+
+/// Response-time inflation at system size `w` relative to `w = 1`
+/// for a scaled problem with per-node demand `t0`.
+pub fn inflation_at(t0: f64, w: u32, owner: OwnerParams) -> Result<f64, ModelError> {
+    Ok(scaled_sweep(t0, &[w], owner)?[0].inflation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(10.0, u).unwrap()
+    }
+
+    #[test]
+    fn paper_inflation_anchors() {
+        // Paper §3.2: at W=100, T0=100, O=10: +14% (U=1%), +30% (U=5%),
+        // +44% (U=10%), +71% (U=20%).
+        let cases = [(0.01, 0.14), (0.05, 0.30), (0.10, 0.44), (0.20, 0.71)];
+        for (u, expected) in cases {
+            let infl = inflation_at(100.0, 100, owner(u)).unwrap();
+            assert!(
+                (infl - expected).abs() < 0.01,
+                "U={u}: inflation {infl} vs paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn inflation_at_w1() {
+        let pts = scaled_sweep(100.0, &[1], owner(0.1)).unwrap();
+        // Dedicated-baseline inflation at W=1 is the pure interference
+        // overhead U/(1-U); the same-utilization baseline gives zero.
+        assert!((pts[0].inflation - 0.1 / 0.9).abs() < 1e-9);
+        assert!(pts[0].inflation_vs_single.abs() < 1e-12);
+        assert!((pts[0].scaled_speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflation_monotone_in_w() {
+        let pts = scaled_sweep(100.0, &[1, 2, 5, 10, 25, 50, 100], owner(0.1)).unwrap();
+        let mut prev = -1.0;
+        for p in &pts {
+            assert!(p.inflation >= prev - 1e-12, "inflation fell at W={}", p.workstations);
+            prev = p.inflation;
+        }
+    }
+
+    #[test]
+    fn inflation_monotone_in_utilization() {
+        let i1 = inflation_at(100.0, 100, owner(0.01)).unwrap();
+        let i5 = inflation_at(100.0, 100, owner(0.05)).unwrap();
+        let i20 = inflation_at(100.0, 100, owner(0.20)).unwrap();
+        assert!(i1 < i5 && i5 < i20);
+    }
+
+    #[test]
+    fn larger_per_node_demand_lowers_inflation() {
+        // Paper: "We also considered larger job demands and found the
+        // increase in response time to be even less."
+        let small = inflation_at(100.0, 100, owner(0.1)).unwrap();
+        let large = inflation_at(1000.0, 100, owner(0.1)).unwrap();
+        assert!(large < small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn scaled_speedup_close_to_w() {
+        // Scaled speedup should stay within inflation of perfect W.
+        let pts = scaled_sweep(100.0, &[100], owner(0.05)).unwrap();
+        let p = &pts[0];
+        assert!(p.scaled_speedup > 100.0 / 1.4, "scaled speedup {}", p.scaled_speedup);
+        assert!(p.scaled_speedup <= 100.0);
+    }
+
+    #[test]
+    fn job_demand_scales_linearly() {
+        let pts = scaled_sweep(50.0, &[1, 4, 16], owner(0.05)).unwrap();
+        assert_eq!(pts[0].job_demand, 50.0);
+        assert_eq!(pts[1].job_demand, 200.0);
+        assert_eq!(pts[2].job_demand, 800.0);
+    }
+
+    #[test]
+    fn rejects_bad_t0() {
+        assert!(scaled_sweep(0.0, &[1], owner(0.1)).is_err());
+        assert!(scaled_sweep(f64::NAN, &[1], owner(0.1)).is_err());
+    }
+}

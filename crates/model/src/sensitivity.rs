@@ -1,0 +1,165 @@
+//! Sensitivity analysis: which knob matters most?
+//!
+//! The paper's figures sweep one parameter at a time. A user deciding
+//! whether to (a) buy quieter workstations (lower `U`), (b) batch work
+//! into bigger tasks (raise `T`), or (c) shrink the pool (lower `W`)
+//! wants the **elasticities** — the percentage change in weighted
+//! efficiency per percent change in each parameter. This module
+//! computes them by central finite differences on the exact model.
+
+use crate::error::ModelError;
+use crate::expectation::expected_job_time;
+use crate::params::OwnerParams;
+
+/// Elasticities of weighted efficiency at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Elasticities {
+    /// `d ln(WE) / d ln(T)` — effect of scaling the per-task demand.
+    pub wrt_task_demand: f64,
+    /// `d ln(WE) / d ln(U)` — effect of scaling owner utilization.
+    pub wrt_utilization: f64,
+    /// `d ln(WE) / d ln(O)` — effect of scaling owner burst length at
+    /// fixed utilization (fewer, longer bursts).
+    pub wrt_owner_demand: f64,
+    /// `d ln(WE) / d ln(W)` — effect of pool size (task demand fixed).
+    pub wrt_workstations: f64,
+}
+
+fn weighted_efficiency(t: f64, w: u32, o: f64, u: f64) -> Result<f64, ModelError> {
+    let owner = OwnerParams::from_utilization(o, u)?;
+    let e_j = expected_job_time(t, w, owner);
+    Ok(t / ((1.0 - u) * e_j))
+}
+
+/// Compute all elasticities at `(T, W, O, U)` with relative step `h`
+/// (central differences; `h = 0.05` is a good default).
+pub fn elasticities(
+    t: f64,
+    w: u32,
+    o: f64,
+    u: f64,
+    h: f64,
+) -> Result<Elasticities, ModelError> {
+    if !(0.0..0.5).contains(&h) || h <= 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "h (relative step)",
+            value: h,
+            constraint: "must be in (0, 0.5)",
+        });
+    }
+    let log_deriv = |f_plus: f64, f_minus: f64| (f_plus.ln() - f_minus.ln()) / (2.0 * h.ln_1p());
+
+    let t_el = {
+        let plus = weighted_efficiency(t * (1.0 + h), w, o, u)?;
+        let minus = weighted_efficiency(t / (1.0 + h), w, o, u)?;
+        log_deriv(plus, minus)
+    };
+    let u_el = {
+        let plus = weighted_efficiency(t, w, o, u * (1.0 + h))?;
+        let minus = weighted_efficiency(t, w, o, u / (1.0 + h))?;
+        log_deriv(plus, minus)
+    };
+    let o_el = {
+        let plus = weighted_efficiency(t, w, o * (1.0 + h), u)?;
+        let minus = weighted_efficiency(t, w, o / (1.0 + h), u)?;
+        log_deriv(plus, minus)
+    };
+    let w_el = {
+        // W is integral; use a one-step log difference around W.
+        let w_plus = (f64::from(w) * (1.0 + h)).round().max(f64::from(w) + 1.0) as u32;
+        let w_minus = (f64::from(w) / (1.0 + h)).round().min(f64::from(w) - 1.0).max(1.0) as u32;
+        if w_minus == w_plus {
+            0.0
+        } else {
+            let plus = weighted_efficiency(t, w_plus, o, u)?;
+            let minus = weighted_efficiency(t, w_minus, o, u)?;
+            (plus.ln() - minus.ln()) / (f64::from(w_plus).ln() - f64::from(w_minus).ln())
+        }
+    };
+    Ok(Elasticities {
+        wrt_task_demand: t_el,
+        wrt_utilization: u_el,
+        wrt_owner_demand: o_el,
+        wrt_workstations: w_el,
+    })
+}
+
+impl Elasticities {
+    /// The knob with the largest absolute leverage, as a label.
+    pub fn dominant(&self) -> &'static str {
+        let pairs = [
+            ("task demand", self.wrt_task_demand.abs()),
+            ("utilization", self.wrt_utilization.abs()),
+            ("owner demand", self.wrt_owner_demand.abs()),
+            ("pool size", self.wrt_workstations.abs()),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_are_sensible() {
+        // At a mid-range operating point: more T helps, more U hurts,
+        // more W hurts (fixed T), longer bursts at fixed U hurt.
+        let e = elasticities(100.0, 60, 10.0, 0.10, 0.05).unwrap();
+        assert!(e.wrt_task_demand > 0.0, "{e:?}");
+        assert!(e.wrt_utilization < 0.0, "{e:?}");
+        assert!(e.wrt_owner_demand < 0.0, "{e:?}");
+        assert!(e.wrt_workstations < 0.0, "{e:?}");
+    }
+
+    #[test]
+    fn saturated_regime_is_insensitive() {
+        // Huge task ratio: WE ~ 1 and nothing moves it much.
+        let e = elasticities(100_000.0, 10, 10.0, 0.05, 0.05).unwrap();
+        assert!(e.wrt_task_demand.abs() < 0.02, "{e:?}");
+        assert!(e.wrt_utilization.abs() < 0.05, "{e:?}");
+    }
+
+    #[test]
+    fn starved_regime_task_ratio_knobs_dominate() {
+        // Tiny task ratio: the T/O ratio is the lever — either growing
+        // tasks or shrinking owner bursts, which are nearly symmetric.
+        let e = elasticities(10.0, 60, 10.0, 0.10, 0.05).unwrap();
+        assert!(e.wrt_task_demand > 0.1, "{e:?}");
+        assert!(
+            matches!(e.dominant(), "task demand" | "owner demand"),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn utilization_elasticity_strengthens_with_u() {
+        let low = elasticities(100.0, 60, 10.0, 0.02, 0.05).unwrap();
+        let high = elasticities(100.0, 60, 10.0, 0.20, 0.05).unwrap();
+        assert!(
+            high.wrt_utilization.abs() > low.wrt_utilization.abs(),
+            "low {low:?} high {high:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_step() {
+        assert!(elasticities(100.0, 10, 10.0, 0.1, 0.0).is_err());
+        assert!(elasticities(100.0, 10, 10.0, 0.1, 0.9).is_err());
+    }
+
+    #[test]
+    fn dominant_label_stable() {
+        let e = Elasticities {
+            wrt_task_demand: 0.5,
+            wrt_utilization: -0.2,
+            wrt_owner_demand: -0.1,
+            wrt_workstations: -0.3,
+        };
+        assert_eq!(e.dominant(), "task demand");
+    }
+}

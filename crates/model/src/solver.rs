@@ -1,0 +1,262 @@
+//! Inverse ("feasibility design") questions.
+//!
+//! The paper's headline conclusion is stated in inverse form: *"the task
+//! ratio should be at least 8 for a parallel job to achieve 80 percent
+//! of the possible speedup ... for a utilization of 5 percent. At a
+//! utilization of 10 percent the task ratio must be 13 or higher, and at
+//! a utilization of 20 percent the task ratio must be 20 or greater."*
+//!
+//! This module answers those questions directly:
+//!
+//! * [`required_task_ratio`] — minimum `T/O` for a target weighted
+//!   efficiency,
+//! * [`required_job_demand`] — the same expressed as total demand `J`,
+//! * [`max_workstations`] — largest fixed-size system that still meets
+//!   the target.
+
+use crate::error::ModelError;
+use crate::expectation::expected_job_time;
+use crate::params::OwnerParams;
+
+/// Weighted efficiency for task demand `t` (real), `w` workstations.
+fn weighted_efficiency(t: f64, w: u32, owner: OwnerParams) -> f64 {
+    let e_j = expected_job_time(t, w, owner);
+    if e_j == 0.0 {
+        return 1.0;
+    }
+    t / ((1.0 - owner.utilization()) * e_j)
+}
+
+/// Minimum task demand `T` (real-valued) such that the weighted
+/// efficiency reaches `target` on `w` workstations.
+///
+/// Weighted efficiency is nondecreasing in `T` for this model (longer
+/// tasks amortize interruptions better), so a bracketing bisection is
+/// exact up to the requested tolerance.
+pub fn required_task_demand(
+    w: u32,
+    owner: OwnerParams,
+    target: f64,
+) -> Result<f64, ModelError> {
+    if !(0.0..1.0).contains(&target) || target <= 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "target weighted efficiency",
+            value: target,
+            constraint: "must be in (0, 1)",
+        });
+    }
+    // Bracket: double T until the target is met.
+    let mut hi = owner.demand().max(1.0);
+    let mut tries = 0;
+    while weighted_efficiency(hi, w, owner) < target {
+        hi *= 2.0;
+        tries += 1;
+        if tries > 60 {
+            return Err(ModelError::NoSolution {
+                what: "required task demand (target unreachable)",
+            });
+        }
+    }
+    let mut lo = 0.0;
+    // Bisection to a relative tolerance of 1e-6.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if weighted_efficiency(mid, w, owner) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo <= 1e-6 * hi.max(1.0) {
+            break;
+        }
+    }
+    Ok(hi)
+}
+
+/// Minimum task ratio `T/O` for a target weighted efficiency on `w`
+/// workstations — the paper's 8/13/20 thresholds.
+pub fn required_task_ratio(
+    w: u32,
+    owner: OwnerParams,
+    target: f64,
+) -> Result<f64, ModelError> {
+    Ok(required_task_demand(w, owner, target)? / owner.demand())
+}
+
+/// Minimum total job demand `J = T·W` for a target weighted efficiency.
+pub fn required_job_demand(
+    w: u32,
+    owner: OwnerParams,
+    target: f64,
+) -> Result<f64, ModelError> {
+    Ok(required_task_demand(w, owner, target)? * w as f64)
+}
+
+/// Largest workstation count `W` at which a **fixed-size** job of demand
+/// `j` still meets the target weighted efficiency, or `None` if it fails
+/// even at `W = 1`.
+///
+/// For fixed `J`, growing `W` shrinks `T = J/W` and (in this model)
+/// monotonically lowers weighted efficiency, so binary search applies.
+pub fn max_workstations(
+    j: f64,
+    owner: OwnerParams,
+    target: f64,
+    w_cap: u32,
+) -> Result<Option<u32>, ModelError> {
+    if !(0.0..1.0).contains(&target) || target <= 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "target weighted efficiency",
+            value: target,
+            constraint: "must be in (0, 1)",
+        });
+    }
+    if !j.is_finite() || j <= 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "J (job demand)",
+            value: j,
+            constraint: "must be finite and > 0",
+        });
+    }
+    let meets = |w: u32| weighted_efficiency(j / w as f64, w, owner) >= target;
+    if !meets(1) {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (1u32, w_cap.max(1));
+    if meets(hi) {
+        return Ok(Some(hi));
+    }
+    // Invariant: meets(lo), !meets(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(10.0, u).unwrap()
+    }
+
+    // The paper's §5 thresholds ("task ratio at least 8 at U=5%, 13 at
+    // U=10%, 20 at U=20%") do not name a system size. The exact model
+    // yields 7.6/11.6/17.3 at the Figure-7 size W=60 and 9.1/13.7/20.3
+    // at W=100; the published integers sit between, closest to W=100.
+    // We assert the W=60 values tightly and check W=100 brackets the
+    // paper's integers.
+
+    #[test]
+    fn threshold_5pct_w60_and_w100() {
+        let r60 = required_task_ratio(60, owner(0.05), 0.80).unwrap();
+        assert!((7.0..=8.2).contains(&r60), "W=60 ratio {r60}");
+        let r100 = required_task_ratio(100, owner(0.05), 0.80).unwrap();
+        assert!((8.0..=10.0).contains(&r100), "W=100 ratio {r100}");
+    }
+
+    #[test]
+    fn threshold_10pct_w60_and_w100() {
+        let r60 = required_task_ratio(60, owner(0.10), 0.80).unwrap();
+        assert!((10.8..=12.5).contains(&r60), "W=60 ratio {r60}");
+        let r100 = required_task_ratio(100, owner(0.10), 0.80).unwrap();
+        assert!((12.5..=14.5).contains(&r100), "W=100 ratio {r100}");
+    }
+
+    #[test]
+    fn threshold_20pct_w60_and_w100() {
+        let r60 = required_task_ratio(60, owner(0.20), 0.80).unwrap();
+        assert!((16.0..=18.5).contains(&r60), "W=60 ratio {r60}");
+        let r100 = required_task_ratio(100, owner(0.20), 0.80).unwrap();
+        assert!((19.0..=21.5).contains(&r100), "W=100 ratio {r100}");
+    }
+
+    #[test]
+    fn threshold_increases_with_utilization() {
+        let r5 = required_task_ratio(60, owner(0.05), 0.80).unwrap();
+        let r10 = required_task_ratio(60, owner(0.10), 0.80).unwrap();
+        let r20 = required_task_ratio(60, owner(0.20), 0.80).unwrap();
+        assert!(r5 < r10 && r10 < r20);
+    }
+
+    #[test]
+    fn threshold_increases_with_system_size() {
+        // Fig. 8: sensitivity to task ratio increases with system size.
+        let r2 = required_task_ratio(2, owner(0.10), 0.80).unwrap();
+        let r20 = required_task_ratio(20, owner(0.10), 0.80).unwrap();
+        let r100 = required_task_ratio(100, owner(0.10), 0.80).unwrap();
+        assert!(r2 < r20 && r20 < r100, "{r2} {r20} {r100}");
+    }
+
+    #[test]
+    fn solution_actually_meets_target() {
+        let ow = owner(0.10);
+        let t = required_task_demand(60, ow, 0.80).unwrap();
+        assert!(weighted_efficiency(t, 60, ow) >= 0.80 - 1e-6);
+        // And slightly less demand must fail.
+        assert!(weighted_efficiency(t * 0.98, 60, ow) < 0.80);
+    }
+
+    #[test]
+    fn job_demand_is_task_demand_times_w() {
+        let ow = owner(0.05);
+        let t = required_task_demand(30, ow, 0.8).unwrap();
+        let j = required_job_demand(30, ow, 0.8).unwrap();
+        assert!((j - 30.0 * t).abs() < 1e-6 * j);
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        assert!(required_task_ratio(60, owner(0.05), 0.0).is_err());
+        assert!(required_task_ratio(60, owner(0.05), 1.0).is_err());
+        assert!(max_workstations(1000.0, owner(0.05), 1.5, 100).is_err());
+    }
+
+    #[test]
+    fn max_workstations_monotone_in_demand() {
+        let ow = owner(0.10);
+        let small = max_workstations(1_000.0, ow, 0.80, 500).unwrap().unwrap();
+        let large = max_workstations(10_000.0, ow, 0.80, 500).unwrap().unwrap();
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn max_workstations_boundary_is_tight() {
+        let ow = owner(0.10);
+        if let Some(w) = max_workstations(5_000.0, ow, 0.80, 500).unwrap() {
+            assert!(weighted_efficiency(5_000.0 / w as f64, w, ow) >= 0.80);
+            if w < 500 {
+                assert!(
+                    weighted_efficiency(5_000.0 / (w + 1) as f64, w + 1, ow) < 0.80,
+                    "W+1 unexpectedly feasible"
+                );
+            }
+        } else {
+            panic!("5000-unit job should be feasible at W=1");
+        }
+    }
+
+    #[test]
+    fn max_workstations_none_when_infeasible_at_one() {
+        // W = 1 always has weighted efficiency 1.0 in this model, so use
+        // an extreme target to force None via the target check instead.
+        let ow = owner(0.20);
+        // Tiny job at W=1 still achieves weff ≈ 1, so feasible: Some(..).
+        let r = max_workstations(1.0, ow, 0.99, 10).unwrap();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn cap_respected() {
+        let ow = owner(0.01);
+        // Enormous job: everything up to the cap is feasible.
+        let r = max_workstations(1e9, ow, 0.80, 64).unwrap();
+        assert_eq!(r, Some(64));
+    }
+}

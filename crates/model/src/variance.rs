@@ -1,0 +1,168 @@
+//! Analytic treatment of **variable owner demands** — the paper's main
+//! optimism caveat, made quantitative.
+//!
+//! The paper fixes the owner demand at a deterministic `O` and warns
+//! (§2.1, §5) that real demands have far more variance, making its
+//! results optimistic. Replace `O` with a general nonnegative demand
+//! `S` (mean `O`, squared coefficient of variation `cv²`). A task of
+//! demand `T` suffers `n ~ Binomial(T, P)` interruptions and
+//!
+//! ```text
+//! task time  X = T + Σ_{i=1..n} S_i
+//! E[X]         = T + T·P·O                    (unchanged — variance-free)
+//! Var[X]       = T·P·Var(S) + O²·T·P·(1-P)
+//!              = T·P·O²·(cv² + 1 - P)
+//! ```
+//!
+//! so the *mean task time* does not feel variance at all, but the
+//! *job* time — the max of `W` task times — does. This module
+//! approximates `E[max]` with a normal/Blom order-statistic model on
+//! the compound distribution, exposing exactly how much the paper's
+//! deterministic assumption undersells interference.
+
+use crate::approx::normal_max_constant;
+use crate::params::OwnerParams;
+
+/// Owner behaviour with a general service demand: mean `O` (from
+/// [`OwnerParams`]) plus a squared coefficient of variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneralOwner {
+    /// Mean demand and request probability (the base model parameters).
+    pub base: OwnerParams,
+    /// Squared coefficient of variation of the demand (0 = the paper's
+    /// deterministic case, 1 = exponential, >1 = hyperexponential).
+    pub demand_cv2: f64,
+}
+
+impl GeneralOwner {
+    /// Construct from base parameters and a demand `cv² >= 0`.
+    pub fn new(base: OwnerParams, demand_cv2: f64) -> Self {
+        assert!(
+            demand_cv2 >= 0.0 && demand_cv2.is_finite(),
+            "cv2 must be finite and >= 0, got {demand_cv2}"
+        );
+        Self { base, demand_cv2 }
+    }
+
+    /// Expected task time — identical to the deterministic model
+    /// (variance does not move the mean).
+    pub fn expected_task_time(&self, t: f64) -> f64 {
+        t * (1.0 + self.base.demand() * self.base.request_prob())
+    }
+
+    /// Variance of one task's time:
+    /// `T·P·O²·(cv² + 1 - P)`.
+    pub fn task_time_variance(&self, t: f64) -> f64 {
+        let o = self.base.demand();
+        let p = self.base.request_prob();
+        t * p * o * o * (self.demand_cv2 + 1.0 - p)
+    }
+
+    /// Normal-order-statistic approximation of the expected **job**
+    /// time over `w` workstations:
+    /// `E_t + sd(task time) · a(W)`, clamped below the deterministic
+    /// worst case is not meaningful here (unbounded demands), so only
+    /// clamped below by `E_t`.
+    pub fn approx_expected_job_time(&self, t: f64, w: u32) -> f64 {
+        let mean = self.expected_task_time(t);
+        let sd = self.task_time_variance(t).sqrt();
+        mean + sd * normal_max_constant(w)
+    }
+
+    /// The **variance penalty**: the ratio of the approximate job time
+    /// at this `cv²` to the job time at `cv² = 0` (the paper's model),
+    /// same `T`, `W`, and base parameters. Always >= 1.
+    pub fn variance_penalty(&self, t: f64, w: u32) -> f64 {
+        let det = GeneralOwner::new(self.base, 0.0);
+        self.approx_expected_job_time(t, w) / det.approx_expected_job_time(t, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectation::expected_job_time_int;
+
+    fn base(u: f64) -> OwnerParams {
+        OwnerParams::from_utilization(10.0, u).unwrap()
+    }
+
+    #[test]
+    fn mean_task_time_ignores_variance() {
+        let a = GeneralOwner::new(base(0.1), 0.0);
+        let b = GeneralOwner::new(base(0.1), 16.0);
+        assert_eq!(a.expected_task_time(500.0), b.expected_task_time(500.0));
+    }
+
+    #[test]
+    fn variance_formula_deterministic_case() {
+        // cv2 = 0: Var = T·P·O²·(1-P) — pure binomial-count variance.
+        let g = GeneralOwner::new(base(0.1), 0.0);
+        let p = g.base.request_prob();
+        let expected = 1000.0 * p * 100.0 * (1.0 - p);
+        assert!((g.task_time_variance(1000.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_grows_linearly_in_cv2() {
+        let t = 500.0;
+        let v0 = GeneralOwner::new(base(0.1), 0.0).task_time_variance(t);
+        let v4 = GeneralOwner::new(base(0.1), 4.0).task_time_variance(t);
+        let v8 = GeneralOwner::new(base(0.1), 8.0).task_time_variance(t);
+        assert!((v8 - v4) - (v4 - v0) < 1e-9);
+        assert!(v4 > v0 && v8 > v4);
+    }
+
+    #[test]
+    fn deterministic_case_tracks_exact_model() {
+        // At cv² = 0 the approximation should sit near the exact E_j
+        // for moderate interruption counts.
+        let g = GeneralOwner::new(base(0.1), 0.0);
+        for (t, w) in [(1000u64, 20u32), (2000, 60)] {
+            let exact = expected_job_time_int(t, w, g.base);
+            let approx = g.approx_expected_job_time(t as f64, w);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "T={t} W={w}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn penalty_increases_with_cv2_and_w() {
+        let t = 1000.0;
+        let p4 = GeneralOwner::new(base(0.1), 4.0);
+        let p16 = GeneralOwner::new(base(0.1), 16.0);
+        assert!(p16.variance_penalty(t, 60) > p4.variance_penalty(t, 60));
+        assert!(p4.variance_penalty(t, 60) > 1.0);
+        assert!(p4.variance_penalty(t, 100) > p4.variance_penalty(t, 10));
+        // W = 1: no max effect, penalty collapses to 1.
+        assert!((p16.variance_penalty(t, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_simulated_variance_ordering() {
+        // The ext_variance experiment (W=12, T=300, U=10%) measured
+        // mean max task times of ~384 (cv2<=1), ~426 (cv2=4) and ~494
+        // (cv2=16). Check the analytic penalties rank the same way and
+        // land within ~15% of the simulated ratios.
+        let t = 300.0;
+        let w = 12;
+        let sim_ratio_4 = 426.2 / 383.8;
+        let sim_ratio_16 = 493.9 / 383.8;
+        let a4 = GeneralOwner::new(base(0.1), 4.0).approx_expected_job_time(t, w)
+            / GeneralOwner::new(base(0.1), 1.0).approx_expected_job_time(t, w);
+        let a16 = GeneralOwner::new(base(0.1), 16.0).approx_expected_job_time(t, w)
+            / GeneralOwner::new(base(0.1), 1.0).approx_expected_job_time(t, w);
+        assert!(a4 > 1.0 && a16 > a4);
+        assert!((a4 - sim_ratio_4).abs() / sim_ratio_4 < 0.15, "a4 {a4} vs sim {sim_ratio_4}");
+        assert!(
+            (a16 - sim_ratio_16).abs() / sim_ratio_16 < 0.15,
+            "a16 {a16} vs sim {sim_ratio_16}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cv2 must be finite")]
+    fn rejects_negative_cv2() {
+        GeneralOwner::new(base(0.1), -1.0);
+    }
+}

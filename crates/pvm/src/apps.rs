@@ -1,0 +1,4 @@
+//! Applications written against the simulated PVM API.
+
+pub mod local_computation;
+pub mod sync_rounds;

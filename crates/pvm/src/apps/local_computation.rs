@@ -1,0 +1,230 @@
+//! The paper's benchmark: a "local computation" master/worker program.
+//!
+//! §4: "the problem has perfect parallelism and no interprocess
+//! communication. The parallel program forks W parallel tasks, one for
+//! each workstation ... Each parallel task ... record\[s\] the system time
+//! when it started computation and ... when completing computation.
+//! Each of the parallel tasks then return their task execution time to
+//! the master process which selects and reports the maximum."
+//!
+//! The master also experiences the spawn and collection messaging the
+//! paper deliberately excludes from its metric; we report both the
+//! paper's **max task execution time** and the full job response time.
+
+use crate::error::PvmError;
+use crate::group::TaskGroup;
+use crate::message::{Message, MessageBuffer};
+use crate::vm::VirtualMachine;
+
+/// Message tag carrying a worker's task execution time to the master.
+pub const TAG_RESULT: u32 = 11;
+/// Message tag carrying the spawn/work assignment to a worker.
+pub const TAG_WORK: u32 = 10;
+
+/// Metrics from one run of the local-computation program.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Per-task execution times, indexed by worker.
+    pub task_times: Vec<f64>,
+    /// The paper's Figure 10 metric: max over task execution times.
+    pub max_task_time: f64,
+    /// Mean task execution time.
+    pub mean_task_time: f64,
+    /// Full job response time including spawn and collection messaging.
+    pub job_response_time: f64,
+    /// Total owner interruptions across workers.
+    pub interruptions: u64,
+}
+
+/// Run the local-computation program on `vm` with one worker per host,
+/// each computing `task_demand` units. `replication` decorrelates
+/// repeated runs.
+pub fn run(
+    vm: &mut VirtualMachine,
+    task_demand: f64,
+    replication: u64,
+) -> Result<RunMetrics, PvmError> {
+    if !task_demand.is_finite() || task_demand <= 0.0 {
+        return Err(PvmError::InvalidConfig {
+            reason: format!("task demand {task_demand} must be finite and > 0"),
+        });
+    }
+    let w = vm.hosts();
+    // Master lives on host 0 alongside its worker, PVM-style.
+    let master = vm.spawn(0)?;
+    let workers = vm.spawn_round_robin(w)?;
+    let mut group = TaskGroup::new("local-computation");
+    for &t in &workers {
+        group.join(t);
+    }
+
+    // Master sends a work assignment to each worker, sequentially on the
+    // shared LAN.
+    let mut start_times = Vec::with_capacity(w);
+    let mut clock = 0.0;
+    for &worker in &workers {
+        let mut body = MessageBuffer::new();
+        body.pack_f64(task_demand).pack_u64(replication);
+        let delivery = vm.send(
+            Message {
+                src: master,
+                dst: worker,
+                tag: TAG_WORK,
+                body,
+            },
+            clock,
+        )?;
+        clock = clock.max(delivery);
+        start_times.push(delivery);
+    }
+
+    // Each worker receives its assignment, computes, and reports back.
+    let mut task_times = Vec::with_capacity(w);
+    let mut interruptions = 0u64;
+    let mut result_deliveries = Vec::with_capacity(w);
+    for (i, &worker) in workers.iter().enumerate() {
+        let (ready_at, mut work) = vm.recv(worker, Some(TAG_WORK), start_times[i])?;
+        let demand = work.body.unpack_f64()?;
+        let rep = work.body.unpack_u64()?;
+        let outcome = vm.compute(worker, demand, ready_at, rep)?;
+        interruptions += outcome.interruptions;
+        task_times.push(outcome.execution_time);
+        let finished_at = ready_at + outcome.execution_time;
+        let mut body = MessageBuffer::new();
+        body.pack_f64(outcome.execution_time);
+        let delivery = vm.send(
+            Message {
+                src: worker,
+                dst: master,
+                tag: TAG_RESULT,
+                body,
+            },
+            finished_at,
+        )?;
+        result_deliveries.push(delivery);
+    }
+
+    // Master collects every result; the job ends at the final barrier.
+    let mut reported = Vec::with_capacity(w);
+    let mut master_clock: f64 = 0.0;
+    for _ in 0..w {
+        let (at, mut msg) = vm.recv(master, Some(TAG_RESULT), master_clock)?;
+        master_clock = master_clock.max(at);
+        reported.push(msg.body.unpack_f64()?);
+    }
+    let job_response_time = group.barrier(&result_deliveries)?.max(master_clock);
+
+    // The master's view must match the workers' own records.
+    let max_task_time = task_times.iter().copied().fold(0.0, f64::max);
+    let max_reported = reported.iter().copied().fold(0.0, f64::max);
+    debug_assert!((max_task_time - max_reported).abs() < 1e-9);
+
+    let mean_task_time = task_times.iter().sum::<f64>() / w as f64;
+    // Retire everything so the VM can be reused.
+    for &t in &workers {
+        vm.exit(t)?;
+    }
+    vm.exit(master)?;
+
+    Ok(RunMetrics {
+        task_times,
+        max_task_time,
+        mean_task_time,
+        job_response_time,
+        interruptions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lan::LanModel;
+    use crate::vm::InterferenceMode;
+    use nds_cluster::owner::OwnerWorkload;
+
+    fn dedicated_vm(hosts: usize) -> VirtualMachine {
+        VirtualMachine::new(
+            hosts,
+            InterferenceMode::Dedicated,
+            LanModel::instantaneous(),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dedicated_run_is_exact() {
+        let mut vm = dedicated_vm(4);
+        let m = run(&mut vm, 100.0, 0).unwrap();
+        assert_eq!(m.task_times, vec![100.0; 4]);
+        assert_eq!(m.max_task_time, 100.0);
+        assert_eq!(m.mean_task_time, 100.0);
+        assert_eq!(m.interruptions, 0);
+        assert!(m.job_response_time >= 100.0);
+    }
+
+    #[test]
+    fn interference_inflates_max() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.2).unwrap();
+        let mut vm = VirtualMachine::new(
+            6,
+            InterferenceMode::Continuous(owner),
+            LanModel::instantaneous(),
+            3,
+        )
+        .unwrap();
+        let m = run(&mut vm, 200.0, 0).unwrap();
+        assert!(m.max_task_time > 200.0);
+        assert!(m.max_task_time >= m.mean_task_time);
+        assert!(m.interruptions > 0);
+    }
+
+    #[test]
+    fn lan_overhead_in_response_not_in_task_times() {
+        // Slow LAN: response time inflates, task times do not.
+        let mut vm = VirtualMachine::new(
+            3,
+            InterferenceMode::Dedicated,
+            LanModel::new(0.5, 1000.0),
+            1,
+        )
+        .unwrap();
+        let m = run(&mut vm, 50.0, 0).unwrap();
+        assert_eq!(m.max_task_time, 50.0, "paper metric excludes comm");
+        assert!(
+            m.job_response_time > 51.0,
+            "response {} must include messaging",
+            m.job_response_time
+        );
+    }
+
+    #[test]
+    fn vm_reusable_across_runs() {
+        let mut vm = dedicated_vm(2);
+        let a = run(&mut vm, 10.0, 0).unwrap();
+        let b = run(&mut vm, 10.0, 1).unwrap();
+        assert_eq!(a.max_task_time, b.max_task_time);
+    }
+
+    #[test]
+    fn replications_differ_under_interference() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.3).unwrap();
+        let mut vm = VirtualMachine::new(
+            2,
+            InterferenceMode::Continuous(owner),
+            LanModel::instantaneous(),
+            7,
+        )
+        .unwrap();
+        let a = run(&mut vm, 300.0, 0).unwrap();
+        let b = run(&mut vm, 300.0, 1).unwrap();
+        assert_ne!(a.max_task_time, b.max_task_time);
+    }
+
+    #[test]
+    fn rejects_bad_demand() {
+        let mut vm = dedicated_vm(1);
+        assert!(run(&mut vm, 0.0, 0).is_err());
+        assert!(run(&mut vm, f64::NAN, 0).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! A synchronized, multi-round computation — probing the paper's
+//! scope boundary.
+//!
+//! The paper deliberately studies a *single-phase* job ("one single
+//! parallel phase with no communication or synchronization requirements
+//! other than the final synchronization"). Real iterative codes
+//! synchronize every round, and each barrier turns one max-of-`W` into
+//! `K` of them: interference that a single-phase job absorbs once is
+//! paid per round. This app runs `K` rounds of `T/K` work with a
+//! barrier (gather + broadcast over the LAN) after each, quantifying
+//! how synchronization amplifies owner interference.
+
+use crate::error::PvmError;
+use crate::group::TaskGroup;
+use crate::message::{Message, MessageBuffer};
+use crate::vm::VirtualMachine;
+
+/// Message tag for barrier-arrival messages.
+pub const TAG_BARRIER: u32 = 21;
+/// Message tag for barrier-release broadcasts.
+pub const TAG_RELEASE: u32 = 22;
+
+/// Metrics from one synchronized run.
+#[derive(Debug, Clone)]
+pub struct SyncRunMetrics {
+    /// Number of rounds executed.
+    pub rounds: u32,
+    /// Total job time: sum over rounds of (max segment time + barrier).
+    pub job_time: f64,
+    /// Sum over rounds of the max segment computation time (no
+    /// messaging) — the interference-amplification core.
+    pub compute_time: f64,
+    /// Total barrier messaging time.
+    pub barrier_time: f64,
+    /// Per-round maxima of segment times.
+    pub round_maxima: Vec<f64>,
+}
+
+/// Run a `rounds`-round synchronized computation of total per-task
+/// demand `task_demand` on `vm` (one worker per host).
+pub fn run(
+    vm: &mut VirtualMachine,
+    task_demand: f64,
+    rounds: u32,
+    replication: u64,
+) -> Result<SyncRunMetrics, PvmError> {
+    if rounds == 0 {
+        return Err(PvmError::InvalidConfig {
+            reason: "need at least one round".into(),
+        });
+    }
+    if !task_demand.is_finite() || task_demand <= 0.0 {
+        return Err(PvmError::InvalidConfig {
+            reason: format!("task demand {task_demand} must be finite and > 0"),
+        });
+    }
+    let w = vm.hosts();
+    let master = vm.spawn(0)?;
+    let workers = vm.spawn_round_robin(w)?;
+    let mut group = TaskGroup::new("sync-rounds");
+    for &t in &workers {
+        group.join(t);
+    }
+
+    let segment = task_demand / f64::from(rounds);
+    let mut clock = 0.0;
+    let mut compute_time = 0.0;
+    let mut barrier_time = 0.0;
+    let mut round_maxima = Vec::with_capacity(rounds as usize);
+
+    for round in 0..rounds {
+        // Compute phase: every worker runs its segment concurrently,
+        // starting from the common release time `clock`.
+        let mut arrivals = Vec::with_capacity(w);
+        for &worker in &workers {
+            let out = vm.compute(
+                worker,
+                segment,
+                clock,
+                replication << 8 | u64::from(round),
+            )?;
+            arrivals.push(clock + out.execution_time);
+        }
+        let round_max = group.barrier(&arrivals)?;
+        round_maxima.push(round_max - clock);
+        compute_time += round_max - clock;
+
+        // Barrier messaging: every worker reports to the master, master
+        // broadcasts the release — all serialized on the shared LAN.
+        let mut barrier_end: f64 = round_max;
+        for (&worker, &arrive) in workers.iter().zip(&arrivals) {
+            let mut body = MessageBuffer::new();
+            body.pack_u64(u64::from(round));
+            let delivery = vm.send(
+                Message {
+                    src: worker,
+                    dst: master,
+                    tag: TAG_BARRIER,
+                    body,
+                },
+                arrive,
+            )?;
+            barrier_end = barrier_end.max(delivery);
+        }
+        for _ in 0..w {
+            let (at, _) = vm.recv(master, Some(TAG_BARRIER), barrier_end)?;
+            barrier_end = barrier_end.max(at);
+        }
+        for &worker in &workers {
+            let mut body = MessageBuffer::new();
+            body.pack_u64(u64::from(round));
+            let delivery = vm.send(
+                Message {
+                    src: master,
+                    dst: worker,
+                    tag: TAG_RELEASE,
+                    body,
+                },
+                barrier_end,
+            )?;
+            barrier_end = barrier_end.max(delivery);
+        }
+        // Workers drain their release messages.
+        for &worker in &workers {
+            vm.recv(worker, Some(TAG_RELEASE), barrier_end)?;
+        }
+        barrier_time += barrier_end - round_max;
+        clock = barrier_end;
+    }
+
+    for &t in &workers {
+        vm.exit(t)?;
+    }
+    vm.exit(master)?;
+
+    Ok(SyncRunMetrics {
+        rounds,
+        job_time: clock,
+        compute_time,
+        barrier_time,
+        round_maxima,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lan::LanModel;
+    use crate::vm::InterferenceMode;
+    use nds_cluster::owner::OwnerWorkload;
+
+    fn vm(hosts: usize, u: f64) -> VirtualMachine {
+        let mode = if u <= 0.0 {
+            InterferenceMode::Dedicated
+        } else {
+            InterferenceMode::Continuous(
+                OwnerWorkload::continuous_exponential(10.0, u).unwrap(),
+            )
+        };
+        VirtualMachine::new(hosts, mode, LanModel::instantaneous(), 5).unwrap()
+    }
+
+    #[test]
+    fn dedicated_rounds_sum_to_demand() {
+        let mut v = vm(4, 0.0);
+        let m = run(&mut v, 100.0, 4, 0).unwrap();
+        assert_eq!(m.rounds, 4);
+        assert!((m.compute_time - 100.0).abs() < 1e-9);
+        assert!((m.job_time - 100.0).abs() < 1e-6, "job {}", m.job_time);
+        assert_eq!(m.round_maxima.len(), 4);
+    }
+
+    #[test]
+    fn more_rounds_more_interference() {
+        // Same total demand, same owners: K = 16 must be slower than
+        // K = 1 in expectation because each round pays its own max.
+        let mut sum1 = 0.0;
+        let mut sum16 = 0.0;
+        for rep in 0..20 {
+            let mut v = vm(8, 0.20);
+            sum1 += run(&mut v, 400.0, 1, rep).unwrap().compute_time;
+            let mut v = vm(8, 0.20);
+            sum16 += run(&mut v, 400.0, 16, rep + 1000).unwrap().compute_time;
+        }
+        assert!(
+            sum16 > sum1 * 1.02,
+            "16 rounds {sum16} should exceed 1 round {sum1}"
+        );
+    }
+
+    #[test]
+    fn barrier_cost_counted_with_slow_lan() {
+        let mut v = VirtualMachine::new(
+            4,
+            InterferenceMode::Dedicated,
+            LanModel::new(0.1, 1e6),
+            1,
+        )
+        .unwrap();
+        let m = run(&mut v, 100.0, 5, 0).unwrap();
+        assert!(m.barrier_time > 0.0);
+        assert!((m.job_time - (m.compute_time + m.barrier_time)).abs() < 1e-9);
+        // 5 barriers x 8 messages x 0.1 s latency = ~4 s minimum.
+        assert!(m.barrier_time >= 4.0, "barrier {}", m.barrier_time);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut v = vm(2, 0.0);
+        assert!(run(&mut v, 100.0, 0, 0).is_err());
+        assert!(run(&mut v, 0.0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = run(&mut vm(3, 0.1), 90.0, 3, 7).unwrap();
+        let b = run(&mut vm(3, 0.1), 90.0, 3, 7).unwrap();
+        assert_eq!(a.job_time, b.job_time);
+    }
+}

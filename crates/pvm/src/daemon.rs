@@ -1,0 +1,116 @@
+//! Per-host daemons: the `pvmd` analog.
+//!
+//! Each workstation in the virtual machine runs a daemon that owns the
+//! host's task table and interference configuration. The VM routes
+//! spawn requests and messages through daemons, mirroring how PVM's
+//! `pvmd` processes mediate all traffic.
+
+use crate::error::PvmError;
+use crate::task::{TaskId, TaskState};
+use std::collections::HashMap;
+
+/// A host daemon: task table plus host metadata.
+#[derive(Debug, Clone)]
+pub struct Daemon {
+    host_index: usize,
+    hostname: String,
+    tasks: HashMap<TaskId, TaskState>,
+}
+
+impl Daemon {
+    /// Start a daemon for host `host_index`.
+    pub fn new(host_index: usize, hostname: impl Into<String>) -> Self {
+        Self {
+            host_index,
+            hostname: hostname.into(),
+            tasks: HashMap::new(),
+        }
+    }
+
+    /// This daemon's host index within the VM.
+    pub fn host_index(&self) -> usize {
+        self.host_index
+    }
+
+    /// The host's name (diagnostics only).
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// Register a freshly spawned task.
+    pub fn register(&mut self, id: TaskId) {
+        self.tasks.insert(id, TaskState::Spawned);
+    }
+
+    /// Update a task's state.
+    pub fn set_state(&mut self, id: TaskId, state: TaskState) -> Result<(), PvmError> {
+        match self.tasks.get_mut(&id) {
+            Some(slot) => {
+                *slot = state;
+                Ok(())
+            }
+            None => Err(PvmError::UnknownTask { id: id.0 }),
+        }
+    }
+
+    /// Look up a task's state.
+    pub fn state(&self, id: TaskId) -> Result<TaskState, PvmError> {
+        self.tasks
+            .get(&id)
+            .copied()
+            .ok_or(PvmError::UnknownTask { id: id.0 })
+    }
+
+    /// Tasks resident on this host.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Remove a completed task from the table (PVM `pvm_exit`).
+    pub fn unregister(&mut self, id: TaskId) -> Result<(), PvmError> {
+        self.tasks
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(PvmError::UnknownTask { id: id.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut d = Daemon::new(3, "elc-03");
+        assert_eq!(d.host_index(), 3);
+        assert_eq!(d.hostname(), "elc-03");
+        let t = TaskId(7);
+        d.register(t);
+        assert_eq!(d.task_count(), 1);
+        assert_eq!(d.state(t).unwrap(), TaskState::Spawned);
+        d.set_state(
+            t,
+            TaskState::Done {
+                execution_time: 12.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            d.state(t).unwrap(),
+            TaskState::Done {
+                execution_time: 12.5
+            }
+        );
+        d.unregister(t).unwrap();
+        assert_eq!(d.task_count(), 0);
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let mut d = Daemon::new(0, "h");
+        let t = TaskId(1);
+        assert!(d.state(t).is_err());
+        assert!(d.set_state(t, TaskState::Spawned).is_err());
+        assert!(d.unregister(t).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the PVM substrate.
+
+use std::fmt;
+
+/// Errors from the simulated PVM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PvmError {
+    /// Referenced a task that does not exist.
+    UnknownTask {
+        /// The offending task id.
+        id: u32,
+    },
+    /// Referenced a host outside the virtual machine.
+    UnknownHost {
+        /// The offending host index.
+        index: usize,
+    },
+    /// `recv` found no matching message.
+    NoMessage {
+        /// Receiving task.
+        task: u32,
+        /// Tag filter that failed to match (`None` = any).
+        tag: Option<u32>,
+    },
+    /// Unpacked past the end of a message buffer, or with the wrong type.
+    UnpackMismatch {
+        /// What the caller tried to unpack.
+        expected: &'static str,
+    },
+    /// Configuration problem (empty VM, bad demand, ...).
+    InvalidConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvmError::UnknownTask { id } => write!(f, "unknown task t{id}"),
+            PvmError::UnknownHost { index } => write!(f, "unknown host #{index}"),
+            PvmError::NoMessage { task, tag } => match tag {
+                Some(t) => write!(f, "no message with tag {t} for task t{task}"),
+                None => write!(f, "no message for task t{task}"),
+            },
+            PvmError::UnpackMismatch { expected } => {
+                write!(f, "unpack mismatch: expected {expected}")
+            }
+            PvmError::InvalidConfig { reason } => write!(f, "invalid PVM config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(PvmError::UnknownTask { id: 3 }.to_string(), "unknown task t3");
+        assert_eq!(PvmError::UnknownHost { index: 9 }.to_string(), "unknown host #9");
+        assert!(PvmError::NoMessage { task: 1, tag: Some(7) }
+            .to_string()
+            .contains("tag 7"));
+        assert!(PvmError::NoMessage { task: 1, tag: None }
+            .to_string()
+            .contains("no message for"));
+        assert!(PvmError::UnpackMismatch { expected: "f64" }
+            .to_string()
+            .contains("f64"));
+        assert!(PvmError::InvalidConfig { reason: "x".into() }
+            .to_string()
+            .contains("invalid"));
+    }
+}

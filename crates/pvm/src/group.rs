@@ -1,0 +1,134 @@
+//! Task groups and barrier semantics (PVM's `pvm_joingroup` /
+//! `pvm_barrier`).
+//!
+//! The paper's job model has exactly one synchronization point — the
+//! final barrier when all tasks finish. [`TaskGroup::barrier`] computes
+//! that semantic: every member leaves the barrier at the max of the
+//! arrival times.
+
+use crate::error::PvmError;
+use crate::task::TaskId;
+
+/// A named group of tasks.
+#[derive(Debug, Clone)]
+pub struct TaskGroup {
+    name: String,
+    members: Vec<TaskId>,
+}
+
+impl TaskGroup {
+    /// Create an empty group.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Join a task to the group (idempotent). Returns its instance
+    /// number, PVM-style.
+    pub fn join(&mut self, task: TaskId) -> usize {
+        if let Some(pos) = self.members.iter().position(|&t| t == task) {
+            return pos;
+        }
+        self.members.push(task);
+        self.members.len() - 1
+    }
+
+    /// Remove a task from the group.
+    pub fn leave(&mut self, task: TaskId) -> Result<(), PvmError> {
+        match self.members.iter().position(|&t| t == task) {
+            Some(pos) => {
+                self.members.remove(pos);
+                Ok(())
+            }
+            None => Err(PvmError::UnknownTask { id: task.0 }),
+        }
+    }
+
+    /// Members in join order.
+    pub fn members(&self) -> &[TaskId] {
+        &self.members
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Barrier: given each member's arrival time (same order as
+    /// [`TaskGroup::members`]), every member departs at the max arrival.
+    /// Errors if the arrival count does not match the membership.
+    pub fn barrier(&self, arrivals: &[f64]) -> Result<f64, PvmError> {
+        if arrivals.len() != self.members.len() {
+            return Err(PvmError::InvalidConfig {
+                reason: format!(
+                    "barrier got {} arrivals for {} members",
+                    arrivals.len(),
+                    self.members.len()
+                ),
+            });
+        }
+        if arrivals.is_empty() {
+            return Err(PvmError::InvalidConfig {
+                reason: "barrier on empty group".into(),
+            });
+        }
+        Ok(arrivals.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_assigns_instance_numbers() {
+        let mut g = TaskGroup::new("workers");
+        assert_eq!(g.join(TaskId(10)), 0);
+        assert_eq!(g.join(TaskId(11)), 1);
+        assert_eq!(g.join(TaskId(10)), 0, "rejoin is idempotent");
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.name(), "workers");
+    }
+
+    #[test]
+    fn leave_removes() {
+        let mut g = TaskGroup::new("g");
+        g.join(TaskId(1));
+        g.join(TaskId(2));
+        g.leave(TaskId(1)).unwrap();
+        assert_eq!(g.members(), &[TaskId(2)]);
+        assert!(g.leave(TaskId(1)).is_err());
+    }
+
+    #[test]
+    fn barrier_is_max_arrival() {
+        let mut g = TaskGroup::new("g");
+        for i in 0..4 {
+            g.join(TaskId(i));
+        }
+        let depart = g.barrier(&[3.0, 9.5, 1.0, 4.0]).unwrap();
+        assert_eq!(depart, 9.5);
+    }
+
+    #[test]
+    fn barrier_arity_checked() {
+        let mut g = TaskGroup::new("g");
+        g.join(TaskId(0));
+        assert!(g.barrier(&[1.0, 2.0]).is_err());
+        let empty = TaskGroup::new("e");
+        assert!(empty.barrier(&[]).is_err());
+        assert!(empty.is_empty());
+    }
+}

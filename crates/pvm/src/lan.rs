@@ -1,0 +1,128 @@
+//! LAN transfer-time model.
+//!
+//! The paper's cluster is Ethernet-era: a shared medium where message
+//! transfers serialize. We model a transfer as
+//! `latency + bytes / bandwidth` and let the shared medium serialize
+//! concurrent transfers (a transfer cannot start before the previous one
+//! finished). The paper's metric (max task execution time) excludes
+//! communication by construction, but job *response* time includes
+//! spawn and result-collection messaging — this model supplies those.
+
+/// Latency + bandwidth LAN with a serialized shared medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LanModel {
+    /// Per-message fixed cost (seconds).
+    latency: f64,
+    /// Payload rate (bytes per second).
+    bandwidth: f64,
+    /// Time the shared medium becomes free.
+    busy_until: f64,
+}
+
+impl LanModel {
+    /// A LAN with the given per-message latency (s) and bandwidth (B/s).
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        assert!(latency >= 0.0 && latency.is_finite(), "bad latency");
+        // Infinite bandwidth is allowed (instantaneous transfers).
+        assert!(bandwidth > 0.0 && !bandwidth.is_nan(), "bad bandwidth");
+        Self {
+            latency,
+            bandwidth,
+            busy_until: 0.0,
+        }
+    }
+
+    /// 10 Mb/s shared Ethernet with ~1 ms software latency — the class
+    /// of network under the paper's 12 Sun ELCs.
+    pub fn ethernet_10mbps() -> Self {
+        Self::new(1e-3, 10.0e6 / 8.0)
+    }
+
+    /// An effectively free network (for isolating computation effects).
+    pub fn instantaneous() -> Self {
+        Self::new(0.0, f64::INFINITY)
+    }
+
+    /// Pure transfer time of a message of `bytes`, ignoring contention.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        if self.bandwidth.is_infinite() {
+            self.latency
+        } else {
+            self.latency + bytes as f64 / self.bandwidth
+        }
+    }
+
+    /// Send a message of `bytes` at `when`: returns the delivery time
+    /// after queueing behind any transfer already on the medium, and
+    /// marks the medium busy until then.
+    pub fn send_at(&mut self, when: f64, bytes: usize) -> f64 {
+        let start = when.max(self.busy_until);
+        let done = start + self.transfer_time(bytes);
+        self.busy_until = done;
+        done
+    }
+
+    /// Reset the medium to idle (between independent experiments).
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+    }
+
+    /// When the medium next becomes free.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_formula() {
+        let lan = LanModel::new(0.001, 1_000_000.0);
+        assert!((lan.transfer_time(0) - 0.001).abs() < 1e-12);
+        assert!((lan.transfer_time(1_000_000) - 1.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantaneous_lan_is_free() {
+        let lan = LanModel::instantaneous();
+        assert_eq!(lan.transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn medium_serializes_transfers() {
+        let mut lan = LanModel::new(0.0, 100.0);
+        // Two 100-byte messages sent at t=0: second queues behind first.
+        let d1 = lan.send_at(0.0, 100);
+        let d2 = lan.send_at(0.0, 100);
+        assert_eq!(d1, 1.0);
+        assert_eq!(d2, 2.0);
+        // A later send after the medium is free starts immediately.
+        let d3 = lan.send_at(5.0, 100);
+        assert_eq!(d3, 6.0);
+    }
+
+    #[test]
+    fn reset_clears_backlog() {
+        let mut lan = LanModel::new(0.0, 100.0);
+        lan.send_at(0.0, 1000);
+        assert!(lan.busy_until() > 0.0);
+        lan.reset();
+        assert_eq!(lan.busy_until(), 0.0);
+    }
+
+    #[test]
+    fn ethernet_defaults_sane() {
+        let lan = LanModel::ethernet_10mbps();
+        // A 1 KiB message: ~1 ms latency + ~0.82 ms wire time.
+        let t = lan.transfer_time(1024);
+        assert!(t > 0.0015 && t < 0.0025, "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bandwidth")]
+    fn rejects_zero_bandwidth() {
+        LanModel::new(0.0, 0.0);
+    }
+}

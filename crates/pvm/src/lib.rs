@@ -1,0 +1,43 @@
+//! # nds-pvm — a PVM-like message-passing virtual machine (simulated)
+//!
+//! The paper's experimental validation (§4, Figures 10–11) runs a
+//! perfectly parallel "local computation" program with PVM on up to 12
+//! Sun ELC SPARCstations whose owners generate ~3% background
+//! utilization. We have neither 1993 SPARCstations nor their owners, so
+//! this crate rebuilds the relevant stack in simulation:
+//!
+//! * [`message`] — typed pack/unpack message buffers (the `pvm_pk*` /
+//!   `pvm_upk*` analog) and tagged messages,
+//! * [`lan`] — a latency + bandwidth LAN model with serialized delivery
+//!   (10 Mb/s Ethernet-class defaults),
+//! * [`task`] / [`daemon`] — task identities and per-host daemons
+//!   mapping tasks to workstations,
+//! * [`vm`] — the virtual machine: `spawn`, `send`, `recv`, with
+//!   computation delegated to [`nds_cluster`] workstations so parallel
+//!   tasks experience exactly the preemptive owner interference the
+//!   paper studies ("each parallel task is niced"),
+//! * [`group`] — task groups and barrier semantics,
+//! * [`apps::local_computation`] — the paper's benchmark program:
+//!   master forks `W` tasks, each computes independently and reports its
+//!   own execution time; the master reports the **maximum task execution
+//!   time**, the paper's metric, which deliberately excludes
+//!   packaging/spawn overheads,
+//! * [`harness`] — the Figure 10/11 experiment driver (1–12
+//!   workstations, demands of 1–16 dedicated minutes, 10 replications,
+//!   3% owner utilization).
+
+pub mod apps;
+pub mod daemon;
+pub mod error;
+pub mod group;
+pub mod harness;
+pub mod lan;
+pub mod message;
+pub mod task;
+pub mod vm;
+
+pub use error::PvmError;
+pub use lan::LanModel;
+pub use message::{Message, MessageBuffer};
+pub use task::TaskId;
+pub use vm::{InterferenceMode, VirtualMachine};

@@ -1,0 +1,176 @@
+//! Typed message buffers and tagged messages.
+//!
+//! PVM programs marshal data with `pvm_pkint`/`pvm_pkdouble` and
+//! unmarshal in the same order with `pvm_upk*`. [`MessageBuffer`] is
+//! that API: a little self-describing byte buffer whose unpack calls
+//! must mirror the pack calls, with type tags checked at run time.
+
+use crate::error::PvmError;
+use crate::task::TaskId;
+
+const TAG_F64: u8 = 1;
+const TAG_U64: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// A pack/unpack buffer with run-time type checking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MessageBuffer {
+    bytes: Vec<u8>,
+    cursor: usize,
+}
+
+impl MessageBuffer {
+    /// An empty buffer ready for packing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an `f64` (pvm_pkdouble).
+    pub fn pack_f64(&mut self, v: f64) -> &mut Self {
+        self.bytes.push(TAG_F64);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64` (pvm_pkint's closest analog).
+    pub fn pack_u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.push(TAG_U64);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a UTF-8 string (pvm_pkstr).
+    pub fn pack_str(&mut self, s: &str) -> &mut Self {
+        self.bytes.push(TAG_STR);
+        self.bytes
+            .extend_from_slice(&(s.len() as u64).to_le_bytes());
+        self.bytes.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Remove the next `f64`, failing if the next item is not one.
+    pub fn unpack_f64(&mut self) -> Result<f64, PvmError> {
+        self.expect_tag(TAG_F64, "f64")?;
+        let raw = self.take(8, "f64")?;
+        Ok(f64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    /// Remove the next `u64`.
+    pub fn unpack_u64(&mut self) -> Result<u64, PvmError> {
+        self.expect_tag(TAG_U64, "u64")?;
+        let raw = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    /// Remove the next string.
+    pub fn unpack_str(&mut self) -> Result<String, PvmError> {
+        self.expect_tag(TAG_STR, "str")?;
+        let len_raw = self.take(8, "str length")?;
+        let len = u64::from_le_bytes(len_raw.try_into().expect("8 bytes")) as usize;
+        let raw = self.take(len, "str bytes")?.to_vec();
+        String::from_utf8(raw).map_err(|_| PvmError::UnpackMismatch { expected: "utf-8 str" })
+    }
+
+    /// Size on the wire, in bytes (drives the LAN transfer-time model).
+    pub fn wire_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether everything packed has been unpacked.
+    pub fn fully_consumed(&self) -> bool {
+        self.cursor == self.bytes.len()
+    }
+
+    fn expect_tag(&mut self, tag: u8, expected: &'static str) -> Result<(), PvmError> {
+        match self.bytes.get(self.cursor) {
+            Some(&t) if t == tag => {
+                self.cursor += 1;
+                Ok(())
+            }
+            _ => Err(PvmError::UnpackMismatch { expected }),
+        }
+    }
+
+    fn take(&mut self, n: usize, expected: &'static str) -> Result<&[u8], PvmError> {
+        if self.cursor + n > self.bytes.len() {
+            return Err(PvmError::UnpackMismatch { expected });
+        }
+        let slice = &self.bytes[self.cursor..self.cursor + n];
+        self.cursor += n;
+        Ok(slice)
+    }
+}
+
+/// A tagged message in flight or in a mailbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sending task.
+    pub src: TaskId,
+    /// Receiving task.
+    pub dst: TaskId,
+    /// Application tag (PVM `msgtag`).
+    pub tag: u32,
+    /// Marshalled body.
+    pub body: MessageBuffer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_in_order() {
+        let mut b = MessageBuffer::new();
+        b.pack_f64(3.25).pack_u64(42).pack_str("max-task-time");
+        assert_eq!(b.unpack_f64().unwrap(), 3.25);
+        assert_eq!(b.unpack_u64().unwrap(), 42);
+        assert_eq!(b.unpack_str().unwrap(), "max-task-time");
+        assert!(b.fully_consumed());
+    }
+
+    #[test]
+    fn wrong_order_rejected() {
+        let mut b = MessageBuffer::new();
+        b.pack_f64(1.0);
+        assert_eq!(
+            b.unpack_u64(),
+            Err(PvmError::UnpackMismatch { expected: "u64" })
+        );
+        // The failed unpack must not consume the tag.
+        assert_eq!(b.unpack_f64().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unpack_past_end_rejected() {
+        let mut b = MessageBuffer::new();
+        assert!(b.unpack_f64().is_err());
+        b.pack_u64(1);
+        b.unpack_u64().unwrap();
+        assert!(b.unpack_u64().is_err());
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let mut b = MessageBuffer::new();
+        assert_eq!(b.wire_size(), 0);
+        b.pack_f64(0.0);
+        assert_eq!(b.wire_size(), 9);
+        b.pack_str("ab");
+        assert_eq!(b.wire_size(), 9 + 1 + 8 + 2);
+    }
+
+    #[test]
+    fn message_carries_addressing() {
+        let mut body = MessageBuffer::new();
+        body.pack_u64(7);
+        let m = Message {
+            src: TaskId(1),
+            dst: TaskId(2),
+            tag: 99,
+            body,
+        };
+        assert_eq!(m.src, TaskId(1));
+        assert_eq!(m.dst, TaskId(2));
+        assert_eq!(m.tag, 99);
+    }
+}

@@ -1,0 +1,61 @@
+//! Task identities.
+
+use std::fmt;
+
+/// A PVM task identifier (the `tid` of the original API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Lifecycle state of a task inside the virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskState {
+    /// Spawned but not yet started computing.
+    Spawned,
+    /// Busy computing; carries the (simulated) completion time.
+    Computing {
+        /// Absolute time the computation started.
+        started: f64,
+        /// Absolute time it will finish.
+        finishes: f64,
+    },
+    /// Finished; carries the measured execution time.
+    Done {
+        /// Task execution time (finish - start), the paper's per-task metric.
+        execution_time: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TaskId(4).to_string(), "t4");
+    }
+
+    #[test]
+    fn state_transitions_carry_data() {
+        let s = TaskState::Computing {
+            started: 1.0,
+            finishes: 5.0,
+        };
+        if let TaskState::Computing { started, finishes } = s {
+            assert_eq!(finishes - started, 4.0);
+        } else {
+            panic!("wrong variant");
+        }
+        assert_ne!(
+            TaskState::Spawned,
+            TaskState::Done {
+                execution_time: 0.0
+            }
+        );
+    }
+}

@@ -1,0 +1,453 @@
+//! The virtual machine: hosts, task spawning, messaging, computation.
+//!
+//! A [`VirtualMachine`] is a pool of simulated workstations joined by a
+//! [`LanModel`]. Tasks are spawned onto hosts, compute under the host's
+//! [`InterferenceMode`], and exchange [`Message`]s whose delivery times
+//! come from the LAN model. Computation is delegated to the
+//! `nds-cluster` simulators, so parallel tasks experience exactly the
+//! preemptive owner interference the paper studies.
+
+use crate::daemon::Daemon;
+use crate::error::PvmError;
+use crate::lan::LanModel;
+use crate::message::Message;
+use crate::task::{TaskId, TaskState};
+use nds_cluster::continuous::ContinuousWorkstation;
+use nds_cluster::discrete::DiscreteTaskSim;
+use nds_cluster::owner::OwnerWorkload;
+use nds_cluster::task::TaskOutcome;
+use nds_stats::rng::StreamFactory;
+use std::collections::HashMap;
+
+/// How workstation owners interfere with computation on each host.
+#[derive(Debug, Clone)]
+pub enum InterferenceMode {
+    /// No owners: every host is dedicated (the baseline the paper's
+    /// speedup metric divides by).
+    Dedicated,
+    /// Continuous-time owner interference (the Figure 10/11 setting:
+    /// ~3% utilization from "editing files, reading mail, news").
+    Continuous(OwnerWorkload),
+    /// The paper's discrete-time model semantics.
+    DiscretePaper {
+        /// Owner request probability per task work unit.
+        request_prob: f64,
+        /// Deterministic owner demand.
+        owner_demand: f64,
+    },
+}
+
+/// A simulated PVM: daemons, LAN, mailboxes, and computation.
+#[derive(Debug, Clone)]
+pub struct VirtualMachine {
+    lan: LanModel,
+    daemons: Vec<Daemon>,
+    mode: InterferenceMode,
+    streams: StreamFactory,
+    next_task: u32,
+    task_host: HashMap<TaskId, usize>,
+    mailboxes: HashMap<TaskId, Vec<(f64, Message)>>,
+    compute_calls: u64,
+}
+
+impl VirtualMachine {
+    /// Assemble a VM of `hosts` workstations with the given interference
+    /// mode and LAN. `seed` drives all stochastic interference.
+    pub fn new(
+        hosts: usize,
+        mode: InterferenceMode,
+        lan: LanModel,
+        seed: u64,
+    ) -> Result<Self, PvmError> {
+        if hosts == 0 {
+            return Err(PvmError::InvalidConfig {
+                reason: "need at least one host".into(),
+            });
+        }
+        let daemons = (0..hosts)
+            .map(|i| Daemon::new(i, format!("elc-{i:02}")))
+            .collect();
+        Ok(Self {
+            lan,
+            daemons,
+            mode,
+            streams: StreamFactory::new(seed),
+            next_task: 1,
+            task_host: HashMap::new(),
+            mailboxes: HashMap::new(),
+            compute_calls: 0,
+        })
+    }
+
+    /// Number of hosts in the VM.
+    pub fn hosts(&self) -> usize {
+        self.daemons.len()
+    }
+
+    /// The LAN model (mutable, for direct experiments).
+    pub fn lan_mut(&mut self) -> &mut LanModel {
+        &mut self.lan
+    }
+
+    /// Spawn a task on a specific host.
+    pub fn spawn(&mut self, host: usize) -> Result<TaskId, PvmError> {
+        let daemon = self
+            .daemons
+            .get_mut(host)
+            .ok_or(PvmError::UnknownHost { index: host })?;
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        daemon.register(id);
+        self.task_host.insert(id, host);
+        self.mailboxes.insert(id, Vec::new());
+        Ok(id)
+    }
+
+    /// Spawn `n` tasks round-robin across hosts (PVM `pvm_spawn(n)`).
+    pub fn spawn_round_robin(&mut self, n: usize) -> Result<Vec<TaskId>, PvmError> {
+        (0..n).map(|i| self.spawn(i % self.hosts())).collect()
+    }
+
+    /// Host a task lives on.
+    pub fn host_of(&self, task: TaskId) -> Result<usize, PvmError> {
+        self.task_host
+            .get(&task)
+            .copied()
+            .ok_or(PvmError::UnknownTask { id: task.0 })
+    }
+
+    /// Current lifecycle state of a task.
+    pub fn task_state(&self, task: TaskId) -> Result<TaskState, PvmError> {
+        let host = self.host_of(task)?;
+        self.daemons[host].state(task)
+    }
+
+    /// Execute `demand` units of computation for `task` starting at
+    /// absolute time `start`, under the host's interference mode.
+    ///
+    /// `replication` decorrelates repeated experiments while keeping
+    /// each `(host, replication)` pair reproducible.
+    pub fn compute(
+        &mut self,
+        task: TaskId,
+        demand: f64,
+        start: f64,
+        replication: u64,
+    ) -> Result<TaskOutcome, PvmError> {
+        if !demand.is_finite() || demand <= 0.0 {
+            return Err(PvmError::InvalidConfig {
+                reason: format!("compute demand {demand} must be finite and > 0"),
+            });
+        }
+        let host = self.host_of(task)?;
+        self.compute_calls += 1;
+        let label_index = (host as u64) << 40 | replication << 16 | (self.compute_calls & 0xFFFF);
+        let mut rng = self.streams.labeled_stream("pvm-compute", label_index);
+        let outcome = match &self.mode {
+            InterferenceMode::Dedicated => TaskOutcome {
+                execution_time: demand,
+                demand,
+                interruptions: 0,
+                suspended_time: 0.0,
+            },
+            InterferenceMode::Continuous(owner) => {
+                ContinuousWorkstation::new(owner.clone()).run_task(demand, &mut rng)
+            }
+            InterferenceMode::DiscretePaper {
+                request_prob,
+                owner_demand,
+            } => DiscreteTaskSim::paper(demand.round() as u64, *request_prob, *owner_demand)
+                .run_task(&mut rng),
+        };
+        self.daemons[host].set_state(
+            task,
+            TaskState::Done {
+                execution_time: outcome.execution_time,
+            },
+        )?;
+        let _ = start; // start is the caller's timeline anchor; outcome is relative
+        Ok(outcome)
+    }
+
+    /// Send a message at absolute time `when`; returns its delivery time
+    /// (after LAN latency, wire time, and medium contention) and
+    /// deposits it in the destination mailbox.
+    pub fn send(&mut self, msg: Message, when: f64) -> Result<f64, PvmError> {
+        if !self.task_host.contains_key(&msg.src) {
+            return Err(PvmError::UnknownTask { id: msg.src.0 });
+        }
+        if !self.task_host.contains_key(&msg.dst) {
+            return Err(PvmError::UnknownTask { id: msg.dst.0 });
+        }
+        let delivery = self.lan.send_at(when, msg.body.wire_size());
+        self.mailboxes
+            .get_mut(&msg.dst)
+            .expect("mailbox exists for every task")
+            .push((delivery, msg));
+        Ok(delivery)
+    }
+
+    /// Receive the earliest-delivered message for `task` matching `tag`
+    /// (`None` matches any). Returns `(receive_time, message)` where
+    /// `receive_time = max(now, delivery)` — a blocking `pvm_recv`.
+    pub fn recv(
+        &mut self,
+        task: TaskId,
+        tag: Option<u32>,
+        now: f64,
+    ) -> Result<(f64, Message), PvmError> {
+        let mailbox = self
+            .mailboxes
+            .get_mut(&task)
+            .ok_or(PvmError::UnknownTask { id: task.0 })?;
+        let best = mailbox
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, m))| tag.is_none_or(|t| m.tag == t))
+            .min_by(|(_, (da, _)), (_, (db, _))| da.total_cmp(db))
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let (delivery, msg) = mailbox.remove(i);
+                Ok((now.max(delivery), msg))
+            }
+            None => Err(PvmError::NoMessage { task: task.0, tag }),
+        }
+    }
+
+    /// Number of undelivered+unread messages for a task.
+    pub fn pending_messages(&self, task: TaskId) -> usize {
+        self.mailboxes.get(&task).map_or(0, Vec::len)
+    }
+
+    /// Retire a finished task (PVM `pvm_exit`).
+    pub fn exit(&mut self, task: TaskId) -> Result<(), PvmError> {
+        let host = self.host_of(task)?;
+        self.daemons[host].unregister(task)?;
+        self.task_host.remove(&task);
+        self.mailboxes.remove(&task);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageBuffer;
+
+    fn vm(hosts: usize) -> VirtualMachine {
+        VirtualMachine::new(
+            hosts,
+            InterferenceMode::Dedicated,
+            LanModel::instantaneous(),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spawn_round_robin_distributes() {
+        let mut v = vm(3);
+        let ids = v.spawn_round_robin(6).unwrap();
+        assert_eq!(ids.len(), 6);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(v.host_of(*id).unwrap(), i % 3);
+            assert_eq!(v.task_state(*id).unwrap(), TaskState::Spawned);
+        }
+    }
+
+    #[test]
+    fn dedicated_compute_is_exact() {
+        let mut v = vm(1);
+        let t = v.spawn(0).unwrap();
+        let out = v.compute(t, 100.0, 0.0, 0).unwrap();
+        assert_eq!(out.execution_time, 100.0);
+        assert_eq!(out.interruptions, 0);
+        assert_eq!(
+            v.task_state(t).unwrap(),
+            TaskState::Done {
+                execution_time: 100.0
+            }
+        );
+    }
+
+    #[test]
+    fn continuous_compute_slower_than_dedicated() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.3).unwrap();
+        let mut v = VirtualMachine::new(
+            1,
+            InterferenceMode::Continuous(owner),
+            LanModel::instantaneous(),
+            5,
+        )
+        .unwrap();
+        let t = v.spawn(0).unwrap();
+        let out = v.compute(t, 500.0, 0.0, 0).unwrap();
+        assert!(out.execution_time > 500.0);
+        assert!(out.is_consistent());
+    }
+
+    #[test]
+    fn discrete_compute_matches_model_structure() {
+        let mut v = VirtualMachine::new(
+            1,
+            InterferenceMode::DiscretePaper {
+                request_prob: 0.1,
+                owner_demand: 10.0,
+            },
+            LanModel::instantaneous(),
+            5,
+        )
+        .unwrap();
+        let t = v.spawn(0).unwrap();
+        let out = v.compute(t, 100.0, 0.0, 0).unwrap();
+        let extra = out.execution_time - 100.0;
+        assert!(extra >= 0.0);
+        assert!((extra / 10.0 - (extra / 10.0).round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let mut v = vm(2);
+        let a = v.spawn(0).unwrap();
+        let b = v.spawn(1).unwrap();
+        let mut body = MessageBuffer::new();
+        body.pack_f64(123.5).pack_str("result");
+        let delivery = v
+            .send(
+                Message {
+                    src: a,
+                    dst: b,
+                    tag: 7,
+                    body,
+                },
+                2.0,
+            )
+            .unwrap();
+        assert_eq!(delivery, 2.0, "instantaneous LAN");
+        assert_eq!(v.pending_messages(b), 1);
+        let (at, mut msg) = v.recv(b, Some(7), 1.0).unwrap();
+        assert_eq!(at, 2.0, "recv blocks until delivery");
+        assert_eq!(msg.body.unpack_f64().unwrap(), 123.5);
+        assert_eq!(v.pending_messages(b), 0);
+    }
+
+    #[test]
+    fn recv_filters_by_tag() {
+        let mut v = vm(2);
+        let a = v.spawn(0).unwrap();
+        let b = v.spawn(1).unwrap();
+        for tag in [1u32, 2] {
+            v.send(
+                Message {
+                    src: a,
+                    dst: b,
+                    tag,
+                    body: MessageBuffer::new(),
+                },
+                0.0,
+            )
+            .unwrap();
+        }
+        assert!(v.recv(b, Some(3), 0.0).is_err());
+        let (_, m) = v.recv(b, Some(2), 0.0).unwrap();
+        assert_eq!(m.tag, 2);
+        let (_, m) = v.recv(b, None, 0.0).unwrap();
+        assert_eq!(m.tag, 1);
+    }
+
+    #[test]
+    fn lan_contention_delays_delivery() {
+        let mut v = VirtualMachine::new(
+            2,
+            InterferenceMode::Dedicated,
+            LanModel::new(0.0, 10.0),
+            1,
+        )
+        .unwrap();
+        let a = v.spawn(0).unwrap();
+        let b = v.spawn(1).unwrap();
+        let mut big = MessageBuffer::new();
+        for _ in 0..10 {
+            big.pack_f64(0.0); // 90 bytes => 9 s on a 10 B/s LAN
+        }
+        let d1 = v
+            .send(
+                Message {
+                    src: a,
+                    dst: b,
+                    tag: 0,
+                    body: big.clone(),
+                },
+                0.0,
+            )
+            .unwrap();
+        let d2 = v
+            .send(
+                Message {
+                    src: a,
+                    dst: b,
+                    tag: 0,
+                    body: big,
+                },
+                0.0,
+            )
+            .unwrap();
+        assert_eq!(d1, 9.0);
+        assert_eq!(d2, 18.0, "second transfer queues behind the first");
+    }
+
+    #[test]
+    fn exit_retires_task() {
+        let mut v = vm(1);
+        let t = v.spawn(0).unwrap();
+        v.exit(t).unwrap();
+        assert!(v.host_of(t).is_err());
+        assert!(v.exit(t).is_err());
+    }
+
+    #[test]
+    fn unknown_endpoints_rejected() {
+        let mut v = vm(1);
+        let t = v.spawn(0).unwrap();
+        let ghost = TaskId(99);
+        assert!(v
+            .send(
+                Message {
+                    src: ghost,
+                    dst: t,
+                    tag: 0,
+                    body: MessageBuffer::new()
+                },
+                0.0
+            )
+            .is_err());
+        assert!(v.recv(ghost, None, 0.0).is_err());
+        assert!(v.spawn(5).is_err());
+        assert!(VirtualMachine::new(0, InterferenceMode::Dedicated, LanModel::instantaneous(), 1)
+            .is_err());
+    }
+
+    #[test]
+    fn compute_reproducible_per_replication() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.2).unwrap();
+        let mk = || {
+            VirtualMachine::new(
+                1,
+                InterferenceMode::Continuous(owner.clone()),
+                LanModel::instantaneous(),
+                9,
+            )
+            .unwrap()
+        };
+        let mut v1 = mk();
+        let mut v2 = mk();
+        let t1 = v1.spawn(0).unwrap();
+        let t2 = v2.spawn(0).unwrap();
+        let a = v1.compute(t1, 300.0, 0.0, 4).unwrap();
+        let b = v2.compute(t2, 300.0, 0.0, 4).unwrap();
+        assert_eq!(a, b);
+        let c = v1.compute(t1, 300.0, 0.0, 5).unwrap();
+        assert_ne!(a, c, "different replications must differ");
+    }
+}

@@ -1,0 +1,119 @@
+//! Autocorrelation diagnostics for batch-means validity.
+//!
+//! Batch means are only approximately iid; if batches are too small the
+//! lag-1 autocorrelation of the batch-mean sequence stays high and the
+//! confidence interval understates the variance. The standard check
+//! (e.g. Law & Kelton) is to grow the batch size until the lag-1
+//! autocorrelation of the batch means is negligible. This module
+//! supplies the estimator and the check.
+
+use crate::error::StatsError;
+
+/// Sample autocorrelation of `data` at the given lag (biased,
+/// normalized by the lag-0 autocovariance).
+pub fn autocorrelation(data: &[f64], lag: usize) -> Result<f64, StatsError> {
+    if lag == 0 {
+        return Ok(1.0);
+    }
+    if data.len() < lag + 2 {
+        return Err(StatsError::InsufficientData {
+            needed: lag + 2,
+            got: data.len(),
+        });
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        // A constant series: define the autocorrelation as 0 so the
+        // batch-means check treats it as uncorrelated.
+        return Ok(0.0);
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (data[i] - mean) * (data[i + lag] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Verdict of the batch-means independence diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchDiagnostic {
+    /// Lag-1 autocorrelation of the batch means.
+    pub lag1: f64,
+    /// The acceptance threshold used.
+    pub threshold: f64,
+    /// Whether the batch means look independent enough.
+    pub acceptable: bool,
+}
+
+/// Check a batch-mean sequence for residual correlation. The customary
+/// threshold is `|rho_1| <= 2/sqrt(B)` (approximately two standard
+/// errors of an iid autocorrelation estimate).
+pub fn check_batch_independence(batch_means: &[f64]) -> Result<BatchDiagnostic, StatsError> {
+    let lag1 = autocorrelation(batch_means, 1)?;
+    let threshold = 2.0 / (batch_means.len() as f64).sqrt();
+    Ok(BatchDiagnostic {
+        lag1,
+        threshold,
+        acceptable: lag1.abs() <= threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Distribution, Exponential};
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn lag_zero_is_one() {
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn iid_series_has_small_lag1() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let d = Exponential::with_mean(1.0).unwrap();
+        let data: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let rho = autocorrelation(&data, 1).unwrap();
+        assert!(rho.abs() < 0.06, "rho {rho}");
+        let diag = check_batch_independence(&data).unwrap();
+        assert!(diag.acceptable);
+    }
+
+    #[test]
+    fn ar1_series_detected() {
+        // x_t = 0.9 x_{t-1} + noise: strongly autocorrelated.
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mut x = 0.0;
+        let data: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = 0.9 * x + rng.next_f64() - 0.5;
+                x
+            })
+            .collect();
+        let rho = autocorrelation(&data, 1).unwrap();
+        assert!(rho > 0.8, "rho {rho}");
+        assert!(!check_batch_independence(&data).unwrap().acceptable);
+    }
+
+    #[test]
+    fn alternating_series_negative() {
+        let data: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let rho = autocorrelation(&data, 1).unwrap();
+        assert!(rho < -0.9);
+    }
+
+    #[test]
+    fn constant_series_defined_as_zero() {
+        let data = vec![5.0; 50];
+        assert_eq!(autocorrelation(&data, 1).unwrap(), 0.0);
+        assert!(check_batch_independence(&data).unwrap().acceptable);
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err());
+        assert!(autocorrelation(&[1.0, 2.0, 3.0], 5).is_err());
+    }
+}

@@ -1,0 +1,693 @@
+//! Service-time and think-time distributions.
+//!
+//! The paper's discrete-time model uses a **geometric** owner think time
+//! (mean `1/P`) and a **deterministic** owner service demand `O`. Its
+//! stated future work ("typical processes experience a much larger
+//! variance", citing Sauer & Chandy) motivates the higher-variance
+//! families implemented here: [`Exponential`], [`Erlang`],
+//! [`Hyperexponential`], and arbitrary [`Mixture`]s (used to model rare
+//! long-running owner jobs).
+
+use crate::error::StatsError;
+use crate::rng::Xoshiro256StarStar;
+
+/// A sampleable, positively supported distribution with known moments.
+///
+/// All distributions in this workspace are cheap value types; sampling
+/// takes the RNG explicitly so components can own independent streams.
+pub trait Distribution: std::fmt::Debug + Send + Sync {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64;
+
+    /// Expected value.
+    fn mean(&self) -> f64;
+
+    /// Variance.
+    fn variance(&self) -> f64;
+
+    /// Squared coefficient of variation `Var/Mean^2` (0 for deterministic).
+    fn cv2(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+}
+
+/// Point mass at `value` — the paper's owner service demand `O`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// A point mass at `value >= 0`.
+    pub fn new(value: f64) -> Result<Self, StatsError> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "value",
+                value,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(Self { value })
+    }
+
+    /// The constant returned by every sample.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut Xoshiro256StarStar) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Exponential distribution with the given rate (mean `1/rate`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Exponential with `rate > 0`.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Exponential with the given mean (`mean > 0`).
+    pub fn with_mean(mean: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+/// Geometric distribution on `{1, 2, 3, ...}`: number of Bernoulli(`p`)
+/// trials up to and including the first success. Mean `1/p`.
+///
+/// This is exactly the paper's owner think time: "at each time unit the
+/// owner requests the processor with probability P", so the gap between
+/// the end of an owner burst and the next request is Geometric(P).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Geometric with success probability `p` in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, StatsError> {
+        if !p.is_finite() || p <= 0.0 || p > 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                constraint: "must be in (0, 1]",
+            });
+        }
+        Ok(Self { p })
+    }
+
+    /// The per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw an integer sample (1-based trial count).
+    pub fn sample_int(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Inversion: ceil(ln(U) / ln(1-p)) with U in (0,1].
+        let u = rng.next_f64_open();
+        let x = (u.ln() / (1.0 - self.p).ln()).ceil();
+        x.max(1.0) as u64
+    }
+}
+
+impl Distribution for Geometric {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        self.sample_int(rng) as f64
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    fn variance(&self) -> f64 {
+        (1.0 - self.p) / (self.p * self.p)
+    }
+}
+
+/// Erlang-`k` distribution (sum of `k` iid exponentials), CV² = 1/k.
+///
+/// Used to model owner demands *less* variable than exponential but not
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Erlang with `k >= 1` phases each of rate `rate > 0`.
+    /// Mean is `k / rate`.
+    pub fn new(k: u32, rate: f64) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { k, rate })
+    }
+
+    /// Erlang-`k` with a target mean.
+    pub fn with_mean(k: u32, mean: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Self::new(k, k as f64 / mean)
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Distribution for Erlang {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        // Product-of-uniforms form avoids k separate ln calls.
+        let mut prod = 1.0;
+        for _ in 0..self.k {
+            prod *= rng.next_f64_open();
+        }
+        -prod.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.k as f64 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.k as f64 / (self.rate * self.rate)
+    }
+}
+
+/// Two-phase hyperexponential distribution, CV² >= 1.
+///
+/// With probability `p1` the sample is Exp(`r1`), otherwise Exp(`r2`).
+/// The `fit` constructor produces the standard *balanced-means* fit for a
+/// target mean and CV², the textbook way (Sauer & Chandy) to model the
+/// high-variance owner demands the paper flags as future work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hyperexponential {
+    p1: f64,
+    r1: f64,
+    r2: f64,
+}
+
+impl Hyperexponential {
+    /// Explicit two-phase construction: branch probability `p1 in (0,1)`,
+    /// rates `r1, r2 > 0`.
+    pub fn new(p1: f64, r1: f64, r2: f64) -> Result<Self, StatsError> {
+        if !p1.is_finite() || p1 <= 0.0 || p1 >= 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "p1",
+                value: p1,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        for (name, r) in [("r1", r1), ("r2", r2)] {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    name,
+                    value: r,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        Ok(Self { p1, r1, r2 })
+    }
+
+    /// Balanced-means fit: returns the H2 distribution with the requested
+    /// `mean > 0` and `cv2 >= 1`, with `p1·(1/r1) = p2·(1/r2)`.
+    pub fn fit(mean: f64, cv2: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !cv2.is_finite() || cv2 < 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "cv2",
+                value: cv2,
+                constraint: "must be finite and >= 1 for a hyperexponential",
+            });
+        }
+        if (cv2 - 1.0).abs() < 1e-12 {
+            // Degenerates to exponential; emulate with two equal phases.
+            let r = 1.0 / mean;
+            return Self::new(0.5, r, r);
+        }
+        let root = ((cv2 - 1.0) / (cv2 + 1.0)).sqrt();
+        let p1 = 0.5 * (1.0 + root);
+        let r1 = 2.0 * p1 / mean;
+        let r2 = 2.0 * (1.0 - p1) / mean;
+        Self::new(p1, r1, r2)
+    }
+
+    /// Probability of drawing from the first phase.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+}
+
+impl Distribution for Hyperexponential {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        let rate = if rng.bernoulli(self.p1) {
+            self.r1
+        } else {
+            self.r2
+        };
+        -rng.next_f64_open().ln() / rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.p1 / self.r1 + (1.0 - self.p1) / self.r2
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let second = 2.0 * (self.p1 / (self.r1 * self.r1) + (1.0 - self.p1) / (self.r2 * self.r2));
+        second - m * m
+    }
+}
+
+/// Continuous uniform on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    low: f64,
+    high: f64,
+}
+
+impl UniformRange {
+    /// Uniform over `[low, high)` with `low < high`.
+    pub fn new(low: f64, high: f64) -> Result<Self, StatsError> {
+        if !(low.is_finite() && high.is_finite()) || low >= high {
+            return Err(StatsError::InvalidRange { low, high });
+        }
+        Ok(Self { low, high })
+    }
+}
+
+impl Distribution for UniformRange {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        self.low + (self.high - self.low) * rng.next_f64()
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+}
+
+/// Finite mixture of distributions with normalized weights.
+///
+/// Models the "long-running workstation owner jobs" extension: e.g. 99%
+/// short interactive demands mixed with 1% multi-minute compute jobs.
+#[derive(Debug)]
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Distribution>)>,
+}
+
+impl Mixture {
+    /// Build from `(weight, distribution)` pairs; weights must be positive
+    /// and are normalized to sum to 1.
+    pub fn new(components: Vec<(f64, Box<dyn Distribution>)>) -> Result<Self, StatsError> {
+        if components.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        if !total.is_finite() || total <= 0.0 || components.iter().any(|(w, _)| *w <= 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "weights",
+                value: total,
+                constraint: "all weights must be > 0",
+            });
+        }
+        let components = components
+            .into_iter()
+            .map(|(w, d)| (w / total, d))
+            .collect();
+        Ok(Self { components })
+    }
+
+    /// Number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Distribution for Mixture {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        let mut u = rng.next_f64();
+        for (w, d) in &self.components {
+            if u < *w {
+                return d.sample(rng);
+            }
+            u -= *w;
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components
+            .last()
+            .expect("mixture is non-empty")
+            .1
+            .sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        // Var = E[X^2] - E[X]^2 with E[X^2] mixed per component.
+        let mean = self.mean();
+        let second: f64 = self
+            .components
+            .iter()
+            .map(|(w, d)| {
+                let m = d.mean();
+                w * (d.variance() + m * m)
+            })
+            .sum();
+        second - mean * mean
+    }
+}
+
+/// A distribution shifted right by a constant offset (support `>= offset`).
+///
+/// Used, e.g., to give owner processes a minimum context-switch cost.
+#[derive(Debug)]
+pub struct Shifted<D: Distribution> {
+    offset: f64,
+    inner: D,
+}
+
+impl<D: Distribution> Shifted<D> {
+    /// Shift `inner` right by `offset >= 0`.
+    pub fn new(offset: f64, inner: D) -> Result<Self, StatsError> {
+        if !offset.is_finite() || offset < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "offset",
+                value: offset,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(Self { offset, inner })
+    }
+}
+
+impl<D: Distribution> Distribution for Shifted<D> {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        self.offset + self.inner.sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.offset + self.inner.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::RunningStats;
+
+    fn sample_stats<D: Distribution>(d: &D, n: usize, seed: u64) -> RunningStats {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut s = RunningStats::new();
+        for _ in 0..n {
+            s.push(d.sample(&mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(10.0).unwrap();
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 10.0);
+        }
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cv2(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_rejects_negative() {
+        assert!(Deterministic::new(-1.0).is_err());
+        assert!(Deterministic::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exponential_moments_empirical() {
+        let d = Exponential::with_mean(4.0).unwrap();
+        let s = sample_stats(&d, 200_000, 42);
+        assert!((s.mean() - 4.0).abs() < 0.05, "mean {}", s.mean());
+        assert!(
+            (s.variance() - 16.0).abs() < 0.5,
+            "var {}",
+            s.variance()
+        );
+        assert!((d.cv2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_params() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let p = 0.05;
+        let d = Geometric::new(p).unwrap();
+        let s = sample_stats(&d, 200_000, 7);
+        assert!((s.mean() - 20.0).abs() < 0.2, "mean {}", s.mean());
+        assert!((d.variance() - (1.0 - p) / (p * p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_support_is_positive_integers() {
+        let d = Geometric::new(0.5).unwrap();
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..10_000 {
+            let x = d.sample_int(&mut rng);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn geometric_p_one_always_one() {
+        let d = Geometric::new(1.0).unwrap();
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..100 {
+            assert_eq!(d.sample_int(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_rejects_bad_p() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let d = Erlang::with_mean(4, 8.0).unwrap();
+        assert!((d.mean() - 8.0).abs() < 1e-12);
+        assert!((d.cv2() - 0.25).abs() < 1e-12);
+        let s = sample_stats(&d, 100_000, 11);
+        assert!((s.mean() - 8.0).abs() < 0.1, "mean {}", s.mean());
+        assert!((s.variance() - 16.0).abs() < 0.6, "var {}", s.variance());
+    }
+
+    #[test]
+    fn erlang_one_is_exponential() {
+        let d = Erlang::new(1, 0.5).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.cv2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_rejects_zero_phases() {
+        assert!(Erlang::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn hyperexponential_fit_hits_targets() {
+        for (mean, cv2) in [(10.0, 4.0), (2.0, 9.0), (5.0, 1.0), (1.0, 25.0)] {
+            let d = Hyperexponential::fit(mean, cv2).unwrap();
+            assert!((d.mean() - mean).abs() < 1e-9, "mean {} vs {mean}", d.mean());
+            assert!((d.cv2() - cv2).abs() < 1e-6, "cv2 {} vs {cv2}", d.cv2());
+        }
+    }
+
+    #[test]
+    fn hyperexponential_empirical_mean() {
+        let d = Hyperexponential::fit(10.0, 16.0).unwrap();
+        let s = sample_stats(&d, 400_000, 19);
+        assert!((s.mean() - 10.0).abs() < 0.3, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn hyperexponential_rejects_cv2_below_one() {
+        assert!(Hyperexponential::fit(1.0, 0.5).is_err());
+        assert!(Hyperexponential::new(0.0, 1.0, 1.0).is_err());
+        assert!(Hyperexponential::new(0.5, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = UniformRange::new(2.0, 6.0).unwrap();
+        assert_eq!(d.mean(), 4.0);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+        let mut rng = Xoshiro256StarStar::new(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_rejects_inverted() {
+        assert!(UniformRange::new(5.0, 5.0).is_err());
+        assert!(UniformRange::new(6.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn mixture_moments() {
+        // 90% short exp(mean 1), 10% long deterministic 100 — a crude
+        // "long-running owner jobs" workload.
+        let m = Mixture::new(vec![
+            (0.9, Box::new(Exponential::with_mean(1.0).unwrap()) as Box<dyn Distribution>),
+            (0.1, Box::new(Deterministic::new(100.0).unwrap())),
+        ])
+        .unwrap();
+        assert!((m.mean() - (0.9 + 10.0)).abs() < 1e-12);
+        // E[X^2] = 0.9*2 + 0.1*10000 = 1001.8; Var = 1001.8 - 10.9^2
+        assert!((m.variance() - (1001.8 - 10.9 * 10.9)).abs() < 1e-9);
+        let s = sample_stats(&m, 400_000, 23);
+        assert!((s.mean() - 10.9).abs() < 0.3, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn mixture_normalizes_weights() {
+        let m = Mixture::new(vec![
+            (2.0, Box::new(Deterministic::new(1.0).unwrap()) as Box<dyn Distribution>),
+            (2.0, Box::new(Deterministic::new(3.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_rejects_empty_and_nonpositive() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(
+            -1.0,
+            Box::new(Deterministic::new(1.0).unwrap()) as Box<dyn Distribution>
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn shifted_moments() {
+        let d = Shifted::new(5.0, Exponential::with_mean(2.0).unwrap()).unwrap();
+        assert!((d.mean() - 7.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+        let mut rng = Xoshiro256StarStar::new(9);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn shifted_rejects_negative_offset() {
+        assert!(Shifted::new(-1.0, Deterministic::new(1.0).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or using statistical objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be in (0, 1]"`.
+        constraint: &'static str,
+    },
+    /// Too few samples to compute the requested statistic.
+    InsufficientData {
+        /// How many samples are required.
+        needed: usize,
+        /// How many samples were available.
+        got: usize,
+    },
+    /// A histogram was constructed with inconsistent bounds.
+    InvalidRange {
+        /// Lower bound supplied.
+        low: f64,
+        /// Upper bound supplied.
+        high: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} samples, got {got}")
+            }
+            StatsError::InvalidRange { low, high } => {
+                write!(f, "invalid range: low {low} must be < high {high}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        assert_eq!(e.to_string(), "invalid parameter rate = -1: must be > 0");
+    }
+
+    #[test]
+    fn display_insufficient_data() {
+        let e = StatsError::InsufficientData { needed: 2, got: 0 };
+        assert_eq!(e.to_string(), "insufficient data: needed 2 samples, got 0");
+    }
+
+    #[test]
+    fn display_invalid_range() {
+        let e = StatsError::InvalidRange {
+            low: 3.0,
+            high: 1.0,
+        };
+        assert_eq!(e.to_string(), "invalid range: low 3 must be < high 1");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<StatsError>();
+    }
+}

@@ -1,0 +1,199 @@
+//! Fixed-bin histograms with quantile estimation.
+
+use crate::error::StatsError;
+
+/// A histogram over `[low, high)` with equal-width bins plus underflow
+/// and overflow counters.
+///
+/// Used by the simulators to record task-time and job-time distributions
+/// (the model extension that goes beyond the paper's means).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[low, high)` with `bins >= 1` bins.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(low.is_finite() && high.is_finite()) || low >= high {
+            return Err(StatsError::InvalidRange { low, high });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        Ok(Self {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let width = (self.high - self.low) / self.bins.len() as f64;
+            let idx = ((x - self.low) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `[start, end)` of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        (
+            self.low + i as f64 * width,
+            self.low + (i + 1) as f64 * width,
+        )
+    }
+
+    /// Approximate quantile `q in [0,1]` by linear interpolation within
+    /// the containing bin. Under/overflow mass clamps to the range ends.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if self.count == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if target <= cum {
+            return Ok(self.low);
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                let (start, end) = self.bin_bounds(i);
+                let frac = (target - cum) / c as f64;
+                return Ok(start + frac * (end - start));
+            }
+            cum = next;
+        }
+        Ok(self.high)
+    }
+
+    /// Fraction of observations at or above `x` (bin-resolution accuracy).
+    pub fn tail_fraction(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut above = self.overflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (start, _) = self.bin_bounds(i);
+            if start >= x {
+                above += c;
+            }
+        }
+        above as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn bins_receive_values() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for x in [0.5, 1.5, 1.7, 9.9] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // boundary: goes to overflow ([low, high))
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_bounds_cover_range() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bin_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn quantiles_of_uniform_grid() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 1.5, "median {median}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 90.0).abs() < 1.5, "p90 {p90}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quantile_on_empty_errors() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.quantile(0.5).is_err());
+    }
+
+    #[test]
+    fn tail_fraction_counts_upper_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for x in [1.0, 2.0, 8.5, 9.5, 20.0] {
+            h.record(x);
+        }
+        // Mass at >= 8.0: 8.5, 9.5 and the overflow 20.0 = 3 of 5.
+        assert!((h.tail_fraction(8.0) - 0.6).abs() < 1e-12);
+        assert_eq!(h.tail_fraction(0.0), 1.0);
+    }
+}

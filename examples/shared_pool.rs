@@ -1,0 +1,69 @@
+//! Beyond the paper: sharing the pool.
+//!
+//! ```sh
+//! cargo run --example shared_pool
+//! ```
+//!
+//! Three of the paper's §5 open problems in one study: several parallel
+//! jobs co-scheduled on the same workstations, synchronized multi-round
+//! codes, and multiprocessor workstations — all built on the same
+//! preemptive-priority substrate as the paper's model.
+
+use nds::cluster::multi::{JobSpec, MultiJobExperiment};
+use nds::cluster::owner::OwnerWorkload;
+use nds::cluster::smp::SmpWorkstation;
+use nds::core::report::Table;
+use nds::stats::rng::Xoshiro256StarStar;
+
+fn main() {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.05).expect("valid owner");
+
+    // 1. Two jobs arriving 100 s apart on an 8-station pool.
+    let exp = MultiJobExperiment {
+        jobs: vec![
+            JobSpec {
+                task_demand: 300.0,
+                arrival: 0.0,
+            },
+            JobSpec {
+                task_demand: 300.0,
+                arrival: 100.0,
+            },
+        ],
+        workstations: 8,
+        owner: owner.clone(),
+        seed: 99,
+    };
+    let means = exp.mean_response_times(20);
+    let mut t1 = Table::new("Two co-scheduled jobs, 8 stations, U = 5%")
+        .headers(["job", "arrival", "mean response", "slowdown vs dedicated"]);
+    for (i, &resp) in means.iter().enumerate() {
+        t1.row([
+            format!("job {}", i + 1),
+            format!("{:.0}", if i == 0 { 0.0 } else { 100.0 }),
+            format!("{resp:.1}"),
+            format!("{:.2}x", resp / 300.0),
+        ]);
+    }
+    print!("{}", t1.render());
+    println!("the later job queues behind the first on every station.\n");
+
+    // 2. SMP workstations: how many CPUs until owners are invisible?
+    let mut t2 = Table::new("Task slowdown on a k-CPU workstation (one 20% owner, T = 300)")
+        .headers(["CPUs", "slowdown"]);
+    for cpus in [1usize, 2, 4] {
+        let ws = SmpWorkstation::new(
+            cpus,
+            OwnerWorkload::continuous_exponential(10.0, 0.20).expect("valid"),
+        );
+        let mut rng = Xoshiro256StarStar::new(5);
+        let mean: f64 = (0..100)
+            .map(|_| ws.run_task(300.0, &mut rng).execution_time)
+            .sum::<f64>()
+            / 100.0;
+        t2.row([cpus.to_string(), format!("{:.3}x", mean / 300.0)]);
+    }
+    print!("{}", t2.render());
+    println!("a single spare CPU absorbs the owner entirely — the paper's");
+    println!("preemption penalty is specific to single-CPU workstations.");
+}

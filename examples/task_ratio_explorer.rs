@@ -1,0 +1,58 @@
+//! Task-ratio design explorer (the paper's §5 guidance, generalized).
+//!
+//! ```sh
+//! cargo run --example task_ratio_explorer
+//! ```
+//!
+//! The paper's conclusion is a design rule: keep the task ratio above a
+//! utilization-dependent threshold. This example computes the exact
+//! threshold surface — required ratio by utilization and pool size —
+//! and translates it into minimum job demands.
+
+use nds::core::report::Table;
+use nds::model::params::OwnerParams;
+use nds::model::solver::{required_job_demand, required_task_ratio};
+
+fn main() {
+    let utilizations = [0.01, 0.03, 0.05, 0.10, 0.15, 0.20, 0.30];
+    let pools = [2u32, 8, 20, 60, 100, 250];
+    let owner_demand = 10.0;
+
+    let mut ratio_table = Table::new(
+        "Required task ratio (T/O) for 80% weighted efficiency".to_string(),
+    )
+    .headers({
+        let mut h = vec!["U".to_string()];
+        h.extend(pools.iter().map(|w| format!("W={w}")));
+        h
+    });
+    let mut demand_table = Table::new(format!(
+        "Equivalent minimum job demand J (seconds, O = {owner_demand})"
+    ))
+    .headers({
+        let mut h = vec!["U".to_string()];
+        h.extend(pools.iter().map(|w| format!("W={w}")));
+        h
+    });
+
+    for &u in &utilizations {
+        let owner = OwnerParams::from_utilization(owner_demand, u).expect("valid owner");
+        let mut r_row = vec![format!("{:.0}%", u * 100.0)];
+        let mut d_row = vec![format!("{:.0}%", u * 100.0)];
+        for &w in &pools {
+            let ratio = required_task_ratio(w, owner, 0.80).expect("solvable");
+            let demand = required_job_demand(w, owner, 0.80).expect("solvable");
+            r_row.push(format!("{ratio:.1}"));
+            d_row.push(format!("{demand:.0}"));
+        }
+        ratio_table.row(r_row);
+        demand_table.row(d_row);
+    }
+    print!("{}", ratio_table.render());
+    println!();
+    print!("{}", demand_table.render());
+    println!();
+    println!("paper's §5 rule of thumb (thresholds 8/13/20 at U = 5/10/20%)");
+    println!("sits in the W = 100 column; smaller pools are more forgiving,");
+    println!("and the thresholds grow roughly linearly with utilization.");
+}

@@ -1,0 +1,257 @@
+//! `nds` — command-line feasibility tool.
+//!
+//! ```text
+//! nds analyze --job 7200 --workstations 60 --owner-demand 10 --utilization 0.10
+//! nds thresholds [--target 0.8]
+//! nds validate [--quick]
+//! nds sensitivity --task 100 --workstations 60 --owner-demand 10 --utilization 0.10
+//! ```
+
+use nds::core::conclusions::check_all_conclusions;
+use nds::core::prelude::*;
+use nds::core::report::Table;
+use nds::model::sensitivity::elasticities;
+use nds::model::solver::required_task_ratio;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("thresholds") => cmd_thresholds(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("sensitivity") => cmd_sensitivity(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!(
+        "nds — feasibility of cycle-stealing on non-dedicated workstations\n\
+         (Leutenegger & Sun, SC'93)\n\n\
+         commands:\n\
+         \x20 analyze     --job J --workstations W --owner-demand O --utilization U\n\
+         \x20             [--target 0.8]      full feasibility assessment\n\
+         \x20 thresholds  [--target 0.8]      required task ratios by U and W\n\
+         \x20 validate    [--quick]           rerun the paper's conclusion checks\n\
+         \x20 sensitivity --task T --workstations W --owner-demand O --utilization U\n\
+         \x20                                 which knob moves weighted efficiency most\n\
+         \x20 help                            this message"
+    );
+}
+
+/// Pull `--name value` from an argument list.
+fn flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn require(args: &[String], name: &str) -> Result<f64, String> {
+    flag(args, name).ok_or_else(|| format!("missing or invalid {name} <value>"))
+}
+
+fn cmd_analyze(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<_, String> {
+        Ok((
+            require(args, "--job")?,
+            require(args, "--workstations")? as u32,
+            require(args, "--owner-demand")?,
+            require(args, "--utilization")?,
+            flag(args, "--target").unwrap_or(0.80),
+        ))
+    })();
+    let (j, w, o, u, target) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 2;
+        }
+    };
+    let analyzer = match FeasibilityAnalyzer::builder()
+        .job_demand(j)
+        .workstations(w)
+        .owner_demand(o)
+        .owner_utilization(u)
+        .target_weighted_efficiency(target)
+        .build()
+    {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 2;
+        }
+    };
+    let a = match analyzer.assess() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 1;
+        }
+    };
+    let m = &a.metrics;
+    let mut t = Table::new(format!(
+        "feasibility of J={j} on W={w} stations (O={o}, U={u})"
+    ))
+    .headers(["metric", "value"]);
+    t.row(["task ratio T/O", &format!("{:.2}", m.task_ratio)]);
+    t.row(["E[task time]", &format!("{:.2}", m.expected_task_time)]);
+    t.row(["E[job time]", &format!("{:.2}", m.expected_job_time)]);
+    t.row(["p95 job time", &format!("{:.2}", a.job_time_p95)]);
+    t.row(["speedup", &format!("{:.2}", m.speedup)]);
+    t.row(["weighted speedup", &format!("{:.2}", m.weighted_speedup)]);
+    t.row(["efficiency", &format!("{:.4}", m.efficiency)]);
+    t.row(["weighted efficiency", &format!("{:.4}", m.weighted_efficiency)]);
+    t.row([
+        "required task ratio",
+        &format!("{:.2}", a.required_task_ratio),
+    ]);
+    t.row([
+        "max useful pool",
+        &a.max_useful_workstations
+            .map_or("none".to_string(), |w| w.to_string()),
+    ]);
+    t.row([
+        "verdict",
+        if a.feasible { "FEASIBLE" } else { "infeasible" },
+    ]);
+    print!("{}", t.render());
+    i32::from(!a.feasible)
+}
+
+fn cmd_thresholds(args: &[String]) -> i32 {
+    let target = flag(args, "--target").unwrap_or(0.80);
+    let pools = [2u32, 8, 20, 60, 100];
+    let mut t = Table::new(format!(
+        "required task ratio for weighted efficiency >= {target}"
+    ))
+    .headers({
+        let mut h = vec!["U".to_string()];
+        h.extend(pools.iter().map(|w| format!("W={w}")));
+        h
+    });
+    for u in [0.01, 0.05, 0.10, 0.20] {
+        let owner = match OwnerParams::from_utilization(10.0, u) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("thresholds: {e}");
+                return 1;
+            }
+        };
+        let mut row = vec![format!("{u:.2}")];
+        for &w in &pools {
+            match required_task_ratio(w, owner, target) {
+                Ok(r) => row.push(format!("{r:.1}")),
+                Err(_) => row.push("-".into()),
+            }
+        }
+        t.row(row);
+    }
+    print!("{}", t.render());
+    0
+}
+
+fn cmd_validate(args: &[String]) -> i32 {
+    let checks = match check_all_conclusions() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("validate: {e}");
+            return 1;
+        }
+    };
+    let mut t = Table::new("paper §5 conclusions vs this implementation").headers([
+        "claim",
+        "published",
+        "reproduced",
+        "pass",
+    ]);
+    let mut failures = 0;
+    for c in &checks {
+        if !c.passed {
+            failures += 1;
+        }
+        t.row([
+            c.claim.clone(),
+            format!("{}", c.published),
+            format!("{:.3}", c.reproduced),
+            if c.passed { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    print!("{}", t.render());
+    if !has_flag(args, "--quick") {
+        // Also spot-check simulation-vs-analysis agreement.
+        let suite = ValidationSuite::quick(2024);
+        match suite.validate_point(1000.0, 10, 0.10) {
+            Ok(row) => {
+                println!(
+                    "\nsim vs analysis at (J=1000, W=10, U=10%): rel err {:.4} ({})",
+                    row.outcome.relative_error,
+                    if row.outcome.agrees() { "agrees" } else { "DISAGREES" }
+                );
+                if !row.outcome.agrees() {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("validate: {e}");
+                return 1;
+            }
+        }
+    }
+    println!(
+        "\n{}/{} checks passed",
+        checks.len() - failures,
+        checks.len()
+    );
+    i32::from(failures > 0)
+}
+
+fn cmd_sensitivity(args: &[String]) -> i32 {
+    let parsed = (|| -> Result<_, String> {
+        Ok((
+            require(args, "--task")?,
+            require(args, "--workstations")? as u32,
+            require(args, "--owner-demand")?,
+            require(args, "--utilization")?,
+        ))
+    })();
+    let (t_demand, w, o, u) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sensitivity: {e}");
+            return 2;
+        }
+    };
+    match elasticities(t_demand, w, o, u, 0.05) {
+        Ok(e) => {
+            let mut t = Table::new(format!(
+                "elasticities of weighted efficiency at (T={t_demand}, W={w}, O={o}, U={u})"
+            ))
+            .headers(["knob", "d ln(WE) / d ln(x)"]);
+            t.row(["task demand", &format!("{:+.4}", e.wrt_task_demand)]);
+            t.row(["utilization", &format!("{:+.4}", e.wrt_utilization)]);
+            t.row(["owner demand", &format!("{:+.4}", e.wrt_owner_demand)]);
+            t.row(["pool size", &format!("{:+.4}", e.wrt_workstations)]);
+            print!("{}", t.render());
+            println!("\ndominant knob: {}", e.dominant());
+            0
+        }
+        Err(e) => {
+            eprintln!("sensitivity: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the NDS workspace.
+pub use nds_cluster as cluster;
+pub use nds_core as core;
+pub use nds_des as des;
+pub use nds_model as model;
+pub use nds_pvm as pvm;
+pub use nds_stats as stats;

@@ -1,0 +1,67 @@
+//! C1/C2 integration: every quantitative claim in the paper's §5
+//! conclusions reproduces from the model.
+
+use nds::core::conclusions::check_all_conclusions;
+use nds::model::params::OwnerParams;
+use nds::model::scaled::inflation_at;
+use nds::model::solver::required_task_ratio;
+
+#[test]
+fn all_published_conclusions_reproduce() {
+    let checks = check_all_conclusions().expect("checks run");
+    let failures: Vec<String> = checks
+        .iter()
+        .filter(|c| !c.passed)
+        .map(|c| {
+            format!(
+                "{}: published {} vs reproduced {:.3}",
+                c.claim, c.published, c.reproduced
+            )
+        })
+        .collect();
+    assert!(failures.is_empty(), "failed claims:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn c1_thresholds_are_8_13_20_at_w100() {
+    let cases = [(0.05, 8.0), (0.10, 13.0), (0.20, 20.0)];
+    for (u, published) in cases {
+        let owner = OwnerParams::from_utilization(10.0, u).unwrap();
+        let ratio = required_task_ratio(100, owner, 0.80).unwrap();
+        assert!(
+            (ratio - published).abs() <= 1.5,
+            "U={u}: required ratio {ratio} vs published {published}"
+        );
+    }
+}
+
+#[test]
+fn c2_scaled_inflation_percentages() {
+    let cases = [(0.01, 14.0), (0.05, 30.0), (0.10, 44.0), (0.20, 71.0)];
+    for (u, published_pct) in cases {
+        let owner = OwnerParams::from_utilization(10.0, u).unwrap();
+        let infl = inflation_at(100.0, 100, owner).unwrap() * 100.0;
+        assert!(
+            (infl - published_pct).abs() < 1.0,
+            "U={u}: inflation {infl:.1}% vs published {published_pct}%"
+        );
+    }
+}
+
+#[test]
+fn thresholds_monotone_in_utilization_and_size() {
+    let mut prev = 0.0;
+    for u in [0.02, 0.05, 0.10, 0.15, 0.20, 0.25] {
+        let owner = OwnerParams::from_utilization(10.0, u).unwrap();
+        let r = required_task_ratio(60, owner, 0.80).unwrap();
+        assert!(r > prev, "threshold fell at U={u}");
+        prev = r;
+    }
+    let owner = OwnerParams::from_utilization(10.0, 0.10).unwrap();
+    let mut prev = 0.0;
+    for w in [2u32, 4, 8, 20, 60, 100, 200] {
+        let r = required_task_ratio(w, owner, 0.80).unwrap();
+        assert!(r > prev, "threshold fell at W={w}");
+        prev = r;
+    }
+}

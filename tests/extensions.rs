@@ -1,0 +1,148 @@
+//! Integration tests for the extension systems (the paper's §5 future
+//! work), crossing crate boundaries: analytic variance model vs the
+//! continuous simulator, SMP workstations, co-scheduled jobs, and
+//! synchronized rounds.
+
+use nds::cluster::job::JobRunner;
+use nds::cluster::multi::{JobSpec, MultiJobExperiment};
+use nds::cluster::owner::OwnerWorkload;
+use nds::cluster::smp::SmpWorkstation;
+use nds::model::expectation::expected_job_time;
+use nds::model::params::OwnerParams;
+use nds::model::variance::GeneralOwner;
+use nds::pvm::apps::sync_rounds;
+use nds::pvm::lan::LanModel;
+use nds::pvm::vm::{InterferenceMode, VirtualMachine};
+use nds::stats::rng::Xoshiro256StarStar;
+
+#[test]
+fn variance_model_tracks_simulated_high_variance_owners() {
+    // Analytic general-owner model vs the continuous simulator at
+    // matching (O, U, cv2): job-time means within ~10%.
+    let t = 400.0;
+    let w = 12u32;
+    let u = 0.10;
+    for cv2 in [1.0, 4.0] {
+        let analytic = GeneralOwner::new(
+            OwnerParams::from_utilization(10.0, u).unwrap(),
+            cv2,
+        )
+        .approx_expected_job_time(t, w);
+        let owner = if cv2 == 1.0 {
+            OwnerWorkload::continuous_exponential(10.0, u).unwrap()
+        } else {
+            OwnerWorkload::high_variance(10.0, u, cv2).unwrap()
+        };
+        let runner = JobRunner::new(321);
+        let reps = 150u64;
+        let sim: f64 = (0..reps)
+            .map(|r| runner.run_continuous_job(&owner, t, w, r).job_time())
+            .sum::<f64>()
+            / reps as f64;
+        let rel = (sim - analytic).abs() / sim;
+        assert!(
+            rel < 0.10,
+            "cv2={cv2}: analytic {analytic:.1} vs simulated {sim:.1} (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn smp_second_cpu_eliminates_single_owner_interference() {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.25).unwrap();
+    let one = SmpWorkstation::new(1, owner.clone());
+    let two = SmpWorkstation::new(2, owner);
+    let mut rng = Xoshiro256StarStar::new(8);
+    let reps = 60;
+    let mean = |ws: &SmpWorkstation, rng: &mut Xoshiro256StarStar| -> f64 {
+        (0..reps).map(|_| ws.run_task(200.0, rng).execution_time).sum::<f64>() / f64::from(reps)
+    };
+    let m1 = mean(&one, &mut rng);
+    let m2 = mean(&two, &mut rng);
+    assert!(m1 > 230.0, "single CPU must feel 25% utilization: {m1}");
+    assert!((m2 - 200.0).abs() < 2.0, "second CPU absorbs the owner: {m2}");
+}
+
+#[test]
+fn coscheduled_jobs_serialize_per_station() {
+    let exp = MultiJobExperiment {
+        jobs: vec![
+            JobSpec {
+                task_demand: 200.0,
+                arrival: 0.0,
+            },
+            JobSpec {
+                task_demand: 200.0,
+                arrival: 0.0,
+            },
+            JobSpec {
+                task_demand: 200.0,
+                arrival: 0.0,
+            },
+        ],
+        workstations: 6,
+        owner: OwnerWorkload::continuous_exponential(10.0, 0.05).unwrap(),
+        seed: 17,
+    };
+    let means = exp.mean_response_times(15);
+    // k-th job needs ~k task demands (plus interference).
+    assert!(means[0] > 200.0 && means[0] < 260.0, "{means:?}");
+    assert!(means[1] > 400.0 && means[1] < 520.0, "{means:?}");
+    assert!(means[2] > 600.0 && means[2] < 780.0, "{means:?}");
+}
+
+#[test]
+fn sync_rounds_match_model_per_round() {
+    // K rounds of T/K ~ model predicts K * E_j(T/K, W); the measured
+    // compute time should track it within ~12% (exponential demands in
+    // the simulator vs deterministic in the model).
+    let w = 10u32;
+    let total = 500.0;
+    let k = 10u32;
+    let u = 0.10;
+    let owner = OwnerWorkload::continuous_exponential(10.0, u).unwrap();
+    let reps = 60u64;
+    let mut sum = 0.0;
+    for rep in 0..reps {
+        let mut vm = VirtualMachine::new(
+            w as usize,
+            InterferenceMode::Continuous(owner.clone()),
+            LanModel::instantaneous(),
+            31 ^ rep,
+        )
+        .unwrap();
+        sum += sync_rounds::run(&mut vm, total, k, rep).unwrap().compute_time;
+    }
+    let measured = sum / reps as f64;
+    let model_owner = OwnerParams::from_utilization(10.0, u).unwrap();
+    let predicted = f64::from(k) * expected_job_time(total / f64::from(k), w, model_owner);
+    let rel = (measured - predicted).abs() / predicted;
+    assert!(
+        rel < 0.12,
+        "measured {measured:.1} vs model {predicted:.1} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn sync_rounds_interference_grows_with_k() {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.15).unwrap();
+    let mut totals = Vec::new();
+    for k in [1u32, 8, 32] {
+        let mut sum = 0.0;
+        for rep in 0..30 {
+            let mut vm = VirtualMachine::new(
+                8,
+                InterferenceMode::Continuous(owner.clone()),
+                LanModel::instantaneous(),
+                77 ^ u64::from(k) << 16 ^ rep,
+            )
+            .unwrap();
+            sum += sync_rounds::run(&mut vm, 400.0, k, rep).unwrap().compute_time;
+        }
+        totals.push(sum / 30.0);
+    }
+    assert!(
+        totals[0] < totals[1] && totals[1] < totals[2],
+        "interference must grow with round count: {totals:?}"
+    );
+}

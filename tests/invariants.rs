@@ -1,0 +1,135 @@
+//! Property-based tests of the model's invariants (proptest).
+
+use nds::cluster::discrete::DiscreteTaskSim;
+use nds::model::binomial::Binomial;
+use nds::model::distribution::JobTimeDistribution;
+use nds::model::expectation::{expected_job_time_int, expected_task_time};
+use nds::model::interference::InterferenceProfile;
+use nds::model::metrics::evaluate;
+use nds::model::params::{ModelInputs, OwnerParams, Workload};
+use nds::stats::rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+fn owner_strategy() -> impl Strategy<Value = OwnerParams> {
+    // O in [1, 50], U in [0.005, 0.4], constrained so P < 1.
+    (1.0f64..50.0, 0.005f64..0.4)
+        .prop_filter("P must be < 1", |(o, u)| u / (o * (1.0 - u)) < 1.0)
+        .prop_map(|(o, u)| OwnerParams::from_utilization(o, u).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binomial_pmf_sums_to_one(n in 0u64..5_000, p in 0.0f64..1.0) {
+        let b = Binomial::new(n, p);
+        let total: f64 = b.pmf_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&b.cdf(n / 2)));
+    }
+
+    #[test]
+    fn binomial_cdf_monotone(n in 1u64..2_000, p in 0.001f64..0.999) {
+        let b = Binomial::new(n, p);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_time_bounds_hold(t in 1u64..2_000, w in 1u32..200, owner in owner_strategy()) {
+        let e_j = expected_job_time_int(t, w, owner);
+        // T <= E_j <= T + T*O (the paper's guarantee bounds).
+        prop_assert!(e_j >= t as f64 - 1e-9);
+        prop_assert!(e_j <= t as f64 * (1.0 + owner.demand()) + 1e-9);
+    }
+
+    #[test]
+    fn job_time_dominates_task_time(t in 1u64..1_000, w in 1u32..100, owner in owner_strategy()) {
+        let e_t = expected_task_time(t as f64, owner);
+        let e_j = expected_job_time_int(t, w, owner);
+        prop_assert!(e_j >= e_t - 1e-9 * e_t);
+    }
+
+    #[test]
+    fn job_time_monotone_in_w(t in 1u64..500, owner in owner_strategy()) {
+        let mut prev = 0.0;
+        for w in [1u32, 2, 4, 8, 16, 32, 64] {
+            let e = expected_job_time_int(t, w, owner);
+            prop_assert!(e >= prev - 1e-9, "E_j fell at W={w}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn weighted_metrics_dominate(j in 100.0f64..50_000.0, w in 1u32..150, owner in owner_strategy()) {
+        let inputs = ModelInputs::new(Workload::new(j, w).unwrap(), owner);
+        let m = evaluate(&inputs);
+        prop_assert!(m.weighted_speedup >= m.speedup);
+        prop_assert!(m.weighted_efficiency >= m.efficiency);
+        prop_assert!(m.efficiency > 0.0 && m.efficiency <= 1.0 + 1e-9);
+        prop_assert!(m.weighted_efficiency <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn interference_max_pmf_is_distribution(t in 1u64..500, p in 0.0005f64..0.2, w in 1u32..100) {
+        let prof = InterferenceProfile::new(t, p, w);
+        let total: f64 = prof.max_pmf_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        prop_assert!(prof.expected_max() >= prof.expected_per_task() - 1e-9);
+        prop_assert!(prof.variance_of_max() >= -1e-12);
+    }
+
+    #[test]
+    fn job_time_distribution_consistent(t in 1u64..300, w in 1u32..50, owner in owner_strategy()) {
+        let d = JobTimeDistribution::new(t, w, owner);
+        // Mean via distribution == eq. 7.
+        let e_j = expected_job_time_int(t, w, owner);
+        prop_assert!((d.mean() - e_j).abs() < 1e-6 * e_j.max(1.0));
+        // Quantiles are ordered and within the support.
+        let q50 = d.quantile(0.5);
+        let q95 = d.quantile(0.95);
+        prop_assert!(q50 <= q95 + 1e-12);
+        prop_assert!(q95 <= d.worst_case() + 1e-12);
+        prop_assert!(d.cdf(d.worst_case()) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn simulated_task_time_within_guarantee_bounds(
+        t in 1u64..1_000,
+        p in 0.0f64..0.5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let sim = DiscreteTaskSim::paper(t, p, 10.0);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let out = sim.run_task(&mut rng);
+        prop_assert!(out.execution_time >= t as f64);
+        prop_assert!(out.execution_time <= t as f64 * 11.0 + 1e-9);
+        prop_assert!(out.is_consistent());
+        prop_assert!(out.interruptions <= t);
+    }
+
+    #[test]
+    fn utilization_round_trip(o in 0.5f64..100.0, u in 0.001f64..0.5) {
+        prop_assume!(u / (o * (1.0 - u)) < 1.0);
+        let owner = OwnerParams::from_utilization(o, u).unwrap();
+        prop_assert!((owner.utilization() - u).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scaled_problem_time_independent_of_w_only_through_max(
+        t0 in 10u64..300,
+        owner in owner_strategy(),
+    ) {
+        // For scaled problems E_j(W) is nondecreasing but bounded by the
+        // worst case of a single task.
+        let base = expected_job_time_int(t0, 1, owner);
+        let big = expected_job_time_int(t0, 128, owner);
+        prop_assert!(big >= base - 1e-9);
+        prop_assert!(big <= t0 as f64 * (1.0 + owner.demand()) + 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! V1 integration: the discrete-time simulator agrees with the
+//! analysis (the paper's §2.2 validation), and the continuous-time
+//! simulator agrees with its own closed-form anchor.
+
+use nds::cluster::continuous::ContinuousWorkstation;
+use nds::cluster::discrete::DiscreteTaskSim;
+use nds::cluster::experiment::JobTimeExperiment;
+use nds::cluster::owner::OwnerWorkload;
+use nds::core::comparison::ValidationSuite;
+use nds::model::expectation::{expected_job_time_int, expected_task_time};
+use nds::model::params::OwnerParams;
+use nds::stats::rng::Xoshiro256StarStar;
+use nds::stats::summary::RunningStats;
+
+#[test]
+fn discrete_sim_matches_analysis_across_fig1_points() {
+    let suite = ValidationSuite::quick(20_240_601);
+    // Sample Figure 1's parameter plane: the corners and the middle.
+    for (w, u) in [(1u32, 0.01), (10, 0.10), (50, 0.05), (100, 0.20)] {
+        let row = suite.validate_point(1000.0, w, u).expect("valid point");
+        assert!(
+            row.outcome.relative_error < 0.02,
+            "W={w} U={u}: analytic {} vs simulated {} (rel {})",
+            row.analytic,
+            row.outcome.report.mean,
+            row.outcome.relative_error
+        );
+    }
+}
+
+#[test]
+fn paper_batch_means_procedure_reaches_paper_precision() {
+    // One full-paper-configuration point (20 x 1000 samples): the CI
+    // half-width must satisfy the paper's "1 percent or less" claim and
+    // cover the analysis.
+    let owner = OwnerParams::from_utilization(10.0, 0.10).unwrap();
+    let sim = DiscreteTaskSim::paper(100, owner.request_prob(), 10.0);
+    let exp = JobTimeExperiment::paper_configuration(sim, 10, 77);
+    let report = exp.run().expect("experiment runs");
+    assert!(
+        report.meets_paper_precision(),
+        "relative half-width {} exceeds 1%",
+        report.relative_half_width()
+    );
+    let analytic = expected_job_time_int(100, 10, owner);
+    assert!(
+        report.contains(analytic) || (report.mean - analytic).abs() / analytic < 0.01,
+        "analysis {analytic} outside CI [{}, {}]",
+        report.lower(),
+        report.upper()
+    );
+}
+
+#[test]
+fn expected_task_time_matches_discrete_sim() {
+    let owner = OwnerParams::from_utilization(10.0, 0.20).unwrap();
+    let sim = DiscreteTaskSim::paper(500, owner.request_prob(), 10.0);
+    let mut rng = Xoshiro256StarStar::new(5);
+    let mut stats = RunningStats::new();
+    for _ in 0..20_000 {
+        stats.push(sim.run_task(&mut rng).execution_time);
+    }
+    let expected = expected_task_time(500.0, owner);
+    let rel = (stats.mean() - expected).abs() / expected;
+    assert!(rel < 0.01, "sim {} vs model {expected}", stats.mean());
+}
+
+#[test]
+fn continuous_sim_matches_rate_anchor() {
+    // Long tasks see the CPU at rate (1-U): E[time] -> T/(1-U).
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+    let ws = ContinuousWorkstation::new(owner);
+    let mut rng = Xoshiro256StarStar::new(9);
+    let mut stats = RunningStats::new();
+    for _ in 0..400 {
+        stats.push(ws.run_task(2000.0, &mut rng).execution_time);
+    }
+    let expected = 2000.0 / 0.9;
+    let rel = (stats.mean() - expected).abs() / expected;
+    assert!(rel < 0.03, "sim {} vs anchor {expected}", stats.mean());
+}
+
+#[test]
+fn discrete_and_continuous_agree_at_matched_parameters() {
+    // Same O, same U: the two simulators' mean task times should land
+    // within a few percent of each other (different think/service
+    // distributions, same long-run interference rate).
+    let u = 0.10;
+    let o = 10.0;
+    let t = 1000.0;
+    let discrete = DiscreteTaskSim::paper(t as u64, u / (o * (1.0 - u)), o);
+    let mut rng = Xoshiro256StarStar::new(3);
+    let mut d_stats = RunningStats::new();
+    for _ in 0..2_000 {
+        d_stats.push(discrete.run_task(&mut rng).execution_time);
+    }
+    let cont = ContinuousWorkstation::new(
+        OwnerWorkload::continuous_exponential(o, u).unwrap(),
+    );
+    let mut c_stats = RunningStats::new();
+    for _ in 0..400 {
+        c_stats.push(cont.run_task(t, &mut rng).execution_time);
+    }
+    let rel = (d_stats.mean() - c_stats.mean()).abs() / d_stats.mean();
+    assert!(
+        rel < 0.05,
+        "discrete {} vs continuous {}",
+        d_stats.mean(),
+        c_stats.mean()
+    );
+}

@@ -1,0 +1,67 @@
+//! End-to-end PVM validation (Figures 10–11 shapes).
+
+use nds::pvm::harness::ValidationHarness;
+
+fn harness(reps: u32) -> ValidationHarness {
+    ValidationHarness {
+        utilization: 0.03,
+        owner_demand: 10.0,
+        replications: reps,
+        seed: 1993,
+    }
+}
+
+#[test]
+fn fig10_shape_max_task_time_scales_down_with_w() {
+    let h = harness(5);
+    for demand in [4u32, 16] {
+        let p1 = h.run_point(1, demand).unwrap();
+        let p12 = h.run_point(12, demand).unwrap();
+        // Fixed-size: twelve-way split must be far faster...
+        assert!(p12.mean_max_task_time < p1.mean_max_task_time / 6.0);
+        // ...but no faster than the dedicated split time.
+        let dedicated = f64::from(demand) * 60.0 / 12.0;
+        assert!(p12.mean_max_task_time >= dedicated * 0.999);
+    }
+}
+
+#[test]
+fn fig11_task_ratio_effect_small_jobs_lose_more() {
+    // Paper §4: "the speedup for a job demand of 1 is lower than the
+    // speedup for a job demand of 16" at 8-12 workstations, because the
+    // task ratio is smaller. At 3% utilization the effect is subtle, so
+    // average the speedup over W = 8..12 with healthy replications.
+    let h = harness(40);
+    let mean_speedup = |demand: u32| -> f64 {
+        let base = h.run_point(1, demand).unwrap().mean_max_task_time;
+        let mut acc = 0.0;
+        for w in 8..=12 {
+            acc += base / h.run_point(w, demand).unwrap().mean_max_task_time / f64::from(w);
+        }
+        acc / 5.0
+    };
+    let small = mean_speedup(1);
+    let large = mean_speedup(16);
+    assert!(
+        large > small,
+        "normalized speedup: demand 16 => {large:.3}, demand 1 => {small:.3}"
+    );
+}
+
+#[test]
+fn response_time_includes_messaging_overhead() {
+    let h = harness(3);
+    let p = h.run_point(8, 2).unwrap();
+    assert!(p.mean_response_time > p.mean_max_task_time);
+    // Ethernet-scale messaging for 8 tiny messages: well under a second.
+    assert!(p.mean_response_time - p.mean_max_task_time < 1.0);
+}
+
+#[test]
+fn grid_is_complete_and_reproducible() {
+    let h = harness(2);
+    let grid = h.run_grid(&[1, 2, 3], &[1, 2]).unwrap();
+    assert_eq!(grid.len(), 6);
+    let again = h.run_grid(&[1, 2, 3], &[1, 2]).unwrap();
+    assert_eq!(grid, again);
+}
