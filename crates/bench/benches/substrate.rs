@@ -45,8 +45,7 @@ fn discrete_sim(c: &mut Criterion) {
 }
 
 fn continuous_sim(c: &mut Criterion) {
-    let ws =
-        ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap());
+    let ws = ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap());
     c.bench_function("continuous_task_t1000_u10", |b| {
         let mut rng = Xoshiro256StarStar::new(1);
         b.iter(|| black_box(ws.run_task(1000.0, &mut rng)))

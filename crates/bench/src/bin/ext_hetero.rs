@@ -18,15 +18,21 @@ fn main() {
         ("uniform 10%", vec![owner(0.10); 8]),
         (
             "split 5% / 15%",
-            (0..8).map(|i| owner(if i < 4 { 0.05 } else { 0.15 })).collect(),
+            (0..8)
+                .map(|i| owner(if i < 4 { 0.05 } else { 0.15 }))
+                .collect(),
         ),
         (
             "one hot station (38%)",
-            (0..8).map(|i| owner(if i == 0 { 0.38 } else { 0.06 })).collect(),
+            (0..8)
+                .map(|i| owner(if i == 0 { 0.38 } else { 0.06 }))
+                .collect(),
         ),
         (
             "near-idle + two hot (30%)",
-            (0..8).map(|i| owner(if i < 2 { 0.30 } else { 0.0334 })).collect(),
+            (0..8)
+                .map(|i| owner(if i < 2 { 0.30 } else { 0.0334 }))
+                .collect(),
         ),
     ];
     for (label, stations) in pools {

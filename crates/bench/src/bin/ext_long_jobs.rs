@@ -36,16 +36,16 @@ fn main() {
     ] {
         let runner = JobRunner::new(99);
         let mut times: Vec<f64> = (0..reps)
-            .map(|r| runner.run_continuous_job(&owner, task_demand, w, r).job_time())
+            .map(|r| {
+                runner
+                    .run_continuous_job(&owner, task_demand, w, r)
+                    .job_time()
+            })
             .collect();
         times.sort_by(f64::total_cmp);
         let mean = times.iter().sum::<f64>() / reps as f64;
         let p95 = times[(reps as usize * 95) / 100];
-        table.row([
-            label.to_string(),
-            format!("{mean:.1}"),
-            format!("{p95:.1}"),
-        ]);
+        table.row([label.to_string(), format!("{mean:.1}"), format!("{p95:.1}")]);
     }
     print!("{}", table.render());
 }

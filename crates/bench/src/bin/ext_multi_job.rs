@@ -11,7 +11,12 @@ fn main() {
     let mut table = Table::new(format!(
         "Co-scheduled parallel jobs (W={w}, task demand 300 each, U=5%)"
     ))
-    .headers(["jobs in system", "job 1 response", "last job response", "last-job slowdown"]);
+    .headers([
+        "jobs in system",
+        "job 1 response",
+        "last job response",
+        "last-job slowdown",
+    ]);
     for n in [1usize, 2, 3, 4] {
         let exp = MultiJobExperiment {
             jobs: (0..n)

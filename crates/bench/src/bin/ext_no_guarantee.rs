@@ -10,15 +10,25 @@ fn main() {
     let t = 1000u64;
     let o = 10.0;
     let reps = 2000;
-    let mut table = Table::new(format!("Progress guarantee vs none (T={t}, O={o})"))
-        .headers(["P", "guaranteed mean", "no-guarantee mean", "theory ratio"]);
+    let mut table = Table::new(format!("Progress guarantee vs none (T={t}, O={o})")).headers([
+        "P",
+        "guaranteed mean",
+        "no-guarantee mean",
+        "theory ratio",
+    ]);
     for p in [0.01, 0.05, 0.10, 0.20] {
         let base = DiscreteTaskSim::paper(t, p, o);
         let worse = base.without_guarantee();
         let mut r1 = Xoshiro256StarStar::new(1);
         let mut r2 = Xoshiro256StarStar::new(2);
-        let m1: f64 = (0..reps).map(|_| base.run_task(&mut r1).execution_time).sum::<f64>() / reps as f64;
-        let m2: f64 = (0..reps).map(|_| worse.run_task(&mut r2).execution_time).sum::<f64>() / reps as f64;
+        let m1: f64 = (0..reps)
+            .map(|_| base.run_task(&mut r1).execution_time)
+            .sum::<f64>()
+            / reps as f64;
+        let m2: f64 = (0..reps)
+            .map(|_| worse.run_task(&mut r2).execution_time)
+            .sum::<f64>()
+            / reps as f64;
         let theory = (1.0 + o * p / (1.0 - p)) / (1.0 + o * p);
         table.row([
             format!("{p:.2}"),

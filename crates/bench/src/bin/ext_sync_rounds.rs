@@ -20,7 +20,12 @@ fn main() {
     let mut table = Table::new(format!(
         "Synchronized rounds (W={w}, total T={demand}, U={u}): interference per barrier"
     ))
-    .headers(["rounds K", "measured compute", "model K*E_j(T/K)", "slowdown vs K=1"]);
+    .headers([
+        "rounds K",
+        "measured compute",
+        "model K*E_j(T/K)",
+        "slowdown vs K=1",
+    ]);
     let mut base = 0.0;
     for k in [1u32, 4, 16, 64] {
         let owner = OwnerWorkload::continuous_exponential(10.0, u).unwrap();
@@ -33,14 +38,15 @@ fn main() {
                 1993 ^ u64::from(k) << 32 ^ rep,
             )
             .unwrap();
-            sum += sync_rounds::run(&mut vm, demand, k, rep).unwrap().compute_time;
+            sum += sync_rounds::run(&mut vm, demand, k, rep)
+                .unwrap()
+                .compute_time;
         }
         let measured = sum / reps as f64;
         if k == 1 {
             base = measured;
         }
-        let model = f64::from(k)
-            * expected_job_time(demand / f64::from(k), w as u32, owner_model);
+        let model = f64::from(k) * expected_job_time(demand / f64::from(k), w as u32, owner_model);
         table.row([
             k.to_string(),
             format!("{measured:.1}"),

@@ -18,16 +18,36 @@ fn main() {
     let mut table = Table::new(format!(
         "Owner-demand variance vs interference (W={w}, T={task_demand}, U={utilization})"
     ))
-    .headers(["service CV^2", "mean max task time", "slowdown vs dedicated"]);
+    .headers([
+        "service CV^2",
+        "mean max task time",
+        "slowdown vs dedicated",
+    ]);
     for (label, owner) in [
-        ("0 (deterministic-ish)", OwnerWorkload::high_variance(10.0, utilization, 1.0).unwrap()),
-        ("1 (exponential)", OwnerWorkload::continuous_exponential(10.0, utilization).unwrap()),
-        ("4 (H2)", OwnerWorkload::high_variance(10.0, utilization, 4.0).unwrap()),
-        ("16 (H2)", OwnerWorkload::high_variance(10.0, utilization, 16.0).unwrap()),
+        (
+            "0 (deterministic-ish)",
+            OwnerWorkload::high_variance(10.0, utilization, 1.0).unwrap(),
+        ),
+        (
+            "1 (exponential)",
+            OwnerWorkload::continuous_exponential(10.0, utilization).unwrap(),
+        ),
+        (
+            "4 (H2)",
+            OwnerWorkload::high_variance(10.0, utilization, 4.0).unwrap(),
+        ),
+        (
+            "16 (H2)",
+            OwnerWorkload::high_variance(10.0, utilization, 16.0).unwrap(),
+        ),
     ] {
         let runner = JobRunner::new(77);
         let mean: f64 = (0..reps)
-            .map(|r| runner.run_continuous_job(&owner, task_demand, w, r).job_time())
+            .map(|r| {
+                runner
+                    .run_continuous_job(&owner, task_demand, w, r)
+                    .job_time()
+            })
             .sum::<f64>()
             / reps as f64;
         table.row([

@@ -111,9 +111,8 @@ pub fn task_ratio_by_size_figure() -> FigureSeries {
     for &w in &scenario.workstations() {
         let ys = parallel_map(&ratios, 8, |&r| {
             let t = r * OWNER_DEMAND;
-            let inputs =
-                ModelInputs::from_utilization(t * f64::from(w), w, OWNER_DEMAND, 0.10)
-                    .expect("valid parameters");
+            let inputs = ModelInputs::from_utilization(t * f64::from(w), w, OWNER_DEMAND, 0.10)
+                .expect("valid parameters");
             evaluate(&inputs).weighted_efficiency
         });
         curves.push((format!("numProc={w}"), ys));

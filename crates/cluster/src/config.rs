@@ -85,8 +85,8 @@ impl ClusterConfig {
 
     /// Task ratio `T / mean owner demand`, averaged across stations.
     pub fn task_ratio(&self) -> f64 {
-        let mean_o = self.owners.iter().map(|o| o.mean_service()).sum::<f64>()
-            / self.owners.len() as f64;
+        let mean_o =
+            self.owners.iter().map(|o| o.mean_service()).sum::<f64>() / self.owners.len() as f64;
         self.task_demand() / mean_o
     }
 

@@ -212,9 +212,8 @@ mod tests {
     #[test]
     fn dedicated_machine_runs_at_demand() {
         // Utilization so low the task almost never sees interference.
-        let ws = ContinuousWorkstation::new(
-            OwnerWorkload::continuous_exponential(1.0, 1e-6).unwrap(),
-        );
+        let ws =
+            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(1.0, 1e-6).unwrap());
         let out = ws.run_task(100.0, &mut rng(1));
         assert!(
             (out.execution_time - 100.0).abs() < 1.0,
@@ -226,9 +225,8 @@ mod tests {
 
     #[test]
     fn outcome_consistency_under_interference() {
-        let ws = ContinuousWorkstation::new(
-            OwnerWorkload::continuous_exponential(10.0, 0.2).unwrap(),
-        );
+        let ws =
+            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(10.0, 0.2).unwrap());
         let mut r = rng(2);
         for _ in 0..50 {
             let out = ws.run_task(50.0, &mut r);
@@ -243,8 +241,7 @@ mod tests {
         // Under preempt-resume with owner utilization U, the task sees
         // the CPU at rate (1-U) in the long run: E[time] ≈ T/(1-U).
         let u = 0.2;
-        let ws =
-            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(5.0, u).unwrap());
+        let ws = ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(5.0, u).unwrap());
         let mut r = rng(3);
         let mut stats = RunningStats::new();
         for _ in 0..300 {
@@ -263,9 +260,8 @@ mod tests {
     fn higher_utilization_slows_tasks() {
         let mut means = Vec::new();
         for u in [0.01, 0.1, 0.3] {
-            let ws = ContinuousWorkstation::new(
-                OwnerWorkload::continuous_exponential(10.0, u).unwrap(),
-            );
+            let ws =
+                ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(10.0, u).unwrap());
             let mut r = rng(4);
             let mut stats = RunningStats::new();
             for _ in 0..200 {
@@ -278,9 +274,8 @@ mod tests {
 
     #[test]
     fn interruptions_counted() {
-        let ws = ContinuousWorkstation::new(
-            OwnerWorkload::continuous_exponential(5.0, 0.3).unwrap(),
-        );
+        let ws =
+            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(5.0, 0.3).unwrap());
         let mut r = rng(5);
         let out = ws.run_task(1000.0, &mut r);
         assert!(out.interruptions > 0, "high utilization must interrupt");
@@ -289,9 +284,8 @@ mod tests {
 
     #[test]
     fn reproducible_from_seed() {
-        let ws = ContinuousWorkstation::new(
-            OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap(),
-        );
+        let ws =
+            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap());
         let a = ws.run_task(100.0, &mut rng(7));
         let b = ws.run_task(100.0, &mut rng(7));
         assert_eq!(a, b);
@@ -319,9 +313,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "task demand must be finite and > 0")]
     fn rejects_zero_demand() {
-        let ws = ContinuousWorkstation::new(
-            OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap(),
-        );
+        let ws =
+            ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap());
         ws.run_task(0.0, &mut rng(1));
     }
 }

@@ -248,8 +248,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let sim = DiscreteTaskSim::paper(100, 0.1, 10.0);
-        let a = sim.run_task(&mut Xoshiro256StarStar::new(42)).execution_time;
-        let b = sim.run_task(&mut Xoshiro256StarStar::new(42)).execution_time;
+        let a = sim
+            .run_task(&mut Xoshiro256StarStar::new(42))
+            .execution_time;
+        let b = sim
+            .run_task(&mut Xoshiro256StarStar::new(42))
+            .execution_time;
         assert_eq!(a, b);
     }
 

@@ -71,9 +71,7 @@ impl JobTimeExperiment {
     /// interval to be trustworthy). Since each job sample here is an
     /// independent replication, the diagnostic should virtually always
     /// accept; it exists to guard future steady-state experiments.
-    pub fn run_with_diagnostic(
-        &self,
-    ) -> Result<(BatchMeansReport, BatchDiagnostic), ClusterError> {
+    pub fn run_with_diagnostic(&self) -> Result<(BatchMeansReport, BatchDiagnostic), ClusterError> {
         let runner = JobRunner::new(self.seed);
         let mut collector = BatchMeans::new(self.batch_size)?;
         let total = (self.batches * self.batch_size) as u64;

@@ -244,7 +244,10 @@ mod tests {
 
     fn mean_time(ws: &SmpWorkstation, t: f64, reps: u32, seed: u64) -> f64 {
         let mut r = rng(seed);
-        (0..reps).map(|_| ws.run_task(t, &mut r).execution_time).sum::<f64>() / f64::from(reps)
+        (0..reps)
+            .map(|_| ws.run_task(t, &mut r).execution_time)
+            .sum::<f64>()
+            / f64::from(reps)
     }
 
     #[test]

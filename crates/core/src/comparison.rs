@@ -127,7 +127,9 @@ mod tests {
     #[test]
     fn sweep_produces_grid() {
         let suite = ValidationSuite::quick(1);
-        let rows = suite.validate_sweep(1000.0, &[5, 10], &[0.05, 0.10]).unwrap();
+        let rows = suite
+            .validate_sweep(1000.0, &[5, 10], &[0.05, 0.10])
+            .unwrap();
         assert_eq!(rows.len(), 4);
         for row in &rows {
             assert!(row.analytic >= row.task_demand as f64);

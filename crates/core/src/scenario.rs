@@ -25,6 +25,11 @@ pub enum Scenario {
     Scaled,
     /// Figures 10–11: PVM validation at 3% utilization, 1–12 stations.
     PvmValidation,
+    /// Extension (§5 future work): a Condor-style cycle-stealing pool
+    /// scheduler — eviction policies swept against owner utilizations
+    /// on a 16-station pool (see the `nds-sched` crate and the
+    /// `ext_sched_policies` binary).
+    SchedulerPool,
 }
 
 impl Scenario {
@@ -39,6 +44,7 @@ impl Scenario {
             Scenario::TaskRatioAt60 => vec![60],
             Scenario::TaskRatioBySize => vec![2, 4, 8, 20, 60, 100],
             Scenario::PvmValidation => (1..=12).collect(),
+            Scenario::SchedulerPool => vec![16],
         }
     }
 
@@ -47,6 +53,7 @@ impl Scenario {
         match self {
             Scenario::TaskRatioBySize => vec![0.10],
             Scenario::PvmValidation => vec![0.03],
+            Scenario::SchedulerPool => vec![0.05, 0.10, 0.20],
             _ => UTILIZATIONS.to_vec(),
         }
     }
@@ -95,6 +102,25 @@ impl Scenario {
             Scenario::TaskRatioBySize => "Figure 8 (U = 10%)",
             Scenario::Scaled => "Figure 9 (T0 = 100)",
             Scenario::PvmValidation => "Figures 10-11 (PVM, U = 3%)",
+            Scenario::SchedulerPool => "Extension (scheduler pool, W = 16)",
+        }
+    }
+
+    /// Per-task demand for the scheduler workload, if the scenario
+    /// defines one.
+    pub fn sched_task_demand(&self) -> Option<f64> {
+        match self {
+            Scenario::SchedulerPool => Some(120.0),
+            _ => None,
+        }
+    }
+
+    /// Multi-job workload shape `(jobs, tasks_per_job, inter_arrival)`
+    /// for scheduler scenarios.
+    pub fn sched_job_mix(&self) -> Option<(u32, u32, f64)> {
+        match self {
+            Scenario::SchedulerPool => Some((4, 16, 50.0)),
+            _ => None,
         }
     }
 }
@@ -138,6 +164,18 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_scenario_parameters() {
+        let s = Scenario::SchedulerPool;
+        assert_eq!(s.workstations(), vec![16]);
+        assert_eq!(s.utilizations(), vec![0.05, 0.10, 0.20]);
+        assert_eq!(s.sched_task_demand(), Some(120.0));
+        assert_eq!(s.sched_job_mix(), Some((4, 16, 50.0)));
+        assert!(s.job_demand().is_none());
+        assert!(Scenario::FixedSize1K.sched_task_demand().is_none());
+        assert!(Scenario::FixedSize1K.sched_job_mix().is_none());
+    }
+
+    #[test]
     fn labels_unique() {
         let all = [
             Scenario::FixedSize1K,
@@ -146,9 +184,9 @@ mod tests {
             Scenario::TaskRatioBySize,
             Scenario::Scaled,
             Scenario::PvmValidation,
+            Scenario::SchedulerPool,
         ];
-        let labels: std::collections::HashSet<_> =
-            all.iter().map(|s| s.figure_label()).collect();
+        let labels: std::collections::HashSet<_> = all.iter().map(|s| s.figure_label()).collect();
         assert_eq!(labels.len(), all.len());
     }
 }

@@ -92,7 +92,10 @@ mod tests {
     fn expensive_closure_parallelizes_correctly() {
         // Results must match the sequential computation exactly.
         let items: Vec<u64> = (0..64).collect();
-        let expected: Vec<u64> = items.iter().map(|&x| (0..1000).fold(x, |a, b| a ^ b)).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .map(|&x| (0..1000).fold(x, |a, b| a ^ b))
+            .collect();
         let out = parallel_map(&items, 8, |&x| (0..1000).fold(x, |a, b| a ^ b));
         assert_eq!(out, expected);
     }

@@ -30,7 +30,10 @@ impl fmt::Display for DesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DesError::ScheduleInPast { now, requested } => {
-                write!(f, "cannot schedule at {requested} before current time {now}")
+                write!(
+                    f,
+                    "cannot schedule at {requested} before current time {now}"
+                )
             }
             DesError::UnknownRequest { id } => write!(f, "unknown request id {id}"),
             DesError::FacilityIdle => write!(f, "facility is idle"),

@@ -264,12 +264,7 @@ mod tests {
     fn idle_facility_starts_immediately() {
         let mut f = Facility::new("cpu");
         let (outcome, pre) = f.submit(t(0.0), req(1, 0, 5.0)).unwrap();
-        assert_eq!(
-            outcome,
-            RequestOutcome::Started {
-                completion: t(5.0)
-            }
-        );
+        assert_eq!(outcome, RequestOutcome::Started { completion: t(5.0) });
         assert!(pre.is_none());
         assert!(f.is_busy());
         assert_eq!(f.in_service(), Some(1));
@@ -296,12 +291,7 @@ mod tests {
         f.submit(t(0.0), req(1, 0, 10.0)).unwrap();
         // Owner arrives at t=4 with priority 10: preempts immediately.
         let (outcome, pre) = f.submit(t(4.0), req(2, 10, 3.0)).unwrap();
-        assert_eq!(
-            outcome,
-            RequestOutcome::Started {
-                completion: t(7.0)
-            }
-        );
+        assert_eq!(outcome, RequestOutcome::Started { completion: t(7.0) });
         let pre = pre.unwrap();
         assert_eq!(pre.id, 1);
         assert_eq!(pre.remaining, 6.0);

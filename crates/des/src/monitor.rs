@@ -125,7 +125,7 @@ mod tests {
         m.set(t(0.0), 0.0);
         m.set(t(4.0), 2.0); // 0 for 4 units
         m.set(t(8.0), 1.0); // 2 for 4 units
-        // Up to t=10: (0*4 + 2*4 + 1*2) / 10 = 1.0
+                            // Up to t=10: (0*4 + 2*4 + 1*2) / 10 = 1.0
         assert_eq!(m.time_average(t(10.0)), 1.0);
     }
 

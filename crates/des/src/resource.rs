@@ -131,7 +131,8 @@ impl MultiFacility {
             let remaining = (victim.remaining - done).max(0.0);
             self.busy_area += done;
             self.preemptions += 1;
-            self.queue.push_front((victim.priority, victim.id, remaining));
+            self.queue
+                .push_front((victim.priority, victim.id, remaining));
             self.active[victim_idx] = Active {
                 id: req.id,
                 priority: req.priority,
@@ -173,12 +174,11 @@ impl MultiFacility {
             .queue
             .iter()
             .enumerate()
-            .max_by(|(ia, (pa, _, _)), (ib, (pb, _, _))| {
-                pa.cmp(pb).then_with(|| ib.cmp(ia))
-            })
+            .max_by(|(ia, (pa, _, _)), (ib, (pb, _, _))| pa.cmp(pb).then_with(|| ib.cmp(ia)))
             .map(|(i, _)| i);
-        Ok(best.and_then(|i| self.queue.remove(i)).map(
-            |(priority, id, remaining)| {
+        Ok(best
+            .and_then(|i| self.queue.remove(i))
+            .map(|(priority, id, remaining)| {
                 self.active.push(Active {
                     id,
                     priority,
@@ -186,8 +186,7 @@ impl MultiFacility {
                     remaining,
                 });
                 (id, now + SimTime::new(remaining))
-            },
-        ))
+            }))
     }
 }
 
@@ -250,7 +249,7 @@ mod tests {
         f.submit(t(0.0), req(1, 0, 4.0)).unwrap();
         f.submit(t(0.0), req(2, 0, 4.0)).unwrap();
         f.submit(t(0.0), req(3, 5, 4.0)).unwrap(); // preempts 1
-        // Now 3 in service; queue holds 1 (remaining 4, front) and 2.
+                                                   // Now 3 in service; queue holds 1 (remaining 4, front) and 2.
         let next = f.complete(t(4.0), 3).unwrap();
         let (id, completion) = next.unwrap();
         assert_eq!(id, 1, "preempted task resumes before task 2");

@@ -19,7 +19,10 @@ impl SimTime {
 
     /// Construct from a nonnegative, finite number of time units.
     pub fn new(t: f64) -> Self {
-        assert!(t.is_finite() && t >= 0.0, "SimTime must be finite and >= 0, got {t}");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "SimTime must be finite and >= 0, got {t}"
+        );
         SimTime(t)
     }
 
@@ -48,7 +51,9 @@ impl Eq for SimTime {}
 // SimTime is always finite, so f64 comparison is total here.
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
     }
 }
 

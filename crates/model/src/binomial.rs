@@ -80,8 +80,7 @@ impl Binomial {
         // genuinely below ~1e-308 and contribute nothing.
         let mode = (((nf + 1.0) * p).floor().min(nf) as u64).clamp(lo, hi);
         // ln(1-p) via ln_1p(-p) keeps accuracy for tiny p.
-        let ln_mode =
-            ln_choose(n, mode) + mode as f64 * p.ln() + (nf - mode as f64) * (-p).ln_1p();
+        let ln_mode = ln_choose(n, mode) + mode as f64 * p.ln() + (nf - mode as f64) * (-p).ln_1p();
         let pm = ln_mode.exp();
         pmf[(mode - lo) as usize] = pm;
         let ratio = p / (1.0 - p);
@@ -150,7 +149,10 @@ impl Binomial {
         if k < self.offset {
             return 0.0;
         }
-        self.pmf.get((k - self.offset) as usize).copied().unwrap_or(0.0)
+        self.pmf
+            .get((k - self.offset) as usize)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// `P(X <= k)`; 0 below the window, 1 above it.
@@ -342,7 +344,11 @@ mod tests {
     #[test]
     fn windowed_huge_n_does_not_allocate_everything() {
         let b = Binomial::new(1_000_000_000, 0.001);
-        assert!(b.pmf_slice().len() < 6_000_000, "len {}", b.pmf_slice().len());
+        assert!(
+            b.pmf_slice().len() < 6_000_000,
+            "len {}",
+            b.pmf_slice().len()
+        );
         let total: f64 = b.pmf_slice().iter().sum();
         close(total, 1.0, 1e-9);
     }

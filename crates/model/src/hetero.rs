@@ -232,8 +232,7 @@ mod tests {
         // than a uniform pool at 10% — the max is driven by the worst
         // station.
         let uniform = HeteroSystem::new(100, vec![owner(10.0, 0.10); 2]).unwrap();
-        let spread =
-            HeteroSystem::new(100, vec![owner(10.0, 0.05), owner(10.0, 0.15)]).unwrap();
+        let spread = HeteroSystem::new(100, vec![owner(10.0, 0.05), owner(10.0, 0.15)]).unwrap();
         assert!(
             spread.expected_job_time() >= uniform.expected_job_time() - 0.5,
             "spread {} vs uniform {}",

@@ -85,7 +85,10 @@ impl InterferenceProfile {
         if n < self.offset {
             return 0.0;
         }
-        self.max_pmf.get((n - self.offset) as usize).copied().unwrap_or(0.0)
+        self.max_pmf
+            .get((n - self.offset) as usize)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// First interruption count of the materialized window.

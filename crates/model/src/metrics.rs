@@ -101,8 +101,7 @@ pub fn fixed_size_sweep(
     workstations
         .iter()
         .map(|&w| {
-            let inputs =
-                ModelInputs::from_utilization(job_demand, w, owner_demand, utilization)?;
+            let inputs = ModelInputs::from_utilization(job_demand, w, owner_demand, utilization)?;
             Ok((w, evaluate(&inputs)))
         })
         .collect()
@@ -165,7 +164,11 @@ mod tests {
         for u in [0.01, 0.05, 0.1, 0.2] {
             for w in [1u32, 10, 60, 100] {
                 let m = evaluate(&inputs(1000.0, w, 10.0, u));
-                assert!(m.efficiency <= 1.0 + 1e-12, "eff {} at W={w} U={u}", m.efficiency);
+                assert!(
+                    m.efficiency <= 1.0 + 1e-12,
+                    "eff {} at W={w} U={u}",
+                    m.efficiency
+                );
                 assert!(
                     m.weighted_efficiency <= 1.0 + 1e-9,
                     "weff {} at W={w} U={u}",
@@ -220,13 +223,8 @@ mod tests {
 
     #[test]
     fn task_ratio_sweep_monotone_in_ratio() {
-        let sweep = task_ratio_sweep(
-            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 60.0],
-            60,
-            10.0,
-            0.1,
-        )
-        .unwrap();
+        let sweep =
+            task_ratio_sweep(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 60.0], 60, 10.0, 0.1).unwrap();
         let mut prev = 0.0;
         for (ratio, m) in sweep {
             assert!(
@@ -247,10 +245,18 @@ mod tests {
     fn feasibility_verdict() {
         // Large task ratio at modest utilization: feasible.
         let good = FeasibilityMetrics::evaluate(&inputs(60_000.0, 60, 10.0, 0.05));
-        assert!(good.is_feasible(), "weff {}", good.metrics.weighted_efficiency);
+        assert!(
+            good.is_feasible(),
+            "weff {}",
+            good.metrics.weighted_efficiency
+        );
         // Tiny task ratio at high utilization: infeasible.
         let bad = FeasibilityMetrics::evaluate(&inputs(600.0, 60, 10.0, 0.20));
-        assert!(!bad.is_feasible(), "weff {}", bad.metrics.weighted_efficiency);
+        assert!(
+            !bad.is_feasible(),
+            "weff {}",
+            bad.metrics.weighted_efficiency
+        );
     }
 
     #[test]

@@ -117,7 +117,11 @@ mod tests {
         let pts = scaled_sweep(100.0, &[1, 2, 5, 10, 25, 50, 100], owner(0.1)).unwrap();
         let mut prev = -1.0;
         for p in &pts {
-            assert!(p.inflation >= prev - 1e-12, "inflation fell at W={}", p.workstations);
+            assert!(
+                p.inflation >= prev - 1e-12,
+                "inflation fell at W={}",
+                p.workstations
+            );
             prev = p.inflation;
         }
     }
@@ -144,7 +148,11 @@ mod tests {
         // Scaled speedup should stay within inflation of perfect W.
         let pts = scaled_sweep(100.0, &[100], owner(0.05)).unwrap();
         let p = &pts[0];
-        assert!(p.scaled_speedup > 100.0 / 1.4, "scaled speedup {}", p.scaled_speedup);
+        assert!(
+            p.scaled_speedup > 100.0 / 1.4,
+            "scaled speedup {}",
+            p.scaled_speedup
+        );
         assert!(p.scaled_speedup <= 100.0);
     }
 

@@ -33,13 +33,7 @@ fn weighted_efficiency(t: f64, w: u32, o: f64, u: f64) -> Result<f64, ModelError
 
 /// Compute all elasticities at `(T, W, O, U)` with relative step `h`
 /// (central differences; `h = 0.05` is a good default).
-pub fn elasticities(
-    t: f64,
-    w: u32,
-    o: f64,
-    u: f64,
-    h: f64,
-) -> Result<Elasticities, ModelError> {
+pub fn elasticities(t: f64, w: u32, o: f64, u: f64, h: f64) -> Result<Elasticities, ModelError> {
     if !(0.0..0.5).contains(&h) || h <= 0.0 {
         return Err(ModelError::InvalidParameter {
             name: "h (relative step)",
@@ -67,7 +61,10 @@ pub fn elasticities(
     let w_el = {
         // W is integral; use a one-step log difference around W.
         let w_plus = (f64::from(w) * (1.0 + h)).round().max(f64::from(w) + 1.0) as u32;
-        let w_minus = (f64::from(w) / (1.0 + h)).round().min(f64::from(w) - 1.0).max(1.0) as u32;
+        let w_minus = (f64::from(w) / (1.0 + h))
+            .round()
+            .min(f64::from(w) - 1.0)
+            .max(1.0) as u32;
         if w_minus == w_plus {
             0.0
         } else {

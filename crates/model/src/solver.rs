@@ -33,11 +33,7 @@ fn weighted_efficiency(t: f64, w: u32, owner: OwnerParams) -> f64 {
 /// Weighted efficiency is nondecreasing in `T` for this model (longer
 /// tasks amortize interruptions better), so a bracketing bisection is
 /// exact up to the requested tolerance.
-pub fn required_task_demand(
-    w: u32,
-    owner: OwnerParams,
-    target: f64,
-) -> Result<f64, ModelError> {
+pub fn required_task_demand(w: u32, owner: OwnerParams, target: f64) -> Result<f64, ModelError> {
     if !(0.0..1.0).contains(&target) || target <= 0.0 {
         return Err(ModelError::InvalidParameter {
             name: "target weighted efficiency",
@@ -75,20 +71,12 @@ pub fn required_task_demand(
 
 /// Minimum task ratio `T/O` for a target weighted efficiency on `w`
 /// workstations — the paper's 8/13/20 thresholds.
-pub fn required_task_ratio(
-    w: u32,
-    owner: OwnerParams,
-    target: f64,
-) -> Result<f64, ModelError> {
+pub fn required_task_ratio(w: u32, owner: OwnerParams, target: f64) -> Result<f64, ModelError> {
     Ok(required_task_demand(w, owner, target)? / owner.demand())
 }
 
 /// Minimum total job demand `J = T·W` for a target weighted efficiency.
-pub fn required_job_demand(
-    w: u32,
-    owner: OwnerParams,
-    target: f64,
-) -> Result<f64, ModelError> {
+pub fn required_job_demand(w: u32, owner: OwnerParams, target: f64) -> Result<f64, ModelError> {
     Ok(required_task_demand(w, owner, target)? * w as f64)
 }
 

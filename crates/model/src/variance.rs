@@ -153,7 +153,10 @@ mod tests {
         let a16 = GeneralOwner::new(base(0.1), 16.0).approx_expected_job_time(t, w)
             / GeneralOwner::new(base(0.1), 1.0).approx_expected_job_time(t, w);
         assert!(a4 > 1.0 && a16 > a4);
-        assert!((a4 - sim_ratio_4).abs() / sim_ratio_4 < 0.15, "a4 {a4} vs sim {sim_ratio_4}");
+        assert!(
+            (a4 - sim_ratio_4).abs() / sim_ratio_4 < 0.15,
+            "a4 {a4} vs sim {sim_ratio_4}"
+        );
         assert!(
             (a16 - sim_ratio_16).abs() / sim_ratio_16 < 0.15,
             "a16 {a16} vs sim {sim_ratio_16}"

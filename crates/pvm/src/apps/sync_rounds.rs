@@ -73,12 +73,7 @@ pub fn run(
         // starting from the common release time `clock`.
         let mut arrivals = Vec::with_capacity(w);
         for &worker in &workers {
-            let out = vm.compute(
-                worker,
-                segment,
-                clock,
-                replication << 8 | u64::from(round),
-            )?;
+            let out = vm.compute(worker, segment, clock, replication << 8 | u64::from(round))?;
             arrivals.push(clock + out.execution_time);
         }
         let round_max = group.barrier(&arrivals)?;
@@ -153,9 +148,7 @@ mod tests {
         let mode = if u <= 0.0 {
             InterferenceMode::Dedicated
         } else {
-            InterferenceMode::Continuous(
-                OwnerWorkload::continuous_exponential(10.0, u).unwrap(),
-            )
+            InterferenceMode::Continuous(OwnerWorkload::continuous_exponential(10.0, u).unwrap())
         };
         VirtualMachine::new(hosts, mode, LanModel::instantaneous(), 5).unwrap()
     }
@@ -190,13 +183,8 @@ mod tests {
 
     #[test]
     fn barrier_cost_counted_with_slow_lan() {
-        let mut v = VirtualMachine::new(
-            4,
-            InterferenceMode::Dedicated,
-            LanModel::new(0.1, 1e6),
-            1,
-        )
-        .unwrap();
+        let mut v = VirtualMachine::new(4, InterferenceMode::Dedicated, LanModel::new(0.1, 1e6), 1)
+            .unwrap();
         let m = run(&mut v, 100.0, 5, 0).unwrap();
         assert!(m.barrier_time > 0.0);
         assert!((m.job_time - (m.compute_time + m.barrier_time)).abs() < 1e-9);

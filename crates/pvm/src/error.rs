@@ -59,11 +59,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(PvmError::UnknownTask { id: 3 }.to_string(), "unknown task t3");
-        assert_eq!(PvmError::UnknownHost { index: 9 }.to_string(), "unknown host #9");
-        assert!(PvmError::NoMessage { task: 1, tag: Some(7) }
-            .to_string()
-            .contains("tag 7"));
+        assert_eq!(
+            PvmError::UnknownTask { id: 3 }.to_string(),
+            "unknown task t3"
+        );
+        assert_eq!(
+            PvmError::UnknownHost { index: 9 }.to_string(),
+            "unknown host #9"
+        );
+        assert!(PvmError::NoMessage {
+            task: 1,
+            tag: Some(7)
+        }
+        .to_string()
+        .contains("tag 7"));
         assert!(PvmError::NoMessage { task: 1, tag: None }
             .to_string()
             .contains("no message for"));

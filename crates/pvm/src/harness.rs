@@ -6,8 +6,8 @@
 //! (Figure 11) is the ratio of the mean max task execution time on one
 //! workstation to that on `W` workstations.
 
-use crate::error::PvmError;
 use crate::apps::local_computation;
+use crate::error::PvmError;
 use crate::lan::LanModel;
 use crate::vm::{InterferenceMode, VirtualMachine};
 use nds_cluster::owner::OwnerWorkload;
@@ -72,7 +72,11 @@ impl ValidationHarness {
     }
 
     /// Run one `(W, demand)` point: `replications` runs, means reported.
-    pub fn run_point(&self, workstations: u32, demand_minutes: u32) -> Result<ValidationPoint, PvmError> {
+    pub fn run_point(
+        &self,
+        workstations: u32,
+        demand_minutes: u32,
+    ) -> Result<ValidationPoint, PvmError> {
         if workstations == 0 {
             return Err(PvmError::InvalidConfig {
                 reason: "need at least one workstation".into(),
@@ -87,8 +91,7 @@ impl ValidationHarness {
             .map_err(|e| PvmError::InvalidConfig {
                 reason: e.to_string(),
             })?;
-        let task_demand =
-            f64::from(demand_minutes) * SECONDS_PER_MINUTE / f64::from(workstations);
+        let task_demand = f64::from(demand_minutes) * SECONDS_PER_MINUTE / f64::from(workstations);
         let mut sum_max = 0.0;
         let mut sum_resp = 0.0;
         for rep in 0..self.replications {
@@ -148,7 +151,11 @@ impl ValidationHarness {
 /// replications would be wasteful — instead the bench crate calls
 /// `nds-model` directly. This helper only returns the **single-station**
 /// closed form `T/(1-U)`, which anchors the curves.
-pub fn analytic_single_station_time(demand_minutes: u32, workstations: u32, utilization: f64) -> f64 {
+pub fn analytic_single_station_time(
+    demand_minutes: u32,
+    workstations: u32,
+    utilization: f64,
+) -> f64 {
     let t = f64::from(demand_minutes) * SECONDS_PER_MINUTE / f64::from(workstations);
     t / (1.0 - utilization)
 }
@@ -182,8 +189,12 @@ mod tests {
         let h = quick_harness();
         let pts = h.run_grid(&[1, 2], &[1, 2]).unwrap();
         assert_eq!(pts.len(), 4);
-        assert!(pts.iter().any(|p| p.workstations == 1 && p.demand_minutes == 1));
-        assert!(pts.iter().any(|p| p.workstations == 2 && p.demand_minutes == 2));
+        assert!(pts
+            .iter()
+            .any(|p| p.workstations == 1 && p.demand_minutes == 1));
+        assert!(pts
+            .iter()
+            .any(|p| p.workstations == 2 && p.demand_minutes == 2));
     }
 
     #[test]

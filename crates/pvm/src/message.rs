@@ -68,7 +68,9 @@ impl MessageBuffer {
         let len_raw = self.take(8, "str length")?;
         let len = u64::from_le_bytes(len_raw.try_into().expect("8 bytes")) as usize;
         let raw = self.take(len, "str bytes")?.to_vec();
-        String::from_utf8(raw).map_err(|_| PvmError::UnpackMismatch { expected: "utf-8 str" })
+        String::from_utf8(raw).map_err(|_| PvmError::UnpackMismatch {
+            expected: "utf-8 str",
+        })
     }
 
     /// Size on the wire, in bytes (drives the LAN transfer-time model).

@@ -358,13 +358,9 @@ mod tests {
 
     #[test]
     fn lan_contention_delays_delivery() {
-        let mut v = VirtualMachine::new(
-            2,
-            InterferenceMode::Dedicated,
-            LanModel::new(0.0, 10.0),
-            1,
-        )
-        .unwrap();
+        let mut v =
+            VirtualMachine::new(2, InterferenceMode::Dedicated, LanModel::new(0.0, 10.0), 1)
+                .unwrap();
         let a = v.spawn(0).unwrap();
         let b = v.spawn(1).unwrap();
         let mut big = MessageBuffer::new();
@@ -424,8 +420,10 @@ mod tests {
             .is_err());
         assert!(v.recv(ghost, None, 0.0).is_err());
         assert!(v.spawn(5).is_err());
-        assert!(VirtualMachine::new(0, InterferenceMode::Dedicated, LanModel::instantaneous(), 1)
-            .is_err());
+        assert!(
+            VirtualMachine::new(0, InterferenceMode::Dedicated, LanModel::instantaneous(), 1)
+                .is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Error type for scheduler configuration and execution.
+
+use std::fmt;
+
+/// Why a scheduler run could not be configured or completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A configuration field was out of range.
+    InvalidConfig {
+        /// Which field was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The simulation hit its event cap before every job completed —
+    /// usually a sign of a starved pool (admission threshold below every
+    /// owner's utilization) or a Restart policy thrashing on demands far
+    /// longer than the owners' idle gaps.
+    EventCapExceeded {
+        /// The cap that was hit.
+        max_events: u64,
+        /// Jobs still incomplete when the cap was hit.
+        jobs_unfinished: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid scheduler config: {field}: {reason}")
+            }
+            Self::EventCapExceeded {
+                max_events,
+                jobs_unfinished,
+            } => write!(
+                f,
+                "scheduler run exceeded {max_events} events with \
+                 {jobs_unfinished} job(s) unfinished"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SchedError::InvalidConfig {
+            field: "admission_threshold",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("admission_threshold"));
+        let e = SchedError::EventCapExceeded {
+            max_events: 10,
+            jobs_unfinished: 2,
+        };
+        assert!(e.to_string().contains("2 job(s)"));
+    }
+}

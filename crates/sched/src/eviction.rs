@@ -1,0 +1,271 @@
+//! Owner-return (eviction) policies.
+//!
+//! The paper's model fixes one policy: the task is suspended beneath the
+//! owner and resumed afterwards, losing no work. Real cycle-stealing
+//! systems of the era (Condor being the canonical one) had to choose,
+//! because a suspended guest still occupies the owner's memory:
+//!
+//! * [`EvictionPolicy::Restart`] — kill the task; all progress is lost
+//!   and it restarts from scratch elsewhere (early Condor without
+//!   checkpointing).
+//! * [`EvictionPolicy::SuspendResume`] — the paper's assumption: the
+//!   task sleeps on the machine and resumes in place.
+//! * [`EvictionPolicy::Migrate`] — the live task moves to another idle
+//!   machine, keeping its progress but paying a fixed migration
+//!   overhead before it computes again.
+//! * [`EvictionPolicy::Checkpoint`] — the task checkpoints every
+//!   `interval` units of *progress* at a cost of `overhead` CPU time per
+//!   checkpoint; on eviction it restarts elsewhere from the last
+//!   checkpoint, losing only the work since.
+//!
+//! [`on_eviction`] is the pure accounting rule: given a policy and the
+//! task's progress state at the eviction instant it reports what is
+//! lost, what remains, and what setup cost the next placement pays. The
+//! simulator applies it; the unit tests pin the semantics down.
+
+/// Smallest accepted checkpoint interval; values at or below the
+/// simulator's work-completion epsilon cannot make forward progress.
+pub const MIN_CHECKPOINT_INTERVAL: f64 = 1e-9;
+
+/// What a workstation does to a guest task when its owner returns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvictionPolicy {
+    /// Kill the task and requeue it from scratch.
+    Restart,
+    /// Suspend in place, resume when the owner leaves (the paper's
+    /// model; no work is ever lost).
+    SuspendResume,
+    /// Move the live task to the queue with progress intact; its next
+    /// placement pays `overhead` CPU time of setup before computing.
+    Migrate {
+        /// Migration setup cost in CPU time units.
+        overhead: f64,
+    },
+    /// Periodic checkpointing: every `interval` units of progress the
+    /// task pays `overhead` CPU time to checkpoint; eviction loses only
+    /// the progress since the last completed checkpoint.
+    Checkpoint {
+        /// Progress between checkpoints (work units, > 0).
+        interval: f64,
+        /// CPU cost of writing one checkpoint (>= 0).
+        overhead: f64,
+    },
+}
+
+impl EvictionPolicy {
+    /// Short stable name for tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Restart => "restart",
+            Self::SuspendResume => "suspend-resume",
+            Self::Migrate { .. } => "migrate",
+            Self::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// Human-readable label including parameters.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Restart => "restart".into(),
+            Self::SuspendResume => "suspend-resume".into(),
+            Self::Migrate { overhead } => format!("migrate(c={overhead})"),
+            Self::Checkpoint { interval, overhead } => {
+                format!("checkpoint(i={interval}, c={overhead})")
+            }
+        }
+    }
+
+    /// Validate policy parameters.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        match *self {
+            Self::Restart | Self::SuspendResume => Ok(()),
+            Self::Migrate { overhead } => {
+                if overhead.is_finite() && overhead >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(("migrate overhead", format!("{overhead} not finite >= 0")))
+                }
+            }
+            Self::Checkpoint { interval, overhead } => {
+                // Intervals at or below the simulator's work epsilon would
+                // make every Work segment zero-length and livelock the
+                // checkpoint-write loop, so reject them outright.
+                if !(interval.is_finite() && interval > MIN_CHECKPOINT_INTERVAL) {
+                    Err((
+                        "checkpoint interval",
+                        format!("{interval} not finite > {MIN_CHECKPOINT_INTERVAL}"),
+                    ))
+                } else if !(overhead.is_finite() && overhead >= 0.0) {
+                    Err(("checkpoint overhead", format!("{overhead} not finite >= 0")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The accounting consequences of one eviction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictionOutcome {
+    /// Whether the task leaves the machine for the central queue
+    /// (`false` only for [`EvictionPolicy::SuspendResume`]).
+    pub requeue: bool,
+    /// Progress destroyed by this eviction (counted as wasted work).
+    pub lost: f64,
+    /// Work the task still owes after the eviction.
+    pub new_remaining: f64,
+    /// Setup CPU time its next placement must serve before computing.
+    pub setup: f64,
+}
+
+/// Apply `policy` to a task with total `demand`, `remaining` work at the
+/// eviction instant, and `since_checkpoint` progress not yet covered by
+/// a checkpoint.
+///
+/// For policies without checkpointing, pass the progress made in the
+/// current placement as `since_checkpoint` under [`EvictionPolicy::Restart`]
+/// semantics it is ignored (everything is lost anyway).
+pub fn on_eviction(
+    policy: EvictionPolicy,
+    demand: f64,
+    remaining: f64,
+    since_checkpoint: f64,
+) -> EvictionOutcome {
+    match policy {
+        EvictionPolicy::Restart => EvictionOutcome {
+            requeue: true,
+            lost: demand - remaining,
+            new_remaining: demand,
+            setup: 0.0,
+        },
+        EvictionPolicy::SuspendResume => EvictionOutcome {
+            requeue: false,
+            lost: 0.0,
+            new_remaining: remaining,
+            setup: 0.0,
+        },
+        EvictionPolicy::Migrate { overhead } => EvictionOutcome {
+            requeue: true,
+            lost: 0.0,
+            new_remaining: remaining,
+            setup: overhead,
+        },
+        EvictionPolicy::Checkpoint { .. } => EvictionOutcome {
+            requeue: true,
+            lost: since_checkpoint,
+            new_remaining: remaining + since_checkpoint,
+            setup: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_loses_everything() {
+        let out = on_eviction(EvictionPolicy::Restart, 100.0, 30.0, 12.0);
+        assert!(out.requeue);
+        assert_eq!(out.lost, 70.0);
+        assert_eq!(out.new_remaining, 100.0);
+        assert_eq!(out.setup, 0.0);
+    }
+
+    #[test]
+    fn suspend_loses_nothing_and_stays() {
+        let out = on_eviction(EvictionPolicy::SuspendResume, 100.0, 30.0, 12.0);
+        assert!(!out.requeue);
+        assert_eq!(out.lost, 0.0);
+        assert_eq!(out.new_remaining, 30.0);
+    }
+
+    #[test]
+    fn migrate_keeps_progress_but_pays_setup() {
+        let out = on_eviction(EvictionPolicy::Migrate { overhead: 5.0 }, 100.0, 30.0, 12.0);
+        assert!(out.requeue);
+        assert_eq!(out.lost, 0.0);
+        assert_eq!(out.new_remaining, 30.0);
+        assert_eq!(out.setup, 5.0);
+    }
+
+    #[test]
+    fn checkpoint_rolls_back_to_last_checkpoint() {
+        let policy = EvictionPolicy::Checkpoint {
+            interval: 25.0,
+            overhead: 1.0,
+        };
+        // 70 done, 12 of those since the last checkpoint.
+        let out = on_eviction(policy, 100.0, 30.0, 12.0);
+        assert!(out.requeue);
+        assert_eq!(out.lost, 12.0);
+        assert_eq!(out.new_remaining, 42.0);
+        assert_eq!(out.setup, 0.0);
+    }
+
+    #[test]
+    fn conservation_demand_is_preserved() {
+        // For every policy: retained progress + new_remaining == demand.
+        for (policy, since) in [
+            (EvictionPolicy::Restart, 12.0),
+            (EvictionPolicy::SuspendResume, 12.0),
+            (EvictionPolicy::Migrate { overhead: 3.0 }, 12.0),
+            (
+                EvictionPolicy::Checkpoint {
+                    interval: 25.0,
+                    overhead: 1.0,
+                },
+                12.0,
+            ),
+        ] {
+            let (demand, remaining) = (100.0, 30.0);
+            let out = on_eviction(policy, demand, remaining, since);
+            let retained = demand - remaining - out.lost;
+            assert!(
+                (retained + out.new_remaining - demand).abs() < 1e-12,
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_labels() {
+        assert_eq!(EvictionPolicy::Restart.name(), "restart");
+        assert_eq!(
+            EvictionPolicy::Checkpoint {
+                interval: 10.0,
+                overhead: 0.5
+            }
+            .label(),
+            "checkpoint(i=10, c=0.5)"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(EvictionPolicy::Restart.validate().is_ok());
+        assert!(EvictionPolicy::Migrate { overhead: -1.0 }
+            .validate()
+            .is_err());
+        assert!(EvictionPolicy::Checkpoint {
+            interval: 0.0,
+            overhead: 1.0
+        }
+        .validate()
+        .is_err());
+        // Sub-epsilon intervals would livelock the checkpoint-write loop.
+        assert!(EvictionPolicy::Checkpoint {
+            interval: 1e-13,
+            overhead: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(EvictionPolicy::Checkpoint {
+            interval: 10.0,
+            overhead: f64::NAN
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # nds-sched — a Condor-style cycle-stealing pool scheduler
+//!
+//! The paper assumes the simplest possible scheduler: one perfectly
+//! parallel job, statically sliced into `W` tasks, one per workstation,
+//! suspended and resumed beneath the owners. Its §5 future work — "more
+//! complex workloads" and owner behaviour — points straight at the real
+//! cycle-stealing systems of the era (Condor above all), which had to
+//! decide *where* tasks go, *what* happens when an owner returns, and
+//! *which* queued job runs next. This crate simulates that whole layer
+//! on top of the [`nds_des`] engine:
+//!
+//! * [`pool`] — dynamic pool membership: a machine is offerable only
+//!   while its owner is away and no guest occupies it, with
+//!   probe-style exponentially-weighted utilization estimates (and an
+//!   optional pre-run calibration probe, the simulated `uptime` the
+//!   paper calibrated against).
+//! * [`policy`] — the [`policy::PlacementPolicy`] trait with
+//!   [`policy::RandomPlacement`], [`policy::RoundRobinPlacement`], and
+//!   [`policy::LeastLoadedPlacement`].
+//! * [`eviction`] — owner-return handling: Restart, Suspend/Resume
+//!   (the paper's assumption), Migrate, and periodic Checkpoint.
+//! * [`queue`] — a central job queue (FCFS and shortest-job backfill)
+//!   feeding multi-job workloads.
+//! * [`metrics`] — makespan, goodput, wasted work, checkpoint
+//!   overhead, eviction/migration counts, and the work-conservation
+//!   invariant `delivered == goodput + wasted + checkpoint_overhead`.
+//! * [`simulator`] — the event loop tying it all together.
+//!
+//! ## Relation to the paper's model
+//!
+//! With a fixed full-size pool, one job of one task per machine, and
+//! [`EvictionPolicy::SuspendResume`], the scheduler degenerates to the
+//! paper's model exactly: machine `i` consumes the same RNG stream as
+//! [`nds_cluster::JobRunner`]'s station `i`, so the degenerate
+//! configuration reproduces `JobRunner`'s job times bit-for-bit (the
+//! workspace's invariant tests enforce this).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nds_cluster::owner::OwnerWorkload;
+//! use nds_sched::{EvictionPolicy, JobSpec, SchedConfig};
+//!
+//! let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+//! let mut cfg = SchedConfig::homogeneous(
+//!     8,
+//!     &owner,
+//!     vec![JobSpec::at_zero(16, 100.0)],
+//! );
+//! cfg.eviction = EvictionPolicy::Checkpoint { interval: 25.0, overhead: 0.5 };
+//! let metrics = cfg.run().unwrap();
+//! assert_eq!(metrics.completed_tasks, 16);
+//! assert!(metrics.is_consistent());
+//! ```
+
+pub mod error;
+pub mod eviction;
+pub mod metrics;
+pub mod policy;
+pub mod pool;
+pub mod queue;
+pub mod simulator;
+
+pub use error::SchedError;
+pub use eviction::{on_eviction, EvictionOutcome, EvictionPolicy};
+pub use metrics::{JobRecord, SchedMetrics};
+pub use policy::{CandidateMachine, PlacementKind, PlacementPolicy};
+pub use pool::{Pool, UtilizationEstimator};
+pub use queue::{JobQueue, JobSpec, PendingTask, QueueDiscipline};
+pub use simulator::SchedConfig;

@@ -1,0 +1,179 @@
+//! Scheduler run metrics and the work-conservation invariant.
+//!
+//! Every unit of CPU time a machine grants to guest work is classified
+//! exactly once:
+//!
+//! * **goodput** — progress that survived to a task completion,
+//! * **wasted** — progress destroyed by evictions (restart losses,
+//!   checkpoint rollbacks) plus migration setup time,
+//! * **checkpoint overhead** — CPU spent writing checkpoints (including
+//!   writes aborted by an eviction).
+//!
+//! The invariant `delivered == goodput + wasted + checkpoint_overhead`
+//! ([`SchedMetrics::accounting_residual`]) is the scheduler's analogue
+//! of [`nds_cluster::TaskOutcome::is_consistent`] and is enforced by the
+//! workspace's invariant tests.
+
+/// Completion record for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// Arrival time of the job.
+    pub arrival: f64,
+    /// When its last task finished.
+    pub completion: f64,
+    /// Total CPU demand of the job.
+    pub demand: f64,
+}
+
+impl JobRecord {
+    /// Completion minus arrival.
+    pub fn response_time(&self) -> f64 {
+        self.completion - self.arrival
+    }
+}
+
+/// Everything measured during one scheduler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedMetrics {
+    /// Completion time of the last job.
+    pub makespan: f64,
+    /// Total CPU time granted to guest work (all segments).
+    pub delivered: f64,
+    /// CPU time that became completed-task progress.
+    pub goodput: f64,
+    /// CPU time destroyed by evictions or spent on migration setup.
+    pub wasted: f64,
+    /// CPU time spent writing checkpoints.
+    pub checkpoint_overhead: f64,
+    /// Owner arrivals that displaced a guest task.
+    pub evictions: u64,
+    /// Evictions resolved by suspending in place.
+    pub suspensions: u64,
+    /// Evictions resolved by killing the task.
+    pub restarts: u64,
+    /// Evictions resolved by migrating the task.
+    pub migrations: u64,
+    /// Tasks completed (across all jobs).
+    pub completed_tasks: u64,
+    /// Total demand of all jobs (== goodput when accounting balances).
+    pub total_demand: f64,
+    /// Task placements performed (initial + re-placements).
+    pub placements: u64,
+    /// Mean time tasks waited in the central queue per placement.
+    pub mean_queue_wait: f64,
+    /// Time-averaged count of available (idle, unoccupied) machines.
+    pub mean_available_machines: f64,
+    /// Per-job completion records, in submission order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl SchedMetrics {
+    /// `delivered - goodput - wasted - checkpoint_overhead`; zero (up to
+    /// float round-off) when the accounting balances.
+    pub fn accounting_residual(&self) -> f64 {
+        self.delivered - self.goodput - self.wasted - self.checkpoint_overhead
+    }
+
+    /// Whether the work-conservation invariant holds to round-off.
+    pub fn is_consistent(&self) -> bool {
+        self.accounting_residual().abs() <= 1e-6 * self.delivered.max(1.0)
+    }
+
+    /// Fraction of delivered CPU that became goodput.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.delivered == 0.0 {
+            0.0
+        } else {
+            self.goodput / self.delivered
+        }
+    }
+
+    /// Mean job response time.
+    pub fn mean_response_time(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(JobRecord::response_time).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Goodput per unit of makespan — useful work extracted from the
+    /// pool per time unit.
+    pub fn goodput_rate(&self) -> f64 {
+        if self.makespan == 0.0 {
+            0.0
+        } else {
+            self.goodput / self.makespan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchedMetrics {
+        SchedMetrics {
+            makespan: 100.0,
+            delivered: 90.0,
+            goodput: 80.0,
+            wasted: 8.0,
+            checkpoint_overhead: 2.0,
+            evictions: 5,
+            suspensions: 0,
+            restarts: 3,
+            migrations: 2,
+            completed_tasks: 4,
+            total_demand: 80.0,
+            placements: 9,
+            mean_queue_wait: 1.5,
+            mean_available_machines: 3.2,
+            jobs: vec![
+                JobRecord {
+                    arrival: 0.0,
+                    completion: 60.0,
+                    demand: 40.0,
+                },
+                JobRecord {
+                    arrival: 10.0,
+                    completion: 100.0,
+                    demand: 40.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn residual_balances() {
+        let m = sample();
+        assert_eq!(m.accounting_residual(), 0.0);
+        assert!(m.is_consistent());
+        assert!((m.goodput_fraction() - 80.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let mut m = sample();
+        m.wasted = 0.0;
+        assert!(!m.is_consistent());
+    }
+
+    #[test]
+    fn response_times() {
+        let m = sample();
+        assert_eq!(m.jobs[0].response_time(), 60.0);
+        assert_eq!(m.jobs[1].response_time(), 90.0);
+        assert_eq!(m.mean_response_time(), 75.0);
+        assert!((m.goodput_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_divisions_are_safe() {
+        let mut m = sample();
+        m.delivered = 0.0;
+        m.makespan = 0.0;
+        m.jobs.clear();
+        assert_eq!(m.goodput_fraction(), 0.0);
+        assert_eq!(m.goodput_rate(), 0.0);
+        assert_eq!(m.mean_response_time(), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Dynamic pool membership and probe-style load estimation.
+//!
+//! The paper assumes a static pool of `W` stations, all always usable at
+//! low priority. A cycle-stealing scheduler instead sees a **dynamic**
+//! pool: a machine is available only while its owner is away, it may be
+//! occupied by a guest task already, and the scheduler's view of each
+//! machine's load is an *estimate* from periodic probes (the `uptime`
+//! readings the paper used for calibration), not ground truth.
+//!
+//! [`Pool`] tracks, per machine: the owner's busy/idle state, whether a
+//! guest task occupies it (running *or* suspended — a suspended guest
+//! still holds the machine's memory), and an exponentially-weighted
+//! [`UtilizationEstimator`]. It also integrates the available-machine
+//! count over time, the scheduler's analogue of the paper's `W`.
+
+use crate::policy::CandidateMachine;
+
+/// Exponentially weighted, time-decayed estimate of one owner's
+/// utilization — the probe readings a real scheduler would gossip.
+///
+/// Between observations the estimate is held; each observed interval of
+/// busy (1) or idle (0) state is folded in with weight `1 - exp(-dt/tau)`,
+/// so the estimator remembers roughly the last `tau` time units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationEstimator {
+    tau: f64,
+    estimate: f64,
+    last_update: f64,
+}
+
+impl UtilizationEstimator {
+    /// A fresh estimator with averaging window `tau` (> 0), starting
+    /// from `initial` (e.g. a calibration probe, or 0 for no prior).
+    pub fn new(tau: f64, initial: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "tau must be finite > 0");
+        Self {
+            tau,
+            estimate: initial.clamp(0.0, 1.0),
+            last_update: 0.0,
+        }
+    }
+
+    /// Fold in the interval `[self.last_update, now]` during which the
+    /// owner was continuously `busy` or idle.
+    pub fn observe(&mut self, now: f64, busy: bool) {
+        let dt = (now - self.last_update).max(0.0);
+        self.last_update = now;
+        if dt == 0.0 {
+            return;
+        }
+        let w = 1.0 - (-dt / self.tau).exp();
+        let level = if busy { 1.0 } else { 0.0 };
+        self.estimate += w * (level - self.estimate);
+    }
+
+    /// Current estimate in `[0, 1]`.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    owner_busy: bool,
+    occupied: bool,
+    estimator: UtilizationEstimator,
+}
+
+/// Membership and load view of the workstation pool.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    members: Vec<Member>,
+    admission_threshold: f64,
+    // Time integral of the available-machine count.
+    avail_integral: f64,
+    last_change: f64,
+}
+
+impl Pool {
+    /// A pool of `n` machines, all initially idle and unoccupied.
+    ///
+    /// `admission_threshold` is the maximum estimated owner utilization
+    /// at which a machine is still offered to the scheduler (1.0 admits
+    /// everything); `tau` is the estimator window; `initial_estimates`
+    /// optionally seeds each estimator from a calibration probe.
+    pub fn new(n: usize, admission_threshold: f64, tau: f64, initial_estimates: &[f64]) -> Self {
+        assert!(n > 0, "pool needs at least one machine");
+        let members = (0..n)
+            .map(|i| Member {
+                owner_busy: false,
+                occupied: false,
+                estimator: UtilizationEstimator::new(
+                    tau,
+                    initial_estimates.get(i).copied().unwrap_or(0.0),
+                ),
+            })
+            .collect();
+        Self {
+            members,
+            admission_threshold,
+            avail_integral: 0.0,
+            last_change: 0.0,
+        }
+    }
+
+    /// Number of machines in the pool (available or not).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn accumulate_availability(&mut self, now: f64) {
+        let avail = self.members.iter().filter(|m| self.member_free(m)).count();
+        self.avail_integral += (now - self.last_change) * avail as f64;
+        self.last_change = now;
+    }
+
+    fn member_free(&self, m: &Member) -> bool {
+        !m.owner_busy && !m.occupied
+    }
+
+    /// Record an owner state transition on machine `m` at time `now`.
+    pub fn owner_transition(&mut self, now: f64, m: usize, busy: bool) {
+        self.accumulate_availability(now);
+        let was_busy = self.members[m].owner_busy;
+        self.members[m].estimator.observe(now, was_busy);
+        self.members[m].owner_busy = busy;
+    }
+
+    /// Record a guest task taking or releasing machine `m` at `now`.
+    pub fn set_occupied(&mut self, now: f64, m: usize, occupied: bool) {
+        self.accumulate_availability(now);
+        self.members[m].occupied = occupied;
+    }
+
+    /// Whether machine `m`'s owner is currently busy.
+    pub fn owner_busy(&self, m: usize) -> bool {
+        self.members[m].owner_busy
+    }
+
+    /// Current load estimate for machine `m`.
+    pub fn load_estimate(&self, m: usize) -> f64 {
+        self.members[m].estimator.estimate()
+    }
+
+    /// Machines currently offerable to the scheduler: owner away, no
+    /// guest aboard, and estimated load within the admission threshold.
+    pub fn candidates(&self) -> Vec<CandidateMachine> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| self.member_free(m))
+            .filter(|(_, m)| m.estimator.estimate() <= self.admission_threshold)
+            .map(|(i, m)| CandidateMachine {
+                machine: i,
+                load_estimate: m.estimator.estimate(),
+            })
+            .collect()
+    }
+
+    /// Time-averaged available-machine count up to `now` — the dynamic
+    /// pool's effective `W`.
+    pub fn mean_available(&mut self, now: f64) -> f64 {
+        self.accumulate_availability(now);
+        if now <= 0.0 {
+            return self.members.iter().filter(|m| self.member_free(m)).count() as f64;
+        }
+        self.avail_integral / now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_converges_to_duty_cycle() {
+        // Owner alternates 1 busy / 9 idle => 10% utilization.
+        let mut e = UtilizationEstimator::new(50.0, 0.0);
+        let mut t = 0.0;
+        for _ in 0..200 {
+            e.observe(t + 9.0, false);
+            e.observe(t + 10.0, true);
+            t += 10.0;
+        }
+        assert!((e.estimate() - 0.10).abs() < 0.03, "est {}", e.estimate());
+    }
+
+    #[test]
+    fn estimator_weighs_recent_history_more() {
+        let mut e = UtilizationEstimator::new(10.0, 0.0);
+        e.observe(100.0, false); // long idle stretch
+        e.observe(130.0, true); // then a long busy stretch
+        assert!(
+            e.estimate() > 0.9,
+            "recent busy dominates: {}",
+            e.estimate()
+        );
+    }
+
+    #[test]
+    fn candidates_exclude_busy_and_occupied() {
+        let mut p = Pool::new(3, 1.0, 100.0, &[]);
+        p.owner_transition(1.0, 0, true);
+        p.set_occupied(1.0, 1, true);
+        let c = p.candidates();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].machine, 2);
+    }
+
+    #[test]
+    fn admission_threshold_filters_hot_machines() {
+        let mut p = Pool::new(2, 0.3, 10.0, &[0.9, 0.1]);
+        assert_eq!(p.candidates().len(), 1);
+        assert_eq!(p.candidates()[0].machine, 1);
+        // Machine 0 cools off after a long idle observation.
+        p.owner_transition(100.0, 0, false);
+        assert_eq!(p.candidates().len(), 2);
+    }
+
+    #[test]
+    fn initial_estimates_seed_the_view() {
+        let p = Pool::new(2, 1.0, 100.0, &[0.25, 0.05]);
+        assert_eq!(p.load_estimate(0), 0.25);
+        assert_eq!(p.load_estimate(1), 0.05);
+    }
+
+    #[test]
+    fn mean_available_integrates_transitions() {
+        let mut p = Pool::new(2, 1.0, 100.0, &[]);
+        // Both free until t=10, one busy from 10 to 30, both free to 40.
+        p.owner_transition(10.0, 0, true);
+        p.owner_transition(30.0, 0, false);
+        let mean = p.mean_available(40.0);
+        // (2*10 + 1*20 + 2*10) / 40 = 1.5
+        assert!((mean - 1.5).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_pool_rejected() {
+        Pool::new(0, 1.0, 100.0, &[]);
+    }
+}

@@ -1,0 +1,209 @@
+//! The central job queue feeding the pool.
+//!
+//! Jobs arrive over time ([`JobSpec`]); each contributes `tasks`
+//! independent tasks of equal demand. Tasks wait in one central queue
+//! (the Condor "matchmaker" picture rather than the paper's static
+//! one-task-per-station assignment) and are dispatched one at a time by
+//! a [`crate::policy::PlacementPolicy`]. Two disciplines order the
+//! queue:
+//!
+//! * [`QueueDiscipline::Fcfs`] — strict arrival order,
+//! * [`QueueDiscipline::SjfBackfill`] — shortest-remaining-work first:
+//!   short tasks backfill stolen cycles ahead of long ones (ties fall
+//!   back to arrival order).
+
+use std::collections::VecDeque;
+
+/// One parallel job submitted to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Number of independent tasks (the paper's perfectly parallel job
+    /// sliced into `tasks` pieces).
+    pub tasks: u32,
+    /// CPU demand of each task in time units.
+    pub task_demand: f64,
+    /// Absolute arrival time of the job.
+    pub arrival: f64,
+}
+
+impl JobSpec {
+    /// A job arriving at time zero.
+    pub fn at_zero(tasks: u32, task_demand: f64) -> Self {
+        Self {
+            tasks,
+            task_demand,
+            arrival: 0.0,
+        }
+    }
+
+    /// Total CPU demand of the job.
+    pub fn total_demand(&self) -> f64 {
+        f64::from(self.tasks) * self.task_demand
+    }
+}
+
+/// Queue ordering discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// First come, first served.
+    Fcfs,
+    /// Shortest remaining work first (backfill).
+    SjfBackfill,
+}
+
+impl QueueDiscipline {
+    /// Short stable name for tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Fcfs => "fcfs",
+            Self::SjfBackfill => "sjf-backfill",
+        }
+    }
+}
+
+/// One task waiting for a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingTask {
+    /// Index of the owning job.
+    pub job: usize,
+    /// Task index within the job.
+    pub task: u32,
+    /// Original per-task demand (restarts reset `remaining` to this).
+    pub demand: f64,
+    /// Work still owed.
+    pub remaining: f64,
+    /// Setup CPU time owed before computing (migration restore cost).
+    pub setup: f64,
+    /// When this entry joined the queue (for wait-time statistics).
+    pub enqueued_at: f64,
+}
+
+/// The central queue of pending tasks.
+#[derive(Debug, Clone, Default)]
+pub struct JobQueue {
+    tasks: VecDeque<PendingTask>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Append a task (arrival order position).
+    pub fn push(&mut self, task: PendingTask) {
+        self.tasks.push_back(task);
+    }
+
+    /// Remove and return the next task under `discipline`.
+    pub fn pop(&mut self, discipline: QueueDiscipline) -> Option<PendingTask> {
+        match discipline {
+            QueueDiscipline::Fcfs => self.tasks.pop_front(),
+            QueueDiscipline::SjfBackfill => {
+                let best = self
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        (a.remaining + a.setup)
+                            .partial_cmp(&(b.remaining + b.setup))
+                            .expect("demands are finite")
+                    })
+                    .map(|(i, _)| i)?;
+                self.tasks.remove(best)
+            }
+        }
+    }
+
+    /// Total remaining work queued (setup excluded).
+    pub fn backlog(&self) -> f64 {
+        self.tasks.iter().map(|t| t.remaining).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(job: usize, remaining: f64) -> PendingTask {
+        PendingTask {
+            job,
+            task: 0,
+            demand: remaining,
+            remaining,
+            setup: 0.0,
+            enqueued_at: 0.0,
+        }
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order() {
+        let mut q = JobQueue::new();
+        q.push(task(0, 50.0));
+        q.push(task(1, 10.0));
+        q.push(task(2, 30.0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(QueueDiscipline::Fcfs))
+            .map(|t| t.job)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sjf_backfill_prefers_short_tasks() {
+        let mut q = JobQueue::new();
+        q.push(task(0, 50.0));
+        q.push(task(1, 10.0));
+        q.push(task(2, 30.0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(QueueDiscipline::SjfBackfill))
+            .map(|t| t.job)
+            .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sjf_counts_setup_toward_length() {
+        let mut q = JobQueue::new();
+        let mut a = task(0, 10.0);
+        a.setup = 25.0; // 35 total
+        q.push(a);
+        q.push(task(1, 30.0));
+        assert_eq!(q.pop(QueueDiscipline::SjfBackfill).unwrap().job, 1);
+    }
+
+    #[test]
+    fn sjf_ties_fall_back_to_fifo() {
+        let mut q = JobQueue::new();
+        q.push(task(7, 10.0));
+        q.push(task(8, 10.0));
+        assert_eq!(q.pop(QueueDiscipline::SjfBackfill).unwrap().job, 7);
+    }
+
+    #[test]
+    fn backlog_sums_remaining() {
+        let mut q = JobQueue::new();
+        q.push(task(0, 50.0));
+        q.push(task(1, 10.0));
+        assert_eq!(q.backlog(), 60.0);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn job_spec_helpers() {
+        let j = JobSpec::at_zero(8, 100.0);
+        assert_eq!(j.arrival, 0.0);
+        assert_eq!(j.total_demand(), 800.0);
+        assert_eq!(QueueDiscipline::Fcfs.name(), "fcfs");
+        assert_eq!(QueueDiscipline::SjfBackfill.name(), "sjf-backfill");
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim
+//! implements the subset the workspace's property tests use: range and
+//! tuple strategies, `prop_filter` / `prop_map` combinators, and the
+//! `proptest!` / `prop_assert!` / `prop_assume!` macros. Unlike the
+//! real crate there is no shrinking — a failing case reports its inputs
+//! but is not minimized. Generation is deterministic per test name, so
+//! failures reproduce exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the real crate recommends.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current case (early-returns an error from the case body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Discards the current case without counting it against the case
+/// budget (used for sparse preconditions).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < u64::from(cfg.cases) * 1000 + 10_000,
+                        "proptest {}: too many rejected samples ({attempts} attempts \
+                         for {} accepted cases)",
+                        stringify!($name),
+                        accepted,
+                    );
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        ) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => continue,
+                        };
+                    )+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match result {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(e) if e.is_rejection() => {}
+                        ::std::result::Result::Err(e) => {
+                            panic!(
+                                "proptest {} failed after {} cases: {}\ninputs: {}",
+                                stringify!($name),
+                                accepted,
+                                e,
+                                concat!($(stringify!($arg), " "),+),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    // Default configuration (256 cases).
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::with_cases(256))]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0f64..2.0, n in 3u64..9, k in 1u32..4) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((1..4).contains(&k));
+        }
+
+        #[test]
+        fn filter_and_map_compose(v in (0u64..100).prop_filter("even", |n| n % 2 == 0)
+                                       .prop_map(|n| n + 1)) {
+            prop_assert!(v % 2 == 1, "v = {v}");
+        }
+
+        #[test]
+        fn assume_discards(n in 0u64..10) {
+            prop_assume!(n > 4);
+            prop_assert!(n >= 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let mut c = TestRng::for_test("other");
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(n in 0u64..10) {
+                prop_assert!(n > 100, "n = {n}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,180 @@
+//! Value-generation strategies: ranges, tuples, and the `prop_filter` /
+//! `prop_map` combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `generate` returns `None` when a sample is rejected (e.g. by
+/// [`Strategy::prop_filter`]); the runner draws again without counting
+/// the case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value, or `None` if this sample was rejected.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Keep only samples satisfying `pred`.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Transform generated values with `f`.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let v = self.inner.generate(rng)?;
+        (self.pred)(&v).then_some(v)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        debug_assert!(self.start < self.end, "empty f64 range");
+        Some(self.start + rng.next_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    debug_assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end as u64) - (self.start as u64);
+                    Some(self.start + rng.next_bounded(span) as $t)
+                }
+            }
+        )+
+    };
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_range_in_bounds() {
+        let mut rng = TestRng::for_test("f64");
+        let s = 2.0f64..5.0;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_bound() {
+        let mut rng = TestRng::for_test("ints");
+        let s = 3u32..7;
+        let mut seen = [false; 7];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((3..7).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen[3..7].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn full_u64_range_works() {
+        let mut rng = TestRng::for_test("full");
+        let s = 0u64..u64::MAX;
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng).unwrap() < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn tuple_combines_components() {
+        let mut rng = TestRng::for_test("tuple");
+        let s = (0u64..10, 0.0f64..1.0);
+        let (n, x) = s.generate(&mut rng).unwrap();
+        assert!(n < 10 && (0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = TestRng::for_test("filter");
+        let s = (0u64..10).prop_filter("never", |_| false);
+        assert!(s.generate(&mut rng).is_none());
+    }
+}

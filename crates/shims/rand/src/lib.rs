@@ -1,0 +1,97 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this in-tree shim
+//! provides exactly the API surface the workspace consumes: the
+//! [`RngCore`] trait (implemented by `nds-stats`' own generators) and
+//! the [`Error`] type its `try_fill_bytes` signature mentions. The trait
+//! signatures match rand 0.8 so swapping in the real crate is a
+//! one-line manifest change.
+
+use std::fmt;
+
+/// Error type matching `rand::Error`'s role in `try_fill_bytes`.
+///
+/// The deterministic generators in this workspace are infallible, so
+/// values of this type are never constructed in practice.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Create an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generation trait (rand 0.8 signature set).
+pub trait RngCore {
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; infallible generators simply delegate.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn default_try_fill_bytes_delegates() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 4];
+        c.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trait_object_through_mut_ref() {
+        let mut c = Counter(10);
+        let r: &mut dyn RngCore = &mut c;
+        assert_eq!(r.next_u64(), 11);
+    }
+}

@@ -99,7 +99,9 @@ mod tests {
 
     #[test]
     fn alternating_series_negative() {
-        let data: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let rho = autocorrelation(&data, 1).unwrap();
         assert!(rho < -0.9);
     }

@@ -525,11 +525,7 @@ mod tests {
         let d = Exponential::with_mean(4.0).unwrap();
         let s = sample_stats(&d, 200_000, 42);
         assert!((s.mean() - 4.0).abs() < 0.05, "mean {}", s.mean());
-        assert!(
-            (s.variance() - 16.0).abs() < 0.5,
-            "var {}",
-            s.variance()
-        );
+        assert!((s.variance() - 16.0).abs() < 0.5, "var {}", s.variance());
         assert!((d.cv2() - 1.0).abs() < 1e-12);
     }
 
@@ -601,7 +597,11 @@ mod tests {
     fn hyperexponential_fit_hits_targets() {
         for (mean, cv2) in [(10.0, 4.0), (2.0, 9.0), (5.0, 1.0), (1.0, 25.0)] {
             let d = Hyperexponential::fit(mean, cv2).unwrap();
-            assert!((d.mean() - mean).abs() < 1e-9, "mean {} vs {mean}", d.mean());
+            assert!(
+                (d.mean() - mean).abs() < 1e-9,
+                "mean {} vs {mean}",
+                d.mean()
+            );
             assert!((d.cv2() - cv2).abs() < 1e-6, "cv2 {} vs {cv2}", d.cv2());
         }
     }
@@ -643,7 +643,10 @@ mod tests {
         // 90% short exp(mean 1), 10% long deterministic 100 — a crude
         // "long-running owner jobs" workload.
         let m = Mixture::new(vec![
-            (0.9, Box::new(Exponential::with_mean(1.0).unwrap()) as Box<dyn Distribution>),
+            (
+                0.9,
+                Box::new(Exponential::with_mean(1.0).unwrap()) as Box<dyn Distribution>,
+            ),
             (0.1, Box::new(Deterministic::new(100.0).unwrap())),
         ])
         .unwrap();
@@ -657,7 +660,10 @@ mod tests {
     #[test]
     fn mixture_normalizes_weights() {
         let m = Mixture::new(vec![
-            (2.0, Box::new(Deterministic::new(1.0).unwrap()) as Box<dyn Distribution>),
+            (
+                2.0,
+                Box::new(Deterministic::new(1.0).unwrap()) as Box<dyn Distribution>,
+            ),
             (2.0, Box::new(Deterministic::new(3.0).unwrap())),
         ])
         .unwrap();

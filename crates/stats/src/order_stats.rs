@@ -13,7 +13,9 @@ fn phi(x: f64) -> f64 {
     (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
 }
 
-/// 16-point Gauss–Legendre nodes and weights on [-1, 1].
+/// 16-point Gauss–Legendre nodes and weights on [-1, 1], kept
+/// verbatim from the published table.
+#[allow(clippy::excessive_precision)]
 const GL_NODES: [f64; 8] = [
     0.095_012_509_837_637_44,
     0.281_603_550_779_258_91,
@@ -145,7 +147,13 @@ mod tests {
         // W >= 10 — exactly the band the model crate's approximations
         // assume.
         use crate::special::inverse_normal_cdf;
-        for (w, tol) in [(5u32, 0.016), (10, 0.007), (50, 0.005), (100, 0.005), (500, 0.006)] {
+        for (w, tol) in [
+            (5u32, 0.016),
+            (10, 0.007),
+            (50, 0.005),
+            (100, 0.005),
+            (500, 0.006),
+        ] {
             let exact = expected_normal_max(w);
             let blom = inverse_normal_cdf((f64::from(w) - 0.375) / (f64::from(w) + 0.25));
             assert!(

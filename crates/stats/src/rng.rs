@@ -30,6 +30,7 @@ impl SplitMix64 {
     }
 
     /// Next 64 uniformly distributed bits.
+    #[allow(clippy::should_implement_trait)] // established name; RngCore::next_u64 delegates here
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -84,11 +85,9 @@ impl Xoshiro256StarStar {
     }
 
     /// Next 64 uniformly distributed bits.
+    #[allow(clippy::should_implement_trait)] // established name; RngCore::next_u64 delegates here
     pub fn next(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -35,10 +35,10 @@ pub fn t_quantile(df: u32, p: f64) -> f64 {
     let g1 = (z.powi(3) + z) / 4.0;
     let g2 = (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / 96.0;
     let g3 = (3.0 * z.powi(7) + 19.0 * z.powi(5) + 17.0 * z.powi(3) - 15.0 * z) / 384.0;
-    let g4 =
-        (79.0 * z.powi(9) + 776.0 * z.powi(7) + 1482.0 * z.powi(5) - 1920.0 * z.powi(3)
-            - 945.0 * z)
-            / 92_160.0;
+    let g4 = (79.0 * z.powi(9) + 776.0 * z.powi(7) + 1482.0 * z.powi(5)
+        - 1920.0 * z.powi(3)
+        - 945.0 * z)
+        / 92_160.0;
     let d = df as f64;
     z + g1 / d + g2 / (d * d) + g3 / (d * d * d) + g4 / (d * d * d * d)
 }

@@ -56,9 +56,7 @@ fn main() {
     print!("{}", table.render());
     println!();
     println!("speedup (demand = 16 min), measured:");
-    let pts = harness
-        .run_grid(&pools, &[16])
-        .expect("grid runs");
+    let pts = harness.run_grid(&pools, &[16]).expect("grid runs");
     for (w, _, s) in ValidationHarness::speedups(&pts).expect("baseline present") {
         println!("  W = {w:>2}: {s:5.2} (perfect would be {w})");
     }

@@ -38,7 +38,10 @@ fn main() {
     println!("speedup             : {:.1} (of 60 possible)", m.speedup);
     println!("weighted speedup    : {:.1}", m.weighted_speedup);
     println!("efficiency          : {:.1}%", m.efficiency * 100.0);
-    println!("weighted efficiency : {:.1}%", m.weighted_efficiency * 100.0);
+    println!(
+        "weighted efficiency : {:.1}%",
+        m.weighted_efficiency * 100.0
+    );
     println!();
     println!("== verdict ==");
     println!(

@@ -1,0 +1,92 @@
+//! Playground for the `nds-sched` cycle-stealing scheduler.
+//!
+//! Run with `cargo run --example scheduler_playground`.
+//!
+//! Three vignettes:
+//! 1. the degenerate configuration that reproduces the paper's model,
+//! 2. an eviction-policy shootout on a busy pool,
+//! 3. a starved pool rescued by raising the admission threshold.
+
+use nds::cluster::{JobRunner, OwnerWorkload};
+use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline, SchedConfig};
+
+fn main() {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+
+    // 1. Degenerate configuration: full-size pool, one task per
+    //    machine, suspend-resume => the paper's model, bit-for-bit.
+    let w = 8;
+    let demand = 300.0;
+    let cfg = SchedConfig::homogeneous(w, &owner, vec![JobSpec::at_zero(w, demand)]);
+    let metrics = cfg.run().unwrap();
+    let baseline = JobRunner::new(cfg.seed).run_continuous_job(&owner, demand, w, 0);
+    println!("1) degenerate config vs JobRunner");
+    println!("   scheduler makespan : {:.6}", metrics.makespan);
+    println!("   JobRunner job time : {:.6}", baseline.job_time());
+    println!(
+        "   difference         : {:.2e}\n",
+        (metrics.makespan - baseline.job_time()).abs()
+    );
+
+    // 2. Eviction shootout: 4 jobs x 16 tasks on 16 stations at 20%
+    //    owner utilization.
+    println!("2) eviction policies on a busy pool (W=16, U=20%)");
+    let busy = OwnerWorkload::continuous_exponential(10.0, 0.20).unwrap();
+    for eviction in [
+        EvictionPolicy::SuspendResume,
+        EvictionPolicy::Restart,
+        EvictionPolicy::Migrate { overhead: 5.0 },
+        EvictionPolicy::Checkpoint {
+            interval: 30.0,
+            overhead: 1.0,
+        },
+    ] {
+        let mut cfg = SchedConfig::homogeneous(
+            16,
+            &busy,
+            (0..4)
+                .map(|j| JobSpec {
+                    tasks: 16,
+                    task_demand: 120.0,
+                    arrival: f64::from(j) * 50.0,
+                })
+                .collect(),
+        );
+        cfg.eviction = eviction;
+        cfg.placement = PlacementKind::LeastLoaded;
+        cfg.discipline = QueueDiscipline::SjfBackfill;
+        cfg.calibration_horizon = 10_000.0;
+        let m = cfg.run().unwrap();
+        println!(
+            "   {:<22} makespan {:>7.0}  goodput {:>5.1}%  wasted {:>6.0}  evictions {:>4}",
+            eviction.label(),
+            m.makespan,
+            100.0 * m.goodput_fraction(),
+            m.wasted,
+            m.evictions
+        );
+        assert!(m.is_consistent());
+    }
+
+    // 3. Admission threshold: a mixed pool where hot machines are
+    //    fenced out, then admitted.
+    println!("\n3) admission threshold on a mixed pool (8 cool + 8 hot machines)");
+    let cool = OwnerWorkload::continuous_exponential(10.0, 0.03).unwrap();
+    let hot = OwnerWorkload::continuous_exponential(10.0, 0.45).unwrap();
+    let owners: Vec<OwnerWorkload> = (0..16)
+        .map(|i| if i < 8 { cool.clone() } else { hot.clone() })
+        .collect();
+    for threshold in [0.2, 1.0] {
+        let mut cfg = SchedConfig::homogeneous(1, &cool, vec![JobSpec::at_zero(32, 60.0)]);
+        cfg.owners = owners.clone();
+        cfg.eviction = EvictionPolicy::Restart;
+        cfg.admission_threshold = threshold;
+        cfg.calibration_horizon = 20_000.0;
+        let m = cfg.run().unwrap();
+        println!(
+            "   threshold {:>4}: makespan {:>7.0}  wasted {:>6.0}  restarts {:>4}",
+            threshold, m.makespan, m.wasted, m.restarts
+        );
+    }
+    println!("   (fencing hot machines trades pool size for fewer lost executions)");
+}

@@ -35,8 +35,12 @@ fn main() {
         seed: 99,
     };
     let means = exp.mean_response_times(20);
-    let mut t1 = Table::new("Two co-scheduled jobs, 8 stations, U = 5%")
-        .headers(["job", "arrival", "mean response", "slowdown vs dedicated"]);
+    let mut t1 = Table::new("Two co-scheduled jobs, 8 stations, U = 5%").headers([
+        "job",
+        "arrival",
+        "mean response",
+        "slowdown vs dedicated",
+    ]);
     for (i, &resp) in means.iter().enumerate() {
         t1.row([
             format!("job {}", i + 1),

@@ -18,14 +18,12 @@ fn main() {
     let pools = [2u32, 8, 20, 60, 100, 250];
     let owner_demand = 10.0;
 
-    let mut ratio_table = Table::new(
-        "Required task ratio (T/O) for 80% weighted efficiency".to_string(),
-    )
-    .headers({
-        let mut h = vec!["U".to_string()];
-        h.extend(pools.iter().map(|w| format!("W={w}")));
-        h
-    });
+    let mut ratio_table =
+        Table::new("Required task ratio (T/O) for 80% weighted efficiency".to_string()).headers({
+            let mut h = vec!["U".to_string()];
+            h.extend(pools.iter().map(|w| format!("W={w}")));
+            h
+        });
     let mut demand_table = Table::new(format!(
         "Equivalent minimum job demand J (seconds, O = {owner_demand})"
     ))

@@ -5,13 +5,16 @@
 //! nds thresholds [--target 0.8]
 //! nds validate [--quick]
 //! nds sensitivity --task 100 --workstations 60 --owner-demand 10 --utilization 0.10
+//! nds sched --workstations 16 --utilization 0.10 --eviction checkpoint
 //! ```
 
+use nds::cluster::OwnerWorkload;
 use nds::core::conclusions::check_all_conclusions;
 use nds::core::prelude::*;
 use nds::core::report::Table;
 use nds::model::sensitivity::elasticities;
 use nds::model::solver::required_task_ratio;
+use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline, SchedConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +23,7 @@ fn main() {
         Some("thresholds") => cmd_thresholds(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("sensitivity") => cmd_sensitivity(&args[1..]),
+        Some("sched") => cmd_sched(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -44,16 +48,20 @@ fn print_usage() {
          \x20 validate    [--quick]           rerun the paper's conclusion checks\n\
          \x20 sensitivity --task T --workstations W --owner-demand O --utilization U\n\
          \x20                                 which knob moves weighted efficiency most\n\
+         \x20 sched       [--workstations W] [--utilization U] [--owner-demand O]\n\
+         \x20             [--jobs N] [--tasks K] [--task-demand T] [--arrival-gap G]\n\
+         \x20             [--placement random|round-robin|least-loaded]\n\
+         \x20             [--eviction restart|suspend|migrate|checkpoint]\n\
+         \x20             [--overhead C] [--interval I] [--discipline fcfs|sjf]\n\
+         \x20             [--seed S] [--reps R]\n\
+         \x20                                 cycle-stealing pool scheduler experiment\n\
          \x20 help                            this message"
     );
 }
 
-/// Pull `--name value` from an argument list.
+/// Pull a numeric `--name value` from an argument list.
 fn flag(args: &[String], name: &str) -> Option<f64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    string_flag(args, name).and_then(|v| v.parse().ok())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -114,7 +122,10 @@ fn cmd_analyze(args: &[String]) -> i32 {
     t.row(["speedup", &format!("{:.2}", m.speedup)]);
     t.row(["weighted speedup", &format!("{:.2}", m.weighted_speedup)]);
     t.row(["efficiency", &format!("{:.4}", m.efficiency)]);
-    t.row(["weighted efficiency", &format!("{:.4}", m.weighted_efficiency)]);
+    t.row([
+        "weighted efficiency",
+        &format!("{:.4}", m.weighted_efficiency),
+    ]);
     t.row([
         "required task ratio",
         &format!("{:.2}", a.required_task_ratio),
@@ -187,7 +198,11 @@ fn cmd_validate(args: &[String]) -> i32 {
             c.claim.clone(),
             format!("{}", c.published),
             format!("{:.3}", c.reproduced),
-            if c.passed { "yes".into() } else { "NO".to_string() },
+            if c.passed {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     print!("{}", t.render());
@@ -199,7 +214,11 @@ fn cmd_validate(args: &[String]) -> i32 {
                 println!(
                     "\nsim vs analysis at (J=1000, W=10, U=10%): rel err {:.4} ({})",
                     row.outcome.relative_error,
-                    if row.outcome.agrees() { "agrees" } else { "DISAGREES" }
+                    if row.outcome.agrees() {
+                        "agrees"
+                    } else {
+                        "DISAGREES"
+                    }
                 );
                 if !row.outcome.agrees() {
                     failures += 1;
@@ -217,6 +236,170 @@ fn cmd_validate(args: &[String]) -> i32 {
         checks.len()
     );
     i32::from(failures > 0)
+}
+
+/// Pull an integer `--name value` in `[0, max]`, erroring (not
+/// truncating) on fractional or out-of-range input.
+fn int_flag(args: &[String], name: &str, default: u64, max: u64) -> Result<u64, String> {
+    match string_flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n <= max)
+            .ok_or_else(|| format!("{name} expects an integer in 0..={max}, got {v}")),
+    }
+}
+
+/// Pull the raw `--name value` from an argument list.
+fn string_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_sched(args: &[String]) -> i32 {
+    // Defaults mirror the canonical scheduler scenario so the CLI, the
+    // ext_sched_policies bench, and tests all describe one experiment.
+    let scenario = Scenario::SchedulerPool;
+    let default_w = u64::from(scenario.workstations()[0]);
+    // (--tasks defaults to one per workstation, matching the mix when
+    // W is the scenario's 16.)
+    let (default_jobs, _, default_gap) = scenario.sched_job_mix().expect("scheduler scenario");
+    let ints = (|| -> Result<_, String> {
+        let w = int_flag(args, "--workstations", default_w, u64::from(u32::MAX))? as u32;
+        Ok((
+            w,
+            int_flag(args, "--jobs", u64::from(default_jobs), u64::from(u32::MAX))? as u32,
+            int_flag(args, "--tasks", u64::from(w), u64::from(u32::MAX))? as u32,
+            int_flag(args, "--seed", 2024, u64::MAX)?,
+            int_flag(args, "--reps", 5, 1 << 20)?.max(1),
+        ))
+    })();
+    let (w, jobs, tasks, seed, reps) = match ints {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sched: {e}");
+            return 2;
+        }
+    };
+    let u = flag(args, "--utilization").unwrap_or(0.10);
+    let o = flag(args, "--owner-demand").unwrap_or(10.0);
+    let task_demand = flag(args, "--task-demand")
+        .unwrap_or_else(|| scenario.sched_task_demand().expect("scheduler scenario"));
+    let arrival_gap = flag(args, "--arrival-gap").unwrap_or(default_gap);
+    let overhead = flag(args, "--overhead").unwrap_or(2.0);
+    let interval = flag(args, "--interval").unwrap_or(30.0);
+
+    let placement = match string_flag(args, "--placement") {
+        None => PlacementKind::LeastLoaded,
+        Some(s) => match PlacementKind::parse(s) {
+            Some(k) => k,
+            None => {
+                eprintln!("sched: unknown placement policy {s}");
+                return 2;
+            }
+        },
+    };
+    let eviction = match string_flag(args, "--eviction").unwrap_or("suspend") {
+        "restart" => EvictionPolicy::Restart,
+        "suspend" | "suspend-resume" => EvictionPolicy::SuspendResume,
+        "migrate" => EvictionPolicy::Migrate { overhead },
+        "checkpoint" => EvictionPolicy::Checkpoint { interval, overhead },
+        other => {
+            eprintln!("sched: unknown eviction policy {other}");
+            return 2;
+        }
+    };
+    let discipline = match string_flag(args, "--discipline").unwrap_or("fcfs") {
+        "fcfs" => QueueDiscipline::Fcfs,
+        "sjf" | "sjf-backfill" => QueueDiscipline::SjfBackfill,
+        other => {
+            eprintln!("sched: unknown queue discipline {other}");
+            return 2;
+        }
+    };
+
+    let owner = match OwnerWorkload::continuous_exponential(o, u) {
+        Ok(owner) => owner,
+        Err(e) => {
+            eprintln!("sched: {e}");
+            return 2;
+        }
+    };
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|j| JobSpec {
+            tasks,
+            task_demand,
+            arrival: f64::from(j) * arrival_gap,
+        })
+        .collect();
+    let mut cfg = SchedConfig::homogeneous(w, &owner, specs);
+    cfg.placement = placement;
+    cfg.eviction = eviction;
+    cfg.discipline = discipline;
+    cfg.calibration_horizon = 10_000.0;
+    cfg.seed = seed;
+
+    let runs = match cfg.run_replications(reps) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("sched: {e}");
+            return 1;
+        }
+    };
+    let n = runs.len() as f64;
+    let mean = |f: &dyn Fn(&nds::sched::SchedMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
+
+    let mut t = Table::new(format!(
+        "cycle-stealing pool: W={w}, U={u}, O={o}, {jobs} jobs x {tasks} tasks x {task_demand}, \
+         {} placement, {} eviction, {} queue ({reps} reps)",
+        placement.name(),
+        eviction.label(),
+        discipline.name(),
+    ))
+    .headers(["metric", "mean"]);
+    t.row(["makespan", &format!("{:.1}", mean(&|m| m.makespan))]);
+    t.row([
+        "mean job response",
+        &format!("{:.1}", mean(&|m| m.mean_response_time())),
+    ]);
+    t.row(["delivered CPU", &format!("{:.1}", mean(&|m| m.delivered))]);
+    t.row(["goodput", &format!("{:.1}", mean(&|m| m.goodput))]);
+    t.row(["wasted work", &format!("{:.1}", mean(&|m| m.wasted))]);
+    t.row([
+        "checkpoint overhead",
+        &format!("{:.1}", mean(&|m| m.checkpoint_overhead)),
+    ]);
+    t.row([
+        "goodput fraction",
+        &format!("{:.4}", mean(&|m| m.goodput_fraction())),
+    ]);
+    t.row([
+        "evictions",
+        &format!("{:.1}", mean(&|m| m.evictions as f64)),
+    ]);
+    t.row([
+        "migrations",
+        &format!("{:.1}", mean(&|m| m.migrations as f64)),
+    ]);
+    t.row(["restarts", &format!("{:.1}", mean(&|m| m.restarts as f64))]);
+    t.row([
+        "mean queue wait",
+        &format!("{:.2}", mean(&|m| m.mean_queue_wait)),
+    ]);
+    t.row([
+        "mean available machines",
+        &format!("{:.2}", mean(&|m| m.mean_available_machines)),
+    ]);
+    print!("{}", t.render());
+    let consistent = runs.iter().all(|m| m.is_consistent());
+    println!(
+        "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
+        if consistent { "holds" } else { "VIOLATED" }
+    );
+    i32::from(!consistent)
 }
 
 fn cmd_sensitivity(args: &[String]) -> i32 {

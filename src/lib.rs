@@ -4,4 +4,5 @@ pub use nds_core as core;
 pub use nds_des as des;
 pub use nds_model as model;
 pub use nds_pvm as pvm;
+pub use nds_sched as sched;
 pub use nds_stats as stats;

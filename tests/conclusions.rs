@@ -19,7 +19,11 @@ fn all_published_conclusions_reproduce() {
             )
         })
         .collect();
-    assert!(failures.is_empty(), "failed claims:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "failed claims:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

@@ -23,11 +23,8 @@ fn variance_model_tracks_simulated_high_variance_owners() {
     let w = 12u32;
     let u = 0.10;
     for cv2 in [1.0, 4.0] {
-        let analytic = GeneralOwner::new(
-            OwnerParams::from_utilization(10.0, u).unwrap(),
-            cv2,
-        )
-        .approx_expected_job_time(t, w);
+        let analytic = GeneralOwner::new(OwnerParams::from_utilization(10.0, u).unwrap(), cv2)
+            .approx_expected_job_time(t, w);
         let owner = if cv2 == 1.0 {
             OwnerWorkload::continuous_exponential(10.0, u).unwrap()
         } else {
@@ -55,12 +52,18 @@ fn smp_second_cpu_eliminates_single_owner_interference() {
     let mut rng = Xoshiro256StarStar::new(8);
     let reps = 60;
     let mean = |ws: &SmpWorkstation, rng: &mut Xoshiro256StarStar| -> f64 {
-        (0..reps).map(|_| ws.run_task(200.0, rng).execution_time).sum::<f64>() / f64::from(reps)
+        (0..reps)
+            .map(|_| ws.run_task(200.0, rng).execution_time)
+            .sum::<f64>()
+            / f64::from(reps)
     };
     let m1 = mean(&one, &mut rng);
     let m2 = mean(&two, &mut rng);
     assert!(m1 > 230.0, "single CPU must feel 25% utilization: {m1}");
-    assert!((m2 - 200.0).abs() < 2.0, "second CPU absorbs the owner: {m2}");
+    assert!(
+        (m2 - 200.0).abs() < 2.0,
+        "second CPU absorbs the owner: {m2}"
+    );
 }
 
 #[test]
@@ -111,7 +114,9 @@ fn sync_rounds_match_model_per_round() {
             31 ^ rep,
         )
         .unwrap();
-        sum += sync_rounds::run(&mut vm, total, k, rep).unwrap().compute_time;
+        sum += sync_rounds::run(&mut vm, total, k, rep)
+            .unwrap()
+            .compute_time;
     }
     let measured = sum / reps as f64;
     let model_owner = OwnerParams::from_utilization(10.0, u).unwrap();
@@ -137,7 +142,9 @@ fn sync_rounds_interference_grows_with_k() {
                 77 ^ u64::from(k) << 16 ^ rep,
             )
             .unwrap();
-            sum += sync_rounds::run(&mut vm, 400.0, k, rep).unwrap().compute_time;
+            sum += sync_rounds::run(&mut vm, 400.0, k, rep)
+                .unwrap()
+                .compute_time;
         }
         totals.push(sum / 30.0);
     }

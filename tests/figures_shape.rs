@@ -79,13 +79,12 @@ fn fig7_knee_follows_published_thresholds() {
     // for U=10% at W=60 (the paper's rounded 8/13 sit within +-2).
     for (name, expected) in [("util=0.05", 7.6), ("util=0.1", 11.6)] {
         let c = f.curve(name).unwrap();
-        let crossing = f
-            .x
-            .iter()
-            .zip(c)
-            .find(|(_, &y)| y >= 0.80)
-            .map(|(&x, _)| x)
-            .expect("curve must cross 80%");
+        let crossing =
+            f.x.iter()
+                .zip(c)
+                .find(|(_, &y)| y >= 0.80)
+                .map(|(&x, _)| x)
+                .expect("curve must cross 80%");
         assert!(
             (crossing - expected).abs() <= 2.0,
             "{name} crossed at {crossing}, expected near {expected}"

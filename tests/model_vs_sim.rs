@@ -94,9 +94,7 @@ fn discrete_and_continuous_agree_at_matched_parameters() {
     for _ in 0..2_000 {
         d_stats.push(discrete.run_task(&mut rng).execution_time);
     }
-    let cont = ContinuousWorkstation::new(
-        OwnerWorkload::continuous_exponential(o, u).unwrap(),
-    );
+    let cont = ContinuousWorkstation::new(OwnerWorkload::continuous_exponential(o, u).unwrap());
     let mut c_stats = RunningStats::new();
     for _ in 0..400 {
         c_stats.push(cont.run_task(t, &mut rng).execution_time);
