@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c1_required_task_ratio-4da199282cb8b372.d: crates/bench/src/bin/c1_required_task_ratio.rs
+
+/root/repo/target/debug/deps/c1_required_task_ratio-4da199282cb8b372: crates/bench/src/bin/c1_required_task_ratio.rs
+
+crates/bench/src/bin/c1_required_task_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c1_required_task_ratio-aafe203dfba8beeb.d: crates/bench/src/bin/c1_required_task_ratio.rs
+
+/root/repo/target/debug/deps/c1_required_task_ratio-aafe203dfba8beeb: crates/bench/src/bin/c1_required_task_ratio.rs
+
+crates/bench/src/bin/c1_required_task_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c1_required_task_ratio-b462e5f429cda23d.d: crates/bench/src/bin/c1_required_task_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc1_required_task_ratio-b462e5f429cda23d.rmeta: crates/bench/src/bin/c1_required_task_ratio.rs Cargo.toml
+
+crates/bench/src/bin/c1_required_task_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conclusions-16ef69c8e0e0fd57.d: tests/conclusions.rs
+
+/root/repo/target/debug/deps/conclusions-16ef69c8e0e0fd57: tests/conclusions.rs
+
+tests/conclusions.rs:

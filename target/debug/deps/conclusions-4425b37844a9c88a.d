@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conclusions-4425b37844a9c88a.d: tests/conclusions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconclusions-4425b37844a9c88a.rmeta: tests/conclusions.rs Cargo.toml
+
+tests/conclusions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

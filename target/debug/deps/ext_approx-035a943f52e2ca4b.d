@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_approx-035a943f52e2ca4b.d: crates/bench/src/bin/ext_approx.rs
+
+/root/repo/target/debug/deps/ext_approx-035a943f52e2ca4b: crates/bench/src/bin/ext_approx.rs
+
+crates/bench/src/bin/ext_approx.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_approx-3477f5ee956c4d8f.d: crates/bench/src/bin/ext_approx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_approx-3477f5ee956c4d8f.rmeta: crates/bench/src/bin/ext_approx.rs Cargo.toml
+
+crates/bench/src/bin/ext_approx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_approx-49afbfc57c504f59.d: crates/bench/src/bin/ext_approx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_approx-49afbfc57c504f59.rmeta: crates/bench/src/bin/ext_approx.rs Cargo.toml
+
+crates/bench/src/bin/ext_approx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_approx-79c1fb1a6847461a.d: crates/bench/src/bin/ext_approx.rs
+
+/root/repo/target/debug/deps/ext_approx-79c1fb1a6847461a: crates/bench/src/bin/ext_approx.rs
+
+crates/bench/src/bin/ext_approx.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_hetero-afec7bddfd2673cc.d: crates/bench/src/bin/ext_hetero.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_hetero-afec7bddfd2673cc.rmeta: crates/bench/src/bin/ext_hetero.rs Cargo.toml
+
+crates/bench/src/bin/ext_hetero.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

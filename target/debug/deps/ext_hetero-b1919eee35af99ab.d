@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hetero-b1919eee35af99ab.d: crates/bench/src/bin/ext_hetero.rs
+
+/root/repo/target/debug/deps/ext_hetero-b1919eee35af99ab: crates/bench/src/bin/ext_hetero.rs
+
+crates/bench/src/bin/ext_hetero.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hetero-c460e2df383c5ca5.d: crates/bench/src/bin/ext_hetero.rs
+
+/root/repo/target/debug/deps/ext_hetero-c460e2df383c5ca5: crates/bench/src/bin/ext_hetero.rs
+
+crates/bench/src/bin/ext_hetero.rs:

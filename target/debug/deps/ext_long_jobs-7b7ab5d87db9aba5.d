@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_long_jobs-7b7ab5d87db9aba5.d: crates/bench/src/bin/ext_long_jobs.rs
+
+/root/repo/target/debug/deps/ext_long_jobs-7b7ab5d87db9aba5: crates/bench/src/bin/ext_long_jobs.rs
+
+crates/bench/src/bin/ext_long_jobs.rs:

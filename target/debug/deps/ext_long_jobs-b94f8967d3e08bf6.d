@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_long_jobs-b94f8967d3e08bf6.d: crates/bench/src/bin/ext_long_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_long_jobs-b94f8967d3e08bf6.rmeta: crates/bench/src/bin/ext_long_jobs.rs Cargo.toml
+
+crates/bench/src/bin/ext_long_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

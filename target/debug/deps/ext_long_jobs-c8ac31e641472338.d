@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_long_jobs-c8ac31e641472338.d: crates/bench/src/bin/ext_long_jobs.rs
+
+/root/repo/target/debug/deps/ext_long_jobs-c8ac31e641472338: crates/bench/src/bin/ext_long_jobs.rs
+
+crates/bench/src/bin/ext_long_jobs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_long_jobs-d3d2329c3d9402c2.d: crates/bench/src/bin/ext_long_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_long_jobs-d3d2329c3d9402c2.rmeta: crates/bench/src/bin/ext_long_jobs.rs Cargo.toml
+
+crates/bench/src/bin/ext_long_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

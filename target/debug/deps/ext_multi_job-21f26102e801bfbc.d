@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multi_job-21f26102e801bfbc.d: crates/bench/src/bin/ext_multi_job.rs
+
+/root/repo/target/debug/deps/ext_multi_job-21f26102e801bfbc: crates/bench/src/bin/ext_multi_job.rs
+
+crates/bench/src/bin/ext_multi_job.rs:

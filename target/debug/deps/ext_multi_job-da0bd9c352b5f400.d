@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multi_job-da0bd9c352b5f400.d: crates/bench/src/bin/ext_multi_job.rs
+
+/root/repo/target/debug/deps/ext_multi_job-da0bd9c352b5f400: crates/bench/src/bin/ext_multi_job.rs
+
+crates/bench/src/bin/ext_multi_job.rs:

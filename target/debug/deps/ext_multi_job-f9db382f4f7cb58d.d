@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multi_job-f9db382f4f7cb58d.d: crates/bench/src/bin/ext_multi_job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multi_job-f9db382f4f7cb58d.rmeta: crates/bench/src/bin/ext_multi_job.rs Cargo.toml
+
+crates/bench/src/bin/ext_multi_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

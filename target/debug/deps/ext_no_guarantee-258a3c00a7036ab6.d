@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_no_guarantee-258a3c00a7036ab6.d: crates/bench/src/bin/ext_no_guarantee.rs
+
+/root/repo/target/debug/deps/ext_no_guarantee-258a3c00a7036ab6: crates/bench/src/bin/ext_no_guarantee.rs
+
+crates/bench/src/bin/ext_no_guarantee.rs:

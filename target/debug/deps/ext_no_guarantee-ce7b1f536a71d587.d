@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_no_guarantee-ce7b1f536a71d587.d: crates/bench/src/bin/ext_no_guarantee.rs
+
+/root/repo/target/debug/deps/ext_no_guarantee-ce7b1f536a71d587: crates/bench/src/bin/ext_no_guarantee.rs
+
+crates/bench/src/bin/ext_no_guarantee.rs:

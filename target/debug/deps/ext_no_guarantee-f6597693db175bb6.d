@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_no_guarantee-f6597693db175bb6.d: crates/bench/src/bin/ext_no_guarantee.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_no_guarantee-f6597693db175bb6.rmeta: crates/bench/src/bin/ext_no_guarantee.rs Cargo.toml
+
+crates/bench/src/bin/ext_no_guarantee.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sched_policies-08520f67d64481dc.d: crates/bench/src/bin/ext_sched_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sched_policies-08520f67d64481dc.rmeta: crates/bench/src/bin/ext_sched_policies.rs Cargo.toml
+
+crates/bench/src/bin/ext_sched_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sched_policies-3498868b021367e7.d: crates/bench/src/bin/ext_sched_policies.rs
+
+/root/repo/target/debug/deps/ext_sched_policies-3498868b021367e7: crates/bench/src/bin/ext_sched_policies.rs
+
+crates/bench/src/bin/ext_sched_policies.rs:

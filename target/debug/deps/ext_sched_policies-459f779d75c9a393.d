@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sched_policies-459f779d75c9a393.d: crates/bench/src/bin/ext_sched_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sched_policies-459f779d75c9a393.rmeta: crates/bench/src/bin/ext_sched_policies.rs Cargo.toml
+
+crates/bench/src/bin/ext_sched_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

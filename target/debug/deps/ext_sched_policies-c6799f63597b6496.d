@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sched_policies-c6799f63597b6496.d: crates/bench/src/bin/ext_sched_policies.rs
+
+/root/repo/target/debug/deps/ext_sched_policies-c6799f63597b6496: crates/bench/src/bin/ext_sched_policies.rs
+
+crates/bench/src/bin/ext_sched_policies.rs:

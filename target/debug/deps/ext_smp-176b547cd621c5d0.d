@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_smp-176b547cd621c5d0.d: crates/bench/src/bin/ext_smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_smp-176b547cd621c5d0.rmeta: crates/bench/src/bin/ext_smp.rs Cargo.toml
+
+crates/bench/src/bin/ext_smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

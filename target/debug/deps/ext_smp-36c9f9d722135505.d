@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_smp-36c9f9d722135505.d: crates/bench/src/bin/ext_smp.rs
+
+/root/repo/target/debug/deps/ext_smp-36c9f9d722135505: crates/bench/src/bin/ext_smp.rs
+
+crates/bench/src/bin/ext_smp.rs:

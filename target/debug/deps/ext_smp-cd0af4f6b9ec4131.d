@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_smp-cd0af4f6b9ec4131.d: crates/bench/src/bin/ext_smp.rs
+
+/root/repo/target/debug/deps/ext_smp-cd0af4f6b9ec4131: crates/bench/src/bin/ext_smp.rs
+
+crates/bench/src/bin/ext_smp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_smp-fbd5d86d3e5387a0.d: crates/bench/src/bin/ext_smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_smp-fbd5d86d3e5387a0.rmeta: crates/bench/src/bin/ext_smp.rs Cargo.toml
+
+crates/bench/src/bin/ext_smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

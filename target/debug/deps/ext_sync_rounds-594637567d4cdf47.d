@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sync_rounds-594637567d4cdf47.d: crates/bench/src/bin/ext_sync_rounds.rs
+
+/root/repo/target/debug/deps/ext_sync_rounds-594637567d4cdf47: crates/bench/src/bin/ext_sync_rounds.rs
+
+crates/bench/src/bin/ext_sync_rounds.rs:

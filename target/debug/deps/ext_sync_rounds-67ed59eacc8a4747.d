@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sync_rounds-67ed59eacc8a4747.d: crates/bench/src/bin/ext_sync_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sync_rounds-67ed59eacc8a4747.rmeta: crates/bench/src/bin/ext_sync_rounds.rs Cargo.toml
+
+crates/bench/src/bin/ext_sync_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sync_rounds-76d16f3b30d5c79e.d: crates/bench/src/bin/ext_sync_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sync_rounds-76d16f3b30d5c79e.rmeta: crates/bench/src/bin/ext_sync_rounds.rs Cargo.toml
+
+crates/bench/src/bin/ext_sync_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sync_rounds-9537879b48003933.d: crates/bench/src/bin/ext_sync_rounds.rs
+
+/root/repo/target/debug/deps/ext_sync_rounds-9537879b48003933: crates/bench/src/bin/ext_sync_rounds.rs
+
+crates/bench/src/bin/ext_sync_rounds.rs:

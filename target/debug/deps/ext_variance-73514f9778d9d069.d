@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_variance-73514f9778d9d069.d: crates/bench/src/bin/ext_variance.rs
+
+/root/repo/target/debug/deps/ext_variance-73514f9778d9d069: crates/bench/src/bin/ext_variance.rs
+
+crates/bench/src/bin/ext_variance.rs:

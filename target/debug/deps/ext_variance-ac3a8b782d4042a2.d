@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_variance-ac3a8b782d4042a2.d: crates/bench/src/bin/ext_variance.rs
+
+/root/repo/target/debug/deps/ext_variance-ac3a8b782d4042a2: crates/bench/src/bin/ext_variance.rs
+
+crates/bench/src/bin/ext_variance.rs:

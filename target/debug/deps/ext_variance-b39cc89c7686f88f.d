@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_variance-b39cc89c7686f88f.d: crates/bench/src/bin/ext_variance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_variance-b39cc89c7686f88f.rmeta: crates/bench/src/bin/ext_variance.rs Cargo.toml
+
+crates/bench/src/bin/ext_variance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

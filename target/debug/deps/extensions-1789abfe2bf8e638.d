@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1789abfe2bf8e638.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1789abfe2bf8e638: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-518a5a086804c9fd.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-518a5a086804c9fd.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

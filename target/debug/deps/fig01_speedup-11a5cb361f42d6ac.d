@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_speedup-11a5cb361f42d6ac.d: crates/bench/src/bin/fig01_speedup.rs
+
+/root/repo/target/debug/deps/fig01_speedup-11a5cb361f42d6ac: crates/bench/src/bin/fig01_speedup.rs
+
+crates/bench/src/bin/fig01_speedup.rs:

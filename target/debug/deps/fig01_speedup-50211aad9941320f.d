@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_speedup-50211aad9941320f.d: crates/bench/src/bin/fig01_speedup.rs
+
+/root/repo/target/debug/deps/fig01_speedup-50211aad9941320f: crates/bench/src/bin/fig01_speedup.rs
+
+crates/bench/src/bin/fig01_speedup.rs:

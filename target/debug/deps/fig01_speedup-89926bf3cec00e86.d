@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_speedup-89926bf3cec00e86.d: crates/bench/src/bin/fig01_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_speedup-89926bf3cec00e86.rmeta: crates/bench/src/bin/fig01_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig01_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_efficiency-316d6707b9ac687b.d: crates/bench/src/bin/fig02_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_efficiency-316d6707b9ac687b.rmeta: crates/bench/src/bin/fig02_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/fig02_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_efficiency-a4df667eeeb25ccb.d: crates/bench/src/bin/fig02_efficiency.rs
+
+/root/repo/target/debug/deps/fig02_efficiency-a4df667eeeb25ccb: crates/bench/src/bin/fig02_efficiency.rs
+
+crates/bench/src/bin/fig02_efficiency.rs:

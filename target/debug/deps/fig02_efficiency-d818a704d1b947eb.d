@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_efficiency-d818a704d1b947eb.d: crates/bench/src/bin/fig02_efficiency.rs
+
+/root/repo/target/debug/deps/fig02_efficiency-d818a704d1b947eb: crates/bench/src/bin/fig02_efficiency.rs
+
+crates/bench/src/bin/fig02_efficiency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_weighted_speedup-1e1aff8bba4093c1.d: crates/bench/src/bin/fig03_weighted_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_weighted_speedup-1e1aff8bba4093c1.rmeta: crates/bench/src/bin/fig03_weighted_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig03_weighted_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_weighted_speedup-3f4abba4852d6c9c.d: crates/bench/src/bin/fig03_weighted_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_weighted_speedup-3f4abba4852d6c9c.rmeta: crates/bench/src/bin/fig03_weighted_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig03_weighted_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

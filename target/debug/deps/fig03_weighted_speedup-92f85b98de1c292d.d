@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_weighted_speedup-92f85b98de1c292d.d: crates/bench/src/bin/fig03_weighted_speedup.rs
+
+/root/repo/target/debug/deps/fig03_weighted_speedup-92f85b98de1c292d: crates/bench/src/bin/fig03_weighted_speedup.rs
+
+crates/bench/src/bin/fig03_weighted_speedup.rs:

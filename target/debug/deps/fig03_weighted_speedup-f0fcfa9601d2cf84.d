@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_weighted_speedup-f0fcfa9601d2cf84.d: crates/bench/src/bin/fig03_weighted_speedup.rs
+
+/root/repo/target/debug/deps/fig03_weighted_speedup-f0fcfa9601d2cf84: crates/bench/src/bin/fig03_weighted_speedup.rs
+
+crates/bench/src/bin/fig03_weighted_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_weighted_efficiency-77acff49ad3c41eb.d: crates/bench/src/bin/fig04_weighted_efficiency.rs
+
+/root/repo/target/debug/deps/fig04_weighted_efficiency-77acff49ad3c41eb: crates/bench/src/bin/fig04_weighted_efficiency.rs
+
+crates/bench/src/bin/fig04_weighted_efficiency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_weighted_efficiency-948c3c04b8862774.d: crates/bench/src/bin/fig04_weighted_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_weighted_efficiency-948c3c04b8862774.rmeta: crates/bench/src/bin/fig04_weighted_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/fig04_weighted_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

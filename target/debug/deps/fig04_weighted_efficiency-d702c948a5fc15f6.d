@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_weighted_efficiency-d702c948a5fc15f6.d: crates/bench/src/bin/fig04_weighted_efficiency.rs
+
+/root/repo/target/debug/deps/fig04_weighted_efficiency-d702c948a5fc15f6: crates/bench/src/bin/fig04_weighted_efficiency.rs
+
+crates/bench/src/bin/fig04_weighted_efficiency.rs:

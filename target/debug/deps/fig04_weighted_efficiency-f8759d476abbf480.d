@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_weighted_efficiency-f8759d476abbf480.d: crates/bench/src/bin/fig04_weighted_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_weighted_efficiency-f8759d476abbf480.rmeta: crates/bench/src/bin/fig04_weighted_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/fig04_weighted_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

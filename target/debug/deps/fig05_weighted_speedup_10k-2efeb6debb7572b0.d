@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_weighted_speedup_10k-2efeb6debb7572b0.d: crates/bench/src/bin/fig05_weighted_speedup_10k.rs
+
+/root/repo/target/debug/deps/fig05_weighted_speedup_10k-2efeb6debb7572b0: crates/bench/src/bin/fig05_weighted_speedup_10k.rs
+
+crates/bench/src/bin/fig05_weighted_speedup_10k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_weighted_speedup_10k-48f041e026a86607.d: crates/bench/src/bin/fig05_weighted_speedup_10k.rs
+
+/root/repo/target/debug/deps/fig05_weighted_speedup_10k-48f041e026a86607: crates/bench/src/bin/fig05_weighted_speedup_10k.rs
+
+crates/bench/src/bin/fig05_weighted_speedup_10k.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_weighted_speedup_10k-b993dd0a77237efe.d: crates/bench/src/bin/fig05_weighted_speedup_10k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_weighted_speedup_10k-b993dd0a77237efe.rmeta: crates/bench/src/bin/fig05_weighted_speedup_10k.rs Cargo.toml
+
+crates/bench/src/bin/fig05_weighted_speedup_10k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_weighted_speedup_10k-babea82cafaf9bf2.d: crates/bench/src/bin/fig05_weighted_speedup_10k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_weighted_speedup_10k-babea82cafaf9bf2.rmeta: crates/bench/src/bin/fig05_weighted_speedup_10k.rs Cargo.toml
+
+crates/bench/src/bin/fig05_weighted_speedup_10k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

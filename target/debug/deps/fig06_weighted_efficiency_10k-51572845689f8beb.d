@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_weighted_efficiency_10k-51572845689f8beb.d: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_weighted_efficiency_10k-51572845689f8beb.rmeta: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs Cargo.toml
+
+crates/bench/src/bin/fig06_weighted_efficiency_10k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_weighted_efficiency_10k-73b5926a6e68ee97.d: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_weighted_efficiency_10k-73b5926a6e68ee97.rmeta: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs Cargo.toml
+
+crates/bench/src/bin/fig06_weighted_efficiency_10k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

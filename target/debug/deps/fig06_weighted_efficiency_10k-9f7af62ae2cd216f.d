@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_weighted_efficiency_10k-9f7af62ae2cd216f.d: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs
+
+/root/repo/target/debug/deps/fig06_weighted_efficiency_10k-9f7af62ae2cd216f: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs
+
+crates/bench/src/bin/fig06_weighted_efficiency_10k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_weighted_efficiency_10k-ed3bba00d66c1cdd.d: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs
+
+/root/repo/target/debug/deps/fig06_weighted_efficiency_10k-ed3bba00d66c1cdd: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs
+
+crates/bench/src/bin/fig06_weighted_efficiency_10k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_task_ratio-6a31d36935b84f9a.d: crates/bench/src/bin/fig07_task_ratio.rs
+
+/root/repo/target/debug/deps/fig07_task_ratio-6a31d36935b84f9a: crates/bench/src/bin/fig07_task_ratio.rs
+
+crates/bench/src/bin/fig07_task_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_task_ratio-9ee82b989b1cf17a.d: crates/bench/src/bin/fig07_task_ratio.rs
+
+/root/repo/target/debug/deps/fig07_task_ratio-9ee82b989b1cf17a: crates/bench/src/bin/fig07_task_ratio.rs
+
+crates/bench/src/bin/fig07_task_ratio.rs:

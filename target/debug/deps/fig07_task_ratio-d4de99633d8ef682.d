@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_task_ratio-d4de99633d8ef682.d: crates/bench/src/bin/fig07_task_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_task_ratio-d4de99633d8ef682.rmeta: crates/bench/src/bin/fig07_task_ratio.rs Cargo.toml
+
+crates/bench/src/bin/fig07_task_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_task_ratio-f58e67cd84e4407a.d: crates/bench/src/bin/fig07_task_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_task_ratio-f58e67cd84e4407a.rmeta: crates/bench/src/bin/fig07_task_ratio.rs Cargo.toml
+
+crates/bench/src/bin/fig07_task_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_task_ratio_sizes-0216a9387348b20d.d: crates/bench/src/bin/fig08_task_ratio_sizes.rs
+
+/root/repo/target/debug/deps/fig08_task_ratio_sizes-0216a9387348b20d: crates/bench/src/bin/fig08_task_ratio_sizes.rs
+
+crates/bench/src/bin/fig08_task_ratio_sizes.rs:

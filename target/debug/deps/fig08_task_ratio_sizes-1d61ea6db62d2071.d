@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_task_ratio_sizes-1d61ea6db62d2071.d: crates/bench/src/bin/fig08_task_ratio_sizes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_task_ratio_sizes-1d61ea6db62d2071.rmeta: crates/bench/src/bin/fig08_task_ratio_sizes.rs Cargo.toml
+
+crates/bench/src/bin/fig08_task_ratio_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

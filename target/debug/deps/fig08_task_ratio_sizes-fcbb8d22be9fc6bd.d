@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_task_ratio_sizes-fcbb8d22be9fc6bd.d: crates/bench/src/bin/fig08_task_ratio_sizes.rs
+
+/root/repo/target/debug/deps/fig08_task_ratio_sizes-fcbb8d22be9fc6bd: crates/bench/src/bin/fig08_task_ratio_sizes.rs
+
+crates/bench/src/bin/fig08_task_ratio_sizes.rs:

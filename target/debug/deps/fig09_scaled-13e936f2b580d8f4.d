@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_scaled-13e936f2b580d8f4.d: crates/bench/src/bin/fig09_scaled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_scaled-13e936f2b580d8f4.rmeta: crates/bench/src/bin/fig09_scaled.rs Cargo.toml
+
+crates/bench/src/bin/fig09_scaled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_scaled-77a221d26e7bf262.d: crates/bench/src/bin/fig09_scaled.rs
+
+/root/repo/target/debug/deps/fig09_scaled-77a221d26e7bf262: crates/bench/src/bin/fig09_scaled.rs
+
+crates/bench/src/bin/fig09_scaled.rs:

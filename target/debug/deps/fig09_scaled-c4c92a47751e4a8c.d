@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_scaled-c4c92a47751e4a8c.d: crates/bench/src/bin/fig09_scaled.rs
+
+/root/repo/target/debug/deps/fig09_scaled-c4c92a47751e4a8c: crates/bench/src/bin/fig09_scaled.rs
+
+crates/bench/src/bin/fig09_scaled.rs:

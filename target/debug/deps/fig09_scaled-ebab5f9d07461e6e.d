@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_scaled-ebab5f9d07461e6e.d: crates/bench/src/bin/fig09_scaled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_scaled-ebab5f9d07461e6e.rmeta: crates/bench/src/bin/fig09_scaled.rs Cargo.toml
+
+crates/bench/src/bin/fig09_scaled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

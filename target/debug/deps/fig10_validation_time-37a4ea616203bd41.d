@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_validation_time-37a4ea616203bd41.d: crates/bench/src/bin/fig10_validation_time.rs
+
+/root/repo/target/debug/deps/fig10_validation_time-37a4ea616203bd41: crates/bench/src/bin/fig10_validation_time.rs
+
+crates/bench/src/bin/fig10_validation_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_validation_time-aab8568757e3a6ec.d: crates/bench/src/bin/fig10_validation_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_validation_time-aab8568757e3a6ec.rmeta: crates/bench/src/bin/fig10_validation_time.rs Cargo.toml
+
+crates/bench/src/bin/fig10_validation_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

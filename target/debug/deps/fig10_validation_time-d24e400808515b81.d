@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_validation_time-d24e400808515b81.d: crates/bench/src/bin/fig10_validation_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_validation_time-d24e400808515b81.rmeta: crates/bench/src/bin/fig10_validation_time.rs Cargo.toml
+
+crates/bench/src/bin/fig10_validation_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

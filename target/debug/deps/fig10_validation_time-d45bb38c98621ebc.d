@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_validation_time-d45bb38c98621ebc.d: crates/bench/src/bin/fig10_validation_time.rs
+
+/root/repo/target/debug/deps/fig10_validation_time-d45bb38c98621ebc: crates/bench/src/bin/fig10_validation_time.rs
+
+crates/bench/src/bin/fig10_validation_time.rs:

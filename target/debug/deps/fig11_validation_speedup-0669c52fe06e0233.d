@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_validation_speedup-0669c52fe06e0233.d: crates/bench/src/bin/fig11_validation_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_validation_speedup-0669c52fe06e0233.rmeta: crates/bench/src/bin/fig11_validation_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig11_validation_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_validation_speedup-538365f5d3d90e09.d: crates/bench/src/bin/fig11_validation_speedup.rs
+
+/root/repo/target/debug/deps/fig11_validation_speedup-538365f5d3d90e09: crates/bench/src/bin/fig11_validation_speedup.rs
+
+crates/bench/src/bin/fig11_validation_speedup.rs:

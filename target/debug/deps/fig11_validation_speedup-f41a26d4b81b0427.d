@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_validation_speedup-f41a26d4b81b0427.d: crates/bench/src/bin/fig11_validation_speedup.rs
+
+/root/repo/target/debug/deps/fig11_validation_speedup-f41a26d4b81b0427: crates/bench/src/bin/fig11_validation_speedup.rs
+
+crates/bench/src/bin/fig11_validation_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_model-cb2dca5732045b18.d: crates/bench/benches/fig_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_model-cb2dca5732045b18.rmeta: crates/bench/benches/fig_model.rs Cargo.toml
+
+crates/bench/benches/fig_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

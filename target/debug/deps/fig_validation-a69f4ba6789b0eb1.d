@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_validation-a69f4ba6789b0eb1.d: crates/bench/benches/fig_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_validation-a69f4ba6789b0eb1.rmeta: crates/bench/benches/fig_validation.rs Cargo.toml
+
+crates/bench/benches/fig_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_shape-6cbeea7016b7a422.d: tests/figures_shape.rs
+
+/root/repo/target/debug/deps/figures_shape-6cbeea7016b7a422: tests/figures_shape.rs
+
+tests/figures_shape.rs:

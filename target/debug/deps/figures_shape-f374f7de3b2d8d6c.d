@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_shape-f374f7de3b2d8d6c.d: tests/figures_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_shape-f374f7de3b2d8d6c.rmeta: tests/figures_shape.rs Cargo.toml
+
+tests/figures_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-8e107b2efc5350f7.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-8e107b2efc5350f7.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-ed486602148c5c01.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-ed486602148c5c01: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_vs_sim-5060b475a2c45b01.d: tests/model_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_vs_sim-5060b475a2c45b01.rmeta: tests/model_vs_sim.rs Cargo.toml
+
+tests/model_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

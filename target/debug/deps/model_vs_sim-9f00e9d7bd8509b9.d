@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_vs_sim-9f00e9d7bd8509b9.d: tests/model_vs_sim.rs
+
+/root/repo/target/debug/deps/model_vs_sim-9f00e9d7bd8509b9: tests/model_vs_sim.rs
+
+tests/model_vs_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nds-0105db1be5d7c69e.d: src/bin/nds.rs
+
+/root/repo/target/debug/deps/nds-0105db1be5d7c69e: src/bin/nds.rs
+
+src/bin/nds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nds-143c6da9f94f4518.d: src/lib.rs
+
+/root/repo/target/debug/deps/nds-143c6da9f94f4518: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nds-1551b9cf7e711fed.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnds-1551b9cf7e711fed.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnds-1551b9cf7e711fed.rmeta: src/lib.rs
+
+src/lib.rs:

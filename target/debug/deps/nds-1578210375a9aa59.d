@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nds-1578210375a9aa59.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds-1578210375a9aa59.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nds-31aea7f130c81f48.d: src/bin/nds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds-31aea7f130c81f48.rmeta: src/bin/nds.rs Cargo.toml
+
+src/bin/nds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

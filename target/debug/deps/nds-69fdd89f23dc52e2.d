@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nds-69fdd89f23dc52e2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds-69fdd89f23dc52e2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nds-a934fbe976cddb86.d: src/bin/nds.rs
+
+/root/repo/target/debug/deps/nds-a934fbe976cddb86: src/bin/nds.rs
+
+src/bin/nds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nds-df7603491cc8c670.d: src/bin/nds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds-df7603491cc8c670.rmeta: src/bin/nds.rs Cargo.toml
+
+src/bin/nds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nds_bench-22316b4f09a5d259.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_bench-22316b4f09a5d259.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:
+crates/bench/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nds_bench-92ebf21b21cb8a0d.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+/root/repo/target/debug/deps/libnds_bench-92ebf21b21cb8a0d.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+/root/repo/target/debug/deps/libnds_bench-92ebf21b21cb8a0d.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:
+crates/bench/src/validation.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nds_bench-cd50fc2fe1aeacbe.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+/root/repo/target/debug/deps/nds_bench-cd50fc2fe1aeacbe: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:
+crates/bench/src/validation.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nds_cluster-6264ff0df6bce221.d: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs
+
+/root/repo/target/debug/deps/libnds_cluster-6264ff0df6bce221.rlib: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs
+
+/root/repo/target/debug/deps/libnds_cluster-6264ff0df6bce221.rmeta: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/continuous.rs:
+crates/cluster/src/discrete.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/multi.rs:
+crates/cluster/src/owner.rs:
+crates/cluster/src/probe.rs:
+crates/cluster/src/smp.rs:
+crates/cluster/src/task.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nds_cluster-729f109d6e0c3ab4.d: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_cluster-729f109d6e0c3ab4.rmeta: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/continuous.rs:
+crates/cluster/src/discrete.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/multi.rs:
+crates/cluster/src/owner.rs:
+crates/cluster/src/probe.rs:
+crates/cluster/src/smp.rs:
+crates/cluster/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nds_core-1eb58090939cf117.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_core-1eb58090939cf117.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/comparison.rs:
+crates/core/src/conclusions.rs:
+crates/core/src/error.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nds_core-82421aa38cad3bad.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/nds_core-82421aa38cad3bad: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/comparison.rs:
+crates/core/src/conclusions.rs:
+crates/core/src/error.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:

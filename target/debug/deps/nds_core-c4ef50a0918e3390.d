@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nds_core-c4ef50a0918e3390.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libnds_core-c4ef50a0918e3390.rlib: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libnds_core-c4ef50a0918e3390.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/comparison.rs crates/core/src/conclusions.rs crates/core/src/error.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/comparison.rs:
+crates/core/src/conclusions.rs:
+crates/core/src/error.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:

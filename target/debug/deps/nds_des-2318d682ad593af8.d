@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nds_des-2318d682ad593af8.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/nds_des-2318d682ad593af8: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/error.rs:
+crates/des/src/facility.rs:
+crates/des/src/monitor.rs:
+crates/des/src/resource.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nds_des-52c96c621553f348.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_des-52c96c621553f348.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/error.rs:
+crates/des/src/facility.rs:
+crates/des/src/monitor.rs:
+crates/des/src/resource.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

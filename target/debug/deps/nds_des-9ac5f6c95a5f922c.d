@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nds_des-9ac5f6c95a5f922c.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/libnds_des-9ac5f6c95a5f922c.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/libnds_des-9ac5f6c95a5f922c.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/error.rs:
+crates/des/src/facility.rs:
+crates/des/src/monitor.rs:
+crates/des/src/resource.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:

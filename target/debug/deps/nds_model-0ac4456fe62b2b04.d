@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nds_model-0ac4456fe62b2b04.d: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs
+
+/root/repo/target/debug/deps/nds_model-0ac4456fe62b2b04: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs
+
+crates/model/src/lib.rs:
+crates/model/src/approx.rs:
+crates/model/src/binomial.rs:
+crates/model/src/distribution.rs:
+crates/model/src/error.rs:
+crates/model/src/expectation.rs:
+crates/model/src/hetero.rs:
+crates/model/src/interference.rs:
+crates/model/src/metrics.rs:
+crates/model/src/params.rs:
+crates/model/src/scaled.rs:
+crates/model/src/sensitivity.rs:
+crates/model/src/solver.rs:
+crates/model/src/variance.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/nds_model-432abbdab9bdcf92.d: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_model-432abbdab9bdcf92.rmeta: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/approx.rs:
+crates/model/src/binomial.rs:
+crates/model/src/distribution.rs:
+crates/model/src/error.rs:
+crates/model/src/expectation.rs:
+crates/model/src/hetero.rs:
+crates/model/src/interference.rs:
+crates/model/src/metrics.rs:
+crates/model/src/params.rs:
+crates/model/src/scaled.rs:
+crates/model/src/sensitivity.rs:
+crates/model/src/solver.rs:
+crates/model/src/variance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/nds_model-e280cdcc8cfd751a.d: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_model-e280cdcc8cfd751a.rmeta: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/approx.rs:
+crates/model/src/binomial.rs:
+crates/model/src/distribution.rs:
+crates/model/src/error.rs:
+crates/model/src/expectation.rs:
+crates/model/src/hetero.rs:
+crates/model/src/interference.rs:
+crates/model/src/metrics.rs:
+crates/model/src/params.rs:
+crates/model/src/scaled.rs:
+crates/model/src/sensitivity.rs:
+crates/model/src/solver.rs:
+crates/model/src/variance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nds_pvm-64dbbcb057f60bea.d: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs
+
+/root/repo/target/debug/deps/libnds_pvm-64dbbcb057f60bea.rlib: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs
+
+/root/repo/target/debug/deps/libnds_pvm-64dbbcb057f60bea.rmeta: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs
+
+crates/pvm/src/lib.rs:
+crates/pvm/src/apps.rs:
+crates/pvm/src/apps/local_computation.rs:
+crates/pvm/src/apps/sync_rounds.rs:
+crates/pvm/src/daemon.rs:
+crates/pvm/src/error.rs:
+crates/pvm/src/group.rs:
+crates/pvm/src/harness.rs:
+crates/pvm/src/lan.rs:
+crates/pvm/src/message.rs:
+crates/pvm/src/task.rs:
+crates/pvm/src/vm.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nds_pvm-9f2aa0404bf21feb.d: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_pvm-9f2aa0404bf21feb.rmeta: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs Cargo.toml
+
+crates/pvm/src/lib.rs:
+crates/pvm/src/apps.rs:
+crates/pvm/src/apps/local_computation.rs:
+crates/pvm/src/apps/sync_rounds.rs:
+crates/pvm/src/daemon.rs:
+crates/pvm/src/error.rs:
+crates/pvm/src/group.rs:
+crates/pvm/src/harness.rs:
+crates/pvm/src/lan.rs:
+crates/pvm/src/message.rs:
+crates/pvm/src/task.rs:
+crates/pvm/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

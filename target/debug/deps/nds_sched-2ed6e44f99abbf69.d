@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nds_sched-2ed6e44f99abbf69.d: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+/root/repo/target/debug/deps/libnds_sched-2ed6e44f99abbf69.rlib: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+/root/repo/target/debug/deps/libnds_sched-2ed6e44f99abbf69.rmeta: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/error.rs:
+crates/sched/src/eviction.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/pool.rs:
+crates/sched/src/queue.rs:
+crates/sched/src/simulator.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nds_sched-4f5cecaf3eb1246e.d: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+/root/repo/target/debug/deps/nds_sched-4f5cecaf3eb1246e: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/error.rs:
+crates/sched/src/eviction.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/pool.rs:
+crates/sched/src/queue.rs:
+crates/sched/src/simulator.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nds_sched-dddbf4ff12b377da.d: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_sched-dddbf4ff12b377da.rmeta: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/error.rs:
+crates/sched/src/eviction.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/pool.rs:
+crates/sched/src/queue.rs:
+crates/sched/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

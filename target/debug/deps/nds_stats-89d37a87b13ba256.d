@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nds_stats-89d37a87b13ba256.d: crates/stats/src/lib.rs crates/stats/src/autocorr.rs crates/stats/src/batch_means.rs crates/stats/src/distributions.rs crates/stats/src/error.rs crates/stats/src/histogram.rs crates/stats/src/order_stats.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/student_t.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/nds_stats-89d37a87b13ba256: crates/stats/src/lib.rs crates/stats/src/autocorr.rs crates/stats/src/batch_means.rs crates/stats/src/distributions.rs crates/stats/src/error.rs crates/stats/src/histogram.rs crates/stats/src/order_stats.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/student_t.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/autocorr.rs:
+crates/stats/src/batch_means.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/error.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/order_stats.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/special.rs:
+crates/stats/src/student_t.rs:
+crates/stats/src/summary.rs:

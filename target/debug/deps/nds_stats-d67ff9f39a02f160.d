@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nds_stats-d67ff9f39a02f160.d: crates/stats/src/lib.rs crates/stats/src/autocorr.rs crates/stats/src/batch_means.rs crates/stats/src/distributions.rs crates/stats/src/error.rs crates/stats/src/histogram.rs crates/stats/src/order_stats.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/student_t.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnds_stats-d67ff9f39a02f160.rmeta: crates/stats/src/lib.rs crates/stats/src/autocorr.rs crates/stats/src/batch_means.rs crates/stats/src/distributions.rs crates/stats/src/error.rs crates/stats/src/histogram.rs crates/stats/src/order_stats.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/student_t.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/autocorr.rs:
+crates/stats/src/batch_means.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/error.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/order_stats.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/special.rs:
+crates/stats/src/student_t.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-4901721696e9f5ce.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-4901721696e9f5ce.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-4901721696e9f5ce.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:

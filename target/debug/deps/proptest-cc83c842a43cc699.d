@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cc83c842a43cc699.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-cc83c842a43cc699: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:

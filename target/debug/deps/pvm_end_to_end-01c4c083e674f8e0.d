@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pvm_end_to_end-01c4c083e674f8e0.d: tests/pvm_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpvm_end_to_end-01c4c083e674f8e0.rmeta: tests/pvm_end_to_end.rs Cargo.toml
+
+tests/pvm_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

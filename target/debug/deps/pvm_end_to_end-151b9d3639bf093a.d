@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pvm_end_to_end-151b9d3639bf093a.d: tests/pvm_end_to_end.rs
+
+/root/repo/target/debug/deps/pvm_end_to_end-151b9d3639bf093a: tests/pvm_end_to_end.rs
+
+tests/pvm_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_invariants-a29a69299cf06d40.d: tests/sched_invariants.rs
+
+/root/repo/target/debug/deps/sched_invariants-a29a69299cf06d40: tests/sched_invariants.rs
+
+tests/sched_invariants.rs:

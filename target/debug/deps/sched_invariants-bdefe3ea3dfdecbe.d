@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_invariants-bdefe3ea3dfdecbe.d: tests/sched_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_invariants-bdefe3ea3dfdecbe.rmeta: tests/sched_invariants.rs Cargo.toml
+
+tests/sched_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/v1_sim_vs_analysis-408fa2bdc13c8f5f.d: crates/bench/src/bin/v1_sim_vs_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libv1_sim_vs_analysis-408fa2bdc13c8f5f.rmeta: crates/bench/src/bin/v1_sim_vs_analysis.rs Cargo.toml
+
+crates/bench/src/bin/v1_sim_vs_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

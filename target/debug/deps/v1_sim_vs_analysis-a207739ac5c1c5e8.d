@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/v1_sim_vs_analysis-a207739ac5c1c5e8.d: crates/bench/src/bin/v1_sim_vs_analysis.rs
+
+/root/repo/target/debug/deps/v1_sim_vs_analysis-a207739ac5c1c5e8: crates/bench/src/bin/v1_sim_vs_analysis.rs
+
+crates/bench/src/bin/v1_sim_vs_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/v1_sim_vs_analysis-c68f249a6995034a.d: crates/bench/src/bin/v1_sim_vs_analysis.rs
+
+/root/repo/target/debug/deps/v1_sim_vs_analysis-c68f249a6995034a: crates/bench/src/bin/v1_sim_vs_analysis.rs
+
+crates/bench/src/bin/v1_sim_vs_analysis.rs:

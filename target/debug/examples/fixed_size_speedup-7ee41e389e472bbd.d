@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fixed_size_speedup-7ee41e389e472bbd.d: examples/fixed_size_speedup.rs
+
+/root/repo/target/debug/examples/fixed_size_speedup-7ee41e389e472bbd: examples/fixed_size_speedup.rs
+
+examples/fixed_size_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fixed_size_speedup-ef764b0730d1402d.d: examples/fixed_size_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfixed_size_speedup-ef764b0730d1402d.rmeta: examples/fixed_size_speedup.rs Cargo.toml
+
+examples/fixed_size_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

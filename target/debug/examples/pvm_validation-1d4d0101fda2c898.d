@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pvm_validation-1d4d0101fda2c898.d: examples/pvm_validation.rs
+
+/root/repo/target/debug/examples/pvm_validation-1d4d0101fda2c898: examples/pvm_validation.rs
+
+examples/pvm_validation.rs:

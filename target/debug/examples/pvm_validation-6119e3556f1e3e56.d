@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pvm_validation-6119e3556f1e3e56.d: examples/pvm_validation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpvm_validation-6119e3556f1e3e56.rmeta: examples/pvm_validation.rs Cargo.toml
+
+examples/pvm_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

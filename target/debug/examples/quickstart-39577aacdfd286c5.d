@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-39577aacdfd286c5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-39577aacdfd286c5: examples/quickstart.rs
+
+examples/quickstart.rs:

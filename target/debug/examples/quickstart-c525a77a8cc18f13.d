@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-c525a77a8cc18f13.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-c525a77a8cc18f13.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaled_problem-06fa1984712ed4d0.d: examples/scaled_problem.rs
+
+/root/repo/target/debug/examples/scaled_problem-06fa1984712ed4d0: examples/scaled_problem.rs
+
+examples/scaled_problem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaled_problem-78e2f9e539e68f10.d: examples/scaled_problem.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaled_problem-78e2f9e539e68f10.rmeta: examples/scaled_problem.rs Cargo.toml
+
+examples/scaled_problem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

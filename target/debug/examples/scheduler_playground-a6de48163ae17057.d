@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_playground-a6de48163ae17057.d: examples/scheduler_playground.rs
+
+/root/repo/target/debug/examples/scheduler_playground-a6de48163ae17057: examples/scheduler_playground.rs
+
+examples/scheduler_playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_playground-d7b3f1b17adf5606.d: examples/scheduler_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_playground-d7b3f1b17adf5606.rmeta: examples/scheduler_playground.rs Cargo.toml
+
+examples/scheduler_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

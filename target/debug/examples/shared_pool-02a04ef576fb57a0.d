@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shared_pool-02a04ef576fb57a0.d: examples/shared_pool.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshared_pool-02a04ef576fb57a0.rmeta: examples/shared_pool.rs Cargo.toml
+
+examples/shared_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

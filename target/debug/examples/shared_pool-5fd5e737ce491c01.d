@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_pool-5fd5e737ce491c01.d: examples/shared_pool.rs
+
+/root/repo/target/debug/examples/shared_pool-5fd5e737ce491c01: examples/shared_pool.rs
+
+examples/shared_pool.rs:

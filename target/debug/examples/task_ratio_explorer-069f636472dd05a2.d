@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/task_ratio_explorer-069f636472dd05a2.d: examples/task_ratio_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtask_ratio_explorer-069f636472dd05a2.rmeta: examples/task_ratio_explorer.rs Cargo.toml
+
+examples/task_ratio_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_ratio_explorer-64f840a3ebbccc5f.d: examples/task_ratio_explorer.rs
+
+/root/repo/target/debug/examples/task_ratio_explorer-64f840a3ebbccc5f: examples/task_ratio_explorer.rs
+
+examples/task_ratio_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/variance_study-0dcc1776e40698bf.d: examples/variance_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvariance_study-0dcc1776e40698bf.rmeta: examples/variance_study.rs Cargo.toml
+
+examples/variance_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variance_study-97f6d19066d3635e.d: examples/variance_study.rs
+
+/root/repo/target/debug/examples/variance_study-97f6d19066d3635e: examples/variance_study.rs
+
+examples/variance_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/c1_required_task_ratio-bf418106094d5a34.d: crates/bench/src/bin/c1_required_task_ratio.rs
+
+/root/repo/target/release/deps/c1_required_task_ratio-bf418106094d5a34: crates/bench/src/bin/c1_required_task_ratio.rs
+
+crates/bench/src/bin/c1_required_task_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_approx-bc0f79b142f2f830.d: crates/bench/src/bin/ext_approx.rs
+
+/root/repo/target/release/deps/ext_approx-bc0f79b142f2f830: crates/bench/src/bin/ext_approx.rs
+
+crates/bench/src/bin/ext_approx.rs:

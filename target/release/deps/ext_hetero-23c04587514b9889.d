@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hetero-23c04587514b9889.d: crates/bench/src/bin/ext_hetero.rs
+
+/root/repo/target/release/deps/ext_hetero-23c04587514b9889: crates/bench/src/bin/ext_hetero.rs
+
+crates/bench/src/bin/ext_hetero.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_long_jobs-efcf1a99369501d3.d: crates/bench/src/bin/ext_long_jobs.rs
+
+/root/repo/target/release/deps/ext_long_jobs-efcf1a99369501d3: crates/bench/src/bin/ext_long_jobs.rs
+
+crates/bench/src/bin/ext_long_jobs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multi_job-51ed6907ff9b699f.d: crates/bench/src/bin/ext_multi_job.rs
+
+/root/repo/target/release/deps/ext_multi_job-51ed6907ff9b699f: crates/bench/src/bin/ext_multi_job.rs
+
+crates/bench/src/bin/ext_multi_job.rs:

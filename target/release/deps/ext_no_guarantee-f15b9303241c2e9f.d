@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_no_guarantee-f15b9303241c2e9f.d: crates/bench/src/bin/ext_no_guarantee.rs
+
+/root/repo/target/release/deps/ext_no_guarantee-f15b9303241c2e9f: crates/bench/src/bin/ext_no_guarantee.rs
+
+crates/bench/src/bin/ext_no_guarantee.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sched_policies-57e0583c55ab0b2a.d: crates/bench/src/bin/ext_sched_policies.rs
+
+/root/repo/target/release/deps/ext_sched_policies-57e0583c55ab0b2a: crates/bench/src/bin/ext_sched_policies.rs
+
+crates/bench/src/bin/ext_sched_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_smp-8d7ddc893757085c.d: crates/bench/src/bin/ext_smp.rs
+
+/root/repo/target/release/deps/ext_smp-8d7ddc893757085c: crates/bench/src/bin/ext_smp.rs
+
+crates/bench/src/bin/ext_smp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sync_rounds-3d2bee6de1d9a11d.d: crates/bench/src/bin/ext_sync_rounds.rs
+
+/root/repo/target/release/deps/ext_sync_rounds-3d2bee6de1d9a11d: crates/bench/src/bin/ext_sync_rounds.rs
+
+crates/bench/src/bin/ext_sync_rounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_variance-90db9407e7a688a0.d: crates/bench/src/bin/ext_variance.rs
+
+/root/repo/target/release/deps/ext_variance-90db9407e7a688a0: crates/bench/src/bin/ext_variance.rs
+
+crates/bench/src/bin/ext_variance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_speedup-39bc7bc1e03b17c7.d: crates/bench/src/bin/fig01_speedup.rs
+
+/root/repo/target/release/deps/fig01_speedup-39bc7bc1e03b17c7: crates/bench/src/bin/fig01_speedup.rs
+
+crates/bench/src/bin/fig01_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_efficiency-073e0b45e43bffa8.d: crates/bench/src/bin/fig02_efficiency.rs
+
+/root/repo/target/release/deps/fig02_efficiency-073e0b45e43bffa8: crates/bench/src/bin/fig02_efficiency.rs
+
+crates/bench/src/bin/fig02_efficiency.rs:

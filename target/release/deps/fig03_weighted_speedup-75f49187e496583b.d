@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_weighted_speedup-75f49187e496583b.d: crates/bench/src/bin/fig03_weighted_speedup.rs
+
+/root/repo/target/release/deps/fig03_weighted_speedup-75f49187e496583b: crates/bench/src/bin/fig03_weighted_speedup.rs
+
+crates/bench/src/bin/fig03_weighted_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_weighted_efficiency-fd89c55d31aeceff.d: crates/bench/src/bin/fig04_weighted_efficiency.rs
+
+/root/repo/target/release/deps/fig04_weighted_efficiency-fd89c55d31aeceff: crates/bench/src/bin/fig04_weighted_efficiency.rs
+
+crates/bench/src/bin/fig04_weighted_efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_weighted_speedup_10k-1528054b69828104.d: crates/bench/src/bin/fig05_weighted_speedup_10k.rs
+
+/root/repo/target/release/deps/fig05_weighted_speedup_10k-1528054b69828104: crates/bench/src/bin/fig05_weighted_speedup_10k.rs
+
+crates/bench/src/bin/fig05_weighted_speedup_10k.rs:

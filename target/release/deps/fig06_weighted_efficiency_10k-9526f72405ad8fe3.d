@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_weighted_efficiency_10k-9526f72405ad8fe3.d: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs
+
+/root/repo/target/release/deps/fig06_weighted_efficiency_10k-9526f72405ad8fe3: crates/bench/src/bin/fig06_weighted_efficiency_10k.rs
+
+crates/bench/src/bin/fig06_weighted_efficiency_10k.rs:

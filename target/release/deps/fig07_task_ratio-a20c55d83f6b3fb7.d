@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_task_ratio-a20c55d83f6b3fb7.d: crates/bench/src/bin/fig07_task_ratio.rs
+
+/root/repo/target/release/deps/fig07_task_ratio-a20c55d83f6b3fb7: crates/bench/src/bin/fig07_task_ratio.rs
+
+crates/bench/src/bin/fig07_task_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_task_ratio_sizes-93ff11a8bac22f89.d: crates/bench/src/bin/fig08_task_ratio_sizes.rs
+
+/root/repo/target/release/deps/fig08_task_ratio_sizes-93ff11a8bac22f89: crates/bench/src/bin/fig08_task_ratio_sizes.rs
+
+crates/bench/src/bin/fig08_task_ratio_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_scaled-4017937fd6528b24.d: crates/bench/src/bin/fig09_scaled.rs
+
+/root/repo/target/release/deps/fig09_scaled-4017937fd6528b24: crates/bench/src/bin/fig09_scaled.rs
+
+crates/bench/src/bin/fig09_scaled.rs:

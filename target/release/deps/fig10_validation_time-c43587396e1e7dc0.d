@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_validation_time-c43587396e1e7dc0.d: crates/bench/src/bin/fig10_validation_time.rs
+
+/root/repo/target/release/deps/fig10_validation_time-c43587396e1e7dc0: crates/bench/src/bin/fig10_validation_time.rs
+
+crates/bench/src/bin/fig10_validation_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_validation_speedup-c202e4dbdad851c0.d: crates/bench/src/bin/fig11_validation_speedup.rs
+
+/root/repo/target/release/deps/fig11_validation_speedup-c202e4dbdad851c0: crates/bench/src/bin/fig11_validation_speedup.rs
+
+crates/bench/src/bin/fig11_validation_speedup.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nds-4becd017b2723799.d: src/lib.rs
+
+/root/repo/target/release/deps/libnds-4becd017b2723799.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnds-4becd017b2723799.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nds-8eae803f97be3598.d: src/bin/nds.rs
+
+/root/repo/target/release/deps/nds-8eae803f97be3598: src/bin/nds.rs
+
+src/bin/nds.rs:

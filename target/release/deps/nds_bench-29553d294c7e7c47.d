@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nds_bench-29553d294c7e7c47.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+/root/repo/target/release/deps/libnds_bench-29553d294c7e7c47.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+/root/repo/target/release/deps/libnds_bench-29553d294c7e7c47.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/series.rs crates/bench/src/validation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:
+crates/bench/src/validation.rs:

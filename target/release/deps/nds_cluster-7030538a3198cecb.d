@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/nds_cluster-7030538a3198cecb.d: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs
+
+/root/repo/target/release/deps/libnds_cluster-7030538a3198cecb.rlib: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs
+
+/root/repo/target/release/deps/libnds_cluster-7030538a3198cecb.rmeta: crates/cluster/src/lib.rs crates/cluster/src/config.rs crates/cluster/src/continuous.rs crates/cluster/src/discrete.rs crates/cluster/src/error.rs crates/cluster/src/experiment.rs crates/cluster/src/job.rs crates/cluster/src/multi.rs crates/cluster/src/owner.rs crates/cluster/src/probe.rs crates/cluster/src/smp.rs crates/cluster/src/task.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/continuous.rs:
+crates/cluster/src/discrete.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/multi.rs:
+crates/cluster/src/owner.rs:
+crates/cluster/src/probe.rs:
+crates/cluster/src/smp.rs:
+crates/cluster/src/task.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nds_des-f5f7e4c4452152c0.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/libnds_des-f5f7e4c4452152c0.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/libnds_des-f5f7e4c4452152c0.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/error.rs crates/des/src/facility.rs crates/des/src/monitor.rs crates/des/src/resource.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/error.rs:
+crates/des/src/facility.rs:
+crates/des/src/monitor.rs:
+crates/des/src/resource.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:

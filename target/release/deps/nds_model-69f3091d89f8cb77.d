@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/nds_model-69f3091d89f8cb77.d: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs
+
+/root/repo/target/release/deps/libnds_model-69f3091d89f8cb77.rlib: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs
+
+/root/repo/target/release/deps/libnds_model-69f3091d89f8cb77.rmeta: crates/model/src/lib.rs crates/model/src/approx.rs crates/model/src/binomial.rs crates/model/src/distribution.rs crates/model/src/error.rs crates/model/src/expectation.rs crates/model/src/hetero.rs crates/model/src/interference.rs crates/model/src/metrics.rs crates/model/src/params.rs crates/model/src/scaled.rs crates/model/src/sensitivity.rs crates/model/src/solver.rs crates/model/src/variance.rs
+
+crates/model/src/lib.rs:
+crates/model/src/approx.rs:
+crates/model/src/binomial.rs:
+crates/model/src/distribution.rs:
+crates/model/src/error.rs:
+crates/model/src/expectation.rs:
+crates/model/src/hetero.rs:
+crates/model/src/interference.rs:
+crates/model/src/metrics.rs:
+crates/model/src/params.rs:
+crates/model/src/scaled.rs:
+crates/model/src/sensitivity.rs:
+crates/model/src/solver.rs:
+crates/model/src/variance.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/nds_pvm-d516cc8526e663dc.d: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs
+
+/root/repo/target/release/deps/libnds_pvm-d516cc8526e663dc.rlib: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs
+
+/root/repo/target/release/deps/libnds_pvm-d516cc8526e663dc.rmeta: crates/pvm/src/lib.rs crates/pvm/src/apps.rs crates/pvm/src/apps/local_computation.rs crates/pvm/src/apps/sync_rounds.rs crates/pvm/src/daemon.rs crates/pvm/src/error.rs crates/pvm/src/group.rs crates/pvm/src/harness.rs crates/pvm/src/lan.rs crates/pvm/src/message.rs crates/pvm/src/task.rs crates/pvm/src/vm.rs
+
+crates/pvm/src/lib.rs:
+crates/pvm/src/apps.rs:
+crates/pvm/src/apps/local_computation.rs:
+crates/pvm/src/apps/sync_rounds.rs:
+crates/pvm/src/daemon.rs:
+crates/pvm/src/error.rs:
+crates/pvm/src/group.rs:
+crates/pvm/src/harness.rs:
+crates/pvm/src/lan.rs:
+crates/pvm/src/message.rs:
+crates/pvm/src/task.rs:
+crates/pvm/src/vm.rs:

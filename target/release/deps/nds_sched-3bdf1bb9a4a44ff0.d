@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nds_sched-3bdf1bb9a4a44ff0.d: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+/root/repo/target/release/deps/libnds_sched-3bdf1bb9a4a44ff0.rlib: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+/root/repo/target/release/deps/libnds_sched-3bdf1bb9a4a44ff0.rmeta: crates/sched/src/lib.rs crates/sched/src/error.rs crates/sched/src/eviction.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/pool.rs crates/sched/src/queue.rs crates/sched/src/simulator.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/error.rs:
+crates/sched/src/eviction.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/pool.rs:
+crates/sched/src/queue.rs:
+crates/sched/src/simulator.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-663ffd497a44c427.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-663ffd497a44c427.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-663ffd497a44c427.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/v1_sim_vs_analysis-64ac787ae764f28a.d: crates/bench/src/bin/v1_sim_vs_analysis.rs
+
+/root/repo/target/release/deps/v1_sim_vs_analysis-64ac787ae764f28a: crates/bench/src/bin/v1_sim_vs_analysis.rs
+
+crates/bench/src/bin/v1_sim_vs_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scheduler_playground-9bc1514dfd2d71d0.d: examples/scheduler_playground.rs
+
+/root/repo/target/release/examples/scheduler_playground-9bc1514dfd2d71d0: examples/scheduler_playground.rs
+
+examples/scheduler_playground.rs:
