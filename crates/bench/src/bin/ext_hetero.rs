@@ -1,6 +1,6 @@
 //! Extension: heterogeneous owner utilization.
 //!
-//! The analytical generalization C[n] = prod_i S_i[n] vs the uniform
+//! The analytical generalization `C[n] = prod_i S_i[n]` vs the uniform
 //! pool at the same mean utilization: the busiest station dominates the
 //! max, so spreading the same total utilization unevenly hurts.
 use nds_core::report::Table;

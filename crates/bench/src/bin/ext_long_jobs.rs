@@ -4,9 +4,13 @@
 //! utilization and watch feasibility collapse even though utilization
 //! is unchanged — the effect the paper says "must be solved if
 //! distributed computing is to be feasible".
-use nds_cluster::job::JobRunner;
+//!
+//! Built through the unified `Sim` builder: this is the degenerate
+//! closed configuration (one job, one task per station,
+//! suspend-resume), so it lowers to the `JobRunner` fast path.
 use nds_cluster::owner::OwnerWorkload;
 use nds_core::report::Table;
+use nds_core::sim::{single_job, Sim};
 
 fn main() {
     let reps = 200u64;
@@ -34,14 +38,14 @@ fn main() {
             OwnerWorkload::with_long_jobs(5.0, 1200.0, 0.02, 0.05).unwrap(),
         ),
     ] {
-        let runner = JobRunner::new(99);
-        let mut times: Vec<f64> = (0..reps)
-            .map(|r| {
-                runner
-                    .run_continuous_job(&owner, task_demand, w, r)
-                    .job_time()
-            })
-            .collect();
+        let report = Sim::pool(w)
+            .owners(owner)
+            .workload(single_job(w, task_demand))
+            .seed(99)
+            .replications(reps)
+            .run()
+            .expect("degenerate runs complete");
+        let mut times: Vec<f64> = report.runs.iter().map(|m| m.makespan).collect();
         times.sort_by(f64::total_cmp);
         let mean = times.iter().sum::<f64>() / reps as f64;
         let p95 = times[(reps as usize * 95) / 100];

@@ -1,6 +1,7 @@
 //! Extension: cycle-stealing scheduler — eviction policies swept
 //! against owner utilization (the `nds-sched` subsystem's headline
-//! experiment, `Scenario::SchedulerPool`).
+//! experiment, `Scenario::SchedulerPool`), constructed through the
+//! unified `Sim` builder.
 //!
 //! The paper's model never loses work because it assumes suspend/resume
 //! eviction. Real cycle-stealing systems paid for owner returns in
@@ -11,9 +12,11 @@
 use nds_cluster::owner::OwnerWorkload;
 use nds_core::report::Table;
 use nds_core::scenario::Scenario;
-use nds_sched::{EvictionPolicy, JobSpec, PlacementKind, SchedConfig, SchedMetrics};
+use nds_core::sim::{closed, Report};
+use nds_sched::{EvictionPolicy, JobSpec, PlacementKind};
 
 const REPS: u64 = 5;
+const SEED: u64 = 7_393;
 
 fn policies() -> Vec<EvictionPolicy> {
     vec![
@@ -27,47 +30,41 @@ fn policies() -> Vec<EvictionPolicy> {
     ]
 }
 
-fn run_mean(
-    w: u32,
+fn run(
+    scenario: &Scenario,
     utilization: f64,
     eviction: EvictionPolicy,
     placement: PlacementKind,
-    task_demand: f64,
-    job_mix: (u32, u32, f64),
-) -> Vec<SchedMetrics> {
+    jobs: Option<Vec<JobSpec>>,
+) -> Report {
     let owner = OwnerWorkload::continuous_exponential(10.0, utilization)
         .expect("scenario utilizations are valid");
-    let (jobs, tasks, gap) = job_mix;
-    let specs: Vec<JobSpec> = (0..jobs)
-        .map(|j| JobSpec {
-            tasks,
-            task_demand,
-            arrival: f64::from(j) * gap,
-        })
-        .collect();
-    let mut cfg = SchedConfig::homogeneous(w, &owner, specs);
-    cfg.eviction = eviction;
-    cfg.placement = placement;
-    cfg.calibration_horizon = 10_000.0;
-    cfg.seed = 7_393;
-    let runs = cfg.run_replications(REPS).expect("scheduler runs complete");
-    for m in &runs {
-        assert!(m.is_consistent(), "work conservation violated");
+    let mut sim = scenario
+        .sim(&owner)
+        .expect("scheduler scenario lowers to Sim")
+        .eviction(eviction)
+        .placement(placement)
+        .seed(SEED)
+        .replications(REPS);
+    if let Some(jobs) = jobs {
+        sim = sim.workload(closed(jobs));
     }
-    runs
-}
-
-fn mean(runs: &[SchedMetrics], f: impl Fn(&SchedMetrics) -> f64) -> f64 {
-    runs.iter().map(&f).sum::<f64>() / runs.len() as f64
+    let report = sim.run().expect("scheduler runs complete");
+    assert!(report.is_consistent(), "work conservation violated");
+    report
 }
 
 fn main() {
     let scenario = Scenario::SchedulerPool;
-    let w = scenario.workstations()[0];
     let utilizations = scenario.utilizations();
     let task_demand = scenario.sched_task_demand().expect("scheduler scenario");
     let job_mix = scenario.sched_job_mix().expect("scheduler scenario");
 
+    let policy_headers = || {
+        let mut h = vec!["eviction policy".to_string()];
+        h.extend(utilizations.iter().map(|u| format!("U={u}")));
+        h
+    };
     let mut makespan = Table::new(format!(
         "{} - mean makespan by eviction policy ({} jobs x {} tasks x {}, {} reps)",
         scenario.figure_label(),
@@ -76,43 +73,25 @@ fn main() {
         task_demand,
         REPS
     ))
-    .headers({
-        let mut h = vec!["eviction policy".to_string()];
-        h.extend(utilizations.iter().map(|u| format!("U={u}")));
-        h
-    });
+    .headers(policy_headers());
     let mut waste =
         Table::new("wasted + overhead CPU as a fraction of delivered (same sweep)".to_string())
-            .headers({
-                let mut h = vec!["eviction policy".to_string()];
-                h.extend(utilizations.iter().map(|u| format!("U={u}")));
-                h
-            });
-    let mut evictions = Table::new("mean evictions per run (same sweep)".to_string()).headers({
-        let mut h = vec!["eviction policy".to_string()];
-        h.extend(utilizations.iter().map(|u| format!("U={u}")));
-        h
-    });
+            .headers(policy_headers());
+    let mut evictions =
+        Table::new("mean evictions per run (same sweep)".to_string()).headers(policy_headers());
 
     for policy in policies() {
         let mut makespan_row = vec![policy.label()];
         let mut waste_row = vec![policy.label()];
         let mut evict_row = vec![policy.label()];
         for &u in &utilizations {
-            let runs = run_mean(
-                w,
-                u,
-                policy,
-                PlacementKind::LeastLoaded,
-                task_demand,
-                job_mix,
-            );
-            makespan_row.push(format!("{:.0}", mean(&runs, |m| m.makespan)));
+            let report = run(&scenario, u, policy, PlacementKind::LeastLoaded, None);
+            makespan_row.push(format!("{:.0}", report.mean_makespan()));
             waste_row.push(format!(
                 "{:.3}",
-                mean(&runs, |m| (1.0 - m.goodput_fraction()).max(0.0))
+                report.mean_over(|m| (1.0 - m.goodput_fraction()).max(0.0))
             ));
-            evict_row.push(format!("{:.1}", mean(&runs, |m| m.evictions as f64)));
+            evict_row.push(format!("{:.1}", report.mean_evictions()));
         }
         makespan.row(makespan_row);
         waste.row(waste_row);
@@ -129,26 +108,30 @@ fn main() {
     // genuinely chooses among machines, and restart eviction makes a
     // bad choice expensive.
     let u_mid = utilizations[utilizations.len() / 2];
-    let light_mix = (8u32, 4u32, 100.0);
+    let light_jobs: Vec<JobSpec> = (0..8)
+        .map(|j| JobSpec {
+            tasks: 4,
+            task_demand,
+            arrival: f64::from(j) * 100.0,
+        })
+        .collect();
     let mut placement_table = Table::new(format!(
-        "placement policies at U={u_mid} (restart eviction, {} jobs x {} tasks)",
-        light_mix.0, light_mix.1
+        "placement policies at U={u_mid} (restart eviction, 8 jobs x 4 tasks)"
     ))
     .headers(["placement", "makespan", "mean job response", "wasted CPU"]);
     for kind in PlacementKind::ALL {
-        let runs = run_mean(
-            w,
+        let report = run(
+            &scenario,
             u_mid,
             EvictionPolicy::Restart,
             kind,
-            task_demand,
-            light_mix,
+            Some(light_jobs.clone()),
         );
         placement_table.row([
             kind.name().to_string(),
-            format!("{:.0}", mean(&runs, |m| m.makespan)),
-            format!("{:.0}", mean(&runs, |m| m.mean_response_time())),
-            format!("{:.0}", mean(&runs, |m| m.wasted)),
+            format!("{:.0}", report.mean_makespan()),
+            format!("{:.0}", report.response.mean),
+            format!("{:.0}", report.mean_wasted()),
         ]);
     }
     println!();

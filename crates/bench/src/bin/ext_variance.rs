@@ -6,9 +6,13 @@
 //! time across W = 12 stations for owner-demand CV² of 0 (paper),
 //! 1 (exponential), 4 and 16 (hyperexponential), at equal mean demand
 //! and utilization.
-use nds_cluster::job::JobRunner;
+//!
+//! Built through the unified `Sim` builder: this is the degenerate
+//! closed configuration (one job, one task per station,
+//! suspend-resume), so it lowers to the `JobRunner` fast path.
 use nds_cluster::owner::OwnerWorkload;
 use nds_core::report::Table;
+use nds_core::sim::{single_job, Sim};
 
 fn main() {
     let reps = 200u64;
@@ -41,15 +45,14 @@ fn main() {
             OwnerWorkload::high_variance(10.0, utilization, 16.0).unwrap(),
         ),
     ] {
-        let runner = JobRunner::new(77);
-        let mean: f64 = (0..reps)
-            .map(|r| {
-                runner
-                    .run_continuous_job(&owner, task_demand, w, r)
-                    .job_time()
-            })
-            .sum::<f64>()
-            / reps as f64;
+        let report = Sim::pool(w)
+            .owners(owner)
+            .workload(single_job(w, task_demand))
+            .seed(77)
+            .replications(reps)
+            .run()
+            .expect("degenerate runs complete");
+        let mean = report.mean_makespan();
         table.row([
             label.to_string(),
             format!("{mean:.1}"),

@@ -1,0 +1,45 @@
+//! Deprecated shims for the pre-[`Sim`](crate::sim::Sim) configuration
+//! structs.
+//!
+//! The underlying types remain the engines' internal configuration —
+//! [`crate::sim::Sim`] lowers onto them — but constructing experiments
+//! through them directly is deprecated. See `MIGRATION.md` at the
+//! workspace root for the mechanical rewrite.
+
+/// The scheduler engine's raw configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct experiments through nds_core::sim::Sim; \
+            see MIGRATION.md"
+)]
+pub type SchedConfig = nds_sched::SchedConfig;
+
+/// The cluster crate's scenario configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct experiments through nds_core::sim::Sim; \
+            see MIGRATION.md"
+)]
+pub type ClusterConfig = nds_cluster::config::ClusterConfig;
+
+/// The multi-job co-scheduling experiment's raw configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct experiments through nds_core::sim::Sim; \
+            see MIGRATION.md"
+)]
+pub type MultiJobExperiment = nds_cluster::multi::MultiJobExperiment;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[allow(deprecated)]
+    fn shims_still_resolve() {
+        use nds_cluster::owner::OwnerWorkload;
+        use nds_sched::JobSpec;
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.1).unwrap();
+        let cfg: super::SchedConfig =
+            nds_sched::SchedConfig::homogeneous(2, &owner, vec![JobSpec::at_zero(2, 10.0)]);
+        cfg.validate().unwrap();
+    }
+}

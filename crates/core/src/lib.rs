@@ -16,6 +16,9 @@
 //! * [`conclusions`] — the paper's quantitative §5 claims, encoded and
 //!   checkable against the model.
 //! * [`report`] — plain-text table rendering for figure regeneration.
+//! * [`sim`] — the unified experiment builder: trait-based workloads
+//!   (closed job sets and open Poisson streams) behind one fluent
+//!   [`sim::Sim`] API, lowered to the cluster or scheduler engines.
 //! * [`sweep`] — parallel parameter-sweep helpers (scoped threads).
 //!
 //! ## Quickstart
@@ -38,11 +41,13 @@
 
 pub mod analyzer;
 pub mod comparison;
+pub mod compat;
 pub mod conclusions;
 pub mod error;
 pub mod prelude;
 pub mod report;
 pub mod scenario;
+pub mod sim;
 pub mod sweep;
 
 pub use analyzer::{Assessment, FeasibilityAnalyzer};
@@ -51,3 +56,4 @@ pub use conclusions::{check_all_conclusions, ConclusionCheck};
 pub use error::CoreError;
 pub use report::Table;
 pub use scenario::Scenario;
+pub use sim::{Sim, SimError};

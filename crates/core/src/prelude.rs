@@ -14,6 +14,10 @@ pub use crate::conclusions::{check_all_conclusions, ConclusionCheck};
 pub use crate::error::CoreError;
 pub use crate::report::Table;
 pub use crate::scenario::Scenario;
+pub use crate::sim::{
+    closed, periodic, poisson, single_job, Backend, JobShape, OpenArrivals, Report as SimReport,
+    Sim, SimError, Workload as SimWorkload,
+};
 pub use crate::sweep::parallel_map;
 
 pub use nds_cluster::continuous::ContinuousWorkstation;
@@ -25,6 +29,7 @@ pub use nds_model::expectation::{expected_job_time, expected_task_time};
 pub use nds_model::metrics::{evaluate, FeasibilityMetrics, Metrics};
 pub use nds_model::params::{ModelInputs, OwnerParams, Workload};
 pub use nds_pvm::harness::ValidationHarness;
+pub use nds_sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline};
 pub use nds_stats::rng::Xoshiro256StarStar;
 
 #[cfg(test)]

@@ -2,6 +2,14 @@
 //!
 //! Benches, examples, tests, and EXPERIMENTS.md all refer to these
 //! definitions, so "Figure 7" means the same parameters everywhere.
+//! The scheduler-backed scenarios also know how to lower themselves to
+//! a pre-wired [`crate::sim::Sim`] builder ([`Scenario::sim`]), so the
+//! bench binaries, the CLI, and the tests all construct the same
+//! experiment.
+
+use crate::sim::{closed, poisson, JobShape, Sim, SimBuilder};
+use nds_cluster::owner::OwnerWorkload;
+use nds_sched::JobSpec;
 
 /// Default owner demand used throughout the paper's analysis section.
 pub const OWNER_DEMAND: f64 = 10.0;
@@ -30,6 +38,12 @@ pub enum Scenario {
     /// on a 16-station pool (see the `nds-sched` crate and the
     /// `ext_sched_policies` binary).
     SchedulerPool,
+    /// Extension (§5 future work): an **open** system — a Poisson
+    /// stream of parallel jobs on the 16-station pool, reported as a
+    /// steady-state mean response time with the paper's batch-means
+    /// confidence interval (see the `ext_open_stream` binary and
+    /// `examples/open_stream.rs`).
+    OpenStream,
 }
 
 impl Scenario {
@@ -44,7 +58,7 @@ impl Scenario {
             Scenario::TaskRatioAt60 => vec![60],
             Scenario::TaskRatioBySize => vec![2, 4, 8, 20, 60, 100],
             Scenario::PvmValidation => (1..=12).collect(),
-            Scenario::SchedulerPool => vec![16],
+            Scenario::SchedulerPool | Scenario::OpenStream => vec![16],
         }
     }
 
@@ -53,7 +67,7 @@ impl Scenario {
         match self {
             Scenario::TaskRatioBySize => vec![0.10],
             Scenario::PvmValidation => vec![0.03],
-            Scenario::SchedulerPool => vec![0.05, 0.10, 0.20],
+            Scenario::SchedulerPool | Scenario::OpenStream => vec![0.05, 0.10, 0.20],
             _ => UTILIZATIONS.to_vec(),
         }
     }
@@ -103,6 +117,7 @@ impl Scenario {
             Scenario::Scaled => "Figure 9 (T0 = 100)",
             Scenario::PvmValidation => "Figures 10-11 (PVM, U = 3%)",
             Scenario::SchedulerPool => "Extension (scheduler pool, W = 16)",
+            Scenario::OpenStream => "Extension (open Poisson stream, W = 16)",
         }
     }
 
@@ -120,6 +135,73 @@ impl Scenario {
     pub fn sched_job_mix(&self) -> Option<(u32, u32, f64)> {
         match self {
             Scenario::SchedulerPool => Some((4, 16, 50.0)),
+            _ => None,
+        }
+    }
+
+    /// Poisson arrival rate λ (jobs per time unit) for open scenarios.
+    pub fn open_arrival_rate(&self) -> Option<f64> {
+        match self {
+            Scenario::OpenStream => Some(0.02),
+            _ => None,
+        }
+    }
+
+    /// Per-job shape `(tasks, task_demand)` of the open stream.
+    pub fn open_job_shape(&self) -> Option<(u32, f64)> {
+        match self {
+            Scenario::OpenStream => Some((4, 60.0)),
+            _ => None,
+        }
+    }
+
+    /// Observation window `(jobs, warmup_jobs)` of the open stream.
+    pub fn open_window(&self) -> Option<(usize, usize)> {
+        match self {
+            Scenario::OpenStream => Some((400, 50)),
+            _ => None,
+        }
+    }
+
+    /// Lower a scheduler-backed scenario (`SchedulerPool`,
+    /// `OpenStream`) to a pre-wired [`Sim`] builder over the given
+    /// owner behaviour; `None` for the analytic figures. Callers
+    /// customize policies/seeds on the returned builder.
+    pub fn sim(&self, owner: &OwnerWorkload) -> Option<SimBuilder> {
+        let w = *self.workstations().first()?;
+        match self {
+            Scenario::SchedulerPool => {
+                let task_demand = self.sched_task_demand()?;
+                let (jobs, tasks, gap) = self.sched_job_mix()?;
+                let specs: Vec<JobSpec> = (0..jobs)
+                    .map(|j| JobSpec {
+                        tasks,
+                        task_demand,
+                        arrival: f64::from(j) * gap,
+                    })
+                    .collect();
+                Some(
+                    Sim::pool(w)
+                        .owners(owner)
+                        .workload(closed(specs))
+                        .calibration(10_000.0),
+                )
+            }
+            Scenario::OpenStream => {
+                let rate = self.open_arrival_rate()?;
+                let (tasks, task_demand) = self.open_job_shape()?;
+                let (jobs, warmup) = self.open_window()?;
+                Some(
+                    Sim::pool(w)
+                        .owners(owner)
+                        .workload(
+                            poisson(rate, JobShape::new(tasks, task_demand))
+                                .jobs(jobs)
+                                .warmup(warmup),
+                        )
+                        .calibration(10_000.0),
+                )
+            }
             _ => None,
         }
     }
@@ -185,8 +267,39 @@ mod tests {
             Scenario::Scaled,
             Scenario::PvmValidation,
             Scenario::SchedulerPool,
+            Scenario::OpenStream,
         ];
         let labels: std::collections::HashSet<_> = all.iter().map(|s| s.figure_label()).collect();
         assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn open_stream_scenario_parameters() {
+        let s = Scenario::OpenStream;
+        assert_eq!(s.workstations(), vec![16]);
+        assert_eq!(s.utilizations(), vec![0.05, 0.10, 0.20]);
+        assert_eq!(s.open_arrival_rate(), Some(0.02));
+        assert_eq!(s.open_job_shape(), Some((4, 60.0)));
+        assert_eq!(s.open_window(), Some((400, 50)));
+        // Stability: offered load must sit well below the pool's spare
+        // capacity at every swept utilization.
+        let (tasks, demand) = s.open_job_shape().unwrap();
+        let offered = s.open_arrival_rate().unwrap() * f64::from(tasks) * demand;
+        for u in s.utilizations() {
+            let capacity = f64::from(s.workstations()[0]) * (1.0 - u);
+            assert!(offered < 0.5 * capacity, "U={u}: {offered} vs {capacity}");
+        }
+        assert!(Scenario::FixedSize1K.open_arrival_rate().is_none());
+    }
+
+    #[test]
+    fn scheduler_scenarios_lower_to_sim() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+        for s in [Scenario::SchedulerPool, Scenario::OpenStream] {
+            let sim = s.sim(&owner).expect("scheduler scenario").build().unwrap();
+            assert!(sim.label().contains("W=16"));
+        }
+        assert!(Scenario::FixedSize1K.sim(&owner).is_none());
+        assert!(Scenario::PvmValidation.sim(&owner).is_none());
     }
 }

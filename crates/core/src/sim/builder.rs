@@ -1,0 +1,735 @@
+//! The fluent [`Sim`] builder: one entry point for every experiment.
+//!
+//! ```
+//! use nds_core::sim::{poisson, JobShape, Sim};
+//! use nds_cluster::owner::OwnerWorkload;
+//! use nds_sched::{EvictionPolicy, PlacementKind};
+//!
+//! let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+//! let report = Sim::pool(16)
+//!     .owners(owner)
+//!     .placement(PlacementKind::LeastLoaded)
+//!     .eviction(EvictionPolicy::Checkpoint { interval: 30.0, overhead: 1.0 })
+//!     .workload(poisson(0.01, JobShape::new(4, 60.0)).jobs(80).warmup(16))
+//!     .run()
+//!     .unwrap();
+//! assert!(report.is_consistent());
+//! let ss = report.steady_state.expect("open workloads report steady state");
+//! assert!(ss.response.mean > 60.0, "response exceeds dedicated task time");
+//! ```
+//!
+//! # Lowering
+//!
+//! `run()` lowers the description to one of two engines:
+//!
+//! * the **cluster runner** ([`nds_cluster::job::JobRunner`]) when the
+//!   configuration is *degenerate* — a homogeneous pool, one closed job
+//!   with one task per station, suspend-resume eviction, nothing fenced
+//!   by admission control. This is the paper's exact model, and by the
+//!   workspace's degenerate-equivalence invariant it reproduces the
+//!   scheduler engine's job times bit-for-bit at a fraction of the
+//!   cost;
+//! * the **scheduler engine** ([`nds_sched`]) for everything else:
+//!   multi-job and open workloads, non-trivial eviction/placement,
+//!   admission thresholds.
+//!
+//! [`Backend::Sched`] forces the scheduler engine (the equivalence
+//! tests do exactly that); [`Backend::Cluster`] demands the fast path
+//! and returns [`SimError::UnsupportedBackend`] if the configuration
+//! cannot take it.
+
+use crate::sim::error::SimError;
+use crate::sim::report::{Report, ResponseStats, SteadyState};
+use crate::sim::workload::Workload;
+use nds_cluster::job::JobRunner;
+use nds_cluster::owner::OwnerWorkload;
+use nds_sched::{
+    EvictionPolicy, JobRecord, JobSpec, PlacementKind, QueueDiscipline, SchedConfig, SchedMetrics,
+};
+use nds_stats::batch_means::{PAPER_BATCHES, PAPER_CONFIDENCE};
+
+/// Which engine executes the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick automatically: the cluster runner for degenerate closed
+    /// configurations, the scheduler engine otherwise.
+    #[default]
+    Auto,
+    /// Force the closed-form cluster runner (errors if the
+    /// configuration is not degenerate).
+    Cluster,
+    /// Force the scheduler engine.
+    Sched,
+}
+
+impl Backend {
+    /// Stable name for error messages and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Cluster => "cluster",
+            Self::Sched => "sched",
+        }
+    }
+}
+
+/// Owner populations accepted by [`SimBuilder::owners`]: one workload
+/// shared by the whole pool, or one per machine.
+#[derive(Debug, Clone)]
+pub enum OwnerSpec {
+    /// Every machine shares this owner behaviour.
+    Homogeneous(OwnerWorkload),
+    /// One owner workload per machine (length must equal the pool
+    /// size).
+    PerMachine(Vec<OwnerWorkload>),
+}
+
+impl From<OwnerWorkload> for OwnerSpec {
+    fn from(owner: OwnerWorkload) -> Self {
+        Self::Homogeneous(owner)
+    }
+}
+
+impl From<&OwnerWorkload> for OwnerSpec {
+    fn from(owner: &OwnerWorkload) -> Self {
+        Self::Homogeneous(owner.clone())
+    }
+}
+
+impl From<Vec<OwnerWorkload>> for OwnerSpec {
+    fn from(owners: Vec<OwnerWorkload>) -> Self {
+        Self::PerMachine(owners)
+    }
+}
+
+impl From<&[OwnerWorkload]> for OwnerSpec {
+    fn from(owners: &[OwnerWorkload]) -> Self {
+        Self::PerMachine(owners.to_vec())
+    }
+}
+
+/// A validated, runnable experiment. Build one with [`Sim::pool`].
+#[derive(Debug)]
+pub struct Sim {
+    workstations: u32,
+    owners: Vec<OwnerWorkload>,
+    homogeneous: bool,
+    placement: PlacementKind,
+    eviction: EvictionPolicy,
+    discipline: QueueDiscipline,
+    admission_threshold: f64,
+    estimator_tau: f64,
+    calibration_horizon: f64,
+    seed: u64,
+    replications: u64,
+    max_events: u64,
+    backend: Backend,
+    confidence: f64,
+    batches: usize,
+    workload: Box<dyn Workload>,
+}
+
+impl Sim {
+    /// Start describing an experiment on a pool of `workstations`
+    /// machines.
+    pub fn pool(workstations: u32) -> SimBuilder {
+        SimBuilder {
+            workstations,
+            owners: None,
+            placement: PlacementKind::LeastLoaded,
+            eviction: EvictionPolicy::SuspendResume,
+            discipline: QueueDiscipline::Fcfs,
+            admission_threshold: 1.0,
+            estimator_tau: 1_000.0,
+            calibration_horizon: 0.0,
+            seed: 0x5EED,
+            replications: 1,
+            max_events: 20_000_000,
+            backend: Backend::Auto,
+            confidence: PAPER_CONFIDENCE,
+            batches: PAPER_BATCHES,
+            workload: None,
+        }
+    }
+
+    /// Human-readable experiment description.
+    pub fn label(&self) -> String {
+        format!(
+            "W={} pool, {} placement, {} eviction, {} queue, {}",
+            self.workstations,
+            self.placement.name(),
+            self.eviction.label(),
+            self.discipline.name(),
+            self.workload.label()
+        )
+    }
+
+    /// The configured workload.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload.as_ref()
+    }
+
+    /// Lower this experiment to the scheduler engine's configuration
+    /// for one replication — the escape hatch for callers that need the
+    /// raw [`SchedConfig`] (the invariant tests compare it against the
+    /// builder's own runs).
+    pub fn lower(&self, replication: u64) -> Result<SchedConfig, SimError> {
+        let jobs = self.workload.generate(self.seed, replication)?;
+        Ok(SchedConfig {
+            owners: self.owners.clone(),
+            jobs,
+            placement: self.placement,
+            eviction: self.eviction,
+            discipline: self.discipline,
+            admission_threshold: self.admission_threshold,
+            estimator_tau: self.estimator_tau,
+            calibration_horizon: self.calibration_horizon,
+            seed: self.seed,
+            replication,
+            max_events: self.max_events,
+        })
+    }
+
+    /// Whether `jobs` makes this the paper's degenerate configuration,
+    /// eligible for the closed-form cluster runner: homogeneous owners,
+    /// one job at time zero with exactly one task per station,
+    /// suspend-resume eviction, and no admission fencing.
+    fn is_degenerate(&self, jobs: &[JobSpec]) -> bool {
+        self.homogeneous
+            && !self.workload.is_open()
+            && jobs.len() == 1
+            && jobs[0].arrival == 0.0
+            && jobs[0].tasks == self.workstations
+            && self.eviction == EvictionPolicy::SuspendResume
+            && self.admission_threshold >= 1.0
+    }
+
+    /// Run one replication on the cluster runner and express the
+    /// result in the unified metrics vocabulary. Valid only for
+    /// degenerate configurations (suspend-resume never wastes work, so
+    /// delivered CPU equals the job demand exactly).
+    fn run_cluster(&self, jobs: &[JobSpec], replication: u64) -> SchedMetrics {
+        let spec = jobs[0];
+        let result = JobRunner::new(self.seed).run_continuous_job(
+            &self.owners[0],
+            spec.task_demand,
+            spec.tasks,
+            replication,
+        );
+        let makespan = result.job_time();
+        let total_demand = spec.total_demand();
+        let interruptions = result.total_interruptions();
+        SchedMetrics {
+            makespan,
+            delivered: total_demand,
+            goodput: total_demand,
+            wasted: 0.0,
+            checkpoint_overhead: 0.0,
+            evictions: interruptions,
+            suspensions: interruptions,
+            restarts: 0,
+            migrations: 0,
+            completed_tasks: u64::from(spec.tasks),
+            total_demand,
+            placements: u64::from(spec.tasks),
+            mean_queue_wait: 0.0,
+            // The closed-form runner has no pool to gauge: every
+            // station is pinned to its task for the whole run.
+            mean_available_machines: 0.0,
+            jobs: vec![JobRecord {
+                arrival: 0.0,
+                completion: makespan,
+                demand: total_demand,
+            }],
+        }
+    }
+
+    /// Execute every replication and assemble the unified report.
+    pub fn run(&self) -> Result<Report, SimError> {
+        let mut runs = Vec::with_capacity(self.replications as usize);
+        let mut responses: Vec<f64> = Vec::new();
+        let warmup = self.workload.warmup_jobs();
+        for replication in 0..self.replications {
+            let jobs = self.workload.generate(self.seed, replication)?;
+            let degenerate = self.is_degenerate(&jobs);
+            let metrics = match self.backend {
+                Backend::Cluster if !degenerate => {
+                    return Err(SimError::UnsupportedBackend {
+                        backend: "cluster",
+                        reason: "the closed-form runner serves only the degenerate \
+                                 configuration (homogeneous pool, one closed job with \
+                                 one task per station, suspend-resume eviction, \
+                                 admission threshold >= 1)"
+                            .into(),
+                    });
+                }
+                Backend::Cluster => self.run_cluster(&jobs, replication),
+                Backend::Auto if degenerate => self.run_cluster(&jobs, replication),
+                Backend::Auto | Backend::Sched => self.lower(replication)?.run()?,
+            };
+            responses.extend(
+                metrics
+                    .jobs
+                    .iter()
+                    .skip(warmup)
+                    .map(JobRecord::response_time),
+            );
+            runs.push(metrics);
+        }
+        let steady_state = if self.workload.is_open() {
+            Some(SteadyState::from_responses(
+                &responses,
+                self.batches,
+                self.confidence,
+                warmup,
+            )?)
+        } else {
+            None
+        };
+        Ok(Report {
+            label: self.label(),
+            workstations: self.workstations,
+            response: ResponseStats::from_responses(&responses),
+            runs,
+            steady_state,
+        })
+    }
+}
+
+/// Accumulates an experiment description; `build()` validates it into
+/// a [`Sim`]. Every setter is infallible — all errors surface as typed
+/// [`SimError`]s at build time, never as panics.
+#[derive(Debug)]
+pub struct SimBuilder {
+    workstations: u32,
+    owners: Option<OwnerSpec>,
+    placement: PlacementKind,
+    eviction: EvictionPolicy,
+    discipline: QueueDiscipline,
+    admission_threshold: f64,
+    estimator_tau: f64,
+    calibration_horizon: f64,
+    seed: u64,
+    replications: u64,
+    max_events: u64,
+    backend: Backend,
+    confidence: f64,
+    batches: usize,
+    workload: Option<Box<dyn Workload>>,
+}
+
+impl SimBuilder {
+    /// Owner population: pass one [`OwnerWorkload`] for a homogeneous
+    /// pool or a `Vec` with one workload per machine.
+    #[must_use]
+    pub fn owners(mut self, owners: impl Into<OwnerSpec>) -> Self {
+        self.owners = Some(owners.into());
+        self
+    }
+
+    /// Task placement policy (default: least-loaded).
+    #[must_use]
+    pub fn placement(mut self, placement: PlacementKind) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Owner-return policy (default: suspend-resume, the paper's
+    /// model).
+    #[must_use]
+    pub fn eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Central-queue discipline (default: FCFS).
+    #[must_use]
+    pub fn discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Maximum estimated owner utilization at which a machine is still
+    /// offered to the scheduler (default 1.0 admits every idle
+    /// machine).
+    #[must_use]
+    pub fn admission_threshold(mut self, threshold: f64) -> Self {
+        self.admission_threshold = threshold;
+        self
+    }
+
+    /// Averaging window of the per-machine utilization estimators.
+    #[must_use]
+    pub fn estimator_tau(mut self, tau: f64) -> Self {
+        self.estimator_tau = tau;
+        self
+    }
+
+    /// Pre-run probe horizon seeding the load estimators (0 disables).
+    #[must_use]
+    pub fn calibration(mut self, horizon: f64) -> Self {
+        self.calibration_horizon = horizon;
+        self
+    }
+
+    /// Master seed for every stream in the run.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Independent replications to run (default 1).
+    #[must_use]
+    pub fn replications(mut self, replications: u64) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Safety cap on executed engine events.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Force a specific execution engine (default: automatic).
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Confidence level of the steady-state interval (default: the
+    /// paper's 90%).
+    #[must_use]
+    pub fn confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Batch count of the steady-state interval (default: the paper's
+    /// 20).
+    #[must_use]
+    pub fn batches(mut self, batches: usize) -> Self {
+        self.batches = batches;
+        self
+    }
+
+    /// The workload to submit — see [`crate::sim::workload`] for the
+    /// closed and open implementations.
+    #[must_use]
+    pub fn workload(mut self, workload: impl Workload + 'static) -> Self {
+        self.workload = Some(Box::new(workload));
+        self
+    }
+
+    /// Validate the description into a runnable [`Sim`].
+    pub fn build(self) -> Result<Sim, SimError> {
+        if self.workstations == 0 {
+            return Err(SimError::InvalidPool {
+                field: "workstations",
+                reason: "pool needs at least one machine".into(),
+            });
+        }
+        let (owners, homogeneous) = match self.owners {
+            None => {
+                return Err(SimError::InvalidPool {
+                    field: "owners",
+                    reason: "no owner workload configured: call .owners(...)".into(),
+                })
+            }
+            Some(OwnerSpec::Homogeneous(owner)) => (vec![owner; self.workstations as usize], true),
+            Some(OwnerSpec::PerMachine(owners)) => {
+                if owners.len() != self.workstations as usize {
+                    return Err(SimError::InvalidPool {
+                        field: "owners",
+                        reason: format!(
+                            "{} owner workloads for a pool of {}",
+                            owners.len(),
+                            self.workstations
+                        ),
+                    });
+                }
+                (owners, false)
+            }
+        };
+        let workload = self.workload.ok_or(SimError::MissingWorkload)?;
+        workload.validate()?;
+        self.eviction
+            .validate()
+            .map_err(|(field, reason)| SimError::InvalidPolicy { field, reason })?;
+        if !(self.admission_threshold.is_finite() && self.admission_threshold > 0.0) {
+            return Err(SimError::InvalidPool {
+                field: "admission_threshold",
+                reason: format!("{} not finite > 0", self.admission_threshold),
+            });
+        }
+        if !(self.estimator_tau.is_finite() && self.estimator_tau > 0.0) {
+            return Err(SimError::InvalidPool {
+                field: "estimator_tau",
+                reason: format!("{} not finite > 0", self.estimator_tau),
+            });
+        }
+        if !(self.calibration_horizon.is_finite() && self.calibration_horizon >= 0.0) {
+            return Err(SimError::InvalidPool {
+                field: "calibration_horizon",
+                reason: format!("{} not finite >= 0", self.calibration_horizon),
+            });
+        }
+        if self.replications == 0 {
+            return Err(SimError::InvalidPool {
+                field: "replications",
+                reason: "need at least one replication".into(),
+            });
+        }
+        if self.max_events == 0 {
+            return Err(SimError::InvalidPool {
+                field: "max_events",
+                reason: "must be positive".into(),
+            });
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(SimError::InvalidWorkload {
+                field: "confidence",
+                reason: format!("{} not in (0, 1)", self.confidence),
+            });
+        }
+        if workload.is_open() && self.batches < 2 {
+            return Err(SimError::InvalidWorkload {
+                field: "batches",
+                reason: format!(
+                    "{} batches cannot form an interval (need >= 2)",
+                    self.batches
+                ),
+            });
+        }
+        Ok(Sim {
+            workstations: self.workstations,
+            owners,
+            homogeneous,
+            placement: self.placement,
+            eviction: self.eviction,
+            discipline: self.discipline,
+            admission_threshold: self.admission_threshold,
+            estimator_tau: self.estimator_tau,
+            calibration_horizon: self.calibration_horizon,
+            seed: self.seed,
+            replications: self.replications,
+            max_events: self.max_events,
+            backend: self.backend,
+            confidence: self.confidence,
+            batches: self.batches,
+            workload,
+        })
+    }
+
+    /// Build and run in one call.
+    pub fn run(self) -> Result<Report, SimError> {
+        self.build()?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::workload::{closed, poisson, single_job, JobShape};
+
+    fn owner(u: f64) -> OwnerWorkload {
+        OwnerWorkload::continuous_exponential(10.0, u).unwrap()
+    }
+
+    #[test]
+    fn degenerate_auto_matches_forced_sched_engine() {
+        let build = |backend| {
+            Sim::pool(6)
+                .owners(owner(0.10))
+                .workload(single_job(6, 250.0))
+                .seed(11)
+                .backend(backend)
+                .run()
+                .unwrap()
+        };
+        let auto = build(Backend::Auto);
+        let sched = build(Backend::Sched);
+        let cluster = build(Backend::Cluster);
+        assert_eq!(auto.mean_makespan(), sched.mean_makespan());
+        assert_eq!(auto.mean_makespan(), cluster.mean_makespan());
+        assert_eq!(
+            auto.runs[0].jobs[0].response_time(),
+            sched.runs[0].jobs[0].response_time()
+        );
+        assert_eq!(auto.runs[0].evictions, sched.runs[0].evictions);
+        assert!(auto.is_consistent() && sched.is_consistent());
+    }
+
+    #[test]
+    fn cluster_backend_rejects_non_degenerate_configs() {
+        let base = || Sim::pool(4).owners(owner(0.10)).backend(Backend::Cluster);
+        // Two jobs: not degenerate.
+        let err = base()
+            .workload(closed(vec![
+                JobSpec::at_zero(4, 50.0),
+                JobSpec::at_zero(4, 50.0),
+            ]))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedBackend { .. }));
+        // Restart eviction: not degenerate.
+        let err = base()
+            .workload(single_job(4, 50.0))
+            .eviction(EvictionPolicy::Restart)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedBackend { .. }));
+        // Open workload: not degenerate.
+        let err = base()
+            .workload(poisson(0.01, JobShape::new(4, 50.0)).jobs(10).warmup(0))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedBackend { .. }));
+    }
+
+    #[test]
+    fn open_workload_reports_steady_state() {
+        let report = Sim::pool(8)
+            .owners(owner(0.05))
+            .workload(poisson(0.02, JobShape::new(2, 30.0)).jobs(120).warmup(20))
+            .batches(10)
+            .seed(3)
+            .run()
+            .unwrap();
+        let ss = report.steady_state.expect("open => steady state");
+        assert_eq!(report.response.jobs, 100);
+        assert_eq!(ss.warmup_dropped, 20);
+        assert_eq!(ss.response.batches, 10);
+        assert!(ss.response.mean >= 30.0, "response >= dedicated demand");
+        assert!(ss.response.contains(report.response.mean));
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn closed_workload_has_no_steady_state() {
+        let report = Sim::pool(4)
+            .owners(owner(0.05))
+            .workload(closed(vec![JobSpec::at_zero(8, 40.0)]))
+            .run()
+            .unwrap();
+        assert!(report.steady_state.is_none());
+        assert_eq!(report.response.jobs, 1);
+    }
+
+    #[test]
+    fn replications_pool_every_job() {
+        let report = Sim::pool(4)
+            .owners(owner(0.10))
+            .workload(closed(vec![JobSpec::at_zero(4, 60.0)]))
+            .replications(3)
+            .backend(Backend::Sched)
+            .run()
+            .unwrap();
+        assert_eq!(report.replications(), 3);
+        assert_eq!(report.response.jobs, 3);
+        assert_ne!(
+            report.runs[0].makespan, report.runs[1].makespan,
+            "replications must diverge"
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_pools() {
+        let err = Sim::pool(0)
+            .owners(owner(0.1))
+            .workload(single_job(1, 10.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidPool {
+                field: "workstations",
+                ..
+            }
+        ));
+        let err = Sim::pool(4)
+            .workload(single_job(4, 10.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidPool {
+                field: "owners",
+                ..
+            }
+        ));
+        let err = Sim::pool(4).owners(owner(0.1)).build().unwrap_err();
+        assert!(matches!(err, SimError::MissingWorkload));
+        let err = Sim::pool(4)
+            .owners(vec![owner(0.1); 3])
+            .workload(single_job(4, 10.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidPool {
+                field: "owners",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_bad_policies_and_knobs() {
+        let base = || {
+            Sim::pool(4)
+                .owners(owner(0.1))
+                .workload(single_job(4, 10.0))
+        };
+        let err = base()
+            .eviction(EvictionPolicy::Checkpoint {
+                interval: -5.0,
+                overhead: 1.0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPolicy { .. }));
+        assert!(base().admission_threshold(0.0).build().is_err());
+        assert!(base().admission_threshold(f64::NAN).build().is_err());
+        assert!(base().estimator_tau(-1.0).build().is_err());
+        assert!(base().calibration(f64::INFINITY).build().is_err());
+        assert!(base().replications(0).build().is_err());
+        assert!(base().max_events(0).build().is_err());
+        assert!(base().confidence(1.5).build().is_err());
+    }
+
+    #[test]
+    fn lower_exposes_the_sched_config() {
+        let sim = Sim::pool(5)
+            .owners(owner(0.1))
+            .workload(single_job(5, 100.0))
+            .seed(77)
+            .build()
+            .unwrap();
+        let cfg = sim.lower(2).unwrap();
+        assert_eq!(cfg.owners.len(), 5);
+        assert_eq!(cfg.seed, 77);
+        assert_eq!(cfg.replication, 2);
+        assert_eq!(cfg.jobs, vec![JobSpec::at_zero(5, 100.0)]);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_pools_run_on_the_sched_engine() {
+        let owners: Vec<OwnerWorkload> = (0..4)
+            .map(|i| owner(if i < 2 { 0.02 } else { 0.30 }))
+            .collect();
+        let report = Sim::pool(4)
+            .owners(owners)
+            .workload(single_job(4, 80.0))
+            .run()
+            .unwrap();
+        // Heterogeneous => never the cluster fast path; the pool gauge
+        // is only maintained by the scheduler engine.
+        assert!(report.runs[0].mean_available_machines > 0.0);
+        assert!(report.is_consistent());
+    }
+}

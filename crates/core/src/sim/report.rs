@@ -1,0 +1,247 @@
+//! The unified result type returned by [`Sim::run`](crate::sim::Sim).
+//!
+//! Closed experiments keep the paper's makespan/goodput view; open
+//! experiments additionally get per-job response-time statistics with
+//! the paper's §2.2 batch-means procedure (Student-t interval over
+//! batch means, lag-1 autocorrelation diagnostic) applied to the
+//! post-warm-up response sequence.
+
+use crate::sim::error::SimError;
+use nds_sched::{JobRecord, SchedMetrics};
+use nds_stats::autocorr::{check_batch_independence, BatchDiagnostic};
+use nds_stats::batch_means::{BatchMeans, BatchMeansReport};
+use nds_stats::error::StatsError;
+
+/// Plain summary of observed per-job response times (warm-up excluded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Mean response time.
+    pub mean: f64,
+    /// Fastest observed job.
+    pub min: f64,
+    /// Slowest observed job.
+    pub max: f64,
+    /// Number of jobs observed (after warm-up deletion).
+    pub jobs: usize,
+}
+
+impl ResponseStats {
+    /// Summarize a response-time sequence (empty input yields zeros).
+    pub fn from_responses(responses: &[f64]) -> Self {
+        if responses.is_empty() {
+            return Self {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                jobs: 0,
+            };
+        }
+        Self {
+            mean: responses.iter().sum::<f64>() / responses.len() as f64,
+            min: responses.iter().copied().fold(f64::INFINITY, f64::min),
+            max: responses.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            jobs: responses.len(),
+        }
+    }
+}
+
+/// Steady-state response-time estimate for an open workload: the
+/// paper's batch-means confidence interval plus the Law & Kelton
+/// batch-independence diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyState {
+    /// Batch-means interval on the mean response time.
+    pub response: BatchMeansReport,
+    /// Lag-1 autocorrelation check of the batch means.
+    pub diagnostic: BatchDiagnostic,
+    /// Warm-up jobs deleted before batching (per replication).
+    pub warmup_dropped: usize,
+}
+
+impl SteadyState {
+    /// Form the estimate from a post-warm-up response sequence split
+    /// into `batches` equal batches.
+    pub(crate) fn from_responses(
+        responses: &[f64],
+        batches: usize,
+        confidence: f64,
+        warmup_dropped: usize,
+    ) -> Result<Self, SimError> {
+        if batches < 2 {
+            return Err(SimError::InvalidWorkload {
+                field: "batches",
+                reason: format!("{batches} batches cannot form an interval (need >= 2)"),
+            });
+        }
+        let batch_size = responses.len() / batches;
+        if batch_size == 0 {
+            return Err(SimError::Stats(StatsError::InsufficientData {
+                needed: batches,
+                got: responses.len(),
+            }));
+        }
+        let mut collector = BatchMeans::new(batch_size)?;
+        // Trailing remainder (< one batch) is dropped, as in the paper's
+        // fixed 20 x 1000 design.
+        for &r in &responses[..batch_size * batches] {
+            collector.push(r);
+        }
+        let response = collector.report(confidence)?;
+        let diagnostic = check_batch_independence(collector.batch_means())?;
+        Ok(Self {
+            response,
+            diagnostic,
+            warmup_dropped,
+        })
+    }
+}
+
+/// Everything measured by one [`Sim::run`](crate::sim::Sim): one
+/// engine-level [`SchedMetrics`] per replication plus the unified
+/// response-time view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Human-readable experiment description (pool + workload).
+    pub label: String,
+    /// Pool size.
+    pub workstations: u32,
+    /// Per-replication engine metrics, in replication order.
+    pub runs: Vec<SchedMetrics>,
+    /// Per-job response summary across all replications (open
+    /// workloads: warm-up jobs excluded).
+    pub response: ResponseStats,
+    /// Steady-state batch-means estimate (open workloads only).
+    pub steady_state: Option<SteadyState>,
+}
+
+impl Report {
+    /// Number of replications run.
+    pub fn replications(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Mean of `f` over the replications.
+    pub fn mean_over(&self, f: impl Fn(&SchedMetrics) -> f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Mean makespan over replications.
+    pub fn mean_makespan(&self) -> f64 {
+        self.mean_over(|m| m.makespan)
+    }
+
+    /// Mean goodput fraction over replications.
+    pub fn mean_goodput_fraction(&self) -> f64 {
+        self.mean_over(SchedMetrics::goodput_fraction)
+    }
+
+    /// Mean wasted CPU over replications.
+    pub fn mean_wasted(&self) -> f64 {
+        self.mean_over(|m| m.wasted)
+    }
+
+    /// Mean evictions per replication.
+    pub fn mean_evictions(&self) -> f64 {
+        self.mean_over(|m| m.evictions as f64)
+    }
+
+    /// Mean central-queue wait per placement, over replications.
+    pub fn mean_queue_wait(&self) -> f64 {
+        self.mean_over(|m| m.mean_queue_wait)
+    }
+
+    /// Whether work conservation held in every replication.
+    pub fn is_consistent(&self) -> bool {
+        self.runs.iter().all(SchedMetrics::is_consistent)
+    }
+
+    /// All per-job records across replications, in run order.
+    pub fn job_records(&self) -> impl Iterator<Item = &JobRecord> {
+        self.runs.iter().flat_map(|m| m.jobs.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(makespan: f64, responses: &[f64]) -> SchedMetrics {
+        SchedMetrics {
+            makespan,
+            delivered: 100.0,
+            goodput: 100.0,
+            wasted: 0.0,
+            checkpoint_overhead: 0.0,
+            evictions: 2,
+            suspensions: 2,
+            restarts: 0,
+            migrations: 0,
+            completed_tasks: responses.len() as u64,
+            total_demand: 100.0,
+            placements: responses.len() as u64,
+            mean_queue_wait: 1.0,
+            mean_available_machines: 3.0,
+            jobs: responses
+                .iter()
+                .map(|&r| JobRecord {
+                    arrival: 0.0,
+                    completion: r,
+                    demand: 10.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn response_stats_summarize() {
+        let s = ResponseStats::from_responses(&[10.0, 20.0, 30.0]);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        assert_eq!(s.jobs, 3);
+        let empty = ResponseStats::from_responses(&[]);
+        assert_eq!(empty.jobs, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn steady_state_needs_enough_jobs() {
+        let few = [1.0; 5];
+        assert!(matches!(
+            SteadyState::from_responses(&few, 10, 0.9, 0),
+            Err(SimError::Stats(_))
+        ));
+        assert!(SteadyState::from_responses(&few, 1, 0.9, 0).is_err());
+    }
+
+    #[test]
+    fn steady_state_interval_covers_constant_series() {
+        let responses = [7.0; 100];
+        let s = SteadyState::from_responses(&responses, 10, 0.9, 25).unwrap();
+        assert!((s.response.mean - 7.0).abs() < 1e-12);
+        assert!(s.response.half_width < 1e-12);
+        assert_eq!(s.response.batches, 10);
+        assert_eq!(s.warmup_dropped, 25);
+        assert!(s.diagnostic.acceptable, "constant series is independent");
+    }
+
+    #[test]
+    fn report_aggregates_over_replications() {
+        let report = Report {
+            label: "test".into(),
+            workstations: 4,
+            runs: vec![metrics(100.0, &[50.0, 60.0]), metrics(200.0, &[70.0, 80.0])],
+            response: ResponseStats::from_responses(&[50.0, 60.0, 70.0, 80.0]),
+            steady_state: None,
+        };
+        assert_eq!(report.replications(), 2);
+        assert_eq!(report.mean_makespan(), 150.0);
+        assert_eq!(report.response.mean, 65.0);
+        assert_eq!(report.job_records().count(), 4);
+        assert!(report.is_consistent());
+        assert_eq!(report.mean_queue_wait(), 1.0);
+    }
+}

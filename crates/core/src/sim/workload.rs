@@ -1,0 +1,504 @@
+//! Workload descriptions for the [`Sim`](crate::sim::Sim) builder.
+//!
+//! The paper studies a **closed** system: a fixed set of jobs is
+//! submitted, the experiment ends when the last one completes, and the
+//! headline number is the makespan. Its §5 future work ("more complex
+//! workloads") points at **open** systems: jobs arrive forever under a
+//! stochastic process and the steady-state response time is what
+//! matters. The [`Workload`] trait covers both:
+//!
+//! * [`ClosedJobs`] — an explicit job list, today's model (helpers:
+//!   [`closed`], [`single_job`]);
+//! * [`OpenArrivals`] — a finite window of an arrival stream drawn from
+//!   an [`ArrivalProcess`] (helpers: [`poisson`], [`periodic`]), with a
+//!   warm-up prefix excluded from steady-state statistics.
+//!
+//! Open workloads pre-sample their arrival instants: arrivals are
+//! independent of system state, so materializing them up front keeps
+//! the scheduler engine unchanged while the analysis layer gains the
+//! paper's batch-means machinery over per-job response times.
+
+use crate::sim::error::SimError;
+use nds_sched::JobSpec;
+use nds_stats::distributions::{Distribution, Exponential};
+use nds_stats::rng::StreamFactory;
+use std::fmt;
+
+/// Stream label for arrival-time sampling (kept separate from the
+/// owner/placement streams so changing the workload never perturbs the
+/// owners' sample paths).
+const ARRIVAL_STREAM: &str = "sim-arrivals";
+
+/// How experiment jobs are submitted to the pool.
+///
+/// Implementations are *descriptions*: `generate` materializes the
+/// concrete job list for one `(seed, replication)` pair, so replaying a
+/// configuration reproduces the identical workload.
+pub trait Workload: fmt::Debug {
+    /// Materialize the job list for one replication, in submission
+    /// order.
+    fn generate(&self, seed: u64, replication: u64) -> Result<Vec<JobSpec>, SimError>;
+
+    /// Number of leading jobs discarded as warm-up when forming
+    /// steady-state statistics (0 for closed workloads).
+    fn warmup_jobs(&self) -> usize {
+        0
+    }
+
+    /// Whether this is an open system: jobs keep arriving and the
+    /// report carries steady-state response-time statistics.
+    fn is_open(&self) -> bool {
+        false
+    }
+
+    /// Human-readable description for tables and reports.
+    fn label(&self) -> String;
+
+    /// Check every parameter, returning a typed error (never panic).
+    fn validate(&self) -> Result<(), SimError>;
+}
+
+/// Validate one [`JobSpec`], shared by every workload implementation.
+fn validate_spec(i: usize, spec: &JobSpec) -> Result<(), SimError> {
+    if spec.tasks == 0 {
+        return Err(SimError::InvalidWorkload {
+            field: "jobs",
+            reason: format!("job {i} has zero tasks"),
+        });
+    }
+    if !(spec.task_demand.is_finite() && spec.task_demand > 0.0) {
+        return Err(SimError::InvalidWorkload {
+            field: "jobs",
+            reason: format!("job {i} task_demand {} not finite > 0", spec.task_demand),
+        });
+    }
+    if !(spec.arrival.is_finite() && spec.arrival >= 0.0) {
+        return Err(SimError::InvalidWorkload {
+            field: "jobs",
+            reason: format!("job {i} arrival {} not finite >= 0", spec.arrival),
+        });
+    }
+    Ok(())
+}
+
+/// The shape shared by every job of an open stream: `tasks` independent
+/// tasks of `task_demand` CPU units each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobShape {
+    /// Tasks per job.
+    pub tasks: u32,
+    /// CPU demand per task.
+    pub task_demand: f64,
+}
+
+impl JobShape {
+    /// A job of `tasks` tasks, `task_demand` CPU units each.
+    pub fn new(tasks: u32, task_demand: f64) -> Self {
+        Self { tasks, task_demand }
+    }
+
+    /// Total CPU demand of one job.
+    pub fn total_demand(&self) -> f64 {
+        f64::from(self.tasks) * self.task_demand
+    }
+}
+
+/// A closed workload: an explicit, finite job list (the paper's model
+/// and every PR-1 experiment).
+#[derive(Debug, Clone)]
+pub struct ClosedJobs {
+    jobs: Vec<JobSpec>,
+}
+
+impl ClosedJobs {
+    /// Wrap an explicit job list.
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        Self { jobs }
+    }
+
+    /// The job list.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+}
+
+impl Workload for ClosedJobs {
+    fn generate(&self, _seed: u64, _replication: u64) -> Result<Vec<JobSpec>, SimError> {
+        Ok(self.jobs.clone())
+    }
+
+    fn label(&self) -> String {
+        let total: f64 = self.jobs.iter().map(JobSpec::total_demand).sum();
+        format!("closed({} jobs, total demand {total})", self.jobs.len())
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.jobs.is_empty() {
+            return Err(SimError::InvalidWorkload {
+                field: "jobs",
+                reason: "closed workload needs at least one job".into(),
+            });
+        }
+        for (i, spec) in self.jobs.iter().enumerate() {
+            validate_spec(i, spec)?;
+        }
+        Ok(())
+    }
+}
+
+/// An explicit closed job list (today's model).
+pub fn closed(jobs: Vec<JobSpec>) -> ClosedJobs {
+    ClosedJobs::new(jobs)
+}
+
+/// The paper's workload: one job at time zero, `tasks` tasks of
+/// `task_demand` each. With one task per station and suspend-resume
+/// eviction this degenerates to the original `JobRunner` model.
+pub fn single_job(tasks: u32, task_demand: f64) -> ClosedJobs {
+    ClosedJobs::new(vec![JobSpec::at_zero(tasks, task_demand)])
+}
+
+/// A stationary stream of job inter-arrival times.
+pub trait ArrivalProcess: fmt::Debug {
+    /// Draw the next inter-arrival gap.
+    fn sample_interarrival(&self, rng: &mut nds_stats::rng::Xoshiro256StarStar) -> f64;
+
+    /// Long-run arrival rate (jobs per time unit).
+    fn rate(&self) -> f64;
+
+    /// Human-readable description.
+    fn label(&self) -> String;
+
+    /// Check the process parameters (typed error, never panic).
+    fn validate(&self) -> Result<(), SimError>;
+}
+
+/// Poisson arrivals: exponential inter-arrival times at `rate` jobs per
+/// time unit — the open-system counterpart of the paper's exponential
+/// owner model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    /// Arrival rate λ (jobs per time unit).
+    pub rate: f64,
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn sample_interarrival(&self, rng: &mut nds_stats::rng::Xoshiro256StarStar) -> f64 {
+        // validate() guarantees the rate is finite > 0.
+        Exponential::new(self.rate)
+            .expect("validated rate")
+            .sample(rng)
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn label(&self) -> String {
+        format!("poisson(λ={})", self.rate)
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if !(self.rate.is_finite() && self.rate > 0.0) {
+            return Err(SimError::InvalidWorkload {
+                field: "rate",
+                reason: format!("{} not finite > 0", self.rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic arrivals every `period` time units — a variance-free
+/// baseline for comparing against [`PoissonArrivals`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicArrivals {
+    /// Gap between consecutive arrivals.
+    pub period: f64,
+}
+
+impl ArrivalProcess for PeriodicArrivals {
+    fn sample_interarrival(&self, _rng: &mut nds_stats::rng::Xoshiro256StarStar) -> f64 {
+        self.period
+    }
+
+    fn rate(&self) -> f64 {
+        1.0 / self.period
+    }
+
+    fn label(&self) -> String {
+        format!("periodic(gap={})", self.period)
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if !(self.period.is_finite() && self.period > 0.0) {
+            return Err(SimError::InvalidWorkload {
+                field: "period",
+                reason: format!("{} not finite > 0", self.period),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Default number of observed jobs in an open window.
+pub const DEFAULT_OPEN_JOBS: usize = 1_000;
+
+/// An open workload: a finite observation window of `jobs` arrivals
+/// drawn from an [`ArrivalProcess`], every job sharing one [`JobShape`].
+///
+/// The first [`warmup`](OpenArrivals::warmup) jobs are still simulated
+/// but excluded from steady-state response statistics (initial-transient
+/// deletion), so the batch-means interval estimates the stationary mean.
+/// Unless set explicitly, the warm-up tracks the window at 10%.
+#[derive(Debug)]
+pub struct OpenArrivals {
+    process: Box<dyn ArrivalProcess>,
+    shape: JobShape,
+    jobs: usize,
+    /// `None` = the 10% default, rescaled with the window.
+    warmup: Option<usize>,
+}
+
+impl OpenArrivals {
+    /// An open stream of `DEFAULT_OPEN_JOBS` jobs (10% warm-up) from
+    /// the given process and shape.
+    pub fn new(process: impl ArrivalProcess + 'static, shape: JobShape) -> Self {
+        Self {
+            process: Box::new(process),
+            shape,
+            jobs: DEFAULT_OPEN_JOBS,
+            warmup: None,
+        }
+    }
+
+    /// Set the number of observed jobs (warm-up included). A default
+    /// warm-up rescales to 10% of the new window; an explicit
+    /// [`warmup`](OpenArrivals::warmup) is kept as given.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Set the number of leading jobs excluded from steady-state
+    /// statistics (overrides the 10%-of-window default).
+    #[must_use]
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = Some(warmup);
+        self
+    }
+
+    /// The underlying arrival process.
+    pub fn process(&self) -> &dyn ArrivalProcess {
+        self.process.as_ref()
+    }
+
+    /// The per-job shape.
+    pub fn shape(&self) -> JobShape {
+        self.shape
+    }
+}
+
+impl Workload for OpenArrivals {
+    fn generate(&self, seed: u64, replication: u64) -> Result<Vec<JobSpec>, SimError> {
+        self.validate()?;
+        let mut rng = StreamFactory::new(seed).labeled_stream(ARRIVAL_STREAM, replication);
+        let mut t = 0.0;
+        Ok((0..self.jobs)
+            .map(|_| {
+                t += self.process.sample_interarrival(&mut rng);
+                JobSpec {
+                    tasks: self.shape.tasks,
+                    task_demand: self.shape.task_demand,
+                    arrival: t,
+                }
+            })
+            .collect())
+    }
+
+    fn warmup_jobs(&self) -> usize {
+        self.warmup.unwrap_or(self.jobs / 10)
+    }
+
+    fn is_open(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "open({}, {} tasks x {}, {} jobs, {} warm-up)",
+            self.process.label(),
+            self.shape.tasks,
+            self.shape.task_demand,
+            self.jobs,
+            self.warmup_jobs()
+        )
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        self.process.validate()?;
+        validate_spec(
+            0,
+            &JobSpec {
+                tasks: self.shape.tasks,
+                task_demand: self.shape.task_demand,
+                arrival: 0.0,
+            },
+        )?;
+        if self.jobs == 0 {
+            return Err(SimError::InvalidWorkload {
+                field: "jobs",
+                reason: "open window needs at least one job".into(),
+            });
+        }
+        if self.warmup_jobs() >= self.jobs {
+            return Err(SimError::InvalidWorkload {
+                field: "warmup",
+                reason: format!(
+                    "warm-up {} must leave observed jobs (window is {})",
+                    self.warmup_jobs(),
+                    self.jobs
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A Poisson job stream: `rate` jobs per time unit, each of the given
+/// shape. The ISSUE's `poisson(λ, job_spec)` helper.
+pub fn poisson(rate: f64, shape: JobShape) -> OpenArrivals {
+    OpenArrivals::new(PoissonArrivals { rate }, shape)
+}
+
+/// A deterministic job stream with the given inter-arrival gap.
+pub fn periodic(period: f64, shape: JobShape) -> OpenArrivals {
+    OpenArrivals::new(PeriodicArrivals { period }, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_jobs_validate_and_replay() {
+        let w = closed(vec![JobSpec::at_zero(4, 50.0), JobSpec::at_zero(2, 25.0)]);
+        w.validate().unwrap();
+        assert!(!w.is_open());
+        assert_eq!(w.warmup_jobs(), 0);
+        let a = w.generate(1, 0).unwrap();
+        let b = w.generate(9, 7).unwrap();
+        assert_eq!(a, b, "closed workloads ignore seed/replication");
+        assert_eq!(a.len(), 2);
+        assert!(w.label().contains("2 jobs"));
+    }
+
+    #[test]
+    fn closed_rejects_bad_specs() {
+        assert!(matches!(
+            closed(vec![]).validate(),
+            Err(SimError::InvalidWorkload { field: "jobs", .. })
+        ));
+        assert!(closed(vec![JobSpec::at_zero(0, 50.0)]).validate().is_err());
+        assert!(closed(vec![JobSpec::at_zero(4, -1.0)]).validate().is_err());
+        assert!(closed(vec![JobSpec {
+            tasks: 4,
+            task_demand: 10.0,
+            arrival: f64::NAN,
+        }])
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn single_job_is_the_papers_workload() {
+        let w = single_job(8, 100.0);
+        let jobs = w.generate(0, 0).unwrap();
+        assert_eq!(jobs, vec![JobSpec::at_zero(8, 100.0)]);
+    }
+
+    #[test]
+    fn poisson_stream_is_reproducible_and_ordered() {
+        let w = poisson(0.05, JobShape::new(4, 60.0)).jobs(200).warmup(20);
+        w.validate().unwrap();
+        assert!(w.is_open());
+        assert_eq!(w.warmup_jobs(), 20);
+        let a = w.generate(42, 0).unwrap();
+        let b = w.generate(42, 0).unwrap();
+        assert_eq!(a, b, "same (seed, replication) must replay");
+        let c = w.generate(42, 1).unwrap();
+        assert_ne!(a, c, "replications must diverge");
+        assert_eq!(a.len(), 200);
+        let mut prev = 0.0;
+        for j in &a {
+            assert!(j.arrival > prev, "arrivals strictly increase");
+            prev = j.arrival;
+        }
+        // Mean inter-arrival ~ 1/λ = 20 (loose bound over 200 draws).
+        let mean_gap = a.last().unwrap().arrival / a.len() as f64;
+        assert!((mean_gap - 20.0).abs() < 5.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn periodic_stream_has_fixed_gaps() {
+        let w = periodic(30.0, JobShape::new(2, 10.0)).jobs(5).warmup(0);
+        let jobs = w.generate(7, 3).unwrap();
+        for (i, j) in jobs.iter().enumerate() {
+            assert!((j.arrival - 30.0 * (i + 1) as f64).abs() < 1e-12);
+        }
+        assert!((w.process().rate() - 1.0 / 30.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn open_rejects_bad_parameters() {
+        for bad_rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let w = poisson(bad_rate, JobShape::new(4, 60.0));
+            assert!(
+                matches!(w.validate(), Err(SimError::InvalidWorkload { .. })),
+                "rate {bad_rate} must be rejected"
+            );
+            assert!(w.generate(0, 0).is_err(), "generate validates too");
+        }
+        assert!(poisson(0.1, JobShape::new(0, 60.0)).validate().is_err());
+        assert!(poisson(0.1, JobShape::new(4, 0.0)).validate().is_err());
+        assert!(poisson(0.1, JobShape::new(4, 60.0))
+            .jobs(0)
+            .validate()
+            .is_err());
+        assert!(
+            poisson(0.1, JobShape::new(4, 60.0))
+                .jobs(10)
+                .warmup(10)
+                .validate()
+                .is_err(),
+            "warm-up must leave observed jobs"
+        );
+        assert!(periodic(f64::NAN, JobShape::new(1, 1.0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn default_warmup_rescales_with_the_window() {
+        let shape = JobShape::new(2, 20.0);
+        assert_eq!(poisson(0.05, shape).warmup_jobs(), DEFAULT_OPEN_JOBS / 10);
+        let w = poisson(0.05, shape).jobs(80);
+        assert_eq!(w.warmup_jobs(), 8, "default warm-up tracks 10% of window");
+        w.validate().unwrap();
+        let w = poisson(0.05, shape).jobs(80).warmup(30);
+        assert_eq!(w.warmup_jobs(), 30, "explicit warm-up is kept");
+        // Order of calls must not matter for an explicit warm-up.
+        let w = poisson(0.05, shape).warmup(30).jobs(80);
+        assert_eq!(w.warmup_jobs(), 30);
+        // Tiny windows get a zero default warm-up and stay valid.
+        let w = poisson(0.05, shape).jobs(5);
+        assert_eq!(w.warmup_jobs(), 0);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn shape_total_demand() {
+        assert_eq!(JobShape::new(4, 60.0).total_demand(), 240.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! An **open** system on the pool: Poisson job arrivals with
+//! steady-state response-time confidence intervals.
+//!
+//! ```sh
+//! cargo run --release --example open_stream
+//! ```
+//!
+//! The paper's model is closed — one job, measured by its makespan.
+//! This example shows the workload its §5 future work asks for: jobs
+//! arrive forever at rate λ, and the question becomes *what response
+//! time does a submitted job see in steady state?* The `Sim` builder
+//! expresses it in one chain, and the report carries the paper's own
+//! §2.2 batch-means procedure (warm-up deletion, Student-t interval
+//! over batch means, lag-1 independence diagnostic) applied to per-job
+//! response times.
+
+use nds::cluster::OwnerWorkload;
+use nds::core::report::Table;
+use nds::core::sim::{poisson, JobShape, Sim};
+use nds::sched::EvictionPolicy;
+
+fn main() {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).expect("valid owner");
+    let shape = JobShape::new(4, 60.0); // 4 tasks x 60 s => 240 CPU-s per job
+
+    // Sweep the arrival rate toward the pool's spare capacity
+    // (16 stations x 90% idle = 14.4 CPU-s/s; one job offers 240 CPU-s).
+    let mut table = Table::new(
+        "Poisson job stream on a 16-station pool (U = 10%, 2000 jobs, 200 warm-up, \
+         checkpoint eviction)",
+    )
+    .headers([
+        "λ (jobs/s)",
+        "offered load",
+        "mean response",
+        "90% CI",
+        "rel. width",
+        "lag-1 ok",
+    ]);
+    for rate in [0.01, 0.02, 0.04, 0.05] {
+        let report = Sim::pool(16)
+            .owners(&owner)
+            .eviction(EvictionPolicy::Checkpoint {
+                interval: 30.0,
+                overhead: 1.0,
+            })
+            .calibration(10_000.0)
+            .workload(poisson(rate, shape).jobs(2_000).warmup(200))
+            .seed(2_024)
+            .run()
+            .expect("open run completes");
+        assert!(report.is_consistent(), "work conservation violated");
+        let ss = report
+            .steady_state
+            .expect("open workloads report steady state");
+        table.row([
+            format!("{rate}"),
+            format!("{:.2}", rate * shape.total_demand() / (16.0 * 0.90)),
+            format!("{:.1}", ss.response.mean),
+            format!("[{:.1}, {:.1}]", ss.response.lower(), ss.response.upper()),
+            format!("{:.4}", ss.response.relative_half_width()),
+            if ss.diagnostic.acceptable {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nresponse time is flat while the pool absorbs the stream, then\n\
+         queueing takes over as offered load nears the spare capacity —\n\
+         the curve the closed model cannot draw. The CI comes from the\n\
+         paper's batch-means procedure applied to per-job responses\n\
+         (20 batches over the post-warm-up sequence)."
+    );
+}

@@ -1,4 +1,5 @@
-//! Playground for the `nds-sched` cycle-stealing scheduler.
+//! Playground for the `nds-sched` cycle-stealing scheduler, built
+//! through the unified `Sim` builder.
 //!
 //! Run with `cargo run --example scheduler_playground`.
 //!
@@ -8,24 +9,33 @@
 //! 3. a starved pool rescued by raising the admission threshold.
 
 use nds::cluster::{JobRunner, OwnerWorkload};
-use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline, SchedConfig};
+use nds::core::sim::{closed, single_job, Backend, Sim};
+use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline};
 
 fn main() {
     let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
 
     // 1. Degenerate configuration: full-size pool, one task per
     //    machine, suspend-resume => the paper's model, bit-for-bit.
+    //    Force the scheduler engine (Backend::Auto would already take
+    //    the JobRunner fast path) to show the equivalence for real.
     let w = 8;
     let demand = 300.0;
-    let cfg = SchedConfig::homogeneous(w, &owner, vec![JobSpec::at_zero(w, demand)]);
-    let metrics = cfg.run().unwrap();
-    let baseline = JobRunner::new(cfg.seed).run_continuous_job(&owner, demand, w, 0);
+    let seed = 0x5EED;
+    let report = Sim::pool(w)
+        .owners(&owner)
+        .workload(single_job(w, demand))
+        .seed(seed)
+        .backend(Backend::Sched)
+        .run()
+        .unwrap();
+    let baseline = JobRunner::new(seed).run_continuous_job(&owner, demand, w, 0);
     println!("1) degenerate config vs JobRunner");
-    println!("   scheduler makespan : {:.6}", metrics.makespan);
+    println!("   scheduler makespan : {:.6}", report.mean_makespan());
     println!("   JobRunner job time : {:.6}", baseline.job_time());
     println!(
         "   difference         : {:.2e}\n",
-        (metrics.makespan - baseline.job_time()).abs()
+        (report.mean_makespan() - baseline.job_time()).abs()
     );
 
     // 2. Eviction shootout: 4 jobs x 16 tasks on 16 stations at 20%
@@ -41,22 +51,24 @@ fn main() {
             overhead: 1.0,
         },
     ] {
-        let mut cfg = SchedConfig::homogeneous(
-            16,
-            &busy,
-            (0..4)
-                .map(|j| JobSpec {
-                    tasks: 16,
-                    task_demand: 120.0,
-                    arrival: f64::from(j) * 50.0,
-                })
-                .collect(),
-        );
-        cfg.eviction = eviction;
-        cfg.placement = PlacementKind::LeastLoaded;
-        cfg.discipline = QueueDiscipline::SjfBackfill;
-        cfg.calibration_horizon = 10_000.0;
-        let m = cfg.run().unwrap();
+        let report = Sim::pool(16)
+            .owners(&busy)
+            .workload(closed(
+                (0..4)
+                    .map(|j| JobSpec {
+                        tasks: 16,
+                        task_demand: 120.0,
+                        arrival: f64::from(j) * 50.0,
+                    })
+                    .collect(),
+            ))
+            .eviction(eviction)
+            .placement(PlacementKind::LeastLoaded)
+            .discipline(QueueDiscipline::SjfBackfill)
+            .calibration(10_000.0)
+            .run()
+            .unwrap();
+        let m = &report.runs[0];
         println!(
             "   {:<22} makespan {:>7.0}  goodput {:>5.1}%  wasted {:>6.0}  evictions {:>4}",
             eviction.label(),
@@ -65,7 +77,7 @@ fn main() {
             m.wasted,
             m.evictions
         );
-        assert!(m.is_consistent());
+        assert!(report.is_consistent());
     }
 
     // 3. Admission threshold: a mixed pool where hot machines are
@@ -77,12 +89,15 @@ fn main() {
         .map(|i| if i < 8 { cool.clone() } else { hot.clone() })
         .collect();
     for threshold in [0.2, 1.0] {
-        let mut cfg = SchedConfig::homogeneous(1, &cool, vec![JobSpec::at_zero(32, 60.0)]);
-        cfg.owners = owners.clone();
-        cfg.eviction = EvictionPolicy::Restart;
-        cfg.admission_threshold = threshold;
-        cfg.calibration_horizon = 20_000.0;
-        let m = cfg.run().unwrap();
+        let report = Sim::pool(16)
+            .owners(owners.clone())
+            .workload(single_job(32, 60.0))
+            .eviction(EvictionPolicy::Restart)
+            .admission_threshold(threshold)
+            .calibration(20_000.0)
+            .run()
+            .unwrap();
+        let m = &report.runs[0];
         println!(
             "   threshold {:>4}: makespan {:>7.0}  wasted {:>6.0}  restarts {:>4}",
             threshold, m.makespan, m.wasted, m.restarts

@@ -6,15 +6,16 @@
 //! nds validate [--quick]
 //! nds sensitivity --task 100 --workstations 60 --owner-demand 10 --utilization 0.10
 //! nds sched --workstations 16 --utilization 0.10 --eviction checkpoint
+//! nds stream --rate 0.02 --utilization 0.10 --jobs 400
 //! ```
 
 use nds::cluster::OwnerWorkload;
 use nds::core::conclusions::check_all_conclusions;
 use nds::core::prelude::*;
 use nds::core::report::Table;
+use nds::core::sim::{closed, poisson, Backend, JobShape, Sim, SimError};
 use nds::model::sensitivity::elasticities;
 use nds::model::solver::required_task_ratio;
-use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline, SchedConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +25,7 @@ fn main() {
         Some("validate") => cmd_validate(&args[1..]),
         Some("sensitivity") => cmd_sensitivity(&args[1..]),
         Some("sched") => cmd_sched(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -55,6 +57,11 @@ fn print_usage() {
          \x20             [--overhead C] [--interval I] [--discipline fcfs|sjf]\n\
          \x20             [--seed S] [--reps R]\n\
          \x20                                 cycle-stealing pool scheduler experiment\n\
+         \x20 stream      [--rate L] [--workstations W] [--utilization U]\n\
+         \x20             [--owner-demand O] [--tasks K] [--task-demand T]\n\
+         \x20             [--jobs N] [--warmup M] [--batches B] [--seed S]\n\
+         \x20             (plus the sched placement/eviction/discipline flags)\n\
+         \x20                                 open Poisson stream, steady-state response CI\n\
          \x20 help                            this message"
     );
 }
@@ -259,6 +266,50 @@ fn string_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Parse the placement/eviction/discipline policy flags shared by the
+/// `sched` and `stream` commands.
+fn policy_flags(
+    args: &[String],
+) -> Result<(PlacementKind, EvictionPolicy, QueueDiscipline), String> {
+    let overhead = flag(args, "--overhead").unwrap_or(2.0);
+    let interval = flag(args, "--interval").unwrap_or(30.0);
+    let placement = match string_flag(args, "--placement") {
+        None => PlacementKind::LeastLoaded,
+        Some(s) => {
+            PlacementKind::parse(s).ok_or_else(|| format!("unknown placement policy {s}"))?
+        }
+    };
+    let eviction = match string_flag(args, "--eviction").unwrap_or("suspend") {
+        "restart" => EvictionPolicy::Restart,
+        "suspend" | "suspend-resume" => EvictionPolicy::SuspendResume,
+        "migrate" => EvictionPolicy::Migrate { overhead },
+        "checkpoint" => EvictionPolicy::Checkpoint { interval, overhead },
+        other => return Err(format!("unknown eviction policy {other}")),
+    };
+    let discipline = match string_flag(args, "--discipline").unwrap_or("fcfs") {
+        "fcfs" => QueueDiscipline::Fcfs,
+        "sjf" | "sjf-backfill" => QueueDiscipline::SjfBackfill,
+        other => return Err(format!("unknown queue discipline {other}")),
+    };
+    Ok((placement, eviction, discipline))
+}
+
+/// Map a [`SimError`] to the CLI's exit-code convention: 2 for
+/// configuration mistakes, 1 for runs that could not complete.
+fn sim_error_code(e: &SimError) -> i32 {
+    match e {
+        // Stats errors are configuration mistakes too: the batch/window
+        // split could not form an interval.
+        SimError::InvalidPool { .. }
+        | SimError::InvalidWorkload { .. }
+        | SimError::InvalidPolicy { .. }
+        | SimError::MissingWorkload
+        | SimError::UnsupportedBackend { .. }
+        | SimError::Stats(_) => 2,
+        SimError::Sched(_) | SimError::Cluster(_) => 1,
+    }
+}
+
 fn cmd_sched(args: &[String]) -> i32 {
     // Defaults mirror the canonical scheduler scenario so the CLI, the
     // ext_sched_policies bench, and tests all describe one experiment.
@@ -289,34 +340,10 @@ fn cmd_sched(args: &[String]) -> i32 {
     let task_demand = flag(args, "--task-demand")
         .unwrap_or_else(|| scenario.sched_task_demand().expect("scheduler scenario"));
     let arrival_gap = flag(args, "--arrival-gap").unwrap_or(default_gap);
-    let overhead = flag(args, "--overhead").unwrap_or(2.0);
-    let interval = flag(args, "--interval").unwrap_or(30.0);
-
-    let placement = match string_flag(args, "--placement") {
-        None => PlacementKind::LeastLoaded,
-        Some(s) => match PlacementKind::parse(s) {
-            Some(k) => k,
-            None => {
-                eprintln!("sched: unknown placement policy {s}");
-                return 2;
-            }
-        },
-    };
-    let eviction = match string_flag(args, "--eviction").unwrap_or("suspend") {
-        "restart" => EvictionPolicy::Restart,
-        "suspend" | "suspend-resume" => EvictionPolicy::SuspendResume,
-        "migrate" => EvictionPolicy::Migrate { overhead },
-        "checkpoint" => EvictionPolicy::Checkpoint { interval, overhead },
-        other => {
-            eprintln!("sched: unknown eviction policy {other}");
-            return 2;
-        }
-    };
-    let discipline = match string_flag(args, "--discipline").unwrap_or("fcfs") {
-        "fcfs" => QueueDiscipline::Fcfs,
-        "sjf" | "sjf-backfill" => QueueDiscipline::SjfBackfill,
-        other => {
-            eprintln!("sched: unknown queue discipline {other}");
+    let (placement, eviction, discipline) = match policy_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sched: {e}");
             return 2;
         }
     };
@@ -335,22 +362,24 @@ fn cmd_sched(args: &[String]) -> i32 {
             arrival: f64::from(j) * arrival_gap,
         })
         .collect();
-    let mut cfg = SchedConfig::homogeneous(w, &owner, specs);
-    cfg.placement = placement;
-    cfg.eviction = eviction;
-    cfg.discipline = discipline;
-    cfg.calibration_horizon = 10_000.0;
-    cfg.seed = seed;
-
-    let runs = match cfg.run_replications(reps) {
-        Ok(runs) => runs,
+    let report = match Sim::pool(w)
+        .owners(owner)
+        .placement(placement)
+        .eviction(eviction)
+        .discipline(discipline)
+        .calibration(10_000.0)
+        .seed(seed)
+        .replications(reps)
+        .backend(Backend::Sched)
+        .workload(closed(specs))
+        .run()
+    {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("sched: {e}");
-            return 1;
+            return sim_error_code(&e);
         }
     };
-    let n = runs.len() as f64;
-    let mean = |f: &dyn Fn(&nds::sched::SchedMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
 
     let mut t = Table::new(format!(
         "cycle-stealing pool: W={w}, U={u}, O={o}, {jobs} jobs x {tasks} tasks x {task_demand}, \
@@ -360,41 +389,184 @@ fn cmd_sched(args: &[String]) -> i32 {
         discipline.name(),
     ))
     .headers(["metric", "mean"]);
-    t.row(["makespan", &format!("{:.1}", mean(&|m| m.makespan))]);
+    t.row(["makespan", &format!("{:.1}", report.mean_makespan())]);
     t.row([
         "mean job response",
-        &format!("{:.1}", mean(&|m| m.mean_response_time())),
+        &format!("{:.1}", report.mean_over(|m| m.mean_response_time())),
     ]);
-    t.row(["delivered CPU", &format!("{:.1}", mean(&|m| m.delivered))]);
-    t.row(["goodput", &format!("{:.1}", mean(&|m| m.goodput))]);
-    t.row(["wasted work", &format!("{:.1}", mean(&|m| m.wasted))]);
+    t.row([
+        "delivered CPU",
+        &format!("{:.1}", report.mean_over(|m| m.delivered)),
+    ]);
+    t.row([
+        "goodput",
+        &format!("{:.1}", report.mean_over(|m| m.goodput)),
+    ]);
+    t.row(["wasted work", &format!("{:.1}", report.mean_wasted())]);
     t.row([
         "checkpoint overhead",
-        &format!("{:.1}", mean(&|m| m.checkpoint_overhead)),
+        &format!("{:.1}", report.mean_over(|m| m.checkpoint_overhead)),
     ]);
     t.row([
         "goodput fraction",
-        &format!("{:.4}", mean(&|m| m.goodput_fraction())),
+        &format!("{:.4}", report.mean_goodput_fraction()),
     ]);
-    t.row([
-        "evictions",
-        &format!("{:.1}", mean(&|m| m.evictions as f64)),
-    ]);
+    t.row(["evictions", &format!("{:.1}", report.mean_evictions())]);
     t.row([
         "migrations",
-        &format!("{:.1}", mean(&|m| m.migrations as f64)),
+        &format!("{:.1}", report.mean_over(|m| m.migrations as f64)),
     ]);
-    t.row(["restarts", &format!("{:.1}", mean(&|m| m.restarts as f64))]);
+    t.row([
+        "restarts",
+        &format!("{:.1}", report.mean_over(|m| m.restarts as f64)),
+    ]);
     t.row([
         "mean queue wait",
-        &format!("{:.2}", mean(&|m| m.mean_queue_wait)),
+        &format!("{:.2}", report.mean_queue_wait()),
     ]);
     t.row([
         "mean available machines",
-        &format!("{:.2}", mean(&|m| m.mean_available_machines)),
+        &format!("{:.2}", report.mean_over(|m| m.mean_available_machines)),
     ]);
     print!("{}", t.render());
-    let consistent = runs.iter().all(|m| m.is_consistent());
+    let consistent = report.is_consistent();
+    println!(
+        "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
+        if consistent { "holds" } else { "VIOLATED" }
+    );
+    i32::from(!consistent)
+}
+
+fn cmd_stream(args: &[String]) -> i32 {
+    // Defaults mirror the open-stream scenario, the open-system
+    // counterpart of `sched`'s closed defaults.
+    let scenario = Scenario::OpenStream;
+    let default_w = u64::from(scenario.workstations()[0]);
+    let (default_tasks, default_demand) = scenario.open_job_shape().expect("open scenario");
+    let (default_jobs, default_warmup) = scenario.open_window().expect("open scenario");
+    let ints = (|| -> Result<_, String> {
+        Ok((
+            int_flag(args, "--workstations", default_w, u64::from(u32::MAX))? as u32,
+            int_flag(
+                args,
+                "--tasks",
+                u64::from(default_tasks),
+                u64::from(u32::MAX),
+            )? as u32,
+            int_flag(args, "--jobs", default_jobs as u64, 1 << 24)? as usize,
+            int_flag(args, "--warmup", default_warmup as u64, 1 << 24)? as usize,
+            int_flag(args, "--batches", 20, 1 << 16)? as usize,
+            int_flag(args, "--seed", 2024, u64::MAX)?,
+            int_flag(args, "--reps", 1, 1 << 20)?.max(1),
+        ))
+    })();
+    let (w, tasks, jobs, warmup, batches, seed, reps) = match ints {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return 2;
+        }
+    };
+    let rate = flag(args, "--rate")
+        .unwrap_or_else(|| scenario.open_arrival_rate().expect("open scenario"));
+    let u = flag(args, "--utilization").unwrap_or(0.10);
+    let o = flag(args, "--owner-demand").unwrap_or(10.0);
+    let task_demand = flag(args, "--task-demand").unwrap_or(default_demand);
+    let (placement, eviction, discipline) = match policy_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return 2;
+        }
+    };
+    let owner = match OwnerWorkload::continuous_exponential(o, u) {
+        Ok(owner) => owner,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return 2;
+        }
+    };
+    let report = match Sim::pool(w)
+        .owners(owner)
+        .placement(placement)
+        .eviction(eviction)
+        .discipline(discipline)
+        .calibration(10_000.0)
+        .seed(seed)
+        .replications(reps)
+        .batches(batches)
+        .workload(
+            poisson(rate, JobShape::new(tasks, task_demand))
+                .jobs(jobs)
+                .warmup(warmup),
+        )
+        .run()
+    {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return sim_error_code(&e);
+        }
+    };
+    let ss = report
+        .steady_state
+        .expect("open workloads always report steady state");
+
+    let mut t = Table::new(format!(
+        "open Poisson stream: λ={rate}, W={w}, U={u}, O={o}, {jobs} jobs x {tasks} tasks x \
+         {task_demand} ({warmup} warm-up, {} placement, {} eviction, {} queue, {reps} reps)",
+        placement.name(),
+        eviction.label(),
+        discipline.name(),
+    ))
+    .headers(["metric", "value"]);
+    t.row([
+        "steady-state mean response",
+        &format!("{:.1}", ss.response.mean),
+    ]);
+    t.row([
+        "90% confidence interval",
+        &format!("[{:.1}, {:.1}]", ss.response.lower(), ss.response.upper()),
+    ]);
+    t.row([
+        "relative half-width",
+        &format!("{:.4}", ss.response.relative_half_width()),
+    ]);
+    t.row([
+        "batches x batch size",
+        &format!("{} x {}", ss.response.batches, ss.response.batch_size),
+    ]);
+    t.row([
+        "batch lag-1 autocorrelation",
+        &format!(
+            "{:+.3} ({})",
+            ss.diagnostic.lag1,
+            if ss.diagnostic.acceptable {
+                "acceptable"
+            } else {
+                "grow the batch size"
+            }
+        ),
+    ]);
+    t.row([
+        "observed jobs (post warm-up)",
+        &report.response.jobs.to_string(),
+    ]);
+    t.row([
+        "fastest / slowest response",
+        &format!("{:.1} / {:.1}", report.response.min, report.response.max),
+    ]);
+    t.row(["mean makespan", &format!("{:.1}", report.mean_makespan())]);
+    t.row([
+        "goodput fraction",
+        &format!("{:.4}", report.mean_goodput_fraction()),
+    ]);
+    t.row([
+        "mean queue wait",
+        &format!("{:.2}", report.mean_queue_wait()),
+    ]);
+    print!("{}", t.render());
+    let consistent = report.is_consistent();
     println!(
         "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
         if consistent { "holds" } else { "VIOLATED" }

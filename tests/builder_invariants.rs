@@ -1,0 +1,206 @@
+//! Workspace-level invariants of the unified [`Sim`] builder,
+//! extending the `sched_invariants` guarantees to the new API:
+//!
+//! 1. **Degenerate equivalence** — a `Sim` describing the paper's
+//!    configuration (full pool, one task per station, suspend-resume)
+//!    reproduces [`JobRunner`] job times **bit-for-bit**, on every
+//!    backend the builder can lower to.
+//! 2. **Thin lowering** — `Sim::lower` produces exactly the
+//!    [`SchedConfig`] a caller would have written by hand, so the
+//!    builder adds description, never behaviour.
+//! 3. **Work conservation** — reports from every workload shape keep
+//!    `delivered == goodput + wasted + checkpoint_overhead`.
+
+use nds::cluster::{ContinuousWorkstation, JobRunner, OwnerWorkload};
+use nds::core::sim::{closed, poisson, single_job, Backend, JobShape, Sim};
+use nds::sched::{EvictionPolicy, JobSpec, SchedConfig};
+use nds::stats::rng::StreamFactory;
+
+fn owner(u: f64) -> OwnerWorkload {
+    OwnerWorkload::continuous_exponential(10.0, u).unwrap()
+}
+
+#[test]
+fn degenerate_sim_reproduces_jobrunner_bit_for_bit() {
+    // The paper's configuration expressed through the builder: the
+    // scheduler engine, the closed-form fast path, and the automatic
+    // lowering must all land on JobRunner's exact job times.
+    for (seed, reps) in [(11u64, 4u64), (2024, 2)] {
+        let w = 6u32;
+        let demand = 250.0;
+        let ow = owner(0.10);
+        let run = |backend| {
+            Sim::pool(w)
+                .owners(&ow)
+                .workload(single_job(w, demand))
+                .eviction(EvictionPolicy::SuspendResume)
+                .seed(seed)
+                .replications(reps)
+                .backend(backend)
+                .run()
+                .unwrap()
+        };
+        let engine = run(Backend::Sched);
+        let fast = run(Backend::Cluster);
+        let auto = run(Backend::Auto);
+        let runner = JobRunner::new(seed);
+        for rep in 0..reps {
+            let baseline = runner.run_continuous_job(&ow, demand, w, rep).job_time();
+            let i = rep as usize;
+            assert_eq!(
+                engine.runs[i].makespan, baseline,
+                "seed={seed} rep={rep}: scheduler engine vs JobRunner"
+            );
+            assert_eq!(
+                fast.runs[i].makespan, baseline,
+                "seed={seed} rep={rep}: cluster fast path vs JobRunner"
+            );
+            assert_eq!(
+                auto.runs[i].makespan, baseline,
+                "seed={seed} rep={rep}: auto backend vs JobRunner"
+            );
+            assert_eq!(
+                engine.runs[i].jobs[0].response_time(),
+                baseline,
+                "job records carry the same times"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_sim_matches_per_station_workstation_paths() {
+    // Down to the per-station sample paths: the builder's degenerate
+    // run is the max over the same ContinuousWorkstation streams the
+    // original model consumes.
+    let (w, demand, seed, rep) = (5u32, 180.0, 77u64, 3u64);
+    let ow = owner(0.12);
+    let report = Sim::pool(w)
+        .owners(&ow)
+        .workload(single_job(w, demand))
+        .seed(seed)
+        .backend(Backend::Sched)
+        .replications(rep + 1)
+        .run()
+        .unwrap();
+    let factory = StreamFactory::new(seed);
+    let ws = ContinuousWorkstation::new(ow);
+    let per_station_max = (0..w)
+        .map(|i| {
+            let mut rng = factory.labeled_stream("ws-continuous", u64::from(i) << 32 | rep);
+            ws.run_task(demand, &mut rng).execution_time
+        })
+        .fold(0.0f64, f64::max);
+    assert_eq!(report.runs[rep as usize].makespan, per_station_max);
+}
+
+#[test]
+fn lowering_is_a_thin_shim_over_sched_config() {
+    // Sim::lower must produce exactly the config a PR-1 caller would
+    // have written by hand — and running both must agree bit-for-bit.
+    let ow = owner(0.15);
+    let jobs = vec![JobSpec::at_zero(10, 80.0), JobSpec::at_zero(4, 40.0)];
+    let sim = Sim::pool(6)
+        .owners(&ow)
+        .workload(closed(jobs.clone()))
+        .eviction(EvictionPolicy::Checkpoint {
+            interval: 20.0,
+            overhead: 0.5,
+        })
+        .calibration(5_000.0)
+        .seed(99)
+        .build()
+        .unwrap();
+    let lowered = sim.lower(0).unwrap();
+
+    let mut manual = SchedConfig::homogeneous(6, &ow, jobs);
+    manual.eviction = EvictionPolicy::Checkpoint {
+        interval: 20.0,
+        overhead: 0.5,
+    };
+    manual.calibration_horizon = 5_000.0;
+    manual.seed = 99;
+    assert_eq!(lowered.run().unwrap(), manual.run().unwrap());
+
+    // And the builder's own run reports the same engine metrics.
+    let report = sim.run().unwrap();
+    assert_eq!(report.runs[0], manual.run().unwrap());
+}
+
+#[test]
+fn every_workload_shape_conserves_work() {
+    let shapes: Vec<Box<dyn Fn() -> nds::core::sim::SimBuilder>> = vec![
+        Box::new(|| {
+            Sim::pool(8)
+                .owners(owner(0.10))
+                .workload(single_job(8, 150.0))
+                .backend(Backend::Sched)
+        }),
+        Box::new(|| {
+            Sim::pool(8)
+                .owners(owner(0.20))
+                .workload(closed(vec![
+                    JobSpec::at_zero(12, 90.0),
+                    JobSpec {
+                        tasks: 6,
+                        task_demand: 45.0,
+                        arrival: 120.0,
+                    },
+                ]))
+                .eviction(EvictionPolicy::Restart)
+        }),
+        Box::new(|| {
+            Sim::pool(8)
+                .owners(owner(0.10))
+                .workload(poisson(0.02, JobShape::new(2, 40.0)).jobs(100).warmup(10))
+                .eviction(EvictionPolicy::Migrate { overhead: 3.0 })
+                .batches(9)
+        }),
+    ];
+    for (i, make) in shapes.iter().enumerate() {
+        let report = make().seed(5).run().unwrap();
+        assert!(report.is_consistent(), "shape {i} violated conservation");
+        for m in &report.runs {
+            assert!(
+                (m.goodput - m.total_demand).abs() <= 1e-6 * m.total_demand,
+                "shape {i}: goodput {} != demand {}",
+                m.goodput,
+                m.total_demand
+            );
+        }
+    }
+}
+
+#[test]
+fn open_stream_steady_state_is_reproducible_and_sane() {
+    let run = || {
+        Sim::pool(8)
+            .owners(owner(0.10))
+            .workload(poisson(0.02, JobShape::new(2, 40.0)).jobs(150).warmup(30))
+            .batches(8)
+            .seed(42)
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must replay the whole report");
+    let ss = a.steady_state.expect("open workloads report steady state");
+    assert!(
+        ss.response.mean >= 40.0,
+        "steady-state response cannot beat the dedicated task demand"
+    );
+    assert!(ss.response.half_width > 0.0);
+    assert!(ss.response.contains(a.response.mean));
+    assert_eq!(a.response.jobs, 120, "warm-up jobs excluded");
+    // Response times in the report match the engine's own job records
+    // after warm-up deletion.
+    let recorded: Vec<f64> = a.runs[0]
+        .jobs
+        .iter()
+        .skip(30)
+        .map(|j| j.completion - j.arrival)
+        .collect();
+    let mean = recorded.iter().sum::<f64>() / recorded.len() as f64;
+    assert!((mean - a.response.mean).abs() < 1e-9);
+}

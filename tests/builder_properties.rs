@@ -1,0 +1,204 @@
+//! Property-based tests of the [`Sim`] builder's validation: invalid
+//! arrival rates, degenerate pools, and bad policy parameters must
+//! surface as **typed errors** — never panics — and every valid
+//! combination must build and run.
+
+use nds::cluster::OwnerWorkload;
+use nds::core::sim::{closed, poisson, single_job, JobShape, Sim, SimError, Workload};
+use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline};
+use proptest::prelude::*;
+
+fn owner(u: f64) -> OwnerWorkload {
+    OwnerWorkload::continuous_exponential(10.0, u).unwrap()
+}
+
+/// Map a generated index onto a (possibly invalid) eviction policy.
+fn eviction_from(kind: u8, a: f64, b: f64) -> EvictionPolicy {
+    match kind % 4 {
+        0 => EvictionPolicy::Restart,
+        1 => EvictionPolicy::SuspendResume,
+        2 => EvictionPolicy::Migrate { overhead: a },
+        _ => EvictionPolicy::Checkpoint {
+            interval: a,
+            overhead: b,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn negative_or_zero_rates_are_typed_errors(rate in -1_000.0f64..0.0, tasks in 1u32..16, demand in 1.0f64..500.0) {
+        let workload = poisson(rate, JobShape::new(tasks, demand));
+        prop_assert!(matches!(
+            workload.validate(),
+            Err(SimError::InvalidWorkload { field: "rate", .. })
+        ));
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .workload(poisson(rate, JobShape::new(tasks, demand)))
+            .run()
+            .unwrap_err();
+        prop_assert!(matches!(err, SimError::InvalidWorkload { .. }));
+    }
+
+    #[test]
+    fn zero_station_pools_are_typed_errors(tasks in 1u32..32, demand in 1.0f64..500.0, u in 0.01f64..0.5) {
+        let err = Sim::pool(0)
+            .owners(owner(u))
+            .workload(single_job(tasks, demand))
+            .build()
+            .unwrap_err();
+        prop_assert!(matches!(
+            err,
+            SimError::InvalidPool { field: "workstations", .. }
+        ));
+    }
+
+    #[test]
+    fn bad_checkpoint_and_migrate_parameters_are_typed_errors(interval in -100.0f64..0.0, overhead in -100.0f64..0.0) {
+        let build = |eviction| {
+            Sim::pool(4)
+                .owners(owner(0.1))
+                .workload(single_job(4, 50.0))
+                .eviction(eviction)
+                .build()
+        };
+        let err = build(EvictionPolicy::Checkpoint { interval, overhead: 1.0 }).unwrap_err();
+        prop_assert!(matches!(err, SimError::InvalidPolicy { .. }));
+        let err = build(EvictionPolicy::Migrate { overhead }).unwrap_err();
+        prop_assert!(matches!(err, SimError::InvalidPolicy { .. }));
+    }
+
+    #[test]
+    fn bad_pool_knobs_are_typed_errors(threshold in -10.0f64..0.0, tau in -50.0f64..0.0) {
+        let base = || Sim::pool(4).owners(owner(0.1)).workload(single_job(4, 50.0));
+        prop_assert!(matches!(
+            base().admission_threshold(threshold).build().unwrap_err(),
+            SimError::InvalidPool { field: "admission_threshold", .. }
+        ));
+        prop_assert!(matches!(
+            base().estimator_tau(tau).build().unwrap_err(),
+            SimError::InvalidPool { field: "estimator_tau", .. }
+        ));
+    }
+
+    #[test]
+    fn warmup_swallowing_the_window_is_a_typed_error(jobs in 1u64..50, extra in 0u64..10) {
+        let jobs = jobs as usize;
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .workload(
+                poisson(0.05, JobShape::new(2, 20.0))
+                    .jobs(jobs)
+                    .warmup(jobs + extra as usize),
+            )
+            .run()
+            .unwrap_err();
+        prop_assert!(matches!(
+            err,
+            SimError::InvalidWorkload { field: "warmup", .. }
+        ));
+    }
+
+    #[test]
+    fn owner_count_mismatch_is_a_typed_error(w in 2u32..12, delta in 1u32..4) {
+        let owners = vec![owner(0.1); (w - delta.min(w - 1)) as usize];
+        let err = Sim::pool(w)
+            .owners(owners)
+            .workload(single_job(w, 50.0))
+            .build()
+            .unwrap_err();
+        prop_assert!(matches!(err, SimError::InvalidPool { field: "owners", .. }));
+    }
+}
+
+proptest! {
+    // Runs real (small) simulations, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_valid_policy_combination_builds_and_runs(
+        placement_ix in 0u8..3,
+        eviction_ix in 0u8..4,
+        sjf in 0u8..2,
+        w in 1u32..8,
+        tasks in 1u32..12,
+        demand in 5.0f64..80.0,
+        u in 0.01f64..0.25,
+    ) {
+        let placement = PlacementKind::ALL[placement_ix as usize];
+        let eviction = eviction_from(eviction_ix, 15.0, 0.5);
+        let discipline = if sjf == 0 {
+            QueueDiscipline::Fcfs
+        } else {
+            QueueDiscipline::SjfBackfill
+        };
+        let report = Sim::pool(w)
+            .owners(owner(u))
+            .placement(placement)
+            .eviction(eviction)
+            .discipline(discipline)
+            .workload(closed(vec![
+                JobSpec::at_zero(tasks, demand),
+                JobSpec { tasks: 2, task_demand: demand / 2.0, arrival: demand },
+            ]))
+            .seed(7)
+            .run();
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "valid combination rejected: {placement:?}/{eviction:?}: {e}"
+            ))),
+        };
+        prop_assert!(report.is_consistent());
+        prop_assert_eq!(
+            report.runs[0].completed_tasks,
+            u64::from(tasks) + 2
+        );
+    }
+}
+
+#[test]
+fn non_finite_rates_are_typed_errors_not_panics() {
+    for rate in [0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .workload(poisson(rate, JobShape::new(4, 50.0)))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidWorkload { field: "rate", .. }),
+            "rate {rate}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn non_finite_policy_parameters_are_typed_errors() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        for eviction in [
+            EvictionPolicy::Migrate { overhead: v },
+            EvictionPolicy::Checkpoint {
+                interval: v,
+                overhead: 1.0,
+            },
+            EvictionPolicy::Checkpoint {
+                interval: 10.0,
+                overhead: v,
+            },
+        ] {
+            let err = Sim::pool(4)
+                .owners(owner(0.1))
+                .workload(single_job(4, 50.0))
+                .eviction(eviction)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidPolicy { .. }),
+                "{eviction:?}: got {err}"
+            );
+        }
+    }
+}
