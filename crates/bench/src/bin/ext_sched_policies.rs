@@ -108,13 +108,7 @@ fn main() {
     // genuinely chooses among machines, and restart eviction makes a
     // bad choice expensive.
     let u_mid = utilizations[utilizations.len() / 2];
-    let light_jobs: Vec<JobSpec> = (0..8)
-        .map(|j| JobSpec {
-            tasks: 4,
-            task_demand,
-            arrival: f64::from(j) * 100.0,
-        })
-        .collect();
+    let light_jobs = JobSpec::stream(8, 4, task_demand, 100.0);
     let mut placement_table = Table::new(format!(
         "placement policies at U={u_mid} (restart eviction, 8 jobs x 4 tasks)"
     ))

@@ -9,10 +9,16 @@
 //!
 //! Built through the unified `Sim` builder: this is the degenerate
 //! closed configuration (one job, one task per station,
-//! suspend-resume), so it lowers to the `JobRunner` fast path.
+//! suspend-resume), so it lowers to the `JobRunner` fast path, and the
+//! 200 replications shard across scoped threads (`.shards`) with
+//! byte-identical results to the serial sweep.
 use nds_cluster::owner::OwnerWorkload;
 use nds_core::report::Table;
 use nds_core::sim::{single_job, Sim};
+
+/// Replication shards (experiment-level parallelism; the engine stays
+/// single-threaded and results splice back in replication order).
+const SHARDS: usize = 8;
 
 fn main() {
     let reps = 200u64;
@@ -50,6 +56,7 @@ fn main() {
             .workload(single_job(w, task_demand))
             .seed(77)
             .replications(reps)
+            .shards(SHARDS)
             .run()
             .expect("degenerate runs complete");
         let mean = report.mean_makespan();

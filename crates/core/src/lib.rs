@@ -41,7 +41,6 @@
 
 pub mod analyzer;
 pub mod comparison;
-pub mod compat;
 pub mod conclusions;
 pub mod error;
 pub mod prelude;

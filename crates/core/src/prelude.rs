@@ -29,7 +29,9 @@ pub use nds_model::expectation::{expected_job_time, expected_task_time};
 pub use nds_model::metrics::{evaluate, FeasibilityMetrics, Metrics};
 pub use nds_model::params::{ModelInputs, OwnerParams, Workload};
 pub use nds_pvm::harness::ValidationHarness;
-pub use nds_sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline};
+pub use nds_sched::{
+    EvictionPolicy, GangPolicy, GangStats, JobSpec, PlacementKind, QueueDiscipline,
+};
 pub use nds_stats::rng::Xoshiro256StarStar;
 
 #[cfg(test)]

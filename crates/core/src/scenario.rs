@@ -9,7 +9,7 @@
 
 use crate::sim::{closed, poisson, JobShape, Sim, SimBuilder};
 use nds_cluster::owner::OwnerWorkload;
-use nds_sched::JobSpec;
+use nds_sched::{GangPolicy, JobSpec};
 
 /// Default owner demand used throughout the paper's analysis section.
 pub const OWNER_DEMAND: f64 = 10.0;
@@ -44,6 +44,12 @@ pub enum Scenario {
     /// confidence interval (see the `ext_open_stream` binary and
     /// `examples/open_stream.rs`).
     OpenStream,
+    /// Extension: **gang scheduling / co-allocation** — the paper's
+    /// barrier-synchronized jobs taken seriously: a job is admitted
+    /// only when every task fits at once, runs in lockstep, and
+    /// suspends as a whole on any owner return (see the `nds-sched`
+    /// `gang` module, the `ext_gang` binary, and `examples/gang.rs`).
+    GangPool,
 }
 
 impl Scenario {
@@ -58,7 +64,7 @@ impl Scenario {
             Scenario::TaskRatioAt60 => vec![60],
             Scenario::TaskRatioBySize => vec![2, 4, 8, 20, 60, 100],
             Scenario::PvmValidation => (1..=12).collect(),
-            Scenario::SchedulerPool | Scenario::OpenStream => vec![16],
+            Scenario::SchedulerPool | Scenario::OpenStream | Scenario::GangPool => vec![16],
         }
     }
 
@@ -67,7 +73,9 @@ impl Scenario {
         match self {
             Scenario::TaskRatioBySize => vec![0.10],
             Scenario::PvmValidation => vec![0.03],
-            Scenario::SchedulerPool | Scenario::OpenStream => vec![0.05, 0.10, 0.20],
+            Scenario::SchedulerPool | Scenario::OpenStream | Scenario::GangPool => {
+                vec![0.05, 0.10, 0.20]
+            }
             _ => UTILIZATIONS.to_vec(),
         }
     }
@@ -118,6 +126,7 @@ impl Scenario {
             Scenario::PvmValidation => "Figures 10-11 (PVM, U = 3%)",
             Scenario::SchedulerPool => "Extension (scheduler pool, W = 16)",
             Scenario::OpenStream => "Extension (open Poisson stream, W = 16)",
+            Scenario::GangPool => "Extension (gang co-allocation, W = 16)",
         }
     }
 
@@ -163,6 +172,33 @@ impl Scenario {
         }
     }
 
+    /// Gang co-allocation policy for gang scenarios.
+    pub fn gang_policy(&self) -> Option<GangPolicy> {
+        match self {
+            Scenario::GangPool => Some(GangPolicy::SuspendAll),
+            _ => None,
+        }
+    }
+
+    /// Gang workload shape `(jobs, gang_size, task_demand,
+    /// inter_arrival)` for gang scenarios. The gang size is the default
+    /// of the `ext_gang` sweep, which varies it across
+    /// [`Scenario::gang_sizes`].
+    pub fn gang_job_mix(&self) -> Option<(u32, u32, f64, f64)> {
+        match self {
+            Scenario::GangPool => Some((6, 8, 90.0, 40.0)),
+            _ => None,
+        }
+    }
+
+    /// Gang sizes swept by the `ext_gang` experiment.
+    pub fn gang_sizes(&self) -> Vec<u32> {
+        match self {
+            Scenario::GangPool => vec![1, 2, 4, 8, 16],
+            _ => vec![],
+        }
+    }
+
     /// Lower a scheduler-backed scenario (`SchedulerPool`,
     /// `OpenStream`) to a pre-wired [`Sim`] builder over the given
     /// owner behaviour; `None` for the analytic figures. Callers
@@ -173,17 +209,10 @@ impl Scenario {
             Scenario::SchedulerPool => {
                 let task_demand = self.sched_task_demand()?;
                 let (jobs, tasks, gap) = self.sched_job_mix()?;
-                let specs: Vec<JobSpec> = (0..jobs)
-                    .map(|j| JobSpec {
-                        tasks,
-                        task_demand,
-                        arrival: f64::from(j) * gap,
-                    })
-                    .collect();
                 Some(
                     Sim::pool(w)
                         .owners(owner)
-                        .workload(closed(specs))
+                        .workload(closed(JobSpec::stream(jobs, tasks, task_demand, gap)))
                         .calibration(10_000.0),
                 )
             }
@@ -199,6 +228,17 @@ impl Scenario {
                                 .jobs(jobs)
                                 .warmup(warmup),
                         )
+                        .calibration(10_000.0),
+                )
+            }
+            Scenario::GangPool => {
+                let gang = self.gang_policy()?;
+                let (jobs, tasks, task_demand, gap) = self.gang_job_mix()?;
+                Some(
+                    Sim::pool(w)
+                        .owners(owner)
+                        .gang(gang)
+                        .workload(closed(JobSpec::stream(jobs, tasks, task_demand, gap)))
                         .calibration(10_000.0),
                 )
             }
@@ -268,6 +308,7 @@ mod tests {
             Scenario::PvmValidation,
             Scenario::SchedulerPool,
             Scenario::OpenStream,
+            Scenario::GangPool,
         ];
         let labels: std::collections::HashSet<_> = all.iter().map(|s| s.figure_label()).collect();
         assert_eq!(labels.len(), all.len());
@@ -295,11 +336,39 @@ mod tests {
     #[test]
     fn scheduler_scenarios_lower_to_sim() {
         let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
-        for s in [Scenario::SchedulerPool, Scenario::OpenStream] {
+        for s in [
+            Scenario::SchedulerPool,
+            Scenario::OpenStream,
+            Scenario::GangPool,
+        ] {
             let sim = s.sim(&owner).expect("scheduler scenario").build().unwrap();
             assert!(sim.label().contains("W=16"));
         }
         assert!(Scenario::FixedSize1K.sim(&owner).is_none());
         assert!(Scenario::PvmValidation.sim(&owner).is_none());
+    }
+
+    #[test]
+    fn gang_scenario_parameters() {
+        let s = Scenario::GangPool;
+        assert_eq!(s.workstations(), vec![16]);
+        assert_eq!(s.utilizations(), vec![0.05, 0.10, 0.20]);
+        assert_eq!(s.gang_policy(), Some(GangPolicy::SuspendAll));
+        let (jobs, tasks, demand, gap) = s.gang_job_mix().unwrap();
+        assert!(jobs > 1, "co-allocation needs queue contention");
+        assert!(tasks <= s.workstations()[0], "gangs must fit the pool");
+        assert!(demand > 0.0 && gap > 0.0);
+        assert!(s.gang_sizes().iter().all(|&g| g <= s.workstations()[0]));
+        assert!(
+            s.gang_sizes().contains(&1),
+            "sweep includes the degenerate size"
+        );
+        // The gang lowering carries the policy into the label.
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+        let sim = s.sim(&owner).unwrap().build().unwrap();
+        assert!(sim.label().contains("gang suspend-all"), "{}", sim.label());
+        assert!(Scenario::SchedulerPool.gang_policy().is_none());
+        assert!(Scenario::OpenStream.gang_job_mix().is_none());
+        assert!(Scenario::FixedSize1K.gang_sizes().is_empty());
     }
 }

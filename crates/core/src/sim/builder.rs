@@ -41,10 +41,12 @@
 use crate::sim::error::SimError;
 use crate::sim::report::{Report, ResponseStats, SteadyState};
 use crate::sim::workload::Workload;
+use crate::sweep::parallel_map;
 use nds_cluster::job::JobRunner;
 use nds_cluster::owner::OwnerWorkload;
 use nds_sched::{
-    EvictionPolicy, JobRecord, JobSpec, PlacementKind, QueueDiscipline, SchedConfig, SchedMetrics,
+    EvictionPolicy, GangPolicy, GangStats, JobRecord, JobSpec, PlacementKind, QueueDiscipline,
+    SchedConfig, SchedMetrics,
 };
 use nds_stats::batch_means::{PAPER_BATCHES, PAPER_CONFIDENCE};
 
@@ -116,6 +118,7 @@ pub struct Sim {
     homogeneous: bool,
     placement: PlacementKind,
     eviction: EvictionPolicy,
+    gang: GangPolicy,
     discipline: QueueDiscipline,
     admission_threshold: f64,
     estimator_tau: f64,
@@ -126,6 +129,7 @@ pub struct Sim {
     backend: Backend,
     confidence: f64,
     batches: usize,
+    shards: usize,
     workload: Box<dyn Workload>,
 }
 
@@ -138,6 +142,7 @@ impl Sim {
             owners: None,
             placement: PlacementKind::LeastLoaded,
             eviction: EvictionPolicy::SuspendResume,
+            gang: GangPolicy::Off,
             discipline: QueueDiscipline::Fcfs,
             admission_threshold: 1.0,
             estimator_tau: 1_000.0,
@@ -148,14 +153,20 @@ impl Sim {
             backend: Backend::Auto,
             confidence: PAPER_CONFIDENCE,
             batches: PAPER_BATCHES,
+            shards: 1,
             workload: None,
         }
     }
 
     /// Human-readable experiment description.
     pub fn label(&self) -> String {
+        let gang = if self.gang.is_on() {
+            format!(", gang {}", self.gang.label())
+        } else {
+            String::new()
+        };
         format!(
-            "W={} pool, {} placement, {} eviction, {} queue, {}",
+            "W={} pool, {} placement, {} eviction{gang}, {} queue, {}",
             self.workstations,
             self.placement.name(),
             self.eviction.label(),
@@ -180,6 +191,7 @@ impl Sim {
             jobs,
             placement: self.placement,
             eviction: self.eviction,
+            gang: self.gang,
             discipline: self.discipline,
             admission_threshold: self.admission_threshold,
             estimator_tau: self.estimator_tau,
@@ -201,6 +213,7 @@ impl Sim {
             && jobs[0].arrival == 0.0
             && jobs[0].tasks == self.workstations
             && self.eviction == EvictionPolicy::SuspendResume
+            && !self.gang.is_on()
             && self.admission_threshold >= 1.0
     }
 
@@ -236,6 +249,7 @@ impl Sim {
             // The closed-form runner has no pool to gauge: every
             // station is pinned to its task for the whole run.
             mean_available_machines: 0.0,
+            gang: GangStats::default(),
             jobs: vec![JobRecord {
                 arrival: 0.0,
                 completion: makespan,
@@ -244,29 +258,46 @@ impl Sim {
         }
     }
 
+    /// Execute one replication on the backend the configuration
+    /// resolves to.
+    fn run_one(&self, replication: u64) -> Result<SchedMetrics, SimError> {
+        let jobs = self.workload.generate(self.seed, replication)?;
+        let degenerate = self.is_degenerate(&jobs);
+        match self.backend {
+            Backend::Cluster if !degenerate => Err(SimError::UnsupportedBackend {
+                backend: "cluster",
+                reason: "the closed-form runner serves only the degenerate \
+                         configuration (homogeneous pool, one closed job with \
+                         one task per station, suspend-resume eviction, no gang \
+                         policy, admission threshold >= 1)"
+                    .into(),
+            }),
+            Backend::Cluster => Ok(self.run_cluster(&jobs, replication)),
+            Backend::Auto if degenerate => Ok(self.run_cluster(&jobs, replication)),
+            Backend::Auto | Backend::Sched => Ok(self.lower(replication)?.run()?),
+        }
+    }
+
     /// Execute every replication and assemble the unified report.
+    ///
+    /// With [`SimBuilder::shards`] above one, replications fan out
+    /// across [`crate::sweep`]'s scoped threads — each replication is an
+    /// independent experiment with its own seeded streams and the
+    /// results are spliced back in replication order, so the report is
+    /// byte-identical to the serial path (the engine itself stays
+    /// single-threaded).
     pub fn run(&self) -> Result<Report, SimError> {
+        let reps: Vec<u64> = (0..self.replications).collect();
+        let results: Vec<Result<SchedMetrics, SimError>> = if self.shards > 1 {
+            parallel_map(&reps, self.shards, |&replication| self.run_one(replication))
+        } else {
+            reps.iter().map(|&r| self.run_one(r)).collect()
+        };
         let mut runs = Vec::with_capacity(self.replications as usize);
         let mut responses: Vec<f64> = Vec::new();
         let warmup = self.workload.warmup_jobs();
-        for replication in 0..self.replications {
-            let jobs = self.workload.generate(self.seed, replication)?;
-            let degenerate = self.is_degenerate(&jobs);
-            let metrics = match self.backend {
-                Backend::Cluster if !degenerate => {
-                    return Err(SimError::UnsupportedBackend {
-                        backend: "cluster",
-                        reason: "the closed-form runner serves only the degenerate \
-                                 configuration (homogeneous pool, one closed job with \
-                                 one task per station, suspend-resume eviction, \
-                                 admission threshold >= 1)"
-                            .into(),
-                    });
-                }
-                Backend::Cluster => self.run_cluster(&jobs, replication),
-                Backend::Auto if degenerate => self.run_cluster(&jobs, replication),
-                Backend::Auto | Backend::Sched => self.lower(replication)?.run()?,
-            };
+        for metrics in results {
+            let metrics = metrics?;
             responses.extend(
                 metrics
                     .jobs
@@ -305,6 +336,7 @@ pub struct SimBuilder {
     owners: Option<OwnerSpec>,
     placement: PlacementKind,
     eviction: EvictionPolicy,
+    gang: GangPolicy,
     discipline: QueueDiscipline,
     admission_threshold: f64,
     estimator_tau: f64,
@@ -315,6 +347,7 @@ pub struct SimBuilder {
     backend: Backend,
     confidence: f64,
     batches: usize,
+    shards: usize,
     workload: Option<Box<dyn Workload>>,
 }
 
@@ -339,6 +372,17 @@ impl SimBuilder {
     #[must_use]
     pub fn eviction(mut self, eviction: EvictionPolicy) -> Self {
         self.eviction = eviction;
+        self
+    }
+
+    /// Gang scheduling / co-allocation policy (default: off —
+    /// independent tasks). When on, jobs are admitted all-or-nothing,
+    /// run in lockstep (the paper's barrier-synchronized picture), and
+    /// the gang policy supersedes [`SimBuilder::eviction`] on owner
+    /// returns. Composes with both closed and open workloads.
+    #[must_use]
+    pub fn gang(mut self, gang: GangPolicy) -> Self {
+        self.gang = gang;
         self
     }
 
@@ -416,6 +460,17 @@ impl SimBuilder {
         self
     }
 
+    /// Shard replications across up to this many scoped threads
+    /// (default 1 = serial). Sharding happens at the experiment level —
+    /// each replication keeps its own seeded streams and the engine
+    /// stays single-threaded — so the report is byte-identical to the
+    /// serial path.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The workload to submit — see [`crate::sim::workload`] for the
     /// closed and open implementations.
     #[must_use]
@@ -459,6 +514,15 @@ impl SimBuilder {
         self.eviction
             .validate()
             .map_err(|(field, reason)| SimError::InvalidPolicy { field, reason })?;
+        self.gang
+            .validate()
+            .map_err(|(field, reason)| SimError::InvalidPolicy { field, reason })?;
+        if self.shards == 0 {
+            return Err(SimError::InvalidPool {
+                field: "shards",
+                reason: "need at least one shard".into(),
+            });
+        }
         if !(self.admission_threshold.is_finite() && self.admission_threshold > 0.0) {
             return Err(SimError::InvalidPool {
                 field: "admission_threshold",
@@ -510,6 +574,7 @@ impl SimBuilder {
             homogeneous,
             placement: self.placement,
             eviction: self.eviction,
+            gang: self.gang,
             discipline: self.discipline,
             admission_threshold: self.admission_threshold,
             estimator_tau: self.estimator_tau,
@@ -520,6 +585,7 @@ impl SimBuilder {
             backend: self.backend,
             confidence: self.confidence,
             batches: self.batches,
+            shards: self.shards,
             workload,
         })
     }
@@ -715,6 +781,83 @@ mod tests {
         assert_eq!(cfg.replication, 2);
         assert_eq!(cfg.jobs, vec![JobSpec::at_zero(5, 100.0)]);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn gang_knob_lowers_and_blocks_the_fast_path() {
+        let sim = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::SuspendAll)
+            .workload(single_job(4, 100.0))
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(sim.lower(0).unwrap().gang, GangPolicy::SuspendAll);
+        assert!(sim.label().contains("gang suspend-all"));
+        // A gang policy disqualifies the closed-form cluster runner.
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::SuspendAll)
+            .workload(single_job(4, 100.0))
+            .backend(Backend::Cluster)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedBackend { .. }));
+        // Invalid gang parameters are typed errors.
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::MigrateAll { overhead: -3.0 })
+            .workload(single_job(4, 100.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPolicy { .. }));
+    }
+
+    #[test]
+    fn gang_runs_conserve_work_and_report_gang_metrics() {
+        let report = Sim::pool(6)
+            .owners(owner(0.15))
+            .gang(GangPolicy::SuspendAll)
+            .workload(closed(vec![
+                JobSpec::at_zero(4, 60.0),
+                JobSpec::at_zero(4, 60.0),
+            ]))
+            .seed(9)
+            .run()
+            .unwrap();
+        assert!(report.is_consistent());
+        let m = &report.runs[0];
+        assert_eq!(m.gang.lockstep_violations, 0);
+        assert!(m.gang.gang_starts >= 2);
+        assert!(
+            report.mean_coalloc_wait() > 0.0,
+            "two 4-wide gangs on 6 machines must queue"
+        );
+    }
+
+    #[test]
+    fn sharded_replications_are_byte_identical_to_serial() {
+        let build = |shards| {
+            Sim::pool(6)
+                .owners(owner(0.12))
+                .eviction(EvictionPolicy::Migrate { overhead: 2.0 })
+                .workload(closed(vec![
+                    JobSpec::at_zero(8, 70.0),
+                    JobSpec::at_zero(4, 35.0),
+                ]))
+                .seed(13)
+                .replications(6)
+                .shards(shards)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(build(1), build(4), "sharding must not change the report");
+        assert!(Sim::pool(4)
+            .owners(owner(0.1))
+            .workload(single_job(4, 10.0))
+            .shards(0)
+            .build()
+            .is_err());
     }
 
     #[test]

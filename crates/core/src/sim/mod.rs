@@ -9,7 +9,8 @@
 //!   ([`poisson`], [`periodic`]: the paper's §5 "more complex
 //!   workloads");
 //! * the [`Sim`] builder — pool size, owner populations, placement /
-//!   eviction / queue policies, seeds and replications, lowered
+//!   eviction / gang-scheduling / queue policies, seeds and
+//!   replications (optionally sharded across scoped threads), lowered
 //!   automatically to the cluster runner or the scheduler engine;
 //! * a unified [`Report`] — engine metrics per replication plus
 //!   per-job response-time statistics, with the paper's batch-means

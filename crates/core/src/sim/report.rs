@@ -153,6 +153,30 @@ impl Report {
         self.mean_over(|m| m.mean_queue_wait)
     }
 
+    /// Mean co-allocation wait per gang start, over replications
+    /// (zero for runs without a gang policy).
+    pub fn mean_coalloc_wait(&self) -> f64 {
+        self.mean_over(|m| {
+            if m.gang.gang_starts == 0 {
+                0.0
+            } else {
+                m.gang.coalloc_wait / m.gang.gang_starts as f64
+            }
+        })
+    }
+
+    /// Mean barrier-stall time per replication (member-time frozen
+    /// behind a reclaimed peer while the member's machine was free).
+    pub fn mean_barrier_stall(&self) -> f64 {
+        self.mean_over(|m| m.gang.barrier_stall)
+    }
+
+    /// Mean gang fragmentation per replication (the time-integral of
+    /// free machines no waiting gang could use).
+    pub fn mean_fragmentation(&self) -> f64 {
+        self.mean_over(|m| m.gang.fragmentation)
+    }
+
     /// Whether work conservation held in every replication.
     pub fn is_consistent(&self) -> bool {
         self.runs.iter().all(SchedMetrics::is_consistent)
@@ -184,6 +208,7 @@ mod tests {
             placements: responses.len() as u64,
             mean_queue_wait: 1.0,
             mean_available_machines: 3.0,
+            gang: nds_sched::GangStats::default(),
             jobs: responses
                 .iter()
                 .map(|&r| JobRecord {

@@ -33,8 +33,10 @@ const ARRIVAL_STREAM: &str = "sim-arrivals";
 ///
 /// Implementations are *descriptions*: `generate` materializes the
 /// concrete job list for one `(seed, replication)` pair, so replaying a
-/// configuration reproduces the identical workload.
-pub trait Workload: fmt::Debug {
+/// configuration reproduces the identical workload. Descriptions are
+/// plain data (`Send + Sync`), which lets the builder shard
+/// replications across [`crate::sweep`]'s scoped threads.
+pub trait Workload: fmt::Debug + Send + Sync {
     /// Materialize the job list for one replication, in submission
     /// order.
     fn generate(&self, seed: u64, replication: u64) -> Result<Vec<JobSpec>, SimError>;
@@ -159,7 +161,7 @@ pub fn single_job(tasks: u32, task_demand: f64) -> ClosedJobs {
 }
 
 /// A stationary stream of job inter-arrival times.
-pub trait ArrivalProcess: fmt::Debug {
+pub trait ArrivalProcess: fmt::Debug + Send + Sync {
     /// Draw the next inter-arrival gap.
     fn sample_interarrival(&self, rng: &mut nds_stats::rng::Xoshiro256StarStar) -> f64;
 

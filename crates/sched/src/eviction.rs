@@ -22,6 +22,11 @@
 //! task's progress state at the eviction instant it reports what is
 //! lost, what remains, and what setup cost the next placement pays. The
 //! simulator applies it; the unit tests pin the semantics down.
+//!
+//! These policies act on one task at a time. When a
+//! [`crate::gang::GangPolicy`] is active the gang policy supersedes
+//! them: the whole gang suspends in place or migrates as a unit on any
+//! member's owner return.
 
 /// Smallest accepted checkpoint interval; values at or below the
 /// simulator's work-completion epsilon cannot make forward progress.

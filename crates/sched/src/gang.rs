@@ -1,0 +1,336 @@
+//! Gang scheduling / co-allocation: all-or-nothing jobs.
+//!
+//! The paper's parallel jobs are barrier-synchronized: a job only makes
+//! progress while *all* of its tasks are simultaneously running, so a
+//! single owner reclaiming a workstation stalls the whole gang. The
+//! independent-task engine ([`crate::simulator`]) ignores that coupling
+//! — each task runs and finishes on its own clock. This module supplies
+//! the missing semantics:
+//!
+//! * [`GangPolicy`] — the co-allocation knob on
+//!   [`crate::SchedConfig`]: `Off` keeps the independent-task engine
+//!   (bit-for-bit), `SuspendAll` suspends the entire gang in place when
+//!   any member's owner returns, `MigrateAll` pulls the whole gang back
+//!   into the queue and re-places it as a unit.
+//! * [`GangQueue`] — job-level queue admission: a gang leaves the queue
+//!   only when enough machines are free for *every* task at once
+//!   (strict head-of-line FCFS, or smallest-fitting-gang backfill under
+//!   [`QueueDiscipline::SjfBackfill`]).
+//! * [`GangStats`] — the co-allocation metrics: wait for co-allocation,
+//!   gang fragmentation (free machine-time the waiting gangs could not
+//!   use), and barrier-stall time (member-time frozen behind a peer's
+//!   owner while the member's own machine was free).
+//!
+//! # Relation to the independent engine
+//!
+//! With `tasks = 1` every gang degenerates to a single task:
+//! co-allocation is ordinary placement, suspend-all is suspend-resume,
+//! and the engine reproduces the independent-task scheduler bit-for-bit
+//! (the workspace's `gang_invariants` tests enforce this). With
+//! `GangPolicy::Off` the gang paths are never entered at all.
+
+use crate::queue::QueueDiscipline;
+use std::collections::VecDeque;
+
+/// How a job's tasks are co-scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GangPolicy {
+    /// Independent-task scheduling — the engine's original semantics;
+    /// every task is placed, run, and evicted on its own.
+    #[default]
+    Off,
+    /// All-or-nothing co-allocation; when any member's owner returns
+    /// the entire gang suspends in place (no work is ever lost, but
+    /// every member stalls) and resumes once every member's owner is
+    /// away again.
+    SuspendAll,
+    /// All-or-nothing co-allocation; when any member's owner returns
+    /// the whole gang is pulled back into the queue with its progress
+    /// intact and re-placed as a unit, each task paying `overhead` CPU
+    /// time of setup before the gang computes again.
+    MigrateAll {
+        /// Per-task migration setup cost in CPU time units.
+        overhead: f64,
+    },
+}
+
+impl GangPolicy {
+    /// Whether gang semantics are active.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, Self::Off)
+    }
+
+    /// Short stable name for tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::SuspendAll => "suspend-all",
+            Self::MigrateAll { .. } => "migrate-all",
+        }
+    }
+
+    /// Human-readable label including parameters.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Off => "off".into(),
+            Self::SuspendAll => "suspend-all".into(),
+            Self::MigrateAll { overhead } => format!("migrate-all(c={overhead})"),
+        }
+    }
+
+    /// Parse a CLI-style name (the `MigrateAll` overhead comes from a
+    /// separate flag).
+    pub fn parse(s: &str, overhead: f64) -> Option<Self> {
+        match s {
+            "off" => Some(Self::Off),
+            "suspend-all" | "suspend" => Some(Self::SuspendAll),
+            "migrate-all" | "migrate" => Some(Self::MigrateAll { overhead }),
+            _ => None,
+        }
+    }
+
+    /// Validate policy parameters.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        match *self {
+            Self::Off | Self::SuspendAll => Ok(()),
+            Self::MigrateAll { overhead } => {
+                if overhead.is_finite() && overhead >= 0.0 {
+                    Ok(())
+                } else {
+                    Err((
+                        "gang migrate-all overhead",
+                        format!("{overhead} not finite >= 0"),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Co-allocation metrics accumulated by one scheduler run. All zero
+/// when [`GangPolicy::Off`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GangStats {
+    /// Atomic gang starts (initial co-allocations plus re-placements).
+    pub gang_starts: u64,
+    /// Whole-gang suspensions (an owner reclaimed a member under
+    /// [`GangPolicy::SuspendAll`]).
+    pub gang_suspensions: u64,
+    /// Whole-gang migrations back to the queue
+    /// ([`GangPolicy::MigrateAll`]).
+    pub gang_migrations: u64,
+    /// Total time gangs spent waiting for co-allocation (job-level:
+    /// each queue stay contributes once, not once per task).
+    pub coalloc_wait: f64,
+    /// Member-time stalled behind the barrier: the time-integral, over
+    /// suspended gangs, of members whose own machine was owner-free but
+    /// who could not run because a peer's machine was reclaimed.
+    pub barrier_stall: f64,
+    /// Gang fragmentation: the time-integral of free machines while at
+    /// least one gang waited in the queue — capacity the scheduler
+    /// could not use because no waiting gang fit into it.
+    pub fragmentation: f64,
+    /// Events at which some gang's members disagreed on their
+    /// run/suspend state. Always zero: every state flip goes through
+    /// one choke point that updates all members together, and the
+    /// engine re-verifies the invariant at every gang event. The
+    /// workspace's property tests assert this stays zero.
+    pub lockstep_violations: u64,
+}
+
+/// One gang waiting for co-allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingGang {
+    /// Index of the job this gang realizes.
+    pub job: usize,
+    /// Number of machines the gang needs at once.
+    pub tasks: u32,
+    /// Original per-task demand.
+    pub demand: f64,
+    /// Per-task work still owed.
+    pub remaining: f64,
+    /// Per-task setup owed before computing (migration restore cost).
+    pub setup: f64,
+    /// When this entry joined the queue.
+    pub enqueued_at: f64,
+}
+
+impl PendingGang {
+    /// Total outstanding work of the gang (setup included), the
+    /// quantity shortest-job backfill orders by.
+    pub fn total_outstanding(&self) -> f64 {
+        f64::from(self.tasks) * (self.remaining + self.setup)
+    }
+}
+
+/// Job-level queue admission: gangs leave only when they fit.
+///
+/// Under [`QueueDiscipline::Fcfs`] admission is strict — if the head
+/// gang does not fit, nothing is dispatched (head-of-line blocking is
+/// the price of co-allocation fairness, and what the fragmentation
+/// metric prices). Under [`QueueDiscipline::SjfBackfill`] the smallest
+/// fitting gang (by total outstanding work) jumps ahead.
+#[derive(Debug, Clone, Default)]
+pub struct GangQueue {
+    gangs: VecDeque<PendingGang>,
+}
+
+impl GangQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of waiting gangs.
+    pub fn len(&self) -> usize {
+        self.gangs.len()
+    }
+
+    /// Whether no gang is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.gangs.is_empty()
+    }
+
+    /// Append a gang (arrival-order position).
+    pub fn push(&mut self, gang: PendingGang) {
+        self.gangs.push_back(gang);
+    }
+
+    /// Remove and return the next gang that fits into `free` machines
+    /// under `discipline`, or `None` if nothing dispatchable.
+    pub fn pop_fitting(&mut self, discipline: QueueDiscipline, free: usize) -> Option<PendingGang> {
+        match discipline {
+            QueueDiscipline::Fcfs => {
+                let head = self.gangs.front()?;
+                if head.tasks as usize <= free {
+                    self.gangs.pop_front()
+                } else {
+                    None
+                }
+            }
+            QueueDiscipline::SjfBackfill => {
+                let best = self
+                    .gangs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.tasks as usize <= free)
+                    .min_by(|(_, a), (_, b)| {
+                        a.total_outstanding()
+                            .partial_cmp(&b.total_outstanding())
+                            .expect("demands are finite")
+                    })
+                    .map(|(i, _)| i)?;
+                self.gangs.remove(best)
+            }
+        }
+    }
+
+    /// Total remaining work queued across gangs (setup excluded).
+    pub fn backlog(&self) -> f64 {
+        self.gangs
+            .iter()
+            .map(|g| f64::from(g.tasks) * g.remaining)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gang(job: usize, tasks: u32, remaining: f64) -> PendingGang {
+        PendingGang {
+            job,
+            tasks,
+            demand: remaining,
+            remaining,
+            setup: 0.0,
+            enqueued_at: 0.0,
+        }
+    }
+
+    #[test]
+    fn policy_names_parse_and_validate() {
+        assert_eq!(GangPolicy::parse("off", 0.0), Some(GangPolicy::Off));
+        assert_eq!(
+            GangPolicy::parse("suspend-all", 0.0),
+            Some(GangPolicy::SuspendAll)
+        );
+        assert_eq!(
+            GangPolicy::parse("migrate-all", 3.0),
+            Some(GangPolicy::MigrateAll { overhead: 3.0 })
+        );
+        assert_eq!(GangPolicy::parse("nope", 0.0), None);
+        for p in [
+            GangPolicy::Off,
+            GangPolicy::SuspendAll,
+            GangPolicy::MigrateAll { overhead: 3.0 },
+        ] {
+            assert!(p.validate().is_ok());
+            assert!(p.label().starts_with(p.name().split('(').next().unwrap()));
+        }
+        assert!(GangPolicy::MigrateAll { overhead: -1.0 }
+            .validate()
+            .is_err());
+        assert!(GangPolicy::MigrateAll { overhead: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(!GangPolicy::Off.is_on());
+        assert!(GangPolicy::SuspendAll.is_on());
+        assert_eq!(GangPolicy::default(), GangPolicy::Off);
+    }
+
+    #[test]
+    fn fcfs_admission_is_strict_head_of_line() {
+        let mut q = GangQueue::new();
+        q.push(gang(0, 4, 50.0));
+        q.push(gang(1, 1, 10.0));
+        // Head needs 4; only 2 free: nothing dispatches, even though
+        // the second gang would fit.
+        assert_eq!(q.pop_fitting(QueueDiscipline::Fcfs, 2), None);
+        assert_eq!(q.len(), 2);
+        // 4 free: the head goes first.
+        assert_eq!(q.pop_fitting(QueueDiscipline::Fcfs, 4).unwrap().job, 0);
+        assert_eq!(q.pop_fitting(QueueDiscipline::Fcfs, 4).unwrap().job, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backfill_admits_the_smallest_fitting_gang() {
+        let mut q = GangQueue::new();
+        q.push(gang(0, 4, 50.0)); // 200 outstanding, does not fit
+        q.push(gang(1, 2, 30.0)); // 60 outstanding, fits
+        q.push(gang(2, 2, 10.0)); // 20 outstanding, fits — smallest
+        assert_eq!(
+            q.pop_fitting(QueueDiscipline::SjfBackfill, 2).unwrap().job,
+            2
+        );
+        assert_eq!(
+            q.pop_fitting(QueueDiscipline::SjfBackfill, 2).unwrap().job,
+            1
+        );
+        assert_eq!(q.pop_fitting(QueueDiscipline::SjfBackfill, 2), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn backfill_counts_setup_toward_outstanding_work() {
+        let mut q = GangQueue::new();
+        let mut a = gang(0, 2, 10.0);
+        a.setup = 25.0; // 70 total
+        q.push(a);
+        q.push(gang(1, 2, 30.0)); // 60 total
+        assert_eq!(
+            q.pop_fitting(QueueDiscipline::SjfBackfill, 2).unwrap().job,
+            1
+        );
+    }
+
+    #[test]
+    fn backlog_sums_per_task_remaining() {
+        let mut q = GangQueue::new();
+        q.push(gang(0, 4, 50.0));
+        q.push(gang(1, 2, 10.0));
+        assert_eq!(q.backlog(), 220.0);
+    }
+}

@@ -19,6 +19,10 @@
 //!   [`policy::LeastLoadedPlacement`].
 //! * [`eviction`] — owner-return handling: Restart, Suspend/Resume
 //!   (the paper's assumption), Migrate, and periodic Checkpoint.
+//! * [`gang`] — gang scheduling / co-allocation: all-or-nothing job
+//!   admission, lockstep (barrier-synchronized) execution, and
+//!   suspend-all or migrate-as-a-unit reclaim semantics, with
+//!   co-allocation wait / fragmentation / barrier-stall metrics.
 //! * [`queue`] — a central job queue (FCFS and shortest-job backfill)
 //!   feeding multi-job workloads.
 //! * [`metrics`] — makespan, goodput, wasted work, checkpoint
@@ -55,6 +59,7 @@
 
 pub mod error;
 pub mod eviction;
+pub mod gang;
 pub mod metrics;
 pub mod policy;
 pub mod pool;
@@ -63,6 +68,7 @@ pub mod simulator;
 
 pub use error::SchedError;
 pub use eviction::{on_eviction, EvictionOutcome, EvictionPolicy};
+pub use gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 pub use metrics::{JobRecord, SchedMetrics};
 pub use policy::{CandidateMachine, PlacementKind, PlacementPolicy};
 pub use pool::{Pool, UtilizationEstimator};

@@ -13,6 +13,13 @@
 //! ([`SchedMetrics::accounting_residual`]) is the scheduler's analogue
 //! of [`nds_cluster::TaskOutcome::is_consistent`] and is enforced by the
 //! workspace's invariant tests.
+//!
+//! Gang-scheduled runs ([`crate::gang::GangPolicy`]) additionally carry
+//! co-allocation metrics in [`SchedMetrics::gang`]; the same
+//! conservation invariant covers them (a gang's delivered CPU is the
+//! sum over its members).
+
+use crate::gang::GangStats;
 
 /// Completion record for one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +70,9 @@ pub struct SchedMetrics {
     pub mean_queue_wait: f64,
     /// Time-averaged count of available (idle, unoccupied) machines.
     pub mean_available_machines: f64,
+    /// Co-allocation metrics (all zero unless the run used a
+    /// [`crate::gang::GangPolicy`] other than `Off`).
+    pub gang: GangStats,
     /// Per-job completion records, in submission order.
     pub jobs: Vec<JobRecord>,
 }
@@ -127,6 +137,7 @@ mod tests {
             placements: 9,
             mean_queue_wait: 1.5,
             mean_available_machines: 3.2,
+            gang: GangStats::default(),
             jobs: vec![
                 JobRecord {
                     arrival: 0.0,

@@ -11,6 +11,10 @@
 //! * [`QueueDiscipline::SjfBackfill`] — shortest-remaining-work first:
 //!   short tasks backfill stolen cycles ahead of long ones (ties fall
 //!   back to arrival order).
+//!
+//! Under a [`crate::gang::GangPolicy`] the task-level queue is replaced
+//! by the job-level [`crate::gang::GangQueue`], which applies the same
+//! two disciplines to whole gangs (all-or-nothing admission).
 
 use std::collections::VecDeque;
 
@@ -39,6 +43,20 @@ impl JobSpec {
     /// Total CPU demand of the job.
     pub fn total_demand(&self) -> f64 {
         f64::from(self.tasks) * self.task_demand
+    }
+
+    /// A uniform stream of `jobs` identical jobs — `tasks` tasks of
+    /// `task_demand` each — arriving `gap` time units apart starting at
+    /// zero. The workload shape shared by the scheduler scenarios, the
+    /// bench sweeps, and the CLI.
+    pub fn stream(jobs: u32, tasks: u32, task_demand: f64, gap: f64) -> Vec<Self> {
+        (0..jobs)
+            .map(|j| Self {
+                tasks,
+                task_demand,
+                arrival: f64::from(j) * gap,
+            })
+            .collect()
     }
 }
 
@@ -205,5 +223,17 @@ mod tests {
         assert_eq!(j.total_demand(), 800.0);
         assert_eq!(QueueDiscipline::Fcfs.name(), "fcfs");
         assert_eq!(QueueDiscipline::SjfBackfill.name(), "sjf-backfill");
+    }
+
+    #[test]
+    fn stream_spaces_identical_jobs() {
+        let jobs = JobSpec::stream(3, 4, 50.0, 25.0);
+        assert_eq!(jobs.len(), 3);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.tasks, 4);
+            assert_eq!(j.task_demand, 50.0);
+            assert_eq!(j.arrival, 25.0 * i as f64);
+        }
+        assert!(JobSpec::stream(0, 4, 50.0, 25.0).is_empty());
     }
 }

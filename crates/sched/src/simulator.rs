@@ -9,10 +9,24 @@
 //!   hosting a guest task triggers the configured
 //!   [`EvictionPolicy`].
 //! * **Job arrival** — pushes the job's tasks into the central
-//!   [`JobQueue`].
+//!   [`JobQueue`] (or, under a [`GangPolicy`], the whole job into the
+//!   co-allocation [`GangQueue`]).
 //! * **Segment end** — guest execution is sliced into segments (setup,
 //!   work, checkpoint-write); the end of each either completes the task
 //!   or starts the next segment.
+//!
+//! # Job-level vs task-level scheduling events
+//!
+//! The original engine only knew task-level events: each task was
+//! placed, ran, and was evicted independently. Gang scheduling
+//! ([`crate::gang`]) makes the job the schedulable unit — a gang is
+//! admitted only when every task fits at once, starts atomically,
+//! progresses in lockstep (the paper's barrier-synchronized picture),
+//! and reacts to any member's owner return as a whole (suspend-all or
+//! migrate-as-a-unit). With [`GangPolicy::Off`] none of the gang paths
+//! are entered and the engine behaves exactly as before; with gangs of
+//! one task it reproduces the independent-task scheduler bit-for-bit
+//! (both equivalences are enforced by `tests/gang_invariants.rs`).
 //!
 //! # Reproducibility
 //!
@@ -27,6 +41,7 @@
 
 use crate::error::SchedError;
 use crate::eviction::{on_eviction, EvictionPolicy};
+use crate::gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 use crate::metrics::{JobRecord, SchedMetrics};
 use crate::policy::{PlacementKind, PlacementPolicy};
 use crate::pool::Pool;
@@ -53,6 +68,11 @@ pub struct SchedConfig {
     pub placement: PlacementKind,
     /// Owner-return policy.
     pub eviction: EvictionPolicy,
+    /// Gang scheduling / co-allocation policy. When not `Off`, jobs are
+    /// admitted all-or-nothing, run in lockstep, and the gang policy
+    /// supersedes `eviction` (the whole gang suspends or migrates as a
+    /// unit on any member's owner return).
+    pub gang: GangPolicy,
     /// Central queue ordering.
     pub discipline: QueueDiscipline,
     /// Maximum estimated owner utilization at which a machine is still
@@ -81,6 +101,7 @@ impl SchedConfig {
             jobs,
             placement: PlacementKind::LeastLoaded,
             eviction: EvictionPolicy::SuspendResume,
+            gang: GangPolicy::Off,
             discipline: QueueDiscipline::Fcfs,
             admission_threshold: 1.0,
             estimator_tau: 1_000.0,
@@ -134,6 +155,24 @@ impl SchedConfig {
         }
         if let Err((field, reason)) = self.eviction.validate() {
             return invalid(field, reason);
+        }
+        if let Err((field, reason)) = self.gang.validate() {
+            return invalid(field, reason);
+        }
+        if self.gang.is_on() {
+            for (i, j) in self.jobs.iter().enumerate() {
+                if j.tasks as usize > self.owners.len() {
+                    return invalid(
+                        "jobs",
+                        format!(
+                            "job {i} needs {} machines at once but the pool has {}: \
+                             the gang can never be co-allocated",
+                            j.tasks,
+                            self.owners.len()
+                        ),
+                    );
+                }
+            }
         }
         Ok(())
     }
@@ -201,6 +240,22 @@ impl SchedConfig {
             .collect();
         let jobs_remaining = jobs.len();
 
+        let gangs: Vec<GangState> = if self.gang.is_on() {
+            self.jobs
+                .iter()
+                .map(|spec| GangState {
+                    members: Vec::new(),
+                    member_running: Vec::new(),
+                    demand: spec.task_demand,
+                    remaining: spec.task_demand,
+                    setup_left: 0.0,
+                    phase: GangPhase::Queued,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let sim = Rc::new(RefCell::new(Sim {
             machines,
             pool: Pool::new(
@@ -216,6 +271,14 @@ impl SchedConfig {
             placement: self.placement.build(),
             placement_rng: factory.labeled_stream("sched-placement", self.replication),
             eviction: self.eviction,
+            gang_policy: self.gang,
+            gangs,
+            gang_queue: GangQueue::new(),
+            machine_gang: vec![None; w],
+            gacc: GangStats::default(),
+            frag_t: 0.0,
+            frag_free: 0,
+            frag_waiting: false,
             discipline: self.discipline,
             acc: Acc::default(),
             makespan: 0.0,
@@ -253,6 +316,7 @@ impl SchedConfig {
         let makespan = st.makespan;
         let mean_available_machines = st.pool.mean_available(makespan);
         let acc = st.acc;
+        let gacc = st.gacc;
         Ok(SchedMetrics {
             makespan,
             delivered: acc.delivered,
@@ -272,6 +336,7 @@ impl SchedConfig {
                 acc.total_wait / acc.placements as f64
             },
             mean_available_machines,
+            gang: gacc,
             jobs: st.jobs.iter().map(|j| j.record).collect(),
         })
     }
@@ -346,6 +411,46 @@ struct Acc {
     total_wait: f64,
 }
 
+/// One gang's live state (only populated when a [`GangPolicy`] is on).
+#[derive(Debug, Clone)]
+struct GangState {
+    /// Machines currently hosting the gang (empty while queued).
+    members: Vec<usize>,
+    /// Per-member run flag, flipped only through [`set_gang_running`]
+    /// so members can never disagree; [`verify_lockstep`] re-checks the
+    /// invariant at every gang event.
+    member_running: Vec<bool>,
+    /// Original per-task demand.
+    demand: f64,
+    /// Per-task work still owed.
+    remaining: f64,
+    /// Per-task setup owed before computing (migrate-all restore).
+    setup_left: f64,
+    phase: GangPhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GangPhase {
+    /// Waiting in the co-allocation queue (or not yet arrived).
+    Queued,
+    /// All members executing the current segment in lockstep.
+    Running {
+        is_setup: bool,
+        /// Scheduled segment length (used exactly at segment end, like
+        /// the independent engine's `Segment::len`, so float round-off
+        /// from clock arithmetic never leaks into the accounting).
+        len: f64,
+        slice_start: f64,
+        event: EventId,
+    },
+    /// Frozen in place: `busy` member machines are reclaimed by their
+    /// owners; `last_t` is when the barrier-stall integral was last
+    /// accrued.
+    Suspended { busy: u32, last_t: f64 },
+    /// Every task completed.
+    Done,
+}
+
 struct Sim {
     machines: Vec<MachineSim>,
     pool: Pool,
@@ -356,6 +461,19 @@ struct Sim {
     placement: Box<dyn PlacementPolicy>,
     placement_rng: Xoshiro256StarStar,
     eviction: EvictionPolicy,
+    gang_policy: GangPolicy,
+    /// Per-job gang state (parallel to `jobs`; empty when gangs off).
+    gangs: Vec<GangState>,
+    gang_queue: GangQueue,
+    /// Which gang (job index) occupies each machine, if any.
+    machine_gang: Vec<Option<usize>>,
+    gacc: GangStats,
+    /// Last time the fragmentation integral was accrued.
+    frag_t: f64,
+    /// Free-machine count as of `frag_t`.
+    frag_free: usize,
+    /// Whether a gang was waiting as of `frag_t`.
+    frag_waiting: bool,
     discipline: QueueDiscipline,
     acc: Acc,
     makespan: f64,
@@ -477,18 +595,38 @@ fn job_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
     {
         let mut st = sim.borrow_mut();
         let spec = st.specs[j];
-        for task in 0..spec.tasks {
-            st.queue.push(PendingTask {
+        if st.gang_policy.is_on() {
+            st.gang_queue.push(PendingGang {
                 job: j,
-                task,
+                tasks: spec.tasks,
                 demand: spec.task_demand,
                 remaining: spec.task_demand,
                 setup: 0.0,
                 enqueued_at: now,
             });
+        } else {
+            for task in 0..spec.tasks {
+                st.queue.push(PendingTask {
+                    job: j,
+                    task,
+                    demand: spec.task_demand,
+                    remaining: spec.task_demand,
+                    setup: 0.0,
+                    enqueued_at: now,
+                });
+            }
         }
     }
-    dispatch(engine, sim);
+    dispatch_any(engine, sim);
+}
+
+/// Route to the dispatcher matching the scheduling mode.
+fn dispatch_any(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
+    if sim.borrow().gang_policy.is_on() {
+        gang_dispatch(engine, sim);
+    } else {
+        dispatch(engine, sim);
+    }
 }
 
 /// Match queued tasks to available machines until either runs out.
@@ -539,88 +677,410 @@ fn owner_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
         }
         let st = &mut *st;
         st.pool.owner_transition(now, m, true);
-        let mut requeued = false;
-        if let Some(mut guest) = st.machines[m].guest.take() {
-            let run = guest
-                .run
-                .take()
-                .expect("owner was away, so the guest was running");
-            engine.cancel(run.event);
-            let elapsed = now - run.slice_start;
-            st.acc.delivered += elapsed;
-            match run.segment {
-                // An interrupted restore is redone in full next time.
-                Segment::Setup { .. } => st.acc.wasted += elapsed,
-                // An aborted checkpoint write is still overhead.
-                Segment::CkptWrite { .. } => st.acc.ckpt += elapsed,
-                Segment::Work { .. } => {
-                    guest.remaining -= elapsed;
-                    guest.since_ckpt += elapsed;
-                }
-            }
-            st.acc.evictions += 1;
-            match st.eviction {
-                EvictionPolicy::SuspendResume => {
-                    st.acc.suspensions += 1;
-                    st.machines[m].guest = Some(guest);
-                }
-                policy => {
-                    let out = on_eviction(policy, guest.demand, guest.remaining, guest.since_ckpt);
-                    st.acc.wasted += out.lost;
-                    match policy {
-                        EvictionPolicy::Restart => st.acc.restarts += 1,
-                        EvictionPolicy::Migrate { .. } => st.acc.migrations += 1,
-                        _ => {}
-                    }
-                    st.pool.set_occupied(now, m, false);
-                    st.queue.push(PendingTask {
-                        job: guest.job,
-                        task: guest.task,
-                        demand: guest.demand,
-                        remaining: out.new_remaining,
-                        setup: out.setup,
-                        enqueued_at: now,
-                    });
-                    requeued = true;
-                }
-            }
+        if st.gang_policy.is_on() {
+            let redispatch = gang_owner_reclaim(engine, st, now, m);
+            let mach = &mut st.machines[m];
+            let service = mach.owner.sample_service(&mut mach.rng);
+            (service, redispatch)
+        } else {
+            owner_reclaim_task(engine, st, now, m)
         }
-        let mach = &mut st.machines[m];
-        let service = mach.owner.sample_service(&mut mach.rng);
-        (service, requeued)
     };
     let sc = Rc::clone(sim);
     engine
         .schedule_in(SimTime::new(service), move |e| owner_departure(e, &sc, m))
         .expect("service time is positive");
     if requeued {
-        dispatch(engine, sim);
+        dispatch_any(engine, sim);
     }
+}
+
+/// Independent-task owner reclaim: evict (or suspend) the guest on
+/// machine `m` per the configured [`EvictionPolicy`], then sample the
+/// owner's service time. Returns `(service, requeued)`.
+fn owner_reclaim_task(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> (f64, bool) {
+    let mut requeued = false;
+    if let Some(mut guest) = st.machines[m].guest.take() {
+        let run = guest
+            .run
+            .take()
+            .expect("owner was away, so the guest was running");
+        engine.cancel(run.event);
+        let elapsed = now - run.slice_start;
+        st.acc.delivered += elapsed;
+        match run.segment {
+            // An interrupted restore is redone in full next time.
+            Segment::Setup { .. } => st.acc.wasted += elapsed,
+            // An aborted checkpoint write is still overhead.
+            Segment::CkptWrite { .. } => st.acc.ckpt += elapsed,
+            Segment::Work { .. } => {
+                guest.remaining -= elapsed;
+                guest.since_ckpt += elapsed;
+            }
+        }
+        st.acc.evictions += 1;
+        match st.eviction {
+            EvictionPolicy::SuspendResume => {
+                st.acc.suspensions += 1;
+                st.machines[m].guest = Some(guest);
+            }
+            policy => {
+                let out = on_eviction(policy, guest.demand, guest.remaining, guest.since_ckpt);
+                st.acc.wasted += out.lost;
+                match policy {
+                    EvictionPolicy::Restart => st.acc.restarts += 1,
+                    EvictionPolicy::Migrate { .. } => st.acc.migrations += 1,
+                    _ => {}
+                }
+                st.pool.set_occupied(now, m, false);
+                st.queue.push(PendingTask {
+                    job: guest.job,
+                    task: guest.task,
+                    demand: guest.demand,
+                    remaining: out.new_remaining,
+                    setup: out.setup,
+                    enqueued_at: now,
+                });
+                requeued = true;
+            }
+        }
+    }
+    let mach = &mut st.machines[m];
+    let service = mach.owner.sample_service(&mut mach.rng);
+    (service, requeued)
+}
+
+/// What an owner departure unblocks.
+enum Departure {
+    /// Resume the suspended independent task in place.
+    ResumeTask,
+    /// Resume the whole suspended gang (every member's owner is away).
+    ResumeGang(usize),
+    /// Nothing aboard: the machine may serve the queue.
+    Dispatch,
+    /// A gang member whose gang is still pinned by other owners.
+    Nothing,
 }
 
 /// An owner leaves their machine idle again.
 fn owner_departure(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
     let now = engine.now().as_f64();
-    let (resume, think) = {
+    let (action, think) = {
         let mut st = sim.borrow_mut();
         if st.done {
             return;
         }
         let st = &mut *st;
         st.pool.owner_transition(now, m, false);
-        let resume = st.machines[m].guest.is_some();
+        let action = if st.gang_policy.is_on() {
+            gang_owner_release(st, now, m)
+        } else if st.machines[m].guest.is_some() {
+            Departure::ResumeTask
+        } else {
+            Departure::Dispatch
+        };
         let mach = &mut st.machines[m];
         let think = mach.owner.sample_think(&mut mach.rng);
-        (resume, think)
+        (action, think)
     };
     let sc = Rc::clone(sim);
     engine
         .schedule_in(SimTime::new(think), move |e| owner_arrival(e, &sc, m))
         .expect("think time is non-negative");
-    if resume {
-        start_segment(engine, sim, m);
-    } else {
-        dispatch(engine, sim);
+    match action {
+        Departure::ResumeTask => start_segment(engine, sim, m),
+        Departure::ResumeGang(j) => start_gang_segment(engine, sim, j),
+        Departure::Dispatch => dispatch_any(engine, sim),
+        Departure::Nothing => {}
+    }
+}
+
+/// Flip every member's run flag together — the one choke point through
+/// which a gang's run/suspend state ever changes.
+fn set_gang_running(gang: &mut GangState, on: bool) {
+    for r in &mut gang.member_running {
+        *r = on;
+    }
+}
+
+/// Re-verify the lockstep invariant across every gang: members of one
+/// job must agree on their run/suspend state at every event.
+fn verify_lockstep(st: &mut Sim) {
+    for g in &st.gangs {
+        let running = g.member_running.iter().filter(|&&r| r).count();
+        if running != 0 && running != g.member_running.len() {
+            st.gacc.lockstep_violations += 1;
+        }
+    }
+}
+
+/// Accrue the gang-fragmentation integral over `[frag_t, now]` with the
+/// state recorded at the last checkpoint, then re-snapshot. Called
+/// after every gang-mode event that can change the free-machine count
+/// or the queue's waiting state.
+fn frag_update(st: &mut Sim, now: f64) {
+    if st.frag_waiting {
+        st.gacc.fragmentation += (now - st.frag_t) * st.frag_free as f64;
+    }
+    st.frag_t = now;
+    st.frag_waiting = !st.gang_queue.is_empty();
+    st.frag_free = st.pool.candidates().len();
+}
+
+/// Owner reclaim on machine `m` under a gang policy. Returns whether
+/// machines were freed (so the queue should be re-dispatched).
+fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> bool {
+    let Some(j) = st.machine_gang[m] else {
+        frag_update(st, now);
+        return false;
+    };
+    let policy = st.gang_policy;
+    let redispatch = match st.gangs[j].phase {
+        GangPhase::Running {
+            is_setup,
+            slice_start,
+            event,
+            ..
+        } => {
+            engine.cancel(event);
+            let gang = &mut st.gangs[j];
+            let k = gang.members.len() as f64;
+            let elapsed = now - slice_start;
+            st.acc.delivered += k * elapsed;
+            if is_setup {
+                // An interrupted restore is redone in full next time.
+                st.acc.wasted += k * elapsed;
+            } else {
+                gang.remaining -= elapsed;
+            }
+            st.acc.evictions += 1;
+            match policy {
+                GangPolicy::SuspendAll => {
+                    st.acc.suspensions += 1;
+                    st.gacc.gang_suspensions += 1;
+                    set_gang_running(gang, false);
+                    gang.phase = GangPhase::Suspended {
+                        busy: 1,
+                        last_t: now,
+                    };
+                    false
+                }
+                GangPolicy::MigrateAll { overhead } => {
+                    // One eviction event resolved by one (whole-gang)
+                    // migration: like `evictions` and `suspensions`,
+                    // `migrations` counts events, so the policies stay
+                    // comparable (per-task moves = gang_migrations x
+                    // gang size).
+                    st.acc.migrations += 1;
+                    st.gacc.gang_migrations += 1;
+                    set_gang_running(gang, false);
+                    gang.phase = GangPhase::Queued;
+                    gang.setup_left = overhead;
+                    gang.member_running.clear();
+                    let members = std::mem::take(&mut gang.members);
+                    let pending = PendingGang {
+                        job: j,
+                        tasks: members.len() as u32,
+                        demand: gang.demand,
+                        remaining: gang.remaining,
+                        setup: overhead,
+                        enqueued_at: now,
+                    };
+                    for &mm in &members {
+                        st.pool.set_occupied(now, mm, false);
+                        st.machine_gang[mm] = None;
+                    }
+                    st.gang_queue.push(pending);
+                    true
+                }
+                GangPolicy::Off => unreachable!("gang paths need a gang policy"),
+            }
+        }
+        GangPhase::Suspended { busy, last_t } => {
+            // Another member machine reclaimed while the gang already
+            // sleeps: extend the stall bookkeeping, nothing to evict.
+            let gang = &mut st.gangs[j];
+            let k = gang.members.len() as u32;
+            st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+            gang.phase = GangPhase::Suspended {
+                busy: busy + 1,
+                last_t: now,
+            };
+            false
+        }
+        GangPhase::Queued | GangPhase::Done => {
+            unreachable!("machines only map to placed, unfinished gangs")
+        }
+    };
+    frag_update(st, now);
+    verify_lockstep(st);
+    redispatch
+}
+
+/// Owner departure on machine `m` under a gang policy: wake the gang
+/// once every member's owner is away, or offer the machine to the
+/// queue.
+fn gang_owner_release(st: &mut Sim, now: f64, m: usize) -> Departure {
+    let Some(j) = st.machine_gang[m] else {
+        return Departure::Dispatch;
+    };
+    let gang = &mut st.gangs[j];
+    let k = gang.members.len() as u32;
+    match gang.phase {
+        GangPhase::Suspended { busy, last_t } => {
+            st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+            if busy == 1 {
+                // Phase flips to Running inside start_gang_segment.
+                Departure::ResumeGang(j)
+            } else {
+                gang.phase = GangPhase::Suspended {
+                    busy: busy - 1,
+                    last_t: now,
+                };
+                Departure::Nothing
+            }
+        }
+        // A running gang implies every member's owner is away, and a
+        // queued/done gang holds no machines: an owner departing a
+        // member machine can only find the gang suspended.
+        GangPhase::Running { .. } | GangPhase::Queued | GangPhase::Done => {
+            unreachable!("owner departs a member machine only while the gang sleeps")
+        }
+    }
+}
+
+/// Match waiting gangs to free machines until nothing more fits.
+fn gang_dispatch(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
+    loop {
+        let started = {
+            let mut st = sim.borrow_mut();
+            let st = &mut *st;
+            let now = engine.now().as_f64();
+            if st.done || st.gang_queue.is_empty() {
+                frag_update(st, now);
+                return;
+            }
+            let candidates = st.pool.candidates();
+            let Some(pending) = st.gang_queue.pop_fitting(st.discipline, candidates.len()) else {
+                frag_update(st, now);
+                return;
+            };
+            let j = pending.job;
+            let k = pending.tasks as usize;
+            let mut cands = candidates;
+            let mut members = Vec::with_capacity(k);
+            for _ in 0..k {
+                let chosen = st.placement.choose(&cands, &mut st.placement_rng);
+                let m = cands[chosen].machine;
+                cands.remove(chosen);
+                st.pool.set_occupied(now, m, true);
+                st.machine_gang[m] = Some(j);
+                members.push(m);
+            }
+            st.acc.placements += k as u64;
+            st.acc.total_wait += k as f64 * (now - pending.enqueued_at);
+            st.gacc.gang_starts += 1;
+            st.gacc.coalloc_wait += now - pending.enqueued_at;
+            let gang = &mut st.gangs[j];
+            gang.member_running = vec![false; k];
+            gang.members = members;
+            frag_update(st, now);
+            j
+        };
+        start_gang_segment(engine, sim, started);
+    }
+}
+
+/// Begin the gang's next lockstep segment (setup after a migration,
+/// else the whole remaining work — gangs only stop when interrupted).
+fn start_gang_segment(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
+    let delay = {
+        let mut st = sim.borrow_mut();
+        let st = &mut *st;
+        let now = engine.now().as_f64();
+        let gang = &mut st.gangs[j];
+        let (len, is_setup) = if gang.setup_left > 0.0 {
+            (gang.setup_left, true)
+        } else {
+            (gang.remaining.max(0.0), false)
+        };
+        gang.phase = GangPhase::Running {
+            is_setup,
+            len,
+            slice_start: now,
+            event: 0,
+        };
+        set_gang_running(gang, true);
+        verify_lockstep(st);
+        len
+    };
+    let sc = Rc::clone(sim);
+    let ev = engine
+        .schedule_in(SimTime::new(delay), move |e| gang_segment_end(e, &sc, j))
+        .expect("gang segment length is non-negative");
+    if let GangPhase::Running { event, .. } = &mut sim.borrow_mut().gangs[j].phase {
+        *event = ev;
+    }
+}
+
+/// A gang segment ran to completion undisturbed.
+fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
+    let now = engine.now().as_f64();
+    let completed = {
+        let mut st = sim.borrow_mut();
+        let st = &mut *st;
+        let gang = &mut st.gangs[j];
+        let GangPhase::Running { is_setup, len, .. } = gang.phase else {
+            unreachable!("gang segments end only while running")
+        };
+        let k = gang.members.len() as f64;
+        st.acc.delivered += k * len;
+        if is_setup {
+            // Migration restore: wasted work, then compute for real.
+            st.acc.wasted += k * len;
+            gang.setup_left = 0.0;
+            false
+        } else {
+            gang.remaining -= len;
+            // Work segments span the whole remaining demand, so an
+            // undisturbed end is always a completion.
+            true
+        }
+    };
+    if !completed {
+        start_gang_segment(engine, sim, j);
+        return;
+    }
+    let all_done = {
+        let mut st = sim.borrow_mut();
+        let st = &mut *st;
+        let gang = &mut st.gangs[j];
+        set_gang_running(gang, false);
+        gang.phase = GangPhase::Done;
+        gang.member_running.clear();
+        let demand = gang.demand;
+        let members = std::mem::take(&mut gang.members);
+        for &m in &members {
+            st.pool.set_occupied(now, m, false);
+            st.machine_gang[m] = None;
+        }
+        let k = members.len();
+        st.acc.goodput += k as f64 * demand;
+        st.acc.completed_tasks += k as u64;
+        let job = &mut st.jobs[j];
+        job.tasks_left = 0;
+        job.record.completion = now;
+        st.jobs_remaining -= 1;
+        if st.jobs_remaining == 0 {
+            st.done = true;
+            st.makespan = now;
+        }
+        frag_update(st, now);
+        verify_lockstep(st);
+        st.done
+    };
+    if !all_done {
+        gang_dispatch(engine, sim);
     }
 }
 
@@ -784,6 +1244,132 @@ mod tests {
         let mut c = good;
         c.admission_threshold = 0.0;
         assert!(c.run().is_err());
+    }
+
+    fn gang_config(policy: GangPolicy) -> SchedConfig {
+        let mut cfg = SchedConfig::homogeneous(
+            8,
+            &owner(0.15),
+            vec![
+                JobSpec::at_zero(4, 60.0),
+                JobSpec {
+                    tasks: 6,
+                    task_demand: 40.0,
+                    arrival: 30.0,
+                },
+                JobSpec {
+                    tasks: 2,
+                    task_demand: 80.0,
+                    arrival: 60.0,
+                },
+            ],
+        );
+        cfg.gang = policy;
+        cfg.seed = 424;
+        cfg
+    }
+
+    #[test]
+    fn gang_suspend_all_conserves_and_stalls() {
+        let m = gang_config(GangPolicy::SuspendAll).run().unwrap();
+        assert_eq!(m.completed_tasks, 12);
+        assert_eq!(m.wasted, 0.0, "suspend-all never loses work");
+        assert!((m.goodput - m.total_demand).abs() < 1e-9);
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+        assert!(m.gang.gang_suspensions > 0, "15% owners must interfere");
+        assert_eq!(m.gang.gang_suspensions, m.suspensions);
+        assert!(
+            m.gang.barrier_stall > 0.0,
+            "peers with free machines must stall behind reclaimed members"
+        );
+        assert_eq!(m.gang.lockstep_violations, 0);
+        assert!(
+            m.gang.gang_starts >= 3,
+            "each job co-allocates at least once"
+        );
+        assert_eq!(m.placements, 12, "one placement per task under suspend-all");
+    }
+
+    #[test]
+    fn gang_migrate_all_moves_as_a_unit() {
+        let m = gang_config(GangPolicy::MigrateAll { overhead: 2.0 })
+            .run()
+            .unwrap();
+        assert_eq!(m.completed_tasks, 12);
+        assert!(m.gang.gang_migrations > 0);
+        assert_eq!(
+            m.migrations, m.gang.gang_migrations,
+            "migrations count eviction events, one per whole-gang move"
+        );
+        assert_eq!(
+            m.evictions, m.migrations,
+            "every reclaim resolves by migrating"
+        );
+        assert!(m.wasted > 0.0, "migration setup is wasted CPU");
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+        assert!((m.goodput - m.total_demand).abs() < 1e-9);
+        assert_eq!(m.gang.lockstep_violations, 0);
+        assert_eq!(
+            m.gang.barrier_stall, 0.0,
+            "migrate-all never sleeps in place"
+        );
+        assert!(
+            m.gang.gang_starts == m.gang.gang_migrations + 3,
+            "every migration re-co-allocates once: {} starts, {} migrations",
+            m.gang.gang_starts,
+            m.gang.gang_migrations
+        );
+    }
+
+    // (The gang-of-one bit-for-bit equivalence with the independent
+    // engine lives in the workspace suite, tests/gang_invariants.rs,
+    // which sweeps every placement policy and queue discipline.)
+
+    #[test]
+    fn gang_fragmentation_prices_unusable_free_machines() {
+        // One long-running wide gang monopolizes the pool while a
+        // second wide gang waits: machines freed by owner cycles stay
+        // unusable for the waiting gang.
+        let mut cfg = SchedConfig::homogeneous(
+            4,
+            &owner(0.10),
+            vec![JobSpec::at_zero(4, 120.0), JobSpec::at_zero(4, 120.0)],
+        );
+        cfg.gang = GangPolicy::SuspendAll;
+        cfg.seed = 7;
+        let m = cfg.run().unwrap();
+        assert!(
+            m.gang.coalloc_wait > 0.0,
+            "the second gang must wait for the first"
+        );
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn gang_rejects_jobs_wider_than_the_pool() {
+        let mut cfg = SchedConfig::homogeneous(4, &owner(0.10), vec![JobSpec::at_zero(5, 50.0)]);
+        cfg.gang = GangPolicy::SuspendAll;
+        assert!(matches!(
+            cfg.run(),
+            Err(SchedError::InvalidConfig { field: "jobs", .. })
+        ));
+        // The same job is fine without co-allocation.
+        cfg.gang = GangPolicy::Off;
+        assert!(cfg.run().is_ok());
+        // And bad migrate-all overheads are typed errors.
+        cfg.gang = GangPolicy::MigrateAll { overhead: -1.0 };
+        assert!(cfg.run().is_err());
+    }
+
+    #[test]
+    fn gang_replay_is_deterministic() {
+        let cfg = gang_config(GangPolicy::SuspendAll);
+        let a = cfg.run().unwrap();
+        let b = cfg.run().unwrap();
+        assert_eq!(a, b, "same seed must replay identically");
+        let mut cfg2 = cfg.clone();
+        cfg2.replication = 1;
+        assert_ne!(a.makespan, cfg2.run().unwrap().makespan);
     }
 
     #[test]

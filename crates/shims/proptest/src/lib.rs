@@ -51,6 +51,16 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
 }
 
 /// Discards the current case without counting it against the case

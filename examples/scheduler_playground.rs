@@ -53,15 +53,7 @@ fn main() {
     ] {
         let report = Sim::pool(16)
             .owners(&busy)
-            .workload(closed(
-                (0..4)
-                    .map(|j| JobSpec {
-                        tasks: 16,
-                        task_demand: 120.0,
-                        arrival: f64::from(j) * 50.0,
-                    })
-                    .collect(),
-            ))
+            .workload(closed(JobSpec::stream(4, 16, 120.0, 50.0)))
             .eviction(eviction)
             .placement(PlacementKind::LeastLoaded)
             .discipline(QueueDiscipline::SjfBackfill)

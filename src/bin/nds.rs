@@ -7,6 +7,7 @@
 //! nds sensitivity --task 100 --workstations 60 --owner-demand 10 --utilization 0.10
 //! nds sched --workstations 16 --utilization 0.10 --eviction checkpoint
 //! nds stream --rate 0.02 --utilization 0.10 --jobs 400
+//! nds gang --gang-size 8 --utilization 0.10 --gang suspend-all
 //! ```
 
 use nds::cluster::OwnerWorkload;
@@ -26,6 +27,7 @@ fn main() {
         Some("sensitivity") => cmd_sensitivity(&args[1..]),
         Some("sched") => cmd_sched(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("gang") => cmd_gang(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -62,6 +64,11 @@ fn print_usage() {
          \x20             [--jobs N] [--warmup M] [--batches B] [--seed S]\n\
          \x20             (plus the sched placement/eviction/discipline flags)\n\
          \x20                                 open Poisson stream, steady-state response CI\n\
+         \x20 gang        [--workstations W] [--utilization U] [--owner-demand O]\n\
+         \x20             [--jobs N] [--gang-size K] [--task-demand T] [--arrival-gap G]\n\
+         \x20             [--gang suspend-all|migrate-all|off] [--overhead C]\n\
+         \x20             [--placement P] [--discipline D] [--seed S] [--reps R]\n\
+         \x20                                 gang co-allocation vs independent tasks\n\
          \x20 help                            this message"
     );
 }
@@ -355,13 +362,7 @@ fn cmd_sched(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let specs: Vec<JobSpec> = (0..jobs)
-        .map(|j| JobSpec {
-            tasks,
-            task_demand,
-            arrival: f64::from(j) * arrival_gap,
-        })
-        .collect();
+    let specs = JobSpec::stream(jobs, tasks, task_demand, arrival_gap);
     let report = match Sim::pool(w)
         .owners(owner)
         .placement(placement)
@@ -570,6 +571,171 @@ fn cmd_stream(args: &[String]) -> i32 {
     println!(
         "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
         if consistent { "holds" } else { "VIOLATED" }
+    );
+    i32::from(!consistent)
+}
+
+fn cmd_gang(args: &[String]) -> i32 {
+    // Defaults mirror the gang scenario so the CLI, the ext_gang bench,
+    // and the tests all describe one experiment family.
+    let scenario = Scenario::GangPool;
+    let default_w = u64::from(scenario.workstations()[0]);
+    let (default_jobs, default_size, default_demand, default_gap) =
+        scenario.gang_job_mix().expect("gang scenario");
+    let ints = (|| -> Result<_, String> {
+        Ok((
+            int_flag(args, "--workstations", default_w, u64::from(u32::MAX))? as u32,
+            int_flag(args, "--jobs", u64::from(default_jobs), u64::from(u32::MAX))? as u32,
+            int_flag(
+                args,
+                "--gang-size",
+                u64::from(default_size),
+                u64::from(u32::MAX),
+            )? as u32,
+            int_flag(args, "--seed", 2024, u64::MAX)?,
+            int_flag(args, "--reps", 5, 1 << 20)?.max(1),
+        ))
+    })();
+    let (w, jobs, gang_size, seed, reps) = match ints {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("gang: {e}");
+            return 2;
+        }
+    };
+    let u = flag(args, "--utilization").unwrap_or(0.10);
+    let o = flag(args, "--owner-demand").unwrap_or(10.0);
+    let task_demand = flag(args, "--task-demand").unwrap_or(default_demand);
+    let arrival_gap = flag(args, "--arrival-gap").unwrap_or(default_gap);
+    let overhead = flag(args, "--overhead").unwrap_or(2.0);
+    let gang = match GangPolicy::parse(
+        string_flag(args, "--gang").unwrap_or("suspend-all"),
+        overhead,
+    ) {
+        Some(g) => g,
+        None => {
+            eprintln!(
+                "gang: unknown gang policy {} (suspend-all | migrate-all | off)",
+                string_flag(args, "--gang").unwrap_or_default()
+            );
+            return 2;
+        }
+    };
+    let (placement, eviction, discipline) = match policy_flags(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gang: {e}");
+            return 2;
+        }
+    };
+    let owner = match OwnerWorkload::continuous_exponential(o, u) {
+        Ok(owner) => owner,
+        Err(e) => {
+            eprintln!("gang: {e}");
+            return 2;
+        }
+    };
+    let specs = JobSpec::stream(jobs, gang_size, task_demand, arrival_gap);
+    let run = |gang: GangPolicy| {
+        Sim::pool(w)
+            .owners(&owner)
+            .placement(placement)
+            .eviction(eviction)
+            .gang(gang)
+            .discipline(discipline)
+            .calibration(10_000.0)
+            .seed(seed)
+            .replications(reps)
+            .backend(Backend::Sched)
+            .workload(closed(specs.clone()))
+            .run()
+    };
+    let report = match run(gang) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("gang: {e}");
+            return sim_error_code(&e);
+        }
+    };
+    // The same workload under independent-task scheduling, for the
+    // barrier-premium comparison (skipped when gangs are already off).
+    let independent = if gang.is_on() {
+        match run(GangPolicy::Off) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!("gang: independent baseline: {e}");
+                return sim_error_code(&e);
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut t = Table::new(format!(
+        "gang co-allocation: W={w}, U={u}, O={o}, {jobs} jobs x {gang_size} tasks x {task_demand}, \
+         gang {}, {} placement, {} queue ({reps} reps)",
+        gang.label(),
+        placement.name(),
+        discipline.name(),
+    ))
+    .headers(["metric", "mean"]);
+    t.row(["makespan", &format!("{:.1}", report.mean_makespan())]);
+    t.row([
+        "mean job response",
+        &format!("{:.1}", report.mean_over(|m| m.mean_response_time())),
+    ]);
+    t.row([
+        "goodput fraction",
+        &format!("{:.4}", report.mean_goodput_fraction()),
+    ]);
+    t.row(["evictions", &format!("{:.1}", report.mean_evictions())]);
+    t.row([
+        "gang starts",
+        &format!("{:.1}", report.mean_over(|m| m.gang.gang_starts as f64)),
+    ]);
+    t.row([
+        "gang suspensions",
+        &format!(
+            "{:.1}",
+            report.mean_over(|m| m.gang.gang_suspensions as f64)
+        ),
+    ]);
+    t.row([
+        "gang migrations",
+        &format!("{:.1}", report.mean_over(|m| m.gang.gang_migrations as f64)),
+    ]);
+    t.row([
+        "co-allocation wait / gang",
+        &format!("{:.1}", report.mean_coalloc_wait()),
+    ]);
+    t.row([
+        "barrier-stall member-time",
+        &format!("{:.1}", report.mean_barrier_stall()),
+    ]);
+    t.row([
+        "gang fragmentation",
+        &format!("{:.1}", report.mean_fragmentation()),
+    ]);
+    if let Some(ind) = &independent {
+        t.row([
+            "independent-task makespan",
+            &format!("{:.1}", ind.mean_makespan()),
+        ]);
+        t.row([
+            "barrier premium",
+            &format!(
+                "{:.2}x",
+                report.mean_makespan() / ind.mean_makespan().max(f64::MIN_POSITIVE)
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+    let consistent = report.is_consistent()
+        && independent.as_ref().is_none_or(SimReport::is_consistent)
+        && report.runs.iter().all(|m| m.gang.lockstep_violations == 0);
+    println!(
+        "\nwork conservation + gang lockstep invariants: {}",
+        if consistent { "hold" } else { "VIOLATED" }
     );
     i32::from(!consistent)
 }
