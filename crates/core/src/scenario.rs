@@ -49,6 +49,10 @@ pub enum Scenario {
     /// only when every task fits at once, runs in lockstep, and
     /// suspends as a whole on any owner return (see the `nds-sched`
     /// `gang` module, the `ext_gang` binary, and `examples/gang.rs`).
+    /// The same scenario parameterizes the **partial-gang** sweep
+    /// (`ext_partial_gang`): Ousterhout-style co-scheduling floors
+    /// between independent tasks and all-or-nothing gangs, swept via
+    /// [`Scenario::partial_fracs`].
     GangPool,
 }
 
@@ -195,6 +199,20 @@ impl Scenario {
     pub fn gang_sizes(&self) -> Vec<u32> {
         match self {
             Scenario::GangPool => vec![1, 2, 4, 8, 16],
+            _ => vec![],
+        }
+    }
+
+    /// `min_running / width` floors swept by the `ext_partial_gang`
+    /// experiment, from nearly-independent (one member suffices) to
+    /// the all-or-nothing boundary (`1.0` is exactly
+    /// [`GangPolicy::SuspendAll`] — the workspace property tests pin
+    /// the equivalence bit-for-bit). Each frac lowers to
+    /// [`GangPolicy::PartialFrac`], whose per-job floor is
+    /// `ceil(frac * tasks)`.
+    pub fn partial_fracs(&self) -> Vec<f64> {
+        match self {
+            Scenario::GangPool => vec![0.125, 0.25, 0.5, 0.75, 1.0],
             _ => vec![],
         }
     }
@@ -363,6 +381,14 @@ mod tests {
             s.gang_sizes().contains(&1),
             "sweep includes the degenerate size"
         );
+        // Partial floors: valid fractions, reaching the suspend-all
+        // boundary so the sweep brackets the whole spectrum.
+        let fracs = s.partial_fracs();
+        assert!(!fracs.is_empty());
+        assert!(fracs.iter().all(|&f| f > 0.0 && f <= 1.0));
+        assert_eq!(*fracs.last().unwrap(), 1.0, "sweep ends at suspend-all");
+        assert!(fracs.windows(2).all(|w| w[0] < w[1]), "floors sweep upward");
+        assert!(Scenario::OpenStream.partial_fracs().is_empty());
         // The gang lowering carries the policy into the label.
         let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
         let sim = s.sim(&owner).unwrap().build().unwrap();

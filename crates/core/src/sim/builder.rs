@@ -376,10 +376,16 @@ impl SimBuilder {
     }
 
     /// Gang scheduling / co-allocation policy (default: off —
-    /// independent tasks). When on, jobs are admitted all-or-nothing,
-    /// run in lockstep (the paper's barrier-synchronized picture), and
-    /// the gang policy supersedes [`SimBuilder::eviction`] on owner
-    /// returns. Composes with both closed and open workloads.
+    /// independent tasks). When on, jobs are admitted as gangs, run in
+    /// lockstep (the paper's barrier-synchronized picture), and the
+    /// gang policy supersedes [`SimBuilder::eviction`] on owner
+    /// returns. `SuspendAll`/`MigrateAll` are all-or-nothing;
+    /// [`GangPolicy::Partial`] admits once its `min_running` floor
+    /// fits and keeps computing at a degraded rate while at least the
+    /// floor holds owner-free machines — `min_running: 1` behaves like
+    /// independent tasks sharing one clock, `min_running: tasks` is
+    /// exactly `SuspendAll` (bit-for-bit, per the workspace property
+    /// tests). Composes with both closed and open workloads.
     #[must_use]
     pub fn gang(mut self, gang: GangPolicy) -> Self {
         self.gang = gang;
@@ -807,6 +813,53 @@ mod tests {
         let err = Sim::pool(4)
             .owners(owner(0.1))
             .gang(GangPolicy::MigrateAll { overhead: -3.0 })
+            .workload(single_job(4, 100.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPolicy { .. }));
+    }
+
+    #[test]
+    fn partial_gang_knob_lowers_and_validates() {
+        let sim = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::Partial { min_running: 2 })
+            .workload(single_job(4, 100.0))
+            .build()
+            .unwrap();
+        assert_eq!(
+            sim.lower(0).unwrap().gang,
+            GangPolicy::Partial { min_running: 2 }
+        );
+        assert!(
+            sim.label().contains("gang partial(min=2)"),
+            "{}",
+            sim.label()
+        );
+        // A partial floor wider than any job clamps per job, so jobs
+        // wider than the pool are fine as long as the floor fits...
+        let report = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::Partial { min_running: 2 })
+            .workload(single_job(6, 40.0))
+            .run()
+            .unwrap();
+        assert!(report.is_consistent());
+        assert_eq!(report.runs[0].completed_tasks, 6);
+        assert_eq!(report.runs[0].gang.floor_violations, 0);
+        // ...but invalid floors are typed errors.
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::Partial { min_running: 0 })
+            .workload(single_job(4, 100.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPolicy { .. }));
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .gang(GangPolicy::PartialFrac {
+                min_running_frac: 1.5,
+            })
             .workload(single_job(4, 100.0))
             .build()
             .unwrap_err();

@@ -177,6 +177,26 @@ impl Report {
         self.mean_over(|m| m.gang.fragmentation)
     }
 
+    /// Mean degraded-mode time per replication: how long partial gangs
+    /// computed below their full width (zero for all-or-nothing
+    /// policies).
+    pub fn mean_degraded_time(&self) -> f64 {
+        self.mean_over(|m| m.gang.degraded_time)
+    }
+
+    /// Mean effective parallelism per replication: the
+    /// effective-parallelism integral normalized by the makespan —
+    /// running gang members averaged over the run's wall clock.
+    pub fn mean_effective_parallelism(&self) -> f64 {
+        self.mean_over(|m| {
+            if m.makespan == 0.0 {
+                0.0
+            } else {
+                m.gang.parallelism_integral / m.makespan
+            }
+        })
+    }
+
     /// Whether work conservation held in every replication.
     pub fn is_consistent(&self) -> bool {
         self.runs.iter().all(SchedMetrics::is_consistent)

@@ -1,39 +1,53 @@
-//! Gang scheduling / co-allocation: all-or-nothing jobs.
+//! Gang scheduling / co-allocation: all-or-nothing and partial gangs.
 //!
 //! The paper's parallel jobs are barrier-synchronized: a job only makes
 //! progress while *all* of its tasks are simultaneously running, so a
 //! single owner reclaiming a workstation stalls the whole gang. The
 //! independent-task engine ([`crate::simulator`]) ignores that coupling
 //! — each task runs and finishes on its own clock. This module supplies
-//! the missing semantics:
+//! the missing semantics, including the Ousterhout-style middle ground
+//! between the two extremes:
 //!
 //! * [`GangPolicy`] — the co-allocation knob on
 //!   [`crate::SchedConfig`]: `Off` keeps the independent-task engine
 //!   (bit-for-bit), `SuspendAll` suspends the entire gang in place when
 //!   any member's owner returns, `MigrateAll` pulls the whole gang back
-//!   into the queue and re-places it as a unit.
+//!   into the queue and re-places it as a unit, and `Partial` keeps the
+//!   gang computing — at a degraded rate proportional to its running
+//!   member count — as long as at least `min_running` members still
+//!   hold owner-free machines.
 //! * [`GangQueue`] — job-level queue admission: a gang leaves the queue
-//!   only when enough machines are free for *every* task at once
-//!   (strict head-of-line FCFS, or smallest-fitting-gang backfill under
-//!   [`QueueDiscipline::SjfBackfill`]).
+//!   only when enough machines are free for its *floor* — every task at
+//!   once for the all-or-nothing policies, `min_running` of them under
+//!   `Partial` (strict head-of-line FCFS, or smallest-fitting-gang
+//!   backfill under [`QueueDiscipline::SjfBackfill`]).
 //! * [`GangStats`] — the co-allocation metrics: wait for co-allocation,
 //!   gang fragmentation (free machine-time the waiting gangs could not
-//!   use), and barrier-stall time (member-time frozen behind a peer's
-//!   owner while the member's own machine was free).
+//!   use), barrier-stall time (member-time frozen behind a peer's owner
+//!   while the member's own machine was free), and the degraded-mode
+//!   metrics of partial gangs (degraded-mode time and the
+//!   effective-parallelism integral).
 //!
 //! # Relation to the independent engine
 //!
 //! With `tasks = 1` every gang degenerates to a single task:
 //! co-allocation is ordinary placement, suspend-all is suspend-resume,
-//! and the engine reproduces the independent-task scheduler bit-for-bit
-//! (the workspace's `gang_invariants` tests enforce this). With
-//! `GangPolicy::Off` the gang paths are never entered at all.
+//! a `min_running` floor of one is vacuous, and the engine reproduces
+//! the independent-task scheduler bit-for-bit (the workspace's
+//! `gang_invariants` tests enforce this). With `GangPolicy::Off` the
+//! gang paths are never entered at all, and with the floor at the full
+//! gang width `Partial` collapses to `SuspendAll` — again bit-for-bit.
 
 use crate::queue::QueueDiscipline;
 use std::collections::VecDeque;
 
 /// How a job's tasks are co-scheduled.
+///
+/// The enum is `#[non_exhaustive]`: more job-level policies are
+/// planned (see the workspace ROADMAP), so downstream matches must
+/// carry a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
 pub enum GangPolicy {
     /// Independent-task scheduling — the engine's original semantics;
     /// every task is placed, run, and evicted on its own.
@@ -52,6 +66,28 @@ pub enum GangPolicy {
         /// Per-task migration setup cost in CPU time units.
         overhead: f64,
     },
+    /// Ousterhout-style partial gang (co-scheduling with a floor): the
+    /// job keeps computing, at a rate proportional to its running
+    /// member count, as long as at least `min_running` of its tasks
+    /// hold owner-free machines; it suspends as a whole only when
+    /// membership drops below the floor. A gang is admitted from the
+    /// queue once `min_running` machines are free and grows toward its
+    /// full width as machines free up.
+    Partial {
+        /// Minimum simultaneously-running members for the job to make
+        /// progress. Clamped per job to `[1, tasks]` — `1` is
+        /// independent-task semantics with a shared clock, `tasks` is
+        /// exactly `SuspendAll`.
+        min_running: u32,
+    },
+    /// [`GangPolicy::Partial`] with the floor expressed as a fraction
+    /// of the gang width: `min_running = ceil(frac * tasks)`, clamped
+    /// to `[1, tasks]`. Useful when one sweep covers gangs of
+    /// different widths.
+    PartialFrac {
+        /// Fraction of the gang width that must run, in `(0, 1]`.
+        min_running_frac: f64,
+    },
 }
 
 impl GangPolicy {
@@ -60,12 +96,41 @@ impl GangPolicy {
         !matches!(self, Self::Off)
     }
 
+    /// Whether this is a partial-gang policy (degraded-rate execution
+    /// above a `min_running` floor).
+    pub fn is_partial(&self) -> bool {
+        matches!(self, Self::Partial { .. } | Self::PartialFrac { .. })
+    }
+
+    /// The co-scheduling floor resolved for a gang of `tasks` members:
+    /// how many members must simultaneously hold owner-free machines
+    /// for the job to progress. The all-or-nothing policies floor at
+    /// the full width; the partial policies clamp their floor into
+    /// `[1, tasks]`.
+    pub fn floor_for(&self, tasks: u32) -> u32 {
+        let k = tasks.max(1);
+        match *self {
+            Self::Partial { min_running } => min_running.clamp(1, k),
+            Self::PartialFrac { min_running_frac } => {
+                let raw = (min_running_frac * f64::from(k)).ceil();
+                if raw.is_finite() && raw >= 1.0 {
+                    (raw as u32).clamp(1, k)
+                } else {
+                    1
+                }
+            }
+            _ => k,
+        }
+    }
+
     /// Short stable name for tables and CLI flags.
     pub fn name(&self) -> &'static str {
         match self {
             Self::Off => "off",
             Self::SuspendAll => "suspend-all",
             Self::MigrateAll { .. } => "migrate-all",
+            Self::Partial { .. } => "partial",
+            Self::PartialFrac { .. } => "partial-frac",
         }
     }
 
@@ -75,16 +140,27 @@ impl GangPolicy {
             Self::Off => "off".into(),
             Self::SuspendAll => "suspend-all".into(),
             Self::MigrateAll { overhead } => format!("migrate-all(c={overhead})"),
+            Self::Partial { min_running } => format!("partial(min={min_running})"),
+            Self::PartialFrac { min_running_frac } => {
+                format!("partial(min={min_running_frac}k)")
+            }
         }
     }
 
-    /// Parse a CLI-style name (the `MigrateAll` overhead comes from a
-    /// separate flag).
-    pub fn parse(s: &str, overhead: f64) -> Option<Self> {
+    /// Parse a CLI-style name (the `MigrateAll` overhead and the
+    /// `Partial` floor come from separate flags; `min_running` clamps
+    /// up to one). [`GangPolicy::PartialFrac`] is deliberately not
+    /// parseable here — its floor is an `f64`, so callers with a
+    /// fractional flag (e.g. `nds gang --min-running-frac`) construct
+    /// it directly.
+    pub fn parse(s: &str, overhead: f64, min_running: u32) -> Option<Self> {
         match s {
             "off" => Some(Self::Off),
             "suspend-all" | "suspend" => Some(Self::SuspendAll),
             "migrate-all" | "migrate" => Some(Self::MigrateAll { overhead }),
+            "partial" | "min-running" => Some(Self::Partial {
+                min_running: min_running.max(1),
+            }),
             _ => None,
         }
     }
@@ -103,6 +179,27 @@ impl GangPolicy {
                     ))
                 }
             }
+            Self::Partial { min_running } => {
+                if min_running >= 1 {
+                    Ok(())
+                } else {
+                    Err((
+                        "gang partial min_running",
+                        "must be at least one running member".into(),
+                    ))
+                }
+            }
+            Self::PartialFrac { min_running_frac } => {
+                if min_running_frac.is_finite() && min_running_frac > 0.0 && min_running_frac <= 1.0
+                {
+                    Ok(())
+                } else {
+                    Err((
+                        "gang partial min_running_frac",
+                        format!("{min_running_frac} not in (0, 1]"),
+                    ))
+                }
+            }
         }
     }
 }
@@ -113,7 +210,8 @@ impl GangPolicy {
 pub struct GangStats {
     /// Atomic gang starts (initial co-allocations plus re-placements).
     pub gang_starts: u64,
-    /// Whole-gang suspensions (an owner reclaimed a member under
+    /// Whole-gang suspensions: a member reclaim dropped the running
+    /// membership below the policy floor (any reclaim, under
     /// [`GangPolicy::SuspendAll`]).
     pub gang_suspensions: u64,
     /// Whole-gang migrations back to the queue
@@ -124,18 +222,36 @@ pub struct GangStats {
     pub coalloc_wait: f64,
     /// Member-time stalled behind the barrier: the time-integral, over
     /// suspended gangs, of members whose own machine was owner-free but
-    /// who could not run because a peer's machine was reclaimed.
+    /// who could not run because the gang sat below its floor (under
+    /// the all-or-nothing policies, because a peer's machine was
+    /// reclaimed).
     pub barrier_stall: f64,
     /// Gang fragmentation: the time-integral of free machines while at
     /// least one gang waited in the queue — capacity the scheduler
     /// could not use because no waiting gang fit into it.
     pub fragmentation: f64,
-    /// Events at which some gang's members disagreed on their
-    /// run/suspend state. Always zero: every state flip goes through
-    /// one choke point that updates all members together, and the
-    /// engine re-verifies the invariant at every gang event. The
+    /// Events at which some all-or-nothing gang's members disagreed on
+    /// their run/suspend state. Always zero: every state flip goes
+    /// through one choke point that updates all members together, and
+    /// the engine re-verifies the invariant at every gang event. The
     /// workspace's property tests assert this stays zero.
     pub lockstep_violations: u64,
+    /// Time-integral of gangs running in degraded mode — with fewer
+    /// running members than the gang's full width. Zero under the
+    /// all-or-nothing policies, which only ever run complete.
+    pub degraded_time: f64,
+    /// Effective-parallelism integral: running members integrated over
+    /// time across all work segments (setup excluded). Because a gang
+    /// of width `k` progresses each task at rate `running/k`, this
+    /// integral equals the total demand exactly when every job
+    /// completes — the conservation law `tests/rate_invariants.rs`
+    /// pins to 1e-9.
+    pub parallelism_integral: f64,
+    /// Events at which a gang was observed running with fewer members
+    /// than its `min_running` floor (or more than its width). Always
+    /// zero: the engine suspends the whole gang before membership can
+    /// drop through the floor, and re-verifies at every gang event.
+    pub floor_violations: u64,
 }
 
 /// One gang waiting for co-allocation.
@@ -143,8 +259,13 @@ pub struct GangStats {
 pub struct PendingGang {
     /// Index of the job this gang realizes.
     pub job: usize,
-    /// Number of machines the gang needs at once.
+    /// Full gang width: machines the gang wants (and, under the
+    /// all-or-nothing policies, needs) at once.
     pub tasks: u32,
+    /// Machines that must be simultaneously free for admission — equal
+    /// to `tasks` for the all-or-nothing policies, the `min_running`
+    /// floor under [`GangPolicy::Partial`].
+    pub min_tasks: u32,
     /// Original per-task demand.
     pub demand: f64,
     /// Per-task work still owed.
@@ -157,7 +278,10 @@ pub struct PendingGang {
 
 impl PendingGang {
     /// Total outstanding work of the gang (setup included), the
-    /// quantity shortest-job backfill orders by.
+    /// quantity shortest-job backfill orders by. This is CPU *work*,
+    /// not wall time — a partial gang running degraded takes longer on
+    /// the wall clock but owes exactly this much machine time, so the
+    /// backfill estimate stays rate-independent.
     pub fn total_outstanding(&self) -> f64 {
         f64::from(self.tasks) * (self.remaining + self.setup)
     }
@@ -169,7 +293,10 @@ impl PendingGang {
 /// gang does not fit, nothing is dispatched (head-of-line blocking is
 /// the price of co-allocation fairness, and what the fragmentation
 /// metric prices). Under [`QueueDiscipline::SjfBackfill`] the smallest
-/// fitting gang (by total outstanding work) jumps ahead.
+/// fitting gang (by total outstanding work) jumps ahead; ties on the
+/// key fall back to arrival order (stable FCFS tie-breaking — the
+/// ordering uses [`f64::total_cmp`], so it is total and panic-free
+/// even for pathological keys).
 #[derive(Debug, Clone, Default)]
 pub struct GangQueue {
     gangs: VecDeque<PendingGang>,
@@ -196,28 +323,30 @@ impl GangQueue {
         self.gangs.push_back(gang);
     }
 
-    /// Remove and return the next gang that fits into `free` machines
-    /// under `discipline`, or `None` if nothing dispatchable.
+    /// Remove and return the next gang whose admission floor
+    /// (`min_tasks`) fits into `free` machines under `discipline`, or
+    /// `None` if nothing dispatchable.
     pub fn pop_fitting(&mut self, discipline: QueueDiscipline, free: usize) -> Option<PendingGang> {
         match discipline {
             QueueDiscipline::Fcfs => {
                 let head = self.gangs.front()?;
-                if head.tasks as usize <= free {
+                if head.min_tasks.max(1) as usize <= free {
                     self.gangs.pop_front()
                 } else {
                     None
                 }
             }
             QueueDiscipline::SjfBackfill => {
+                // Iterator::min_by keeps the first of equally-minimum
+                // elements, so equal outstanding-work keys preserve
+                // arrival order.
                 let best = self
                     .gangs
                     .iter()
                     .enumerate()
-                    .filter(|(_, g)| g.tasks as usize <= free)
+                    .filter(|(_, g)| g.min_tasks.max(1) as usize <= free)
                     .min_by(|(_, a), (_, b)| {
-                        a.total_outstanding()
-                            .partial_cmp(&b.total_outstanding())
-                            .expect("demands are finite")
+                        a.total_outstanding().total_cmp(&b.total_outstanding())
                     })
                     .map(|(i, _)| i)?;
                 self.gangs.remove(best)
@@ -242,6 +371,7 @@ mod tests {
         PendingGang {
             job,
             tasks,
+            min_tasks: tasks,
             demand: remaining,
             remaining,
             setup: 0.0,
@@ -251,23 +381,38 @@ mod tests {
 
     #[test]
     fn policy_names_parse_and_validate() {
-        assert_eq!(GangPolicy::parse("off", 0.0), Some(GangPolicy::Off));
+        assert_eq!(GangPolicy::parse("off", 0.0, 1), Some(GangPolicy::Off));
         assert_eq!(
-            GangPolicy::parse("suspend-all", 0.0),
+            GangPolicy::parse("suspend-all", 0.0, 1),
             Some(GangPolicy::SuspendAll)
         );
         assert_eq!(
-            GangPolicy::parse("migrate-all", 3.0),
+            GangPolicy::parse("migrate-all", 3.0, 1),
             Some(GangPolicy::MigrateAll { overhead: 3.0 })
         );
-        assert_eq!(GangPolicy::parse("nope", 0.0), None);
+        assert_eq!(
+            GangPolicy::parse("partial", 0.0, 2),
+            Some(GangPolicy::Partial { min_running: 2 })
+        );
+        assert_eq!(
+            GangPolicy::parse("partial", 0.0, 0),
+            Some(GangPolicy::Partial { min_running: 1 }),
+            "the floor clamps up to one"
+        );
+        assert_eq!(GangPolicy::parse("nope", 0.0, 1), None);
         for p in [
             GangPolicy::Off,
             GangPolicy::SuspendAll,
             GangPolicy::MigrateAll { overhead: 3.0 },
+            GangPolicy::Partial { min_running: 2 },
+            GangPolicy::PartialFrac {
+                min_running_frac: 0.5,
+            },
         ] {
             assert!(p.validate().is_ok());
-            assert!(p.label().starts_with(p.name().split('(').next().unwrap()));
+            assert!(p
+                .label()
+                .starts_with(p.name().split(['(', '-']).next().unwrap()));
         }
         assert!(GangPolicy::MigrateAll { overhead: -1.0 }
             .validate()
@@ -275,9 +420,56 @@ mod tests {
         assert!(GangPolicy::MigrateAll { overhead: f64::NAN }
             .validate()
             .is_err());
+        assert!(GangPolicy::Partial { min_running: 0 }.validate().is_err());
+        assert!(GangPolicy::PartialFrac {
+            min_running_frac: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(GangPolicy::PartialFrac {
+            min_running_frac: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(GangPolicy::PartialFrac {
+            min_running_frac: f64::NAN
+        }
+        .validate()
+        .is_err());
         assert!(!GangPolicy::Off.is_on());
         assert!(GangPolicy::SuspendAll.is_on());
+        assert!(GangPolicy::Partial { min_running: 1 }.is_on());
+        assert!(GangPolicy::Partial { min_running: 1 }.is_partial());
+        assert!(!GangPolicy::SuspendAll.is_partial());
         assert_eq!(GangPolicy::default(), GangPolicy::Off);
+    }
+
+    #[test]
+    fn floors_resolve_per_gang_width() {
+        // All-or-nothing policies floor at the full width.
+        assert_eq!(GangPolicy::Off.floor_for(8), 8);
+        assert_eq!(GangPolicy::SuspendAll.floor_for(8), 8);
+        assert_eq!(GangPolicy::MigrateAll { overhead: 1.0 }.floor_for(8), 8);
+        // Partial clamps into [1, tasks].
+        assert_eq!(GangPolicy::Partial { min_running: 3 }.floor_for(8), 3);
+        assert_eq!(GangPolicy::Partial { min_running: 3 }.floor_for(2), 2);
+        assert_eq!(GangPolicy::Partial { min_running: 0 }.floor_for(8), 1);
+        assert_eq!(
+            GangPolicy::Partial {
+                min_running: u32::MAX
+            }
+            .floor_for(5),
+            5
+        );
+        // Fractional floors take the ceiling.
+        let frac = |f| GangPolicy::PartialFrac {
+            min_running_frac: f,
+        };
+        assert_eq!(frac(0.5).floor_for(8), 4);
+        assert_eq!(frac(0.5).floor_for(7), 4);
+        assert_eq!(frac(1.0).floor_for(8), 8);
+        assert_eq!(frac(0.01).floor_for(8), 1);
+        assert_eq!(frac(0.26).floor_for(4), 2);
     }
 
     #[test]
@@ -293,6 +485,24 @@ mod tests {
         assert_eq!(q.pop_fitting(QueueDiscipline::Fcfs, 4).unwrap().job, 0);
         assert_eq!(q.pop_fitting(QueueDiscipline::Fcfs, 4).unwrap().job, 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn partial_floor_admits_below_full_width() {
+        let mut q = GangQueue::new();
+        let mut wide = gang(0, 6, 50.0);
+        wide.min_tasks = 2; // partial floor
+        q.push(wide);
+        // Two machines free: the 6-wide gang is admitted on its floor.
+        let popped = q.pop_fitting(QueueDiscipline::Fcfs, 2).unwrap();
+        assert_eq!(popped.job, 0);
+        assert_eq!(popped.tasks, 6);
+        // But one machine is below the floor.
+        let mut q = GangQueue::new();
+        let mut wide = gang(0, 6, 50.0);
+        wide.min_tasks = 2;
+        q.push(wide);
+        assert_eq!(q.pop_fitting(QueueDiscipline::Fcfs, 1), None);
     }
 
     #[test]
@@ -323,6 +533,29 @@ mod tests {
         assert_eq!(
             q.pop_fitting(QueueDiscipline::SjfBackfill, 2).unwrap().job,
             1
+        );
+    }
+
+    #[test]
+    fn backfill_ties_preserve_fcfs_order() {
+        // Regression for the partial_cmp ordering: equal (NaN-free)
+        // outstanding-work keys must dispatch in arrival order, run
+        // after run — the SJF comparator is total and stable.
+        let mut q = GangQueue::new();
+        q.push(gang(5, 2, 30.0));
+        q.push(gang(6, 2, 30.0));
+        q.push(gang(7, 3, 20.0)); // same 60.0 key, third arrival
+        assert_eq!(
+            q.pop_fitting(QueueDiscipline::SjfBackfill, 4).unwrap().job,
+            5
+        );
+        assert_eq!(
+            q.pop_fitting(QueueDiscipline::SjfBackfill, 4).unwrap().job,
+            6
+        );
+        assert_eq!(
+            q.pop_fitting(QueueDiscipline::SjfBackfill, 4).unwrap().job,
+            7
         );
     }
 

@@ -20,9 +20,12 @@
 //! * [`eviction`] — owner-return handling: Restart, Suspend/Resume
 //!   (the paper's assumption), Migrate, and periodic Checkpoint.
 //! * [`gang`] — gang scheduling / co-allocation: all-or-nothing job
-//!   admission, lockstep (barrier-synchronized) execution, and
-//!   suspend-all or migrate-as-a-unit reclaim semantics, with
-//!   co-allocation wait / fragmentation / barrier-stall metrics.
+//!   admission, lockstep (barrier-synchronized) execution, suspend-all
+//!   or migrate-as-a-unit reclaim semantics, and Ousterhout-style
+//!   **partial gangs** ([`gang::GangPolicy::Partial`]) that keep
+//!   computing at a degraded rate while at least `min_running` members
+//!   hold machines — with co-allocation wait / fragmentation /
+//!   barrier-stall / degraded-mode / effective-parallelism metrics.
 //! * [`queue`] — a central job queue (FCFS and shortest-job backfill)
 //!   feeding multi-job workloads.
 //! * [`metrics`] — makespan, goodput, wasted work, checkpoint
@@ -55,6 +58,37 @@
 //! let metrics = cfg.run().unwrap();
 //! assert_eq!(metrics.completed_tasks, 16);
 //! assert!(metrics.is_consistent());
+//! ```
+//!
+//! ## Partial gangs (`min_running`)
+//!
+//! Between independent tasks and all-or-nothing gangs sits
+//! Ousterhout-style co-scheduling: the job keeps computing — at a rate
+//! proportional to its running member count — as long as at least
+//! `min_running` of its tasks hold owner-free machines, and suspends
+//! as a whole only below that floor. The floor's boundaries are the
+//! two existing engines, bit-for-bit: `min_running: 1` on single-task
+//! gangs is [`GangPolicy::Off`], `min_running: k` is
+//! [`GangPolicy::SuspendAll`] (the workspace's `gang_invariants`
+//! property tests pin both).
+//!
+//! ```
+//! use nds_cluster::owner::OwnerWorkload;
+//! use nds_sched::{GangPolicy, JobSpec, SchedConfig};
+//!
+//! let owner = OwnerWorkload::continuous_exponential(10.0, 0.15).unwrap();
+//! // An 8-wide gang that tolerates losing up to half its machines.
+//! let mut cfg = SchedConfig::homogeneous(
+//!     8,
+//!     &owner,
+//!     vec![JobSpec::at_zero(8, 100.0)],
+//! );
+//! cfg.gang = GangPolicy::Partial { min_running: 4 };
+//! let metrics = cfg.run().unwrap();
+//! assert_eq!(metrics.gang.floor_violations, 0);
+//! // ∫ rate·dt over work segments is exactly the demand served.
+//! let integral = metrics.gang.parallelism_integral;
+//! assert!((integral - metrics.total_demand).abs() <= 1e-9 * metrics.total_demand);
 //! ```
 
 pub mod error;

@@ -128,14 +128,16 @@ impl JobQueue {
         match discipline {
             QueueDiscipline::Fcfs => self.tasks.pop_front(),
             QueueDiscipline::SjfBackfill => {
+                // Iterator::min_by keeps the first of equally-minimum
+                // elements and f64::total_cmp is a total order, so
+                // equal keys preserve arrival order and nothing can
+                // panic mid-dispatch.
                 let best = self
                     .tasks
                     .iter()
                     .enumerate()
                     .min_by(|(_, a), (_, b)| {
-                        (a.remaining + a.setup)
-                            .partial_cmp(&(b.remaining + b.setup))
-                            .expect("demands are finite")
+                        (a.remaining + a.setup).total_cmp(&(b.remaining + b.setup))
                     })
                     .map(|(i, _)| i)?;
                 self.tasks.remove(best)
@@ -204,6 +206,27 @@ mod tests {
         q.push(task(7, 10.0));
         q.push(task(8, 10.0));
         assert_eq!(q.pop(QueueDiscipline::SjfBackfill).unwrap().job, 7);
+    }
+
+    #[test]
+    fn sjf_equal_keys_drain_in_strict_arrival_order() {
+        // Regression for the partial_cmp ordering: a whole run of
+        // NaN-free but equal keys (remaining + setup identical, built
+        // two different ways) must drain exactly FCFS.
+        let mut q = JobQueue::new();
+        for job in 0..5 {
+            let mut t = task(job, 30.0);
+            if job % 2 == 1 {
+                // Same 30.0 key expressed as remaining + setup.
+                t.remaining = 20.0;
+                t.setup = 10.0;
+            }
+            q.push(t);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(QueueDiscipline::SjfBackfill))
+            .map(|t| t.job)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

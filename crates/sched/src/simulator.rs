@@ -20,13 +20,28 @@
 //! The original engine only knew task-level events: each task was
 //! placed, ran, and was evicted independently. Gang scheduling
 //! ([`crate::gang`]) makes the job the schedulable unit — a gang is
-//! admitted only when every task fits at once, starts atomically,
+//! admitted only when its floor fits at once, starts atomically,
 //! progresses in lockstep (the paper's barrier-synchronized picture),
 //! and reacts to any member's owner return as a whole (suspend-all or
 //! migrate-as-a-unit). With [`GangPolicy::Off`] none of the gang paths
 //! are entered and the engine behaves exactly as before; with gangs of
 //! one task it reproduces the independent-task scheduler bit-for-bit
 //! (both equivalences are enforced by `tests/gang_invariants.rs`).
+//!
+//! # Rate-aware execution (partial gangs)
+//!
+//! [`GangPolicy::Partial`] breaks the engine's original invariant that
+//! a running task always progresses at rate one: a partial gang with
+//! `r` of its `width` members on owner-free machines advances each
+//! task at rate `r / width`, so segment ends are scheduled at
+//! `work / rate` wall time and every membership event (a member's
+//! owner reclaiming or releasing its machine, a freed machine joining
+//! an under-placed gang) closes the in-flight segment at its old rate
+//! and reopens it at the new one. Full gangs have rate exactly `1.0`,
+//! which is why `Partial { min_running: width }` reproduces
+//! `SuspendAll` bit-for-bit — same floats, same event times. The
+//! conservation law `∫ rate·dt == demand` is pinned by
+//! `tests/rate_invariants.rs` via [`GangStats::parallelism_integral`].
 //!
 //! # Reproducibility
 //!
@@ -161,13 +176,17 @@ impl SchedConfig {
         }
         if self.gang.is_on() {
             for (i, j) in self.jobs.iter().enumerate() {
-                if j.tasks as usize > self.owners.len() {
+                // All-or-nothing gangs need their full width free at
+                // once; partial gangs only their min_running floor (a
+                // wider-than-pool job then simply never leaves
+                // degraded mode).
+                let need = self.gang.floor_for(j.tasks);
+                if need as usize > self.owners.len() {
                     return invalid(
                         "jobs",
                         format!(
-                            "job {i} needs {} machines at once but the pool has {}: \
-                             the gang can never be co-allocated",
-                            j.tasks,
+                            "job {i} needs {need} machines at once (gang floor) but \
+                             the pool has {}: the gang can never be co-allocated",
                             self.owners.len()
                         ),
                     );
@@ -246,9 +265,12 @@ impl SchedConfig {
                 .map(|spec| GangState {
                     members: Vec::new(),
                     member_running: Vec::new(),
+                    member_busy: Vec::new(),
                     demand: spec.task_demand,
                     remaining: spec.task_demand,
                     setup_left: 0.0,
+                    width: spec.tasks,
+                    floor: self.gang.floor_for(spec.tasks),
                     phase: GangPhase::Queued,
                 })
                 .collect()
@@ -414,18 +436,31 @@ struct Acc {
 /// One gang's live state (only populated when a [`GangPolicy`] is on).
 #[derive(Debug, Clone)]
 struct GangState {
-    /// Machines currently hosting the gang (empty while queued).
+    /// Machines currently hosting the gang (empty while queued; may sit
+    /// below `width` while a partial gang is under-placed).
     members: Vec<usize>,
-    /// Per-member run flag, flipped only through [`set_gang_running`]
-    /// so members can never disagree; [`verify_lockstep`] re-checks the
-    /// invariant at every gang event.
+    /// Per-member run flag. Under the all-or-nothing policies it flips
+    /// only through [`suspend_gang_members`]/[`resume_gang_members`] so
+    /// members can never disagree; under a partial policy members may
+    /// legitimately differ (degraded mode) and the floor invariant is
+    /// what [`verify_gang_invariants`] re-checks at every gang event.
     member_running: Vec<bool>,
+    /// Per-member owner-presence flag: `true` while the member's
+    /// machine is reclaimed by its owner (the member sits suspended in
+    /// place beneath them).
+    member_busy: Vec<bool>,
     /// Original per-task demand.
     demand: f64,
     /// Per-task work still owed.
     remaining: f64,
     /// Per-task setup owed before computing (migrate-all restore).
     setup_left: f64,
+    /// Full gang width — the job's task count.
+    width: u32,
+    /// Resolved co-scheduling floor ([`GangPolicy::floor_for`]): the
+    /// gang runs only while at least this many members hold owner-free
+    /// machines.
+    floor: u32,
     phase: GangPhase,
 }
 
@@ -433,20 +468,30 @@ struct GangState {
 enum GangPhase {
     /// Waiting in the co-allocation queue (or not yet arrived).
     Queued,
-    /// All members executing the current segment in lockstep.
+    /// Members on owner-free machines executing the current segment;
+    /// a full gang computes at rate one, a degraded partial gang at
+    /// `running / width`.
     Running {
         is_setup: bool,
-        /// Scheduled segment length (used exactly at segment end, like
-        /// the independent engine's `Segment::len`, so float round-off
-        /// from clock arithmetic never leaks into the accounting).
-        len: f64,
+        /// Scheduled per-task work of the segment in CPU units (used
+        /// exactly at segment end, like the independent engine's
+        /// `Segment::len`, so float round-off from clock arithmetic
+        /// never leaks into the accounting).
+        work: f64,
+        /// Wall-clock segment length: `work / rate`.
+        wall: f64,
+        /// Per-task progress rate `running / width` (exactly 1.0 for a
+        /// full gang, which keeps the all-or-nothing float paths
+        /// bit-identical to the pre-rate-aware engine).
+        rate: f64,
         slice_start: f64,
         event: EventId,
     },
-    /// Frozen in place: `busy` member machines are reclaimed by their
-    /// owners; `last_t` is when the barrier-stall integral was last
-    /// accrued.
-    Suspended { busy: u32, last_t: f64 },
+    /// Frozen in place below the floor (under the all-or-nothing
+    /// policies: any member reclaimed); `last_t` is when the
+    /// barrier-stall integral was last accrued. Which members sit
+    /// beneath their owners lives in [`GangState::member_busy`].
+    Suspended { last_t: f64 },
     /// Every task completed.
     Done,
 }
@@ -596,9 +641,11 @@ fn job_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
         let mut st = sim.borrow_mut();
         let spec = st.specs[j];
         if st.gang_policy.is_on() {
+            let min_tasks = st.gangs[j].floor;
             st.gang_queue.push(PendingGang {
                 job: j,
                 tasks: spec.tasks,
+                min_tasks,
                 demand: spec.task_demand,
                 remaining: spec.task_demand,
                 setup: 0.0,
@@ -670,7 +717,7 @@ fn dispatch(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
 /// An owner returns to their machine.
 fn owner_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
     let now = engine.now().as_f64();
-    let (service, requeued) = {
+    let (service, outcome) = {
         let mut st = sim.borrow_mut();
         if st.done {
             return;
@@ -678,19 +725,29 @@ fn owner_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
         let st = &mut *st;
         st.pool.owner_transition(now, m, true);
         if st.gang_policy.is_on() {
-            let redispatch = gang_owner_reclaim(engine, st, now, m);
+            let outcome = gang_owner_reclaim(engine, st, now, m);
             let mach = &mut st.machines[m];
             let service = mach.owner.sample_service(&mut mach.rng);
-            (service, redispatch)
+            (service, outcome)
         } else {
-            owner_reclaim_task(engine, st, now, m)
+            let (service, requeued) = owner_reclaim_task(engine, st, now, m);
+            (
+                service,
+                ReclaimOutcome {
+                    redispatch: requeued,
+                    restart: None,
+                },
+            )
         }
     };
     let sc = Rc::clone(sim);
     engine
         .schedule_in(SimTime::new(service), move |e| owner_departure(e, &sc, m))
         .expect("service time is positive");
-    if requeued {
+    if let Some(j) = outcome.restart {
+        start_gang_segment(engine, sim, j);
+    }
+    if outcome.redispatch {
         dispatch_any(engine, sim);
     }
 }
@@ -773,7 +830,7 @@ fn owner_departure(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
         let st = &mut *st;
         st.pool.owner_transition(now, m, false);
         let action = if st.gang_policy.is_on() {
-            gang_owner_release(st, now, m)
+            gang_owner_release(engine, st, now, m)
         } else if st.machines[m].guest.is_some() {
             Departure::ResumeTask
         } else {
@@ -795,21 +852,119 @@ fn owner_departure(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
     }
 }
 
-/// Flip every member's run flag together — the one choke point through
-/// which a gang's run/suspend state ever changes.
-fn set_gang_running(gang: &mut GangState, on: bool) {
-    for r in &mut gang.member_running {
-        *r = on;
+/// What an owner reclaim on a gang-mode machine requires once the
+/// state borrow ends.
+struct ReclaimOutcome {
+    /// Machines were freed back to the queue (migrate-all), so the
+    /// dispatcher should run.
+    redispatch: bool,
+    /// Restart this gang's segment — it lost a member but stays at or
+    /// above its floor, so it continues at a lower rate.
+    restart: Option<usize>,
+}
+
+impl ReclaimOutcome {
+    fn nothing() -> Self {
+        Self {
+            redispatch: false,
+            restart: None,
+        }
     }
 }
 
-/// Re-verify the lockstep invariant across every gang: members of one
-/// job must agree on their run/suspend state at every event.
-fn verify_lockstep(st: &mut Sim) {
+/// Members currently running.
+fn running_members(gang: &GangState) -> u32 {
+    gang.member_running.iter().filter(|&&on| on).count() as u32
+}
+
+/// Members whose machine is currently reclaimed by its owner.
+fn busy_members(gang: &GangState) -> u32 {
+    gang.member_busy.iter().filter(|&&b| b).count() as u32
+}
+
+/// Position of machine `m` within the gang's member list.
+fn member_index(gang: &GangState, m: usize) -> usize {
+    gang.members
+        .iter()
+        .position(|&mm| mm == m)
+        .expect("machine maps to a member of this gang")
+}
+
+/// Clear every member's run flag — one of the two choke points through
+/// which a gang's run/suspend state ever changes.
+fn suspend_gang_members(gang: &mut GangState) {
+    for r in &mut gang.member_running {
+        *r = false;
+    }
+}
+
+/// Mark every member whose machine is owner-free as running (the other
+/// choke point) and return how many run. Under the all-or-nothing
+/// policies this only ever fires with zero busy members, so the whole
+/// gang flips together.
+fn resume_gang_members(gang: &mut GangState) -> u32 {
+    let mut running = 0u32;
+    for i in 0..gang.member_running.len() {
+        let on = !gang.member_busy[i];
+        gang.member_running[i] = on;
+        running += u32::from(on);
+    }
+    running
+}
+
+/// Re-verify the co-scheduling invariants across every gang: under the
+/// all-or-nothing policies, members of one job must agree on their
+/// run/suspend state at every event (lockstep); under the partial
+/// policies, a running gang must hold at least its `min_running` floor
+/// and at most its width. Both violation counters are pinned at zero
+/// by the workspace's property tests.
+fn verify_gang_invariants(st: &mut Sim) {
+    let partial = st.gang_policy.is_partial();
     for g in &st.gangs {
-        let running = g.member_running.iter().filter(|&&r| r).count();
-        if running != 0 && running != g.member_running.len() {
+        let running = running_members(g);
+        if running == 0 {
+            continue;
+        }
+        if partial {
+            if running < g.floor || running > g.width {
+                st.gacc.floor_violations += 1;
+            }
+        } else if running as usize != g.member_running.len() {
             st.gacc.lockstep_violations += 1;
+        }
+    }
+}
+
+/// Close gang `j`'s in-flight segment at `now`: cancel its end event
+/// and account the elapsed slice — delivered machine-time at the
+/// segment's member count, per-task progress at its (possibly
+/// degraded) rate, and the effective-parallelism / degraded-mode
+/// integrals. Callers then suspend, migrate, or restart the gang at a
+/// new rate.
+fn close_gang_segment(engine: &mut Engine, st: &mut Sim, j: usize, now: f64) {
+    let gang = &mut st.gangs[j];
+    let GangPhase::Running {
+        is_setup,
+        rate,
+        slice_start,
+        event,
+        ..
+    } = gang.phase
+    else {
+        unreachable!("only running gangs carry a segment to close")
+    };
+    engine.cancel(event);
+    let elapsed = now - slice_start;
+    let r = f64::from(running_members(gang));
+    st.acc.delivered += r * elapsed;
+    if is_setup {
+        // An interrupted restore is redone in full next time.
+        st.acc.wasted += r * elapsed;
+    } else {
+        gang.remaining -= rate * elapsed;
+        st.gacc.parallelism_integral += r * elapsed;
+        if (r as u32) < gang.width {
+            st.gacc.degraded_time += elapsed;
         }
     }
 }
@@ -827,44 +982,29 @@ fn frag_update(st: &mut Sim, now: f64) {
     st.frag_free = st.pool.candidates().len();
 }
 
-/// Owner reclaim on machine `m` under a gang policy. Returns whether
-/// machines were freed (so the queue should be re-dispatched).
-fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> bool {
+/// Owner reclaim on machine `m` under a gang policy. The reclaimed
+/// member suspends in place beneath its owner; what happens to the
+/// rest of the gang is the policy's call — suspend everyone
+/// (all-or-nothing, or a partial gang dropping through its floor),
+/// keep computing at a degraded rate (partial, at or above the
+/// floor), or migrate the whole gang back to the queue.
+fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> ReclaimOutcome {
     let Some(j) = st.machine_gang[m] else {
         frag_update(st, now);
-        return false;
+        return ReclaimOutcome::nothing();
     };
     let policy = st.gang_policy;
-    let redispatch = match st.gangs[j].phase {
-        GangPhase::Running {
-            is_setup,
-            slice_start,
-            event,
-            ..
-        } => {
-            engine.cancel(event);
-            let gang = &mut st.gangs[j];
-            let k = gang.members.len() as f64;
-            let elapsed = now - slice_start;
-            st.acc.delivered += k * elapsed;
-            if is_setup {
-                // An interrupted restore is redone in full next time.
-                st.acc.wasted += k * elapsed;
-            } else {
-                gang.remaining -= elapsed;
+    let outcome = match st.gangs[j].phase {
+        GangPhase::Running { .. } => {
+            close_gang_segment(engine, st, j, now);
+            {
+                let gang = &mut st.gangs[j];
+                let idx = member_index(gang, m);
+                gang.member_busy[idx] = true;
+                gang.member_running[idx] = false;
             }
             st.acc.evictions += 1;
             match policy {
-                GangPolicy::SuspendAll => {
-                    st.acc.suspensions += 1;
-                    st.gacc.gang_suspensions += 1;
-                    set_gang_running(gang, false);
-                    gang.phase = GangPhase::Suspended {
-                        busy: 1,
-                        last_t: now,
-                    };
-                    false
-                }
                 GangPolicy::MigrateAll { overhead } => {
                     // One eviction event resolved by one (whole-gang)
                     // migration: like `evictions` and `suspensions`,
@@ -873,14 +1013,16 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
                     // gang size).
                     st.acc.migrations += 1;
                     st.gacc.gang_migrations += 1;
-                    set_gang_running(gang, false);
+                    let gang = &mut st.gangs[j];
                     gang.phase = GangPhase::Queued;
                     gang.setup_left = overhead;
                     gang.member_running.clear();
+                    gang.member_busy.clear();
                     let members = std::mem::take(&mut gang.members);
                     let pending = PendingGang {
                         job: j,
-                        tasks: members.len() as u32,
+                        tasks: gang.width,
+                        min_tasks: gang.floor,
                         demand: gang.demand,
                         remaining: gang.remaining,
                         setup: overhead,
@@ -891,58 +1033,99 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
                         st.machine_gang[mm] = None;
                     }
                     st.gang_queue.push(pending);
-                    true
+                    ReclaimOutcome {
+                        redispatch: true,
+                        restart: None,
+                    }
                 }
                 GangPolicy::Off => unreachable!("gang paths need a gang policy"),
+                // Suspend-below-floor semantics, shared by SuspendAll
+                // (whose floor is the full width, so any reclaim drops
+                // through it) and the partial policies.
+                _ => {
+                    st.acc.suspensions += 1;
+                    let gang = &mut st.gangs[j];
+                    if running_members(gang) >= gang.floor {
+                        // Degraded mode: the survivors keep computing
+                        // at a lower rate. The phase parks Suspended
+                        // until the caller reopens the segment.
+                        gang.phase = GangPhase::Suspended { last_t: now };
+                        ReclaimOutcome {
+                            redispatch: false,
+                            restart: Some(j),
+                        }
+                    } else {
+                        st.gacc.gang_suspensions += 1;
+                        suspend_gang_members(gang);
+                        gang.phase = GangPhase::Suspended { last_t: now };
+                        ReclaimOutcome::nothing()
+                    }
+                }
             }
         }
-        GangPhase::Suspended { busy, last_t } => {
+        GangPhase::Suspended { last_t } => {
             // Another member machine reclaimed while the gang already
             // sleeps: extend the stall bookkeeping, nothing to evict.
             let gang = &mut st.gangs[j];
             let k = gang.members.len() as u32;
+            let busy = busy_members(gang);
             st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
-            gang.phase = GangPhase::Suspended {
-                busy: busy + 1,
-                last_t: now,
-            };
-            false
+            let idx = member_index(gang, m);
+            gang.member_busy[idx] = true;
+            gang.phase = GangPhase::Suspended { last_t: now };
+            ReclaimOutcome::nothing()
         }
         GangPhase::Queued | GangPhase::Done => {
             unreachable!("machines only map to placed, unfinished gangs")
         }
     };
     frag_update(st, now);
-    verify_lockstep(st);
-    redispatch
+    verify_gang_invariants(st);
+    outcome
 }
 
 /// Owner departure on machine `m` under a gang policy: wake the gang
-/// once every member's owner is away, or offer the machine to the
-/// queue.
-fn gang_owner_release(st: &mut Sim, now: f64, m: usize) -> Departure {
+/// once enough members' owners are away (all of them under the
+/// all-or-nothing policies, the `min_running` floor under a partial
+/// policy), rejoin a degraded partial gang mid-run, or offer the
+/// machine to the queue.
+fn gang_owner_release(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> Departure {
     let Some(j) = st.machine_gang[m] else {
         return Departure::Dispatch;
     };
-    let gang = &mut st.gangs[j];
-    let k = gang.members.len() as u32;
-    match gang.phase {
-        GangPhase::Suspended { busy, last_t } => {
+    match st.gangs[j].phase {
+        GangPhase::Suspended { last_t } => {
+            let gang = &mut st.gangs[j];
+            let k = gang.members.len() as u32;
+            let busy = busy_members(gang);
             st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
-            if busy == 1 {
+            let idx = member_index(gang, m);
+            gang.member_busy[idx] = false;
+            if k - (busy - 1) >= gang.floor {
                 // Phase flips to Running inside start_gang_segment.
                 Departure::ResumeGang(j)
             } else {
-                gang.phase = GangPhase::Suspended {
-                    busy: busy - 1,
-                    last_t: now,
-                };
+                gang.phase = GangPhase::Suspended { last_t: now };
                 Departure::Nothing
             }
         }
-        // A running gang implies every member's owner is away, and a
-        // queued/done gang holds no machines: an owner departing a
-        // member machine can only find the gang suspended.
+        // Partial gangs keep computing through member reclaims, so an
+        // owner can depart a member machine while the gang runs
+        // degraded: the member rejoins and the rate steps back up.
+        GangPhase::Running { .. } if st.gang_policy.is_partial() => {
+            {
+                let gang = &mut st.gangs[j];
+                let idx = member_index(gang, m);
+                gang.member_busy[idx] = false;
+            }
+            close_gang_segment(engine, st, j, now);
+            st.gangs[j].phase = GangPhase::Suspended { last_t: now };
+            Departure::ResumeGang(j)
+        }
+        // Under the all-or-nothing policies a running gang implies
+        // every member's owner is away, and a queued/done gang holds
+        // no machines: an owner departing a member machine can only
+        // find the gang suspended.
         GangPhase::Running { .. } | GangPhase::Queued | GangPhase::Done => {
             unreachable!("owner departs a member machine only while the gang sleeps")
         }
@@ -950,69 +1133,141 @@ fn gang_owner_release(st: &mut Sim, now: f64, m: usize) -> Departure {
 }
 
 /// Match waiting gangs to free machines until nothing more fits.
+///
+/// Under a partial policy, already-placed gangs still below their full
+/// width absorb freed machines first (one per step, lowest job index
+/// first — a computing gang completing its placement beats admitting
+/// new work), then queued gangs are admitted with `min(free, width)`
+/// machines — at least their floor, by [`GangQueue::pop_fitting`]'s
+/// contract.
 fn gang_dispatch(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
     loop {
-        let started = {
+        let (j, start) = {
             let mut st = sim.borrow_mut();
             let st = &mut *st;
             let now = engine.now().as_f64();
-            if st.done || st.gang_queue.is_empty() {
+            if st.done {
                 frag_update(st, now);
                 return;
             }
             let candidates = st.pool.candidates();
-            let Some(pending) = st.gang_queue.pop_fitting(st.discipline, candidates.len()) else {
-                frag_update(st, now);
-                return;
+            let grower = if st.gang_policy.is_partial() && !candidates.is_empty() {
+                (0..st.gangs.len()).find(|&g| {
+                    let gang = &st.gangs[g];
+                    (gang.members.len() as u32) < gang.width
+                        && matches!(
+                            gang.phase,
+                            GangPhase::Running { .. } | GangPhase::Suspended { .. }
+                        )
+                })
+            } else {
+                None
             };
-            let j = pending.job;
-            let k = pending.tasks as usize;
-            let mut cands = candidates;
-            let mut members = Vec::with_capacity(k);
-            for _ in 0..k {
-                let chosen = st.placement.choose(&cands, &mut st.placement_rng);
-                let m = cands[chosen].machine;
-                cands.remove(chosen);
+            if let Some(g) = grower {
+                // Grow an under-placed gang by one member.
+                let was_running = matches!(st.gangs[g].phase, GangPhase::Running { .. });
+                if was_running {
+                    close_gang_segment(engine, st, g, now);
+                } else if let GangPhase::Suspended { last_t } = st.gangs[g].phase {
+                    // Membership is about to change: settle the stall
+                    // integral at the old member count.
+                    let gang = &mut st.gangs[g];
+                    let k = gang.members.len() as u32;
+                    let busy = busy_members(gang);
+                    st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+                    gang.phase = GangPhase::Suspended { last_t: now };
+                }
+                let chosen = st.placement.choose(&candidates, &mut st.placement_rng);
+                let m = candidates[chosen].machine;
                 st.pool.set_occupied(now, m, true);
-                st.machine_gang[m] = Some(j);
-                members.push(m);
+                st.machine_gang[m] = Some(g);
+                st.acc.placements += 1;
+                let gang = &mut st.gangs[g];
+                gang.members.push(m);
+                gang.member_busy.push(false);
+                gang.member_running.push(false);
+                let avail = gang.members.len() as u32 - busy_members(gang);
+                let start = was_running || avail >= gang.floor;
+                if was_running {
+                    // Parked until the segment reopens below.
+                    gang.phase = GangPhase::Suspended { last_t: now };
+                }
+                frag_update(st, now);
+                (g, start)
+            } else {
+                // Admit the next fitting gang from the queue.
+                if st.gang_queue.is_empty() {
+                    frag_update(st, now);
+                    return;
+                }
+                let Some(pending) = st.gang_queue.pop_fitting(st.discipline, candidates.len())
+                else {
+                    frag_update(st, now);
+                    return;
+                };
+                let j = pending.job;
+                let n = (pending.tasks as usize).min(candidates.len());
+                let mut cands = candidates;
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let chosen = st.placement.choose(&cands, &mut st.placement_rng);
+                    let m = cands[chosen].machine;
+                    cands.remove(chosen);
+                    st.pool.set_occupied(now, m, true);
+                    st.machine_gang[m] = Some(j);
+                    members.push(m);
+                }
+                st.acc.placements += n as u64;
+                st.acc.total_wait += n as f64 * (now - pending.enqueued_at);
+                st.gacc.gang_starts += 1;
+                st.gacc.coalloc_wait += now - pending.enqueued_at;
+                let gang = &mut st.gangs[j];
+                gang.member_running = vec![false; n];
+                gang.member_busy = vec![false; n];
+                gang.members = members;
+                frag_update(st, now);
+                (j, true)
             }
-            st.acc.placements += k as u64;
-            st.acc.total_wait += k as f64 * (now - pending.enqueued_at);
-            st.gacc.gang_starts += 1;
-            st.gacc.coalloc_wait += now - pending.enqueued_at;
-            let gang = &mut st.gangs[j];
-            gang.member_running = vec![false; k];
-            gang.members = members;
-            frag_update(st, now);
-            j
         };
-        start_gang_segment(engine, sim, started);
+        if start {
+            start_gang_segment(engine, sim, j);
+        }
     }
 }
 
-/// Begin the gang's next lockstep segment (setup after a migration,
-/// else the whole remaining work — gangs only stop when interrupted).
+/// Begin the gang's next segment (setup after a migration, else the
+/// whole remaining work — gangs only stop when interrupted). Every
+/// member whose machine is owner-free runs; the per-task progress rate
+/// is `running / width`, so a full gang computes at rate one and a
+/// degraded partial gang proportionally slower.
 fn start_gang_segment(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
     let delay = {
         let mut st = sim.borrow_mut();
         let st = &mut *st;
         let now = engine.now().as_f64();
         let gang = &mut st.gangs[j];
-        let (len, is_setup) = if gang.setup_left > 0.0 {
+        let running = resume_gang_members(gang);
+        debug_assert!(
+            running >= gang.floor,
+            "segment starts require the co-scheduling floor"
+        );
+        let rate = f64::from(running) / f64::from(gang.width);
+        let (work, is_setup) = if gang.setup_left > 0.0 {
             (gang.setup_left, true)
         } else {
             (gang.remaining.max(0.0), false)
         };
+        let wall = work / rate;
         gang.phase = GangPhase::Running {
             is_setup,
-            len,
+            work,
+            wall,
+            rate,
             slice_start: now,
             event: 0,
         };
-        set_gang_running(gang, true);
-        verify_lockstep(st);
-        len
+        verify_gang_invariants(st);
+        wall
     };
     let sc = Rc::clone(sim);
     let ev = engine
@@ -1030,18 +1285,28 @@ fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
         let mut st = sim.borrow_mut();
         let st = &mut *st;
         let gang = &mut st.gangs[j];
-        let GangPhase::Running { is_setup, len, .. } = gang.phase else {
+        let GangPhase::Running {
+            is_setup,
+            work,
+            wall,
+            ..
+        } = gang.phase
+        else {
             unreachable!("gang segments end only while running")
         };
-        let k = gang.members.len() as f64;
-        st.acc.delivered += k * len;
+        let r = f64::from(running_members(gang));
+        st.acc.delivered += r * wall;
         if is_setup {
             // Migration restore: wasted work, then compute for real.
-            st.acc.wasted += k * len;
+            st.acc.wasted += r * wall;
             gang.setup_left = 0.0;
             false
         } else {
-            gang.remaining -= len;
+            gang.remaining -= work;
+            st.gacc.parallelism_integral += r * wall;
+            if (r as u32) < gang.width {
+                st.gacc.degraded_time += wall;
+            }
             // Work segments span the whole remaining demand, so an
             // undisturbed end is always a completion.
             true
@@ -1055,18 +1320,23 @@ fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
         let mut st = sim.borrow_mut();
         let st = &mut *st;
         let gang = &mut st.gangs[j];
-        set_gang_running(gang, false);
+        suspend_gang_members(gang);
         gang.phase = GangPhase::Done;
         gang.member_running.clear();
+        gang.member_busy.clear();
         let demand = gang.demand;
+        let width = gang.width;
         let members = std::mem::take(&mut gang.members);
         for &m in &members {
             st.pool.set_occupied(now, m, false);
             st.machine_gang[m] = None;
         }
-        let k = members.len();
-        st.acc.goodput += k as f64 * demand;
-        st.acc.completed_tasks += k as u64;
+        // The job completes all `width` tasks' worth of work even if a
+        // partial gang never placed its full width (the shared clock
+        // already charged the missing members' share via the degraded
+        // rate).
+        st.acc.goodput += f64::from(width) * demand;
+        st.acc.completed_tasks += u64::from(width);
         let job = &mut st.jobs[j];
         job.tasks_left = 0;
         job.record.completion = now;
@@ -1076,7 +1346,7 @@ fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
             st.makespan = now;
         }
         frag_update(st, now);
-        verify_lockstep(st);
+        verify_gang_invariants(st);
         st.done
     };
     if !all_done {
@@ -1324,6 +1594,116 @@ mod tests {
     // (The gang-of-one bit-for-bit equivalence with the independent
     // engine lives in the workspace suite, tests/gang_invariants.rs,
     // which sweeps every placement policy and queue discipline.)
+
+    #[test]
+    fn partial_gang_degrades_instead_of_suspending() {
+        let m = gang_config(GangPolicy::Partial { min_running: 2 })
+            .run()
+            .unwrap();
+        assert_eq!(m.completed_tasks, 12);
+        assert_eq!(m.wasted, 0.0, "suspend-in-place loses no work");
+        assert!((m.goodput - m.total_demand).abs() < 1e-9);
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+        assert_eq!(m.gang.floor_violations, 0);
+        assert_eq!(m.gang.lockstep_violations, 0);
+        assert!(
+            m.gang.degraded_time > 0.0,
+            "15% owners must push some gang below full width"
+        );
+        // Conservation: the effective-parallelism integral over work
+        // segments is exactly the demand served.
+        assert!(
+            (m.gang.parallelism_integral - m.total_demand).abs() <= 1e-9 * m.total_demand,
+            "∫rate·dt = {} vs demand {}",
+            m.gang.parallelism_integral,
+            m.total_demand
+        );
+        // Degraded continuation beats freezing: fewer whole-gang
+        // suspensions than suspend-all sees on the same sample paths.
+        let sa = gang_config(GangPolicy::SuspendAll).run().unwrap();
+        assert!(m.gang.gang_suspensions <= sa.gang.gang_suspensions);
+    }
+
+    #[test]
+    fn partial_floor_at_width_is_bit_for_bit_suspend_all() {
+        // min_running clamps to each gang's width, so a huge floor
+        // turns Partial into SuspendAll — including every float in
+        // every metric (the rate is exactly 1.0 on all paths). The
+        // workspace property suite sweeps this across random configs;
+        // this is the fast in-crate pin.
+        let partial = gang_config(GangPolicy::Partial {
+            min_running: u32::MAX,
+        })
+        .run()
+        .unwrap();
+        let suspend = gang_config(GangPolicy::SuspendAll).run().unwrap();
+        assert_eq!(partial, suspend);
+        let frac = gang_config(GangPolicy::PartialFrac {
+            min_running_frac: 1.0,
+        })
+        .run()
+        .unwrap();
+        assert_eq!(frac, suspend);
+    }
+
+    #[test]
+    fn partial_gang_wider_than_the_pool_completes_degraded() {
+        // 6 tasks on 4 machines can never fully co-allocate, but with a
+        // floor of 2 the gang is admitted, runs at rate <= 4/6, and
+        // still conserves its full demand.
+        let mut cfg = SchedConfig::homogeneous(4, &owner(0.05), vec![JobSpec::at_zero(6, 30.0)]);
+        cfg.gang = GangPolicy::Partial { min_running: 2 };
+        cfg.seed = 11;
+        let m = cfg.run().unwrap();
+        assert_eq!(m.completed_tasks, 6);
+        assert!((m.goodput - m.total_demand).abs() < 1e-9);
+        assert!(m.is_consistent());
+        assert_eq!(m.gang.floor_violations, 0);
+        assert!(
+            m.gang.degraded_time > 0.0,
+            "an under-placed gang is degraded by definition"
+        );
+        assert!(
+            m.makespan >= 30.0 * 6.0 / 4.0 - 1e-9,
+            "rate cannot exceed pool/width"
+        );
+        // The same job is rejected under all-or-nothing co-allocation.
+        cfg.gang = GangPolicy::SuspendAll;
+        assert!(matches!(
+            cfg.run(),
+            Err(SchedError::InvalidConfig { field: "jobs", .. })
+        ));
+        // And a floor wider than the pool is rejected for partial too.
+        cfg.gang = GangPolicy::Partial { min_running: 5 };
+        assert!(matches!(
+            cfg.run(),
+            Err(SchedError::InvalidConfig { field: "jobs", .. })
+        ));
+    }
+
+    #[test]
+    fn partial_replay_is_deterministic() {
+        let cfg = gang_config(GangPolicy::Partial { min_running: 3 });
+        let a = cfg.run().unwrap();
+        assert_eq!(a, cfg.run().unwrap(), "same seed must replay identically");
+        let mut cfg2 = cfg.clone();
+        cfg2.replication = 1;
+        assert_ne!(a.makespan, cfg2.run().unwrap().makespan);
+    }
+
+    #[test]
+    fn rejects_invalid_partial_policies() {
+        let mut cfg = gang_config(GangPolicy::Partial { min_running: 0 });
+        assert!(cfg.run().is_err());
+        cfg.gang = GangPolicy::PartialFrac {
+            min_running_frac: 0.0,
+        };
+        assert!(cfg.run().is_err());
+        cfg.gang = GangPolicy::PartialFrac {
+            min_running_frac: 2.0,
+        };
+        assert!(cfg.run().is_err());
+    }
 
     #[test]
     fn gang_fragmentation_prices_unusable_free_machines() {

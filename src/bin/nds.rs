@@ -66,7 +66,9 @@ fn print_usage() {
          \x20                                 open Poisson stream, steady-state response CI\n\
          \x20 gang        [--workstations W] [--utilization U] [--owner-demand O]\n\
          \x20             [--jobs N] [--gang-size K] [--task-demand T] [--arrival-gap G]\n\
-         \x20             [--gang suspend-all|migrate-all|off] [--overhead C]\n\
+         \x20             [--gang suspend-all|migrate-all|partial|off] [--overhead C]\n\
+         \x20             [--min-running F | --min-running-frac X]\n\
+         \x20                                 partial-gang floor (implies --gang partial)\n\
          \x20             [--placement P] [--discipline D] [--seed S] [--reps R]\n\
          \x20                                 gang co-allocation vs independent tasks\n\
          \x20 help                            this message"
@@ -592,11 +594,12 @@ fn cmd_gang(args: &[String]) -> i32 {
                 u64::from(default_size),
                 u64::from(u32::MAX),
             )? as u32,
+            int_flag(args, "--min-running", 0, u64::from(u32::MAX))? as u32,
             int_flag(args, "--seed", 2024, u64::MAX)?,
             int_flag(args, "--reps", 5, 1 << 20)?.max(1),
         ))
     })();
-    let (w, jobs, gang_size, seed, reps) = match ints {
+    let (w, jobs, gang_size, min_running, seed, reps) = match ints {
         Ok(v) => v,
         Err(e) => {
             eprintln!("gang: {e}");
@@ -608,19 +611,47 @@ fn cmd_gang(args: &[String]) -> i32 {
     let task_demand = flag(args, "--task-demand").unwrap_or(default_demand);
     let arrival_gap = flag(args, "--arrival-gap").unwrap_or(default_gap);
     let overhead = flag(args, "--overhead").unwrap_or(2.0);
-    let gang = match GangPolicy::parse(
-        string_flag(args, "--gang").unwrap_or("suspend-all"),
-        overhead,
-    ) {
+    // An explicit floor flag selects the partial policy unless the
+    // caller named one (`--min-running 0` clamps to 1, like every
+    // other surface); `--gang partial` without a floor defaults to
+    // half the gang (rounded up by the per-job clamp). A fractional
+    // floor picks the PartialFrac spelling directly.
+    let min_running_given = has_flag(args, "--min-running");
+    let frac = flag(args, "--min-running-frac");
+    let default_policy = if min_running_given || frac.is_some() {
+        "partial"
+    } else {
+        "suspend-all"
+    };
+    let policy_name = string_flag(args, "--gang").unwrap_or(default_policy);
+    let gang = match (policy_name, frac) {
+        ("partial" | "min-running", Some(min_running_frac)) => {
+            Some(GangPolicy::PartialFrac { min_running_frac })
+        }
+        _ => GangPolicy::parse(
+            policy_name,
+            overhead,
+            if min_running_given {
+                min_running
+            } else {
+                gang_size.div_ceil(2)
+            },
+        ),
+    };
+    let gang = match gang {
         Some(g) => g,
         None => {
             eprintln!(
-                "gang: unknown gang policy {} (suspend-all | migrate-all | off)",
-                string_flag(args, "--gang").unwrap_or_default()
+                "gang: unknown gang policy {policy_name} \
+                 (suspend-all | migrate-all | partial | off)"
             );
             return 2;
         }
     };
+    if let Err((field, reason)) = gang.validate() {
+        eprintln!("gang: {field}: {reason}");
+        return 2;
+    }
     let (placement, eviction, discipline) = match policy_flags(args) {
         Ok(p) => p,
         Err(e) => {
@@ -716,6 +747,16 @@ fn cmd_gang(args: &[String]) -> i32 {
         "gang fragmentation",
         &format!("{:.1}", report.mean_fragmentation()),
     ]);
+    if gang.is_partial() {
+        t.row([
+            "degraded-mode time",
+            &format!("{:.1}", report.mean_degraded_time()),
+        ]);
+        t.row([
+            "effective parallelism",
+            &format!("{:.2}", report.mean_effective_parallelism()),
+        ]);
+    }
     if let Some(ind) = &independent {
         t.row([
             "independent-task makespan",
@@ -732,9 +773,12 @@ fn cmd_gang(args: &[String]) -> i32 {
     print!("{}", t.render());
     let consistent = report.is_consistent()
         && independent.as_ref().is_none_or(SimReport::is_consistent)
-        && report.runs.iter().all(|m| m.gang.lockstep_violations == 0);
+        && report
+            .runs
+            .iter()
+            .all(|m| m.gang.lockstep_violations == 0 && m.gang.floor_violations == 0);
     println!(
-        "\nwork conservation + gang lockstep invariants: {}",
+        "\nwork conservation + gang lockstep/floor invariants: {}",
         if consistent { "hold" } else { "VIOLATED" }
     );
     i32::from(!consistent)
