@@ -3,10 +3,33 @@
 //! Parameters come from [`nds_core::scenario::Scenario`] so every
 //! consumer (binary, bench, test, EXPERIMENTS.md) sees the same
 //! experiment definitions.
+//!
+//! Every figure's sweep is sharded through [`nds_core::sweep`] as one
+//! flat (curve × point) grid — not one `parallel_map` per curve with a
+//! sequential outer loop — so `fig01`–`fig11` regeneration saturates
+//! the machine regardless of how many curves a figure has. Results
+//! are spliced back in input order, so the rendered tables are
+//! byte-identical to the sequential path.
 
 use crate::series::FigureSeries;
 use nds_core::scenario::{Scenario, OWNER_DEMAND};
 use nds_core::sweep::parallel_map;
+
+/// Evaluate `f` over the full `curves × xs` grid through one
+/// [`parallel_map`] fan-out, returning one `Vec<f64>` per curve in
+/// input order.
+fn grid_map<C: Sync, X: Sync>(
+    curves: &[C],
+    xs: &[X],
+    threads: usize,
+    f: impl Fn(&C, &X) -> f64 + Sync,
+) -> Vec<Vec<f64>> {
+    let pairs: Vec<(usize, usize)> = (0..curves.len())
+        .flat_map(|c| (0..xs.len()).map(move |x| (c, x)))
+        .collect();
+    let flat = parallel_map(&pairs, threads, |&(c, x)| f(&curves[c], &xs[x]));
+    flat.chunks(xs.len()).map(<[f64]>::to_vec).collect()
+}
 use nds_model::metrics::{evaluate, Metrics};
 use nds_model::params::{ModelInputs, OwnerParams};
 use nds_model::scaled::scaled_sweep;
@@ -63,12 +86,12 @@ pub fn fixed_size_figure(job_demand: f64, metric: FixedSizeMetric) -> FigureSeri
     ) {
         curves.push(("perfect".to_string(), x.clone()));
     }
-    for &u in &utils {
-        let ys = parallel_map(&ws, 8, |&w| {
-            let inputs = ModelInputs::from_utilization(job_demand, w, OWNER_DEMAND, u)
-                .expect("scenario parameters are valid");
-            metric.extract(&evaluate(&inputs))
-        });
+    let grid = grid_map(&utils, &ws, 8, |&u, &w| {
+        let inputs = ModelInputs::from_utilization(job_demand, w, OWNER_DEMAND, u)
+            .expect("scenario parameters are valid");
+        metric.extract(&evaluate(&inputs))
+    });
+    for (&u, ys) in utils.iter().zip(grid) {
         curves.push((format!("util={u}"), ys));
     }
     FigureSeries {
@@ -84,16 +107,18 @@ pub fn fixed_size_figure(job_demand: f64, metric: FixedSizeMetric) -> FigureSeri
 pub fn task_ratio_figure_w60() -> FigureSeries {
     let scenario = Scenario::TaskRatioAt60;
     let ratios = scenario.task_ratios();
-    let mut curves = Vec::new();
-    for &u in &scenario.utilizations() {
-        let ys = parallel_map(&ratios, 8, |&r| {
-            let t = r * OWNER_DEMAND;
-            let inputs = ModelInputs::from_utilization(t * 60.0, 60, OWNER_DEMAND, u)
-                .expect("valid parameters");
-            evaluate(&inputs).weighted_efficiency
-        });
-        curves.push((format!("util={u}"), ys));
-    }
+    let utils = scenario.utilizations();
+    let grid = grid_map(&utils, &ratios, 8, |&u, &r| {
+        let t = r * OWNER_DEMAND;
+        let inputs =
+            ModelInputs::from_utilization(t * 60.0, 60, OWNER_DEMAND, u).expect("valid parameters");
+        evaluate(&inputs).weighted_efficiency
+    });
+    let curves = utils
+        .iter()
+        .zip(grid)
+        .map(|(&u, ys)| (format!("util={u}"), ys))
+        .collect();
     FigureSeries {
         title: "Figure 7: weighted efficiency vs task ratio, W = 60".into(),
         x_label: "task ratio".into(),
@@ -107,16 +132,18 @@ pub fn task_ratio_figure_w60() -> FigureSeries {
 pub fn task_ratio_by_size_figure() -> FigureSeries {
     let scenario = Scenario::TaskRatioBySize;
     let ratios = scenario.task_ratios();
-    let mut curves = Vec::new();
-    for &w in &scenario.workstations() {
-        let ys = parallel_map(&ratios, 8, |&r| {
-            let t = r * OWNER_DEMAND;
-            let inputs = ModelInputs::from_utilization(t * f64::from(w), w, OWNER_DEMAND, 0.10)
-                .expect("valid parameters");
-            evaluate(&inputs).weighted_efficiency
-        });
-        curves.push((format!("numProc={w}"), ys));
-    }
+    let ws = scenario.workstations();
+    let grid = grid_map(&ws, &ratios, 8, |&w, &r| {
+        let t = r * OWNER_DEMAND;
+        let inputs = ModelInputs::from_utilization(t * f64::from(w), w, OWNER_DEMAND, 0.10)
+            .expect("valid parameters");
+        evaluate(&inputs).weighted_efficiency
+    });
+    let curves = ws
+        .iter()
+        .zip(grid)
+        .map(|(&w, ys)| (format!("numProc={w}"), ys))
+        .collect();
     FigureSeries {
         title: "Figure 8: weighted efficiency vs task ratio, U = 10%".into(),
         x_label: "task ratio".into(),
@@ -131,15 +158,16 @@ pub fn scaled_figure() -> FigureSeries {
     let ws = scenario.workstations();
     let t0 = scenario.per_node_demand().expect("scaled scenario has T0");
     let x: Vec<f64> = ws.iter().map(|&w| f64::from(w)).collect();
-    let mut curves = Vec::new();
-    for &u in &scenario.utilizations() {
+    let utils = scenario.utilizations();
+    let grid = grid_map(&utils, &ws, 8, |&u, &w| {
         let owner = OwnerParams::from_utilization(OWNER_DEMAND, u).expect("valid");
-        let pts = scaled_sweep(t0, &ws, owner).expect("valid sweep");
-        curves.push((
-            format!("util={u}"),
-            pts.iter().map(|p| p.expected_job_time).collect(),
-        ));
-    }
+        scaled_sweep(t0, &[w], owner).expect("valid sweep")[0].expected_job_time
+    });
+    let curves = utils
+        .iter()
+        .zip(grid)
+        .map(|(&u, ys)| (format!("util={u}"), ys))
+        .collect();
     FigureSeries {
         title: "Figure 9: scaled problem (J = 100·W) job time vs W".into(),
         x_label: "W".into(),
@@ -164,24 +192,21 @@ pub fn validation_time_figure(replications: u32) -> FigureSeries {
     };
     let x: Vec<f64> = ws.iter().map(|&w| f64::from(w)).collect();
     let mut curves = Vec::new();
-    for &m in &demands {
-        let points = parallel_map(&ws, 6, |&w| {
-            harness
-                .run_point(w, m)
-                .expect("valid point")
-                .mean_max_task_time
-        });
+    let measured = grid_map(&demands, &ws, 6, |&m, &w| {
+        harness
+            .run_point(w, m)
+            .expect("valid point")
+            .mean_max_task_time
+    });
+    for (&m, points) in demands.iter().zip(measured) {
         curves.push((format!("measured {m}"), points));
     }
-    for &m in &demands {
+    let analytic = grid_map(&demands, &ws, 8, |&m, &w| {
         let owner = OwnerParams::from_utilization(OWNER_DEMAND, utilization).expect("valid");
-        let ys = ws
-            .iter()
-            .map(|&w| {
-                let t = f64::from(m) * 60.0 / f64::from(w);
-                nds_model::expectation::expected_job_time(t, w, owner)
-            })
-            .collect();
+        let t = f64::from(m) * 60.0 / f64::from(w);
+        nds_model::expectation::expected_job_time(t, w, owner)
+    });
+    for (&m, ys) in demands.iter().zip(analytic) {
         curves.push((format!("analytic {m}"), ys));
     }
     FigureSeries {
@@ -208,13 +233,13 @@ pub fn validation_speedup_figure(replications: u32) -> FigureSeries {
     };
     let x: Vec<f64> = ws.iter().map(|&w| f64::from(w)).collect();
     let mut curves = vec![("perfect".to_string(), x.clone())];
-    for &m in &demands {
-        let times = parallel_map(&ws, 6, |&w| {
-            harness
-                .run_point(w, m)
-                .expect("valid point")
-                .mean_max_task_time
-        });
+    let measured = grid_map(&demands, &ws, 6, |&m, &w| {
+        harness
+            .run_point(w, m)
+            .expect("valid point")
+            .mean_max_task_time
+    });
+    for (&m, times) in demands.iter().zip(measured) {
         let base = times[0];
         curves.push((
             format!("demand {m}"),

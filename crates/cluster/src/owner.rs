@@ -11,18 +11,23 @@
 
 use crate::error::ClusterError;
 use nds_stats::distributions::{
-    Deterministic, Distribution, Exponential, Geometric, Hyperexponential, Mixture,
+    ClosedForm, Deterministic, Distribution, Exponential, Geometric, Hyperexponential, Mixture,
 };
 use nds_stats::rng::Xoshiro256StarStar;
 use std::sync::Arc;
 
 /// An owner's stochastic behaviour: think times and service demands.
 ///
-/// Cheap to clone (distributions are shared).
+/// Cheap to clone (distributions are shared). Distributions with a
+/// [`ClosedForm`] recipe are cached at construction so the scheduler's
+/// hot loop samples them inline — bit-identical draws, no virtual call
+/// per owner event.
 #[derive(Debug, Clone)]
 pub struct OwnerWorkload {
     think: Arc<dyn Distribution>,
     service: Arc<dyn Distribution>,
+    think_fast: Option<ClosedForm>,
+    service_fast: Option<ClosedForm>,
     label: String,
 }
 
@@ -33,9 +38,13 @@ impl OwnerWorkload {
         service: Arc<dyn Distribution>,
         label: impl Into<String>,
     ) -> Self {
+        let think_fast = think.closed_form();
+        let service_fast = service.closed_form();
         Self {
             think,
             service,
+            think_fast,
+            service_fast,
             label: label.into(),
         }
     }
@@ -147,14 +156,23 @@ impl OwnerWorkload {
     }
 
     /// Sample a think time.
+    #[inline]
     pub fn sample_think(&self, rng: &mut Xoshiro256StarStar) -> f64 {
-        self.think.sample(rng)
+        match self.think_fast {
+            Some(fast) => fast.sample(rng),
+            None => self.think.sample(rng),
+        }
     }
 
     /// Sample a service demand (strictly positive; zero-demand samples
     /// are clamped to a tiny epsilon so facilities accept them).
+    #[inline]
     pub fn sample_service(&self, rng: &mut Xoshiro256StarStar) -> f64 {
-        self.service.sample(rng).max(1e-9)
+        let sample = match self.service_fast {
+            Some(fast) => fast.sample(rng),
+            None => self.service.sample(rng),
+        };
+        sample.max(1e-9)
     }
 
     /// Mean think time.

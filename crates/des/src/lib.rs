@@ -5,9 +5,15 @@
 //! from-scratch Rust substrate that fills that role for the whole
 //! workspace:
 //!
-//! * [`engine::Engine`] — event calendar + simulation clock; schedule
-//!   closures ([`engine::Engine::schedule`]) or typed events, run to a
-//!   horizon or to quiescence,
+//! * [`engine::Engine`] — the closure calendar + simulation clock;
+//!   schedule boxed closures ([`engine::Engine::schedule`]), run to a
+//!   horizon or to quiescence — the ergonomic engine for doc examples
+//!   and ad-hoc models,
+//! * [`calendar::Calendar`] — the typed, zero-allocation calendar:
+//!   plain event values in a slab with generation-counted handles, no
+//!   per-event boxing and no hash-set cancellation bookkeeping — the
+//!   substrate for hot-path engines with a closed event vocabulary
+//!   (see the two-calendar design notes on [`calendar`]),
 //! * [`facility::Facility`] — a CSIM-style service facility with
 //!   **preemptive-priority** scheduling, the exact discipline the paper
 //!   assumes ("when an owner process starts execution an executing
@@ -24,6 +30,7 @@
 //! with the same seed and same schedule order produce identical event
 //! sequences — ties in time are broken by insertion sequence number.
 
+pub mod calendar;
 pub mod engine;
 pub mod error;
 pub mod facility;
@@ -32,6 +39,7 @@ pub mod resource;
 pub mod time;
 pub mod trace;
 
+pub use calendar::{Calendar, EventHandle};
 pub use engine::{Engine, EventId};
 pub use error::DesError;
 pub use facility::{Facility, Preempted, Request, RequestId, RequestOutcome};

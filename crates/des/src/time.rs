@@ -31,6 +31,14 @@ impl SimTime {
         self.0
     }
 
+    /// Construct from a value already known to be finite and
+    /// nonnegative (e.g. round-tripped through a calendar key) without
+    /// re-running the public constructor's assertion on the hot path.
+    pub(crate) fn from_trusted(t: f64) -> Self {
+        debug_assert!(t.is_finite() && t >= 0.0, "trusted SimTime {t}");
+        SimTime(t)
+    }
+
     /// Saturating subtraction (never goes below zero).
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
         SimTime((self.0 - rhs.0).max(0.0))

@@ -230,10 +230,12 @@ pub struct GangStats {
     /// least one gang waited in the queue — capacity the scheduler
     /// could not use because no waiting gang fit into it.
     pub fragmentation: f64,
-    /// Events at which some all-or-nothing gang's members disagreed on
+    /// Events at which an all-or-nothing gang's members disagreed on
     /// their run/suspend state. Always zero: every state flip goes
     /// through one choke point that updates all members together, and
-    /// the engine re-verifies the invariant at every gang event. The
+    /// at every gang event the engine re-verifies the invariant for
+    /// the gang that event touched — the only gang whose state can
+    /// have changed (debug builds additionally sweep every gang). The
     /// workspace's property tests assert this stays zero.
     pub lockstep_violations: u64,
     /// Time-integral of gangs running in degraded mode — with fewer
@@ -250,7 +252,8 @@ pub struct GangStats {
     /// Events at which a gang was observed running with fewer members
     /// than its `min_running` floor (or more than its width). Always
     /// zero: the engine suspends the whole gang before membership can
-    /// drop through the floor, and re-verifies at every gang event.
+    /// drop through the floor, and re-verifies the touched gang at
+    /// every gang event (debug builds sweep every gang).
     pub floor_violations: u64,
 }
 

@@ -12,6 +12,19 @@
 //! still holds the machine's memory), and an exponentially-weighted
 //! [`UtilizationEstimator`]. It also integrates the available-machine
 //! count over time, the scheduler's analogue of the paper's `W`.
+//!
+//! # Incremental free-machine index
+//!
+//! The pool maintains its offerable-machine set *incrementally*: a
+//! sorted candidate list updated in place on every owner transition
+//! and occupancy change, plus an O(1) free-machine counter feeding the
+//! availability integral. [`Pool::candidates`] therefore returns a
+//! slice view — no `Vec` is materialized per dispatch iteration, and
+//! no O(W) membership scan runs per event. The list is kept in
+//! ascending machine order, which placement policies rely on
+//! (round-robin cursors, least-loaded and random tie-breaking), so the
+//! view is byte-for-byte the list the old allocating implementation
+//! built from scratch.
 
 use crate::policy::CandidateMachine;
 
@@ -74,6 +87,13 @@ pub struct Pool {
     // Time integral of the available-machine count.
     avail_integral: f64,
     last_change: f64,
+    /// Machines with owner away and no guest aboard (regardless of the
+    /// admission threshold) — the availability integral's integrand,
+    /// maintained incrementally.
+    free_count: usize,
+    /// Offerable machines (free *and* within the admission threshold),
+    /// in ascending machine order, maintained incrementally.
+    cand: Vec<CandidateMachine>,
 }
 
 impl Pool {
@@ -95,12 +115,18 @@ impl Pool {
                 ),
             })
             .collect();
-        Self {
+        let mut pool = Self {
             members,
             admission_threshold,
             avail_integral: 0.0,
             last_change: 0.0,
+            free_count: n,
+            cand: Vec::with_capacity(n),
+        };
+        for m in 0..n {
+            pool.refresh_candidate(m);
         }
+        pool
     }
 
     /// Number of machines in the pool (available or not).
@@ -109,27 +135,68 @@ impl Pool {
     }
 
     fn accumulate_availability(&mut self, now: f64) {
-        let avail = self.members.iter().filter(|m| self.member_free(m)).count();
-        self.avail_integral += (now - self.last_change) * avail as f64;
+        self.avail_integral += (now - self.last_change) * self.free_count as f64;
         self.last_change = now;
     }
 
-    fn member_free(&self, m: &Member) -> bool {
+    fn member_free(m: &Member) -> bool {
         !m.owner_busy && !m.occupied
     }
 
+    /// Re-sync machine `m`'s entry in the incremental candidate list
+    /// with its current state (owner presence, occupancy, estimate).
+    fn refresh_candidate(&mut self, m: usize) {
+        let member = &self.members[m];
+        let eligible =
+            Self::member_free(member) && member.estimator.estimate() <= self.admission_threshold;
+        match (eligible, self.cand.binary_search_by(|c| c.machine.cmp(&m))) {
+            (true, Ok(i)) => self.cand[i].load_estimate = member.estimator.estimate(),
+            (true, Err(i)) => self.cand.insert(
+                i,
+                CandidateMachine {
+                    machine: m,
+                    load_estimate: member.estimator.estimate(),
+                },
+            ),
+            (false, Ok(i)) => {
+                self.cand.remove(i);
+            }
+            (false, Err(_)) => {}
+        }
+    }
+
+    /// Apply a state change to machine `m`, keeping the free counter
+    /// and candidate index in sync.
+    fn transition(&mut self, m: usize, mutate: impl FnOnce(&mut Member)) {
+        let was_free = Self::member_free(&self.members[m]);
+        mutate(&mut self.members[m]);
+        let is_free = Self::member_free(&self.members[m]);
+        match (was_free, is_free) {
+            (true, false) => self.free_count -= 1,
+            (false, true) => self.free_count += 1,
+            _ => {}
+        }
+        // A machine that stays non-free is in the candidate list
+        // neither before nor after — nothing to probe.
+        if was_free || is_free {
+            self.refresh_candidate(m);
+        }
+    }
+
     /// Record an owner state transition on machine `m` at time `now`.
+    #[inline]
     pub fn owner_transition(&mut self, now: f64, m: usize, busy: bool) {
         self.accumulate_availability(now);
         let was_busy = self.members[m].owner_busy;
         self.members[m].estimator.observe(now, was_busy);
-        self.members[m].owner_busy = busy;
+        self.transition(m, |member| member.owner_busy = busy);
     }
 
     /// Record a guest task taking or releasing machine `m` at `now`.
+    #[inline]
     pub fn set_occupied(&mut self, now: f64, m: usize, occupied: bool) {
         self.accumulate_availability(now);
-        self.members[m].occupied = occupied;
+        self.transition(m, |member| member.occupied = occupied);
     }
 
     /// Whether machine `m`'s owner is currently busy.
@@ -144,17 +211,11 @@ impl Pool {
 
     /// Machines currently offerable to the scheduler: owner away, no
     /// guest aboard, and estimated load within the admission threshold.
-    pub fn candidates(&self) -> Vec<CandidateMachine> {
-        self.members
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| self.member_free(m))
-            .filter(|(_, m)| m.estimator.estimate() <= self.admission_threshold)
-            .map(|(i, m)| CandidateMachine {
-                machine: i,
-                load_estimate: m.estimator.estimate(),
-            })
-            .collect()
+    /// A borrowed view of the incrementally-maintained index, in
+    /// ascending machine order — nothing is built per call.
+    #[inline]
+    pub fn candidates(&self) -> &[CandidateMachine] {
+        &self.cand
     }
 
     /// Time-averaged available-machine count up to `now` — the dynamic
@@ -162,7 +223,7 @@ impl Pool {
     pub fn mean_available(&mut self, now: f64) -> f64 {
         self.accumulate_availability(now);
         if now <= 0.0 {
-            return self.members.iter().filter(|m| self.member_free(m)).count() as f64;
+            return self.free_count as f64;
         }
         self.avail_integral / now
     }
@@ -239,5 +300,49 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn empty_pool_rejected() {
         Pool::new(0, 1.0, 100.0, &[]);
+    }
+
+    /// What the pre-incremental implementation rebuilt per call.
+    fn brute_force_candidates(p: &Pool) -> Vec<CandidateMachine> {
+        p.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| Pool::member_free(m))
+            .filter(|(_, m)| m.estimator.estimate() <= p.admission_threshold)
+            .map(|(i, m)| CandidateMachine {
+                machine: i,
+                load_estimate: m.estimator.estimate(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_index_matches_brute_force_rebuild() {
+        // A deterministic churn of owner transitions and occupancy
+        // flips across a threshold that machines cross in both
+        // directions; after every single mutation the incremental
+        // index must equal the from-scratch rebuild, entry for entry.
+        let mut p = Pool::new(5, 0.5, 20.0, &[0.9, 0.4, 0.0, 0.7, 0.2]);
+        let expected = brute_force_candidates(&p);
+        assert_eq!(p.candidates(), expected.as_slice());
+        let mut t = 0.0;
+        for step in 0u32..200 {
+            t += 1.0 + f64::from(step % 7);
+            let m = (step as usize * 13 + 5) % 5;
+            match step % 4 {
+                0 => p.owner_transition(t, m, true),
+                1 => p.owner_transition(t, m, false),
+                2 => p.set_occupied(t, m, true),
+                _ => p.set_occupied(t, m, false),
+            }
+            let expected = brute_force_candidates(&p);
+            assert_eq!(
+                p.candidates(),
+                expected.as_slice(),
+                "index diverged at step {step}"
+            );
+            let free = p.members.iter().filter(|m| Pool::member_free(m)).count();
+            assert_eq!(p.free_count, free, "free counter diverged at step {step}");
+        }
     }
 }

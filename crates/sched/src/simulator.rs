@@ -1,7 +1,9 @@
-//! The scheduler simulation itself: one [`nds_des::Engine`] driving
-//! owner workloads, the central queue, placement, and eviction.
+//! The scheduler simulation itself: one typed [`nds_des::Calendar`]
+//! driving owner workloads, the central queue, placement, and eviction.
 //!
 //! # Event structure
+//!
+//! The engine's whole vocabulary is the (private) `SchedEvent` enum:
 //!
 //! * **Owner arrival/departure** — each machine's owner alternates
 //!   think/use cycles drawn from its [`OwnerWorkload`], exactly as in
@@ -13,7 +15,36 @@
 //!   co-allocation [`GangQueue`]).
 //! * **Segment end** — guest execution is sliced into segments (setup,
 //!   work, checkpoint-write); the end of each either completes the task
-//!   or starts the next segment.
+//!   or starts the next segment. Gang runs use their own job-level
+//!   segment-end event.
+//!
+//! # The zero-allocation hot path
+//!
+//! Until PR 5 every event was a `Box<dyn FnOnce>` closure over an
+//! `Rc<RefCell<Sim>>`, cancellation went through two `HashSet`s, and
+//! each dispatch iteration materialized a fresh candidate `Vec`. The
+//! engine now drives plain `SchedEvent` values through
+//! [`Calendar<SchedEvent>`](nds_des::Calendar) and hands `&mut Sim`
+//! straight to each handler:
+//!
+//! * scheduling an event pushes a `Copy` entry and reuses a slab slot —
+//!   no per-event heap allocation once the calendar reaches its
+//!   high-water mark;
+//! * cancelling a segment end is a generation bump on its
+//!   [`nds_des::EventHandle`] — no hash probes;
+//! * [`Pool::candidates`] is a slice view of an incrementally
+//!   maintained index — no per-dispatch `Vec`;
+//! * the partial-gang grower search and the co-scheduling invariant
+//!   check are incremental (a sorted under-placed-gang set, and a
+//!   touched-gang check backed by a full-scan `debug_assert!`),
+//!   so no event pays an O(#jobs) scan.
+//!
+//! The steady-state `SegmentEnd` → `dispatch` → `SegmentEnd` cycle
+//! therefore performs no heap allocation at all. Event ordering (time,
+//! then insertion sequence) is identical to the old closure engine, so
+//! the rewrite is bit-for-bit output-preserving — pinned by the
+//! workspace's `event_core_oracle` golden test and every invariant
+//! suite.
 //!
 //! # Job-level vs task-level scheduling events
 //!
@@ -58,15 +89,17 @@ use crate::error::SchedError;
 use crate::eviction::{on_eviction, EvictionPolicy};
 use crate::gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 use crate::metrics::{JobRecord, SchedMetrics};
-use crate::policy::{PlacementKind, PlacementPolicy};
+use crate::policy::{
+    CandidateMachine, LeastLoadedPlacement, PlacementKind, PlacementPolicy, RandomPlacement,
+    RoundRobinPlacement,
+};
 use crate::pool::Pool;
 use crate::queue::{JobQueue, JobSpec, PendingTask, QueueDiscipline};
 use nds_cluster::owner::OwnerWorkload;
 use nds_cluster::probe::measure_utilization;
-use nds_des::{Engine, EventId, SimTime};
+use nds_des::{Calendar, EventHandle, SimTime};
 use nds_stats::rng::{StreamFactory, Xoshiro256StarStar};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::collections::BTreeSet;
 
 /// Work-remaining below which a task counts as complete (absorbs float
 /// round-off from slicing).
@@ -200,19 +233,32 @@ impl SchedConfig {
     /// `0..reps` under this config's seed) and collect their metrics.
     /// This is the one experiment harness the CLI and bench binaries
     /// share, so "mean over replications" always means the same thing.
+    ///
+    /// The config is validated once and **never cloned**: each
+    /// replication borrows the same owner and job tables and varies
+    /// only the replication index it feeds the seed streams.
     pub fn run_replications(&self, reps: u64) -> Result<Vec<SchedMetrics>, SchedError> {
-        let mut cfg = self.clone();
+        self.validate()?;
         (0..reps.max(1))
-            .map(|rep| {
-                cfg.replication = rep;
-                cfg.run()
-            })
+            .map(|rep| self.run_validated(rep).map(|(metrics, _)| metrics))
             .collect()
     }
 
     /// Run the experiment to completion of every job.
     pub fn run(&self) -> Result<SchedMetrics, SchedError> {
+        self.run_counted().map(|(metrics, _)| metrics)
+    }
+
+    /// Like [`SchedConfig::run`], but also report the number of
+    /// calendar events the engine executed — the denominator of the
+    /// `perf_core` events-per-second benchmark.
+    pub fn run_counted(&self) -> Result<(SchedMetrics, u64), SchedError> {
         self.validate()?;
+        self.run_validated(self.replication)
+    }
+
+    /// One replication on an already-validated config.
+    fn run_validated(&self, replication: u64) -> Result<(SchedMetrics, u64), SchedError> {
         let factory = StreamFactory::new(self.seed);
         let w = self.owners.len();
 
@@ -222,7 +268,7 @@ impl SchedConfig {
                 .enumerate()
                 .map(|(i, o)| {
                     let mut rng =
-                        factory.labeled_stream("sched-probe", (i as u64) << 32 | self.replication);
+                        factory.labeled_stream("sched-probe", (i as u64) << 32 | replication);
                     measure_utilization(o, self.calibration_horizon, &mut rng).utilization
                 })
                 .collect()
@@ -234,11 +280,11 @@ impl SchedConfig {
             .owners
             .iter()
             .enumerate()
-            .map(|(i, o)| MachineSim {
-                owner: o.clone(),
+            .map(|(i, owner)| MachineSim {
+                owner,
                 rng: Xoshiro256StarStar::new(
                     factory
-                        .labeled_stream("ws-continuous", (i as u64) << 32 | self.replication)
+                        .labeled_stream("ws-continuous", (i as u64) << 32 | replication)
                         .next(),
                 ),
                 guest: None,
@@ -278,7 +324,7 @@ impl SchedConfig {
             Vec::new()
         };
 
-        let sim = Rc::new(RefCell::new(Sim {
+        let mut sim = Sim {
             machines,
             pool: Pool::new(
                 w,
@@ -287,16 +333,17 @@ impl SchedConfig {
                 &initial_estimates,
             ),
             queue: JobQueue::new(),
-            specs: self.jobs.clone(),
+            specs: &self.jobs,
             jobs,
             jobs_remaining,
-            placement: self.placement.build(),
-            placement_rng: factory.labeled_stream("sched-placement", self.replication),
+            placement: PlacementState::new(self.placement),
+            placement_rng: factory.labeled_stream("sched-placement", replication),
             eviction: self.eviction,
             gang_policy: self.gang,
             gangs,
             gang_queue: GangQueue::new(),
             machine_gang: vec![None; w],
+            growers: BTreeSet::new(),
             gacc: GangStats::default(),
             frag_t: 0.0,
             frag_free: 0,
@@ -305,41 +352,76 @@ impl SchedConfig {
             acc: Acc::default(),
             makespan: 0.0,
             done: false,
-        }));
+        };
 
-        let mut engine = Engine::new();
+        let mut cal: Calendar<SchedEvent> = Calendar::with_capacity(w + 16);
         for m in 0..w {
-            let think = {
-                let mut st = sim.borrow_mut();
-                let mach = &mut st.machines[m];
-                mach.owner.sample_think(&mut mach.rng)
-            };
-            let sc = Rc::clone(&sim);
-            engine
-                .schedule(SimTime::new(think), move |e| owner_arrival(e, &sc, m))
-                .expect("think time is non-negative");
+            let mach = &mut sim.machines[m];
+            let think = mach.owner.sample_think(&mut mach.rng);
+            cal.post(
+                SimTime::new(think),
+                SchedEvent::OwnerArrival { m: m as u32 },
+            )
+            .expect("think time is non-negative");
         }
-        for (j, spec) in self.jobs.iter().enumerate() {
-            let sc = Rc::clone(&sim);
-            engine
-                .schedule(SimTime::new(spec.arrival), move |e| job_arrival(e, &sc, j))
+        // Job arrivals are known up front. When they come time-sorted
+        // (streams, Poisson workloads — the common case) they take the
+        // calendar's pre-sorted backlog, which keeps the heap at the
+        // live-event horizon instead of the whole experiment; sequence
+        // numbers are allocated identically on both paths, so the
+        // event order is the same either way.
+        let arrivals_sorted = self
+            .jobs
+            .windows(2)
+            .all(|pair| pair[0].arrival <= pair[1].arrival);
+        if arrivals_sorted {
+            cal.schedule_sorted(self.jobs.iter().enumerate().map(|(j, spec)| {
+                (
+                    SimTime::new(spec.arrival),
+                    SchedEvent::JobArrival { j: j as u32 },
+                )
+            }))
+            .expect("arrivals are sorted and non-negative");
+        } else {
+            for (j, spec) in self.jobs.iter().enumerate() {
+                cal.post(
+                    SimTime::new(spec.arrival),
+                    SchedEvent::JobArrival { j: j as u32 },
+                )
                 .expect("arrival is non-negative");
+            }
         }
 
-        engine.run_to_quiescence(Some(self.max_events));
+        while cal.executed() < self.max_events {
+            let Some((t, event)) = cal.pop() else { break };
+            let now = t.as_f64();
+            match event {
+                SchedEvent::OwnerArrival { m } => {
+                    owner_arrival(&mut sim, &mut cal, now, m as usize)
+                }
+                SchedEvent::OwnerDeparture { m } => {
+                    owner_departure(&mut sim, &mut cal, now, m as usize)
+                }
+                SchedEvent::JobArrival { j } => job_arrival(&mut sim, &mut cal, now, j as usize),
+                SchedEvent::SegmentEnd { m } => segment_end(&mut sim, &mut cal, now, m as usize),
+                SchedEvent::GangSegmentEnd { j } => {
+                    gang_segment_end(&mut sim, &mut cal, now, j as usize)
+                }
+            }
+        }
+        let events = cal.executed();
 
-        let mut st = sim.borrow_mut();
-        if !st.done {
+        if !sim.done {
             return Err(SchedError::EventCapExceeded {
                 max_events: self.max_events,
-                jobs_unfinished: st.jobs_remaining,
+                jobs_unfinished: sim.jobs_remaining,
             });
         }
-        let makespan = st.makespan;
-        let mean_available_machines = st.pool.mean_available(makespan);
-        let acc = st.acc;
-        let gacc = st.gacc;
-        Ok(SchedMetrics {
+        let makespan = sim.makespan;
+        let mean_available_machines = sim.pool.mean_available(makespan);
+        let acc = sim.acc;
+        let gacc = sim.gacc;
+        let metrics = SchedMetrics {
             makespan,
             delivered: acc.delivered,
             goodput: acc.goodput,
@@ -359,9 +441,27 @@ impl SchedConfig {
             },
             mean_available_machines,
             gang: gacc,
-            jobs: st.jobs.iter().map(|j| j.record).collect(),
-        })
+            jobs: sim.jobs.iter().map(|j| j.record).collect(),
+        };
+        Ok((metrics, events))
     }
+}
+
+/// The engine's entire event vocabulary: five plain variants, each a
+/// machine or job index. `Copy`, 8 bytes, no drop glue — what the
+/// typed calendar stores instead of a boxed closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedEvent {
+    /// Machine `m`'s owner returns to their workstation.
+    OwnerArrival { m: u32 },
+    /// Machine `m`'s owner leaves it idle again.
+    OwnerDeparture { m: u32 },
+    /// Job `j` reaches the central queue.
+    JobArrival { j: u32 },
+    /// The guest segment on machine `m` runs to completion.
+    SegmentEnd { m: u32 },
+    /// Gang `j`'s in-flight segment runs to completion.
+    GangSegmentEnd { j: u32 },
 }
 
 /// One slice of guest execution on a machine.
@@ -387,7 +487,7 @@ impl Segment {
 struct RunState {
     segment: Segment,
     slice_start: f64,
-    event: EventId,
+    event: EventHandle,
 }
 
 #[derive(Debug, Clone)]
@@ -406,8 +506,8 @@ struct GuestTask {
 }
 
 #[derive(Debug)]
-struct MachineSim {
-    owner: OwnerWorkload,
+struct MachineSim<'a> {
+    owner: &'a OwnerWorkload,
     rng: Xoshiro256StarStar,
     guest: Option<GuestTask>,
 }
@@ -485,7 +585,7 @@ enum GangPhase {
         /// bit-identical to the pre-rate-aware engine).
         rate: f64,
         slice_start: f64,
-        event: EventId,
+        event: EventHandle,
     },
     /// Frozen in place below the floor (under the all-or-nothing
     /// policies: any member reclaimed); `last_t` is when the
@@ -496,14 +596,50 @@ enum GangPhase {
     Done,
 }
 
-struct Sim {
-    machines: Vec<MachineSim>,
+/// Devirtualized placement state: the built-in policy objects held as
+/// an enum of concrete types, so the dispatch loop pays a direct
+/// (inlinable) call instead of a `Box<dyn PlacementPolicy>` virtual
+/// call per placement. Each arm delegates to the one
+/// [`crate::policy`] implementation, so there is a single copy of
+/// every policy's choice logic.
+#[derive(Debug)]
+enum PlacementState {
+    Random(RandomPlacement),
+    RoundRobin(RoundRobinPlacement),
+    LeastLoaded(LeastLoadedPlacement),
+}
+
+impl PlacementState {
+    fn new(kind: PlacementKind) -> Self {
+        match kind {
+            PlacementKind::Random => Self::Random(RandomPlacement),
+            PlacementKind::RoundRobin => Self::RoundRobin(RoundRobinPlacement::default()),
+            PlacementKind::LeastLoaded => Self::LeastLoaded(LeastLoadedPlacement),
+        }
+    }
+
+    #[inline]
+    fn choose(&mut self, candidates: &[CandidateMachine], rng: &mut Xoshiro256StarStar) -> usize {
+        match self {
+            Self::Random(p) => p.choose(candidates, rng),
+            Self::RoundRobin(p) => p.choose(candidates, rng),
+            Self::LeastLoaded(p) => p.choose(candidates, rng),
+        }
+    }
+}
+
+/// The live state one replication runs on. Borrows the config's owner
+/// and job tables (nothing is cloned per replication); every handler
+/// receives `&mut Sim` directly — the `Rc<RefCell<..>>` plumbing of the
+/// closure engine is gone.
+struct Sim<'a> {
+    machines: Vec<MachineSim<'a>>,
     pool: Pool,
     queue: JobQueue,
-    specs: Vec<JobSpec>,
+    specs: &'a [JobSpec],
     jobs: Vec<JobState>,
     jobs_remaining: usize,
-    placement: Box<dyn PlacementPolicy>,
+    placement: PlacementState,
     placement_rng: Xoshiro256StarStar,
     eviction: EvictionPolicy,
     gang_policy: GangPolicy,
@@ -512,6 +648,12 @@ struct Sim {
     gang_queue: GangQueue,
     /// Which gang (job index) occupies each machine, if any.
     machine_gang: Vec<Option<usize>>,
+    /// Placed-but-under-width gangs (phase `Running`/`Suspended`,
+    /// `members.len() < width`), kept sorted so the partial-gang grower
+    /// finds the lowest job index in O(log n) instead of scanning every
+    /// job per dispatch iteration. Empty under all-or-nothing policies,
+    /// which only ever place full-width gangs.
+    growers: BTreeSet<usize>,
     gacc: GangStats,
     /// Last time the fragmentation integral was accrued.
     frag_t: f64,
@@ -523,6 +665,22 @@ struct Sim {
     acc: Acc,
     makespan: f64,
     done: bool,
+}
+
+/// Keep `sim.growers` in sync after gang `j`'s membership or phase
+/// changed — the incremental replacement for the old per-dispatch scan.
+fn refresh_grower(sim: &mut Sim, j: usize) {
+    let gang = &sim.gangs[j];
+    let eligible = (gang.members.len() as u32) < gang.width
+        && matches!(
+            gang.phase,
+            GangPhase::Running { .. } | GangPhase::Suspended { .. }
+        );
+    if eligible {
+        sim.growers.insert(j);
+    } else {
+        sim.growers.remove(&j);
+    }
 }
 
 /// Choose the next segment for a (re)starting guest.
@@ -543,59 +701,45 @@ fn next_segment(eviction: EvictionPolicy, g: &GuestTask) -> Segment {
 }
 
 /// Begin the next segment of the guest on machine `m`.
-fn start_segment(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
-    let delay = {
-        let mut st = sim.borrow_mut();
-        let eviction = st.eviction;
-        let now = engine.now().as_f64();
-        let guest = st.machines[m]
-            .guest
-            .as_mut()
-            .expect("segment needs a guest");
-        let segment = next_segment(eviction, guest);
-        let len = segment.len();
-        guest.run = Some(RunState {
-            segment,
-            slice_start: now,
-            event: 0,
-        });
-        len
-    };
-    let sc = Rc::clone(sim);
-    let ev = engine
-        .schedule_in(SimTime::new(delay), move |e| segment_end(e, &sc, m))
-        .expect("segment length is non-negative");
-    sim.borrow_mut().machines[m]
+fn start_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, m: usize) {
+    let now = cal.now().as_f64();
+    let eviction = sim.eviction;
+    let guest = sim.machines[m]
         .guest
         .as_mut()
-        .expect("guest placed above")
-        .run
-        .as_mut()
-        .expect("run state set above")
-        .event = ev;
+        .expect("segment needs a guest");
+    let segment = next_segment(eviction, guest);
+    let event = cal
+        .schedule_in(
+            SimTime::new(segment.len()),
+            SchedEvent::SegmentEnd { m: m as u32 },
+        )
+        .expect("segment length is non-negative");
+    guest.run = Some(RunState {
+        segment,
+        slice_start: now,
+        event,
+    });
 }
 
 /// A segment ran to completion undisturbed.
-fn segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
-    let now = engine.now().as_f64();
+fn segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize) {
     let completed = {
-        let mut st = sim.borrow_mut();
-        let st = &mut *st;
-        let guest = st.machines[m]
+        let guest = sim.machines[m]
             .guest
             .as_mut()
             .expect("segment_end fires only with a guest aboard");
         let run = guest.run.as_ref().expect("guest was running");
         let segment = run.segment;
-        st.acc.delivered += segment.len();
+        sim.acc.delivered += segment.len();
         match segment {
             Segment::Setup { len } => {
-                st.acc.wasted += len;
+                sim.acc.wasted += len;
                 guest.setup_left = 0.0;
                 false
             }
             Segment::CkptWrite { len } => {
-                st.acc.ckpt += len;
+                sim.acc.ckpt += len;
                 guest.since_ckpt = 0.0;
                 false
             }
@@ -607,190 +751,178 @@ fn segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
         }
     };
     if !completed {
-        start_segment(engine, sim, m);
+        start_segment(sim, cal, m);
         return;
     }
-    let all_done = {
-        let mut st = sim.borrow_mut();
-        let st = &mut *st;
-        let guest = st.machines[m].guest.take().expect("completing guest");
-        st.pool.set_occupied(now, m, false);
-        st.acc.goodput += guest.demand;
-        st.acc.completed_tasks += 1;
-        let job = &mut st.jobs[guest.job];
-        job.tasks_left -= 1;
-        if job.tasks_left == 0 {
-            job.record.completion = now;
-            st.jobs_remaining -= 1;
-            if st.jobs_remaining == 0 {
-                st.done = true;
-                st.makespan = now;
-            }
+    let guest = sim.machines[m].guest.take().expect("completing guest");
+    sim.pool.set_occupied(now, m, false);
+    sim.acc.goodput += guest.demand;
+    sim.acc.completed_tasks += 1;
+    let job = &mut sim.jobs[guest.job];
+    job.tasks_left -= 1;
+    if job.tasks_left == 0 {
+        job.record.completion = now;
+        sim.jobs_remaining -= 1;
+        if sim.jobs_remaining == 0 {
+            sim.done = true;
+            sim.makespan = now;
         }
-        st.done
-    };
-    if !all_done {
-        dispatch(engine, sim);
+    }
+    if !sim.done {
+        dispatch(sim, cal);
     }
 }
 
 /// A job reaches the central queue.
-fn job_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
-    let now = engine.now().as_f64();
-    {
-        let mut st = sim.borrow_mut();
-        let spec = st.specs[j];
-        if st.gang_policy.is_on() {
-            let min_tasks = st.gangs[j].floor;
-            st.gang_queue.push(PendingGang {
+fn job_arrival(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: usize) {
+    let spec = sim.specs[j];
+    if sim.gang_policy.is_on() {
+        let min_tasks = sim.gangs[j].floor;
+        sim.gang_queue.push(PendingGang {
+            job: j,
+            tasks: spec.tasks,
+            min_tasks,
+            demand: spec.task_demand,
+            remaining: spec.task_demand,
+            setup: 0.0,
+            enqueued_at: now,
+        });
+    } else {
+        for task in 0..spec.tasks {
+            sim.queue.push(PendingTask {
                 job: j,
-                tasks: spec.tasks,
-                min_tasks,
+                task,
                 demand: spec.task_demand,
                 remaining: spec.task_demand,
                 setup: 0.0,
                 enqueued_at: now,
             });
-        } else {
-            for task in 0..spec.tasks {
-                st.queue.push(PendingTask {
-                    job: j,
-                    task,
-                    demand: spec.task_demand,
-                    remaining: spec.task_demand,
-                    setup: 0.0,
-                    enqueued_at: now,
-                });
-            }
         }
     }
-    dispatch_any(engine, sim);
+    dispatch_any(sim, cal);
 }
 
 /// Route to the dispatcher matching the scheduling mode.
-fn dispatch_any(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
-    if sim.borrow().gang_policy.is_on() {
-        gang_dispatch(engine, sim);
+fn dispatch_any(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
+    if sim.gang_policy.is_on() {
+        gang_dispatch(sim, cal);
     } else {
-        dispatch(engine, sim);
+        dispatch(sim, cal);
     }
 }
 
 /// Match queued tasks to available machines until either runs out.
-fn dispatch(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
+fn dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
     loop {
-        let placed = {
-            let mut st = sim.borrow_mut();
-            if st.done || st.queue.is_empty() {
-                return;
-            }
-            let candidates = st.pool.candidates();
-            if candidates.is_empty() {
-                return;
-            }
-            let now = engine.now().as_f64();
-            let st = &mut *st;
-            let pending = st
-                .queue
-                .pop(st.discipline)
-                .expect("queue checked non-empty");
-            let chosen = st.placement.choose(&candidates, &mut st.placement_rng);
-            let m = candidates[chosen].machine;
-            st.acc.placements += 1;
-            st.acc.total_wait += now - pending.enqueued_at;
-            st.pool.set_occupied(now, m, true);
-            st.machines[m].guest = Some(GuestTask {
-                job: pending.job,
-                task: pending.task,
-                demand: pending.demand,
-                remaining: pending.remaining,
-                since_ckpt: 0.0,
-                setup_left: pending.setup,
-                run: None,
-            });
-            m
-        };
-        start_segment(engine, sim, placed);
+        if sim.done || sim.queue.is_empty() {
+            return;
+        }
+        if sim.pool.candidates().is_empty() {
+            return;
+        }
+        let now = cal.now().as_f64();
+        let pending = sim
+            .queue
+            .pop(sim.discipline)
+            .expect("queue checked non-empty");
+        let chosen = sim
+            .placement
+            .choose(sim.pool.candidates(), &mut sim.placement_rng);
+        let m = sim.pool.candidates()[chosen].machine;
+        sim.acc.placements += 1;
+        sim.acc.total_wait += now - pending.enqueued_at;
+        sim.pool.set_occupied(now, m, true);
+        sim.machines[m].guest = Some(GuestTask {
+            job: pending.job,
+            task: pending.task,
+            demand: pending.demand,
+            remaining: pending.remaining,
+            since_ckpt: 0.0,
+            setup_left: pending.setup,
+            run: None,
+        });
+        start_segment(sim, cal, m);
     }
 }
 
 /// An owner returns to their machine.
-fn owner_arrival(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
-    let now = engine.now().as_f64();
-    let (service, outcome) = {
-        let mut st = sim.borrow_mut();
-        if st.done {
-            return;
-        }
-        let st = &mut *st;
-        st.pool.owner_transition(now, m, true);
-        if st.gang_policy.is_on() {
-            let outcome = gang_owner_reclaim(engine, st, now, m);
-            let mach = &mut st.machines[m];
-            let service = mach.owner.sample_service(&mut mach.rng);
-            (service, outcome)
-        } else {
-            let (service, requeued) = owner_reclaim_task(engine, st, now, m);
-            (
-                service,
-                ReclaimOutcome {
-                    redispatch: requeued,
-                    restart: None,
-                },
-            )
-        }
+fn owner_arrival(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize) {
+    if sim.done {
+        return;
+    }
+    sim.pool.owner_transition(now, m, true);
+    let (service, outcome) = if sim.gang_policy.is_on() {
+        let outcome = gang_owner_reclaim(sim, cal, now, m);
+        let mach = &mut sim.machines[m];
+        let service = mach.owner.sample_service(&mut mach.rng);
+        (service, outcome)
+    } else {
+        let (service, requeued) = owner_reclaim_task(sim, cal, now, m);
+        (
+            service,
+            ReclaimOutcome {
+                redispatch: requeued,
+                restart: None,
+            },
+        )
     };
-    let sc = Rc::clone(sim);
-    engine
-        .schedule_in(SimTime::new(service), move |e| owner_departure(e, &sc, m))
-        .expect("service time is positive");
+    cal.post_in(
+        SimTime::new(service),
+        SchedEvent::OwnerDeparture { m: m as u32 },
+    )
+    .expect("service time is positive");
     if let Some(j) = outcome.restart {
-        start_gang_segment(engine, sim, j);
+        start_gang_segment(sim, cal, j);
     }
     if outcome.redispatch {
-        dispatch_any(engine, sim);
+        dispatch_any(sim, cal);
     }
 }
 
 /// Independent-task owner reclaim: evict (or suspend) the guest on
 /// machine `m` per the configured [`EvictionPolicy`], then sample the
 /// owner's service time. Returns `(service, requeued)`.
-fn owner_reclaim_task(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> (f64, bool) {
+fn owner_reclaim_task(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+) -> (f64, bool) {
     let mut requeued = false;
-    if let Some(mut guest) = st.machines[m].guest.take() {
+    if let Some(mut guest) = sim.machines[m].guest.take() {
         let run = guest
             .run
             .take()
             .expect("owner was away, so the guest was running");
-        engine.cancel(run.event);
+        cal.cancel(run.event);
         let elapsed = now - run.slice_start;
-        st.acc.delivered += elapsed;
+        sim.acc.delivered += elapsed;
         match run.segment {
             // An interrupted restore is redone in full next time.
-            Segment::Setup { .. } => st.acc.wasted += elapsed,
+            Segment::Setup { .. } => sim.acc.wasted += elapsed,
             // An aborted checkpoint write is still overhead.
-            Segment::CkptWrite { .. } => st.acc.ckpt += elapsed,
+            Segment::CkptWrite { .. } => sim.acc.ckpt += elapsed,
             Segment::Work { .. } => {
                 guest.remaining -= elapsed;
                 guest.since_ckpt += elapsed;
             }
         }
-        st.acc.evictions += 1;
-        match st.eviction {
+        sim.acc.evictions += 1;
+        match sim.eviction {
             EvictionPolicy::SuspendResume => {
-                st.acc.suspensions += 1;
-                st.machines[m].guest = Some(guest);
+                sim.acc.suspensions += 1;
+                sim.machines[m].guest = Some(guest);
             }
             policy => {
                 let out = on_eviction(policy, guest.demand, guest.remaining, guest.since_ckpt);
-                st.acc.wasted += out.lost;
+                sim.acc.wasted += out.lost;
                 match policy {
-                    EvictionPolicy::Restart => st.acc.restarts += 1,
-                    EvictionPolicy::Migrate { .. } => st.acc.migrations += 1,
+                    EvictionPolicy::Restart => sim.acc.restarts += 1,
+                    EvictionPolicy::Migrate { .. } => sim.acc.migrations += 1,
                     _ => {}
                 }
-                st.pool.set_occupied(now, m, false);
-                st.queue.push(PendingTask {
+                sim.pool.set_occupied(now, m, false);
+                sim.queue.push(PendingTask {
                     job: guest.job,
                     task: guest.task,
                     demand: guest.demand,
@@ -802,7 +934,7 @@ fn owner_reclaim_task(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
             }
         }
     }
-    let mach = &mut st.machines[m];
+    let mach = &mut sim.machines[m];
     let service = mach.owner.sample_service(&mut mach.rng);
     (service, requeued)
 }
@@ -820,40 +952,35 @@ enum Departure {
 }
 
 /// An owner leaves their machine idle again.
-fn owner_departure(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, m: usize) {
-    let now = engine.now().as_f64();
-    let (action, think) = {
-        let mut st = sim.borrow_mut();
-        if st.done {
-            return;
-        }
-        let st = &mut *st;
-        st.pool.owner_transition(now, m, false);
-        let action = if st.gang_policy.is_on() {
-            gang_owner_release(engine, st, now, m)
-        } else if st.machines[m].guest.is_some() {
-            Departure::ResumeTask
-        } else {
-            Departure::Dispatch
-        };
-        let mach = &mut st.machines[m];
-        let think = mach.owner.sample_think(&mut mach.rng);
-        (action, think)
+fn owner_departure(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize) {
+    if sim.done {
+        return;
+    }
+    sim.pool.owner_transition(now, m, false);
+    let action = if sim.gang_policy.is_on() {
+        gang_owner_release(sim, cal, now, m)
+    } else if sim.machines[m].guest.is_some() {
+        Departure::ResumeTask
+    } else {
+        Departure::Dispatch
     };
-    let sc = Rc::clone(sim);
-    engine
-        .schedule_in(SimTime::new(think), move |e| owner_arrival(e, &sc, m))
-        .expect("think time is non-negative");
+    let mach = &mut sim.machines[m];
+    let think = mach.owner.sample_think(&mut mach.rng);
+    cal.post_in(
+        SimTime::new(think),
+        SchedEvent::OwnerArrival { m: m as u32 },
+    )
+    .expect("think time is non-negative");
     match action {
-        Departure::ResumeTask => start_segment(engine, sim, m),
-        Departure::ResumeGang(j) => start_gang_segment(engine, sim, j),
-        Departure::Dispatch => dispatch_any(engine, sim),
+        Departure::ResumeTask => start_segment(sim, cal, m),
+        Departure::ResumeGang(j) => start_gang_segment(sim, cal, j),
+        Departure::Dispatch => dispatch_any(sim, cal),
         Departure::Nothing => {}
     }
 }
 
 /// What an owner reclaim on a gang-mode machine requires once the
-/// state borrow ends.
+/// handler's bookkeeping ends.
 struct ReclaimOutcome {
     /// Machines were freed back to the queue (migrate-all), so the
     /// dispatcher should run.
@@ -912,27 +1039,44 @@ fn resume_gang_members(gang: &mut GangState) -> u32 {
     running
 }
 
-/// Re-verify the co-scheduling invariants across every gang: under the
-/// all-or-nothing policies, members of one job must agree on their
-/// run/suspend state at every event (lockstep); under the partial
-/// policies, a running gang must hold at least its `min_running` floor
-/// and at most its width. Both violation counters are pinned at zero
-/// by the workspace's property tests.
-fn verify_gang_invariants(st: &mut Sim) {
-    let partial = st.gang_policy.is_partial();
-    for g in &st.gangs {
-        let running = running_members(g);
-        if running == 0 {
-            continue;
-        }
+/// Whether gang `g` currently violates its co-scheduling invariant:
+/// lockstep agreement under the all-or-nothing policies, the
+/// `[floor, width]` running-member band under the partial ones.
+fn gang_violation(gang: &GangState, partial: bool) -> bool {
+    let running = running_members(gang);
+    if running == 0 {
+        return false;
+    }
+    if partial {
+        running < gang.floor || running > gang.width
+    } else {
+        running as usize != gang.member_running.len()
+    }
+}
+
+/// Re-verify the co-scheduling invariant for the gang the current
+/// event touched (the only gang whose run/suspend state can have
+/// changed): under the all-or-nothing policies, members of one job
+/// must agree on their run/suspend state at every event (lockstep);
+/// under the partial policies, a running gang must hold at least its
+/// `min_running` floor and at most its width. Both violation counters
+/// are pinned at zero by the workspace's property tests; a debug
+/// assertion still sweeps every gang, so a cross-gang bug cannot hide
+/// in release builds' incremental check without first failing the
+/// debug suites.
+fn verify_gang_invariants(sim: &mut Sim, j: usize) {
+    let partial = sim.gang_policy.is_partial();
+    if gang_violation(&sim.gangs[j], partial) {
         if partial {
-            if running < g.floor || running > g.width {
-                st.gacc.floor_violations += 1;
-            }
-        } else if running as usize != g.member_running.len() {
-            st.gacc.lockstep_violations += 1;
+            sim.gacc.floor_violations += 1;
+        } else {
+            sim.gacc.lockstep_violations += 1;
         }
     }
+    debug_assert!(
+        sim.gangs.iter().all(|g| !gang_violation(g, partial)),
+        "an untouched gang violated its co-scheduling invariant"
+    );
 }
 
 /// Close gang `j`'s in-flight segment at `now`: cancel its end event
@@ -941,8 +1085,8 @@ fn verify_gang_invariants(st: &mut Sim) {
 /// degraded) rate, and the effective-parallelism / degraded-mode
 /// integrals. Callers then suspend, migrate, or restart the gang at a
 /// new rate.
-fn close_gang_segment(engine: &mut Engine, st: &mut Sim, j: usize, now: f64) {
-    let gang = &mut st.gangs[j];
+fn close_gang_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, j: usize, now: f64) {
+    let gang = &mut sim.gangs[j];
     let GangPhase::Running {
         is_setup,
         rate,
@@ -953,18 +1097,18 @@ fn close_gang_segment(engine: &mut Engine, st: &mut Sim, j: usize, now: f64) {
     else {
         unreachable!("only running gangs carry a segment to close")
     };
-    engine.cancel(event);
+    cal.cancel(event);
     let elapsed = now - slice_start;
     let r = f64::from(running_members(gang));
-    st.acc.delivered += r * elapsed;
+    sim.acc.delivered += r * elapsed;
     if is_setup {
         // An interrupted restore is redone in full next time.
-        st.acc.wasted += r * elapsed;
+        sim.acc.wasted += r * elapsed;
     } else {
         gang.remaining -= rate * elapsed;
-        st.gacc.parallelism_integral += r * elapsed;
+        sim.gacc.parallelism_integral += r * elapsed;
         if (r as u32) < gang.width {
-            st.gacc.degraded_time += elapsed;
+            sim.gacc.degraded_time += elapsed;
         }
     }
 }
@@ -973,13 +1117,13 @@ fn close_gang_segment(engine: &mut Engine, st: &mut Sim, j: usize, now: f64) {
 /// state recorded at the last checkpoint, then re-snapshot. Called
 /// after every gang-mode event that can change the free-machine count
 /// or the queue's waiting state.
-fn frag_update(st: &mut Sim, now: f64) {
-    if st.frag_waiting {
-        st.gacc.fragmentation += (now - st.frag_t) * st.frag_free as f64;
+fn frag_update(sim: &mut Sim, now: f64) {
+    if sim.frag_waiting {
+        sim.gacc.fragmentation += (now - sim.frag_t) * sim.frag_free as f64;
     }
-    st.frag_t = now;
-    st.frag_waiting = !st.gang_queue.is_empty();
-    st.frag_free = st.pool.candidates().len();
+    sim.frag_t = now;
+    sim.frag_waiting = !sim.gang_queue.is_empty();
+    sim.frag_free = sim.pool.candidates().len();
 }
 
 /// Owner reclaim on machine `m` under a gang policy. The reclaimed
@@ -988,22 +1132,27 @@ fn frag_update(st: &mut Sim, now: f64) {
 /// (all-or-nothing, or a partial gang dropping through its floor),
 /// keep computing at a degraded rate (partial, at or above the
 /// floor), or migrate the whole gang back to the queue.
-fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> ReclaimOutcome {
-    let Some(j) = st.machine_gang[m] else {
-        frag_update(st, now);
+fn gang_owner_reclaim(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+) -> ReclaimOutcome {
+    let Some(j) = sim.machine_gang[m] else {
+        frag_update(sim, now);
         return ReclaimOutcome::nothing();
     };
-    let policy = st.gang_policy;
-    let outcome = match st.gangs[j].phase {
+    let policy = sim.gang_policy;
+    let outcome = match sim.gangs[j].phase {
         GangPhase::Running { .. } => {
-            close_gang_segment(engine, st, j, now);
+            close_gang_segment(sim, cal, j, now);
             {
-                let gang = &mut st.gangs[j];
+                let gang = &mut sim.gangs[j];
                 let idx = member_index(gang, m);
                 gang.member_busy[idx] = true;
                 gang.member_running[idx] = false;
             }
-            st.acc.evictions += 1;
+            sim.acc.evictions += 1;
             match policy {
                 GangPolicy::MigrateAll { overhead } => {
                     // One eviction event resolved by one (whole-gang)
@@ -1011,9 +1160,9 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
                     // `migrations` counts events, so the policies stay
                     // comparable (per-task moves = gang_migrations x
                     // gang size).
-                    st.acc.migrations += 1;
-                    st.gacc.gang_migrations += 1;
-                    let gang = &mut st.gangs[j];
+                    sim.acc.migrations += 1;
+                    sim.gacc.gang_migrations += 1;
+                    let gang = &mut sim.gangs[j];
                     gang.phase = GangPhase::Queued;
                     gang.setup_left = overhead;
                     gang.member_running.clear();
@@ -1029,10 +1178,11 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
                         enqueued_at: now,
                     };
                     for &mm in &members {
-                        st.pool.set_occupied(now, mm, false);
-                        st.machine_gang[mm] = None;
+                        sim.pool.set_occupied(now, mm, false);
+                        sim.machine_gang[mm] = None;
                     }
-                    st.gang_queue.push(pending);
+                    sim.gang_queue.push(pending);
+                    refresh_grower(sim, j);
                     ReclaimOutcome {
                         redispatch: true,
                         restart: None,
@@ -1043,8 +1193,8 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
                 // (whose floor is the full width, so any reclaim drops
                 // through it) and the partial policies.
                 _ => {
-                    st.acc.suspensions += 1;
-                    let gang = &mut st.gangs[j];
+                    sim.acc.suspensions += 1;
+                    let gang = &mut sim.gangs[j];
                     if running_members(gang) >= gang.floor {
                         // Degraded mode: the survivors keep computing
                         // at a lower rate. The phase parks Suspended
@@ -1055,7 +1205,7 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
                             restart: Some(j),
                         }
                     } else {
-                        st.gacc.gang_suspensions += 1;
+                        sim.gacc.gang_suspensions += 1;
                         suspend_gang_members(gang);
                         gang.phase = GangPhase::Suspended { last_t: now };
                         ReclaimOutcome::nothing()
@@ -1066,10 +1216,10 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
         GangPhase::Suspended { last_t } => {
             // Another member machine reclaimed while the gang already
             // sleeps: extend the stall bookkeeping, nothing to evict.
-            let gang = &mut st.gangs[j];
+            let gang = &mut sim.gangs[j];
             let k = gang.members.len() as u32;
             let busy = busy_members(gang);
-            st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+            sim.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
             let idx = member_index(gang, m);
             gang.member_busy[idx] = true;
             gang.phase = GangPhase::Suspended { last_t: now };
@@ -1079,8 +1229,8 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
             unreachable!("machines only map to placed, unfinished gangs")
         }
     };
-    frag_update(st, now);
-    verify_gang_invariants(st);
+    frag_update(sim, now);
+    verify_gang_invariants(sim, j);
     outcome
 }
 
@@ -1089,16 +1239,21 @@ fn gang_owner_reclaim(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
 /// all-or-nothing policies, the `min_running` floor under a partial
 /// policy), rejoin a degraded partial gang mid-run, or offer the
 /// machine to the queue.
-fn gang_owner_release(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> Departure {
-    let Some(j) = st.machine_gang[m] else {
+fn gang_owner_release(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+) -> Departure {
+    let Some(j) = sim.machine_gang[m] else {
         return Departure::Dispatch;
     };
-    match st.gangs[j].phase {
+    match sim.gangs[j].phase {
         GangPhase::Suspended { last_t } => {
-            let gang = &mut st.gangs[j];
+            let gang = &mut sim.gangs[j];
             let k = gang.members.len() as u32;
             let busy = busy_members(gang);
-            st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+            sim.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
             let idx = member_index(gang, m);
             gang.member_busy[idx] = false;
             if k - (busy - 1) >= gang.floor {
@@ -1112,14 +1267,14 @@ fn gang_owner_release(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
         // Partial gangs keep computing through member reclaims, so an
         // owner can depart a member machine while the gang runs
         // degraded: the member rejoins and the rate steps back up.
-        GangPhase::Running { .. } if st.gang_policy.is_partial() => {
+        GangPhase::Running { .. } if sim.gang_policy.is_partial() => {
             {
-                let gang = &mut st.gangs[j];
+                let gang = &mut sim.gangs[j];
                 let idx = member_index(gang, m);
                 gang.member_busy[idx] = false;
             }
-            close_gang_segment(engine, st, j, now);
-            st.gangs[j].phase = GangPhase::Suspended { last_t: now };
+            close_gang_segment(sim, cal, j, now);
+            sim.gangs[j].phase = GangPhase::Suspended { last_t: now };
             Departure::ResumeGang(j)
         }
         // Under the all-or-nothing policies a running gang implies
@@ -1140,97 +1295,92 @@ fn gang_owner_release(engine: &mut Engine, st: &mut Sim, now: f64, m: usize) -> 
 /// new work), then queued gangs are admitted with `min(free, width)`
 /// machines — at least their floor, by [`GangQueue::pop_fitting`]'s
 /// contract.
-fn gang_dispatch(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
+fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
     loop {
-        let (j, start) = {
-            let mut st = sim.borrow_mut();
-            let st = &mut *st;
-            let now = engine.now().as_f64();
-            if st.done {
-                frag_update(st, now);
+        let now = cal.now().as_f64();
+        if sim.done {
+            frag_update(sim, now);
+            return;
+        }
+        let no_candidates = sim.pool.candidates().is_empty();
+        let grower = if sim.gang_policy.is_partial() && !no_candidates {
+            sim.growers.first().copied()
+        } else {
+            None
+        };
+        let (j, start) = if let Some(g) = grower {
+            // Grow an under-placed gang by one member.
+            let was_running = matches!(sim.gangs[g].phase, GangPhase::Running { .. });
+            if was_running {
+                close_gang_segment(sim, cal, g, now);
+            } else if let GangPhase::Suspended { last_t } = sim.gangs[g].phase {
+                // Membership is about to change: settle the stall
+                // integral at the old member count.
+                let gang = &mut sim.gangs[g];
+                let k = gang.members.len() as u32;
+                let busy = busy_members(gang);
+                sim.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+                gang.phase = GangPhase::Suspended { last_t: now };
+            }
+            let chosen = sim
+                .placement
+                .choose(sim.pool.candidates(), &mut sim.placement_rng);
+            let m = sim.pool.candidates()[chosen].machine;
+            sim.pool.set_occupied(now, m, true);
+            sim.machine_gang[m] = Some(g);
+            sim.acc.placements += 1;
+            let gang = &mut sim.gangs[g];
+            gang.members.push(m);
+            gang.member_busy.push(false);
+            gang.member_running.push(false);
+            let avail = gang.members.len() as u32 - busy_members(gang);
+            let start = was_running || avail >= gang.floor;
+            if was_running {
+                // Parked until the segment reopens below.
+                gang.phase = GangPhase::Suspended { last_t: now };
+            }
+            refresh_grower(sim, g);
+            frag_update(sim, now);
+            (g, start)
+        } else {
+            // Admit the next fitting gang from the queue.
+            if no_candidates || sim.gang_queue.is_empty() {
+                frag_update(sim, now);
                 return;
             }
-            let candidates = st.pool.candidates();
-            let grower = if st.gang_policy.is_partial() && !candidates.is_empty() {
-                (0..st.gangs.len()).find(|&g| {
-                    let gang = &st.gangs[g];
-                    (gang.members.len() as u32) < gang.width
-                        && matches!(
-                            gang.phase,
-                            GangPhase::Running { .. } | GangPhase::Suspended { .. }
-                        )
-                })
-            } else {
-                None
+            let free = sim.pool.candidates().len();
+            let Some(pending) = sim.gang_queue.pop_fitting(sim.discipline, free) else {
+                frag_update(sim, now);
+                return;
             };
-            if let Some(g) = grower {
-                // Grow an under-placed gang by one member.
-                let was_running = matches!(st.gangs[g].phase, GangPhase::Running { .. });
-                if was_running {
-                    close_gang_segment(engine, st, g, now);
-                } else if let GangPhase::Suspended { last_t } = st.gangs[g].phase {
-                    // Membership is about to change: settle the stall
-                    // integral at the old member count.
-                    let gang = &mut st.gangs[g];
-                    let k = gang.members.len() as u32;
-                    let busy = busy_members(gang);
-                    st.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
-                    gang.phase = GangPhase::Suspended { last_t: now };
-                }
-                let chosen = st.placement.choose(&candidates, &mut st.placement_rng);
-                let m = candidates[chosen].machine;
-                st.pool.set_occupied(now, m, true);
-                st.machine_gang[m] = Some(g);
-                st.acc.placements += 1;
-                let gang = &mut st.gangs[g];
-                gang.members.push(m);
-                gang.member_busy.push(false);
-                gang.member_running.push(false);
-                let avail = gang.members.len() as u32 - busy_members(gang);
-                let start = was_running || avail >= gang.floor;
-                if was_running {
-                    // Parked until the segment reopens below.
-                    gang.phase = GangPhase::Suspended { last_t: now };
-                }
-                frag_update(st, now);
-                (g, start)
-            } else {
-                // Admit the next fitting gang from the queue.
-                if st.gang_queue.is_empty() {
-                    frag_update(st, now);
-                    return;
-                }
-                let Some(pending) = st.gang_queue.pop_fitting(st.discipline, candidates.len())
-                else {
-                    frag_update(st, now);
-                    return;
-                };
-                let j = pending.job;
-                let n = (pending.tasks as usize).min(candidates.len());
-                let mut cands = candidates;
-                let mut members = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let chosen = st.placement.choose(&cands, &mut st.placement_rng);
-                    let m = cands[chosen].machine;
-                    cands.remove(chosen);
-                    st.pool.set_occupied(now, m, true);
-                    st.machine_gang[m] = Some(j);
-                    members.push(m);
-                }
-                st.acc.placements += n as u64;
-                st.acc.total_wait += n as f64 * (now - pending.enqueued_at);
-                st.gacc.gang_starts += 1;
-                st.gacc.coalloc_wait += now - pending.enqueued_at;
-                let gang = &mut st.gangs[j];
-                gang.member_running = vec![false; n];
-                gang.member_busy = vec![false; n];
-                gang.members = members;
-                frag_update(st, now);
-                (j, true)
+            let j = pending.job;
+            let n = (pending.tasks as usize).min(free);
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                let chosen = sim
+                    .placement
+                    .choose(sim.pool.candidates(), &mut sim.placement_rng);
+                let m = sim.pool.candidates()[chosen].machine;
+                sim.pool.set_occupied(now, m, true);
+                sim.machine_gang[m] = Some(j);
+                members.push(m);
             }
+            sim.acc.placements += n as u64;
+            sim.acc.total_wait += n as f64 * (now - pending.enqueued_at);
+            sim.gacc.gang_starts += 1;
+            sim.gacc.coalloc_wait += now - pending.enqueued_at;
+            let gang = &mut sim.gangs[j];
+            gang.member_running = vec![false; n];
+            gang.member_busy = vec![false; n];
+            gang.members = members;
+            if (n as u32) < gang.width {
+                sim.growers.insert(j);
+            }
+            frag_update(sim, now);
+            (j, true)
         };
         if start {
-            start_gang_segment(engine, sim, j);
+            start_gang_segment(sim, cal, j);
         }
     }
 }
@@ -1240,51 +1390,42 @@ fn gang_dispatch(engine: &mut Engine, sim: &Rc<RefCell<Sim>>) {
 /// member whose machine is owner-free runs; the per-task progress rate
 /// is `running / width`, so a full gang computes at rate one and a
 /// degraded partial gang proportionally slower.
-fn start_gang_segment(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
-    let delay = {
-        let mut st = sim.borrow_mut();
-        let st = &mut *st;
-        let now = engine.now().as_f64();
-        let gang = &mut st.gangs[j];
-        let running = resume_gang_members(gang);
-        debug_assert!(
-            running >= gang.floor,
-            "segment starts require the co-scheduling floor"
-        );
-        let rate = f64::from(running) / f64::from(gang.width);
-        let (work, is_setup) = if gang.setup_left > 0.0 {
-            (gang.setup_left, true)
-        } else {
-            (gang.remaining.max(0.0), false)
-        };
-        let wall = work / rate;
-        gang.phase = GangPhase::Running {
-            is_setup,
-            work,
-            wall,
-            rate,
-            slice_start: now,
-            event: 0,
-        };
-        verify_gang_invariants(st);
-        wall
+fn start_gang_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, j: usize) {
+    let now = cal.now().as_f64();
+    let gang = &mut sim.gangs[j];
+    let running = resume_gang_members(gang);
+    debug_assert!(
+        running >= gang.floor,
+        "segment starts require the co-scheduling floor"
+    );
+    let rate = f64::from(running) / f64::from(gang.width);
+    let (work, is_setup) = if gang.setup_left > 0.0 {
+        (gang.setup_left, true)
+    } else {
+        (gang.remaining.max(0.0), false)
     };
-    let sc = Rc::clone(sim);
-    let ev = engine
-        .schedule_in(SimTime::new(delay), move |e| gang_segment_end(e, &sc, j))
+    let wall = work / rate;
+    let event = cal
+        .schedule_in(
+            SimTime::new(wall),
+            SchedEvent::GangSegmentEnd { j: j as u32 },
+        )
         .expect("gang segment length is non-negative");
-    if let GangPhase::Running { event, .. } = &mut sim.borrow_mut().gangs[j].phase {
-        *event = ev;
-    }
+    gang.phase = GangPhase::Running {
+        is_setup,
+        work,
+        wall,
+        rate,
+        slice_start: now,
+        event,
+    };
+    verify_gang_invariants(sim, j);
 }
 
 /// A gang segment ran to completion undisturbed.
-fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
-    let now = engine.now().as_f64();
+fn gang_segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: usize) {
     let completed = {
-        let mut st = sim.borrow_mut();
-        let st = &mut *st;
-        let gang = &mut st.gangs[j];
+        let gang = &mut sim.gangs[j];
         let GangPhase::Running {
             is_setup,
             work,
@@ -1295,17 +1436,17 @@ fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
             unreachable!("gang segments end only while running")
         };
         let r = f64::from(running_members(gang));
-        st.acc.delivered += r * wall;
+        sim.acc.delivered += r * wall;
         if is_setup {
             // Migration restore: wasted work, then compute for real.
-            st.acc.wasted += r * wall;
+            sim.acc.wasted += r * wall;
             gang.setup_left = 0.0;
             false
         } else {
             gang.remaining -= work;
-            st.gacc.parallelism_integral += r * wall;
+            sim.gacc.parallelism_integral += r * wall;
             if (r as u32) < gang.width {
-                st.gacc.degraded_time += wall;
+                sim.gacc.degraded_time += wall;
             }
             // Work segments span the whole remaining demand, so an
             // undisturbed end is always a completion.
@@ -1313,47 +1454,42 @@ fn gang_segment_end(engine: &mut Engine, sim: &Rc<RefCell<Sim>>, j: usize) {
         }
     };
     if !completed {
-        start_gang_segment(engine, sim, j);
+        start_gang_segment(sim, cal, j);
         return;
     }
-    let all_done = {
-        let mut st = sim.borrow_mut();
-        let st = &mut *st;
-        let gang = &mut st.gangs[j];
-        suspend_gang_members(gang);
-        gang.phase = GangPhase::Done;
-        gang.member_running.clear();
-        gang.member_busy.clear();
-        let demand = gang.demand;
-        let width = gang.width;
-        let members = std::mem::take(&mut gang.members);
-        for &m in &members {
-            st.pool.set_occupied(now, m, false);
-            st.machine_gang[m] = None;
-        }
-        // The job completes all `width` tasks' worth of work even if a
-        // partial gang never placed its full width (the shared clock
-        // already charged the missing members' share via the degraded
-        // rate).
-        st.acc.goodput += f64::from(width) * demand;
-        st.acc.completed_tasks += u64::from(width);
-        let job = &mut st.jobs[j];
-        job.tasks_left = 0;
-        job.record.completion = now;
-        st.jobs_remaining -= 1;
-        if st.jobs_remaining == 0 {
-            st.done = true;
-            st.makespan = now;
-        }
-        frag_update(st, now);
-        verify_gang_invariants(st);
-        st.done
-    };
-    if !all_done {
-        gang_dispatch(engine, sim);
+    let gang = &mut sim.gangs[j];
+    suspend_gang_members(gang);
+    gang.phase = GangPhase::Done;
+    gang.member_running.clear();
+    gang.member_busy.clear();
+    let demand = gang.demand;
+    let width = gang.width;
+    let members = std::mem::take(&mut gang.members);
+    for &m in &members {
+        sim.pool.set_occupied(now, m, false);
+        sim.machine_gang[m] = None;
+    }
+    sim.growers.remove(&j);
+    // The job completes all `width` tasks' worth of work even if a
+    // partial gang never placed its full width (the shared clock
+    // already charged the missing members' share via the degraded
+    // rate).
+    sim.acc.goodput += f64::from(width) * demand;
+    sim.acc.completed_tasks += u64::from(width);
+    let job = &mut sim.jobs[j];
+    job.tasks_left = 0;
+    job.record.completion = now;
+    sim.jobs_remaining -= 1;
+    if sim.jobs_remaining == 0 {
+        sim.done = true;
+        sim.makespan = now;
+    }
+    frag_update(sim, now);
+    verify_gang_invariants(sim, j);
+    if !sim.done {
+        gang_dispatch(sim, cal);
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,40 @@
 use crate::error::StatsError;
 use crate::rng::Xoshiro256StarStar;
 
+/// A closed-form sampling recipe equivalent to a distribution's
+/// `sample` — same formula, same RNG consumption, bit-identical
+/// draws. Hot loops that sample through `Arc<dyn Distribution>`
+/// millions of times (the scheduler's owner think/use cycles) cache
+/// this at setup and inline the draw, skipping the virtual call and
+/// pointer chase per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClosedForm {
+    /// `-ln(u) / rate` with `u` from `next_f64_open` — exactly
+    /// [`Exponential::sample`].
+    Exponential {
+        /// The rate parameter (mean `1/rate`).
+        rate: f64,
+    },
+    /// A point mass: every draw returns `value` and consumes no
+    /// randomness — exactly [`Deterministic::sample`].
+    Deterministic {
+        /// The constant value.
+        value: f64,
+    },
+}
+
+impl ClosedForm {
+    /// Draw one sample; bit-identical to the originating
+    /// distribution's `sample` on the same RNG state.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        match *self {
+            ClosedForm::Exponential { rate } => -rng.next_f64_open().ln() / rate,
+            ClosedForm::Deterministic { value } => value,
+        }
+    }
+}
+
 /// A sampleable, positively supported distribution with known moments.
 ///
 /// All distributions in this workspace are cheap value types; sampling
@@ -33,6 +67,12 @@ pub trait Distribution: std::fmt::Debug + Send + Sync {
         } else {
             self.variance() / (m * m)
         }
+    }
+
+    /// A [`ClosedForm`] recipe drawing bit-identical samples, if this
+    /// distribution has one (default: none).
+    fn closed_form(&self) -> Option<ClosedForm> {
+        None
     }
 }
 
@@ -72,6 +112,10 @@ impl Distribution for Deterministic {
 
     fn variance(&self) -> f64 {
         0.0
+    }
+
+    fn closed_form(&self) -> Option<ClosedForm> {
+        Some(ClosedForm::Deterministic { value: self.value })
     }
 }
 
@@ -123,6 +167,10 @@ impl Distribution for Exponential {
 
     fn variance(&self) -> f64 {
         1.0 / (self.rate * self.rate)
+    }
+
+    fn closed_form(&self) -> Option<ClosedForm> {
+        Some(ClosedForm::Exponential { rate: self.rate })
     }
 }
 

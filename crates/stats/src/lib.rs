@@ -33,8 +33,8 @@ pub mod summary;
 
 pub use batch_means::{BatchMeans, BatchMeansReport};
 pub use distributions::{
-    Deterministic, Distribution, Erlang, Exponential, Geometric, Hyperexponential, Mixture,
-    Shifted, UniformRange,
+    ClosedForm, Deterministic, Distribution, Erlang, Exponential, Geometric, Hyperexponential,
+    Mixture, Shifted, UniformRange,
 };
 pub use error::StatsError;
 pub use histogram::Histogram;
