@@ -14,8 +14,16 @@
 //!   stdout (the JSON is what `BENCH_core.json` records);
 //! * `perf_core --json` — JSON only;
 //! * `perf_core --smoke` — small check-mode run for CI: counts events,
-//!   asserts nonzero throughput on every scenario, finishes in
-//!   seconds.
+//!   asserts nonzero throughput on every scenario, and (release builds
+//!   only) asserts untraced throughput stays within a generous floor
+//!   of the `BENCH_core.json` baseline — the guard that the `NoTrace`
+//!   flight-recorder hooks really do compile away;
+//! * `perf_core --profile` — run each scenario once under a
+//!   profiling-only tracer and print per-event-class host-time
+//!   attribution as JSON;
+//! * `perf_core --trace-json` — measure the full `FlightRecorder`'s
+//!   overhead vs the untraced engine (the JSON `BENCH_trace.json`
+//!   records).
 //!
 //! Events/sec is the engine's honest denominator: cancelled calendar
 //! entries skipped at pop time are not counted, only events whose
@@ -23,10 +31,46 @@
 
 use nds_cluster::owner::OwnerWorkload;
 use nds_core::sim::{poisson, JobShape, Workload};
-use nds_sched::{EvictionPolicy, GangPolicy, JobSpec, SchedConfig};
+use nds_sched::{
+    EventClass, EvictionPolicy, FlightRecorder, GangPolicy, JobSpec, Profiler, SchedConfig,
+    SchedTracer,
+};
 use std::time::Instant;
 
 const SEED: u64 = 0xC0DE;
+
+/// Mirror of `BENCH_core.json`'s `after_events_per_sec` column — the
+/// PR 5 release-build baseline the `--smoke` guard floors against.
+const BASELINE_EVENTS_PER_SEC: [(&str, f64); 8] = [
+    ("closed_off", 11_668_205.0),
+    ("closed_suspend_all", 7_759_978.0),
+    ("closed_partial", 4_318_230.0),
+    ("open_off", 7_878_027.0),
+    ("open_suspend_all", 7_649_933.0),
+    ("open_partial", 5_586_689.0),
+    ("ext_open_stream", 9_908_896.0),
+    ("ext_open_stream_hot", 13_699_461.0),
+];
+
+/// The smoke guard's floor as a fraction of the recorded baseline —
+/// deliberately generous (smoke runs a small workload on a possibly
+/// noisy shared machine); it exists to catch order-of-magnitude
+/// regressions such as tracing hooks surviving monomorphization, not
+/// to benchmark.
+const SMOKE_FLOOR_FRAC: f64 = 0.10;
+
+/// A [`SchedTracer`] that only attributes host time per event class —
+/// no record buffering, no state sampling — so `--profile` measures
+/// handler cost, not recorder cost.
+#[derive(Default)]
+struct ProfileOnly(Profiler);
+
+impl SchedTracer for ProfileOnly {
+    #[inline]
+    fn handled(&mut self, class: EventClass, nanos: u64) {
+        self.0.observe(class, nanos);
+    }
+}
 
 struct ScenarioSpec {
     name: &'static str,
@@ -177,6 +221,120 @@ fn measure(spec: &ScenarioSpec, jobs: usize, reps: u64) -> Measurement {
     }
 }
 
+/// Like [`measure`], but runs every replication under the full
+/// [`FlightRecorder`] (record buffer + metrics registry + profiler) —
+/// the honest worst case for tracing overhead.
+fn measure_traced(spec: &ScenarioSpec, jobs: usize, reps: u64) -> Measurement {
+    let owner = OwnerWorkload::continuous_exponential(10.0, spec.utilization)
+        .expect("valid owner utilization");
+    let mut events = 0u64;
+    let mut seconds = 0.0f64;
+    let mut best = 0.0f64;
+    for rep in 0..reps {
+        let mut cfg =
+            SchedConfig::homogeneous(spec.workstations, &owner, jobs_for(spec, jobs, rep));
+        cfg.gang = spec.gang;
+        cfg.eviction = spec.eviction;
+        cfg.seed = SEED;
+        cfg.replication = rep;
+        cfg.max_events = 200_000_000;
+        let mut recorder = FlightRecorder::new(spec.workstations as usize, 100.0);
+        let start = Instant::now();
+        let (metrics, ran) = cfg.run_traced(&mut recorder).expect("scenario completes");
+        let elapsed = start.elapsed().as_secs_f64();
+        recorder.finish(metrics.makespan);
+        seconds += elapsed;
+        events += ran;
+        if elapsed > 0.0 {
+            best = best.max(ran as f64 / elapsed);
+        }
+        assert!(
+            metrics.is_consistent(),
+            "{}: work conservation violated",
+            spec.name
+        );
+    }
+    Measurement {
+        name: spec.name,
+        events,
+        seconds,
+        best_events_per_sec: best,
+    }
+}
+
+/// Run each scenario once under [`ProfileOnly`] and return the
+/// per-event-class JSON blocks.
+fn profile_all(jobs: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"benchmark\": \"perf_core --profile\",\n  \"jobs_per_run\": {jobs},\n  \"note\": \"host nanoseconds per SchedEvent class under a profiling-only tracer (no record buffering)\",\n  \"scenarios\": [\n"
+    ));
+    let specs = scenarios();
+    for (i, spec) in specs.iter().enumerate() {
+        let owner = OwnerWorkload::continuous_exponential(10.0, spec.utilization)
+            .expect("valid owner utilization");
+        let mut cfg = SchedConfig::homogeneous(spec.workstations, &owner, jobs_for(spec, jobs, 0));
+        cfg.gang = spec.gang;
+        cfg.eviction = spec.eviction;
+        cfg.seed = SEED;
+        cfg.max_events = 200_000_000;
+        let mut tracer = ProfileOnly::default();
+        let (metrics, ran) = cfg.run_traced(&mut tracer).expect("scenario completes");
+        assert!(metrics.is_consistent(), "{}: inconsistent", spec.name);
+        assert_eq!(
+            tracer.0.total_count(),
+            ran,
+            "{}: profiler count mismatch",
+            spec.name
+        );
+        let comma = if i + 1 == specs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {ran}, \"profile\": {}}}{comma}\n",
+            spec.name,
+            tracer.0.to_json()
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Measure traced vs untraced throughput per scenario — the JSON that
+/// `BENCH_trace.json` records.
+fn trace_overhead_json(jobs: usize, reps: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"benchmark\": \"perf_core --trace-json\",\n  \"jobs_per_run\": {jobs},\n  \"replications\": {reps},\n  \"note\": \"untraced = NoTrace (zero-cost path); traced = full FlightRecorder (record buffer + metrics registry + profiler); best_events_per_sec per min-time methodology\",\n  \"scenarios\": [\n"
+    ));
+    let specs = scenarios();
+    for (i, spec) in specs.iter().enumerate() {
+        let plain = measure(spec, jobs, reps);
+        let traced = measure_traced(spec, jobs, reps);
+        let ratio = if traced.events_per_sec() > 0.0 {
+            plain.events_per_sec() / traced.events_per_sec()
+        } else {
+            f64::INFINITY
+        };
+        let comma = if i + 1 == specs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"untraced_events_per_sec\": {:.0}, \"traced_events_per_sec\": {:.0}, \"overhead_ratio\": {:.3}}}{comma}\n",
+            spec.name,
+            plain.events,
+            plain.events_per_sec(),
+            traced.events_per_sec(),
+            ratio
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+fn baseline_for(name: &str) -> Option<f64> {
+    BASELINE_EVENTS_PER_SEC
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, eps)| eps)
+}
+
 fn render_json(results: &[Measurement], jobs: usize, reps: u64) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -200,25 +358,61 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let json_only = args.iter().any(|a| a == "--json");
+    let profile = args.iter().any(|a| a == "--profile");
+    let trace_json = args.iter().any(|a| a == "--trace-json");
 
-    let (jobs, reps) = if smoke { (24, 1) } else { (8_000, 5) };
+    if profile {
+        println!("{}", profile_all(2_000));
+        return;
+    }
+    if trace_json {
+        println!("{}", trace_overhead_json(2_000, 3));
+        return;
+    }
+
+    let (jobs, reps) = if smoke { (200, 3) } else { (8_000, 5) };
     let results: Vec<Measurement> = scenarios()
         .iter()
         .map(|spec| measure(spec, jobs, reps))
         .collect();
 
     if smoke {
+        // Debug builds are an order of magnitude off the release
+        // baseline, so the floor guard only arms in release.
+        let guard = !cfg!(debug_assertions);
         for m in &results {
             assert!(m.events > 0, "{}: no events executed", m.name);
             assert!(m.events_per_sec() > 0.0, "{}: zero throughput", m.name);
+            let floor = baseline_for(m.name).map_or(0.0, |eps| eps * SMOKE_FLOOR_FRAC);
+            if guard {
+                assert!(
+                    m.events_per_sec() >= floor,
+                    "{}: {:.0} events/sec below the regression floor {:.0} \
+                     ({}x the BENCH_core.json baseline)",
+                    m.name,
+                    m.events_per_sec(),
+                    floor,
+                    SMOKE_FLOOR_FRAC
+                );
+            }
             println!(
-                "smoke {:<20} {:>9} events  {:>12.0} events/sec",
+                "smoke {:<20} {:>9} events  {:>12.0} events/sec  (floor {:>12.0}{})",
                 m.name,
                 m.events,
-                m.events_per_sec()
+                m.events_per_sec(),
+                floor,
+                if guard { "" } else { ", unarmed: debug build" }
             );
         }
-        println!("perf_core --smoke: all {} scenarios nonzero", results.len());
+        println!(
+            "perf_core --smoke: all {} scenarios nonzero{}",
+            results.len(),
+            if guard {
+                " and above the baseline floor"
+            } else {
+                ""
+            }
+        );
         return;
     }
 

@@ -45,8 +45,8 @@ use crate::sweep::parallel_map;
 use nds_cluster::job::JobRunner;
 use nds_cluster::owner::OwnerWorkload;
 use nds_sched::{
-    EvictionPolicy, GangPolicy, GangStats, JobRecord, JobSpec, PlacementKind, QueueDiscipline,
-    SchedConfig, SchedMetrics,
+    EvictionPolicy, FlightRecorder, GangPolicy, GangStats, JobRecord, JobSpec, PlacementKind,
+    QueueDiscipline, SchedConfig, SchedMetrics,
 };
 use nds_stats::batch_means::{PAPER_BATCHES, PAPER_CONFIDENCE};
 
@@ -130,7 +130,44 @@ pub struct Sim {
     confidence: f64,
     batches: usize,
     shards: usize,
+    metrics_every: f64,
     workload: Box<dyn Workload>,
+}
+
+/// One traced replication: the run's metrics plus its flight-recorder
+/// exports. Produced by [`Sim::run_flight`].
+#[derive(Debug)]
+pub struct Flight {
+    /// Which replication this trace observed.
+    pub replication: u64,
+    /// The run's aggregate metrics (identical to the untraced run's).
+    pub metrics: SchedMetrics,
+    /// Calendar events the engine executed.
+    pub events: u64,
+    /// The finished recorder: event log, metrics registry, profiler.
+    pub recorder: FlightRecorder,
+}
+
+impl Flight {
+    /// The structured event log as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        self.recorder.to_jsonl()
+    }
+
+    /// The event log as Chrome trace-event JSON (Perfetto-loadable).
+    pub fn to_chrome_json(&self) -> String {
+        self.recorder.to_chrome_json()
+    }
+
+    /// The sim-time metrics series plus per-machine owner activity.
+    pub fn metrics_json(&self) -> String {
+        self.recorder.metrics_json()
+    }
+
+    /// The per-event-class host-time profile.
+    pub fn profile_json(&self) -> String {
+        self.recorder.profile_json()
+    }
 }
 
 impl Sim {
@@ -154,6 +191,7 @@ impl Sim {
             confidence: PAPER_CONFIDENCE,
             batches: PAPER_BATCHES,
             shards: 1,
+            metrics_every: 100.0,
             workload: None,
         }
     }
@@ -325,6 +363,39 @@ impl Sim {
             steady_state,
         })
     }
+
+    /// Run every replication under the flight recorder and return one
+    /// [`Flight`] per replication, in replication order.
+    ///
+    /// Tracing always lowers to the scheduler engine — the closed-form
+    /// cluster runner has no event loop to observe — so a degenerate
+    /// configuration's traced metrics still match its untraced run
+    /// bit-for-bit (by the workspace's degenerate-equivalence
+    /// invariant). Like [`Sim::run`], replications shard across scoped
+    /// threads when [`SimBuilder::shards`] exceeds one; the recorder
+    /// only ever observes simulation state, so the traces are
+    /// byte-identical to the serial path's.
+    pub fn run_flight(&self) -> Result<Vec<Flight>, SimError> {
+        let trace_one = |&replication: &u64| -> Result<Flight, SimError> {
+            let cfg = self.lower(replication)?;
+            let mut recorder = FlightRecorder::new(self.workstations as usize, self.metrics_every);
+            let (metrics, events) = cfg.run_traced(&mut recorder)?;
+            recorder.finish(metrics.makespan);
+            Ok(Flight {
+                replication,
+                metrics,
+                events,
+                recorder,
+            })
+        };
+        let reps: Vec<u64> = (0..self.replications).collect();
+        let results: Vec<Result<Flight, SimError>> = if self.shards > 1 {
+            parallel_map(&reps, self.shards, trace_one)
+        } else {
+            reps.iter().map(trace_one).collect()
+        };
+        results.into_iter().collect()
+    }
 }
 
 /// Accumulates an experiment description; `build()` validates it into
@@ -348,6 +419,7 @@ pub struct SimBuilder {
     confidence: f64,
     batches: usize,
     shards: usize,
+    metrics_every: f64,
     workload: Option<Box<dyn Workload>>,
 }
 
@@ -477,6 +549,15 @@ impl SimBuilder {
         self
     }
 
+    /// Sim-time interval of the flight recorder's metrics snapshots
+    /// (default 100.0). Only [`Sim::run_flight`] reads it — untraced
+    /// runs sample nothing.
+    #[must_use]
+    pub fn metrics_every(mut self, every: f64) -> Self {
+        self.metrics_every = every;
+        self
+    }
+
     /// The workload to submit — see [`crate::sim::workload`] for the
     /// closed and open implementations.
     #[must_use]
@@ -559,6 +640,12 @@ impl SimBuilder {
                 reason: "must be positive".into(),
             });
         }
+        if !(self.metrics_every.is_finite() && self.metrics_every > 0.0) {
+            return Err(SimError::InvalidPool {
+                field: "metrics_every",
+                reason: format!("{} not finite > 0", self.metrics_every),
+            });
+        }
         if !(self.confidence > 0.0 && self.confidence < 1.0) {
             return Err(SimError::InvalidWorkload {
                 field: "confidence",
@@ -592,6 +679,7 @@ impl SimBuilder {
             confidence: self.confidence,
             batches: self.batches,
             shards: self.shards,
+            metrics_every: self.metrics_every,
             workload,
         })
     }

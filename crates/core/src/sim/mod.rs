@@ -39,7 +39,7 @@ pub mod error;
 pub mod report;
 pub mod workload;
 
-pub use builder::{Backend, OwnerSpec, Sim, SimBuilder};
+pub use builder::{Backend, Flight, OwnerSpec, Sim, SimBuilder};
 pub use error::SimError;
 pub use report::{Report, ResponseStats, SteadyState};
 pub use workload::{

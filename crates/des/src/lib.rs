@@ -21,8 +21,13 @@
 //!   started"),
 //! * [`monitor::Monitor`] — time-weighted and tally statistics collected
 //!   during a run,
-//! * [`trace`] — optional structured event tracing for debugging
-//!   simulations.
+//! * [`registry::MetricsRegistry`] — named counters/gauges with
+//!   periodic snapshotting, the exportable generalization of a bag of
+//!   monitors,
+//! * [`trace`] — the zero-cost [`trace::Tracer`] hook trait threaded
+//!   through [`calendar::Calendar`] (disabled by default via the
+//!   zero-sized [`trace::NoTrace`], which monomorphizes the hooks
+//!   away), plus the [`trace::TraceLog`] debugging ring buffer.
 //!
 //! Unlike CSIM the engine is event-driven rather than process-oriented
 //! (no coroutines), which keeps it deterministic, allocation-light, and
@@ -35,6 +40,7 @@ pub mod engine;
 pub mod error;
 pub mod facility;
 pub mod monitor;
+pub mod registry;
 pub mod resource;
 pub mod time;
 pub mod trace;
@@ -44,6 +50,7 @@ pub use engine::{Engine, EventId};
 pub use error::DesError;
 pub use facility::{Facility, Preempted, Request, RequestId, RequestOutcome};
 pub use monitor::Monitor;
+pub use registry::{MetricsRegistry, SeriesId, SeriesKind};
 pub use resource::MultiFacility;
 pub use time::SimTime;
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{CalendarProbe, NoTrace, TraceEvent, TraceLog, Tracer};

@@ -88,14 +88,16 @@ impl Monitor {
         area / span
     }
 
-    /// Smallest value observed.
-    pub fn min(&self) -> f64 {
-        self.min
+    /// Smallest value observed, or `None` if the signal was never set
+    /// (a never-updated monitor has no observations to bound — the old
+    /// behavior of returning `+inf` here leaked the internal sentinel).
+    pub fn min(&self) -> Option<f64> {
+        self.started.then_some(self.min)
     }
 
-    /// Largest value observed.
-    pub fn max(&self) -> f64 {
-        self.max
+    /// Largest value observed, or `None` if the signal was never set.
+    pub fn max(&self) -> Option<f64> {
+        self.started.then_some(self.max)
     }
 
     /// Number of `set`/`add` calls.
@@ -147,8 +149,8 @@ mod tests {
         m.set(t(0.0), 5.0);
         m.set(t(1.0), -2.0);
         m.set(t(2.0), 3.0);
-        assert_eq!(m.min(), -2.0);
-        assert_eq!(m.max(), 5.0);
+        assert_eq!(m.min(), Some(-2.0));
+        assert_eq!(m.max(), Some(5.0));
         assert_eq!(m.changes(), 3);
     }
 
@@ -156,6 +158,23 @@ mod tests {
     fn empty_monitor_average_zero() {
         let m = Monitor::new("q");
         assert_eq!(m.time_average(t(100.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_monitor_has_no_extrema() {
+        // A never-updated monitor must not leak its ±inf sentinels.
+        let m = Monitor::new("q");
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.changes(), 0);
+    }
+
+    #[test]
+    fn single_update_pins_both_extrema() {
+        let mut m = Monitor::new("q");
+        m.set(t(3.0), 7.5);
+        assert_eq!(m.min(), Some(7.5));
+        assert_eq!(m.max(), Some(7.5));
     }
 
     #[test]

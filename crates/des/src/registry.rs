@@ -1,0 +1,369 @@
+//! A sim-time metrics registry: named counters and gauges with
+//! periodic snapshotting, generalizing [`crate::Monitor`] from one
+//! signal to a whole run's worth.
+//!
+//! Each registered series wraps a [`Monitor`] (so the time-weighted
+//! mean, extrema, and change count come for free) and additionally
+//! records its value on a fixed sim-time grid: every `every` units the
+//! registry samples all series, producing aligned time-series suitable
+//! for plotting or JSON export ([`MetricsRegistry::to_json`]).
+//!
+//! Sampling is **left-continuous**: the value recorded at grid time
+//! `k·every` is the value the signal held *entering* that instant —
+//! updates are applied after any due snapshots, matching the
+//! piecewise-constant convention [`Monitor`] integrates under.
+//!
+//! ```
+//! use nds_des::{MetricsRegistry, SimTime};
+//!
+//! let mut reg = MetricsRegistry::new(10.0);
+//! let depth = reg.gauge("queue_depth");
+//! reg.set(SimTime::new(0.0), depth, 3.0);
+//! reg.set(SimTime::new(25.0), depth, 1.0);
+//! reg.finish(SimTime::new(40.0));
+//! assert_eq!(reg.ticks(), &[0.0, 10.0, 20.0, 30.0, 40.0]);
+//! assert_eq!(reg.samples(depth), &[0.0, 3.0, 3.0, 1.0, 1.0]);
+//! assert!(reg.to_json().contains("\"queue_depth\""));
+//! ```
+
+use crate::monitor::Monitor;
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// Handle to one registered series (index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesId(usize);
+
+/// What a series semantically is (purely descriptive — both kinds are
+/// stored identically; the kind is carried into the JSON export so
+/// consumers can pick sensible renderings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// A monotone running total (events observed, work served, ...).
+    Counter,
+    /// An instantaneous level (queue depth, free machines, ...).
+    Gauge,
+}
+
+impl SeriesKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    kind: SeriesKind,
+    monitor: Monitor,
+    samples: Vec<f64>,
+}
+
+/// Named counters/gauges sampled on a fixed sim-time grid.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    every: f64,
+    /// Time of the next snapshot not yet taken.
+    next_tick: f64,
+    ticks: Vec<f64>,
+    series: Vec<Series>,
+    /// Clock at [`MetricsRegistry::finish`], for the summary means.
+    end: Option<f64>,
+}
+
+impl MetricsRegistry {
+    /// A registry snapshotting every `every` sim-time units (the first
+    /// snapshot is at time 0, before any update lands).
+    ///
+    /// # Panics
+    ///
+    /// If `every` is not finite and positive.
+    pub fn new(every: f64) -> Self {
+        assert!(
+            every.is_finite() && every > 0.0,
+            "snapshot period must be finite and positive, got {every}"
+        );
+        Self {
+            every,
+            next_tick: 0.0,
+            ticks: Vec::new(),
+            series: Vec::new(),
+            end: None,
+        }
+    }
+
+    /// The snapshot period.
+    pub fn every(&self) -> f64 {
+        self.every
+    }
+
+    /// Register a counter series.
+    pub fn counter(&mut self, name: impl Into<String>) -> SeriesId {
+        self.register(name, SeriesKind::Counter)
+    }
+
+    /// Register a gauge series.
+    pub fn gauge(&mut self, name: impl Into<String>) -> SeriesId {
+        self.register(name, SeriesKind::Gauge)
+    }
+
+    fn register(&mut self, name: impl Into<String>, kind: SeriesKind) -> SeriesId {
+        assert!(
+            self.ticks.is_empty(),
+            "series must be registered before the first snapshot"
+        );
+        let name = name.into();
+        let id = SeriesId(self.series.len());
+        self.series.push(Series {
+            monitor: Monitor::new(name.clone()),
+            name,
+            kind,
+            samples: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series is registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Take every snapshot due at or before `now`. Updates at `now`
+    /// itself land *after* the `now` snapshot (left-continuous).
+    fn advance(&mut self, now: f64) {
+        while self.next_tick <= now {
+            self.ticks.push(self.next_tick);
+            for s in &mut self.series {
+                s.samples.push(s.monitor.current());
+            }
+            self.next_tick += self.every;
+        }
+    }
+
+    /// Record that series `id` changed to `value` at `now`. Times must
+    /// be nondecreasing across all updates (one simulation clock).
+    pub fn set(&mut self, now: SimTime, id: SeriesId, value: f64) {
+        self.advance(now.as_f64());
+        self.series[id.0].monitor.set(now, value);
+    }
+
+    /// Adjust series `id` by `delta` (counter convenience).
+    pub fn add(&mut self, now: SimTime, id: SeriesId, delta: f64) {
+        self.advance(now.as_f64());
+        self.series[id.0].monitor.add(now, delta);
+    }
+
+    /// Current value of series `id`.
+    pub fn value(&self, id: SeriesId) -> f64 {
+        self.series[id.0].monitor.current()
+    }
+
+    /// The series' underlying [`Monitor`] (time-weighted statistics).
+    pub fn monitor(&self, id: SeriesId) -> &Monitor {
+        &self.series[id.0].monitor
+    }
+
+    /// Close the run at `now`: take the remaining due snapshots plus a
+    /// final one at `now` itself (even off-grid, so the export always
+    /// ends with the closing state), and pin the summary horizon.
+    pub fn finish(&mut self, now: SimTime) {
+        let t = now.as_f64();
+        self.advance(t);
+        if self.ticks.last() != Some(&t) {
+            self.ticks.push(t);
+            for s in &mut self.series {
+                s.samples.push(s.monitor.current());
+            }
+            // Keep the grid invariant: the next due tick stays ahead.
+            while self.next_tick <= t {
+                self.next_tick += self.every;
+            }
+        }
+        self.end = Some(t);
+    }
+
+    /// Snapshot times taken so far.
+    pub fn ticks(&self) -> &[f64] {
+        &self.ticks
+    }
+
+    /// Sampled values of series `id`, aligned with
+    /// [`MetricsRegistry::ticks`].
+    pub fn samples(&self, id: SeriesId) -> &[f64] {
+        &self.series[id.0].samples
+    }
+
+    /// Render the whole registry as one JSON object: the grid, and per
+    /// series its kind, summary statistics, final value, and aligned
+    /// samples.
+    pub fn to_json(&self) -> String {
+        let horizon = self
+            .end
+            .or_else(|| self.ticks.last().copied())
+            .unwrap_or(0.0);
+        let mut out = String::from("{");
+        let _ = write!(out, "\"every\":{}", json_num(self.every));
+        let _ = write!(out, ",\"end\":{}", json_num(horizon));
+        out.push_str(",\"ticks\":[");
+        for (i, t) in self.ticks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_num(*t));
+        }
+        out.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"kind\":\"{}\",\"final\":{},\"mean\":{},\"min\":{},\"max\":{},\"samples\":[",
+                json_str(&s.name),
+                s.kind.name(),
+                json_num(s.monitor.current()),
+                json_num(s.monitor.time_average(SimTime::new(horizon.max(0.0)))),
+                s.monitor.min().map_or_else(|| "null".into(), json_num),
+                s.monitor.max().map_or_else(|| "null".into(), json_num),
+            );
+            for (k, v) in s.samples.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_num(*v));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render a float as a JSON number (`null` for non-finite values,
+/// which JSON cannot carry). Rust's shortest-roundtrip `Display` is
+/// already valid JSON for finite floats.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Render a string as a JSON string literal with minimal escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::new(v)
+    }
+
+    #[test]
+    fn snapshots_on_the_grid_are_left_continuous() {
+        let mut reg = MetricsRegistry::new(5.0);
+        let g = reg.gauge("g");
+        reg.set(t(0.0), g, 2.0);
+        // The t=0 snapshot fired before the update: initial value 0.
+        reg.set(t(5.0), g, 7.0);
+        // The t=5 snapshot sampled the value entering t=5.
+        reg.finish(t(12.0));
+        assert_eq!(reg.ticks(), &[0.0, 5.0, 10.0, 12.0]);
+        assert_eq!(reg.samples(g), &[0.0, 2.0, 7.0, 7.0]);
+        assert_eq!(reg.value(g), 7.0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_average() {
+        let mut reg = MetricsRegistry::new(10.0);
+        let c = reg.counter("served");
+        reg.add(t(0.0), c, 1.0);
+        reg.add(t(4.0), c, 1.0);
+        reg.add(t(8.0), c, 3.0);
+        reg.finish(t(10.0));
+        assert_eq!(reg.value(c), 5.0);
+        assert_eq!(reg.samples(c), &[0.0, 5.0]);
+        // Time average of the step function 1·4 + 2·4 + 5·2 over 10.
+        assert!((reg.monitor(c).time_average(t(10.0)) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_on_grid_does_not_duplicate_the_tick() {
+        let mut reg = MetricsRegistry::new(5.0);
+        let g = reg.gauge("g");
+        reg.set(t(1.0), g, 4.0);
+        reg.finish(t(10.0));
+        assert_eq!(reg.ticks(), &[0.0, 5.0, 10.0]);
+        assert_eq!(reg.samples(g), &[0.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn json_contains_all_series_and_handles_empties() {
+        let mut reg = MetricsRegistry::new(2.0);
+        let a = reg.gauge("alpha");
+        let _b = reg.counter("beta");
+        reg.set(t(1.0), a, 9.0);
+        reg.finish(t(3.0));
+        let json = reg.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"alpha\""));
+        assert!(json.contains("\"kind\":\"gauge\""));
+        assert!(json.contains("\"kind\":\"counter\""));
+        // beta was never set: its extrema export as null, not ±inf.
+        assert!(json.contains("\"min\":null"));
+        assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn json_primitives_escape_and_nullify() {
+        assert_eq!(json_num(1.0), "1");
+        assert_eq!(json_num(0.25), "0.25");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nonpositive_period() {
+        let _ = MetricsRegistry::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first snapshot")]
+    fn rejects_late_registration() {
+        let mut reg = MetricsRegistry::new(1.0);
+        let g = reg.gauge("g");
+        reg.set(t(0.5), g, 1.0);
+        let _ = reg.counter("late");
+    }
+}

@@ -32,6 +32,12 @@
 //!   overhead, eviction/migration counts, and the work-conservation
 //!   invariant `delivered == goodput + wasted + checkpoint_overhead`.
 //! * [`simulator`] — the event loop tying it all together.
+//! * [`trace`] — the flight recorder: the zero-cost [`trace::SchedTracer`]
+//!   hook trait the event loop is generic over (disabled by default via
+//!   [`nds_des::NoTrace`], which compiles the hooks away), and the
+//!   everything-on [`trace::FlightRecorder`] producing JSONL event
+//!   traces, Chrome/Perfetto trace JSON, sim-time metrics series, and
+//!   per-event-type host profiles.
 //!
 //! ## Relation to the paper's model
 //!
@@ -99,6 +105,7 @@ pub mod policy;
 pub mod pool;
 pub mod queue;
 pub mod simulator;
+pub mod trace;
 
 pub use error::SchedError;
 pub use eviction::{on_eviction, EvictionOutcome, EvictionPolicy};
@@ -108,3 +115,7 @@ pub use policy::{CandidateMachine, PlacementKind, PlacementPolicy};
 pub use pool::{Pool, UtilizationEstimator};
 pub use queue::{JobQueue, JobSpec, PendingTask, QueueDiscipline};
 pub use simulator::SchedConfig;
+pub use trace::{
+    EventClass, EvictionAction, FlightRecorder, Profiler, SchedRecord, SchedTracer, SegmentKind,
+    StateSample,
+};

@@ -95,9 +95,12 @@ use crate::policy::{
 };
 use crate::pool::Pool;
 use crate::queue::{JobQueue, JobSpec, PendingTask, QueueDiscipline};
+use crate::trace::{
+    EventClass, EvictionAction, SchedRecord, SchedTracer, SegmentKind, StateSample,
+};
 use nds_cluster::owner::OwnerWorkload;
 use nds_cluster::probe::measure_utilization;
-use nds_des::{Calendar, EventHandle, SimTime};
+use nds_des::{Calendar, EventHandle, NoTrace, SimTime};
 use nds_stats::rng::{StreamFactory, Xoshiro256StarStar};
 use std::collections::BTreeSet;
 
@@ -240,7 +243,10 @@ impl SchedConfig {
     pub fn run_replications(&self, reps: u64) -> Result<Vec<SchedMetrics>, SchedError> {
         self.validate()?;
         (0..reps.max(1))
-            .map(|rep| self.run_validated(rep).map(|(metrics, _)| metrics))
+            .map(|rep| {
+                self.run_validated(rep, &mut NoTrace)
+                    .map(|(metrics, _)| metrics)
+            })
             .collect()
     }
 
@@ -254,11 +260,30 @@ impl SchedConfig {
     /// `perf_core` events-per-second benchmark.
     pub fn run_counted(&self) -> Result<(SchedMetrics, u64), SchedError> {
         self.validate()?;
-        self.run_validated(self.replication)
+        self.run_validated(self.replication, &mut NoTrace)
+    }
+
+    /// Run one replication observed by a [`SchedTracer`] — the flight
+    /// recorder entry point. With [`NoTrace`] this is exactly
+    /// [`SchedConfig::run_counted`] (the hooks compile away); with
+    /// [`crate::trace::FlightRecorder`] every handled event is
+    /// recorded, the engine's state is sampled after each event, and
+    /// host time is attributed per event class. The caller finishes
+    /// and exports the tracer afterwards.
+    pub fn run_traced<T: SchedTracer>(
+        &self,
+        tracer: &mut T,
+    ) -> Result<(SchedMetrics, u64), SchedError> {
+        self.validate()?;
+        self.run_validated(self.replication, tracer)
     }
 
     /// One replication on an already-validated config.
-    fn run_validated(&self, replication: u64) -> Result<(SchedMetrics, u64), SchedError> {
+    fn run_validated<T: SchedTracer>(
+        &self,
+        replication: u64,
+        tracer: &mut T,
+    ) -> Result<(SchedMetrics, u64), SchedError> {
         let factory = StreamFactory::new(self.seed);
         let w = self.owners.len();
 
@@ -395,18 +420,43 @@ impl SchedConfig {
         while cal.executed() < self.max_events {
             let Some((t, event)) = cal.pop() else { break };
             let now = t.as_f64();
+            // With tracing off (`NoTrace`), the guard below is
+            // `if false` after monomorphization: no clock reads, no
+            // sampling, no calls — the loop body is the pre-tracing
+            // code exactly.
+            let started = if T::ENABLED {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             match event {
                 SchedEvent::OwnerArrival { m } => {
-                    owner_arrival(&mut sim, &mut cal, now, m as usize)
+                    owner_arrival(&mut sim, &mut cal, now, m as usize, tracer)
                 }
                 SchedEvent::OwnerDeparture { m } => {
-                    owner_departure(&mut sim, &mut cal, now, m as usize)
+                    owner_departure(&mut sim, &mut cal, now, m as usize, tracer)
                 }
-                SchedEvent::JobArrival { j } => job_arrival(&mut sim, &mut cal, now, j as usize),
-                SchedEvent::SegmentEnd { m } => segment_end(&mut sim, &mut cal, now, m as usize),
+                SchedEvent::JobArrival { j } => {
+                    job_arrival(&mut sim, &mut cal, now, j as usize, tracer)
+                }
+                SchedEvent::SegmentEnd { m } => {
+                    segment_end(&mut sim, &mut cal, now, m as usize, tracer)
+                }
                 SchedEvent::GangSegmentEnd { j } => {
-                    gang_segment_end(&mut sim, &mut cal, now, j as usize)
+                    gang_segment_end(&mut sim, &mut cal, now, j as usize, tracer)
                 }
+            }
+            if T::ENABLED {
+                let nanos = started.map_or(0, |s| {
+                    u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                tracer.handled(event_class(event), nanos);
+                // Leftover owner events drain after the last job
+                // completes; their samples carry the closing state, so
+                // pin them to the makespan and keep the sample clock
+                // inside the run.
+                let sample_t = if sim.done { sim.makespan } else { now };
+                tracer.state(sample_t, &gather_sample(&sim, &cal));
             }
         }
         let events = cal.executed();
@@ -462,6 +512,52 @@ enum SchedEvent {
     SegmentEnd { m: u32 },
     /// Gang `j`'s in-flight segment runs to completion.
     GangSegmentEnd { j: u32 },
+}
+
+/// The profiler-facing class of a `SchedEvent`.
+fn event_class(event: SchedEvent) -> EventClass {
+    match event {
+        SchedEvent::OwnerArrival { .. } => EventClass::OwnerArrival,
+        SchedEvent::OwnerDeparture { .. } => EventClass::OwnerDeparture,
+        SchedEvent::JobArrival { .. } => EventClass::JobArrival,
+        SchedEvent::SegmentEnd { .. } => EventClass::SegmentEnd,
+        SchedEvent::GangSegmentEnd { .. } => EventClass::GangSegmentEnd,
+    }
+}
+
+/// Gather the engine's aggregate state for the tracer. Only called
+/// with tracing enabled — the gang scan is O(#gangs) per event, a cost
+/// the untraced path never pays.
+fn gather_sample(sim: &Sim, cal: &Calendar<SchedEvent>) -> StateSample {
+    let mut running_gangs = 0u32;
+    let mut degraded_gangs = 0u32;
+    for gang in &sim.gangs {
+        if let GangPhase::Running { .. } = gang.phase {
+            running_gangs += 1;
+            if running_members(gang) < gang.width {
+                degraded_gangs += 1;
+            }
+        }
+    }
+    StateSample {
+        queue_depth: (sim.queue.len() + sim.gang_queue.len()) as u32,
+        free_machines: sim.pool.candidates().len() as u32,
+        running_gangs,
+        degraded_gangs,
+        pending_events: cal.pending() as u32,
+        delivered: sim.acc.delivered,
+        goodput: sim.acc.goodput,
+        wasted: sim.acc.wasted,
+    }
+}
+
+/// The tracer-facing kind of an internal [`Segment`].
+fn segment_kind(segment: Segment) -> SegmentKind {
+    match segment {
+        Segment::Setup { .. } => SegmentKind::Setup,
+        Segment::Work { .. } => SegmentKind::Work,
+        Segment::CkptWrite { .. } => SegmentKind::CkptWrite,
+    }
 }
 
 /// One slice of guest execution on a machine.
@@ -701,7 +797,12 @@ fn next_segment(eviction: EvictionPolicy, g: &GuestTask) -> Segment {
 }
 
 /// Begin the next segment of the guest on machine `m`.
-fn start_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, m: usize) {
+fn start_segment<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    m: usize,
+    tracer: &mut T,
+) {
     let now = cal.now().as_f64();
     let eviction = sim.eviction;
     let guest = sim.machines[m]
@@ -715,6 +816,18 @@ fn start_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, m: usize) {
             SchedEvent::SegmentEnd { m: m as u32 },
         )
         .expect("segment length is non-negative");
+    if T::ENABLED {
+        tracer.record(
+            now,
+            SchedRecord::SegmentStart {
+                machine: m as u32,
+                job: guest.job as u32,
+                task: guest.task,
+                kind: segment_kind(segment),
+                wall: segment.len(),
+            },
+        );
+    }
     guest.run = Some(RunState {
         segment,
         slice_start: now,
@@ -723,7 +836,13 @@ fn start_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, m: usize) {
 }
 
 /// A segment ran to completion undisturbed.
-fn segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize) {
+fn segment_end<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) {
     let completed = {
         let guest = sim.machines[m]
             .guest
@@ -731,6 +850,17 @@ fn segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize
             .expect("segment_end fires only with a guest aboard");
         let run = guest.run.as_ref().expect("guest was running");
         let segment = run.segment;
+        if T::ENABLED {
+            tracer.record(
+                now,
+                SchedRecord::SegmentEnd {
+                    machine: m as u32,
+                    job: guest.job as u32,
+                    task: guest.task,
+                    kind: segment_kind(segment),
+                },
+            );
+        }
         sim.acc.delivered += segment.len();
         match segment {
             Segment::Setup { len } => {
@@ -751,31 +881,58 @@ fn segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize
         }
     };
     if !completed {
-        start_segment(sim, cal, m);
+        start_segment(sim, cal, m, tracer);
         return;
     }
     let guest = sim.machines[m].guest.take().expect("completing guest");
     sim.pool.set_occupied(now, m, false);
     sim.acc.goodput += guest.demand;
     sim.acc.completed_tasks += 1;
+    if T::ENABLED {
+        tracer.record(
+            now,
+            SchedRecord::TaskCompleted {
+                machine: m as u32,
+                job: guest.job as u32,
+                task: guest.task,
+            },
+        );
+    }
     let job = &mut sim.jobs[guest.job];
     job.tasks_left -= 1;
     if job.tasks_left == 0 {
         job.record.completion = now;
         sim.jobs_remaining -= 1;
+        if T::ENABLED {
+            tracer.record(
+                now,
+                SchedRecord::JobCompleted {
+                    job: guest.job as u32,
+                },
+            );
+        }
         if sim.jobs_remaining == 0 {
             sim.done = true;
             sim.makespan = now;
         }
     }
     if !sim.done {
-        dispatch(sim, cal);
+        dispatch(sim, cal, tracer);
     }
 }
 
 /// A job reaches the central queue.
-fn job_arrival(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: usize) {
+fn job_arrival<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    j: usize,
+    tracer: &mut T,
+) {
     let spec = sim.specs[j];
+    if T::ENABLED {
+        tracer.record(now, SchedRecord::JobArrival { job: j as u32 });
+    }
     if sim.gang_policy.is_on() {
         let min_tasks = sim.gangs[j].floor;
         sim.gang_queue.push(PendingGang {
@@ -799,20 +956,20 @@ fn job_arrival(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: usize
             });
         }
     }
-    dispatch_any(sim, cal);
+    dispatch_any(sim, cal, tracer);
 }
 
 /// Route to the dispatcher matching the scheduling mode.
-fn dispatch_any(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
+fn dispatch_any<T: SchedTracer>(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, tracer: &mut T) {
     if sim.gang_policy.is_on() {
-        gang_dispatch(sim, cal);
+        gang_dispatch(sim, cal, tracer);
     } else {
-        dispatch(sim, cal);
+        dispatch(sim, cal, tracer);
     }
 }
 
 /// Match queued tasks to available machines until either runs out.
-fn dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
+fn dispatch<T: SchedTracer>(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, tracer: &mut T) {
     loop {
         if sim.done || sim.queue.is_empty() {
             return;
@@ -832,6 +989,16 @@ fn dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
         sim.acc.placements += 1;
         sim.acc.total_wait += now - pending.enqueued_at;
         sim.pool.set_occupied(now, m, true);
+        if T::ENABLED {
+            tracer.record(
+                now,
+                SchedRecord::TaskPlaced {
+                    machine: m as u32,
+                    job: pending.job as u32,
+                    task: pending.task,
+                },
+            );
+        }
         sim.machines[m].guest = Some(GuestTask {
             job: pending.job,
             task: pending.task,
@@ -841,23 +1008,32 @@ fn dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
             setup_left: pending.setup,
             run: None,
         });
-        start_segment(sim, cal, m);
+        start_segment(sim, cal, m, tracer);
     }
 }
 
 /// An owner returns to their machine.
-fn owner_arrival(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize) {
+fn owner_arrival<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) {
     if sim.done {
         return;
     }
+    if T::ENABLED {
+        tracer.record(now, SchedRecord::OwnerArrival { machine: m as u32 });
+    }
     sim.pool.owner_transition(now, m, true);
     let (service, outcome) = if sim.gang_policy.is_on() {
-        let outcome = gang_owner_reclaim(sim, cal, now, m);
+        let outcome = gang_owner_reclaim(sim, cal, now, m, tracer);
         let mach = &mut sim.machines[m];
         let service = mach.owner.sample_service(&mut mach.rng);
         (service, outcome)
     } else {
-        let (service, requeued) = owner_reclaim_task(sim, cal, now, m);
+        let (service, requeued) = owner_reclaim_task(sim, cal, now, m, tracer);
         (
             service,
             ReclaimOutcome {
@@ -872,21 +1048,22 @@ fn owner_arrival(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usi
     )
     .expect("service time is positive");
     if let Some(j) = outcome.restart {
-        start_gang_segment(sim, cal, j);
+        start_gang_segment(sim, cal, j, tracer);
     }
     if outcome.redispatch {
-        dispatch_any(sim, cal);
+        dispatch_any(sim, cal, tracer);
     }
 }
 
 /// Independent-task owner reclaim: evict (or suspend) the guest on
 /// machine `m` per the configured [`EvictionPolicy`], then sample the
 /// owner's service time. Returns `(service, requeued)`.
-fn owner_reclaim_task(
+fn owner_reclaim_task<T: SchedTracer>(
     sim: &mut Sim,
     cal: &mut Calendar<SchedEvent>,
     now: f64,
     m: usize,
+    tracer: &mut T,
 ) -> (f64, bool) {
     let mut requeued = false;
     if let Some(mut guest) = sim.machines[m].guest.take() {
@@ -895,6 +1072,31 @@ fn owner_reclaim_task(
             .take()
             .expect("owner was away, so the guest was running");
         cal.cancel(run.event);
+        if T::ENABLED {
+            tracer.record(
+                now,
+                SchedRecord::SegmentPreempted {
+                    machine: m as u32,
+                    job: guest.job as u32,
+                    task: guest.task,
+                    kind: segment_kind(run.segment),
+                },
+            );
+            tracer.record(
+                now,
+                SchedRecord::Eviction {
+                    machine: m as u32,
+                    job: guest.job as u32,
+                    task: guest.task,
+                    action: match sim.eviction {
+                        EvictionPolicy::SuspendResume => EvictionAction::Suspend,
+                        EvictionPolicy::Restart => EvictionAction::Restart,
+                        EvictionPolicy::Migrate { .. } => EvictionAction::Migrate,
+                        EvictionPolicy::Checkpoint { .. } => EvictionAction::Rollback,
+                    },
+                },
+            );
+        }
         let elapsed = now - run.slice_start;
         sim.acc.delivered += elapsed;
         match run.segment {
@@ -952,13 +1154,22 @@ enum Departure {
 }
 
 /// An owner leaves their machine idle again.
-fn owner_departure(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: usize) {
+fn owner_departure<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) {
     if sim.done {
         return;
     }
+    if T::ENABLED {
+        tracer.record(now, SchedRecord::OwnerDeparture { machine: m as u32 });
+    }
     sim.pool.owner_transition(now, m, false);
     let action = if sim.gang_policy.is_on() {
-        gang_owner_release(sim, cal, now, m)
+        gang_owner_release(sim, cal, now, m, tracer)
     } else if sim.machines[m].guest.is_some() {
         Departure::ResumeTask
     } else {
@@ -972,9 +1183,9 @@ fn owner_departure(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, m: u
     )
     .expect("think time is non-negative");
     match action {
-        Departure::ResumeTask => start_segment(sim, cal, m),
-        Departure::ResumeGang(j) => start_gang_segment(sim, cal, j),
-        Departure::Dispatch => dispatch_any(sim, cal),
+        Departure::ResumeTask => start_segment(sim, cal, m, tracer),
+        Departure::ResumeGang(j) => start_gang_segment(sim, cal, j, tracer),
+        Departure::Dispatch => dispatch_any(sim, cal, tracer),
         Departure::Nothing => {}
     }
 }
@@ -1085,7 +1296,13 @@ fn verify_gang_invariants(sim: &mut Sim, j: usize) {
 /// degraded) rate, and the effective-parallelism / degraded-mode
 /// integrals. Callers then suspend, migrate, or restart the gang at a
 /// new rate.
-fn close_gang_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, j: usize, now: f64) {
+fn close_gang_segment<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    j: usize,
+    now: f64,
+    tracer: &mut T,
+) {
     let gang = &mut sim.gangs[j];
     let GangPhase::Running {
         is_setup,
@@ -1098,6 +1315,26 @@ fn close_gang_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, j: usize, n
         unreachable!("only running gangs carry a segment to close")
     };
     cal.cancel(event);
+    if T::ENABLED {
+        let kind = if is_setup {
+            SegmentKind::Setup
+        } else {
+            SegmentKind::Work
+        };
+        for (idx, &m) in gang.members.iter().enumerate() {
+            if gang.member_running[idx] {
+                tracer.record(
+                    now,
+                    SchedRecord::SegmentPreempted {
+                        machine: m as u32,
+                        job: j as u32,
+                        task: idx as u32,
+                        kind,
+                    },
+                );
+            }
+        }
+    }
     let elapsed = now - slice_start;
     let r = f64::from(running_members(gang));
     sim.acc.delivered += r * elapsed;
@@ -1132,11 +1369,12 @@ fn frag_update(sim: &mut Sim, now: f64) {
 /// (all-or-nothing, or a partial gang dropping through its floor),
 /// keep computing at a degraded rate (partial, at or above the
 /// floor), or migrate the whole gang back to the queue.
-fn gang_owner_reclaim(
+fn gang_owner_reclaim<T: SchedTracer>(
     sim: &mut Sim,
     cal: &mut Calendar<SchedEvent>,
     now: f64,
     m: usize,
+    tracer: &mut T,
 ) -> ReclaimOutcome {
     let Some(j) = sim.machine_gang[m] else {
         frag_update(sim, now);
@@ -1145,14 +1383,30 @@ fn gang_owner_reclaim(
     let policy = sim.gang_policy;
     let outcome = match sim.gangs[j].phase {
         GangPhase::Running { .. } => {
-            close_gang_segment(sim, cal, j, now);
-            {
+            close_gang_segment(sim, cal, j, now, tracer);
+            let evicted_task = {
                 let gang = &mut sim.gangs[j];
                 let idx = member_index(gang, m);
                 gang.member_busy[idx] = true;
                 gang.member_running[idx] = false;
-            }
+                idx as u32
+            };
             sim.acc.evictions += 1;
+            if T::ENABLED {
+                let action = match policy {
+                    GangPolicy::MigrateAll { .. } => EvictionAction::Migrate,
+                    _ => EvictionAction::Suspend,
+                };
+                tracer.record(
+                    now,
+                    SchedRecord::Eviction {
+                        machine: m as u32,
+                        job: j as u32,
+                        task: evicted_task,
+                        action,
+                    },
+                );
+            }
             match policy {
                 GangPolicy::MigrateAll { overhead } => {
                     // One eviction event resolved by one (whole-gang)
@@ -1183,6 +1437,9 @@ fn gang_owner_reclaim(
                     }
                     sim.gang_queue.push(pending);
                     refresh_grower(sim, j);
+                    if T::ENABLED {
+                        tracer.record(now, SchedRecord::GangMigrated { job: j as u32 });
+                    }
                     ReclaimOutcome {
                         redispatch: true,
                         restart: None,
@@ -1208,6 +1465,9 @@ fn gang_owner_reclaim(
                         sim.gacc.gang_suspensions += 1;
                         suspend_gang_members(gang);
                         gang.phase = GangPhase::Suspended { last_t: now };
+                        if T::ENABLED {
+                            tracer.record(now, SchedRecord::GangSuspended { job: j as u32 });
+                        }
                         ReclaimOutcome::nothing()
                     }
                 }
@@ -1239,11 +1499,12 @@ fn gang_owner_reclaim(
 /// all-or-nothing policies, the `min_running` floor under a partial
 /// policy), rejoin a degraded partial gang mid-run, or offer the
 /// machine to the queue.
-fn gang_owner_release(
+fn gang_owner_release<T: SchedTracer>(
     sim: &mut Sim,
     cal: &mut Calendar<SchedEvent>,
     now: f64,
     m: usize,
+    tracer: &mut T,
 ) -> Departure {
     let Some(j) = sim.machine_gang[m] else {
         return Departure::Dispatch;
@@ -1273,7 +1534,7 @@ fn gang_owner_release(
                 let idx = member_index(gang, m);
                 gang.member_busy[idx] = false;
             }
-            close_gang_segment(sim, cal, j, now);
+            close_gang_segment(sim, cal, j, now, tracer);
             sim.gangs[j].phase = GangPhase::Suspended { last_t: now };
             Departure::ResumeGang(j)
         }
@@ -1295,7 +1556,7 @@ fn gang_owner_release(
 /// new work), then queued gangs are admitted with `min(free, width)`
 /// machines — at least their floor, by [`GangQueue::pop_fitting`]'s
 /// contract.
-fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
+fn gang_dispatch<T: SchedTracer>(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, tracer: &mut T) {
     loop {
         let now = cal.now().as_f64();
         if sim.done {
@@ -1312,7 +1573,7 @@ fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
             // Grow an under-placed gang by one member.
             let was_running = matches!(sim.gangs[g].phase, GangPhase::Running { .. });
             if was_running {
-                close_gang_segment(sim, cal, g, now);
+                close_gang_segment(sim, cal, g, now, tracer);
             } else if let GangPhase::Suspended { last_t } = sim.gangs[g].phase {
                 // Membership is about to change: settle the stall
                 // integral at the old member count.
@@ -1333,6 +1594,16 @@ fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
             gang.members.push(m);
             gang.member_busy.push(false);
             gang.member_running.push(false);
+            if T::ENABLED {
+                tracer.record(
+                    now,
+                    SchedRecord::TaskPlaced {
+                        machine: m as u32,
+                        job: g as u32,
+                        task: (gang.members.len() - 1) as u32,
+                    },
+                );
+            }
             let avail = gang.members.len() as u32 - busy_members(gang);
             let start = was_running || avail >= gang.floor;
             if was_running {
@@ -1369,6 +1640,25 @@ fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
             sim.acc.total_wait += n as f64 * (now - pending.enqueued_at);
             sim.gacc.gang_starts += 1;
             sim.gacc.coalloc_wait += now - pending.enqueued_at;
+            if T::ENABLED {
+                tracer.record(
+                    now,
+                    SchedRecord::GangAdmitted {
+                        job: j as u32,
+                        members: n as u32,
+                    },
+                );
+                for (idx, &mm) in members.iter().enumerate() {
+                    tracer.record(
+                        now,
+                        SchedRecord::TaskPlaced {
+                            machine: mm as u32,
+                            job: j as u32,
+                            task: idx as u32,
+                        },
+                    );
+                }
+            }
             let gang = &mut sim.gangs[j];
             gang.member_running = vec![false; n];
             gang.member_busy = vec![false; n];
@@ -1380,7 +1670,7 @@ fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
             (j, true)
         };
         if start {
-            start_gang_segment(sim, cal, j);
+            start_gang_segment(sim, cal, j, tracer);
         }
     }
 }
@@ -1390,7 +1680,12 @@ fn gang_dispatch(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
 /// member whose machine is owner-free runs; the per-task progress rate
 /// is `running / width`, so a full gang computes at rate one and a
 /// degraded partial gang proportionally slower.
-fn start_gang_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, j: usize) {
+fn start_gang_segment<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    j: usize,
+    tracer: &mut T,
+) {
     let now = cal.now().as_f64();
     let gang = &mut sim.gangs[j];
     let running = resume_gang_members(gang);
@@ -1419,11 +1714,38 @@ fn start_gang_segment(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, j: usize) {
         slice_start: now,
         event,
     };
+    if T::ENABLED {
+        let kind = if is_setup {
+            SegmentKind::Setup
+        } else {
+            SegmentKind::Work
+        };
+        for (idx, &m) in gang.members.iter().enumerate() {
+            if gang.member_running[idx] {
+                tracer.record(
+                    now,
+                    SchedRecord::SegmentStart {
+                        machine: m as u32,
+                        job: j as u32,
+                        task: idx as u32,
+                        kind,
+                        wall,
+                    },
+                );
+            }
+        }
+    }
     verify_gang_invariants(sim, j);
 }
 
 /// A gang segment ran to completion undisturbed.
-fn gang_segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: usize) {
+fn gang_segment_end<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    j: usize,
+    tracer: &mut T,
+) {
     let completed = {
         let gang = &mut sim.gangs[j];
         let GangPhase::Running {
@@ -1435,6 +1757,26 @@ fn gang_segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: 
         else {
             unreachable!("gang segments end only while running")
         };
+        if T::ENABLED {
+            let kind = if is_setup {
+                SegmentKind::Setup
+            } else {
+                SegmentKind::Work
+            };
+            for (idx, &m) in gang.members.iter().enumerate() {
+                if gang.member_running[idx] {
+                    tracer.record(
+                        now,
+                        SchedRecord::SegmentEnd {
+                            machine: m as u32,
+                            job: j as u32,
+                            task: idx as u32,
+                            kind,
+                        },
+                    );
+                }
+            }
+        }
         let r = f64::from(running_members(gang));
         sim.acc.delivered += r * wall;
         if is_setup {
@@ -1454,7 +1796,7 @@ fn gang_segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: 
         }
     };
     if !completed {
-        start_gang_segment(sim, cal, j);
+        start_gang_segment(sim, cal, j, tracer);
         return;
     }
     let gang = &mut sim.gangs[j];
@@ -1480,6 +1822,9 @@ fn gang_segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: 
     job.tasks_left = 0;
     job.record.completion = now;
     sim.jobs_remaining -= 1;
+    if T::ENABLED {
+        tracer.record(now, SchedRecord::JobCompleted { job: j as u32 });
+    }
     if sim.jobs_remaining == 0 {
         sim.done = true;
         sim.makespan = now;
@@ -1487,7 +1832,7 @@ fn gang_segment_end(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, now: f64, j: 
     frag_update(sim, now);
     verify_gang_invariants(sim, j);
     if !sim.done {
-        gang_dispatch(sim, cal);
+        gang_dispatch(sim, cal, tracer);
     }
 }
 #[cfg(test)]

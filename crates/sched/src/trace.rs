@@ -1,0 +1,810 @@
+//! The scheduler's flight recorder: zero-cost structured tracing,
+//! sim-time metrics, and per-event-type wall-clock profiling.
+//!
+//! # Architecture
+//!
+//! [`SchedTracer`] mirrors `nds-des`'s calendar-level
+//! [`nds_des::Tracer`] one layer up: the simulator's event handlers are
+//! generic over it, every emission site is guarded by
+//! `if T::ENABLED`, and the zero-sized [`nds_des::NoTrace`] (the
+//! default everywhere) sets `ENABLED = false`, so the untraced engine
+//! monomorphizes to exactly the pre-tracing hot path — bit-identical
+//! outputs, no measurable overhead (pinned by `perf_core --smoke`
+//! against `BENCH_core.json`).
+//!
+//! [`FlightRecorder`] is the everything-on implementation:
+//!
+//! * a [`SchedRecord`] event log (placements, segments, evictions,
+//!   owner activity, gang lifecycle), exportable as JSONL
+//!   ([`FlightRecorder::to_jsonl`]) and as Chrome trace-event JSON
+//!   loadable in Perfetto ([`FlightRecorder::to_chrome_json`]) — one
+//!   track per machine, spans for job segments, instants for
+//!   arrivals/reclaims/evictions;
+//! * a [`MetricsRegistry`] sampling queue depth, free machines,
+//!   running/degraded gangs, and the accounting totals on a fixed
+//!   sim-time grid ([`FlightRecorder::metrics_json`]), plus per-machine
+//!   owner-reclaim activity;
+//! * a [`Profiler`] attributing host (wall-clock) nanoseconds and
+//!   counts to each scheduler event type
+//!   ([`FlightRecorder::profile_json`]).
+//!
+//! Records are emitted in event-execution order and carry only
+//! simulation state, so two runs of one replication produce
+//! byte-identical JSONL regardless of host timing or replication
+//! sharding (the workspace's trace determinism test pins this). Host
+//! time appears *only* in the profile export.
+
+use nds_des::registry::{json_num, json_str};
+use nds_des::{MetricsRegistry, NoTrace, SeriesId, SimTime};
+use std::fmt::Write as _;
+
+/// Observer of the scheduler engine's event handling. All hooks
+/// default to no-ops; [`NoTrace`] additionally sets `ENABLED = false`,
+/// which removes the hook sites at monomorphization time.
+pub trait SchedTracer {
+    /// Guard constant checked at every emission site.
+    const ENABLED: bool = true;
+
+    /// A structured scheduling occurrence at sim time `now`.
+    #[inline]
+    fn record(&mut self, now: f64, record: SchedRecord) {
+        let _ = (now, record);
+    }
+
+    /// The engine's aggregate state after handling the event at `now`.
+    #[inline]
+    fn state(&mut self, now: f64, sample: &StateSample) {
+        let _ = (now, sample);
+    }
+
+    /// One calendar event of class `class` was handled in `nanos`
+    /// host nanoseconds.
+    #[inline]
+    fn handled(&mut self, class: EventClass, nanos: u64) {
+        let _ = (class, nanos);
+    }
+}
+
+/// Tracing disabled: the scheduler's hot path compiles exactly as if
+/// the hooks did not exist.
+impl SchedTracer for NoTrace {
+    const ENABLED: bool = false;
+}
+
+/// The scheduler's event vocabulary, as seen by the profiler — one
+/// class per `SchedEvent` variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// An owner returned to their workstation.
+    OwnerArrival,
+    /// An owner left their workstation idle.
+    OwnerDeparture,
+    /// A job reached the central queue.
+    JobArrival,
+    /// An independent task's segment ran out.
+    SegmentEnd,
+    /// A gang's job-level segment ran out.
+    GangSegmentEnd,
+}
+
+impl EventClass {
+    /// Every class, in stable export order.
+    pub const ALL: [EventClass; 5] = [
+        Self::OwnerArrival,
+        Self::OwnerDeparture,
+        Self::JobArrival,
+        Self::SegmentEnd,
+        Self::GangSegmentEnd,
+    ];
+
+    /// Stable snake_case name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::OwnerArrival => "owner_arrival",
+            Self::OwnerDeparture => "owner_departure",
+            Self::JobArrival => "job_arrival",
+            Self::SegmentEnd => "segment_end",
+            Self::GangSegmentEnd => "gang_segment_end",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Self::OwnerArrival => 0,
+            Self::OwnerDeparture => 1,
+            Self::JobArrival => 2,
+            Self::SegmentEnd => 3,
+            Self::GangSegmentEnd => 4,
+        }
+    }
+}
+
+/// What kind of work a guest segment performs (mirrors the simulator's
+/// internal segment split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Migration restore (wasted work by definition).
+    Setup,
+    /// Real progress.
+    Work,
+    /// Checkpoint write (overhead).
+    CkptWrite,
+}
+
+impl SegmentKind {
+    /// Stable snake_case name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Setup => "setup",
+            Self::Work => "work",
+            Self::CkptWrite => "ckpt_write",
+        }
+    }
+}
+
+/// How an owner reclaim was resolved for the displaced guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionAction {
+    /// Suspended in place beneath the owner.
+    Suspend,
+    /// Killed; all progress lost.
+    Restart,
+    /// Re-queued with a migration setup debt.
+    Migrate,
+    /// Rolled back to the last checkpoint and re-queued.
+    Rollback,
+}
+
+impl EvictionAction {
+    /// Stable snake_case name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Suspend => "suspend",
+            Self::Restart => "restart",
+            Self::Migrate => "migrate",
+            Self::Rollback => "rollback",
+        }
+    }
+}
+
+/// One structured scheduling occurrence. `Copy`, fixed-size — the
+/// recorder buffers these raw and renders text only at export time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedRecord {
+    /// Job `job` reached the central queue.
+    JobArrival { job: u32 },
+    /// A task (or gang member `task` of a gang job) was placed on
+    /// `machine`.
+    TaskPlaced { machine: u32, job: u32, task: u32 },
+    /// A segment opened on `machine`, scheduled to run `wall` sim-time
+    /// units.
+    SegmentStart {
+        machine: u32,
+        job: u32,
+        task: u32,
+        kind: SegmentKind,
+        wall: f64,
+    },
+    /// The segment on `machine` ran to completion.
+    SegmentEnd {
+        machine: u32,
+        job: u32,
+        task: u32,
+        kind: SegmentKind,
+    },
+    /// The segment on `machine` was cut short (owner reclaim, gang
+    /// rate change).
+    SegmentPreempted {
+        machine: u32,
+        job: u32,
+        task: u32,
+        kind: SegmentKind,
+    },
+    /// Task `task` of `job` finished on `machine`.
+    TaskCompleted { machine: u32, job: u32, task: u32 },
+    /// Every task of `job` finished.
+    JobCompleted { job: u32 },
+    /// The owner of `machine` returned.
+    OwnerArrival { machine: u32 },
+    /// The owner of `machine` left again.
+    OwnerDeparture { machine: u32 },
+    /// The owner's return displaced the guest on `machine`, resolved
+    /// by `action`.
+    Eviction {
+        machine: u32,
+        job: u32,
+        task: u32,
+        action: EvictionAction,
+    },
+    /// Gang `job` was co-allocated onto `members` machines.
+    GangAdmitted { job: u32, members: u32 },
+    /// Gang `job` dropped below its floor and froze in place.
+    GangSuspended { job: u32 },
+    /// Gang `job` was migrated back to the co-allocation queue.
+    GangMigrated { job: u32 },
+}
+
+impl SchedRecord {
+    /// Stable snake_case name of the record type.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::JobArrival { .. } => "job_arrival",
+            Self::TaskPlaced { .. } => "task_placed",
+            Self::SegmentStart { .. } => "segment_start",
+            Self::SegmentEnd { .. } => "segment_end",
+            Self::SegmentPreempted { .. } => "segment_preempted",
+            Self::TaskCompleted { .. } => "task_completed",
+            Self::JobCompleted { .. } => "job_completed",
+            Self::OwnerArrival { .. } => "owner_arrival",
+            Self::OwnerDeparture { .. } => "owner_departure",
+            Self::Eviction { .. } => "eviction",
+            Self::GangAdmitted { .. } => "gang_admitted",
+            Self::GangSuspended { .. } => "gang_suspended",
+            Self::GangMigrated { .. } => "gang_migrated",
+        }
+    }
+}
+
+/// The engine's aggregate state, gathered after each handled event
+/// (only when tracing is enabled — gathering walks the gang table).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StateSample {
+    /// Tasks waiting in the central queue plus gangs waiting for
+    /// co-allocation.
+    pub queue_depth: u32,
+    /// Machines currently idle, unoccupied, and admitted.
+    pub free_machines: u32,
+    /// Gangs currently in their running phase.
+    pub running_gangs: u32,
+    /// Running gangs below their full width (degraded rate).
+    pub degraded_gangs: u32,
+    /// Events pending in the calendar (live horizon).
+    pub pending_events: u32,
+    /// CPU time granted to guest work so far.
+    pub delivered: f64,
+    /// CPU time that became completed-task progress so far.
+    pub goodput: f64,
+    /// CPU time destroyed (evictions, migration setup) so far.
+    pub wasted: f64,
+}
+
+/// Host-time attribution per scheduler event class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Profiler {
+    counts: [u64; 5],
+    nanos: [u64; 5],
+}
+
+impl Profiler {
+    /// Record one handled event.
+    #[inline]
+    pub fn observe(&mut self, class: EventClass, nanos: u64) {
+        let i = class.index();
+        self.counts[i] += 1;
+        self.nanos[i] += nanos;
+    }
+
+    /// Events handled of `class`.
+    pub fn count(&self, class: EventClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Host nanoseconds attributed to `class`.
+    pub fn nanos(&self, class: EventClass) -> u64 {
+        self.nanos[class.index()]
+    }
+
+    /// Total events handled.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total attributed host nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Render as one JSON object (counts, nanos, and mean ns/event per
+    /// class).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"by_event\":[");
+        for (i, class) in EventClass::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let count = self.count(*class);
+            let nanos = self.nanos(*class);
+            let mean = if count == 0 {
+                0.0
+            } else {
+                nanos as f64 / count as f64
+            };
+            let _ = write!(
+                out,
+                "{{\"class\":\"{}\",\"count\":{count},\"nanos\":{nanos},\"mean_ns\":{}}}",
+                class.name(),
+                json_num(mean)
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"total_count\":{},\"total_nanos\":{}}}",
+            self.total_count(),
+            self.total_nanos()
+        );
+        out
+    }
+}
+
+/// The everything-on [`SchedTracer`]: buffers every [`SchedRecord`],
+/// samples a [`MetricsRegistry`], tallies per-machine owner activity,
+/// and profiles host time per event class. One recorder observes one
+/// replication.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    events: Vec<(f64, SchedRecord)>,
+    registry: MetricsRegistry,
+    s_queue: SeriesId,
+    s_free: SeriesId,
+    s_running: SeriesId,
+    s_degraded: SeriesId,
+    s_pending: SeriesId,
+    s_goodput: SeriesId,
+    s_wasted: SeriesId,
+    owner_arrivals: Vec<u64>,
+    evictions: Vec<u64>,
+    profiler: Profiler,
+    last: Option<StateSample>,
+    machines: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder for a pool of `machines`, snapshotting its metrics
+    /// every `metrics_every` sim-time units.
+    pub fn new(machines: usize, metrics_every: f64) -> Self {
+        let mut registry = MetricsRegistry::new(metrics_every);
+        let s_queue = registry.gauge("queue_depth");
+        let s_free = registry.gauge("free_machines");
+        let s_running = registry.gauge("running_gangs");
+        let s_degraded = registry.gauge("degraded_gangs");
+        let s_pending = registry.gauge("pending_events");
+        let s_goodput = registry.counter("goodput");
+        let s_wasted = registry.counter("wasted");
+        Self {
+            events: Vec::new(),
+            registry,
+            s_queue,
+            s_free,
+            s_running,
+            s_degraded,
+            s_pending,
+            s_goodput,
+            s_wasted,
+            owner_arrivals: vec![0; machines],
+            evictions: vec![0; machines],
+            profiler: Profiler::default(),
+            last: None,
+            machines,
+        }
+    }
+
+    /// Close the metrics grid at the run's makespan. Call once after
+    /// the run; exports taken before this miss the trailing snapshots.
+    pub fn finish(&mut self, makespan: f64) {
+        self.registry.finish(SimTime::new(makespan.max(0.0)));
+    }
+
+    /// The buffered records, in event-execution order.
+    pub fn events(&self) -> &[(f64, SchedRecord)] {
+        &self.events
+    }
+
+    /// The metrics registry (grid samples + time-weighted summaries).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The host-time profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The last state sample observed (the engine's closing state),
+    /// or `None` if no event was handled. Its accounting totals
+    /// reconcile exactly with the run's `SchedMetrics`.
+    pub fn final_sample(&self) -> Option<&StateSample> {
+        self.last.as_ref()
+    }
+
+    /// Owner arrivals observed per machine.
+    pub fn owner_arrivals(&self) -> &[u64] {
+        &self.owner_arrivals
+    }
+
+    /// Guest-displacing reclaims observed per machine.
+    pub fn evictions_by_machine(&self) -> &[u64] {
+        &self.evictions
+    }
+
+    /// Render the record log as JSON Lines: one object per record,
+    /// `{"t":...,"type":...,...}`, in event-execution order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for (t, rec) in &self.events {
+            render_record_json(&mut out, *t, rec);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the record log as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` format Perfetto and `chrome://tracing`
+    /// load): one named track per machine, `B`/`E` spans for guest
+    /// segments, instants for arrivals, owner activity, evictions, and
+    /// gang lifecycle. Timestamps are sim time scaled to microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: &str, out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(s);
+        };
+        // Track names: one thread per machine plus a scheduler track.
+        for m in 0..self.machines {
+            push(
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{m},\
+                     \"args\":{{\"name\":\"machine {m}\"}}}}"
+                ),
+                &mut out,
+            );
+        }
+        let sched_tid = self.machines;
+        push(
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{sched_tid},\
+                 \"args\":{{\"name\":\"scheduler\"}}}}"
+            ),
+            &mut out,
+        );
+        for (t, rec) in &self.events {
+            let ts = json_num(t * 1e6);
+            let ev = match *rec {
+                SchedRecord::SegmentStart {
+                    machine,
+                    job,
+                    task,
+                    kind,
+                    wall,
+                } => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"segment\",\"ph\":\"B\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"args\":{{\"job\":{job},\"task\":{task},\
+                     \"wall\":{}}}}}",
+                    kind.name(),
+                    json_num(wall)
+                ),
+                SchedRecord::SegmentEnd { machine, kind, .. }
+                | SchedRecord::SegmentPreempted { machine, kind, .. } => format!(
+                    "{{\"name\":\"{}\",\"cat\":\"segment\",\"ph\":\"E\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine}}}",
+                    kind.name()
+                ),
+                SchedRecord::TaskCompleted { machine, job, task } => format!(
+                    "{{\"name\":\"task_completed\",\"cat\":\"task\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\",\
+                     \"args\":{{\"job\":{job},\"task\":{task}}}}}"
+                ),
+                SchedRecord::OwnerArrival { machine } => format!(
+                    "{{\"name\":\"owner_arrival\",\"cat\":\"owner\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\"}}"
+                ),
+                SchedRecord::OwnerDeparture { machine } => format!(
+                    "{{\"name\":\"owner_departure\",\"cat\":\"owner\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\"}}"
+                ),
+                SchedRecord::Eviction {
+                    machine,
+                    job,
+                    task,
+                    action,
+                } => format!(
+                    "{{\"name\":\"eviction_{}\",\"cat\":\"eviction\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\",\
+                     \"args\":{{\"job\":{job},\"task\":{task}}}}}",
+                    action.name()
+                ),
+                SchedRecord::TaskPlaced { machine, job, task } => format!(
+                    "{{\"name\":\"task_placed\",\"cat\":\"placement\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\",\
+                     \"args\":{{\"job\":{job},\"task\":{task}}}}}"
+                ),
+                SchedRecord::JobArrival { job } => format!(
+                    "{{\"name\":\"job_arrival\",\"cat\":\"job\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{sched_tid},\"s\":\"t\",\"args\":{{\"job\":{job}}}}}"
+                ),
+                SchedRecord::JobCompleted { job } => format!(
+                    "{{\"name\":\"job_completed\",\"cat\":\"job\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{sched_tid},\"s\":\"t\",\"args\":{{\"job\":{job}}}}}"
+                ),
+                SchedRecord::GangAdmitted { job, members } => format!(
+                    "{{\"name\":\"gang_admitted\",\"cat\":\"gang\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{sched_tid},\"s\":\"t\",\
+                     \"args\":{{\"job\":{job},\"members\":{members}}}}}"
+                ),
+                SchedRecord::GangSuspended { job } => format!(
+                    "{{\"name\":\"gang_suspended\",\"cat\":\"gang\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{sched_tid},\"s\":\"t\",\"args\":{{\"job\":{job}}}}}"
+                ),
+                SchedRecord::GangMigrated { job } => format!(
+                    "{{\"name\":\"gang_migrated\",\"cat\":\"gang\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{sched_tid},\"s\":\"t\",\"args\":{{\"job\":{job}}}}}"
+                ),
+            };
+            push(&ev, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render the metrics registry plus per-machine owner activity as
+    /// one JSON object.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\"registry\":");
+        out.push_str(&self.registry.to_json());
+        out.push_str(",\"per_machine\":{\"owner_arrivals\":[");
+        for (i, v) in self.owner_arrivals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("],\"evictions\":[");
+        for (i, v) in self.evictions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Render the host-time profile as one JSON object.
+    pub fn profile_json(&self) -> String {
+        self.profiler.to_json()
+    }
+}
+
+impl SchedTracer for FlightRecorder {
+    #[inline]
+    fn record(&mut self, now: f64, record: SchedRecord) {
+        match record {
+            SchedRecord::OwnerArrival { machine } => {
+                self.owner_arrivals[machine as usize] += 1;
+            }
+            SchedRecord::Eviction { machine, .. } => {
+                self.evictions[machine as usize] += 1;
+            }
+            _ => {}
+        }
+        self.events.push((now, record));
+    }
+
+    #[inline]
+    fn state(&mut self, now: f64, sample: &StateSample) {
+        let t = SimTime::new(now);
+        self.registry
+            .set(t, self.s_queue, f64::from(sample.queue_depth));
+        self.registry
+            .set(t, self.s_free, f64::from(sample.free_machines));
+        self.registry
+            .set(t, self.s_running, f64::from(sample.running_gangs));
+        self.registry
+            .set(t, self.s_degraded, f64::from(sample.degraded_gangs));
+        self.registry
+            .set(t, self.s_pending, f64::from(sample.pending_events));
+        self.registry.set(t, self.s_goodput, sample.goodput);
+        self.registry.set(t, self.s_wasted, sample.wasted);
+        self.last = Some(*sample);
+    }
+
+    #[inline]
+    fn handled(&mut self, class: EventClass, nanos: u64) {
+        self.profiler.observe(class, nanos);
+    }
+}
+
+/// Append one record's JSONL object (no trailing newline) to `out`.
+fn render_record_json(out: &mut String, t: f64, rec: &SchedRecord) {
+    let _ = write!(out, "{{\"t\":{},\"type\":", json_num(t));
+    out.push_str(&json_str(rec.kind_name()));
+    match *rec {
+        SchedRecord::JobArrival { job } | SchedRecord::JobCompleted { job } => {
+            let _ = write!(out, ",\"job\":{job}");
+        }
+        SchedRecord::TaskPlaced { machine, job, task }
+        | SchedRecord::TaskCompleted { machine, job, task } => {
+            let _ = write!(out, ",\"machine\":{machine},\"job\":{job},\"task\":{task}");
+        }
+        SchedRecord::SegmentStart {
+            machine,
+            job,
+            task,
+            kind,
+            wall,
+        } => {
+            let _ = write!(
+                out,
+                ",\"machine\":{machine},\"job\":{job},\"task\":{task},\"kind\":\"{}\",\"wall\":{}",
+                kind.name(),
+                json_num(wall)
+            );
+        }
+        SchedRecord::SegmentEnd {
+            machine,
+            job,
+            task,
+            kind,
+        }
+        | SchedRecord::SegmentPreempted {
+            machine,
+            job,
+            task,
+            kind,
+        } => {
+            let _ = write!(
+                out,
+                ",\"machine\":{machine},\"job\":{job},\"task\":{task},\"kind\":\"{}\"",
+                kind.name()
+            );
+        }
+        SchedRecord::OwnerArrival { machine } | SchedRecord::OwnerDeparture { machine } => {
+            let _ = write!(out, ",\"machine\":{machine}");
+        }
+        SchedRecord::Eviction {
+            machine,
+            job,
+            task,
+            action,
+        } => {
+            let _ = write!(
+                out,
+                ",\"machine\":{machine},\"job\":{job},\"task\":{task},\"action\":\"{}\"",
+                action.name()
+            );
+        }
+        SchedRecord::GangAdmitted { job, members } => {
+            let _ = write!(out, ",\"job\":{job},\"members\":{members}");
+        }
+        SchedRecord::GangSuspended { job } | SchedRecord::GangMigrated { job } => {
+            let _ = write!(out, ",\"job\":{job}");
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_trace_is_disabled_for_sched() {
+        const { assert!(!<NoTrace as SchedTracer>::ENABLED) };
+        const { assert!(<FlightRecorder as SchedTracer>::ENABLED) };
+    }
+
+    #[test]
+    fn profiler_attributes_per_class() {
+        let mut p = Profiler::default();
+        p.observe(EventClass::SegmentEnd, 100);
+        p.observe(EventClass::SegmentEnd, 50);
+        p.observe(EventClass::JobArrival, 10);
+        assert_eq!(p.count(EventClass::SegmentEnd), 2);
+        assert_eq!(p.nanos(EventClass::SegmentEnd), 150);
+        assert_eq!(p.total_count(), 3);
+        assert_eq!(p.total_nanos(), 160);
+        let json = p.to_json();
+        assert!(json.contains("\"class\":\"segment_end\",\"count\":2,\"nanos\":150"));
+        assert!(json.contains("\"total_count\":3"));
+    }
+
+    #[test]
+    fn recorder_buffers_and_renders_records() {
+        let mut rec = FlightRecorder::new(2, 10.0);
+        rec.record(0.0, SchedRecord::JobArrival { job: 0 });
+        rec.record(
+            1.5,
+            SchedRecord::SegmentStart {
+                machine: 1,
+                job: 0,
+                task: 3,
+                kind: SegmentKind::Work,
+                wall: 4.25,
+            },
+        );
+        rec.record(
+            5.75,
+            SchedRecord::Eviction {
+                machine: 1,
+                job: 0,
+                task: 3,
+                action: EvictionAction::Suspend,
+            },
+        );
+        rec.record(5.75, SchedRecord::OwnerArrival { machine: 1 });
+        assert_eq!(rec.events().len(), 4);
+        assert_eq!(rec.owner_arrivals(), &[0, 1]);
+        assert_eq!(rec.evictions_by_machine(), &[0, 1]);
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "{\"t\":0,\"type\":\"job_arrival\",\"job\":0}");
+        assert!(lines[1].contains("\"kind\":\"work\",\"wall\":4.25"));
+        assert!(lines[2].contains("\"action\":\"suspend\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_spans_and_instants() {
+        let mut rec = FlightRecorder::new(1, 10.0);
+        rec.record(
+            0.0,
+            SchedRecord::SegmentStart {
+                machine: 0,
+                job: 0,
+                task: 0,
+                kind: SegmentKind::Work,
+                wall: 2.0,
+            },
+        );
+        rec.record(
+            2.0,
+            SchedRecord::SegmentEnd {
+                machine: 0,
+                job: 0,
+                task: 0,
+                kind: SegmentKind::Work,
+            },
+        );
+        rec.record(2.0, SchedRecord::JobCompleted { job: 0 });
+        let json = rec.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"M\""), "thread names present");
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ts\":2000000"), "sim time in microseconds");
+        assert!(json.contains("\"name\":\"machine 0\""));
+        assert!(json.contains("\"name\":\"scheduler\""));
+    }
+
+    #[test]
+    fn state_samples_feed_the_registry() {
+        let mut rec = FlightRecorder::new(4, 5.0);
+        rec.state(
+            0.0,
+            &StateSample {
+                queue_depth: 3,
+                free_machines: 4,
+                goodput: 0.0,
+                ..StateSample::default()
+            },
+        );
+        rec.state(
+            7.0,
+            &StateSample {
+                queue_depth: 1,
+                free_machines: 2,
+                goodput: 12.5,
+                ..StateSample::default()
+            },
+        );
+        rec.finish(9.0);
+        assert_eq!(rec.final_sample().unwrap().goodput, 12.5);
+        let json = rec.metrics_json();
+        assert!(json.contains("\"registry\":{"));
+        assert!(json.contains("\"queue_depth\""));
+        assert!(json.contains("\"per_machine\""));
+        assert!(json.contains("\"owner_arrivals\":[0,0,0,0]"));
+    }
+}

@@ -1,0 +1,116 @@
+//! A tour of the flight recorder: trace one run, then walk every
+//! artifact it produces — the structured event log, the sim-time
+//! metrics registry, per-machine owner activity, and the host-time
+//! profile per event class.
+//!
+//! ```sh
+//! cargo run --release --example trace_tour
+//! ```
+//!
+//! The same artifacts are written to disk by the CLI
+//! (`nds trace sched --out traces`, or `--trace DIR` on any
+//! simulation subcommand); this example shows the underlying API:
+//! [`Sim::run_flight`] returns one [`Flight`] per replication, each
+//! carrying the untouched `SchedMetrics` plus a `FlightRecorder`
+//! whose records reconcile with those metrics exactly.
+
+use nds::cluster::OwnerWorkload;
+use nds::core::sim::{poisson, JobShape, Sim};
+use nds::sched::{EventClass, EvictionPolicy};
+use std::collections::BTreeMap;
+
+fn main() {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.12).expect("valid owner");
+
+    // A small open stream on 8 stations: enough owner interference to
+    // see preemptions and evictions in the trace, small enough to read.
+    let sim = Sim::pool(8)
+        .owners(owner)
+        .workload(poisson(0.02, JobShape::new(3, 45.0)).jobs(30).warmup(0))
+        .eviction(EvictionPolicy::Checkpoint {
+            interval: 30.0,
+            overhead: 1.0,
+        })
+        .seed(42)
+        .metrics_every(250.0)
+        .build()
+        .expect("valid configuration");
+
+    let flights = sim.run_flight().expect("simulation completes");
+    let flight = &flights[0];
+
+    println!("== flight ==");
+    println!("replication        {}", flight.replication);
+    println!("events executed    {}", flight.events);
+    println!("records captured   {}", flight.recorder.events().len());
+    println!("makespan           {:.1}", flight.metrics.makespan);
+    println!("goodput            {:.1}", flight.metrics.goodput);
+
+    // 1. The structured event log: (sim time, record) pairs. Tally the
+    //    record mix, then show the first few lines of the JSONL export.
+    let mut mix: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (_, record) in flight.recorder.events() {
+        *mix.entry(record.kind_name()).or_default() += 1;
+    }
+    println!("\n== record mix ==");
+    for (kind, n) in &mix {
+        println!("{kind:<20} {n:>6}");
+    }
+    println!("\n== first JSONL lines ==");
+    for line in flight.to_jsonl().lines().take(5) {
+        println!("{line}");
+    }
+
+    // 2. The metrics registry: every series is sampled on one shared
+    //    sim-time grid, so the time-series line up column by column.
+    let registry = flight.recorder.registry();
+    println!("\n== metrics grid ==");
+    println!(
+        "{} ticks every 250 sim-s, ending at the makespan ({:.1})",
+        registry.ticks().len(),
+        registry.ticks().last().copied().unwrap_or(0.0),
+    );
+    let last = flight.recorder.final_sample().expect("sampled run");
+    println!(
+        "closing state: queue={} free={} pending={} goodput={:.1} wasted={:.1}",
+        last.queue_depth, last.free_machines, last.pending_events, last.goodput, last.wasted
+    );
+    assert!(
+        (last.goodput - flight.metrics.goodput).abs() < 1e-9,
+        "trace must reconcile with the engine's accounting"
+    );
+
+    // 3. Per-machine owner activity: who interfered, and where the
+    //    evictions landed.
+    println!("\n== per-machine owner activity ==");
+    let arrivals = flight.recorder.owner_arrivals();
+    let evictions = flight.recorder.evictions_by_machine();
+    for (m, (a, e)) in arrivals.iter().zip(evictions).enumerate() {
+        println!("machine {m}: {a:>4} owner arrivals, {e:>3} evictions");
+    }
+
+    // 4. The host-time profile: where the engine itself spent wall
+    //    clock, attributed per event class.
+    println!("\n== host-time profile ==");
+    let profiler = flight.recorder.profiler();
+    for class in EventClass::ALL {
+        let count = profiler.count(class);
+        if count > 0 {
+            println!(
+                "{:<20} {:>6} events  {:>8} ns total",
+                class.name(),
+                count,
+                profiler.nanos(class)
+            );
+        }
+    }
+
+    // 5. Chrome/Perfetto export: paste into chrome://tracing or
+    //    ui.perfetto.dev. (Here we just show it is one JSON object.)
+    let chrome = flight.to_chrome_json();
+    println!(
+        "\nchrome trace: {} bytes, {} span begins",
+        chrome.len(),
+        chrome.matches("\"ph\":\"B\"").count()
+    );
+}

@@ -8,13 +8,14 @@
 //! nds sched --workstations 16 --utilization 0.10 --eviction checkpoint
 //! nds stream --rate 0.02 --utilization 0.10 --jobs 400
 //! nds gang --gang-size 8 --utilization 0.10 --gang suspend-all
+//! nds trace sched --out traces
 //! ```
 
 use nds::cluster::OwnerWorkload;
 use nds::core::conclusions::check_all_conclusions;
 use nds::core::prelude::*;
 use nds::core::report::Table;
-use nds::core::sim::{closed, poisson, Backend, JobShape, Sim, SimError};
+use nds::core::sim::{closed, poisson, Backend, Flight, JobShape, Sim, SimError};
 use nds::model::sensitivity::elasticities;
 use nds::model::solver::required_task_ratio;
 
@@ -28,6 +29,7 @@ fn main() {
         Some("sched") => cmd_sched(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("gang") => cmd_gang(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -71,7 +73,14 @@ fn print_usage() {
          \x20                                 partial-gang floor (implies --gang partial)\n\
          \x20             [--placement P] [--discipline D] [--seed S] [--reps R]\n\
          \x20                                 gang co-allocation vs independent tasks\n\
-         \x20 help                            this message"
+         \x20 trace       [sched|stream|gang] [--out DIR] [--workstations W]\n\
+         \x20             [--utilization U] [--owner-demand O] [--seed S] [--reps R]\n\
+         \x20             [--metrics-every T]\n\
+         \x20                                 flight-record a scenario: JSONL event trace,\n\
+         \x20                                 Chrome/Perfetto JSON, metrics + profile JSON\n\
+         \x20 help                            this message\n\n\
+         sched/stream/gang also accept --trace DIR (record the run's flight data\n\
+         under DIR) and --metrics-every T (sim-time snapshot interval, default 100)"
     );
 }
 
@@ -319,6 +328,54 @@ fn sim_error_code(e: &SimError) -> i32 {
     }
 }
 
+/// Run the built experiment under the flight recorder and write every
+/// replication's exports under `dir` (`repN.trace.jsonl`,
+/// `repN.chrome.json`, `repN.metrics.json`, `repN.profile.json`).
+/// Shared by `nds trace` and the `--trace DIR` flag on the
+/// `sched`/`stream`/`gang` commands.
+fn trace_to_dir(sim: &Sim, dir: &str) -> Result<Vec<Flight>, String> {
+    let flights = sim
+        .run_flight()
+        .map_err(|e| format!("flight recorder: {e}"))?;
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    for f in &flights {
+        let rep = f.replication;
+        let write = |name: String, body: String| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).map_err(|e| format!("writing {}: {e}", path.display()))
+        };
+        write(format!("rep{rep}.trace.jsonl"), f.to_jsonl())?;
+        write(format!("rep{rep}.chrome.json"), f.to_chrome_json())?;
+        write(format!("rep{rep}.metrics.json"), f.metrics_json())?;
+        write(format!("rep{rep}.profile.json"), f.profile_json())?;
+    }
+    Ok(flights)
+}
+
+/// Handle a command's optional `--trace DIR` flag: flight-record the
+/// already-run experiment and report where the exports went. Returns
+/// `false` if tracing was requested but failed.
+fn maybe_trace(cmd: &str, args: &[String], sim: &Sim) -> bool {
+    let Some(dir) = string_flag(args, "--trace") else {
+        return true;
+    };
+    match trace_to_dir(sim, dir) {
+        Ok(flights) => {
+            let records: usize = flights.iter().map(|f| f.recorder.events().len()).sum();
+            println!(
+                "\ntraced {} replication(s): {records} records -> {dir}/rep*.{{trace.jsonl,chrome.json,metrics.json,profile.json}}",
+                flights.len()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("{cmd}: {e}");
+            false
+        }
+    }
+}
+
 fn cmd_sched(args: &[String]) -> i32 {
     // Defaults mirror the canonical scheduler scenario so the CLI, the
     // ext_sched_policies bench, and tests all describe one experiment.
@@ -365,7 +422,7 @@ fn cmd_sched(args: &[String]) -> i32 {
         }
     };
     let specs = JobSpec::stream(jobs, tasks, task_demand, arrival_gap);
-    let report = match Sim::pool(w)
+    let sim = match Sim::pool(w)
         .owners(owner)
         .placement(placement)
         .eviction(eviction)
@@ -374,9 +431,17 @@ fn cmd_sched(args: &[String]) -> i32 {
         .seed(seed)
         .replications(reps)
         .backend(Backend::Sched)
+        .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
         .workload(closed(specs))
-        .run()
+        .build()
     {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("sched: {e}");
+            return sim_error_code(&e);
+        }
+    };
+    let report = match sim.run() {
         Ok(report) => report,
         Err(e) => {
             eprintln!("sched: {e}");
@@ -437,7 +502,8 @@ fn cmd_sched(args: &[String]) -> i32 {
         "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
         if consistent { "holds" } else { "VIOLATED" }
     );
-    i32::from(!consistent)
+    let traced = maybe_trace("sched", args, &sim);
+    i32::from(!(consistent && traced))
 }
 
 fn cmd_stream(args: &[String]) -> i32 {
@@ -489,7 +555,7 @@ fn cmd_stream(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let report = match Sim::pool(w)
+    let sim = match Sim::pool(w)
         .owners(owner)
         .placement(placement)
         .eviction(eviction)
@@ -498,13 +564,21 @@ fn cmd_stream(args: &[String]) -> i32 {
         .seed(seed)
         .replications(reps)
         .batches(batches)
+        .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
         .workload(
             poisson(rate, JobShape::new(tasks, task_demand))
                 .jobs(jobs)
                 .warmup(warmup),
         )
-        .run()
+        .build()
     {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return sim_error_code(&e);
+        }
+    };
+    let report = match sim.run() {
         Ok(report) => report,
         Err(e) => {
             eprintln!("stream: {e}");
@@ -574,7 +648,8 @@ fn cmd_stream(args: &[String]) -> i32 {
         "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
         if consistent { "holds" } else { "VIOLATED" }
     );
-    i32::from(!consistent)
+    let traced = maybe_trace("stream", args, &sim);
+    i32::from(!(consistent && traced))
 }
 
 fn cmd_gang(args: &[String]) -> i32 {
@@ -667,7 +742,7 @@ fn cmd_gang(args: &[String]) -> i32 {
         }
     };
     let specs = JobSpec::stream(jobs, gang_size, task_demand, arrival_gap);
-    let run = |gang: GangPolicy| {
+    let build = |gang: GangPolicy| {
         Sim::pool(w)
             .owners(&owner)
             .placement(placement)
@@ -678,10 +753,18 @@ fn cmd_gang(args: &[String]) -> i32 {
             .seed(seed)
             .replications(reps)
             .backend(Backend::Sched)
+            .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
             .workload(closed(specs.clone()))
-            .run()
+            .build()
     };
-    let report = match run(gang) {
+    let sim = match build(gang) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("gang: {e}");
+            return sim_error_code(&e);
+        }
+    };
+    let report = match sim.run() {
         Ok(report) => report,
         Err(e) => {
             eprintln!("gang: {e}");
@@ -691,7 +774,7 @@ fn cmd_gang(args: &[String]) -> i32 {
     // The same workload under independent-task scheduling, for the
     // barrier-premium comparison (skipped when gangs are already off).
     let independent = if gang.is_on() {
-        match run(GangPolicy::Off) {
+        match build(GangPolicy::Off).and_then(|s| s.run()) {
             Ok(report) => Some(report),
             Err(e) => {
                 eprintln!("gang: independent baseline: {e}");
@@ -781,7 +864,154 @@ fn cmd_gang(args: &[String]) -> i32 {
         "\nwork conservation + gang lockstep/floor invariants: {}",
         if consistent { "hold" } else { "VIOLATED" }
     );
-    i32::from(!consistent)
+    let traced = maybe_trace("gang", args, &sim);
+    i32::from(!(consistent && traced))
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    // Optional leading positional selects which scenario family to
+    // flight-record; everything else is flags.
+    let (scenario_name, rest): (&str, &[String]) = match args.first() {
+        Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
+        _ => ("sched", args),
+    };
+    let ints = (|| -> Result<_, String> {
+        Ok((
+            int_flag(rest, "--seed", 2024, u64::MAX)?,
+            int_flag(rest, "--reps", 1, 1 << 20)?.max(1),
+        ))
+    })();
+    let (seed, reps) = match ints {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return 2;
+        }
+    };
+    let u = flag(rest, "--utilization").unwrap_or(0.10);
+    let o = flag(rest, "--owner-demand").unwrap_or(10.0);
+    let metrics_every = flag(rest, "--metrics-every").unwrap_or(100.0);
+    let out = string_flag(rest, "--out").unwrap_or("traces");
+    let owner = match OwnerWorkload::continuous_exponential(o, u) {
+        Ok(owner) => owner,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return 2;
+        }
+    };
+
+    let build = || -> Result<Sim, String> {
+        let base = |w: u32| {
+            Sim::pool(w)
+                .owners(&owner)
+                .calibration(10_000.0)
+                .seed(seed)
+                .replications(reps)
+                .metrics_every(metrics_every)
+        };
+        let w_flag = |default: u32| -> Result<u32, String> {
+            Ok(int_flag(
+                rest,
+                "--workstations",
+                u64::from(default),
+                u64::from(u32::MAX),
+            )? as u32)
+        };
+        match scenario_name {
+            "sched" => {
+                let sc = Scenario::SchedulerPool;
+                let w = w_flag(sc.workstations()[0])?;
+                let (jobs, _, gap) = sc.sched_job_mix().expect("scheduler scenario");
+                let demand = sc.sched_task_demand().expect("scheduler scenario");
+                base(w)
+                    .backend(Backend::Sched)
+                    .workload(closed(JobSpec::stream(jobs, w, demand, gap)))
+                    .build()
+                    .map_err(|e| e.to_string())
+            }
+            "stream" => {
+                let sc = Scenario::OpenStream;
+                let w = w_flag(sc.workstations()[0])?;
+                let (tasks, demand) = sc.open_job_shape().expect("open scenario");
+                let (jobs, warmup) = sc.open_window().expect("open scenario");
+                let rate = sc.open_arrival_rate().expect("open scenario");
+                base(w)
+                    .workload(
+                        poisson(rate, JobShape::new(tasks, demand))
+                            .jobs(jobs)
+                            .warmup(warmup),
+                    )
+                    .build()
+                    .map_err(|e| e.to_string())
+            }
+            "gang" => {
+                let sc = Scenario::GangPool;
+                let w = w_flag(sc.workstations()[0])?;
+                let (jobs, size, demand, gap) = sc.gang_job_mix().expect("gang scenario");
+                base(w)
+                    .gang(GangPolicy::SuspendAll)
+                    .backend(Backend::Sched)
+                    .workload(closed(JobSpec::stream(jobs, size, demand, gap)))
+                    .build()
+                    .map_err(|e| e.to_string())
+            }
+            other => Err(format!(
+                "unknown trace scenario {other} (sched | stream | gang)"
+            )),
+        }
+    };
+    let sim = match build() {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return 2;
+        }
+    };
+    let flights = match trace_to_dir(&sim, out) {
+        Ok(flights) => flights,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return 1;
+        }
+    };
+
+    let mut t = Table::new(format!("flight recorder: {}", sim.label())).headers([
+        "rep",
+        "events",
+        "records",
+        "makespan",
+        "goodput",
+        "trace reconciles",
+    ]);
+    let mut ok = true;
+    for f in &flights {
+        // The trace's closing accounting totals must match the run's
+        // aggregate metrics exactly — the observer reads the same
+        // state the metrics are assembled from.
+        let reconciles = f.recorder.final_sample().is_some_and(|s| {
+            (s.goodput - f.metrics.goodput).abs() <= 1e-9
+                && (s.wasted - f.metrics.wasted).abs() <= 1e-9
+        });
+        ok &= reconciles;
+        t.row([
+            f.replication.to_string(),
+            f.events.to_string(),
+            f.recorder.events().len().to_string(),
+            format!("{:.1}", f.metrics.makespan),
+            format!("{:.1}", f.metrics.goodput),
+            if reconciles {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nwrote rep*.trace.jsonl, rep*.chrome.json (load in Perfetto), \
+         rep*.metrics.json, rep*.profile.json under {out}/"
+    );
+    i32::from(!ok)
 }
 
 fn cmd_sensitivity(args: &[String]) -> i32 {

@@ -1,0 +1,271 @@
+//! Flight-recorder invariants: traced runs must *reconcile* with the
+//! engine's own accounting, stay deterministic across shard counts,
+//! and emit well-formed artifacts.
+//!
+//! The records in a trace carry only simulation state (host
+//! nanoseconds live in the profiler, never in the JSONL/Chrome
+//! output), so two runs of the same configuration — on one thread or
+//! four — must produce byte-identical traces. That is the property
+//! that makes traces diffable artifacts rather than log soup.
+
+use nds::core::sim::{closed, poisson, JobShape, Sim};
+use nds::sched::{GangPolicy, JobSpec};
+use nds_cluster::owner::OwnerWorkload;
+
+fn owner(u: f64) -> OwnerWorkload {
+    OwnerWorkload::continuous_exponential(10.0, u).unwrap()
+}
+
+fn sched_sim(replications: u64, shards: usize) -> Sim {
+    Sim::pool(16)
+        .owners(owner(0.12))
+        .workload(closed(JobSpec::stream(24, 4, 40.0, 8.0)))
+        .seed(2024)
+        .replications(replications)
+        .shards(shards)
+        .metrics_every(50.0)
+        .build()
+        .unwrap()
+}
+
+fn gang_sim(shards: usize) -> Sim {
+    Sim::pool(16)
+        .owners(owner(0.15))
+        .workload(closed(JobSpec::stream(12, 6, 60.0, 20.0)))
+        .gang(GangPolicy::SuspendAll)
+        .seed(7)
+        .replications(2)
+        .shards(shards)
+        .metrics_every(100.0)
+        .build()
+        .unwrap()
+}
+
+/// The trace's final state sample must agree with the metrics the
+/// engine reports — goodput and wasted to 1e-9 — and the profiler must
+/// have attributed every executed event exactly once.
+#[test]
+fn trace_reconciles_with_sched_metrics() {
+    for flight in sched_sim(2, 1).run_flight().unwrap() {
+        let last = flight.recorder.final_sample().expect("samples exist");
+        assert!(
+            (last.goodput - flight.metrics.goodput).abs() < 1e-9,
+            "rep {}: trace goodput {} vs metrics {}",
+            flight.replication,
+            last.goodput,
+            flight.metrics.goodput
+        );
+        assert!(
+            (last.wasted - flight.metrics.wasted).abs() < 1e-9,
+            "rep {}: trace wasted {} vs metrics {}",
+            flight.replication,
+            last.wasted,
+            flight.metrics.wasted
+        );
+        assert_eq!(
+            flight.recorder.profiler().total_count(),
+            flight.events,
+            "rep {}: profiler must count every executed event",
+            flight.replication
+        );
+        assert!(flight.events > 0 && !flight.recorder.events().is_empty());
+    }
+}
+
+/// Gang traces reconcile too — the gang engine threads the tracer
+/// through a different set of handlers (co-allocation, suspend-all
+/// reclaim, partial floors).
+#[test]
+fn gang_trace_reconciles() {
+    for flight in gang_sim(1).run_flight().unwrap() {
+        let last = flight.recorder.final_sample().expect("samples exist");
+        assert!((last.goodput - flight.metrics.goodput).abs() < 1e-9);
+        assert!((last.wasted - flight.metrics.wasted).abs() < 1e-9);
+        assert_eq!(flight.recorder.profiler().total_count(), flight.events);
+    }
+}
+
+/// A flight-recorded run must report the same metrics as the untraced
+/// engine: tracing observes, never perturbs. `Debug` formatting of
+/// `SchedMetrics` round-trips every float, so string equality is bit
+/// equality.
+#[test]
+fn traced_metrics_bit_identical_to_untraced() {
+    let sim = sched_sim(2, 1);
+    let report = sim.run().unwrap();
+    let flights = sim.run_flight().unwrap();
+    assert_eq!(report.runs.len(), flights.len());
+    for (plain, flight) in report.runs.iter().zip(&flights) {
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{:?}", flight.metrics),
+            "rep {}",
+            flight.replication
+        );
+    }
+}
+
+/// Satellite 2: shards(1) and shards(4) must produce byte-identical
+/// artifacts for every replication — JSONL, Chrome JSON, metrics
+/// time-series, and the event counts (host-time profiles are excluded:
+/// they are the one artifact allowed to vary across runs).
+#[test]
+fn traces_byte_identical_across_shards() {
+    let serial = sched_sim(4, 1).run_flight().unwrap();
+    let sharded = sched_sim(4, 4).run_flight().unwrap();
+    assert_eq!(serial.len(), sharded.len());
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_eq!(a.replication, b.replication);
+        assert_eq!(a.events, b.events, "rep {}", a.replication);
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "rep {}", a.replication);
+        assert_eq!(
+            a.to_chrome_json(),
+            b.to_chrome_json(),
+            "rep {}",
+            a.replication
+        );
+        assert_eq!(a.metrics_json(), b.metrics_json(), "rep {}", a.replication);
+    }
+
+    let serial = gang_sim(1).run_flight().unwrap();
+    let sharded = gang_sim(2).run_flight().unwrap();
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "gang rep {}", a.replication);
+        assert_eq!(
+            a.to_chrome_json(),
+            b.to_chrome_json(),
+            "gang rep {}",
+            a.replication
+        );
+    }
+}
+
+/// Every JSONL line is a single flat JSON object with the two fields
+/// every record shares: a finite timestamp and a type tag.
+#[test]
+fn jsonl_schema_sanity() {
+    let flights = sched_sim(1, 1).run_flight().unwrap();
+    let jsonl = flights[0].to_jsonl();
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        lines += 1;
+        assert!(
+            line.starts_with("{\"t\":") && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+        assert!(
+            line.contains("\"type\":\""),
+            "record missing type tag: {line}"
+        );
+        let t: f64 = line["{\"t\":".len()..]
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("timestamp parses");
+        assert!(t.is_finite() && t >= 0.0, "bad timestamp in: {line}");
+    }
+    assert_eq!(lines, flights[0].recorder.events().len());
+}
+
+/// The Chrome trace must be one JSON object with a `traceEvents`
+/// array, per-machine track names, and span begin/end balance per
+/// track (every B has a matching E).
+#[test]
+fn chrome_trace_well_formed() {
+    let flights = sched_sim(1, 1).run_flight().unwrap();
+    let chrome = flights[0].to_chrome_json();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+    assert!(chrome.contains("\"thread_name\""));
+    assert!(chrome.contains("machine 0"));
+    let begins = chrome.matches("\"ph\":\"B\"").count();
+    let ends = chrome.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "unbalanced span begin/end");
+    assert!(begins > 0, "expected at least one segment span");
+}
+
+/// Pull the `samples` array of one named series out of the registry
+/// JSON. A ten-line parser beats depending on serde for one test.
+fn series_samples(json: &str, name: &str) -> Vec<f64> {
+    let at = json
+        .find(&format!("\"name\":\"{name}\""))
+        .unwrap_or_else(|| panic!("missing series {name}"));
+    let tail = &json[at..];
+    let start = tail.find("\"samples\":[").expect("samples array") + "\"samples\":[".len();
+    let end = tail[start..].find(']').expect("closing bracket") + start;
+    tail[start..end]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("sample parses"))
+        .collect()
+}
+
+/// The metrics registry exports all seven series on a shared tick
+/// grid that ends at the makespan, and its counters are monotone.
+#[test]
+fn metrics_registry_series_complete() {
+    let flights = sched_sim(1, 1).run_flight().unwrap();
+    let flight = &flights[0];
+    let json = flight.metrics_json();
+    for series in [
+        "queue_depth",
+        "free_machines",
+        "running_gangs",
+        "degraded_gangs",
+        "pending_events",
+        "goodput",
+        "wasted",
+    ] {
+        assert_eq!(
+            series_samples(&json, series).len(),
+            flight.recorder.registry().ticks().len(),
+            "series {series} must align with the tick grid"
+        );
+    }
+    let ticks = flight.recorder.registry().ticks();
+    assert!(
+        ticks.windows(2).all(|w| w[1] > w[0]),
+        "ticks strictly increase"
+    );
+    assert!(
+        (ticks.last().unwrap() - flight.metrics.makespan).abs() < 1e-12,
+        "grid must end at the makespan"
+    );
+    for name in ["goodput", "wasted"] {
+        let samples = series_samples(&json, name);
+        assert!(
+            samples.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+            "{name} must be monotone non-decreasing"
+        );
+    }
+}
+
+/// Open-stream traces reconcile as well, and the per-machine owner
+/// tallies account for every owner arrival record.
+#[test]
+fn open_stream_trace_accounting() {
+    let sim = Sim::pool(8)
+        .owners(owner(0.10))
+        .workload(poisson(0.02, JobShape::new(2, 30.0)).jobs(40).warmup(0))
+        .seed(11)
+        .metrics_every(200.0)
+        .build()
+        .unwrap();
+    let flights = sim.run_flight().unwrap();
+    let flight = &flights[0];
+    let last = flight.recorder.final_sample().unwrap();
+    assert!((last.goodput - flight.metrics.goodput).abs() < 1e-9);
+    assert!((last.wasted - flight.metrics.wasted).abs() < 1e-9);
+    let tallied: u64 = flight.recorder.owner_arrivals().iter().sum();
+    let recorded = flight
+        .recorder
+        .events()
+        .iter()
+        .filter(|(_, r)| r.kind_name() == "owner_arrival")
+        .count() as u64;
+    assert_eq!(
+        tallied, recorded,
+        "per-machine tallies must cover every arrival"
+    );
+}
