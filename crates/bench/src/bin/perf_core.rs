@@ -29,6 +29,9 @@
 //! entries skipped at pop time are not counted, only events whose
 //! handler ran.
 
+// A throughput benchmark exists to read the wall clock.
+#![allow(clippy::disallowed_methods)]
+
 use nds_cluster::owner::OwnerWorkload;
 use nds_core::sim::{poisson, JobShape, Workload};
 use nds_sched::{

@@ -6,6 +6,8 @@
 //! bench group that measures regeneration cost. The extension
 //! experiments (`ext_*` binaries) cover the paper's stated future work.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 pub mod series;
 pub mod validation;

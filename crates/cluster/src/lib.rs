@@ -25,6 +25,8 @@
 //! stand-in for the paper's `uptime` calibration), [`experiment`]
 //! (batch-means drivers), and [`config`] (scenario descriptions).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod continuous;
 pub mod discrete;

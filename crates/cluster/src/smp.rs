@@ -29,8 +29,9 @@ struct SmpState {
     task_done: Option<SimTime>,
     interruptions: u64,
     next_owner_req: RequestId,
-    /// Which owner stream issued each live owner request.
-    req_owner: std::collections::HashMap<RequestId, usize>,
+    /// Which owner stream issued each live owner request. Ordered map
+    /// so any future iteration over live requests stays deterministic.
+    req_owner: std::collections::BTreeMap<RequestId, usize>,
 }
 
 /// A workstation with `cpus` identical CPUs, one parallel task, and one
@@ -76,7 +77,7 @@ impl SmpWorkstation {
             task_done: None,
             interruptions: 0,
             next_owner_req: OWNER_BASE,
-            req_owner: std::collections::HashMap::new(),
+            req_owner: std::collections::BTreeMap::new(),
         }));
 
         // Submit the task.

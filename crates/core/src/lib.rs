@@ -39,6 +39,8 @@
 //! assert!(verdict.feasible, "task ratio {} is ample", verdict.metrics.task_ratio);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analyzer;
 pub mod comparison;
 pub mod conclusions;

@@ -328,7 +328,7 @@ mod tests {
             Scenario::OpenStream,
             Scenario::GangPool,
         ];
-        let labels: std::collections::HashSet<_> = all.iter().map(|s| s.figure_label()).collect();
+        let labels: std::collections::BTreeSet<_> = all.iter().map(|s| s.figure_label()).collect();
         assert_eq!(labels.len(), all.len());
     }
 

@@ -8,7 +8,7 @@
 use crate::error::DesError;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Identifies a scheduled event, usable for cancellation.
 pub type EventId = u64;
@@ -65,10 +65,11 @@ pub struct Engine {
     next_seq: u64,
     next_id: EventId,
     queue: BinaryHeap<Scheduled>,
-    /// Ids scheduled but not yet fired or cancelled.
-    alive: HashSet<EventId>,
+    /// Ids scheduled but not yet fired or cancelled. Ordered sets keep
+    /// every traversal of engine state deterministic.
+    alive: BTreeSet<EventId>,
     /// Ids cancelled but still physically in the heap (lazy deletion).
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     executed: u64,
 }
 
@@ -86,8 +87,8 @@ impl Engine {
             next_seq: 0,
             next_id: 0,
             queue: BinaryHeap::new(),
-            alive: HashSet::new(),
-            cancelled: HashSet::new(),
+            alive: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
             executed: 0,
         }
     }
@@ -189,7 +190,10 @@ impl Engine {
                 match self.queue.peek() {
                     None => break None,
                     Some(ev) if self.cancelled.contains(&ev.id) => {
-                        let ev = self.queue.pop().expect("peeked");
+                        let ev = self
+                            .queue
+                            .pop()
+                            .expect("invariant: peek just saw this event");
                         self.cancelled.remove(&ev.id);
                     }
                     Some(ev) => break Some(ev.time),

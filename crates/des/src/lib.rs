@@ -35,6 +35,8 @@
 //! with the same seed and same schedule order produce identical event
 //! sequences — ties in time are broken by insertion sequence number.
 
+#![forbid(unsafe_code)]
+
 pub mod calendar;
 pub mod engine;
 pub mod error;

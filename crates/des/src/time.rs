@@ -23,7 +23,9 @@ impl SimTime {
             t.is_finite() && t >= 0.0,
             "SimTime must be finite and >= 0, got {t}"
         );
-        SimTime(t)
+        // `+ 0.0` maps -0.0 to +0.0 (IEEE 754), keeping `Ord` (via
+        // `total_cmp`, where -0.0 < +0.0) consistent with `PartialEq`.
+        SimTime(t + 0.0)
     }
 
     /// The raw value in time units.
@@ -36,12 +38,12 @@ impl SimTime {
     /// re-running the public constructor's assertion on the hot path.
     pub(crate) fn from_trusted(t: f64) -> Self {
         debug_assert!(t.is_finite() && t >= 0.0, "trusted SimTime {t}");
-        SimTime(t)
+        SimTime(t + 0.0)
     }
 
     /// Saturating subtraction (never goes below zero).
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
-        SimTime((self.0 - rhs.0).max(0.0))
+        SimTime((self.0 - rhs.0).max(0.0) + 0.0)
     }
 
     /// The later of two times.
@@ -56,12 +58,11 @@ impl SimTime {
 
 impl Eq for SimTime {}
 
-// SimTime is always finite, so f64 comparison is total here.
+// `total_cmp` gives a branch-free total order with no NaN escape hatch;
+// constructors normalize -0.0 to +0.0 so it agrees with `PartialEq`.
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is always finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -149,6 +150,17 @@ mod tests {
     #[should_panic]
     fn subtraction_below_zero_panics() {
         let _ = SimTime::new(1.0) - SimTime::new(2.0);
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        // -0.0 passes the `>= 0` assertion; under `total_cmp` it sorts
+        // before +0.0, so constructors must normalize it away.
+        let neg = SimTime::new(-0.0);
+        assert_eq!(neg.cmp(&SimTime::ZERO), Ordering::Equal);
+        assert_eq!(neg.as_f64().to_bits(), 0.0f64.to_bits());
+        let sat = SimTime::new(1.0).saturating_sub(SimTime::new(1.0));
+        assert_eq!(sat.as_f64().to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

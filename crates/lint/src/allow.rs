@@ -1,0 +1,242 @@
+//! `// ndslint::allow(rule-id, reason = "...")` suppressions.
+//!
+//! A suppression comment silences one rule on one line of code:
+//!
+//! * trailing after code, it covers that line:
+//!   `let m = HashMap::new(); // ndslint::allow(no-unordered-collections, reason = "...")`
+//! * on its own line, it covers the next line that contains code.
+//!
+//! The `reason` is mandatory and must be non-empty — an allow without a
+//! justification is itself reported (`bad-allow`), and an allow that
+//! never matches a finding is reported too (`unused-allow`), so
+//! suppressions cannot silently rot.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Comment, Tok};
+use crate::rules::RULE_IDS;
+use std::collections::BTreeSet;
+
+/// One parsed, well-formed suppression.
+#[derive(Debug)]
+pub struct Allow {
+    pub rule: &'static str,
+    /// The code line this allow covers.
+    pub target_line: u32,
+    /// Where the comment itself sits (for unused-allow reporting).
+    pub line: u32,
+    pub col: u32,
+    pub used: bool,
+}
+
+/// Scan comments for `ndslint::allow(...)` annotations. Returns the
+/// well-formed allows plus diagnostics for malformed ones.
+pub fn parse_allows(
+    file: &str,
+    comments: &[Comment],
+    toks: &[Tok],
+    lines: &[&str],
+) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let code_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("ndslint::allow") else {
+            continue;
+        };
+        let mut bad = |message: String| {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: "bad-allow",
+                message,
+                snippet: lines.get(c.line as usize - 1).unwrap_or(&"").to_string(),
+                width: "ndslint::allow".len(),
+            });
+        };
+        let rest = &c.text[at + "ndslint::allow".len()..];
+        let Some(body) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(body, _)| body)
+        else {
+            bad(
+                "malformed suppression: expected `ndslint::allow(rule-id, reason = \"...\")`"
+                    .to_string(),
+            );
+            continue;
+        };
+        let (rule_part, reason_part) = match body.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => {
+                bad(format!(
+                    "suppression of `{}` is missing the mandatory `reason = \"...\"`",
+                    body.trim()
+                ));
+                continue;
+            }
+        };
+        let Some(rule) = RULE_IDS.iter().copied().find(|r| *r == rule_part) else {
+            bad(format!(
+                "unknown rule `{rule_part}` in suppression (known: {})",
+                RULE_IDS.join(", ")
+            ));
+            continue;
+        };
+        let reason_ok = reason_part
+            .strip_prefix("reason")
+            .map(|r| r.trim_start())
+            .and_then(|r| r.strip_prefix('='))
+            .map(|r| r.trim())
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.strip_suffix('"'))
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            bad(format!(
+                "suppression of `{rule}` needs a non-empty `reason = \"...\"`"
+            ));
+            continue;
+        }
+        let target_line = if c.own_line {
+            match code_lines.range(c.line + 1..).next() {
+                Some(l) => *l,
+                None => {
+                    bad(format!(
+                        "suppression of `{rule}` has no following line of code to cover"
+                    ));
+                    continue;
+                }
+            }
+        } else {
+            c.line
+        };
+        allows.push(Allow {
+            rule,
+            target_line,
+            line: c.line,
+            col: c.col,
+            used: false,
+        });
+    }
+    (allows, diags)
+}
+
+/// Drop findings covered by an allow (marking it used); then report any
+/// allow that covered nothing.
+pub fn apply_allows(
+    file: &str,
+    mut allows: Vec<Allow>,
+    findings: Vec<Diagnostic>,
+    lines: &[&str],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for d in findings {
+        let covered = allows
+            .iter_mut()
+            .find(|a| a.rule == d.rule && a.target_line == d.line);
+        match covered {
+            Some(a) => a.used = true,
+            None => out.push(d),
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: "unused-allow",
+                message: format!(
+                    "suppression of `{}` covers line {} but nothing fires there; delete it",
+                    a.rule, a.target_line
+                ),
+                snippet: lines.get(a.line as usize - 1).unwrap_or(&"").to_string(),
+                width: "ndslint::allow".len(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+        let lexed = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        parse_allows("f.rs", &lexed.comments, &lexed.toks, &lines)
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "let m = 1; // ndslint::allow(no-unwrap-in-lib, reason = \"test\")\n";
+        let (allows, diags) = run(src);
+        assert!(diags.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_code_line() {
+        let src = "\n// ndslint::allow(no-wall-clock, reason = \"profiler feed\")\n// another comment\nlet t = 1;\n";
+        let (allows, diags) = run(src);
+        assert!(diags.is_empty());
+        assert_eq!(allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_reported() {
+        let (allows, diags) = run("// ndslint::allow(no-wall-clock)\nlet x = 1;\n");
+        assert!(allows.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "bad-allow");
+        assert!(diags[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_reported() {
+        let (allows, diags) =
+            run("// ndslint::allow(no-wall-clock, reason = \"  \")\nlet x = 1;\n");
+        assert!(allows.is_empty());
+        assert_eq!(diags[0].rule, "bad-allow");
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let (allows, diags) = run("// ndslint::allow(no-such-rule, reason = \"x\")\nlet x = 1;\n");
+        assert!(allows.is_empty());
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "let x = 1; // ndslint::allow(no-unwrap-in-lib, reason = \"y\")\n";
+        let lexed = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let (allows, _) = parse_allows("f.rs", &lexed.comments, &lexed.toks, &lines);
+        let out = apply_allows("f.rs", allows, Vec::new(), &lines);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn used_allow_suppresses_and_stays_silent() {
+        let src = "let x = 1; // ndslint::allow(no-unwrap-in-lib, reason = \"y\")\n";
+        let lexed = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let (allows, _) = parse_allows("f.rs", &lexed.comments, &lexed.toks, &lines);
+        let finding = Diagnostic {
+            file: "f.rs".into(),
+            line: 1,
+            col: 5,
+            rule: "no-unwrap-in-lib",
+            message: "x".into(),
+            snippet: String::new(),
+            width: 1,
+        };
+        let out = apply_allows("f.rs", allows, vec![finding], &lines);
+        assert!(out.is_empty());
+    }
+}

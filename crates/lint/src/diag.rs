@@ -1,0 +1,150 @@
+//! Diagnostics: `file:line:col rule-id message` with rustc-style
+//! snippets, plus machine-readable JSON.
+
+use std::fmt::Write as _;
+
+/// One finding, anchored to a 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the lint root, with `/` separators.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Stable rule identifier (`no-unordered-collections`, ...).
+    pub rule: &'static str,
+    pub message: String,
+    /// The offending source line, for the snippet (empty = no snippet).
+    pub snippet: String,
+    /// Caret width under the offending token(s).
+    pub width: usize,
+}
+
+impl Diagnostic {
+    /// The one-line machine-greppable form (also what uitest
+    /// expectation files pin).
+    pub fn compact(&self) -> String {
+        format!(
+            "{}:{}:{} {} {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// Full rustc-style rendering with the source snippet.
+    pub fn render(&self) -> String {
+        let mut out = self.compact();
+        if !self.snippet.is_empty() {
+            let gutter = self.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = write!(
+                out,
+                "\n {pad} |\n {gutter} | {}\n {pad} | {}{}",
+                self.snippet,
+                " ".repeat(self.col.saturating_sub(1) as usize),
+                "^".repeat(self.width.max(1)),
+            );
+        }
+        out
+    }
+
+    /// One JSON object (no external deps — fields are simple enough to
+    /// escape by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(self.rule),
+            json_str(&self.message),
+        )
+    }
+}
+
+/// Sort diagnostics into stable reporting order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+}
+
+/// Render a whole batch as a JSON array.
+pub fn to_json_array(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_json());
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: "crates/pvm/src/vm.rs".into(),
+            line: 48,
+            col: 16,
+            rule: "no-unordered-collections",
+            message: "`HashMap` has nondeterministic iteration order".into(),
+            snippet: "    task_host: HashMap<TaskId, usize>,".into(),
+            width: 7,
+        }
+    }
+
+    #[test]
+    fn compact_form() {
+        assert_eq!(
+            diag().compact(),
+            "crates/pvm/src/vm.rs:48:16 no-unordered-collections \
+             `HashMap` has nondeterministic iteration order"
+        );
+    }
+
+    #[test]
+    fn render_carets_under_token() {
+        let r = diag().render();
+        let caret_line = r.lines().last().unwrap();
+        assert_eq!(caret_line, "    |                ^^^^^^^");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let mut d = diag();
+        d.message = "quote \" and \\ and\nnewline".into();
+        let j = d.to_json();
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn sort_is_by_position() {
+        let mut v = vec![diag(), diag()];
+        v[1].line = 2;
+        sort(&mut v);
+        assert_eq!(v[0].line, 2);
+    }
+}

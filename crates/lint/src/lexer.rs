@@ -1,0 +1,638 @@
+//! A small hand-rolled Rust lexer with line/column-accurate tokens.
+//!
+//! `nds-lint` deliberately avoids `syn` (the build has no registry
+//! access) and full parsing: every rule the workspace needs can be
+//! expressed over a token stream, provided the lexer gets the hard
+//! cases right — strings (plain, raw, byte, C), character literals vs
+//! lifetimes, nested block comments, and numeric literals adjacent to
+//! range operators. Comments are not tokens; they are collected
+//! separately so the suppression layer can parse
+//! `// ndslint::allow(...)` annotations.
+
+/// What a token is. Only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#async`).
+    Ident,
+    /// Lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// String literal of any flavor; `text` holds the *contents*
+    /// (quotes and raw-string hashes stripped, escapes left as-is).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a single punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Width of the caret underline for this token.
+    pub fn width(&self) -> usize {
+        match self.kind {
+            // Quotes were stripped; restore a sensible visual width.
+            TokKind::Str => self.text.chars().count() + 2,
+            TokKind::Lifetime => self.text.chars().count() + 1,
+            _ => self.text.chars().count().max(1),
+        }
+    }
+}
+
+/// One comment (line or block), excluded from the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// True when no code token precedes the comment on its first line.
+    pub own_line: bool,
+}
+
+/// Lexer output: code tokens plus side-channel comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// literals simply run to end-of-file (the compiler will reject such a
+/// file anyway; the linter stays tolerant).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    // Line of the most recent code token, to classify trailing comments.
+    let mut last_code_line = 0u32;
+
+    while !cur.eof() {
+        let (line, col) = (cur.line, cur.col);
+        let c = cur.peek(0).expect("not at eof");
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                text.push(cur.bump());
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                own_line: last_code_line != line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            text.push(cur.bump());
+            text.push(cur.bump());
+            let mut depth = 1u32;
+            while !cur.eof() && depth > 0 {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push(cur.bump());
+                    text.push(cur.bump());
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push(cur.bump());
+                    text.push(cur.bump());
+                } else {
+                    text.push(cur.bump());
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                own_line: last_code_line != line,
+            });
+            continue;
+        }
+
+        // String-ish literals, including prefixed forms.
+        if c == '"' {
+            cur.bump();
+            let text = lex_plain_string(&mut cur);
+            push(&mut out, &mut last_code_line, TokKind::Str, text, line, col);
+            continue;
+        }
+        if (c == 'r' || c == 'b' || c == 'c') && string_prefix_len(&cur) > 0 {
+            let skip = string_prefix_len(&cur);
+            let raw = (0..skip).any(|k| cur.peek(k) == Some('r'));
+            for _ in 0..skip {
+                cur.bump();
+            }
+            let text = if raw {
+                lex_raw_string(&mut cur)
+            } else {
+                cur.bump(); // the opening quote
+                lex_plain_string(&mut cur)
+            };
+            push(&mut out, &mut last_code_line, TokKind::Str, text, line, col);
+            continue;
+        }
+        // Byte char literal b'x'.
+        if c == 'b' && cur.peek(1) == Some('\'') {
+            cur.bump();
+            cur.bump();
+            let text = lex_char_body(&mut cur);
+            push(
+                &mut out,
+                &mut last_code_line,
+                TokKind::Char,
+                text,
+                line,
+                col,
+            );
+            continue;
+        }
+
+        // Lifetime vs character literal.
+        if c == '\'' {
+            cur.bump();
+            if let Some(n) = cur.peek(0) {
+                if is_ident_start(n) && !char_closes_soon(&cur) {
+                    let mut text = String::new();
+                    while let Some(k) = cur.peek(0) {
+                        if !is_ident_continue(k) {
+                            break;
+                        }
+                        text.push(cur.bump());
+                    }
+                    push(
+                        &mut out,
+                        &mut last_code_line,
+                        TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    );
+                    continue;
+                }
+            }
+            let text = lex_char_body(&mut cur);
+            push(
+                &mut out,
+                &mut last_code_line,
+                TokKind::Char,
+                text,
+                line,
+                col,
+            );
+            continue;
+        }
+
+        // Raw identifier r#ident was not matched as a raw string above.
+        if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump();
+            cur.bump();
+            let text = lex_ident(&mut cur);
+            push(
+                &mut out,
+                &mut last_code_line,
+                TokKind::Ident,
+                text,
+                line,
+                col,
+            );
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            push(&mut out, &mut last_code_line, TokKind::Num, text, line, col);
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let text = lex_ident(&mut cur);
+            push(
+                &mut out,
+                &mut last_code_line,
+                TokKind::Ident,
+                text,
+                line,
+                col,
+            );
+            continue;
+        }
+
+        let text = cur.bump().to_string();
+        push(
+            &mut out,
+            &mut last_code_line,
+            TokKind::Punct,
+            text,
+            line,
+            col,
+        );
+    }
+    out
+}
+
+fn push(
+    out: &mut Lexed,
+    last_code_line: &mut u32,
+    kind: TokKind,
+    text: String,
+    line: u32,
+    col: u32,
+) {
+    *last_code_line = line;
+    out.toks.push(Tok {
+        kind,
+        text,
+        line,
+        col,
+    });
+}
+
+/// Length of a string-literal prefix starting at the cursor (`r"`,
+/// `r#"`, `b"`, `br#"`, `c"`, ...), or 0 when the cursor is not at a
+/// string prefix. The returned length covers prefix letters only — not
+/// hashes or the quote for plain strings; raw-string hash handling
+/// consumes from the first `#`/`"`.
+fn string_prefix_len(cur: &Cursor) -> usize {
+    let c0 = cur.peek(0);
+    let c1 = cur.peek(1);
+    match (c0, c1) {
+        (Some('r'), Some('"')) => 1,
+        (Some('r'), Some('#')) => {
+            // r#"..." is a raw string; r#ident is a raw identifier.
+            let mut k = 2;
+            while cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if cur.peek(k) == Some('"') {
+                1
+            } else {
+                0
+            }
+        }
+        (Some('b' | 'c'), Some('"')) => 1,
+        (Some('b'), Some('r')) if matches!(cur.peek(2), Some('"' | '#')) => 2,
+        _ => 0,
+    }
+}
+
+/// After the opening `"`, consume a plain string with escapes; returns
+/// the contents.
+fn lex_plain_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while !cur.eof() {
+        let c = cur.bump();
+        match c {
+            '\\' => {
+                text.push(c);
+                if !cur.eof() {
+                    text.push(cur.bump());
+                }
+            }
+            '"' => break,
+            _ => text.push(c),
+        }
+    }
+    text
+}
+
+/// At `#...#"` or `"` (after the `r` prefix), consume a raw string.
+fn lex_raw_string(cur: &mut Cursor) -> String {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek(0) == Some('"') {
+        cur.bump();
+    }
+    let mut text = String::new();
+    'outer: while !cur.eof() {
+        let c = cur.bump();
+        if c == '"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some('#') {
+                    text.push('"');
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+    }
+    text
+}
+
+/// After the opening `'`, consume the body and closing quote of a
+/// character literal.
+fn lex_char_body(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while !cur.eof() {
+        let c = cur.bump();
+        match c {
+            '\\' => {
+                text.push(c);
+                if !cur.eof() {
+                    text.push(cur.bump());
+                }
+            }
+            '\'' => break,
+            _ => text.push(c),
+        }
+    }
+    text
+}
+
+/// Does `'xyz'`-style lookahead close with a quote right after one
+/// identifier character (i.e. a char literal like `'a'` rather than a
+/// lifetime `'a`)? Called with the cursor on the first body character.
+fn char_closes_soon(cur: &Cursor) -> bool {
+    let mut k = 0;
+    while let Some(c) = cur.peek(k) {
+        if !is_ident_continue(c) {
+            return c == '\'';
+        }
+        k += 1;
+        if k > 64 {
+            return false;
+        }
+    }
+    false
+}
+
+fn lex_ident(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(cur.bump());
+    }
+    text
+}
+
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    // Integer part (covers 0x/0b/0o bodies and type suffixes, which
+    // are all ident-continue characters).
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(cur.bump());
+        } else {
+            break;
+        }
+    }
+    // Fractional part — only when the dot is followed by a digit, so
+    // `0..n` and `1.max(2)` are not swallowed.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push(cur.bump());
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(cur.bump());
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent sign (the `e`/`E` itself was consumed above).
+    if text.ends_with(['e', 'E'])
+        && matches!(cur.peek(0), Some('+' | '-'))
+        && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        text.push(cur.bump());
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(cur.bump());
+            } else {
+                break;
+            }
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn positions_are_line_and_column_accurate() {
+        let l = lex("fn main() {\n    let x = 1;\n}\n");
+        let x = l.toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+        let one = l.toks.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert_eq!((one.line, one.col, one.text.as_str()), (2, 13, "1"));
+    }
+
+    #[test]
+    fn strings_hide_code_like_contents() {
+        let l = lex(r#"let s = "HashMap::new() // not a comment"; let t = 1;"#);
+        assert!(!idents(r#"let s = "HashMap::new()";"#).contains(&"HashMap".to_string()));
+        let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "HashMap::new() // not a comment");
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let l = lex(r#"let s = "a\"b\\"; HashMap"#);
+        let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, r#"a\"b\\"#);
+        assert!(idents(r#"let s = "a\"b\\"; HashMap"#).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"has "quotes" and \ backslash"#; let u = r"plain";"###;
+        let l = lex(src);
+        let strs: Vec<&Tok> = l.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text, r#"has "quotes" and \ backslash"#);
+        assert_eq!(strs[1].text, "plain");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let l = lex(r##"let a = b"bytes"; let b = br#"raw bytes"#; let c = c"cstr";"##);
+        let strs: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["bytes", "raw bytes", "cstr"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            idents("a /* outer /* inner */ still outer */ b"),
+            ["a", "b"]
+        );
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\\''; }");
+        let lifetimes: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, ["x", "\\n", "\\'"]);
+    }
+
+    #[test]
+    fn longer_char_literals_are_not_lifetimes() {
+        // 'static is a lifetime; b'z' is a byte char.
+        let l = lex("&'static str; let b = b'z';");
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            1
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..10 { let x = 1.5e-3; let h = 0xFF_u32; }");
+        let nums: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "0xFF_u32"]);
+        // The range dots survive as punctuation.
+        assert!(l.toks.iter().filter(|t| t.is_punct('.')).count() >= 2);
+    }
+
+    #[test]
+    fn float_method_calls_keep_the_dot() {
+        let l = lex("let y = 1.max(2);");
+        let nums: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["1", "2"]);
+        assert!(l.toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert!(idents("let r#fn = 1;").contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn comment_own_line_classification() {
+        let l = lex("// leading\nlet x = 1; // trailing\n  // indented own line\n");
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[0].own_line);
+        assert!(!l.comments[1].own_line);
+        assert!(l.comments[2].own_line);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let l = lex("/// `x.unwrap()` in docs\n//! inner\nfn f() {}");
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

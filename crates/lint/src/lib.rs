@@ -1,0 +1,190 @@
+//! # nds-lint — determinism & hot-path static analysis for the workspace
+//!
+//! The workspace's correctness story rests on *replay determinism*
+//! (bit-for-bit oracles, shards(1) ≡ shards(N), trace byte-identity)
+//! and a *zero-allocation hot path* (`BENCH_core.json`). Those are
+//! dynamic properties: a test only catches the nondeterminism its
+//! inputs exercise. `nds-lint` makes the underlying invariants
+//! machine-checked at CI time:
+//!
+//! * no `HashMap`/`HashSet` in sim-visible state,
+//! * no `partial_cmp` on float sort keys,
+//! * no wall-clock reads outside the profiler,
+//! * no allocation in declared hot modules,
+//! * no `unwrap()` in library code,
+//! * the `SchedEvent` / `EventClass` / `SchedRecord` vocabulary stays
+//!   in sync across files.
+//!
+//! The tool is dependency-free (a hand-rolled lexer, no `syn` — the
+//! build has no registry access) and offline. Findings can be
+//! suppressed per line with
+//! `// ndslint::allow(rule-id, reason = "...")`; the reason is
+//! mandatory and unused suppressions are themselves findings.
+//!
+//! ```text
+//! cargo run -p nds-lint --              # report findings
+//! cargo run -p nds-lint -- --check      # CI gate: nonzero exit on findings
+//! cargo run -p nds-lint -- --json       # machine-readable output
+//! cargo run -p nds-lint -- path/ f.rs   # lint specific files/trees
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::Diagnostic;
+
+use rules::{EventInfo, FileCtx, SIM_CRATES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories linted when no paths are given: the sim-visible crates'
+/// sources. (`stats`, `bench`, and the dependency shims hold no
+/// sim-visible state; fixtures and tests are exercised separately.)
+pub fn default_paths(root: &Path) -> Vec<PathBuf> {
+    SIM_CRATES
+        .iter()
+        .map(|c| root.join("crates").join(c).join("src"))
+        .collect()
+}
+
+/// Find the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under each path (a file path is
+/// taken as-is), sorted for deterministic reporting.
+pub fn collect_rs_files(paths: &[PathBuf]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for p in paths {
+        collect_into(p, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_into(p: &Path, out: &mut Vec<PathBuf>) {
+    if p.is_file() {
+        if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(p) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    children.sort();
+    for c in children {
+        collect_into(&c, out);
+    }
+}
+
+/// Lint a set of files, reporting paths relative to `root`. This is
+/// the whole pipeline: lex → per-file rules → suppressions → the
+/// cross-file event-coverage rule → stable ordering.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut info = EventInfo::default();
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let display = display_path(root, path);
+        let lexed = lexer::lex(&src);
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = FileCtx {
+            file: &display,
+            crate_name: crate_of(&display),
+            base_name: base_name(&display),
+            toks: &lexed.toks,
+            lines: &lines,
+            test_spans: rules::test_spans(&lexed.toks),
+        };
+        let findings = rules::check_file(&ctx);
+        rules::collect_event_info(&ctx, &mut info);
+        let (allows, mut bad) = allow::parse_allows(&display, &lexed.comments, &lexed.toks, &lines);
+        diags.append(&mut bad);
+        diags.extend(allow::apply_allows(&display, allows, findings, &lines));
+        sources.insert(display, src);
+    }
+
+    let snippet = |file: &str, line: u32| -> String {
+        sources
+            .get(file)
+            .and_then(|s| s.lines().nth(line as usize - 1))
+            .unwrap_or("")
+            .to_string()
+    };
+    diags.extend(rules::event_coverage(&info, &snippet));
+
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Path relative to `root` with forward slashes (stable across hosts).
+fn display_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}
+
+/// The `<name>` of a `crates/<name>/...` path, if any.
+fn crate_of(display: &str) -> Option<&str> {
+    let mut parts = display.split('/');
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            return parts.next();
+        }
+    }
+    None
+}
+
+fn base_name(display: &str) -> &str {
+    display.rsplit('/').next().unwrap_or(display)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_detection() {
+        assert_eq!(crate_of("crates/pvm/src/vm.rs"), Some("pvm"));
+        assert_eq!(crate_of("tests/fixtures/r1/state.rs"), None);
+        assert_eq!(base_name("crates/des/src/calendar.rs"), "calendar.rs");
+        assert_eq!(base_name("lib.rs"), "lib.rs");
+    }
+
+    #[test]
+    fn default_paths_cover_sim_crates() {
+        let paths = default_paths(Path::new("/w"));
+        assert_eq!(paths.len(), SIM_CRATES.len());
+        assert!(paths[0].ends_with("crates/des/src"));
+    }
+
+    #[test]
+    fn find_root_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates").join("lint").is_dir());
+    }
+}

@@ -1,0 +1,106 @@
+//! `nds-lint` CLI: lint the workspace (or given paths) and report.
+//!
+//! Exit codes: 0 = clean, 1 = findings (with `--check`), 2 = usage or
+//! I/O error. Without `--check` the exit code is always 0 so the tool
+//! can be used exploratorily while CI stays strict.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("nds-lint: unknown flag `{flag}` (see --help)");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("nds-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = nds_lint::find_root(&cwd).unwrap_or_else(|| cwd.clone());
+    if paths.is_empty() {
+        paths = nds_lint::default_paths(&root);
+        if !paths.iter().any(|p| p.is_dir()) {
+            eprintln!(
+                "nds-lint: no workspace crates found under {} (pass explicit paths?)",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let files = nds_lint::collect_rs_files(&paths);
+    if files.is_empty() {
+        eprintln!("nds-lint: no .rs files under the given paths");
+        return ExitCode::from(2);
+    }
+    let diags = nds_lint::lint_files(&root, &files);
+
+    if json {
+        println!("{}", nds_lint::diag::to_json_array(&diags));
+    } else {
+        for d in &diags {
+            println!("{}\n", d.render());
+        }
+        println!(
+            "nds-lint: {} finding{} in {} file{}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            files.len(),
+            if files.len() == 1 { "" } else { "s" },
+        );
+    }
+
+    if check && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const HELP: &str = "\
+nds-lint: determinism & hot-path static analysis for the nds workspace
+
+USAGE:
+    nds-lint [OPTIONS] [PATHS...]
+
+With no PATHS, lints the sim-visible crates (des, sched, pvm, cluster,
+model, core) of the enclosing workspace.
+
+OPTIONS:
+    --check    exit nonzero when any finding is reported (CI gate)
+    --json     emit findings as a JSON array instead of text
+    -h, --help print this help
+
+RULES:
+    no-unordered-collections  HashMap/HashSet banned in sim-visible crates
+    total-order-floats        .partial_cmp() must be f64::total_cmp
+    no-wall-clock             Instant/SystemTime outside the profiler
+    no-alloc-in-hot-path      Vec::new/Box::new/clone()/to_vec() in hot modules
+    no-unwrap-in-lib          unwrap() (or terse expect) in library code
+    event-coverage            SchedEvent/EventClass/SchedRecord consistency
+
+SUPPRESSIONS:
+    // ndslint::allow(rule-id, reason = \"why this site is sound\")
+    Trailing: covers its own line. Own line: covers the next code line.
+    Reasons are mandatory; unused suppressions are findings.
+";

@@ -1,0 +1,18 @@
+//! Suppression meta-rule fixture: malformed and unused allows.
+
+pub fn missing_reason(xs: &mut Vec<u64>) -> u64 {
+    xs.pop().unwrap() // ndslint::allow(no-unwrap-in-lib)
+}
+
+pub fn unknown_rule(xs: &mut Vec<u64>) -> u64 {
+    xs.pop().unwrap() // ndslint::allow(no-such-rule, reason = "typo in the rule id")
+}
+
+pub fn empty_reason(xs: &mut Vec<u64>) -> u64 {
+    xs.pop().unwrap() // ndslint::allow(no-unwrap-in-lib, reason = "")
+}
+
+// ndslint::allow(no-wall-clock, reason = "nothing on the next line reads a clock")
+pub fn nothing_to_suppress() -> u64 {
+    7
+}

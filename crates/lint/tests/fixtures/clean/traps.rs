@@ -1,0 +1,24 @@
+//! A clean file full of traps: every banned name appears only inside
+//! strings, comments, or doc text. Expected findings: none.
+//!
+//! HashMap::new(), Instant::now(), .unwrap(), .partial_cmp() — doc
+//! comments never count.
+
+/// Returns help text mentioning `HashSet` and `SystemTime::now()`.
+pub fn help() -> &'static str {
+    "use std::collections::HashMap; let t = Instant::now(); x.unwrap()"
+}
+
+pub fn raw_trap() -> &'static str {
+    r#"a.partial_cmp(b) and Vec::new() live in a raw string "here""#
+}
+
+// Plain comment trap: SystemTime::now() .unwrap() HashSet::new()
+pub fn compare(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+pub fn char_trap() -> char {
+    // A lifetime-lookalike and a char literal, not code to lint.
+    '"'
+}

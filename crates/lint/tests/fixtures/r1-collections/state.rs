@@ -1,0 +1,28 @@
+//! R1 fixture: unordered collections in sim-visible state.
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_id: HashMap<u64, String>,
+    seen: HashSet<u64>,
+    // Suppressed with a reason: stays silent.
+    cache: HashMap<u64, u64>, // ndslint::allow(no-unordered-collections, reason = "never iterated; membership only")
+}
+
+impl Registry {
+    pub fn insert(&mut self, id: u64, name: String) {
+        self.by_id.insert(id, name);
+        self.seen.insert(id);
+        self.cache.insert(id, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from R1.
+    #[test]
+    fn scratch_set_is_fine() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1u32);
+        assert!(s.contains(&1));
+    }
+}

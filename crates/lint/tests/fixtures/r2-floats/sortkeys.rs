@@ -1,0 +1,27 @@
+//! R2 fixture: `partial_cmp` on the comparison path.
+
+pub fn sort_times(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("invariant: times are finite"));
+}
+
+pub fn sort_total(xs: &mut [f64]) {
+    // The sanctioned form: no finding.
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn min_latency(xs: &[f64]) -> Option<f64> {
+    // Suppressed: a documented NaN-propagating comparison.
+    xs.iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("invariant: latencies are finite")) // ndslint::allow(total-order-floats, reason = "inputs pre-validated finite; NaN is a caller bug")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_not_exempt_from_r2() {
+        let mut v = vec![2.0f64, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v[0], 1.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! R3 fixture: wall-clock reads in sim-visible code.
+use std::time::{Instant, SystemTime};
+
+pub fn bad_timing() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn bad_epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn sanctioned() -> std::time::Instant {
+    std::time::Instant::now() // ndslint::allow(no-wall-clock, reason = "profiler-only read, never observed by sim logic")
+}

@@ -1,0 +1,9 @@
+//! Not on the HOT_FILES list: R4 stays silent here.
+
+pub fn build_table(n: usize) -> Vec<Vec<u64>> {
+    let mut rows = Vec::new();
+    for i in 0..n {
+        rows.push(vec![i as u64]);
+    }
+    rows.clone()
+}

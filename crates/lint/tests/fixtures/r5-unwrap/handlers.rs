@@ -1,0 +1,30 @@
+//! R5 fixture: `unwrap()` and terse `expect()` in library code.
+
+pub fn next_event(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap()
+}
+
+pub fn peeked(queue: &[u64]) -> u64 {
+    *queue.first().expect("peeked")
+}
+
+pub fn documented(queue: &[u64]) -> u64 {
+    // A real invariant message: no finding.
+    *queue
+        .first()
+        .expect("invariant: caller checked non-empty above")
+}
+
+pub fn suppressed(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap() // ndslint::allow(no-unwrap-in-lib, reason = "queue seeded two lines up; cannot be empty")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from R5.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

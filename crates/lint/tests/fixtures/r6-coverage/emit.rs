@@ -1,0 +1,6 @@
+//! Emitting side of the r6 fixture: `Dispatch` is recorded here, so
+//! only `Suspend` drifts.
+
+pub fn record_dispatch(m: u32) -> crate::trace::SchedRecord {
+    crate::trace::SchedRecord::Dispatch { m }
+}

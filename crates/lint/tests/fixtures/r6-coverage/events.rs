@@ -1,0 +1,31 @@
+//! R6 fixture: an event vocabulary that drifted.
+
+/// Calendar payloads.
+pub enum SchedEvent {
+    OwnerArrival { m: u32 },
+    JobArrival { j: u32 },
+    /// Has no EventClass twin: the profiler cannot attribute it.
+    Orphan { x: u32 },
+}
+
+pub fn classify(e: &SchedEvent) -> EventClass {
+    match e {
+        SchedEvent::OwnerArrival { .. } => EventClass::OwnerArrival,
+        SchedEvent::JobArrival { .. } => EventClass::JobArrival,
+        SchedEvent::Orphan { .. } => EventClass::Dead,
+    }
+}
+
+/// Profiling classes.
+#[derive(Clone, Copy)]
+pub enum EventClass {
+    OwnerArrival,
+    JobArrival,
+    /// Matches no SchedEvent variant.
+    Dead,
+}
+
+impl EventClass {
+    /// `JobArrival` is missing from ALL: exports silently drop it.
+    pub const ALL: [EventClass; 2] = [EventClass::OwnerArrival, EventClass::Dead];
+}

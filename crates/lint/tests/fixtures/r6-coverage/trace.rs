@@ -1,0 +1,15 @@
+//! Trace schema for the r6 fixture.
+
+/// Record vocabulary. `Suspend` is never constructed outside this
+/// file, so the schema drifted from the engine.
+pub enum SchedRecord {
+    Dispatch { m: u32 },
+    Suspend { m: u32 },
+}
+
+impl SchedRecord {
+    pub fn example() -> Self {
+        // Same-file construction does not count as emission.
+        SchedRecord::Suspend { m: 0 }
+    }
+}

@@ -1,0 +1,26 @@
+//! The workspace must lint clean: `cargo test -p nds-lint` fails the
+//! moment a determinism or hot-path hazard lands in a sim-visible
+//! crate. This is the same check CI runs via
+//! `cargo run -p nds-lint -- --check`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = nds_lint::find_root(here).expect("workspace root above crates/lint");
+    let files = nds_lint::collect_rs_files(&nds_lint::default_paths(&root));
+    assert!(
+        files.len() > 20,
+        "expected the sim crates' sources, found {} files",
+        files.len()
+    );
+    let diags = nds_lint::lint_files(&root, &files);
+    let rendered: Vec<String> = diags.iter().map(nds_lint::Diagnostic::compact).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean, got {} findings:\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,77 @@
+//! Fixture-driven uitests: each directory under `tests/fixtures/` is
+//! linted on its own, and the compact diagnostics must match the
+//! checked-in `expected.txt` byte for byte.
+//!
+//! Regenerate expectations after an intentional rule change with
+//! `NDSLINT_BLESS=1 cargo test -p nds-lint --test uitest`.
+
+use std::path::{Path, PathBuf};
+
+fn run_case(name: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name);
+    assert!(dir.is_dir(), "missing fixture dir {}", dir.display());
+    let files: Vec<PathBuf> = nds_lint::collect_rs_files(std::slice::from_ref(&dir));
+    assert!(!files.is_empty(), "fixture {name} has no .rs files");
+    let diags = nds_lint::lint_files(&dir, &files);
+    let got: String = diags.iter().map(|d| d.compact() + "\n").collect();
+
+    let expected_path = dir.join("expected.txt");
+    if std::env::var_os("NDSLINT_BLESS").is_some() {
+        std::fs::write(&expected_path, &got).expect("write expected.txt");
+        return;
+    }
+    let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+        panic!(
+            "missing {} (run with NDSLINT_BLESS=1)",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fixture `{name}` diverged from expected.txt \
+         (NDSLINT_BLESS=1 regenerates after intentional changes)"
+    );
+}
+
+#[test]
+fn r1_collections() {
+    run_case("r1-collections");
+}
+
+#[test]
+fn r2_floats() {
+    run_case("r2-floats");
+}
+
+#[test]
+fn r3_wallclock() {
+    run_case("r3-wallclock");
+}
+
+#[test]
+fn r4_hotpath() {
+    run_case("r4-hotpath");
+}
+
+#[test]
+fn r5_unwrap() {
+    run_case("r5-unwrap");
+}
+
+#[test]
+fn r6_coverage() {
+    run_case("r6-coverage");
+}
+
+#[test]
+fn allow_meta() {
+    run_case("allow-meta");
+}
+
+#[test]
+fn clean() {
+    run_case("clean");
+}

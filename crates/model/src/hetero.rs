@@ -82,7 +82,7 @@ impl HeteroSystem {
                 breakpoints.push(k as f64 * ow.demand());
             }
         }
-        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        breakpoints.sort_by(|a, b| a.total_cmp(b));
         breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
         let mut expected_extra = 0.0;

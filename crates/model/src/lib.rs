@@ -56,6 +56,8 @@
 //!   (`C[n] = Π_i S_i[n]`), a model generalization.
 //! * [`scaled`] — memory-bounded scaleup analysis (§3.2, Figure 9).
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod binomial;
 pub mod distribution;

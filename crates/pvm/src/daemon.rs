@@ -7,14 +7,16 @@
 
 use crate::error::PvmError;
 use crate::task::{TaskId, TaskState};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A host daemon: task table plus host metadata.
 #[derive(Debug, Clone)]
 pub struct Daemon {
     host_index: usize,
     hostname: String,
-    tasks: HashMap<TaskId, TaskState>,
+    /// Ordered map: the task table is sim-visible state, so iteration
+    /// order must be deterministic across runs.
+    tasks: BTreeMap<TaskId, TaskState>,
 }
 
 impl Daemon {
@@ -23,7 +25,7 @@ impl Daemon {
         Self {
             host_index,
             hostname: hostname.into(),
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
         }
     }
 

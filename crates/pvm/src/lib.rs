@@ -26,6 +26,8 @@
 //!   workstations, demands of 1–16 dedicated minutes, 10 replications,
 //!   3% owner utilization).
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod daemon;
 pub mod error;

@@ -52,21 +52,29 @@ impl MessageBuffer {
     pub fn unpack_f64(&mut self) -> Result<f64, PvmError> {
         self.expect_tag(TAG_F64, "f64")?;
         let raw = self.take(8, "f64")?;
-        Ok(f64::from_le_bytes(raw.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            raw.try_into().expect("invariant: take(8) returned 8 bytes"),
+        ))
     }
 
     /// Remove the next `u64`.
     pub fn unpack_u64(&mut self) -> Result<u64, PvmError> {
         self.expect_tag(TAG_U64, "u64")?;
         let raw = self.take(8, "u64")?;
-        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            raw.try_into().expect("invariant: take(8) returned 8 bytes"),
+        ))
     }
 
     /// Remove the next string.
     pub fn unpack_str(&mut self) -> Result<String, PvmError> {
         self.expect_tag(TAG_STR, "str")?;
         let len_raw = self.take(8, "str length")?;
-        let len = u64::from_le_bytes(len_raw.try_into().expect("8 bytes")) as usize;
+        let len = u64::from_le_bytes(
+            len_raw
+                .try_into()
+                .expect("invariant: take(8) returned 8 bytes"),
+        ) as usize;
         let raw = self.take(len, "str bytes")?.to_vec();
         String::from_utf8(raw).map_err(|_| PvmError::UnpackMismatch {
             expected: "utf-8 str",

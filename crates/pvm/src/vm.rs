@@ -17,7 +17,7 @@ use nds_cluster::discrete::DiscreteTaskSim;
 use nds_cluster::owner::OwnerWorkload;
 use nds_cluster::task::TaskOutcome;
 use nds_stats::rng::StreamFactory;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How workstation owners interfere with computation on each host.
 #[derive(Debug, Clone)]
@@ -45,8 +45,10 @@ pub struct VirtualMachine {
     mode: InterferenceMode,
     streams: StreamFactory,
     next_task: u32,
-    task_host: HashMap<TaskId, usize>,
-    mailboxes: HashMap<TaskId, Vec<(f64, Message)>>,
+    // BTreeMaps, not HashMaps: task/mailbox state is sim-visible, and
+    // deterministic iteration order is what keeps replays byte-stable.
+    task_host: BTreeMap<TaskId, usize>,
+    mailboxes: BTreeMap<TaskId, Vec<(f64, Message)>>,
     compute_calls: u64,
 }
 
@@ -73,8 +75,8 @@ impl VirtualMachine {
             mode,
             streams: StreamFactory::new(seed),
             next_task: 1,
-            task_host: HashMap::new(),
-            mailboxes: HashMap::new(),
+            task_host: BTreeMap::new(),
+            mailboxes: BTreeMap::new(),
             compute_calls: 0,
         })
     }

@@ -97,6 +97,8 @@
 //! assert!((integral - metrics.total_demand).abs() <= 1e-9 * metrics.total_demand);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod eviction;
 pub mod gang;

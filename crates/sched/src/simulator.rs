@@ -148,7 +148,7 @@ impl SchedConfig {
     /// with every other knob at its default.
     pub fn homogeneous(w: u32, owner: &OwnerWorkload, jobs: Vec<JobSpec>) -> Self {
         Self {
-            owners: vec![owner.clone(); w as usize],
+            owners: vec![owner.clone(); w as usize], // ndslint::allow(no-alloc-in-hot-path, reason = "config construction, runs once per experiment")
             jobs,
             placement: PlacementKind::LeastLoaded,
             eviction: EvictionPolicy::SuspendResume,
@@ -298,7 +298,7 @@ impl SchedConfig {
                 })
                 .collect()
         } else {
-            Vec::new()
+            Vec::new() // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
         };
 
         let machines: Vec<MachineSim> = self
@@ -334,9 +334,9 @@ impl SchedConfig {
             self.jobs
                 .iter()
                 .map(|spec| GangState {
-                    members: Vec::new(),
-                    member_running: Vec::new(),
-                    member_busy: Vec::new(),
+                    members: Vec::new(), // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
+                    member_running: Vec::new(), // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
+                    member_busy: Vec::new(), // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
                     demand: spec.task_demand,
                     remaining: spec.task_demand,
                     setup_left: 0.0,
@@ -346,7 +346,7 @@ impl SchedConfig {
                 })
                 .collect()
         } else {
-            Vec::new()
+            Vec::new() // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
         };
 
         let mut sim = Sim {
@@ -387,7 +387,7 @@ impl SchedConfig {
                 SimTime::new(think),
                 SchedEvent::OwnerArrival { m: m as u32 },
             )
-            .expect("think time is non-negative");
+            .expect("invariant: think time is non-negative");
         }
         // Job arrivals are known up front. When they come time-sorted
         // (streams, Poisson workloads — the common case) they take the
@@ -406,14 +406,14 @@ impl SchedConfig {
                     SchedEvent::JobArrival { j: j as u32 },
                 )
             }))
-            .expect("arrivals are sorted and non-negative");
+            .expect("invariant: arrivals are sorted and non-negative");
         } else {
             for (j, spec) in self.jobs.iter().enumerate() {
                 cal.post(
                     SimTime::new(spec.arrival),
                     SchedEvent::JobArrival { j: j as u32 },
                 )
-                .expect("arrival is non-negative");
+                .expect("invariant: arrival is non-negative");
             }
         }
 
@@ -424,8 +424,9 @@ impl SchedConfig {
             // `if false` after monomorphization: no clock reads, no
             // sampling, no calls — the loop body is the pre-tracing
             // code exactly.
+            #[allow(clippy::disallowed_methods)] // profiler-only wall-clock read
             let started = if T::ENABLED {
-                Some(std::time::Instant::now())
+                Some(std::time::Instant::now()) // ndslint::allow(no-wall-clock, reason = "feeds the PR 6 profiler; never observed by sim logic")
             } else {
                 None
             };
@@ -808,14 +809,14 @@ fn start_segment<T: SchedTracer>(
     let guest = sim.machines[m]
         .guest
         .as_mut()
-        .expect("segment needs a guest");
+        .expect("invariant: a running segment always has a guest aboard");
     let segment = next_segment(eviction, guest);
     let event = cal
         .schedule_in(
             SimTime::new(segment.len()),
             SchedEvent::SegmentEnd { m: m as u32 },
         )
-        .expect("segment length is non-negative");
+        .expect("invariant: segment length is non-negative");
     if T::ENABLED {
         tracer.record(
             now,
@@ -847,8 +848,11 @@ fn segment_end<T: SchedTracer>(
         let guest = sim.machines[m]
             .guest
             .as_mut()
-            .expect("segment_end fires only with a guest aboard");
-        let run = guest.run.as_ref().expect("guest was running");
+            .expect("invariant: segment_end fires only with a guest aboard");
+        let run = guest
+            .run
+            .as_ref()
+            .expect("invariant: segment_end implies the guest was running");
         let segment = run.segment;
         if T::ENABLED {
             tracer.record(
@@ -884,7 +888,10 @@ fn segment_end<T: SchedTracer>(
         start_segment(sim, cal, m, tracer);
         return;
     }
-    let guest = sim.machines[m].guest.take().expect("completing guest");
+    let guest = sim.machines[m]
+        .guest
+        .take()
+        .expect("invariant: completion fires only with a guest aboard");
     sim.pool.set_occupied(now, m, false);
     sim.acc.goodput += guest.demand;
     sim.acc.completed_tasks += 1;
@@ -981,7 +988,7 @@ fn dispatch<T: SchedTracer>(sim: &mut Sim, cal: &mut Calendar<SchedEvent>, trace
         let pending = sim
             .queue
             .pop(sim.discipline)
-            .expect("queue checked non-empty");
+            .expect("invariant: queue was checked non-empty just above");
         let chosen = sim
             .placement
             .choose(sim.pool.candidates(), &mut sim.placement_rng);
@@ -1046,7 +1053,7 @@ fn owner_arrival<T: SchedTracer>(
         SimTime::new(service),
         SchedEvent::OwnerDeparture { m: m as u32 },
     )
-    .expect("service time is positive");
+    .expect("invariant: sampled service time is positive");
     if let Some(j) = outcome.restart {
         start_gang_segment(sim, cal, j, tracer);
     }
@@ -1070,7 +1077,7 @@ fn owner_reclaim_task<T: SchedTracer>(
         let run = guest
             .run
             .take()
-            .expect("owner was away, so the guest was running");
+            .expect("invariant: owner was away, so the guest was running");
         cal.cancel(run.event);
         if T::ENABLED {
             tracer.record(
@@ -1181,7 +1188,7 @@ fn owner_departure<T: SchedTracer>(
         SimTime::new(think),
         SchedEvent::OwnerArrival { m: m as u32 },
     )
-    .expect("think time is non-negative");
+    .expect("invariant: think time is non-negative");
     match action {
         Departure::ResumeTask => start_segment(sim, cal, m, tracer),
         Departure::ResumeGang(j) => start_gang_segment(sim, cal, j, tracer),
@@ -1225,7 +1232,7 @@ fn member_index(gang: &GangState, m: usize) -> usize {
     gang.members
         .iter()
         .position(|&mm| mm == m)
-        .expect("machine maps to a member of this gang")
+        .expect("invariant: machine maps to a member of this gang")
 }
 
 /// Clear every member's run flag — one of the two choke points through
@@ -1705,7 +1712,7 @@ fn start_gang_segment<T: SchedTracer>(
             SimTime::new(wall),
             SchedEvent::GangSegmentEnd { j: j as u32 },
         )
-        .expect("gang segment length is non-negative");
+        .expect("invariant: gang segment length is non-negative");
     gang.phase = GangPhase::Running {
         is_setup,
         work,

@@ -6,6 +6,10 @@
 //! `cargo bench` still exercises every benchmarked code path. Swap the
 //! manifest entry for the real crate to get statistical rigor back.
 
+#![forbid(unsafe_code)]
+// A benchmark harness exists to read the wall clock.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Number of timed iterations per benchmark (the real criterion decides

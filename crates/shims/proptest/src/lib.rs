@@ -8,6 +8,8 @@
 //! but is not minimized. Generation is deterministic per test name, so
 //! failures reproduce exactly.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

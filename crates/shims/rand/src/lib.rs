@@ -7,6 +7,8 @@
 //! signatures match rand 0.8 so swapping in the real crate is a
 //! one-line manifest change.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// Error type matching `rand::Error`'s role in `try_fill_bytes`.

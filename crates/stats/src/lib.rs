@@ -20,6 +20,8 @@
 //! batch size of 1000 samples" at a 90% confidence level; [`batch_means`]
 //! reproduces exactly that procedure.
 
+#![forbid(unsafe_code)]
+
 pub mod autocorr;
 pub mod batch_means;
 pub mod distributions;

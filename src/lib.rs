@@ -1,4 +1,6 @@
 //! Umbrella crate re-exporting the NDS workspace.
+
+#![forbid(unsafe_code)]
 pub use nds_cluster as cluster;
 pub use nds_core as core;
 pub use nds_des as des;
