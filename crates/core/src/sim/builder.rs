@@ -46,7 +46,7 @@ use nds_cluster::job::JobRunner;
 use nds_cluster::owner::OwnerWorkload;
 use nds_sched::{
     EvictionPolicy, FlightRecorder, GangPolicy, GangStats, JobRecord, JobSpec, PlacementKind,
-    QueueDiscipline, SchedConfig, SchedMetrics,
+    ProgressMeter, QueueDiscipline, RecordFilter, SchedConfig, SchedMetrics, Tee,
 };
 use nds_stats::batch_means::{PAPER_BATCHES, PAPER_CONFIDENCE};
 
@@ -131,6 +131,10 @@ pub struct Sim {
     batches: usize,
     shards: usize,
     metrics_every: f64,
+    progress_every: Option<f64>,
+    trace_cheap: bool,
+    trace_capacity: usize,
+    trace_filter: Option<RecordFilter>,
     workload: Box<dyn Workload>,
 }
 
@@ -192,6 +196,10 @@ impl Sim {
             batches: PAPER_BATCHES,
             shards: 1,
             metrics_every: 100.0,
+            progress_every: None,
+            trace_cheap: false,
+            trace_capacity: 0,
+            trace_filter: None,
             workload: None,
         }
     }
@@ -312,8 +320,29 @@ impl Sim {
             }),
             Backend::Cluster => Ok(self.run_cluster(&jobs, replication)),
             Backend::Auto if degenerate => Ok(self.run_cluster(&jobs, replication)),
-            Backend::Auto | Backend::Sched => Ok(self.lower(replication)?.run()?),
+            Backend::Auto | Backend::Sched => {
+                let cfg = self.lower(replication)?;
+                if let Some(every) = self.progress_every {
+                    // The meter is ENABLED, so the engine takes the
+                    // traced path — metrics stay bit-identical to the
+                    // untraced run (pinned by the trace invariants).
+                    let mut meter = self.meter(every, replication, &cfg.jobs);
+                    Ok(cfg.run_traced(&mut meter)?.0)
+                } else {
+                    Ok(cfg.run()?)
+                }
+            }
         }
+    }
+
+    /// A progress heartbeat for one replication, with the workload's
+    /// last scheduled arrival as the sim-time horizon (a lower bound
+    /// on the makespan — 100% means all jobs are in, drain follows).
+    fn meter(&self, every: f64, replication: u64, jobs: &[JobSpec]) -> ProgressMeter {
+        let horizon = jobs.iter().map(|j| j.arrival).fold(0.0, f64::max);
+        ProgressMeter::new(every)
+            .with_label(format!("rep{replication}"))
+            .with_horizon(horizon)
     }
 
     /// Execute every replication and assemble the unified report.
@@ -378,8 +407,27 @@ impl Sim {
     pub fn run_flight(&self) -> Result<Vec<Flight>, SimError> {
         let trace_one = |&replication: &u64| -> Result<Flight, SimError> {
             let cfg = self.lower(replication)?;
-            let mut recorder = FlightRecorder::new(self.workstations as usize, self.metrics_every);
-            let (metrics, events) = cfg.run_traced(&mut recorder)?;
+            let machines = self.workstations as usize;
+            let mut recorder = if self.trace_cheap {
+                FlightRecorder::cheap(machines, self.metrics_every)
+            } else {
+                FlightRecorder::new(machines, self.metrics_every)
+            };
+            if let Some(filter) = &self.trace_filter {
+                recorder = recorder.with_filter(filter.clone());
+            }
+            if self.trace_capacity > 0 {
+                recorder = recorder.with_capacity(self.trace_capacity);
+            }
+            let (metrics, events) = if let Some(every) = self.progress_every {
+                let meter = self.meter(every, replication, &cfg.jobs);
+                let mut tee = Tee(recorder, meter);
+                let out = cfg.run_traced(&mut tee)?;
+                recorder = tee.0;
+                out
+            } else {
+                cfg.run_traced(&mut recorder)?
+            };
             recorder.finish(metrics.makespan);
             Ok(Flight {
                 replication,
@@ -420,6 +468,10 @@ pub struct SimBuilder {
     batches: usize,
     shards: usize,
     metrics_every: f64,
+    progress_every: Option<f64>,
+    trace_cheap: bool,
+    trace_capacity: usize,
+    trace_filter: Option<RecordFilter>,
     workload: Option<Box<dyn Workload>>,
 }
 
@@ -558,6 +610,47 @@ impl SimBuilder {
         self
     }
 
+    /// Emit a live progress heartbeat on stderr every `every` host
+    /// seconds: events handled, events/sec, the sim clock (with % of
+    /// the arrival horizon and an ETA when the workload schedules
+    /// arrivals), and which event classes moved. Runs lower to the
+    /// scheduler engine (the closed-form runner has no event loop to
+    /// observe); simulation outputs are bit-identical with or without
+    /// the heartbeat.
+    #[must_use]
+    pub fn progress(mut self, every: f64) -> Self {
+        self.progress_every = Some(every);
+        self
+    }
+
+    /// Trace at the bounded-cost tier: counters and quantile sketches
+    /// stay exact, but [`Sim::run_flight`]'s recorder filters the
+    /// per-segment record firehose to job/gang lifecycle, throttles
+    /// state samples to the metrics grid, and turns the per-event host
+    /// clock off (see `FlightRecorder::cheap`).
+    #[must_use]
+    pub fn trace_cheap(mut self, on: bool) -> Self {
+        self.trace_cheap = on;
+        self
+    }
+
+    /// Bound [`Sim::run_flight`]'s record buffer to a ring of the
+    /// newest `capacity` admitted records (0 = unbounded, the
+    /// default). Overwrites are counted, never silent.
+    #[must_use]
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Replace [`Sim::run_flight`]'s record filter (applied on top of
+    /// the tier picked by [`SimBuilder::trace_cheap`]).
+    #[must_use]
+    pub fn trace_filter(mut self, filter: RecordFilter) -> Self {
+        self.trace_filter = Some(filter);
+        self
+    }
+
     /// The workload to submit — see [`crate::sim::workload`] for the
     /// closed and open implementations.
     #[must_use]
@@ -646,6 +739,14 @@ impl SimBuilder {
                 reason: format!("{} not finite > 0", self.metrics_every),
             });
         }
+        if let Some(every) = self.progress_every {
+            if !(every.is_finite() && every > 0.0) {
+                return Err(SimError::InvalidPool {
+                    field: "progress",
+                    reason: format!("{every} not finite > 0"),
+                });
+            }
+        }
         if !(self.confidence > 0.0 && self.confidence < 1.0) {
             return Err(SimError::InvalidWorkload {
                 field: "confidence",
@@ -680,6 +781,10 @@ impl SimBuilder {
             batches: self.batches,
             shards: self.shards,
             metrics_every: self.metrics_every,
+            progress_every: self.progress_every,
+            trace_cheap: self.trace_cheap,
+            trace_capacity: self.trace_capacity,
+            trace_filter: self.trace_filter,
             workload,
         })
     }
@@ -823,6 +928,19 @@ mod tests {
         ));
         let err = Sim::pool(4).owners(owner(0.1)).build().unwrap_err();
         assert!(matches!(err, SimError::MissingWorkload));
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .workload(single_job(4, 10.0))
+            .progress(0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidPool {
+                field: "progress",
+                ..
+            }
+        ));
         let err = Sim::pool(4)
             .owners(vec![owner(0.1); 3])
             .workload(single_job(4, 10.0))

@@ -52,7 +52,7 @@ pub use engine::{Engine, EventId};
 pub use error::DesError;
 pub use facility::{Facility, Preempted, Request, RequestId, RequestOutcome};
 pub use monitor::Monitor;
-pub use registry::{MetricsRegistry, SeriesId, SeriesKind};
+pub use registry::{MetricsRegistry, QuantileSketch, SeriesId, SeriesKind};
 pub use resource::MultiFacility;
 pub use time::SimTime;
 pub use trace::{CalendarProbe, NoTrace, TraceEvent, TraceLog, Tracer};

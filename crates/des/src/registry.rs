@@ -30,6 +30,235 @@ use crate::monitor::Monitor;
 use crate::time::SimTime;
 use std::fmt::Write as _;
 
+/// Mantissa bits kept in a [`QuantileSketch`] bucket key: each
+/// power-of-two octave splits into `2^SUB_BITS` equal-width linear
+/// sub-buckets, bounding the midpoint's relative error by
+/// `2^-(SUB_BITS+1)` = [`QuantileSketch::GAMMA`].
+const SUB_BITS: u32 = 6;
+/// How far `f64::to_bits` is shifted right to form a bucket key.
+const KEY_SHIFT: u32 = 52 - SUB_BITS;
+
+/// A deterministic, bounded-memory quantile sketch over nonnegative
+/// observations (DDSketch-style log-binned histogram).
+///
+/// Values are binned by pure integer math on their IEEE-754 bit
+/// pattern — sign-free exponent plus the top `SUB_BITS` mantissa
+/// bits — so two runs feeding the same value sequence hold
+/// bit-identical bucket maps on any host (no `ln`, no wall-clock, no
+/// RNG), and any reported quantile of *normal* positive values is
+/// within relative error [`QuantileSketch::GAMMA`] of the exact
+/// nearest-rank quantile. Memory is O(occupied buckets): at most
+/// `2^SUB_BITS` per octave actually observed, independent of the
+/// observation count.
+///
+/// Non-finite observations are ignored; negative observations clamp
+/// to the dedicated zero bucket (the signals this sketch serves —
+/// response, wait, slowdown — are nonnegative by construction).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantileSketch {
+    /// Bucket key (`bits >> KEY_SHIFT`) → observation count, kept
+    /// sorted by key so a cumulative walk yields quantiles directly.
+    /// A flat sorted vec beats a tree map here: lookups are a binary
+    /// search over contiguous memory on the per-observation hot path,
+    /// and inserts (which shift the tail) only happen on a bucket's
+    /// first occupancy — O(occupied buckets) times total.
+    buckets: Vec<(u64, u64)>,
+    /// Observations that were exactly zero (or clamped negatives).
+    zero: u64,
+    /// Total observations held (including the zero bucket).
+    count: u64,
+    /// Exact running sum, for the exact mean.
+    sum: f64,
+    /// Exact extrema of the observed values.
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Guaranteed relative-error bound for quantiles of positive
+    /// normal values: half of one sub-bucket's width relative to its
+    /// lower bound, `2^-(SUB_BITS+1)`.
+    pub const GAMMA: f64 = 1.0 / (1u64 << (SUB_BITS + 1)) as f64;
+
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation in. Ignores non-finite values; clamps
+    /// negatives to zero.
+    pub fn observe(&mut self, value: f64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Fold `n` identical observations in at O(1) cost (a gang
+    /// admitting `n` members reports one wait `n` times). `n = 0` is
+    /// a no-op; otherwise identical to `n` calls of
+    /// [`QuantileSketch::observe`] except that the running sum folds
+    /// `value * n` in one step.
+    pub fn observe_n(&mut self, value: f64, n: u32) {
+        if n == 0 || !value.is_finite() {
+            return;
+        }
+        let n = u64::from(n);
+        let v = if value > 0.0 { value } else { 0.0 };
+        if v == 0.0 {
+            self.zero += n;
+        } else {
+            let key = v.to_bits() >> KEY_SHIFT;
+            match self.buckets.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (key, n)),
+            }
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += n;
+        // Cast is exact far beyond any feasible observation count.
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum += v * n as f64;
+        }
+    }
+
+    /// Total observations held.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all observations (after clamping).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, if anything was observed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            // Cast is exact far beyond any feasible observation count.
+            #[allow(clippy::cast_precision_loss)]
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Exact minimum observed value (after clamping), if any.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Exact maximum observed value (after clamping), if any.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The nearest-rank `q`-quantile estimate (`q` clamped to [0, 1]):
+    /// the representative of the bucket holding the value of rank
+    /// `ceil(q·count)`. `None` when empty. For positive normal values
+    /// the estimate is within [`QuantileSketch::GAMMA`] relative error
+    /// of the exact nearest-rank quantile.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Cast is exact far beyond any feasible observation count.
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            return Some(0.0);
+        }
+        let mut cum = self.zero;
+        for &(key, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                // The true rank-holder lies in this bucket *and* in
+                // [min, max]; clamping the midpoint into that
+                // intersection only tightens the error bound.
+                return Some(Self::bucket_mid(key).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable: cum totals self.count ≥ rank. Fall back to max.
+        Some(self.max)
+    }
+
+    /// The occupied buckets in ascending key order (the zero bucket is
+    /// reported separately by [`QuantileSketch::zero_count`]). Exposed
+    /// so determinism tests can pin bucket maps bit-for-bit.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().copied()
+    }
+
+    /// Observations that landed in the zero bucket.
+    pub fn zero_count(&self) -> u64 {
+        self.zero
+    }
+
+    /// Midpoint of bucket `key`'s value range.
+    fn bucket_mid(key: u64) -> f64 {
+        let lo = f64::from_bits(key << KEY_SHIFT);
+        let hi = f64::from_bits((key + 1) << KEY_SHIFT);
+        if hi.is_finite() {
+            0.5 * (lo + hi)
+        } else {
+            lo
+        }
+    }
+
+    /// Render as one JSON object: count, error bound, exact summary
+    /// stats, headline quantiles, and the raw bucket map (key/count
+    /// pairs, for bit-identity checks and offline re-aggregation).
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".into(), json_num);
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"count\":{},\"zero\":{},\"gamma\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{}",
+            self.count,
+            self.zero,
+            json_num(Self::GAMMA),
+            json_num(self.sum),
+            opt(self.mean()),
+            opt(self.min()),
+            opt(self.max()),
+        );
+        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = write!(out, ",\"{label}\":{}", opt(self.quantile(q)));
+        }
+        out.push_str(",\"buckets\":[");
+        for (i, (k, n)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{k},{n}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// Handle to one registered series (index into the registry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeriesId(usize);
@@ -43,6 +272,10 @@ pub enum SeriesKind {
     Counter,
     /// An instantaneous level (queue depth, free machines, ...).
     Gauge,
+    /// A stream of scalar observations folded into a bounded-memory
+    /// [`QuantileSketch`]; the gridded signal is the cumulative
+    /// observation count, and the JSON export carries the sketch.
+    Histogram,
 }
 
 impl SeriesKind {
@@ -51,6 +284,7 @@ impl SeriesKind {
         match self {
             Self::Counter => "counter",
             Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
         }
     }
 }
@@ -61,6 +295,8 @@ struct Series {
     kind: SeriesKind,
     monitor: Monitor,
     samples: Vec<f64>,
+    /// Present exactly when `kind` is [`SeriesKind::Histogram`].
+    sketch: Option<QuantileSketch>,
 }
 
 /// Named counters/gauges sampled on a fixed sim-time grid.
@@ -111,6 +347,13 @@ impl MetricsRegistry {
         self.register(name, SeriesKind::Gauge)
     }
 
+    /// Register a histogram series: observations fold into a
+    /// [`QuantileSketch`], and the gridded signal is the cumulative
+    /// observation count.
+    pub fn histogram(&mut self, name: impl Into<String>) -> SeriesId {
+        self.register(name, SeriesKind::Histogram)
+    }
+
     fn register(&mut self, name: impl Into<String>, kind: SeriesKind) -> SeriesId {
         assert!(
             self.ticks.is_empty(),
@@ -118,11 +361,16 @@ impl MetricsRegistry {
         );
         let name = name.into();
         let id = SeriesId(self.series.len());
+        let sketch = match kind {
+            SeriesKind::Histogram => Some(QuantileSketch::new()),
+            SeriesKind::Counter | SeriesKind::Gauge => None,
+        };
         self.series.push(Series {
             monitor: Monitor::new(name.clone()),
             name,
             kind,
             samples: Vec::new(),
+            sketch,
         });
         id
     }
@@ -143,9 +391,23 @@ impl MetricsRegistry {
         while self.next_tick <= now {
             self.ticks.push(self.next_tick);
             for s in &mut self.series {
-                s.samples.push(s.monitor.current());
+                s.samples.push(Self::grid_value(s));
             }
             self.next_tick += self.every;
+        }
+    }
+
+    /// The value a snapshot records for `s`: the monitor's current
+    /// level, except histogram series, whose gridded signal is the
+    /// cumulative observation count read straight off the sketch (so
+    /// [`MetricsRegistry::observe`] never touches the monitor on the
+    /// per-observation hot path).
+    fn grid_value(s: &Series) -> f64 {
+        match &s.sketch {
+            // Cast is exact far beyond any feasible observation count.
+            #[allow(clippy::cast_precision_loss)]
+            Some(sketch) => sketch.count() as f64,
+            None => s.monitor.current(),
         }
     }
 
@@ -162,12 +424,47 @@ impl MetricsRegistry {
         self.series[id.0].monitor.add(now, delta);
     }
 
-    /// Current value of series `id`.
+    /// Fold one observation into histogram series `id` at `now`. The
+    /// gridded signal tracks the cumulative observation count.
+    ///
+    /// # Panics
+    ///
+    /// If `id` is not a histogram series.
+    pub fn observe(&mut self, now: SimTime, id: SeriesId, value: f64) {
+        self.observe_n(now, id, value, 1);
+    }
+
+    /// Fold `n` identical observations into histogram series `id` at
+    /// `now` in one step (see [`QuantileSketch::observe_n`]).
+    ///
+    /// # Panics
+    ///
+    /// If `id` is not a histogram series.
+    pub fn observe_n(&mut self, now: SimTime, id: SeriesId, value: f64, n: u32) {
+        self.advance(now.as_f64());
+        let s = &mut self.series[id.0];
+        let sketch = s
+            .sketch
+            .as_mut()
+            .expect("invariant: observe() requires a histogram series");
+        sketch.observe_n(value, n);
+    }
+
+    /// The sketch behind histogram series `id` (`None` for counters
+    /// and gauges).
+    pub fn sketch(&self, id: SeriesId) -> Option<&QuantileSketch> {
+        self.series[id.0].sketch.as_ref()
+    }
+
+    /// Current value of series `id` (for histogram series, the
+    /// cumulative observation count).
     pub fn value(&self, id: SeriesId) -> f64 {
-        self.series[id.0].monitor.current()
+        Self::grid_value(&self.series[id.0])
     }
 
     /// The series' underlying [`Monitor`] (time-weighted statistics).
+    /// Histogram series never update their monitor — read their
+    /// [`MetricsRegistry::sketch`] instead.
     pub fn monitor(&self, id: SeriesId) -> &Monitor {
         &self.series[id.0].monitor
     }
@@ -181,7 +478,7 @@ impl MetricsRegistry {
         if self.ticks.last() != Some(&t) {
             self.ticks.push(t);
             for s in &mut self.series {
-                s.samples.push(s.monitor.current());
+                s.samples.push(Self::grid_value(s));
             }
             // Keep the grid invariant: the next due tick stays ahead.
             while self.next_tick <= t {
@@ -225,15 +522,33 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
+            // Histogram series report observation statistics (their
+            // monitor is bypassed on the hot path); counters and
+            // gauges report the monitor's time-weighted statistics.
+            let opt = |v: Option<f64>| v.map_or_else(|| "null".into(), json_num);
+            let (fin, mean, min, max) = match &s.sketch {
+                Some(sk) => (
+                    json_num(Self::grid_value(s)),
+                    opt(sk.mean()),
+                    opt(sk.min()),
+                    opt(sk.max()),
+                ),
+                None => (
+                    json_num(s.monitor.current()),
+                    json_num(s.monitor.time_average(SimTime::new(horizon.max(0.0)))),
+                    opt(s.monitor.min()),
+                    opt(s.monitor.max()),
+                ),
+            };
             let _ = write!(
                 out,
                 "{{\"name\":{},\"kind\":\"{}\",\"final\":{},\"mean\":{},\"min\":{},\"max\":{},\"samples\":[",
                 json_str(&s.name),
                 s.kind.name(),
-                json_num(s.monitor.current()),
-                json_num(s.monitor.time_average(SimTime::new(horizon.max(0.0)))),
-                s.monitor.min().map_or_else(|| "null".into(), json_num),
-                s.monitor.max().map_or_else(|| "null".into(), json_num),
+                fin,
+                mean,
+                min,
+                max,
             );
             for (k, v) in s.samples.iter().enumerate() {
                 if k > 0 {
@@ -241,7 +556,11 @@ impl MetricsRegistry {
                 }
                 out.push_str(&json_num(*v));
             }
-            out.push_str("]}");
+            out.push(']');
+            if let Some(sketch) = &s.sketch {
+                let _ = write!(out, ",\"sketch\":{}", sketch.to_json());
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -350,6 +669,98 @@ mod tests {
         assert_eq!(json_num(f64::NAN), "null");
         assert_eq!(json_num(f64::INFINITY), "null");
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn sketch_is_exact_on_small_inputs_and_bounded_on_spread() {
+        let mut sk = QuantileSketch::new();
+        assert!(sk.quantile(0.5).is_none());
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            sk.observe(v);
+        }
+        assert_eq!(sk.count(), 4);
+        assert_eq!(sk.min(), Some(1.0));
+        assert_eq!(sk.max(), Some(4.0));
+        assert_eq!(sk.mean(), Some(2.5));
+        // Nearest-rank p50 of [1,2,3,4] is 2; the estimate must be
+        // within GAMMA of it.
+        let p50 = sk.quantile(0.5).expect("nonempty");
+        assert!((p50 - 2.0).abs() <= 2.0 * QuantileSketch::GAMMA, "{p50}");
+        // Extremes stay within the bound and never exceed [min, max].
+        let p0 = sk.quantile(0.0).expect("nonempty");
+        let p100 = sk.quantile(1.0).expect("nonempty");
+        assert!((p0 - 1.0).abs() <= QuantileSketch::GAMMA, "{p0}");
+        assert!((1.0..=4.0).contains(&p0) && (1.0..=4.0).contains(&p100));
+        assert_eq!(p100, 4.0); // max is a bucket lower bound: clamps exact
+    }
+
+    #[test]
+    fn sketch_zero_bucket_and_hostile_values() {
+        let mut sk = QuantileSketch::new();
+        sk.observe(0.0);
+        sk.observe(-3.0); // clamps to zero
+        sk.observe(f64::NAN); // ignored
+        sk.observe(f64::INFINITY); // ignored
+        sk.observe(5.0);
+        assert_eq!(sk.count(), 3);
+        assert_eq!(sk.zero_count(), 2);
+        assert_eq!(sk.quantile(0.5), Some(0.0));
+        let p100 = sk.quantile(1.0).expect("nonempty");
+        assert!((p100 - 5.0).abs() <= 5.0 * QuantileSketch::GAMMA, "{p100}");
+        let json = sk.to_json();
+        assert!(json.contains("\"count\":3") && json.contains("\"zero\":2"));
+    }
+
+    #[test]
+    fn sketch_bucketing_is_monotone_and_bit_stable() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut v = 1e-6;
+        while v < 1e9 {
+            a.observe(v);
+            b.observe(v);
+            v *= 1.37;
+        }
+        // Same observation sequence → identical bucket maps, bit for bit.
+        assert_eq!(a, b);
+        let keys: Vec<u64> = a.buckets().map(|(k, _)| k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // Every quantile is within the advertised relative error of
+        // some observed value's bucket (spot-check monotonicity too).
+        let q25 = a.quantile(0.25).expect("nonempty");
+        let q75 = a.quantile(0.75).expect("nonempty");
+        assert!(q25 < q75);
+    }
+
+    #[test]
+    fn histogram_series_exports_sketch_and_counts_on_grid() {
+        let mut reg = MetricsRegistry::new(10.0);
+        let h = reg.histogram("response");
+        reg.observe(t(0.0), h, 4.0);
+        reg.observe(t(15.0), h, 8.0);
+        reg.observe(t(15.0), h, 2.0);
+        reg.finish(t(20.0));
+        // Grid carries the cumulative count, left-continuously.
+        assert_eq!(reg.samples(h), &[0.0, 1.0, 3.0]);
+        let sk = reg.sketch(h).expect("histogram has a sketch");
+        assert_eq!(sk.count(), 3);
+        let json = reg.to_json();
+        assert!(json.contains("\"kind\":\"histogram\""));
+        assert!(json.contains("\"sketch\":{\"count\":3"));
+        assert!(json.contains("\"p99\":"));
+        // Counter/gauge series carry no sketch key.
+        let mut plain = MetricsRegistry::new(10.0);
+        let _ = plain.gauge("g");
+        plain.finish(t(1.0));
+        assert!(!plain.to_json().contains("\"sketch\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a histogram series")]
+    fn observe_rejects_non_histogram_series() {
+        let mut reg = MetricsRegistry::new(1.0);
+        let g = reg.gauge("g");
+        reg.observe(t(0.0), g, 1.0);
     }
 
     #[test]

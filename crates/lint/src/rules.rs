@@ -7,7 +7,7 @@
 //! | `no-wall-clock` | `Instant`/`SystemTime` forbidden outside the profiler |
 //! | `no-alloc-in-hot-path` | `Vec::new`/`Box::new`/`.clone()`/`.to_vec()` in hot modules |
 //! | `no-unwrap-in-lib` | `.unwrap()` (and terse `.expect("..")`) in library code |
-//! | `event-coverage` | `SchedEvent` ↔ `EventClass` ↔ `SchedRecord` consistency |
+//! | `event-coverage` | `SchedEvent` ↔ `EventClass` ↔ `SchedRecord` ↔ `RecordFilter::KINDS` consistency |
 //!
 //! Rules run over the lexer's token stream. "Sim-visible" means the
 //! crates whose state feeds simulation outputs ([`SIM_CRATES`]); test
@@ -375,6 +375,9 @@ pub struct EventInfo {
     pub sched_record: Option<EnumDef>,
     /// Variant names listed in `EventClass::ALL`.
     pub all_array: Option<(String, Vec<String>, u32, u32)>,
+    /// Class names listed in `RecordFilter::KINDS` (a `[&'static
+    /// str; N]` of snake_case names, index i naming class i).
+    pub filter_kinds: Option<(String, Vec<String>, u32, u32)>,
     /// Non-test `SchedRecord::X` / `EventClass::X` path usages, with
     /// the file they occur in.
     pub record_uses: Vec<(String, String)>,
@@ -404,6 +407,13 @@ pub fn collect_event_info(ctx: &FileCtx<'_>, info: &mut EventInfo) {
         if toks[i].is_ident("ALL") && info.all_array.is_none() {
             if let Some(listed) = all_array_variants(toks, i) {
                 info.all_array = Some((ctx.file.to_string(), listed, toks[i].line, toks[i].col));
+            }
+        }
+        // `KINDS: [&'static str; N] = ["...", ...]` — the record
+        // filter's class-name table.
+        if toks[i].is_ident("KINDS") && info.filter_kinds.is_none() {
+            if let Some(listed) = kinds_array_strings(toks, i) {
+                info.filter_kinds = Some((ctx.file.to_string(), listed, toks[i].line, toks[i].col));
             }
         }
         // Path usages `SchedRecord::X` / `EventClass::X` outside tests.
@@ -519,6 +529,61 @@ fn all_array_variants(toks: &[Tok], i: usize) -> Option<Vec<String>> {
     Some(out)
 }
 
+/// Parse the string literals listed in `KINDS: [&'static str; N] =
+/// ["...", ...]` with `i` at `KINDS`. Returns `None` unless the
+/// declared element type mentions `str` (so unrelated `KINDS` consts
+/// don't trip the rule).
+fn kinds_array_strings(toks: &[Tok], i: usize) -> Option<Vec<String>> {
+    let mut j = i + 1;
+    if !toks.get(j)?.is_punct(':') {
+        return None;
+    }
+    let mut saw_str = false;
+    while j < toks.len() && !toks[j].is_punct('=') {
+        if toks[j].is_ident("str") {
+            saw_str = true;
+        }
+        j += 1;
+    }
+    if !saw_str || !toks.get(j + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.kind == TokKind::Str {
+            out.push(t.text.clone());
+        }
+        j += 1;
+    }
+    Some(out)
+}
+
+/// `SchedRecord::SegmentStart` → `segment_start`, the naming scheme
+/// both `SchedRecord::kind_name` and `RecordFilter::KINDS` follow.
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// R6: cross-file event coverage. Call once after every file has been
 /// collected.
 pub fn event_coverage(info: &EventInfo, lines_of: &dyn Fn(&str, u32) -> String) -> Vec<Diagnostic> {
@@ -611,6 +676,53 @@ pub fn event_coverage(info: &EventInfo, lines_of: &dyn Fn(&str, u32) -> String) 
                     ),
                 );
             }
+        }
+    }
+    // `RecordFilter::KINDS` must mirror the `SchedRecord` enum exactly:
+    // index i names class i, so a variant added without extending the
+    // filter (or vice versa) silently misroutes the mask and sampling.
+    if let (Some((rec_file, records)), Some((kinds_file, kinds, kline, kcol))) =
+        (&info.sched_record, &info.filter_kinds)
+    {
+        let snake: Vec<String> = records.iter().map(|(n, _, _)| camel_to_snake(n)).collect();
+        for ((name, line, col), s) in records.iter().zip(&snake) {
+            if !kinds.contains(s) {
+                diag(
+                    rec_file,
+                    *line,
+                    *col,
+                    format!(
+                        "`SchedRecord::{name}` is missing from `RecordFilter::KINDS` — \
+                         filters cannot address it by name"
+                    ),
+                );
+            }
+        }
+        for kind in kinds {
+            if !snake.contains(kind) {
+                diag(
+                    kinds_file,
+                    *kline,
+                    *kcol,
+                    format!(
+                        "`RecordFilter::KINDS` lists `{kind}`, which matches no \
+                         `SchedRecord` variant"
+                    ),
+                );
+            }
+        }
+        if kinds.len() == snake.len()
+            && kinds.iter().all(|k| snake.contains(k))
+            && kinds.iter().zip(&snake).any(|(a, b)| a != b)
+        {
+            diag(
+                kinds_file,
+                *kline,
+                *kcol,
+                "`RecordFilter::KINDS` order must match `SchedRecord` declaration \
+                 order (index i names class i)"
+                    .to_string(),
+            );
         }
     }
     out
@@ -758,6 +870,66 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.message.contains("`EventClass::ALL` is missing `B`")));
+    }
+
+    #[test]
+    fn r6_detects_record_filter_drift() {
+        // `Suspend` has no KINDS entry; `eviction` names no variant;
+        // both records are emitted elsewhere so only filter drift fires.
+        let tr = "pub enum SchedRecord { Dispatch { m: u32 }, Suspend { m: u32 } }\n\
+                  impl RecordFilter {\n\
+                  pub const KINDS: [&'static str; 2] = [\"dispatch\", \"eviction\"];\n\
+                  }";
+        let emit = "fn f() { let _ = SchedRecord::Dispatch; let _ = SchedRecord::Suspend; }";
+        let (lt, le) = (lex(tr), lex(emit));
+        let (lns_t, lns_e): (Vec<&str>, Vec<&str>) = (tr.lines().collect(), emit.lines().collect());
+        let ct = ctx_of("tr.rs", None, "tr.rs", &lt.toks, &lns_t);
+        let ce = ctx_of("emit.rs", None, "emit.rs", &le.toks, &lns_e);
+        let mut info = EventInfo::default();
+        collect_event_info(&ct, &mut info);
+        collect_event_info(&ce, &mut info);
+        // No SchedEvent/EventClass in this set: only the record checks run.
+        info.sched_event = Some(("x.rs".into(), vec![]));
+        info.event_class = Some(("x.rs".into(), vec![]));
+        info.all_array = Some(("x.rs".into(), vec![], 1, 1));
+        let diags = event_coverage(&info, &|_, _| String::new());
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`SchedRecord::Suspend` is missing from")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("lists `eviction`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn r6_detects_record_filter_order_drift() {
+        let tr = "pub enum SchedRecord { Dispatch, Suspend }\n\
+                  pub const KINDS: [&'static str; 2] = [\"suspend\", \"dispatch\"];";
+        let emit = "fn f() { let _ = SchedRecord::Dispatch; let _ = SchedRecord::Suspend; }";
+        let (lt, le) = (lex(tr), lex(emit));
+        let (lns_t, lns_e): (Vec<&str>, Vec<&str>) = (tr.lines().collect(), emit.lines().collect());
+        let ct = ctx_of("tr.rs", None, "tr.rs", &lt.toks, &lns_t);
+        let ce = ctx_of("emit.rs", None, "emit.rs", &le.toks, &lns_e);
+        let mut info = EventInfo::default();
+        collect_event_info(&ct, &mut info);
+        collect_event_info(&ce, &mut info);
+        info.sched_event = Some(("x.rs".into(), vec![]));
+        info.event_class = Some(("x.rs".into(), vec![]));
+        info.all_array = Some(("x.rs".into(), vec![], 1, 1));
+        let diags = event_coverage(&info, &|_, _| String::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("order must match"));
+    }
+
+    #[test]
+    fn camel_to_snake_matches_kind_names() {
+        assert_eq!(camel_to_snake("JobArrival"), "job_arrival");
+        assert_eq!(camel_to_snake("SegmentPreempted"), "segment_preempted");
+        assert_eq!(camel_to_snake("Eviction"), "eviction");
     }
 
     #[test]

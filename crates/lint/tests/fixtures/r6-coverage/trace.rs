@@ -13,3 +13,11 @@ impl SchedRecord {
         SchedRecord::Suspend { m: 0 }
     }
 }
+
+/// Filter table that drifted with the enum: `suspend` is missing, and
+/// `migrate` names no variant.
+pub struct RecordFilter;
+
+impl RecordFilter {
+    pub const KINDS: [&'static str; 2] = ["dispatch", "migrate"];
+}

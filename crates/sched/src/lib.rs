@@ -118,6 +118,6 @@ pub use pool::{Pool, UtilizationEstimator};
 pub use queue::{JobQueue, JobSpec, PendingTask, QueueDiscipline};
 pub use simulator::SchedConfig;
 pub use trace::{
-    EventClass, EvictionAction, FlightRecorder, Profiler, SchedRecord, SchedTracer, SegmentKind,
-    StateSample,
+    EventClass, EvictionAction, FlightRecorder, ObsKind, Profiler, ProgressMeter, RecordFilter,
+    SchedRecord, SchedTracer, SegmentKind, StateSample, Tee,
 };

@@ -15,7 +15,7 @@ use nds::cluster::OwnerWorkload;
 use nds::core::conclusions::check_all_conclusions;
 use nds::core::prelude::*;
 use nds::core::report::Table;
-use nds::core::sim::{closed, poisson, Backend, Flight, JobShape, Sim, SimError};
+use nds::core::sim::{closed, poisson, Backend, Flight, JobShape, Sim, SimBuilder, SimError};
 use nds::model::sensitivity::elasticities;
 use nds::model::solver::required_task_ratio;
 
@@ -30,6 +30,7 @@ fn main() {
         Some("stream") => cmd_stream(&args[1..]),
         Some("gang") => cmd_gang(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("diff-trace") => cmd_diff_trace(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -75,12 +76,17 @@ fn print_usage() {
          \x20                                 gang co-allocation vs independent tasks\n\
          \x20 trace       [sched|stream|gang] [--out DIR] [--workstations W]\n\
          \x20             [--utilization U] [--owner-demand O] [--seed S] [--reps R]\n\
-         \x20             [--metrics-every T]\n\
+         \x20             [--metrics-every T] [--cheap] [--trace-capacity N]\n\
          \x20                                 flight-record a scenario: JSONL event trace,\n\
          \x20                                 Chrome/Perfetto JSON, metrics + profile JSON\n\
+         \x20 diff-trace  A B [--context K]   first divergence between two JSONL traces\n\
          \x20 help                            this message\n\n\
          sched/stream/gang also accept --trace DIR (record the run's flight data\n\
-         under DIR) and --metrics-every T (sim-time snapshot interval, default 100)"
+         under DIR) and --metrics-every T (sim-time snapshot interval, default 100).\n\
+         sched/stream/gang/trace accept --progress SECS (heartbeat to stderr every\n\
+         SECS wall-clock seconds), --cheap (bounded-cost recording tier: lifecycle\n\
+         records only, grid-throttled state, host profiling off), and\n\
+         --trace-capacity N (keep only the newest N records in a ring)"
     );
 }
 
@@ -314,6 +320,29 @@ fn policy_flags(
 
 /// Map a [`SimError`] to the CLI's exit-code convention: 2 for
 /// configuration mistakes, 1 for runs that could not complete.
+/// Apply the observability flags shared by `sched`/`stream`/`gang`/
+/// `trace` to a simulation builder: `--progress SECS` (stderr
+/// heartbeat), `--cheap` (bounded-cost recording tier), and
+/// `--trace-capacity N` (ring-buffer record storage).
+fn obs_flags(mut b: SimBuilder, args: &[String]) -> Result<SimBuilder, String> {
+    if let Some(every) = string_flag(args, "--progress") {
+        let every = every
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("--progress expects seconds > 0, got {every}"))?;
+        b = b.progress(every);
+    }
+    if has_flag(args, "--cheap") {
+        b = b.trace_cheap(true);
+    }
+    let cap = int_flag(args, "--trace-capacity", 0, 1 << 32)? as usize;
+    if cap > 0 {
+        b = b.trace_capacity(cap);
+    }
+    Ok(b)
+}
+
 fn sim_error_code(e: &SimError) -> i32 {
     match e {
         // Stats errors are configuration mistakes too: the batch/window
@@ -422,7 +451,7 @@ fn cmd_sched(args: &[String]) -> i32 {
         }
     };
     let specs = JobSpec::stream(jobs, tasks, task_demand, arrival_gap);
-    let sim = match Sim::pool(w)
+    let builder = Sim::pool(w)
         .owners(owner)
         .placement(placement)
         .eviction(eviction)
@@ -432,9 +461,15 @@ fn cmd_sched(args: &[String]) -> i32 {
         .replications(reps)
         .backend(Backend::Sched)
         .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
-        .workload(closed(specs))
-        .build()
-    {
+        .workload(closed(specs));
+    let builder = match obs_flags(builder, args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("sched: {e}");
+            return 2;
+        }
+    };
+    let sim = match builder.build() {
         Ok(sim) => sim,
         Err(e) => {
             eprintln!("sched: {e}");
@@ -555,7 +590,7 @@ fn cmd_stream(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let sim = match Sim::pool(w)
+    let builder = Sim::pool(w)
         .owners(owner)
         .placement(placement)
         .eviction(eviction)
@@ -569,9 +604,15 @@ fn cmd_stream(args: &[String]) -> i32 {
             poisson(rate, JobShape::new(tasks, task_demand))
                 .jobs(jobs)
                 .warmup(warmup),
-        )
-        .build()
-    {
+        );
+    let builder = match obs_flags(builder, args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return 2;
+        }
+    };
+    let sim = match builder.build() {
         Ok(sim) => sim,
         Err(e) => {
             eprintln!("stream: {e}");
@@ -742,8 +783,8 @@ fn cmd_gang(args: &[String]) -> i32 {
         }
     };
     let specs = JobSpec::stream(jobs, gang_size, task_demand, arrival_gap);
-    let build = |gang: GangPolicy| {
-        Sim::pool(w)
+    let build = |gang: GangPolicy| -> Result<Sim, String> {
+        let builder = Sim::pool(w)
             .owners(&owner)
             .placement(placement)
             .eviction(eviction)
@@ -754,14 +795,14 @@ fn cmd_gang(args: &[String]) -> i32 {
             .replications(reps)
             .backend(Backend::Sched)
             .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
-            .workload(closed(specs.clone()))
-            .build()
+            .workload(closed(specs.clone()));
+        obs_flags(builder, args)?.build().map_err(|e| e.to_string())
     };
     let sim = match build(gang) {
         Ok(sim) => sim,
         Err(e) => {
             eprintln!("gang: {e}");
-            return sim_error_code(&e);
+            return 2;
         }
     };
     let report = match sim.run() {
@@ -774,11 +815,12 @@ fn cmd_gang(args: &[String]) -> i32 {
     // The same workload under independent-task scheduling, for the
     // barrier-premium comparison (skipped when gangs are already off).
     let independent = if gang.is_on() {
-        match build(GangPolicy::Off).and_then(|s| s.run()) {
+        let baseline = build(GangPolicy::Off).and_then(|s| s.run().map_err(|e| e.to_string()));
+        match baseline {
             Ok(report) => Some(report),
             Err(e) => {
                 eprintln!("gang: independent baseline: {e}");
-                return sim_error_code(&e);
+                return 1;
             }
         }
     } else {
@@ -917,7 +959,7 @@ fn cmd_trace(args: &[String]) -> i32 {
                 u64::from(u32::MAX),
             )? as u32)
         };
-        match scenario_name {
+        let builder = match scenario_name {
             "sched" => {
                 let sc = Scenario::SchedulerPool;
                 let w = w_flag(sc.workstations()[0])?;
@@ -926,8 +968,6 @@ fn cmd_trace(args: &[String]) -> i32 {
                 base(w)
                     .backend(Backend::Sched)
                     .workload(closed(JobSpec::stream(jobs, w, demand, gap)))
-                    .build()
-                    .map_err(|e| e.to_string())
             }
             "stream" => {
                 let sc = Scenario::OpenStream;
@@ -935,14 +975,11 @@ fn cmd_trace(args: &[String]) -> i32 {
                 let (tasks, demand) = sc.open_job_shape().expect("open scenario");
                 let (jobs, warmup) = sc.open_window().expect("open scenario");
                 let rate = sc.open_arrival_rate().expect("open scenario");
-                base(w)
-                    .workload(
-                        poisson(rate, JobShape::new(tasks, demand))
-                            .jobs(jobs)
-                            .warmup(warmup),
-                    )
-                    .build()
-                    .map_err(|e| e.to_string())
+                base(w).workload(
+                    poisson(rate, JobShape::new(tasks, demand))
+                        .jobs(jobs)
+                        .warmup(warmup),
+                )
             }
             "gang" => {
                 let sc = Scenario::GangPool;
@@ -952,13 +989,14 @@ fn cmd_trace(args: &[String]) -> i32 {
                     .gang(GangPolicy::SuspendAll)
                     .backend(Backend::Sched)
                     .workload(closed(JobSpec::stream(jobs, size, demand, gap)))
-                    .build()
-                    .map_err(|e| e.to_string())
             }
-            other => Err(format!(
-                "unknown trace scenario {other} (sched | stream | gang)"
-            )),
-        }
+            other => {
+                return Err(format!(
+                    "unknown trace scenario {other} (sched | stream | gang)"
+                ))
+            }
+        };
+        obs_flags(builder, rest)?.build().map_err(|e| e.to_string())
     };
     let sim = match build() {
         Ok(sim) => sim,
@@ -1012,6 +1050,176 @@ fn cmd_trace(args: &[String]) -> i32 {
          rep*.metrics.json, rep*.profile.json under {out}/"
     );
     i32::from(!ok)
+}
+
+/// Where two JSONL traces first stop agreeing, with enough context to
+/// read the mismatch without opening either file.
+struct Divergence {
+    /// 1-based line number of the first mismatching record.
+    line: u64,
+    /// The mismatching record from each side (`None` = trace ended).
+    a: Option<String>,
+    b: Option<String>,
+    /// Up to `context` records both sides agreed on, newest last.
+    before: Vec<String>,
+    /// Up to `context` records following the mismatch on each side.
+    after_a: Vec<String>,
+    after_b: Vec<String>,
+    /// Sim time of the newest agreed record that carried one.
+    last_agreed_t: Option<f64>,
+}
+
+/// Pull the sim time out of a flight-recorder JSONL record. Every
+/// record the recorder writes starts `{"t":<number>,` — anything else
+/// (or a bare metrics line) just doesn't advance the clock.
+fn record_time(line: &str) -> Option<f64> {
+    let rest = line.strip_prefix("{\"t\":")?;
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+/// Stream both traces line by line, remembering only a `context`-deep
+/// window, and stop at the first mismatch. Memory stays O(context)
+/// regardless of trace length. `Ok(None)` means the traces are
+/// byte-identical; a length mismatch counts as a divergence at the
+/// shorter trace's end.
+fn diff_traces(
+    path_a: &str,
+    path_b: &str,
+    context: usize,
+) -> Result<(u64, Option<Divergence>), String> {
+    use std::io::BufRead;
+    let open = |p: &str| -> Result<_, String> {
+        let f = std::fs::File::open(p).map_err(|e| format!("{p}: {e}"))?;
+        Ok(std::io::BufReader::new(f).lines())
+    };
+    let mut lines_a = open(path_a)?;
+    let mut lines_b = open(path_b)?;
+    let next = |lines: &mut std::io::Lines<std::io::BufReader<std::fs::File>>,
+                p: &str|
+     -> Result<Option<String>, String> {
+        lines
+            .next()
+            .transpose()
+            .map_err(|e| format!("reading {p}: {e}"))
+    };
+
+    let mut before: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    let mut last_agreed_t = None;
+    let mut line = 0u64;
+    loop {
+        let a = next(&mut lines_a, path_a)?;
+        let b = next(&mut lines_b, path_b)?;
+        line += 1;
+        match (a, b) {
+            (None, None) => return Ok((line - 1, None)),
+            (a, b) if a == b => {
+                let agreed = a.expect("both sides present when equal");
+                if let Some(t) = record_time(&agreed) {
+                    last_agreed_t = Some(t);
+                }
+                if context > 0 {
+                    if before.len() == context {
+                        before.pop_front();
+                    }
+                    before.push_back(agreed);
+                }
+            }
+            (a, b) => {
+                let after = |lines: &mut _, p: &str| -> Result<Vec<String>, String> {
+                    let mut out = Vec::with_capacity(context);
+                    for _ in 0..context {
+                        match next(lines, p)? {
+                            Some(l) => out.push(l),
+                            None => break,
+                        }
+                    }
+                    Ok(out)
+                };
+                let after_a = after(&mut lines_a, path_a)?;
+                let after_b = after(&mut lines_b, path_b)?;
+                return Ok((
+                    line,
+                    Some(Divergence {
+                        line,
+                        a,
+                        b,
+                        before: before.into(),
+                        after_a,
+                        after_b,
+                        last_agreed_t,
+                    }),
+                ));
+            }
+        }
+    }
+}
+
+fn cmd_diff_trace(args: &[String]) -> i32 {
+    // Two positional paths; `--context K` bounds both the remembered
+    // window and the lookahead printed around the mismatch.
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--context" => i += 2,
+            a if a.starts_with("--") => {
+                eprintln!("diff-trace: unknown flag {a}");
+                return 2;
+            }
+            a => {
+                paths.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("diff-trace: expected exactly two trace paths: nds diff-trace A B [--context K]");
+        return 2;
+    }
+    let context = match int_flag(args, "--context", 3, 1 << 16) {
+        Ok(k) => k as usize,
+        Err(e) => {
+            eprintln!("diff-trace: {e}");
+            return 2;
+        }
+    };
+    let (a, b) = (&paths[0], &paths[1]);
+    match diff_traces(a, b, context) {
+        Ok((compared, None)) => {
+            println!("compared {compared} records: no divergence");
+            0
+        }
+        Ok((_, Some(d))) => {
+            let end = "<end of trace>";
+            println!("first divergent record at line {}:", d.line);
+            match d.last_agreed_t {
+                Some(t) => println!("  last agreeing sim-time: t={t}"),
+                None => println!("  last agreeing sim-time: none (no agreed record carried one)"),
+            }
+            if !d.before.is_empty() {
+                println!("  agreed context (newest last):");
+                for l in &d.before {
+                    println!("    = {l}");
+                }
+            }
+            println!("  A {a}: {}", d.a.as_deref().unwrap_or(end));
+            println!("  B {b}: {}", d.b.as_deref().unwrap_or(end));
+            for (label, after) in [(&a, &d.after_a), (&b, &d.after_b)] {
+                if !after.is_empty() {
+                    println!("  next {} record(s) from {label}:", after.len());
+                    for l in after {
+                        println!("    > {l}");
+                    }
+                }
+            }
+            1
+        }
+        Err(e) => {
+            eprintln!("diff-trace: {e}");
+            2
+        }
+    }
 }
 
 fn cmd_sensitivity(args: &[String]) -> i32 {

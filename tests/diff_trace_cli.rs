@@ -1,0 +1,161 @@
+//! End-to-end test of `nds diff-trace`: generate real traces through
+//! the CLI, then check the differ's three verdicts — identical traces,
+//! an injected mid-stream mutation, and usage errors — including the
+//! exact phrases scripts are allowed to grep for and the exit-code
+//! contract (0 = identical, 1 = divergent, 2 = usage/IO error).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn nds() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nds"))
+}
+
+/// A scratch dir under the target directory, unique per test, cleaned
+/// at the start of each run so reruns start fresh.
+fn scratch(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_BIN_EXE_nds"))
+        .parent()
+        .expect("bin dir")
+        .join(format!("diff_trace_cli_{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Run `nds trace sched` into `out` and return the rep0 JSONL path.
+fn generate_trace(out: &Path) -> PathBuf {
+    let status = nds()
+        .args(["trace", "sched", "--out"])
+        .arg(out)
+        .status()
+        .expect("nds trace runs");
+    assert!(status.success(), "nds trace sched failed");
+    let path = out.join("rep0.trace.jsonl");
+    assert!(path.exists(), "trace output missing at {}", path.display());
+    path
+}
+
+#[test]
+fn identical_traces_report_no_divergence() {
+    let dir = scratch("identical");
+    let a = generate_trace(&dir.join("a"));
+    let b = generate_trace(&dir.join("b"));
+    let out = nds()
+        .arg("diff-trace")
+        .args([&a, &b])
+        .output()
+        .expect("diff-trace runs");
+    assert_eq!(out.status.code(), Some(0), "identical traces must exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("no divergence"),
+        "missing verdict phrase in: {stdout}"
+    );
+    let lines = std::fs::read_to_string(&a).unwrap().lines().count();
+    assert!(
+        stdout.contains(&format!("compared {lines} records")),
+        "must report the full compared count in: {stdout}"
+    );
+}
+
+#[test]
+fn injected_mutation_is_pinpointed() {
+    let dir = scratch("mutation");
+    let a = generate_trace(&dir.join("a"));
+    // Copy the trace and corrupt one mid-stream record: swap its
+    // machine/job payload digits by appending to a field value. The
+    // differ must name the exact line and the last agreeing sim-time.
+    let body = std::fs::read_to_string(&a).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() > 20, "trace too short to mutate mid-stream");
+    let target = lines.len() / 2;
+    let mutated: String = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == target {
+                l.replace('}', ",\"injected\":1}")
+            } else {
+                (*l).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let b = dir.join("mutated.trace.jsonl");
+    std::fs::write(&b, &mutated).unwrap();
+
+    let out = nds()
+        .arg("diff-trace")
+        .args([&a, &b])
+        .args(["--context", "2"])
+        .output()
+        .expect("diff-trace runs");
+    assert_eq!(out.status.code(), Some(1), "divergent traces must exit 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(&format!("first divergent record at line {}", target + 1)),
+        "must name line {} in: {stdout}",
+        target + 1
+    );
+    assert!(
+        stdout.contains("last agreeing sim-time"),
+        "must report the last agreed timestamp in: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"injected\":1"),
+        "must print the mutated record in: {stdout}"
+    );
+    assert!(
+        stdout.contains("agreed context"),
+        "must print the agreed context window in: {stdout}"
+    );
+}
+
+#[test]
+fn truncated_trace_diverges_at_end_of_stream() {
+    let dir = scratch("truncated");
+    let a = generate_trace(&dir.join("a"));
+    let body = std::fs::read_to_string(&a).unwrap();
+    let keep = body.lines().count() - 3;
+    let truncated: String = body.lines().take(keep).collect::<Vec<_>>().join("\n") + "\n";
+    let b = dir.join("truncated.trace.jsonl");
+    std::fs::write(&b, &truncated).unwrap();
+    let out = nds()
+        .arg("diff-trace")
+        .args([&a, &b])
+        .output()
+        .expect("diff-trace runs");
+    assert_eq!(out.status.code(), Some(1), "a truncated trace diverges");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("<end of trace>"),
+        "the shorter side must be shown as ended in: {stdout}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let dir = scratch("usage");
+    let a = generate_trace(&dir.join("a"));
+    // Missing file → exit 2.
+    let out = nds()
+        .arg("diff-trace")
+        .arg(&a)
+        .arg(dir.join("does_not_exist.jsonl"))
+        .output()
+        .expect("diff-trace runs");
+    assert_eq!(out.status.code(), Some(2), "missing input must exit 2");
+    // Unknown flag → exit 2.
+    let out = nds()
+        .arg("diff-trace")
+        .args([&a, &a])
+        .arg("--bogus")
+        .output()
+        .expect("diff-trace runs");
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    // Wrong arity → exit 2.
+    let out = nds().arg("diff-trace").arg(&a).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "one path must exit 2");
+}

@@ -1,0 +1,60 @@
+//! Property tests for [`QuantileSketch`]: the advertised relative
+//! error bound (γ = `QuantileSketch::GAMMA`) holds against an exact
+//! nearest-rank quantile computed by sorting, and quantiles are
+//! monotone in `q`.
+
+use nds::des::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile: the value of rank `ceil(q·n)` (1-based)
+/// in sorted order — the same rank convention the sketch uses.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as u64;
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[usize::try_from(rank - 1).expect("rank fits usize")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_gamma_of_exact_sort(
+        values in proptest::collection::vec(1e-6f64..1e9, 1..400),
+    ) {
+        let mut sk = QuantileSketch::new();
+        for &v in &values {
+            sk.observe(v);
+        }
+        prop_assert_eq!(sk.count(), values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = sk.quantile(q).expect("nonempty sketch");
+            prop_assert!(
+                (est - exact).abs() <= QuantileSketch::GAMMA * exact,
+                "q={}: estimate {} vs exact {} (gamma {})",
+                q, est, exact, QuantileSketch::GAMMA
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(1e-3f64..1e6, 1..200),
+    ) {
+        let mut sk = QuantileSketch::new();
+        for &v in &values {
+            sk.observe(v);
+        }
+        let qs = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+        let ests: Vec<f64> = qs
+            .iter()
+            .map(|&q| sk.quantile(q).expect("nonempty sketch"))
+            .collect();
+        for w in ests.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", ests);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! that makes traces diffable artifacts rather than log soup.
 
 use nds::core::sim::{closed, poisson, JobShape, Sim};
-use nds::sched::{GangPolicy, JobSpec};
+use nds::sched::{GangPolicy, JobSpec, ObsKind};
 use nds_cluster::owner::OwnerWorkload;
 
 fn owner(u: f64) -> OwnerWorkload {
@@ -201,8 +201,9 @@ fn series_samples(json: &str, name: &str) -> Vec<f64> {
         .collect()
 }
 
-/// The metrics registry exports all seven series on a shared tick
-/// grid that ends at the makespan, and its counters are monotone.
+/// The metrics registry exports all eleven series — seven gauges and
+/// counters plus the four quantile-sketch histograms — on a shared
+/// tick grid that ends at the makespan, and its counters are monotone.
 #[test]
 fn metrics_registry_series_complete() {
     let flights = sched_sim(1, 1).run_flight().unwrap();
@@ -216,6 +217,10 @@ fn metrics_registry_series_complete() {
         "pending_events",
         "goodput",
         "wasted",
+        "response",
+        "queue_wait",
+        "slowdown",
+        "coalloc_wait",
     ] {
         assert_eq!(
             series_samples(&json, series).len(),
@@ -237,6 +242,144 @@ fn metrics_registry_series_complete() {
         assert!(
             samples.windows(2).all(|w| w[1] >= w[0] - 1e-12),
             "{name} must be monotone non-decreasing"
+        );
+    }
+    // Histogram series sample the cumulative observation count — also
+    // monotone — and declare their kind in the export.
+    assert!(
+        json.contains("\"kind\":\"histogram\""),
+        "histogram series must be tagged in the metrics JSON"
+    );
+    for name in ["response", "queue_wait", "slowdown"] {
+        let samples = series_samples(&json, name);
+        assert!(
+            samples.windows(2).all(|w| w[1] >= w[0]),
+            "{name} observation count must be monotone non-decreasing"
+        );
+        assert!(
+            *samples.last().unwrap() > 0.0,
+            "{name} must record at least one observation"
+        );
+    }
+}
+
+/// Tentpole oracle: the quantile sketches are deterministic down to
+/// the bucket level. Two runs of the same configuration must produce
+/// bit-identical bucket maps, counts, and extrema for every
+/// observation kind — the property that makes sketch output diffable
+/// across machines and shard counts.
+#[test]
+fn sketch_buckets_bit_identical_across_runs() {
+    let a = sched_sim(2, 1).run_flight().unwrap();
+    let b = sched_sim(2, 4).run_flight().unwrap();
+    assert_eq!(a.len(), b.len());
+    for (fa, fb) in a.iter().zip(&b) {
+        for kind in ObsKind::ALL {
+            let (sa, sb) = (fa.recorder.sketch(kind), fb.recorder.sketch(kind));
+            assert_eq!(
+                sa.buckets().collect::<Vec<_>>(),
+                sb.buckets().collect::<Vec<_>>(),
+                "rep {}: {} buckets must be bit-identical",
+                fa.replication,
+                kind.name()
+            );
+            assert_eq!(sa.count(), sb.count());
+            assert_eq!(
+                sa.min().map(f64::to_bits),
+                sb.min().map(f64::to_bits),
+                "rep {}: {} min",
+                fa.replication,
+                kind.name()
+            );
+            assert_eq!(
+                sa.max().map(f64::to_bits),
+                sb.max().map(f64::to_bits),
+                "rep {}: {} max",
+                fa.replication,
+                kind.name()
+            );
+        }
+    }
+}
+
+fn cheap_sim(shards: usize) -> Sim {
+    Sim::pool(16)
+        .owners(owner(0.12))
+        .workload(closed(JobSpec::stream(24, 4, 40.0, 8.0)))
+        .seed(2024)
+        .replications(3)
+        .shards(shards)
+        .metrics_every(50.0)
+        .trace_cheap(true)
+        .build()
+        .unwrap()
+}
+
+fn ring_sim(shards: usize) -> Sim {
+    Sim::pool(16)
+        .owners(owner(0.12))
+        .workload(closed(JobSpec::stream(24, 4, 40.0, 8.0)))
+        .seed(2024)
+        .replications(3)
+        .shards(shards)
+        .metrics_every(50.0)
+        .trace_capacity(64)
+        .build()
+        .unwrap()
+}
+
+/// The shard-count byte-identity oracle must survive the filtered
+/// cheap tier: 1-in-N sampling is keyed on per-class sequence
+/// counters, never on host state, so shards(1) and shards(4) emit the
+/// same filtered records and the same sketch-backed metrics.
+#[test]
+fn cheap_traces_byte_identical_across_shards() {
+    let serial = cheap_sim(1).run_flight().unwrap();
+    let sharded = cheap_sim(4).run_flight().unwrap();
+    assert_eq!(serial.len(), sharded.len());
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_eq!(a.replication, b.replication);
+        assert_eq!(a.events, b.events, "rep {}", a.replication);
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "rep {}", a.replication);
+        assert_eq!(a.metrics_json(), b.metrics_json(), "rep {}", a.replication);
+        // The cheap filter really filters: fewer records than events.
+        let kept = a.recorder.events().len() as u64;
+        assert!(
+            kept > 0 && kept < a.events,
+            "rep {}: cheap tier kept {kept} of {} events",
+            a.replication,
+            a.events
+        );
+    }
+}
+
+/// Ring-buffer recording is deterministic too: the same records are
+/// overwritten on one shard as on four, and the survivors plus the
+/// overwritten count appear byte-identically in the artifacts.
+#[test]
+fn ring_traces_byte_identical_across_shards() {
+    let serial = ring_sim(1).run_flight().unwrap();
+    let sharded = ring_sim(4).run_flight().unwrap();
+    assert_eq!(serial.len(), sharded.len());
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_eq!(a.replication, b.replication);
+        assert_eq!(
+            a.recorder.overwritten(),
+            b.recorder.overwritten(),
+            "rep {}",
+            a.replication
+        );
+        assert!(
+            a.recorder.overwritten() > 0,
+            "rep {}: capacity 64 must force overwrites",
+            a.replication
+        );
+        assert_eq!(a.recorder.events().len(), 64, "rep {}", a.replication);
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "rep {}", a.replication);
+        assert_eq!(a.metrics_json(), b.metrics_json(), "rep {}", a.replication);
+        assert!(
+            a.metrics_json().contains("\"records_overwritten\":"),
+            "overwrite count must be reported, never silent"
         );
     }
 }
