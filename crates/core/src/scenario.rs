@@ -7,7 +7,7 @@
 //! bench binaries, the CLI, and the tests all construct the same
 //! experiment.
 
-use crate::sim::{closed, poisson, JobShape, Sim, SimBuilder};
+use crate::sim::{closed, poisson, JobShape, Sim, SimBuilder, SyntheticTrace};
 use nds_cluster::owner::OwnerWorkload;
 use nds_sched::{GangPolicy, JobSpec};
 
@@ -54,6 +54,13 @@ pub enum Scenario {
     /// between independent tasks and all-or-nothing gangs, swept via
     /// [`Scenario::partial_fracs`].
     GangPool,
+    /// Extension: a **trace-driven datacenter** — one synthetic day of
+    /// a 64-station cluster (diurnal sinusoid arrivals, bounded-Pareto
+    /// job sizes, hot/cool owner populations) streamed through the
+    /// engine in bounded chunks rather than materialized (see
+    /// [`crate::sim::SyntheticTrace`], the `ext_trace` binary,
+    /// `nds replay`, and `examples/trace_replay.rs`).
+    DatacenterTrace,
 }
 
 impl Scenario {
@@ -69,6 +76,7 @@ impl Scenario {
             Scenario::TaskRatioBySize => vec![2, 4, 8, 20, 60, 100],
             Scenario::PvmValidation => (1..=12).collect(),
             Scenario::SchedulerPool | Scenario::OpenStream | Scenario::GangPool => vec![16],
+            Scenario::DatacenterTrace => vec![64],
         }
     }
 
@@ -80,6 +88,8 @@ impl Scenario {
             Scenario::SchedulerPool | Scenario::OpenStream | Scenario::GangPool => {
                 vec![0.05, 0.10, 0.20]
             }
+            // The cool and hot owner populations of the synthetic day.
+            Scenario::DatacenterTrace => vec![0.05, 0.30],
             _ => UTILIZATIONS.to_vec(),
         }
     }
@@ -131,6 +141,7 @@ impl Scenario {
             Scenario::SchedulerPool => "Extension (scheduler pool, W = 16)",
             Scenario::OpenStream => "Extension (open Poisson stream, W = 16)",
             Scenario::GangPool => "Extension (gang co-allocation, W = 16)",
+            Scenario::DatacenterTrace => "Extension (trace-driven datacenter, W = 64)",
         }
     }
 
@@ -217,10 +228,31 @@ impl Scenario {
         }
     }
 
+    /// The synthetic-day generator of the trace scenario: the stable
+    /// trace window `(machines, jobs)` is sized so the offered load
+    /// sits at roughly two-thirds of the pool's spare capacity.
+    pub fn trace_generator(&self) -> Option<SyntheticTrace> {
+        match self {
+            Scenario::DatacenterTrace => Some(SyntheticTrace::datacenter(64, 1_200)),
+            _ => None,
+        }
+    }
+
+    /// Streaming chunk size used when replaying the trace scenario.
+    pub fn trace_stream_chunk(&self) -> Option<usize> {
+        match self {
+            Scenario::DatacenterTrace => Some(256),
+            _ => None,
+        }
+    }
+
     /// Lower a scheduler-backed scenario (`SchedulerPool`,
     /// `OpenStream`) to a pre-wired [`Sim`] builder over the given
     /// owner behaviour; `None` for the analytic figures. Callers
     /// customize policies/seeds on the returned builder.
+    /// `DatacenterTrace` ignores `owner` — its hot/cool population
+    /// comes from the generator ([`SyntheticTrace::owners`], drawn at
+    /// the builder's default seed; re-derive after changing `.seed()`).
     pub fn sim(&self, owner: &OwnerWorkload) -> Option<SimBuilder> {
         let w = *self.workstations().first()?;
         match self {
@@ -258,6 +290,16 @@ impl Scenario {
                         .gang(gang)
                         .workload(closed(JobSpec::stream(jobs, tasks, task_demand, gap)))
                         .calibration(10_000.0),
+                )
+            }
+            Scenario::DatacenterTrace => {
+                let gen = self.trace_generator()?;
+                let owners = gen.owners(0x5EED, 0).ok()?;
+                Some(
+                    Sim::pool(gen.machines())
+                        .owners(owners)
+                        .workload(gen)
+                        .stream_chunk(self.trace_stream_chunk()?),
                 )
             }
             _ => None,
@@ -327,6 +369,7 @@ mod tests {
             Scenario::SchedulerPool,
             Scenario::OpenStream,
             Scenario::GangPool,
+            Scenario::DatacenterTrace,
         ];
         let labels: std::collections::BTreeSet<_> = all.iter().map(|s| s.figure_label()).collect();
         assert_eq!(labels.len(), all.len());
@@ -364,6 +407,32 @@ mod tests {
         }
         assert!(Scenario::FixedSize1K.sim(&owner).is_none());
         assert!(Scenario::PvmValidation.sim(&owner).is_none());
+    }
+
+    #[test]
+    fn datacenter_trace_scenario_parameters() {
+        let s = Scenario::DatacenterTrace;
+        assert_eq!(s.workstations(), vec![64]);
+        let gen = s.trace_generator().expect("trace scenario has a generator");
+        assert_eq!(gen.machines(), 64);
+        assert!(s.trace_stream_chunk().unwrap() >= 1);
+        // Stability: the synthetic day's offered load must sit below
+        // the pool's spare capacity (E[tasks] * E[demand] * lambda_0).
+        let jobs = 1_200.0;
+        let mean_work = 32.5 * 87.0; // uniform widths 1..=64, Pareto(1.5, [30, 30k))
+        let offered = jobs / 86_400.0 * mean_work;
+        let capacity = 64.0 * (1.0 - (0.3 * 0.30 + 0.7 * 0.05));
+        assert!(offered < 0.75 * capacity, "{offered} vs {capacity}");
+        // The lowering pre-wires streaming with the generator's owners.
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+        let sim = s.sim(&owner).unwrap().build().unwrap();
+        assert!(
+            sim.label().contains("synthetic-trace(64 machines"),
+            "{}",
+            sim.label()
+        );
+        assert!(Scenario::OpenStream.trace_generator().is_none());
+        assert!(Scenario::FixedSize1K.trace_stream_chunk().is_none());
     }
 
     #[test]

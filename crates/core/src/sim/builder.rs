@@ -135,6 +135,7 @@ pub struct Sim {
     trace_cheap: bool,
     trace_capacity: usize,
     trace_filter: Option<RecordFilter>,
+    stream_chunk: usize,
     workload: Box<dyn Workload>,
 }
 
@@ -200,6 +201,7 @@ impl Sim {
             trace_cheap: false,
             trace_capacity: 0,
             trace_filter: None,
+            stream_chunk: 0,
             workload: None,
         }
     }
@@ -232,7 +234,11 @@ impl Sim {
     /// builder's own runs).
     pub fn lower(&self, replication: u64) -> Result<SchedConfig, SimError> {
         let jobs = self.workload.generate(self.seed, replication)?;
-        Ok(SchedConfig {
+        Ok(self.lower_with_jobs(jobs, replication))
+    }
+
+    fn lower_with_jobs(&self, jobs: Vec<JobSpec>, replication: u64) -> SchedConfig {
+        SchedConfig {
             owners: self.owners.clone(),
             jobs,
             placement: self.placement,
@@ -245,7 +251,7 @@ impl Sim {
             seed: self.seed,
             replication,
             max_events: self.max_events,
-        })
+        }
     }
 
     /// Whether `jobs` makes this the paper's degenerate configuration,
@@ -305,8 +311,38 @@ impl Sim {
     }
 
     /// Execute one replication on the backend the configuration
-    /// resolves to.
-    fn run_one(&self, replication: u64) -> Result<SchedMetrics, SimError> {
+    /// resolves to. Returns the run's metrics plus, for streamed runs
+    /// only, the post-warmup response times collected at the sink (the
+    /// streamed engine does not materialize `metrics.jobs`).
+    fn run_one(&self, replication: u64) -> Result<(SchedMetrics, Option<Vec<f64>>), SimError> {
+        if self.stream_chunk > 0 {
+            return self
+                .run_one_streamed(replication)
+                .map(|(metrics, responses)| (metrics, Some(responses)));
+        }
+        self.run_one_materialized(replication)
+            .map(|metrics| (metrics, None))
+    }
+
+    /// One replication through the streaming job feed: the workload's
+    /// [`Workload::feed`] is pulled in `stream_chunk`-sized batches and
+    /// completed jobs are retired as soon as they finish, so peak
+    /// memory is O(chunk + pool), independent of the job count.
+    fn run_one_streamed(&self, replication: u64) -> Result<(SchedMetrics, Vec<f64>), SimError> {
+        let cfg = self.lower_with_jobs(Vec::new(), replication);
+        let mut feed = self.workload.feed(self.seed, replication)?;
+        let warmup = self.workload.warmup_jobs();
+        let mut responses = Vec::new();
+        let mut sink = |job: usize, record: JobRecord| {
+            if job >= warmup {
+                responses.push(record.response_time());
+            }
+        };
+        let (metrics, _events) = cfg.run_streamed(feed.as_mut(), self.stream_chunk, &mut sink)?;
+        Ok((metrics, responses))
+    }
+
+    fn run_one_materialized(&self, replication: u64) -> Result<SchedMetrics, SimError> {
         let jobs = self.workload.generate(self.seed, replication)?;
         let degenerate = self.is_degenerate(&jobs);
         match self.backend {
@@ -355,28 +391,35 @@ impl Sim {
     /// single-threaded).
     pub fn run(&self) -> Result<Report, SimError> {
         let reps: Vec<u64> = (0..self.replications).collect();
-        let results: Vec<Result<SchedMetrics, SimError>> = if self.shards > 1 {
+        type RepResult = Result<(SchedMetrics, Option<Vec<f64>>), SimError>;
+        let results: Vec<RepResult> = if self.shards > 1 {
             parallel_map(&reps, self.shards, |&replication| self.run_one(replication))
         } else {
             reps.iter().map(|&r| self.run_one(r)).collect()
         };
         let mut runs = Vec::with_capacity(self.replications as usize);
-        let mut responses: Vec<f64> = Vec::new();
+        let mut per_rep: Vec<Vec<f64>> = Vec::with_capacity(self.replications as usize);
         let warmup = self.workload.warmup_jobs();
-        for metrics in results {
-            let metrics = metrics?;
-            responses.extend(
-                metrics
+        for result in results {
+            let (metrics, streamed) = result?;
+            per_rep.push(match streamed {
+                // Streamed runs already dropped warmup at the sink.
+                Some(responses) => responses,
+                None => metrics
                     .jobs
                     .iter()
                     .skip(warmup)
-                    .map(JobRecord::response_time),
-            );
+                    .map(JobRecord::response_time)
+                    .collect(),
+            });
             runs.push(metrics);
         }
+        // Batch means are formed within each replication (no batch ever
+        // straddles a replication boundary); `warmup` is dropped from
+        // every replication independently.
         let steady_state = if self.workload.is_open() {
-            Some(SteadyState::from_responses(
-                &responses,
+            Some(SteadyState::from_replications(
+                &per_rep,
                 self.batches,
                 self.confidence,
                 warmup,
@@ -384,6 +427,7 @@ impl Sim {
         } else {
             None
         };
+        let responses: Vec<f64> = per_rep.into_iter().flatten().collect();
         Ok(Report {
             label: self.label(),
             workstations: self.workstations,
@@ -472,6 +516,7 @@ pub struct SimBuilder {
     trace_cheap: bool,
     trace_capacity: usize,
     trace_filter: Option<RecordFilter>,
+    stream_chunk: usize,
     workload: Option<Box<dyn Workload>>,
 }
 
@@ -651,6 +696,25 @@ impl SimBuilder {
         self
     }
 
+    /// Stream the workload through the engine in chunks of `chunk`
+    /// jobs instead of materializing every [`JobSpec`] up front
+    /// (default 0 = materialized). The engine pulls the workload's
+    /// [`Workload::feed`] lazily and retires each job's record the
+    /// moment it completes, so peak memory is O(chunk + pool) — the
+    /// path that makes million-job traces tractable. Results are
+    /// byte-identical to the materialized run (pinned by the workspace
+    /// replay tests), with one caveat: streamed runs deliver per-job
+    /// records through the internal sink, so `Report::runs[..].jobs`
+    /// stays empty (response statistics and steady state are
+    /// unaffected). Streaming requires the scheduler engine and is
+    /// incompatible with gang policies and the progress heartbeat;
+    /// [`Sim::run_flight`] ignores it and materializes.
+    #[must_use]
+    pub fn stream_chunk(mut self, chunk: usize) -> Self {
+        self.stream_chunk = chunk;
+        self
+    }
+
     /// The workload to submit — see [`crate::sim::workload`] for the
     /// closed and open implementations.
     #[must_use]
@@ -762,6 +826,32 @@ impl SimBuilder {
                 ),
             });
         }
+        if self.stream_chunk > 0 {
+            if self.gang.is_on() {
+                return Err(SimError::InvalidPolicy {
+                    field: "gang",
+                    reason: "gang scheduling needs the whole job set resident and \
+                             cannot combine with .stream_chunk(...)"
+                        .into(),
+                });
+            }
+            if self.progress_every.is_some() {
+                return Err(SimError::InvalidPool {
+                    field: "progress",
+                    reason: "the progress heartbeat needs a materialized run; drop \
+                             .progress(...) or .stream_chunk(...)"
+                        .into(),
+                });
+            }
+            if self.backend == Backend::Cluster {
+                return Err(SimError::UnsupportedBackend {
+                    backend: "cluster",
+                    reason: "streamed runs execute on the scheduler engine; drop \
+                             .stream_chunk(...) or use Backend::Auto / Backend::Sched"
+                        .into(),
+                });
+            }
+        }
         Ok(Sim {
             workstations: self.workstations,
             owners,
@@ -785,6 +875,7 @@ impl SimBuilder {
             trace_cheap: self.trace_cheap,
             trace_capacity: self.trace_capacity,
             trace_filter: self.trace_filter,
+            stream_chunk: self.stream_chunk,
             workload,
         })
     }
@@ -1117,6 +1208,83 @@ mod tests {
             .shards(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn streamed_runs_match_materialized_reports() {
+        let build = |chunk: usize| {
+            let mut b = Sim::pool(8)
+                .owners(owner(0.08))
+                .workload(poisson(0.02, JobShape::new(2, 30.0)).jobs(120).warmup(20))
+                .batches(10)
+                .seed(77)
+                .replications(2);
+            if chunk > 0 {
+                b = b.stream_chunk(chunk);
+            }
+            b.run().unwrap()
+        };
+        let materialized = build(0);
+        for chunk in [1, 7, 1000] {
+            let streamed = build(chunk);
+            assert_eq!(materialized.response, streamed.response, "chunk {chunk}");
+            assert_eq!(materialized.steady_state, streamed.steady_state);
+            for (m, s) in materialized.runs.iter().zip(&streamed.runs) {
+                assert_eq!(m.makespan, s.makespan);
+                assert_eq!(m.evictions, s.evictions);
+                assert_eq!(m.delivered, s.delivered);
+                assert!(
+                    s.jobs.is_empty(),
+                    "streamed runs deliver records through the sink only"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_workloads_stream_shard_and_replay_identically() {
+        let gen = crate::sim::SyntheticTrace::datacenter(12, 400).warmup(40);
+        let owners = gen.owners(21, 0).unwrap();
+        let build = |shards: usize| {
+            Sim::pool(gen.machines())
+                .owners(owners.clone())
+                .workload(gen)
+                .stream_chunk(64)
+                .seed(21)
+                .replications(4)
+                .shards(shards)
+                .run()
+                .unwrap()
+        };
+        let serial = build(1);
+        assert_eq!(serial, build(4), "sharding must not change the report");
+        assert_eq!(serial, build(1), "replay must be byte-identical");
+        assert!(serial.steady_state.is_some(), "traces are open workloads");
+        assert!(serial.is_consistent());
+    }
+
+    #[test]
+    fn stream_chunk_rejects_incompatible_knobs() {
+        let base = || {
+            Sim::pool(4)
+                .owners(owner(0.1))
+                .workload(poisson(0.05, JobShape::new(2, 20.0)).jobs(40).warmup(4))
+                .stream_chunk(8)
+        };
+        let err = base().gang(GangPolicy::SuspendAll).build().unwrap_err();
+        assert!(matches!(err, SimError::InvalidPolicy { field: "gang", .. }));
+        let err = base().progress(1.0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidPool {
+                field: "progress",
+                ..
+            }
+        ));
+        let err = base().backend(Backend::Cluster).build().unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedBackend { .. }));
+        // The compatible configuration builds and runs.
+        assert!(base().run().unwrap().is_consistent());
     }
 
     #[test]

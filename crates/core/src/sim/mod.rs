@@ -37,11 +37,13 @@
 pub mod builder;
 pub mod error;
 pub mod report;
+pub mod trace;
 pub mod workload;
 
 pub use builder::{Backend, Flight, OwnerSpec, Sim, SimBuilder};
 pub use error::SimError;
 pub use report::{Report, ResponseStats, SteadyState};
+pub use trace::{SyntheticTrace, TraceWorkload};
 pub use workload::{
     closed, periodic, poisson, single_job, ArrivalProcess, ClosedJobs, JobShape, OpenArrivals,
     PeriodicArrivals, PoissonArrivals, Workload,

@@ -94,6 +94,80 @@ impl SteadyState {
             warmup_dropped,
         })
     }
+
+    /// Form the estimate from per-replication post-warm-up response
+    /// sequences, batching **within** each replication.
+    ///
+    /// Each replication is split into `batches` equal batches (its
+    /// trailing remainder dropped), and the Student-t interval is taken
+    /// over the pooled per-replication batch means — so no batch ever
+    /// straddles a replication boundary and the interval has
+    /// `reps x batches` degrees-of-freedom-plus-one batches. A single
+    /// replication reduces exactly to [`SteadyState::from_responses`].
+    pub(crate) fn from_replications(
+        per_rep: &[Vec<f64>],
+        batches: usize,
+        confidence: f64,
+        warmup_dropped: usize,
+    ) -> Result<Self, SimError> {
+        let [responses] = per_rep else {
+            return Self::pooled_over_replications(per_rep, batches, confidence, warmup_dropped);
+        };
+        Self::from_responses(responses, batches, confidence, warmup_dropped)
+    }
+
+    fn pooled_over_replications(
+        per_rep: &[Vec<f64>],
+        batches: usize,
+        confidence: f64,
+        warmup_dropped: usize,
+    ) -> Result<Self, SimError> {
+        if batches < 2 {
+            return Err(SimError::InvalidWorkload {
+                field: "batches",
+                reason: format!("{batches} batches cannot form an interval (need >= 2)"),
+            });
+        }
+        if per_rep.is_empty() {
+            return Err(SimError::Stats(StatsError::InsufficientData {
+                needed: batches,
+                got: 0,
+            }));
+        }
+        let mut means = Vec::with_capacity(per_rep.len() * batches);
+        let mut min_batch_size = usize::MAX;
+        for responses in per_rep {
+            let batch_size = responses.len() / batches;
+            if batch_size == 0 {
+                return Err(SimError::Stats(StatsError::InsufficientData {
+                    needed: batches,
+                    got: responses.len(),
+                }));
+            }
+            min_batch_size = min_batch_size.min(batch_size);
+            let mut collector = BatchMeans::new(batch_size)?;
+            for &r in &responses[..batch_size * batches] {
+                collector.push(r);
+            }
+            means.extend_from_slice(collector.batch_means());
+        }
+        // Each per-replication batch mean enters the pooled interval as
+        // one observation (a size-1 batch); the report's `batch_size`
+        // is patched to the underlying per-replication batch size so it
+        // keeps describing raw-response counts.
+        let mut pooled = BatchMeans::new(1)?;
+        for &m in &means {
+            pooled.push(m);
+        }
+        let mut response = pooled.report(confidence)?;
+        response.batch_size = min_batch_size;
+        let diagnostic = check_batch_independence(pooled.batch_means())?;
+        Ok(Self {
+            response,
+            diagnostic,
+            warmup_dropped,
+        })
+    }
 }
 
 /// Everything measured by one [`Sim::run`](crate::sim::Sim): one
@@ -271,6 +345,49 @@ mod tests {
         assert_eq!(s.response.batches, 10);
         assert_eq!(s.warmup_dropped, 25);
         assert!(s.diagnostic.acceptable, "constant series is independent");
+    }
+
+    #[test]
+    fn per_replication_batching_never_straddles_boundaries() {
+        // Hand-computed two-rep fixture. Each rep has 5 observations and
+        // batches = 2, so per-rep batch size is 2 and each rep's 5th
+        // observation (a deliberate outlier) is remainder and dropped:
+        //   rep A [1,2,3,4,(100)]   -> batch means [1.5, 3.5]
+        //   rep B [10,20,30,40,(1000)] -> batch means [15, 35]
+        // pooled mean = (1.5 + 3.5 + 15 + 35) / 4 = 13.75 over 4 batches.
+        // The pre-fix code concatenated both reps into one sequence of
+        // 10, making batch size 5: means [22, 220], estimate 121 — the
+        // outliers leak in and a batch straddles the rep boundary.
+        let per_rep = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 100.0],
+            vec![10.0, 20.0, 30.0, 40.0, 1000.0],
+        ];
+        let s = SteadyState::from_replications(&per_rep, 2, 0.9, 3).unwrap();
+        assert_eq!(s.response.mean, 13.75);
+        assert_eq!(s.response.batches, 4, "reps x batches pooled batches");
+        assert_eq!(s.response.batch_size, 2, "per-replication batch size");
+        assert_eq!(s.warmup_dropped, 3);
+    }
+
+    #[test]
+    fn single_replication_reduces_to_from_responses() {
+        let responses: Vec<f64> = (0..100).map(|i| f64::from(i % 13)).collect();
+        let direct = SteadyState::from_responses(&responses, 10, 0.9, 10).unwrap();
+        let via_reps = SteadyState::from_replications(&[responses], 10, 0.9, 10).unwrap();
+        assert_eq!(direct, via_reps);
+    }
+
+    #[test]
+    fn per_replication_batching_rejects_starved_reps() {
+        // Any single rep too short for one observation per batch is a
+        // typed error, even if the other reps are long.
+        let per_rep = vec![vec![1.0; 50], vec![1.0; 3]];
+        assert!(matches!(
+            SteadyState::from_replications(&per_rep, 10, 0.9, 0),
+            Err(SimError::Stats(_))
+        ));
+        assert!(SteadyState::from_replications(&per_rep, 1, 0.9, 0).is_err());
+        assert!(SteadyState::from_replications(&[], 10, 0.9, 0).is_err());
     }
 
     #[test]

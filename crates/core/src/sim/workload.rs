@@ -19,9 +19,10 @@
 //! paper's batch-means machinery over per-job response times.
 
 use crate::sim::error::SimError;
+use nds_sched::feed::{JobFeed, VecFeed};
 use nds_sched::JobSpec;
 use nds_stats::distributions::{Distribution, Exponential};
-use nds_stats::rng::StreamFactory;
+use nds_stats::rng::{StreamFactory, Xoshiro256StarStar};
 use std::fmt;
 
 /// Stream label for arrival-time sampling (kept separate from the
@@ -58,6 +59,17 @@ pub trait Workload: fmt::Debug + Send + Sync {
 
     /// Check every parameter, returning a typed error (never panic).
     fn validate(&self) -> Result<(), SimError>;
+
+    /// A streaming source of this replication's jobs: the same specs as
+    /// [`Workload::generate`], in the same order, delivered in bounded
+    /// chunks for [`SchedConfig::run_streamed`](nds_sched::SchedConfig).
+    /// The default materializes `generate` and replays it (correct for
+    /// every workload, saves nothing); workloads that can sample lazily
+    /// override this so peak memory tracks the chunk size, not the
+    /// trace length.
+    fn feed(&self, seed: u64, replication: u64) -> Result<Box<dyn JobFeed + '_>, SimError> {
+        Ok(Box::new(VecFeed::new(self.generate(seed, replication)?)))
+    }
 }
 
 /// Validate one [`JobSpec`], shared by every workload implementation.
@@ -181,14 +193,30 @@ pub trait ArrivalProcess: fmt::Debug + Send + Sync {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoissonArrivals {
     /// Arrival rate λ (jobs per time unit).
-    pub rate: f64,
+    rate: f64,
+    /// Cached sampler, built once at construction. `None` exactly when
+    /// the rate is invalid — [`ArrivalProcess::validate`] reports that
+    /// as a typed error before any sampling can happen.
+    dist: Option<Exponential>,
+}
+
+impl PoissonArrivals {
+    /// Poisson arrivals at `rate` jobs per time unit. An invalid rate
+    /// is kept (so `validate()` can report it); only sampling requires
+    /// a valid one.
+    pub fn new(rate: f64) -> Self {
+        Self {
+            rate,
+            dist: Exponential::new(rate).ok(),
+        }
+    }
 }
 
 impl ArrivalProcess for PoissonArrivals {
     fn sample_interarrival(&self, rng: &mut nds_stats::rng::Xoshiro256StarStar) -> f64 {
-        // validate() guarantees the rate is finite > 0.
-        Exponential::new(self.rate)
-            .expect("validated rate")
+        self.dist
+            .as_ref()
+            .expect("invariant: validate() accepted the rate, so the cached Exponential exists")
             .sample(rng)
     }
 
@@ -366,12 +394,56 @@ impl Workload for OpenArrivals {
         }
         Ok(())
     }
+
+    fn feed(&self, seed: u64, replication: u64) -> Result<Box<dyn JobFeed + '_>, SimError> {
+        self.validate()?;
+        Ok(Box::new(OpenFeed {
+            process: self.process.as_ref(),
+            shape: self.shape,
+            remaining: self.jobs,
+            t: 0.0,
+            rng: StreamFactory::new(seed).labeled_stream(ARRIVAL_STREAM, replication),
+        }))
+    }
+}
+
+/// The streaming counterpart of [`OpenArrivals::generate`]: the same
+/// RNG stream, the same running clock, drawn lazily — so the chunks
+/// concatenate to `generate`'s job list exactly, while only one chunk
+/// is ever resident.
+#[derive(Debug)]
+struct OpenFeed<'a> {
+    process: &'a dyn ArrivalProcess,
+    shape: JobShape,
+    remaining: usize,
+    t: f64,
+    rng: Xoshiro256StarStar,
+}
+
+impl JobFeed for OpenFeed<'_> {
+    fn next_chunk(
+        &mut self,
+        max: usize,
+        buf: &mut Vec<JobSpec>,
+    ) -> Result<usize, nds_sched::SchedError> {
+        let n = max.min(self.remaining);
+        for _ in 0..n {
+            self.t += self.process.sample_interarrival(&mut self.rng);
+            buf.push(JobSpec {
+                tasks: self.shape.tasks,
+                task_demand: self.shape.task_demand,
+                arrival: self.t,
+            });
+        }
+        self.remaining -= n;
+        Ok(n)
+    }
 }
 
 /// A Poisson job stream: `rate` jobs per time unit, each of the given
 /// shape. The ISSUE's `poisson(λ, job_spec)` helper.
 pub fn poisson(rate: f64, shape: JobShape) -> OpenArrivals {
-    OpenArrivals::new(PoissonArrivals { rate }, shape)
+    OpenArrivals::new(PoissonArrivals::new(rate), shape)
 }
 
 /// A deterministic job stream with the given inter-arrival gap.
@@ -502,5 +574,23 @@ mod tests {
     #[test]
     fn shape_total_demand() {
         assert_eq!(JobShape::new(4, 60.0).total_demand(), 240.0);
+    }
+
+    #[test]
+    fn streaming_feed_concatenates_to_generate() {
+        let w = poisson(0.05, JobShape::new(4, 60.0)).jobs(100).warmup(10);
+        let want = w.generate(42, 3).unwrap();
+        for chunk in [1usize, 7, 1000] {
+            let mut feed = w.feed(42, 3).unwrap();
+            let mut got = Vec::new();
+            while feed.next_chunk(chunk, &mut got).unwrap() > 0 {}
+            assert_eq!(got, want, "chunk {chunk} must replay generate()");
+        }
+        // The default (materializing) feed agrees too.
+        let closed_w = closed(vec![JobSpec::at_zero(4, 50.0), JobSpec::at_zero(2, 25.0)]);
+        let mut feed = closed_w.feed(0, 0).unwrap();
+        let mut got = Vec::new();
+        while feed.next_chunk(1, &mut got).unwrap() > 0 {}
+        assert_eq!(got, closed_w.generate(0, 0).unwrap());
     }
 }

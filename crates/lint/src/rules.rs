@@ -36,6 +36,13 @@ pub const SIM_CRATES: [&str; 6] = ["des", "sched", "pvm", "cluster", "model", "c
 /// allocation is banned (see `BENCH_core.json` for why).
 pub const HOT_FILES: [&str; 3] = ["calendar.rs", "simulator.rs", "pool.rs"];
 
+/// Hot modules named by path suffix — base names that would collide
+/// with cold modules elsewhere (the flight recorder and the des crate
+/// both have a `trace.rs`). `core/src/sim/trace.rs` hosts the
+/// synthetic-trace sampler and `sched/src/feed.rs` the chunked job
+/// feed, both on the streamed-replay refill path.
+pub const HOT_PATH_SUFFIXES: [&str; 2] = ["core/src/sim/trace.rs", "sched/src/feed.rs"];
+
 /// Functions in hot modules that run at setup time, not per event.
 /// Allocation there is fine without an allow.
 const COLD_FN_PREFIXES: [&str; 2] = ["with_", "from_"];
@@ -73,6 +80,7 @@ impl<'a> FileCtx<'a> {
 
     fn is_hot(&self) -> bool {
         HOT_FILES.contains(&self.base_name)
+            || HOT_PATH_SUFFIXES.iter().any(|s| self.file.ends_with(s))
     }
 
     fn diag(&self, tok: &Tok, rule: &'static str, message: String) -> Diagnostic {

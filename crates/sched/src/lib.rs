@@ -28,6 +28,11 @@
 //!   barrier-stall / degraded-mode / effective-parallelism metrics.
 //! * [`queue`] — a central job queue (FCFS and shortest-job backfill)
 //!   feeding multi-job workloads.
+//! * [`feed`] — streaming job feeds: [`simulator::SchedConfig::run_streamed`]
+//!   pulls arrivals from a [`feed::JobFeed`] in bounded chunks and
+//!   retires completed job records through a sink, so a million-job
+//!   trace runs in O(chunk + live window) memory instead of
+//!   materializing the whole `Vec<JobSpec>`.
 //! * [`metrics`] — makespan, goodput, wasted work, checkpoint
 //!   overhead, eviction/migration counts, and the work-conservation
 //!   invariant `delivered == goodput + wasted + checkpoint_overhead`.
@@ -101,6 +106,7 @@
 
 pub mod error;
 pub mod eviction;
+pub mod feed;
 pub mod gang;
 pub mod metrics;
 pub mod policy;
@@ -111,6 +117,7 @@ pub mod trace;
 
 pub use error::SchedError;
 pub use eviction::{on_eviction, EvictionOutcome, EvictionPolicy};
+pub use feed::{JobFeed, SliceFeed, VecFeed};
 pub use gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 pub use metrics::{JobRecord, SchedMetrics};
 pub use policy::{CandidateMachine, PlacementKind, PlacementPolicy};

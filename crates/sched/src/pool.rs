@@ -135,8 +135,14 @@ impl Pool {
     }
 
     fn accumulate_availability(&mut self, now: f64) {
-        self.avail_integral += (now - self.last_change) * self.free_count as f64;
-        self.last_change = now;
+        // Clamp like `UtilizationEstimator::observe`: a backwards probe
+        // (e.g. a query issued at an earlier timestamp than the last
+        // state change) must not drive the integral negative. State
+        // transitions separately `debug_assert!` monotonicity so real
+        // event-ordering bugs still surface in debug/test builds.
+        let dt = (now - self.last_change).max(0.0);
+        self.avail_integral += dt * self.free_count as f64;
+        self.last_change = self.last_change.max(now);
     }
 
     fn member_free(m: &Member) -> bool {
@@ -186,6 +192,11 @@ impl Pool {
     /// Record an owner state transition on machine `m` at time `now`.
     #[inline]
     pub fn owner_transition(&mut self, now: f64, m: usize, busy: bool) {
+        debug_assert!(
+            now >= self.last_change,
+            "owner transition at {now} precedes last pool change {}",
+            self.last_change
+        );
         self.accumulate_availability(now);
         let was_busy = self.members[m].owner_busy;
         self.members[m].estimator.observe(now, was_busy);
@@ -195,6 +206,11 @@ impl Pool {
     /// Record a guest task taking or releasing machine `m` at `now`.
     #[inline]
     pub fn set_occupied(&mut self, now: f64, m: usize, occupied: bool) {
+        debug_assert!(
+            now >= self.last_change,
+            "occupancy change at {now} precedes last pool change {}",
+            self.last_change
+        );
         self.accumulate_availability(now);
         self.transition(m, |member| member.occupied = occupied);
     }
@@ -300,6 +316,29 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn empty_pool_rejected() {
         Pool::new(0, 1.0, 100.0, &[]);
+    }
+
+    #[test]
+    fn backwards_probe_cannot_corrupt_the_integral() {
+        // Regression: `accumulate_availability` used to add the raw
+        // `now - last_change` product, so a probe at an earlier
+        // timestamp subtracted machine-time from the integral (and
+        // rewound `last_change`, double-counting the gap afterwards).
+        let mut p = Pool::new(2, 1.0, 100.0, &[]);
+        p.owner_transition(10.0, 0, true); // integral = 2*10 = 20
+        let _ = p.mean_available(5.0); // backwards probe: must be a no-op
+        let mean = p.mean_available(20.0);
+        // (2*10 + 1*10) / 20 = 1.5 — unchanged by the stale probe.
+        assert!((mean - 1.5).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "precedes last pool change")]
+    fn non_monotone_transition_asserts_in_debug() {
+        let mut p = Pool::new(1, 1.0, 100.0, &[]);
+        p.owner_transition(10.0, 0, true);
+        p.owner_transition(5.0, 0, false);
     }
 
     /// What the pre-incremental implementation rebuilt per call.

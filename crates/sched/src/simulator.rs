@@ -87,6 +87,7 @@
 
 use crate::error::SchedError;
 use crate::eviction::{on_eviction, EvictionPolicy};
+use crate::feed::JobFeed;
 use crate::gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 use crate::metrics::{JobRecord, SchedMetrics};
 use crate::policy::{
@@ -102,7 +103,7 @@ use nds_cluster::owner::OwnerWorkload;
 use nds_cluster::probe::measure_utilization;
 use nds_des::{Calendar, EventHandle, NoTrace, SimTime};
 use nds_stats::rng::{StreamFactory, Xoshiro256StarStar};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Work-remaining below which a task counts as complete (absorbs float
 /// round-off from slicing).
@@ -165,23 +166,68 @@ impl SchedConfig {
 
     /// Validate every field.
     pub fn validate(&self) -> Result<(), SchedError> {
+        self.validate_shared()?;
         let invalid = |field, reason: String| Err(SchedError::InvalidConfig { field, reason });
-        if self.owners.is_empty() {
-            return invalid("owners", "pool needs at least one machine".into());
-        }
         if self.jobs.is_empty() {
             return invalid("jobs", "need at least one job".into());
         }
         for (i, j) in self.jobs.iter().enumerate() {
-            if j.tasks == 0 {
-                return invalid("jobs", format!("job {i} has zero tasks"));
+            validate_job_spec(i, j)?;
+        }
+        if self.gang.is_on() {
+            for (i, j) in self.jobs.iter().enumerate() {
+                // All-or-nothing gangs need their full width free at
+                // once; partial gangs only their min_running floor (a
+                // wider-than-pool job then simply never leaves
+                // degraded mode).
+                let need = self.gang.floor_for(j.tasks);
+                if need as usize > self.owners.len() {
+                    return invalid(
+                        "jobs",
+                        format!(
+                            "job {i} needs {need} machines at once (gang floor) but \
+                             the pool has {}: the gang can never be co-allocated",
+                            self.owners.len()
+                        ),
+                    );
+                }
             }
-            if !(j.task_demand.is_finite() && j.task_demand > 0.0) {
-                return invalid("jobs", format!("job {i} task_demand {}", j.task_demand));
-            }
-            if !(j.arrival.is_finite() && j.arrival >= 0.0) {
-                return invalid("jobs", format!("job {i} arrival {}", j.arrival));
-            }
+        }
+        Ok(())
+    }
+
+    /// Validate for a streamed run ([`SchedConfig::run_streamed`]),
+    /// where jobs arrive from a [`JobFeed`] instead of `self.jobs`
+    /// (which is ignored on that path). Gang scheduling needs the full
+    /// job table up front for co-allocation state, so streaming
+    /// requires [`GangPolicy::Off`]; per-job fields are validated
+    /// chunk by chunk as the feed delivers them.
+    pub fn validate_streamed(&self, chunk: usize) -> Result<(), SchedError> {
+        self.validate_shared()?;
+        let invalid = |field, reason: String| Err(SchedError::InvalidConfig { field, reason });
+        if chunk == 0 {
+            return invalid(
+                "chunk",
+                "streamed runs need a chunk size of at least 1".into(),
+            );
+        }
+        if self.gang.is_on() {
+            return invalid(
+                "gang",
+                "gang scheduling needs the full job table up front; \
+                 streamed runs require GangPolicy::Off"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// The field checks shared by materialized and streamed runs —
+    /// everything except the job list.
+    fn validate_shared(&self) -> Result<(), SchedError> {
+        let invalid = |field, reason: String| Err(SchedError::InvalidConfig { field, reason });
+        if self.owners.is_empty() {
+            return invalid("owners", "pool needs at least one machine".into());
         }
         if !(self.admission_threshold.is_finite() && self.admission_threshold > 0.0) {
             return invalid(
@@ -209,25 +255,6 @@ impl SchedConfig {
         }
         if let Err((field, reason)) = self.gang.validate() {
             return invalid(field, reason);
-        }
-        if self.gang.is_on() {
-            for (i, j) in self.jobs.iter().enumerate() {
-                // All-or-nothing gangs need their full width free at
-                // once; partial gangs only their min_running floor (a
-                // wider-than-pool job then simply never leaves
-                // degraded mode).
-                let need = self.gang.floor_for(j.tasks);
-                if need as usize > self.owners.len() {
-                    return invalid(
-                        "jobs",
-                        format!(
-                            "job {i} needs {need} machines at once (gang floor) but \
-                             the pool has {}: the gang can never be co-allocated",
-                            self.owners.len()
-                        ),
-                    );
-                }
-            }
         }
         Ok(())
     }
@@ -316,19 +343,9 @@ impl SchedConfig {
             })
             .collect();
 
-        let jobs: Vec<JobState> = self
-            .jobs
-            .iter()
-            .map(|spec| JobState {
-                tasks_left: spec.tasks,
-                record: JobRecord {
-                    arrival: spec.arrival,
-                    completion: f64::NAN,
-                    demand: spec.total_demand(),
-                },
-            })
-            .collect();
+        let jobs: Vec<JobState> = self.jobs.iter().map(JobState::of_spec).collect();
         let jobs_remaining = jobs.len();
+        let jobs = JobTable::from_states(jobs);
 
         let gangs: Vec<GangState> = if self.gang.is_on() {
             self.jobs
@@ -358,7 +375,7 @@ impl SchedConfig {
                 &initial_estimates,
             ),
             queue: JobQueue::new(),
-            specs: &self.jobs,
+            specs: SpecSource::All(&self.jobs),
             jobs,
             jobs_remaining,
             placement: PlacementState::new(self.placement),
@@ -497,9 +514,284 @@ impl SchedConfig {
             },
             mean_available_machines,
             gang: gacc,
-            jobs: sim.jobs.iter().map(|j| j.record).collect(),
+            jobs: sim.jobs.records(),
         };
         Ok((metrics, events))
+    }
+
+    /// Run one replication with jobs pulled from a [`JobFeed`] in
+    /// chunks of at most `chunk`, instead of from `self.jobs` (which
+    /// this path ignores). Completed jobs leave the engine through
+    /// `on_job` — called with each job's absolute submission index and
+    /// final [`JobRecord`], in submission order — so the returned
+    /// [`SchedMetrics`] carries an empty `jobs` list and peak memory
+    /// is bounded by the chunk size plus the live job window, not the
+    /// trace length.
+    ///
+    /// Arrivals must be globally non-decreasing across the whole feed;
+    /// a violation surfaces as a typed [`SchedError::InvalidConfig`]
+    /// naming the offending job index. Gang scheduling is rejected up
+    /// front (see [`SchedConfig::validate_streamed`]). Over the same
+    /// job list, this replays [`SchedConfig::run_counted`]'s event
+    /// sequence exactly — same RNG draws, same metrics — which the
+    /// workspace's streaming byte-identity tests pin.
+    pub fn run_streamed(
+        &self,
+        feed: &mut dyn JobFeed,
+        chunk: usize,
+        on_job: &mut dyn FnMut(usize, JobRecord),
+    ) -> Result<(SchedMetrics, u64), SchedError> {
+        self.validate_streamed(chunk)?;
+        let replication = self.replication;
+        let factory = StreamFactory::new(self.seed);
+        let w = self.owners.len();
+
+        let initial_estimates: Vec<f64> = if self.calibration_horizon > 0.0 {
+            self.owners
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    let mut rng =
+                        factory.labeled_stream("sched-probe", (i as u64) << 32 | replication);
+                    measure_utilization(o, self.calibration_horizon, &mut rng).utilization
+                })
+                .collect()
+        } else {
+            Vec::new() // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
+        };
+
+        let machines: Vec<MachineSim> = self
+            .owners
+            .iter()
+            .enumerate()
+            .map(|(i, owner)| MachineSim {
+                owner,
+                rng: Xoshiro256StarStar::new(
+                    factory
+                        .labeled_stream("ws-continuous", (i as u64) << 32 | replication)
+                        .next(),
+                ),
+                guest: None,
+            })
+            .collect();
+
+        let mut sim = Sim {
+            machines,
+            pool: Pool::new(
+                w,
+                self.admission_threshold,
+                self.estimator_tau,
+                &initial_estimates,
+            ),
+            queue: JobQueue::new(),
+            specs: SpecSource::Window {
+                base: 0,
+                specs: VecDeque::with_capacity(chunk),
+            },
+            jobs: JobTable {
+                base: 0,
+                states: VecDeque::with_capacity(chunk),
+            },
+            jobs_remaining: 0,
+            placement: PlacementState::new(self.placement),
+            placement_rng: factory.labeled_stream("sched-placement", replication),
+            eviction: self.eviction,
+            gang_policy: self.gang,
+            gangs: Vec::new(), // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
+            gang_queue: GangQueue::new(),
+            machine_gang: vec![None; w],
+            growers: BTreeSet::new(),
+            gacc: GangStats::default(),
+            frag_t: 0.0,
+            frag_free: 0,
+            frag_waiting: false,
+            discipline: self.discipline,
+            acc: Acc::default(),
+            makespan: 0.0,
+            done: false,
+        };
+
+        let mut cal: Calendar<SchedEvent> = Calendar::with_capacity(w + 16);
+        for m in 0..w {
+            let mach = &mut sim.machines[m];
+            let think = mach.owner.sample_think(&mut mach.rng);
+            cal.post(
+                SimTime::new(think),
+                SchedEvent::OwnerArrival { m: m as u32 },
+            )
+            .expect("invariant: think time is non-negative");
+        }
+
+        let mut feeder = ChunkFeeder::new(chunk);
+        feeder.pull(feed, &mut sim, &mut cal)?;
+        if feeder.scheduled == 0 {
+            return Err(SchedError::InvalidConfig {
+                field: "feed",
+                reason: "need at least one job".into(),
+            });
+        }
+
+        let tracer = &mut NoTrace;
+        while cal.executed() < self.max_events {
+            let Some((t, event)) = cal.pop() else { break };
+            let now = t.as_f64();
+            match event {
+                SchedEvent::OwnerArrival { m } => {
+                    owner_arrival(&mut sim, &mut cal, now, m as usize, tracer);
+                }
+                SchedEvent::OwnerDeparture { m } => {
+                    owner_departure(&mut sim, &mut cal, now, m as usize, tracer);
+                }
+                SchedEvent::JobArrival { j } => {
+                    job_arrival(&mut sim, &mut cal, now, j as usize, tracer);
+                    // The window's last scheduled arrival just fired:
+                    // pull the next chunk *now*, while the calendar's
+                    // backlog floor is this arrival's timestamp, so the
+                    // feed's later arrivals always schedule cleanly.
+                    // `jobs_remaining >= 1` here (a job cannot complete
+                    // inside its own arrival event — completions happen
+                    // in segment-end events), so the run cannot drain
+                    // to `done` with feed jobs still unread.
+                    if j as usize + 1 == feeder.scheduled && !feeder.done {
+                        feeder.pull(feed, &mut sim, &mut cal)?;
+                    }
+                }
+                SchedEvent::SegmentEnd { m } => {
+                    segment_end(&mut sim, &mut cal, now, m as usize, tracer);
+                    sim.jobs.retire_completed(on_job);
+                }
+                SchedEvent::GangSegmentEnd { j } => {
+                    gang_segment_end(&mut sim, &mut cal, now, j as usize, tracer);
+                }
+            }
+        }
+        let events = cal.executed();
+
+        if !sim.done {
+            return Err(SchedError::EventCapExceeded {
+                max_events: self.max_events,
+                jobs_unfinished: sim.jobs_remaining,
+            });
+        }
+        sim.jobs.retire_completed(on_job);
+        let makespan = sim.makespan;
+        let mean_available_machines = sim.pool.mean_available(makespan);
+        let acc = sim.acc;
+        let gacc = sim.gacc;
+        let metrics = SchedMetrics {
+            makespan,
+            delivered: acc.delivered,
+            goodput: acc.goodput,
+            wasted: acc.wasted,
+            checkpoint_overhead: acc.ckpt,
+            evictions: acc.evictions,
+            suspensions: acc.suspensions,
+            restarts: acc.restarts,
+            migrations: acc.migrations,
+            completed_tasks: acc.completed_tasks,
+            total_demand: feeder.total_demand,
+            placements: acc.placements,
+            mean_queue_wait: if acc.placements == 0 {
+                0.0
+            } else {
+                acc.total_wait / acc.placements as f64
+            },
+            mean_available_machines,
+            gang: gacc,
+            jobs: Vec::new(), // ndslint::allow(no-alloc-in-hot-path, reason = "streamed runs deliver records through the on_job sink, not the metrics struct")
+        };
+        Ok((metrics, events))
+    }
+}
+
+/// Per-spec field checks shared by [`SchedConfig::validate`] and the
+/// streamed path's chunk intake; `i` is the job's absolute submission
+/// index, so streamed errors name the offending trace row.
+fn validate_job_spec(i: usize, j: &JobSpec) -> Result<(), SchedError> {
+    let invalid = |reason: String| {
+        Err(SchedError::InvalidConfig {
+            field: "jobs",
+            reason,
+        })
+    };
+    if j.tasks == 0 {
+        return invalid(format!("job {i} has zero tasks"));
+    }
+    if !(j.task_demand.is_finite() && j.task_demand > 0.0) {
+        return invalid(format!("job {i} task_demand {}", j.task_demand));
+    }
+    if !(j.arrival.is_finite() && j.arrival >= 0.0) {
+        return invalid(format!("job {i} arrival {}", j.arrival));
+    }
+    Ok(())
+}
+
+/// The streamed run's chunk intake: pulls bounded batches off the
+/// [`JobFeed`], validates each spec, admits it to the live window, and
+/// pushes its arrival onto the calendar's pre-sorted backlog.
+struct ChunkFeeder {
+    chunk: usize,
+    buf: Vec<JobSpec>,
+    /// Total arrivals scheduled so far == the next absolute job index.
+    scheduled: usize,
+    /// The feed returned an empty chunk; never poll it again.
+    done: bool,
+    total_demand: f64,
+}
+
+impl ChunkFeeder {
+    fn new(chunk: usize) -> Self {
+        Self {
+            chunk,
+            buf: Vec::with_capacity(chunk),
+            scheduled: 0,
+            done: false,
+            total_demand: 0.0,
+        }
+    }
+
+    fn pull(
+        &mut self,
+        feed: &mut dyn JobFeed,
+        sim: &mut Sim<'_>,
+        cal: &mut Calendar<SchedEvent>,
+    ) -> Result<(), SchedError> {
+        self.buf.clear();
+        let n = feed.next_chunk(self.chunk, &mut self.buf)?;
+        if n == 0 {
+            self.done = true;
+            return Ok(());
+        }
+        let SpecSource::Window { specs: window, .. } = &mut sim.specs else {
+            unreachable!("streamed runs always use a window spec source");
+        };
+        for (k, spec) in self.buf.iter().enumerate() {
+            validate_job_spec(self.scheduled + k, spec)?;
+            window.push_back(*spec);
+            sim.jobs.push_back(JobState::of_spec(spec));
+            self.total_demand += spec.total_demand();
+        }
+        sim.jobs_remaining += n;
+        let base = self.scheduled;
+        cal.schedule_sorted(self.buf.iter().enumerate().map(|(k, spec)| {
+            (
+                SimTime::new(spec.arrival),
+                SchedEvent::JobArrival {
+                    j: (base + k) as u32,
+                },
+            )
+        }))
+        .map_err(|e| SchedError::InvalidConfig {
+            field: "feed",
+            reason: format!(
+                "arrivals must be non-decreasing across the whole feed \
+                 (jobs {}..{}): {e}",
+                base,
+                base + n
+            ),
+        })?;
+        self.scheduled += n;
+        Ok(())
     }
 }
 
@@ -620,6 +912,103 @@ struct JobState {
     record: JobRecord,
 }
 
+impl JobState {
+    fn of_spec(spec: &JobSpec) -> Self {
+        Self {
+            tasks_left: spec.tasks,
+            record: JobRecord {
+                arrival: spec.arrival,
+                completion: f64::NAN,
+                demand: spec.total_demand(),
+            },
+        }
+    }
+}
+
+/// Where `job_arrival` reads job specs from: the config's materialized
+/// job table (classic path), or a sliding window fed chunk by chunk by
+/// a [`JobFeed`] (streamed path). In the window case arrivals fire in
+/// submission order — sorted times, sequentially allocated calendar
+/// sequence numbers — so the arriving job is always the window's
+/// front, and its spec retires the moment it is consumed.
+#[derive(Debug)]
+enum SpecSource<'a> {
+    All(&'a [JobSpec]),
+    Window {
+        base: usize,
+        specs: VecDeque<JobSpec>,
+    },
+}
+
+impl SpecSource<'_> {
+    #[inline]
+    fn take(&mut self, j: usize) -> JobSpec {
+        match self {
+            Self::All(specs) => specs[j],
+            Self::Window { base, specs } => {
+                debug_assert_eq!(*base, j, "streamed arrivals fire in submission order");
+                *base += 1;
+                specs
+                    .pop_front()
+                    .expect("invariant: a scheduled arrival's spec is resident in the window")
+            }
+        }
+    }
+}
+
+/// Per-job live state addressed by absolute job index. The classic
+/// path holds every job for the whole run (`base == 0`, nothing ever
+/// retires — bit-identical to the old `Vec<JobState>`); the streamed
+/// path retires the completed prefix in submission order, emitting each
+/// [`JobRecord`] to the caller's sink, so residency tracks the live job
+/// window instead of the experiment length.
+#[derive(Debug)]
+struct JobTable {
+    base: usize,
+    states: VecDeque<JobState>,
+}
+
+impl JobTable {
+    fn from_states(states: Vec<JobState>) -> Self {
+        Self {
+            base: 0,
+            states: VecDeque::from(states),
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, j: usize) -> &mut JobState {
+        &mut self.states[j - self.base]
+    }
+
+    #[inline]
+    fn push_back(&mut self, state: JobState) {
+        self.states.push_back(state);
+    }
+
+    /// Pop completed jobs off the front (submission order), handing
+    /// each absolute index + record to `on_job`. Stops at the first
+    /// still-running job — records are therefore emitted in submission
+    /// order, and a straggler only delays emission, never drops it.
+    fn retire_completed(&mut self, on_job: &mut dyn FnMut(usize, JobRecord)) {
+        while let Some(front) = self.states.front() {
+            if front.tasks_left > 0 {
+                return;
+            }
+            let state = self
+                .states
+                .pop_front()
+                .expect("invariant: front() was Some in the loop guard");
+            on_job(self.base, state.record);
+            self.base += 1;
+        }
+    }
+
+    fn records(&self) -> Vec<JobRecord> {
+        self.states.iter().map(|s| s.record).collect()
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Acc {
     delivered: f64,
@@ -738,8 +1127,8 @@ struct Sim<'a> {
     machines: Vec<MachineSim<'a>>,
     pool: Pool,
     queue: JobQueue,
-    specs: &'a [JobSpec],
-    jobs: Vec<JobState>,
+    specs: SpecSource<'a>,
+    jobs: JobTable,
     jobs_remaining: usize,
     placement: PlacementState,
     placement_rng: Xoshiro256StarStar,
@@ -910,7 +1299,7 @@ fn segment_end<T: SchedTracer>(
             },
         );
     }
-    let job = &mut sim.jobs[guest.job];
+    let job = sim.jobs.get_mut(guest.job);
     job.tasks_left -= 1;
     if job.tasks_left == 0 {
         job.record.completion = now;
@@ -946,7 +1335,7 @@ fn job_arrival<T: SchedTracer>(
     j: usize,
     tracer: &mut T,
 ) {
-    let spec = sim.specs[j];
+    let spec = sim.specs.take(j);
     if T::ENABLED {
         tracer.record(now, SchedRecord::JobArrival { job: j as u32 });
     }
@@ -1840,7 +2229,7 @@ fn gang_segment_end<T: SchedTracer>(
     // rate).
     sim.acc.goodput += f64::from(width) * demand;
     sim.acc.completed_tasks += u64::from(width);
-    let job = &mut sim.jobs[j];
+    let job = sim.jobs.get_mut(j);
     job.tasks_left = 0;
     job.record.completion = now;
     sim.jobs_remaining -= 1;
@@ -2283,5 +2672,112 @@ mod tests {
         assert_eq!(m.makespan, m.jobs[0].completion.max(m.jobs[1].completion));
         assert!(m.mean_available_machines > 0.0);
         assert!(m.mean_available_machines <= 6.0);
+    }
+
+    /// A sorted multi-job workload whose arrival instants (multiples of
+    /// 13.7) cannot collide with owner events (continuous exponential
+    /// draws), so streamed chunk boundaries never hit an exact-time tie.
+    fn streaming_config() -> SchedConfig {
+        let jobs: Vec<JobSpec> = (0u32..40)
+            .map(|i| JobSpec {
+                tasks: 1 + (i % 3),
+                task_demand: 20.0 + f64::from(i % 5) * 7.5,
+                arrival: f64::from(i) * 13.7,
+            })
+            .collect();
+        let mut cfg = SchedConfig::homogeneous(6, &owner(0.15), jobs);
+        cfg.seed = 4242;
+        cfg
+    }
+
+    #[test]
+    fn streamed_run_replays_materialized_byte_for_byte() {
+        use crate::feed::SliceFeed;
+        let cfg = streaming_config();
+        let (want, want_events) = cfg.run_counted().unwrap();
+        for chunk in [1usize, 7, 1000] {
+            let mut feed = SliceFeed::new(&cfg.jobs);
+            let mut records = Vec::new();
+            let mut next = 0usize;
+            let (mut got, events) = cfg
+                .run_streamed(&mut feed, chunk, &mut |j, r| {
+                    assert_eq!(j, next, "records retire in submission order");
+                    next += 1;
+                    records.push(r);
+                })
+                .unwrap();
+            assert!(got.jobs.is_empty(), "streamed metrics carry no job table");
+            got.jobs = records;
+            assert_eq!(got, want, "chunk {chunk} diverged from materialized run");
+            assert_eq!(events, want_events, "chunk {chunk} executed extra events");
+        }
+    }
+
+    #[test]
+    fn streamed_run_rejects_regressing_feeds_and_bad_specs() {
+        use crate::feed::{SliceFeed, VecFeed};
+        let cfg = streaming_config();
+        // Arrival regression across a chunk boundary is a typed error.
+        let jobs = vec![
+            JobSpec {
+                tasks: 1,
+                task_demand: 10.0,
+                arrival: 50.0,
+            },
+            JobSpec {
+                tasks: 1,
+                task_demand: 10.0,
+                arrival: 25.0,
+            },
+        ];
+        for chunk in [1usize, 2] {
+            let mut feed = VecFeed::new(jobs.clone());
+            let err = cfg
+                .run_streamed(&mut feed, chunk, &mut |_, _| {})
+                .unwrap_err();
+            assert!(
+                matches!(err, SchedError::InvalidConfig { field: "feed", .. }),
+                "chunk {chunk}: {err}"
+            );
+        }
+        // A bad spec is named by its absolute submission index.
+        let mut feed = VecFeed::new(vec![
+            JobSpec {
+                tasks: 1,
+                task_demand: 10.0,
+                arrival: 0.0,
+            },
+            JobSpec {
+                tasks: 1,
+                task_demand: f64::NAN,
+                arrival: 1.0,
+            },
+        ]);
+        match cfg.run_streamed(&mut feed, 8, &mut |_, _| {}).unwrap_err() {
+            SchedError::InvalidConfig {
+                field: "jobs",
+                reason,
+            } => assert!(reason.contains("job 1"), "{reason}"),
+            other => panic!("unexpected error {other}"),
+        }
+        // Empty feeds, gang configs, and zero chunks are rejected.
+        let mut empty = VecFeed::new(Vec::new());
+        assert!(matches!(
+            cfg.run_streamed(&mut empty, 8, &mut |_, _| {}).unwrap_err(),
+            SchedError::InvalidConfig { field: "feed", .. }
+        ));
+        let mut gang_cfg = cfg.clone();
+        gang_cfg.gang = GangPolicy::SuspendAll;
+        assert!(matches!(
+            gang_cfg
+                .run_streamed(&mut SliceFeed::new(&cfg.jobs), 8, &mut |_, _| {})
+                .unwrap_err(),
+            SchedError::InvalidConfig { field: "gang", .. }
+        ));
+        assert!(matches!(
+            cfg.run_streamed(&mut SliceFeed::new(&cfg.jobs), 0, &mut |_, _| {})
+                .unwrap_err(),
+            SchedError::InvalidConfig { field: "chunk", .. }
+        ));
     }
 }

@@ -421,6 +421,96 @@ impl Distribution for UniformRange {
     }
 }
 
+/// Bounded (truncated) Pareto on `[low, high)` with shape `alpha`.
+///
+/// The canonical heavy-tailed job-size model for datacenter traces:
+/// most jobs are near `low`, a rare few approach `high`, and — unlike
+/// the unbounded Pareto — every moment is finite, so trace generators
+/// stay reproducible and summable. Sampling is by inverse CDF and
+/// consumes exactly one uniform per draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    alpha: f64,
+    low: f64,
+    high: f64,
+}
+
+impl BoundedPareto {
+    /// Bounded Pareto with shape `alpha > 0` on `0 < low < high`.
+    pub fn new(alpha: f64, low: f64, high: f64) -> Result<Self, StatsError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !low.is_finite() || low <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "low",
+                value: low,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !high.is_finite() || high <= low {
+            return Err(StatsError::InvalidParameter {
+                name: "high",
+                value: high,
+                constraint: "must be finite and > low",
+            });
+        }
+        Ok(Self { alpha, low, high })
+    }
+
+    /// The tail index.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The lower support bound.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// The upper support bound.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Raw moment `E[X^k]`: the density is
+    /// `α L^α x^(-α-1) / (1 - (L/H)^α)` on `[L, H]`, so the integral
+    /// `∫ x^(k-α-1) dx` is logarithmic exactly at `α == k`.
+    fn raw_moment(&self, k: f64) -> f64 {
+        let (a, l, h) = (self.alpha, self.low, self.high);
+        let norm = a * l.powf(a) / (1.0 - (l / h).powf(a));
+        if (a - k).abs() < 1e-12 {
+            norm * (h / l).ln() / l.powf(a - k)
+        } else {
+            norm * (h.powf(k - a) - l.powf(k - a)) / (k - a)
+        }
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        // Inverse CDF: F(x) = (1 - (L/x)^α) / (1 - (L/H)^α). With
+        // u in [0, 1) the radicand stays in ((L/H)^α, 1], so the
+        // sample lands in [L, H) without clamping.
+        let u = rng.next_f64();
+        let scale = 1.0 - (self.low / self.high).powf(self.alpha);
+        self.low / (1.0 - u * scale).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.raw_moment(2.0) - m * m
+    }
+}
+
 /// Finite mixture of distributions with normalized weights.
 ///
 /// Models the "long-running workstation owner jobs" extension: e.g. 99%
@@ -684,6 +774,57 @@ mod tests {
     fn uniform_rejects_inverted() {
         assert!(UniformRange::new(5.0, 5.0).is_err());
         assert!(UniformRange::new(6.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn bounded_pareto_moments_and_support() {
+        let d = BoundedPareto::new(1.5, 1.0, 1000.0).unwrap();
+        let s = sample_stats(&d, 400_000, 31);
+        assert!(
+            (s.mean() - d.mean()).abs() < 0.05 * d.mean(),
+            "mean {} vs analytic {}",
+            s.mean(),
+            d.mean()
+        );
+        assert!(d.variance() > 0.0);
+        assert!(d.cv2() > 1.0, "α=1.5 over three decades is heavy-tailed");
+        let mut rng = Xoshiro256StarStar::new(13);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..1000.0).contains(&x), "sample {x} escaped [L, H)");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_logarithmic_shapes_are_finite() {
+        // α == 1 makes the mean integral logarithmic, α == 2 the second
+        // moment: both closed forms must stay finite, and match a
+        // nearby non-degenerate shape.
+        for alpha in [1.0, 2.0] {
+            let d = BoundedPareto::new(alpha, 2.0, 50.0).unwrap();
+            let near = BoundedPareto::new(alpha + 1e-9, 2.0, 50.0).unwrap();
+            assert!(d.mean().is_finite() && d.variance().is_finite());
+            assert!((d.mean() - near.mean()).abs() < 1e-5 * d.mean());
+            assert!((d.variance() - near.variance()).abs() < 1e-4 * d.variance());
+            let s = sample_stats(&d, 200_000, 37);
+            assert!(
+                (s.mean() - d.mean()).abs() < 0.05 * d.mean(),
+                "α={alpha}: mean {} vs analytic {}",
+                s.mean(),
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_rejects_bad_params() {
+        assert!(BoundedPareto::new(0.0, 1.0, 10.0).is_err());
+        assert!(BoundedPareto::new(f64::NAN, 1.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.5, 0.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.5, -1.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.5, 5.0, 5.0).is_err());
+        assert!(BoundedPareto::new(1.5, 5.0, 2.0).is_err());
+        assert!(BoundedPareto::new(1.5, 1.0, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod summary;
 
 pub use batch_means::{BatchMeans, BatchMeansReport};
 pub use distributions::{
-    ClosedForm, Deterministic, Distribution, Erlang, Exponential, Geometric, Hyperexponential,
-    Mixture, Shifted, UniformRange,
+    BoundedPareto, ClosedForm, Deterministic, Distribution, Erlang, Exponential, Geometric,
+    Hyperexponential, Mixture, Shifted, UniformRange,
 };
 pub use error::StatsError;
 pub use histogram::Histogram;

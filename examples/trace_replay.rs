@@ -1,0 +1,96 @@
+//! Trace-driven workloads: synthesize a datacenter day, serialize it,
+//! reload it, and stream it through the engine in bounded chunks.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay [OUT.csv]
+//! ```
+//!
+//! The paper's workloads are parametric (one closed job, a Poisson
+//! stream). Real pools are driven by *traces*: a recorded or
+//! synthesized sequence of `(arrival, tasks, task_demand)` rows. This
+//! example walks the whole loop:
+//!
+//! 1. generate one synthetic day — diurnal sinusoid arrivals,
+//!    bounded-Pareto job sizes, hot/cool owner machines
+//!    (`SyntheticTrace`);
+//! 2. serialize it to CSV and parse it back, byte-exactly
+//!    (`TraceWorkload`) — pass a path argument to keep the file (the
+//!    committed fixture `tests/data/datacenter_small.csv` was written
+//!    by exactly this program);
+//! 3. replay it through `Sim` with `.stream_chunk(..)`, which pulls
+//!    the trace lazily in O(chunk) memory, and check the streamed
+//!    report matches the materialized run.
+
+use nds::core::report::Table;
+use nds::core::sim::{Sim, SyntheticTrace, TraceWorkload, Workload};
+
+const SEED: u64 = 7;
+
+fn main() {
+    // 1. One synthetic day of a small pool: 8 machines, 60 jobs.
+    let generator = SyntheticTrace::datacenter(8, 60).warmup(6);
+    let owners = generator.owners(SEED, 0).expect("valid owner mix");
+    let trace = generator.to_trace(SEED, 0).expect("valid generator");
+
+    // 2. Round-trip through the CSV interchange format.
+    let csv = trace.to_csv_string();
+    let reloaded = TraceWorkload::from_csv_str(&csv).expect("own output parses");
+    assert_eq!(
+        trace.jobs(),
+        reloaded.jobs(),
+        "serialize -> parse is exact (shortest-representation floats)"
+    );
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &csv).expect("fixture path is writable");
+        println!("wrote {} trace rows to {path}\n", trace.jobs().len());
+    }
+
+    // 3. Stream the reloaded trace vs materialize it: same report.
+    let run = |chunk: usize| {
+        let mut sim = Sim::pool(generator.machines())
+            .owners(owners.clone())
+            .workload(reloaded.clone().warmup(6))
+            .batches(6)
+            .seed(SEED);
+        if chunk > 0 {
+            sim = sim.stream_chunk(chunk);
+        }
+        sim.run().expect("replay completes")
+    };
+    let materialized = run(0);
+    let streamed = run(16);
+    assert_eq!(
+        materialized.response, streamed.response,
+        "streaming is a pure execution strategy: identical statistics"
+    );
+    assert_eq!(materialized.steady_state, streamed.steady_state);
+
+    let mut table = Table::new(format!(
+        "one synthetic day replayed from CSV ({}, streamed in chunks of 16)",
+        generator.label()
+    ))
+    .headers(["metric", "value"]);
+    let ss = streamed.steady_state.as_ref().expect("traces are open");
+    table.row(["trace rows", &trace.jobs().len().to_string()]);
+    table.row([
+        "steady-state mean response",
+        &format!("{:.1}", ss.response.mean),
+    ]);
+    table.row([
+        "90% CI",
+        &format!("[{:.1}, {:.1}]", ss.response.lower(), ss.response.upper()),
+    ]);
+    table.row(["mean makespan", &format!("{:.1}", streamed.mean_makespan())]);
+    table.row([
+        "goodput fraction",
+        &format!("{:.4}", streamed.mean_goodput_fraction()),
+    ]);
+    print!("{}", table.render());
+
+    println!(
+        "\nThe streamed replay never held more than 16 job specs in memory,\n\
+         yet its report is byte-identical to the materialized run — the\n\
+         property that lets `nds replay` and `ext_trace` push million-job\n\
+         traces through the engine."
+    );
+}

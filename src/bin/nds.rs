@@ -9,13 +9,17 @@
 //! nds stream --rate 0.02 --utilization 0.10 --jobs 400
 //! nds gang --gang-size 8 --utilization 0.10 --gang suspend-all
 //! nds trace sched --out traces
+//! nds replay cluster_day.csv --machines 64 --chunk 4096
 //! ```
 
 use nds::cluster::OwnerWorkload;
 use nds::core::conclusions::check_all_conclusions;
 use nds::core::prelude::*;
 use nds::core::report::Table;
-use nds::core::sim::{closed, poisson, Backend, Flight, JobShape, Sim, SimBuilder, SimError};
+use nds::core::sim::{
+    closed, poisson, Backend, Flight, JobShape, Sim, SimBuilder, SimError, SyntheticTrace,
+    TraceWorkload,
+};
 use nds::model::sensitivity::elasticities;
 use nds::model::solver::required_task_ratio;
 
@@ -30,6 +34,7 @@ fn main() {
         Some("stream") => cmd_stream(&args[1..]),
         Some("gang") => cmd_gang(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("diff-trace") => cmd_diff_trace(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -79,6 +84,17 @@ fn print_usage() {
          \x20             [--metrics-every T] [--cheap] [--trace-capacity N]\n\
          \x20                                 flight-record a scenario: JSONL event trace,\n\
          \x20                                 Chrome/Perfetto JSON, metrics + profile JSON\n\
+         \x20                                 (records engine events; to replay a job\n\
+         \x20                                 trace as a workload, see `replay` below)\n\
+         \x20 replay      [FILE.csv|FILE.jsonl] [--machines M] [--jobs N] [--warmup K]\n\
+         \x20             [--chunk C] [--utilization U] [--owner-demand O] [--batches B]\n\
+         \x20             [--seed S] [--reps R] [--shards P] [--max-events E]\n\
+         \x20                                 replay a job trace through the streaming\n\
+         \x20                                 engine in O(chunk) memory; with no FILE,\n\
+         \x20                                 a synthetic datacenter day (diurnal\n\
+         \x20                                 arrivals, Pareto sizes, hot/cool owners);\n\
+         \x20                                 unrelated to `trace` above, which records\n\
+         \x20                                 the engine's own event log\n\
          \x20 diff-trace  A B [--context K]   first divergence between two JSONL traces\n\
          \x20 help                            this message\n\n\
          sched/stream/gang also accept --trace DIR (record the run's flight data\n\
@@ -1050,6 +1066,148 @@ fn cmd_trace(args: &[String]) -> i32 {
          rep*.metrics.json, rep*.profile.json under {out}/"
     );
     i32::from(!ok)
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    // Optional leading positional: a CSV/JSONL trace file to replay.
+    // Without one, the synthetic datacenter day of
+    // `Scenario::DatacenterTrace` (diurnal arrivals, bounded-Pareto
+    // sizes, hot/cool owners). Either way the workload streams through
+    // the engine in `--chunk`-sized batches, never materialized.
+    // (`nds trace` is the unrelated flight recorder: it writes the
+    // engine's own event log.)
+    let (file, rest): (Option<&str>, &[String]) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.as_str()), &args[1..]),
+        _ => (None, args),
+    };
+    let scenario = Scenario::DatacenterTrace;
+    let default_chunk = scenario.trace_stream_chunk().expect("trace scenario") as u64;
+    let default_machines = u64::from(scenario.workstations()[0]);
+    let parsed = (|| -> Result<_, String> {
+        let warmup = match string_flag(rest, "--warmup") {
+            None => None,
+            Some(_) => Some(int_flag(rest, "--warmup", 0, 1 << 32)? as usize),
+        };
+        Ok((
+            // File replays default to the paper's 16-station pool; the
+            // synthetic day defaults to the scenario's 64 machines.
+            int_flag(
+                rest,
+                "--machines",
+                if file.is_some() { 16 } else { default_machines },
+                u64::from(u32::MAX),
+            )? as u32,
+            int_flag(rest, "--jobs", 1_200, 1 << 32)? as usize,
+            int_flag(rest, "--chunk", default_chunk, 1 << 32)?.max(1) as usize,
+            warmup,
+            int_flag(rest, "--batches", 20, 1 << 16)? as usize,
+            int_flag(rest, "--seed", 0x5EED, u64::MAX)?,
+            int_flag(rest, "--reps", 1, 1 << 20)?.max(1),
+            int_flag(rest, "--shards", 1, 1 << 10)?.max(1) as usize,
+            int_flag(rest, "--max-events", 200_000_000, u64::MAX)?,
+        ))
+    })();
+    let (machines, jobs, chunk, warmup, batches, seed, reps, shards, max_events) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return 2;
+        }
+    };
+    let u = flag(rest, "--utilization").unwrap_or(0.10);
+    let o = flag(rest, "--owner-demand").unwrap_or(10.0);
+
+    let built: Result<(Sim, String), SimError> = (|| {
+        let base = Sim::pool(machines)
+            .stream_chunk(chunk)
+            .seed(seed)
+            .replications(reps)
+            .shards(shards)
+            .batches(batches)
+            .max_events(max_events);
+        match file {
+            Some(path) => {
+                // File traces carry no owner model, so the pool is
+                // homogeneous at the --utilization / --owner-demand
+                // behaviour.
+                let mut workload = TraceWorkload::from_path(path)?;
+                if let Some(k) = warmup {
+                    workload = workload.warmup(k);
+                }
+                let owner =
+                    OwnerWorkload::continuous_exponential(o, u).map_err(SimError::Cluster)?;
+                let label = format!("{path} on {machines} homogeneous machines (U={u}, O={o})");
+                Ok((base.owners(owner).workload(workload).build()?, label))
+            }
+            None => {
+                let mut generator = SyntheticTrace::datacenter(machines, jobs);
+                if let Some(k) = warmup {
+                    generator = generator.warmup(k);
+                }
+                let owners = generator.owners(seed, 0)?;
+                let label = format!("synthetic datacenter day, {machines} machines x {jobs} jobs");
+                Ok((base.owners(owners).workload(generator).build()?, label))
+            }
+        }
+    })();
+    let (sim, what) = match built {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return sim_error_code(&e);
+        }
+    };
+    let report = match sim.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return sim_error_code(&e);
+        }
+    };
+
+    let mut t = Table::new(format!(
+        "trace replay: {what}, streamed in chunks of {chunk} ({reps} reps)"
+    ))
+    .headers(["metric", "value"]);
+    if let Some(ss) = &report.steady_state {
+        t.row([
+            "steady-state mean response",
+            &format!("{:.1}", ss.response.mean),
+        ]);
+        t.row([
+            "confidence interval",
+            &format!("[{:.1}, {:.1}]", ss.response.lower(), ss.response.upper()),
+        ]);
+        t.row([
+            "batches x batch size",
+            &format!("{} x {}", ss.response.batches, ss.response.batch_size),
+        ]);
+    }
+    t.row([
+        "observed jobs (post warm-up)",
+        &report.response.jobs.to_string(),
+    ]);
+    t.row([
+        "fastest / slowest response",
+        &format!("{:.1} / {:.1}", report.response.min, report.response.max),
+    ]);
+    t.row(["mean makespan", &format!("{:.1}", report.mean_makespan())]);
+    t.row([
+        "goodput fraction",
+        &format!("{:.4}", report.mean_goodput_fraction()),
+    ]);
+    t.row([
+        "mean queue wait",
+        &format!("{:.2}", report.mean_queue_wait()),
+    ]);
+    t.row(["evictions", &format!("{:.1}", report.mean_evictions())]);
+    print!("{}", t.render());
+    let consistent = report.is_consistent();
+    println!(
+        "\nwork conservation (delivered == goodput + wasted + ckpt): {}",
+        if consistent { "holds" } else { "VIOLATED" }
+    );
+    i32::from(!consistent)
 }
 
 /// Where two JSONL traces first stop agreeing, with enough context to

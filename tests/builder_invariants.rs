@@ -172,6 +172,60 @@ fn every_workload_shape_conserves_work() {
 }
 
 #[test]
+fn steady_state_batches_within_each_replication() {
+    // Regression: batch means used to be formed over the concatenation
+    // of all replications' responses, so batches straddled replication
+    // boundaries. The interval must instead pool per-replication batch
+    // means — recomputed here by hand from the engine's own job records.
+    let reps = 3usize;
+    let batches = 5usize;
+    let warmup = 20usize;
+    let report = Sim::pool(8)
+        .owners(owner(0.10))
+        .workload(
+            poisson(0.02, JobShape::new(2, 40.0))
+                .jobs(120)
+                .warmup(warmup),
+        )
+        .batches(batches)
+        .replications(reps as u64)
+        .seed(7)
+        .run()
+        .unwrap();
+    let ss = report
+        .steady_state
+        .expect("open workloads report steady state");
+    assert_eq!(
+        ss.response.batches,
+        reps * batches,
+        "each replication contributes its own batches"
+    );
+    assert_eq!(ss.warmup_dropped, warmup, "warm-up is per replication");
+    let mut pooled_means = Vec::new();
+    for m in &report.runs {
+        let responses: Vec<f64> = m
+            .jobs
+            .iter()
+            .skip(warmup)
+            .map(|j| j.completion - j.arrival)
+            .collect();
+        let batch_size = responses.len() / batches;
+        assert_eq!(ss.response.batch_size, batch_size);
+        for b in 0..batches {
+            let batch = &responses[b * batch_size..(b + 1) * batch_size];
+            pooled_means.push(batch.iter().sum::<f64>() / batch_size as f64);
+        }
+    }
+    let expected = pooled_means.iter().sum::<f64>() / pooled_means.len() as f64;
+    assert!(
+        (ss.response.mean - expected).abs() <= 1e-12 * expected,
+        "steady-state mean {} != per-replication pooled mean {}",
+        ss.response.mean,
+        expected
+    );
+}
+
+#[test]
 fn open_stream_steady_state_is_reproducible_and_sane() {
     let run = || {
         Sim::pool(8)
