@@ -52,6 +52,7 @@ fn config(owners: Vec<nds_cluster::owner::OwnerWorkload>, replication: u64) -> S
         placement: PlacementKind::LeastLoaded,
         eviction: EvictionPolicy::SuspendResume,
         gang: GangPolicy::Off,
+        failures: None,
         discipline: QueueDiscipline::Fcfs,
         admission_threshold: 1.0,
         estimator_tau: 1_000.0,

@@ -30,7 +30,8 @@ pub use nds_model::metrics::{evaluate, FeasibilityMetrics, Metrics};
 pub use nds_model::params::{ModelInputs, OwnerParams, Workload};
 pub use nds_pvm::harness::ValidationHarness;
 pub use nds_sched::{
-    EvictionPolicy, GangPolicy, GangStats, JobSpec, PlacementKind, QueueDiscipline,
+    EvictionPolicy, FailureModel, GangPolicy, GangStats, JobSpec, Lifetime, PlacementKind,
+    QueueDiscipline,
 };
 pub use nds_stats::rng::Xoshiro256StarStar;
 

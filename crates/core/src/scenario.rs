@@ -9,7 +9,7 @@
 
 use crate::sim::{closed, poisson, JobShape, Sim, SimBuilder, SyntheticTrace};
 use nds_cluster::owner::OwnerWorkload;
-use nds_sched::{GangPolicy, JobSpec};
+use nds_sched::{EvictionPolicy, FailureModel, GangPolicy, JobSpec};
 
 /// Default owner demand used throughout the paper's analysis section.
 pub const OWNER_DEMAND: f64 = 10.0;
@@ -54,6 +54,15 @@ pub enum Scenario {
     /// between independent tasks and all-or-nothing gangs, swept via
     /// [`Scenario::partial_fracs`].
     GangPool,
+    /// Extension: **machine failure injection** — the scheduler pool
+    /// under per-machine crash/repair processes, swept across MTBF and
+    /// eviction policy to chart the goodput-vs-availability frontier
+    /// (see the `nds-sched` `failure` module, the `ext_faults` binary,
+    /// and `examples/faults.rs`). A crash destroys the running guest's
+    /// unprotected progress whatever the policy; only checkpointed
+    /// work survives, so the frontier separates policies that merely
+    /// tolerate benign reclaims from ones that tolerate machine loss.
+    FaultyPool,
     /// Extension: a **trace-driven datacenter** — one synthetic day of
     /// a 64-station cluster (diurnal sinusoid arrivals, bounded-Pareto
     /// job sizes, hot/cool owner populations) streamed through the
@@ -75,7 +84,10 @@ impl Scenario {
             Scenario::TaskRatioAt60 => vec![60],
             Scenario::TaskRatioBySize => vec![2, 4, 8, 20, 60, 100],
             Scenario::PvmValidation => (1..=12).collect(),
-            Scenario::SchedulerPool | Scenario::OpenStream | Scenario::GangPool => vec![16],
+            Scenario::SchedulerPool
+            | Scenario::OpenStream
+            | Scenario::GangPool
+            | Scenario::FaultyPool => vec![16],
             Scenario::DatacenterTrace => vec![64],
         }
     }
@@ -88,6 +100,9 @@ impl Scenario {
             Scenario::SchedulerPool | Scenario::OpenStream | Scenario::GangPool => {
                 vec![0.05, 0.10, 0.20]
             }
+            // One owner temperature: the faulty-pool sweep spends its
+            // axes on MTBF x eviction policy instead.
+            Scenario::FaultyPool => vec![0.10],
             // The cool and hot owner populations of the synthetic day.
             Scenario::DatacenterTrace => vec![0.05, 0.30],
             _ => UTILIZATIONS.to_vec(),
@@ -141,6 +156,7 @@ impl Scenario {
             Scenario::SchedulerPool => "Extension (scheduler pool, W = 16)",
             Scenario::OpenStream => "Extension (open Poisson stream, W = 16)",
             Scenario::GangPool => "Extension (gang co-allocation, W = 16)",
+            Scenario::FaultyPool => "Extension (machine failure injection, W = 16)",
             Scenario::DatacenterTrace => "Extension (trace-driven datacenter, W = 64)",
         }
     }
@@ -149,7 +165,7 @@ impl Scenario {
     /// defines one.
     pub fn sched_task_demand(&self) -> Option<f64> {
         match self {
-            Scenario::SchedulerPool => Some(120.0),
+            Scenario::SchedulerPool | Scenario::FaultyPool => Some(120.0),
             _ => None,
         }
     }
@@ -158,7 +174,7 @@ impl Scenario {
     /// for scheduler scenarios.
     pub fn sched_job_mix(&self) -> Option<(u32, u32, f64)> {
         match self {
-            Scenario::SchedulerPool => Some((4, 16, 50.0)),
+            Scenario::SchedulerPool | Scenario::FaultyPool => Some((4, 16, 50.0)),
             _ => None,
         }
     }
@@ -228,6 +244,64 @@ impl Scenario {
         }
     }
 
+    /// The failure model of the fault-injection scenario: the middle
+    /// point of the [`Scenario::failure_mtbfs`] sweep with the shared
+    /// repair time.
+    pub fn failure_model(&self) -> Option<FailureModel> {
+        match self {
+            Scenario::FaultyPool => {
+                let mtbfs = self.failure_mtbfs();
+                let mid = mtbfs[mtbfs.len() / 2];
+                Some(
+                    FailureModel::exponential(mid, self.failure_mttr()?)
+                        .expect("scenario lifetimes are positive"),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// MTBF values swept by the `ext_faults` experiment, from
+    /// crash-dominated (a machine dies about once per job segment) to
+    /// nearly reliable.
+    pub fn failure_mtbfs(&self) -> Vec<f64> {
+        match self {
+            Scenario::FaultyPool => vec![60.0, 120.0, 300.0, 1_200.0, 6_000.0],
+            _ => vec![],
+        }
+    }
+
+    /// Mean repair time of the fault-injection scenario.
+    pub fn failure_mttr(&self) -> Option<f64> {
+        match self {
+            Scenario::FaultyPool => Some(15.0),
+            _ => None,
+        }
+    }
+
+    /// Eviction policies compared on the goodput-vs-availability
+    /// frontier of the `ext_faults` experiment.
+    pub fn failure_eviction_policies(&self) -> Vec<EvictionPolicy> {
+        match self {
+            Scenario::FaultyPool => vec![
+                EvictionPolicy::SuspendResume,
+                EvictionPolicy::Restart,
+                EvictionPolicy::Checkpoint {
+                    interval: 30.0,
+                    overhead: 1.0,
+                },
+                // Threshold at half the scenario's task demand: young
+                // tasks restart for free, invested tasks checkpoint.
+                EvictionPolicy::Adaptive {
+                    threshold: 60.0,
+                    interval: 30.0,
+                    overhead: 1.0,
+                },
+            ],
+            _ => vec![],
+        }
+    }
+
     /// The synthetic-day generator of the trace scenario: the stable
     /// trace window `(machines, jobs)` is sized so the offered load
     /// sits at roughly two-thirds of the pool's spare capacity.
@@ -262,6 +336,17 @@ impl Scenario {
                 Some(
                     Sim::pool(w)
                         .owners(owner)
+                        .workload(closed(JobSpec::stream(jobs, tasks, task_demand, gap)))
+                        .calibration(10_000.0),
+                )
+            }
+            Scenario::FaultyPool => {
+                let task_demand = self.sched_task_demand()?;
+                let (jobs, tasks, gap) = self.sched_job_mix()?;
+                Some(
+                    Sim::pool(w)
+                        .owners(owner)
+                        .failures(self.failure_model()?)
                         .workload(closed(JobSpec::stream(jobs, tasks, task_demand, gap)))
                         .calibration(10_000.0),
                 )
@@ -369,6 +454,7 @@ mod tests {
             Scenario::SchedulerPool,
             Scenario::OpenStream,
             Scenario::GangPool,
+            Scenario::FaultyPool,
             Scenario::DatacenterTrace,
         ];
         let labels: std::collections::BTreeSet<_> = all.iter().map(|s| s.figure_label()).collect();
@@ -401,6 +487,7 @@ mod tests {
             Scenario::SchedulerPool,
             Scenario::OpenStream,
             Scenario::GangPool,
+            Scenario::FaultyPool,
         ] {
             let sim = s.sim(&owner).expect("scheduler scenario").build().unwrap();
             assert!(sim.label().contains("W=16"));
@@ -433,6 +520,47 @@ mod tests {
         );
         assert!(Scenario::OpenStream.trace_generator().is_none());
         assert!(Scenario::FixedSize1K.trace_stream_chunk().is_none());
+    }
+
+    #[test]
+    fn faulty_pool_scenario_parameters() {
+        let s = Scenario::FaultyPool;
+        assert_eq!(s.workstations(), vec![16]);
+        assert_eq!(s.utilizations(), vec![0.10]);
+        // The MTBF sweep brackets crash-dominated to nearly reliable
+        // and sweeps upward.
+        let mtbfs = s.failure_mtbfs();
+        assert!(mtbfs.len() >= 3);
+        assert!(mtbfs.windows(2).all(|w| w[0] < w[1]));
+        let mttr = s.failure_mttr().unwrap();
+        assert!(mttr > 0.0);
+        // Worst availability stays meaningful (pool not mostly dead),
+        // best is near one.
+        let worst = mtbfs[0] / (mtbfs[0] + mttr);
+        let best = mtbfs[mtbfs.len() - 1] / (mtbfs[mtbfs.len() - 1] + mttr);
+        assert!(worst > 0.5, "worst availability {worst}");
+        assert!(best > 0.99, "best availability {best}");
+        // The default model sits inside the sweep.
+        let model = s.failure_model().unwrap();
+        assert!((model.mtbf.mean() - mtbfs[mtbfs.len() / 2]).abs() < 1e-9);
+        // Policy panel: includes the crash-survivors (checkpoint,
+        // adaptive) and the crash-naive baselines.
+        let policies = s.failure_eviction_policies();
+        assert!(policies.contains(&EvictionPolicy::SuspendResume));
+        assert!(policies.contains(&EvictionPolicy::Restart));
+        assert!(policies
+            .iter()
+            .any(|p| matches!(p, EvictionPolicy::Checkpoint { .. })));
+        assert!(policies
+            .iter()
+            .any(|p| matches!(p, EvictionPolicy::Adaptive { .. })));
+        // The lowering carries the model into the label.
+        let owner = OwnerWorkload::continuous_exponential(10.0, 0.10).unwrap();
+        let sim = s.sim(&owner).unwrap().build().unwrap();
+        assert!(sim.label().contains("mtbf"), "{}", sim.label());
+        assert!(Scenario::SchedulerPool.failure_model().is_none());
+        assert!(Scenario::OpenStream.failure_mtbfs().is_empty());
+        assert!(Scenario::GangPool.failure_eviction_policies().is_empty());
     }
 
     #[test]

@@ -45,8 +45,8 @@ use crate::sweep::parallel_map;
 use nds_cluster::job::JobRunner;
 use nds_cluster::owner::OwnerWorkload;
 use nds_sched::{
-    EvictionPolicy, FlightRecorder, GangPolicy, GangStats, JobRecord, JobSpec, PlacementKind,
-    ProgressMeter, QueueDiscipline, RecordFilter, SchedConfig, SchedMetrics, Tee,
+    EvictionPolicy, FailureModel, FlightRecorder, GangPolicy, GangStats, JobRecord, JobSpec,
+    PlacementKind, ProgressMeter, QueueDiscipline, RecordFilter, SchedConfig, SchedMetrics, Tee,
 };
 use nds_stats::batch_means::{PAPER_BATCHES, PAPER_CONFIDENCE};
 
@@ -119,6 +119,7 @@ pub struct Sim {
     placement: PlacementKind,
     eviction: EvictionPolicy,
     gang: GangPolicy,
+    failures: Option<FailureModel>,
     discipline: QueueDiscipline,
     admission_threshold: f64,
     estimator_tau: f64,
@@ -185,6 +186,7 @@ impl Sim {
             placement: PlacementKind::LeastLoaded,
             eviction: EvictionPolicy::SuspendResume,
             gang: GangPolicy::Off,
+            failures: None,
             discipline: QueueDiscipline::Fcfs,
             admission_threshold: 1.0,
             estimator_tau: 1_000.0,
@@ -213,8 +215,12 @@ impl Sim {
         } else {
             String::new()
         };
+        let faults = match &self.failures {
+            Some(model) => format!(", {}", model.label()),
+            None => String::new(),
+        };
         format!(
-            "W={} pool, {} placement, {} eviction{gang}, {} queue, {}",
+            "W={} pool, {} placement, {} eviction{gang}{faults}, {} queue, {}",
             self.workstations,
             self.placement.name(),
             self.eviction.label(),
@@ -244,6 +250,7 @@ impl Sim {
             placement: self.placement,
             eviction: self.eviction,
             gang: self.gang,
+            failures: self.failures,
             discipline: self.discipline,
             admission_threshold: self.admission_threshold,
             estimator_tau: self.estimator_tau,
@@ -266,6 +273,7 @@ impl Sim {
             && jobs[0].tasks == self.workstations
             && self.eviction == EvictionPolicy::SuspendResume
             && !self.gang.is_on()
+            && self.failures.is_none()
             && self.admission_threshold >= 1.0
     }
 
@@ -307,6 +315,10 @@ impl Sim {
                 completion: makespan,
                 demand: total_demand,
             }],
+            crashes: 0,
+            crash_lost: 0.0,
+            downtime: 0.0,
+            crashes_by_machine: Vec::new(),
         }
     }
 
@@ -351,7 +363,7 @@ impl Sim {
                 reason: "the closed-form runner serves only the degenerate \
                          configuration (homogeneous pool, one closed job with \
                          one task per station, suspend-resume eviction, no gang \
-                         policy, admission threshold >= 1)"
+                         policy, no failure model, admission threshold >= 1)"
                     .into(),
             }),
             Backend::Cluster => Ok(self.run_cluster(&jobs, replication)),
@@ -500,6 +512,7 @@ pub struct SimBuilder {
     placement: PlacementKind,
     eviction: EvictionPolicy,
     gang: GangPolicy,
+    failures: Option<FailureModel>,
     discipline: QueueDiscipline,
     admission_threshold: f64,
     estimator_tau: f64,
@@ -558,6 +571,25 @@ impl SimBuilder {
     #[must_use]
     pub fn gang(mut self, gang: GangPolicy) -> Self {
         self.gang = gang;
+        self
+    }
+
+    /// Machine failure injection (default: none). With a
+    /// [`FailureModel`], every machine alternates between up intervals
+    /// drawn from the model's MTBF lifetime and down intervals drawn
+    /// from its MTTR lifetime, on RNG streams independent of the owner
+    /// and placement streams — a run without a model is bit-identical
+    /// to an engine that has never heard of failures. A crash kills the
+    /// running guest regardless of [`SimBuilder::eviction`] (only
+    /// checkpointed progress survives, rolled back to the last durable
+    /// checkpoint), destroys any suspended-in-place guest's progress,
+    /// routes gang members through the gang reclaim path, and removes
+    /// the machine from the candidate pool until repair. Failure
+    /// injection lowers to the scheduler engine (the closed-form
+    /// cluster runner has no machines to crash).
+    #[must_use]
+    pub fn failures(mut self, model: FailureModel) -> Self {
+        self.failures = Some(model);
         self
     }
 
@@ -761,6 +793,11 @@ impl SimBuilder {
         self.gang
             .validate()
             .map_err(|(field, reason)| SimError::InvalidPolicy { field, reason })?;
+        if let Some(model) = &self.failures {
+            model
+                .validate()
+                .map_err(|(field, reason)| SimError::InvalidPolicy { field, reason })?;
+        }
         if self.shards == 0 {
             return Err(SimError::InvalidPool {
                 field: "shards",
@@ -859,6 +896,7 @@ impl SimBuilder {
             placement: self.placement,
             eviction: self.eviction,
             gang: self.gang,
+            failures: self.failures,
             discipline: self.discipline,
             admission_threshold: self.admission_threshold,
             estimator_tau: self.estimator_tau,
@@ -1183,6 +1221,84 @@ mod tests {
             report.mean_coalloc_wait() > 0.0,
             "two 4-wide gangs on 6 machines must queue"
         );
+    }
+
+    #[test]
+    fn failures_knob_lowers_validates_and_blocks_the_fast_path() {
+        use nds_sched::FailureModel;
+        let model = FailureModel::exponential(150.0, 20.0).unwrap();
+        let sim = Sim::pool(4)
+            .owners(owner(0.1))
+            .failures(model)
+            .workload(single_job(4, 100.0))
+            .build()
+            .unwrap();
+        assert_eq!(sim.lower(0).unwrap().failures, Some(model));
+        assert!(sim.label().contains("mtbf"), "{}", sim.label());
+        // A failure model disqualifies the closed-form cluster runner...
+        let err = Sim::pool(4)
+            .owners(owner(0.1))
+            .failures(model)
+            .workload(single_job(4, 100.0))
+            .backend(Backend::Cluster)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedBackend { .. }));
+        // ...and the auto backend routes to the scheduler engine, which
+        // reports the crash-side metrics.
+        let report = Sim::pool(4)
+            .owners(owner(0.1))
+            .failures(FailureModel::exponential(40.0, 5.0).unwrap())
+            .workload(single_job(4, 100.0))
+            .seed(31)
+            .run()
+            .unwrap();
+        assert!(report.is_consistent());
+        assert!(report.runs[0].crashes > 0, "mtbf 40 over a >100s run");
+        assert!(report.runs[0].downtime > 0.0);
+    }
+
+    #[test]
+    fn no_failure_model_is_bit_identical_to_the_pre_failure_engine() {
+        // `.failures(...)` absent must leave every sample path exactly
+        // where it was: the builder lowers `failures: None` and the
+        // engine draws nothing from the failure streams.
+        let build = |with_rare_failures: bool| {
+            let mut b = Sim::pool(5)
+                .owners(owner(0.12))
+                .eviction(EvictionPolicy::Restart)
+                .workload(closed(vec![JobSpec::at_zero(7, 45.0)]))
+                .seed(17)
+                .backend(Backend::Sched);
+            if with_rare_failures {
+                // So rare the horizon never reaches the first crash.
+                b = b.failures(nds_sched::FailureModel::exponential(1e12, 1.0).unwrap());
+            }
+            b.run().unwrap()
+        };
+        let plain = build(false);
+        let rare = build(true);
+        assert_eq!(plain.runs[0].makespan, rare.runs[0].makespan);
+        assert_eq!(plain.runs[0].delivered, rare.runs[0].delivered);
+        assert_eq!(plain.runs[0].evictions, rare.runs[0].evictions);
+        assert_eq!(rare.runs[0].crashes, 0);
+    }
+
+    #[test]
+    fn failure_models_validate_at_the_constructors() {
+        use nds_sched::{FailureModel, Lifetime};
+        // Bad parameters never reach build(): the stats constructors
+        // are the only way to make a Lifetime, and they reject up
+        // front. build() re-validates anyway (defense in depth for the
+        // non_exhaustive enum) and accepts every constructible model.
+        assert!(FailureModel::exponential(0.0, 5.0).is_err());
+        assert!(Lifetime::exponential(f64::NAN).is_err());
+        let ok = Sim::pool(2)
+            .owners(owner(0.1))
+            .failures(FailureModel::exponential(100.0, 10.0).unwrap())
+            .workload(single_job(2, 10.0))
+            .build();
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -311,6 +311,10 @@ mod tests {
                     demand: 10.0,
                 })
                 .collect(),
+            crashes: 0,
+            crash_lost: 0.0,
+            downtime: 0.0,
+            crashes_by_machine: Vec::new(),
         }
     }
 

@@ -17,6 +17,10 @@
 //!   `interval` units of *progress* at a cost of `overhead` CPU time per
 //!   checkpoint; on eviction it restarts elsewhere from the last
 //!   checkpoint, losing only the work since.
+//! * [`EvictionPolicy::Adaptive`] — restart-like while the invested
+//!   progress is below `threshold`, checkpointing once it crosses:
+//!   cheap tasks are not worth a checkpoint's overhead, long tasks
+//!   are (the trade-off machine crashes make observable).
 //!
 //! [`on_eviction`] is the pure accounting rule: given a policy and the
 //! task's progress state at the eviction instant it reports what is
@@ -34,6 +38,7 @@ pub const MIN_CHECKPOINT_INTERVAL: f64 = 1e-9;
 
 /// What a workstation does to a guest task when its owner returns.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum EvictionPolicy {
     /// Kill the task and requeue it from scratch.
     Restart,
@@ -55,6 +60,23 @@ pub enum EvictionPolicy {
         /// CPU cost of writing one checkpoint (>= 0).
         overhead: f64,
     },
+    /// Invest-then-protect: behave like [`EvictionPolicy::Restart`]
+    /// while the task's invested progress (`demand - remaining`) is
+    /// below `threshold`, then switch to
+    /// [`EvictionPolicy::Checkpoint`]-style periodic checkpointing.
+    /// The first checkpoint is written as soon as the threshold is
+    /// crossed (the accumulated progress immediately exceeds the
+    /// interval), so crossing the threshold makes the investment
+    /// durable.
+    Adaptive {
+        /// Invested progress at which checkpointing switches on
+        /// (work units, >= 0; 0 checkpoints from the start).
+        threshold: f64,
+        /// Progress between checkpoints once protecting (> 0).
+        interval: f64,
+        /// CPU cost of writing one checkpoint (>= 0).
+        overhead: f64,
+    },
 }
 
 impl EvictionPolicy {
@@ -65,6 +87,7 @@ impl EvictionPolicy {
             Self::SuspendResume => "suspend-resume",
             Self::Migrate { .. } => "migrate",
             Self::Checkpoint { .. } => "checkpoint",
+            Self::Adaptive { .. } => "adaptive",
         }
     }
 
@@ -77,6 +100,11 @@ impl EvictionPolicy {
             Self::Checkpoint { interval, overhead } => {
                 format!("checkpoint(i={interval}, c={overhead})")
             }
+            Self::Adaptive {
+                threshold,
+                interval,
+                overhead,
+            } => format!("adaptive(t={threshold}, i={interval}, c={overhead})"),
         }
     }
 
@@ -106,6 +134,19 @@ impl EvictionPolicy {
                     Ok(())
                 }
             }
+            Self::Adaptive {
+                threshold,
+                interval,
+                overhead,
+            } => {
+                if !(threshold.is_finite() && threshold >= 0.0) {
+                    Err(("adaptive threshold", format!("{threshold} not finite >= 0")))
+                } else {
+                    // Once protecting, the parameters are a checkpoint
+                    // policy and share its constraints.
+                    Self::Checkpoint { interval, overhead }.validate()
+                }
+            }
         }
     }
 }
@@ -129,8 +170,33 @@ pub struct EvictionOutcome {
 /// a checkpoint.
 ///
 /// For policies without checkpointing, pass the progress made in the
-/// current placement as `since_checkpoint` under [`EvictionPolicy::Restart`]
-/// semantics it is ignored (everything is lost anyway).
+/// current placement as `since_checkpoint`; under
+/// [`EvictionPolicy::Restart`] semantics it is ignored (everything is
+/// lost anyway).
+///
+/// # Crash-path accounting
+///
+/// This rule covers *owner reclaims* only. A machine **crash**
+/// (fault injection via [`crate::failure::FailureModel`]) is handled by
+/// the simulator with harsher semantics that ignore the suspend option:
+///
+/// * [`EvictionPolicy::SuspendResume`] victims — and any guest already
+///   suspended in place when the machine dies — lose *all* progress and
+///   requeue with `new_remaining == demand` (suspension state does not
+///   survive a power cycle);
+/// * [`EvictionPolicy::Restart`], [`EvictionPolicy::Migrate`] and the
+///   pre-threshold phase of [`EvictionPolicy::Adaptive`] likewise lose
+///   everything (a crash can't hand over a live image, so Migrate's
+///   keep-progress path doesn't apply);
+/// * [`EvictionPolicy::Checkpoint`] (and post-threshold `Adaptive`)
+///   victims roll back to the last *durable* checkpoint: work since it
+///   is lost, and a checkpoint write in flight at the crash instant is
+///   itself lost (its served CPU counts as checkpoint overhead but the
+///   checkpoint does not commit).
+///
+/// Crash-destroyed progress is accounted in `SchedMetrics::wasted`
+/// like eviction losses, with the crash-attributed share broken out in
+/// `SchedMetrics::crash_lost`.
 pub fn on_eviction(
     policy: EvictionPolicy,
     demand: f64,
@@ -162,6 +228,25 @@ pub fn on_eviction(
             new_remaining: remaining + since_checkpoint,
             setup: 0.0,
         },
+        EvictionPolicy::Adaptive { threshold, .. } => {
+            if demand - remaining < threshold {
+                // Not yet worth protecting: plain restart.
+                EvictionOutcome {
+                    requeue: true,
+                    lost: demand - remaining,
+                    new_remaining: demand,
+                    setup: 0.0,
+                }
+            } else {
+                // Protecting: roll back to the last durable checkpoint.
+                EvictionOutcome {
+                    requeue: true,
+                    lost: since_checkpoint,
+                    new_remaining: remaining + since_checkpoint,
+                    setup: 0.0,
+                }
+            }
+        }
     }
 }
 
@@ -210,6 +295,28 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_restarts_below_threshold_and_rolls_back_above() {
+        let policy = EvictionPolicy::Adaptive {
+            threshold: 50.0,
+            interval: 25.0,
+            overhead: 1.0,
+        };
+        // Invested 20 < 50: restart semantics.
+        let out = on_eviction(policy, 100.0, 80.0, 20.0);
+        assert!(out.requeue);
+        assert_eq!(out.lost, 20.0);
+        assert_eq!(out.new_remaining, 100.0);
+        // Invested 70 >= 50: checkpoint semantics.
+        let out = on_eviction(policy, 100.0, 30.0, 12.0);
+        assert!(out.requeue);
+        assert_eq!(out.lost, 12.0);
+        assert_eq!(out.new_remaining, 42.0);
+        // Exactly at the threshold the task is already protecting.
+        let out = on_eviction(policy, 100.0, 50.0, 5.0);
+        assert_eq!(out.lost, 5.0);
+    }
+
+    #[test]
     fn conservation_demand_is_preserved() {
         // For every policy: retained progress + new_remaining == demand.
         for (policy, since) in [
@@ -218,6 +325,22 @@ mod tests {
             (EvictionPolicy::Migrate { overhead: 3.0 }, 12.0),
             (
                 EvictionPolicy::Checkpoint {
+                    interval: 25.0,
+                    overhead: 1.0,
+                },
+                12.0,
+            ),
+            (
+                EvictionPolicy::Adaptive {
+                    threshold: 50.0,
+                    interval: 25.0,
+                    overhead: 1.0,
+                },
+                12.0,
+            ),
+            (
+                EvictionPolicy::Adaptive {
+                    threshold: 90.0,
                     interval: 25.0,
                     overhead: 1.0,
                 },
@@ -272,5 +395,26 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(EvictionPolicy::Adaptive {
+            threshold: -1.0,
+            interval: 10.0,
+            overhead: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(EvictionPolicy::Adaptive {
+            threshold: 5.0,
+            interval: 0.0,
+            overhead: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(EvictionPolicy::Adaptive {
+            threshold: 5.0,
+            interval: 10.0,
+            overhead: 0.5
+        }
+        .validate()
+        .is_ok());
     }
 }

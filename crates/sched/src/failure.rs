@@ -1,0 +1,231 @@
+//! Machine failure injection: per-machine crash/repair processes.
+//!
+//! The paper's model reclaims workstations benignly — an owner returns,
+//! the guest suspends, no work is destroyed. Real cycle-stealing fleets
+//! also lose machines outright: a crash kills the running guest
+//! regardless of eviction policy, destroys any suspended-in-place
+//! guest's progress, invalidates a checkpoint mid-write, and removes
+//! the machine from the pool until repair. [`FailureModel`] describes
+//! that process: each machine alternates between *up* intervals drawn
+//! from the MTBF lifetime and *down* intervals drawn from the MTTR
+//! lifetime, independently of the owner's think/use cycle.
+//!
+//! Crash semantics (distinct from owner reclaim — see
+//! [`crate::eviction::on_eviction`] for the reclaim-side accounting):
+//!
+//! * a guest running or suspended-in-place on the crashed machine loses
+//!   **all** progress and restarts from zero, whatever the eviction
+//!   policy — suspension state does not survive a power cycle;
+//! * a [`crate::EvictionPolicy::Checkpoint`] guest rolls back to its
+//!   last *durable* checkpoint: work since that checkpoint is lost, and
+//!   a checkpoint still being written when the crash lands is itself
+//!   lost (the write interval is charged as overhead but does not
+//!   commit);
+//! * a gang member's crash routes through the gang policy's reclaim
+//!   path, exactly like an owner arrival on that member;
+//! * the machine leaves the pool's candidate index and availability
+//!   integral until repair, and the down machine-time accumulates in
+//!   [`crate::SchedMetrics::downtime`].
+
+use nds_stats::{
+    BoundedPareto, Distribution, Exponential, StatsError, Weibull, Xoshiro256StarStar,
+};
+
+/// A positively supported lifetime distribution for machine uptime
+/// (MTBF) or repair time (MTTR) draws.
+///
+/// Each variant wraps a validated [`nds_stats`] distribution, so every
+/// reachable value samples finite positive lifetimes. Sampling consumes
+/// exactly one uniform per draw for every variant, which keeps failure
+/// streams aligned across eviction policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Lifetime {
+    /// Memoryless lifetimes (constant hazard) — the classic MTBF model.
+    Exponential(Exponential),
+    /// Weibull lifetimes: shape < 1 infant mortality, shape > 1 wear-out.
+    Weibull(Weibull),
+    /// Heavy-tailed lifetimes (rare, very long intervals).
+    BoundedPareto(BoundedPareto),
+}
+
+impl Lifetime {
+    /// Memoryless lifetime with the given `mean > 0`.
+    pub fn exponential(mean: f64) -> Result<Self, StatsError> {
+        Exponential::with_mean(mean).map(Self::Exponential)
+    }
+
+    /// Weibull lifetime with `shape > 0` and target `mean > 0`.
+    pub fn weibull(shape: f64, mean: f64) -> Result<Self, StatsError> {
+        Weibull::with_mean(shape, mean).map(Self::Weibull)
+    }
+
+    /// Heavy-tailed lifetime on `[low, high)` with tail index `alpha`.
+    pub fn bounded_pareto(alpha: f64, low: f64, high: f64) -> Result<Self, StatsError> {
+        BoundedPareto::new(alpha, low, high).map(Self::BoundedPareto)
+    }
+
+    /// Expected lifetime.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Self::Exponential(d) => d.mean(),
+            Self::Weibull(d) => d.mean(),
+            Self::BoundedPareto(d) => d.mean(),
+        }
+    }
+
+    /// Draw one lifetime; consumes exactly one uniform.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        match self {
+            Self::Exponential(d) => d.sample(rng),
+            Self::Weibull(d) => d.sample(rng),
+            Self::BoundedPareto(d) => d.sample(rng),
+        }
+    }
+
+    /// Short human label for figure axes and `Sim::label`.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Exponential(d) => format!("exp({:.4})", d.mean()),
+            Self::Weibull(d) => format!("weibull(k={:.4}, mean {:.4})", d.shape(), self.mean()),
+            Self::BoundedPareto(d) => {
+                format!(
+                    "pareto(a={:.4}, [{:.4}, {:.4}))",
+                    d.alpha(),
+                    d.low(),
+                    d.high()
+                )
+            }
+        }
+    }
+
+    /// Re-check the wrapped distribution in the `(field, reason)` shape
+    /// the scheduler's config validation chain uses.
+    fn validate(&self, field: &'static str) -> Result<(), (&'static str, String)> {
+        let m = self.mean();
+        if m.is_finite() && m > 0.0 {
+            Ok(())
+        } else {
+            Err((field, format!("mean lifetime {m} not finite > 0")))
+        }
+    }
+}
+
+/// Per-machine crash/repair process: machines alternate up intervals
+/// drawn from `mtbf` and down intervals drawn from `mttr`, on an RNG
+/// stream independent of the owner and placement streams (so a
+/// no-failure run's sample paths are untouched).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Lifetime between repair (or start) and the next crash.
+    pub mtbf: Lifetime,
+    /// Repair time: how long a crashed machine stays out of the pool.
+    pub mttr: Lifetime,
+}
+
+impl FailureModel {
+    /// The classic memoryless model: exponential uptime with mean
+    /// `mtbf > 0`, exponential repair with mean `mttr > 0`.
+    pub fn exponential(mtbf: f64, mttr: f64) -> Result<Self, StatsError> {
+        Ok(Self {
+            mtbf: Lifetime::exponential(mtbf)?,
+            mttr: Lifetime::exponential(mttr)?,
+        })
+    }
+
+    /// Arbitrary lifetimes for uptime and repair.
+    pub fn new(mtbf: Lifetime, mttr: Lifetime) -> Self {
+        Self { mtbf, mttr }
+    }
+
+    /// Steady-state availability of one machine:
+    /// `MTBF / (MTBF + MTTR)`.
+    pub fn availability(&self) -> f64 {
+        let up = self.mtbf.mean();
+        let down = self.mttr.mean();
+        up / (up + down)
+    }
+
+    /// Validate in the `(field, reason)` shape shared with
+    /// [`crate::EvictionPolicy::validate`] and `GangPolicy::validate`,
+    /// so the builder maps failures through the same typed-error path.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        self.mtbf.validate("failure mtbf")?;
+        self.mttr.validate("failure mttr")
+    }
+
+    /// Short human label: `mtbf exp(500)/mttr exp(30)`.
+    pub fn label(&self) -> String {
+        format!("mtbf {}/mttr {}", self.mtbf.label(), self.mttr.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_through_stats() {
+        assert!(FailureModel::exponential(500.0, 30.0).is_ok());
+        assert!(FailureModel::exponential(0.0, 30.0).is_err());
+        assert!(FailureModel::exponential(500.0, -1.0).is_err());
+        assert!(Lifetime::weibull(0.0, 10.0).is_err());
+        assert!(Lifetime::bounded_pareto(1.5, 10.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn availability_matches_renewal_formula() {
+        let f = FailureModel::exponential(900.0, 100.0).unwrap();
+        assert!((f.availability() - 0.9).abs() < 1e-12);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn samples_are_positive_and_deterministic() {
+        let lifetimes = [
+            Lifetime::exponential(100.0).unwrap(),
+            Lifetime::weibull(0.7, 100.0).unwrap(),
+            Lifetime::bounded_pareto(1.5, 1.0, 1000.0).unwrap(),
+        ];
+        for d in lifetimes {
+            let mut a = Xoshiro256StarStar::new(42);
+            let mut b = Xoshiro256StarStar::new(42);
+            for _ in 0..1_000 {
+                let x = d.sample(&mut a);
+                assert!(x > 0.0 && x.is_finite(), "{d:?} drew {x}");
+                assert_eq!(x, d.sample(&mut b), "same seed must replay");
+            }
+        }
+    }
+
+    #[test]
+    fn one_draw_per_sample_across_variants() {
+        // Every variant must consume exactly one uniform, so swapping
+        // lifetime families never shifts the failure stream phase.
+        for d in [
+            Lifetime::exponential(10.0).unwrap(),
+            Lifetime::weibull(2.0, 10.0).unwrap(),
+            Lifetime::bounded_pareto(2.0, 1.0, 100.0).unwrap(),
+        ] {
+            let mut rng = Xoshiro256StarStar::new(7);
+            let mut probe = Xoshiro256StarStar::new(7);
+            d.sample(&mut rng);
+            probe.next_f64_open();
+            assert_eq!(
+                rng.next_f64(),
+                probe.next_f64(),
+                "{d:?} must consume exactly one uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let f = FailureModel::new(
+            Lifetime::weibull(0.7, 500.0).unwrap(),
+            Lifetime::exponential(25.0).unwrap(),
+        );
+        assert!(f.label().contains("weibull"));
+        assert!(f.label().contains("exp"));
+    }
+}

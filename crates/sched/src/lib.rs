@@ -26,6 +26,10 @@
 //!   computing at a degraded rate while at least `min_running` members
 //!   hold machines — with co-allocation wait / fragmentation /
 //!   barrier-stall / degraded-mode / effective-parallelism metrics.
+//! * [`failure`] — fault injection: per-machine crash/repair processes
+//!   ([`failure::FailureModel`]) with crash semantics distinct from
+//!   owner reclaim — crashes destroy suspended guests and in-flight
+//!   checkpoints and remove the machine from the pool until repair.
 //! * [`queue`] — a central job queue (FCFS and shortest-job backfill)
 //!   feeding multi-job workloads.
 //! * [`feed`] — streaming job feeds: [`simulator::SchedConfig::run_streamed`]
@@ -106,6 +110,7 @@
 
 pub mod error;
 pub mod eviction;
+pub mod failure;
 pub mod feed;
 pub mod gang;
 pub mod metrics;
@@ -117,6 +122,7 @@ pub mod trace;
 
 pub use error::SchedError;
 pub use eviction::{on_eviction, EvictionOutcome, EvictionPolicy};
+pub use failure::{FailureModel, Lifetime};
 pub use feed::{JobFeed, SliceFeed, VecFeed};
 pub use gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 pub use metrics::{JobRecord, SchedMetrics};

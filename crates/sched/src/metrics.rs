@@ -5,9 +5,11 @@
 //!
 //! * **goodput** — progress that survived to a task completion,
 //! * **wasted** — progress destroyed by evictions (restart losses,
-//!   checkpoint rollbacks) plus migration setup time,
+//!   checkpoint rollbacks) plus migration setup time, and progress
+//!   destroyed by machine crashes (the crash-attributed share is
+//!   broken out in [`SchedMetrics::crash_lost`]),
 //! * **checkpoint overhead** — CPU spent writing checkpoints (including
-//!   writes aborted by an eviction).
+//!   writes aborted by an eviction or lost to a crash).
 //!
 //! The invariant `delivered == goodput + wasted + checkpoint_overhead`
 //! ([`SchedMetrics::accounting_residual`]) is the scheduler's analogue
@@ -75,6 +77,17 @@ pub struct SchedMetrics {
     pub gang: GangStats,
     /// Per-job completion records, in submission order.
     pub jobs: Vec<JobRecord>,
+    /// Machine crashes injected by the run's
+    /// [`crate::failure::FailureModel`] (0 without one).
+    pub crashes: u64,
+    /// Guest progress destroyed by crashes — the crash-attributed
+    /// share of [`SchedMetrics::wasted`], distinct from eviction
+    /// losses.
+    pub crash_lost: f64,
+    /// Total machine-time spent down (crashed) across the pool.
+    pub downtime: f64,
+    /// Crash count per machine (empty without a failure model).
+    pub crashes_by_machine: Vec<u64>,
 }
 
 impl SchedMetrics {
@@ -150,6 +163,10 @@ mod tests {
                     demand: 40.0,
                 },
             ],
+            crashes: 0,
+            crash_lost: 0.0,
+            downtime: 0.0,
+            crashes_by_machine: Vec::new(),
         }
     }
 

@@ -76,6 +76,9 @@ impl UtilizationEstimator {
 struct Member {
     owner_busy: bool,
     occupied: bool,
+    /// Crashed and awaiting repair (fault injection) — a down machine
+    /// is never free, whatever its owner or occupancy state.
+    down: bool,
     estimator: UtilizationEstimator,
 }
 
@@ -94,6 +97,11 @@ pub struct Pool {
     /// Offerable machines (free *and* within the admission threshold),
     /// in ascending machine order, maintained incrementally.
     cand: Vec<CandidateMachine>,
+    /// Machines currently crashed — the downtime integral's integrand.
+    down_count: usize,
+    /// Time integral of the down-machine count (machine-time lost to
+    /// crashes), accumulated on the same clock as `avail_integral`.
+    down_integral: f64,
 }
 
 impl Pool {
@@ -109,6 +117,7 @@ impl Pool {
             .map(|i| Member {
                 owner_busy: false,
                 occupied: false,
+                down: false,
                 estimator: UtilizationEstimator::new(
                     tau,
                     initial_estimates.get(i).copied().unwrap_or(0.0),
@@ -122,6 +131,8 @@ impl Pool {
             last_change: 0.0,
             free_count: n,
             cand: Vec::with_capacity(n),
+            down_count: 0,
+            down_integral: 0.0,
         };
         for m in 0..n {
             pool.refresh_candidate(m);
@@ -142,11 +153,12 @@ impl Pool {
         // event-ordering bugs still surface in debug/test builds.
         let dt = (now - self.last_change).max(0.0);
         self.avail_integral += dt * self.free_count as f64;
+        self.down_integral += dt * self.down_count as f64;
         self.last_change = self.last_change.max(now);
     }
 
     fn member_free(m: &Member) -> bool {
-        !m.owner_busy && !m.occupied
+        !m.down && !m.owner_busy && !m.occupied
     }
 
     /// Re-sync machine `m`'s entry in the incremental candidate list
@@ -213,6 +225,40 @@ impl Pool {
         );
         self.accumulate_availability(now);
         self.transition(m, |member| member.occupied = occupied);
+    }
+
+    /// Record machine `m` crashing (`down = true`) or being repaired
+    /// (`down = false`) at `now`. A down machine leaves the candidate
+    /// index and the availability integral's integrand until repair;
+    /// the lost machine-time accumulates in [`Pool::downtime`].
+    #[inline]
+    pub fn set_down(&mut self, now: f64, m: usize, down: bool) {
+        debug_assert!(
+            now >= self.last_change,
+            "down transition at {now} precedes last pool change {}",
+            self.last_change
+        );
+        self.accumulate_availability(now);
+        if self.members[m].down != down {
+            if down {
+                self.down_count += 1;
+            } else {
+                self.down_count -= 1;
+            }
+        }
+        self.transition(m, |member| member.down = down);
+    }
+
+    /// Whether machine `m` is currently crashed.
+    pub fn is_down(&self, m: usize) -> bool {
+        self.members[m].down
+    }
+
+    /// Total machine-time spent down (crashed) up to `now` — the
+    /// pool-level capacity lost to failures.
+    pub fn downtime(&mut self, now: f64) -> f64 {
+        self.accumulate_availability(now);
+        self.down_integral
     }
 
     /// Whether machine `m`'s owner is currently busy.
@@ -341,6 +387,46 @@ mod tests {
         p.owner_transition(5.0, 0, false);
     }
 
+    #[test]
+    fn down_machines_leave_candidates_and_availability() {
+        let mut p = Pool::new(2, 1.0, 100.0, &[]);
+        p.set_down(10.0, 0, true);
+        assert!(p.is_down(0));
+        assert_eq!(p.candidates().len(), 1);
+        assert_eq!(p.candidates()[0].machine, 1);
+        p.set_down(25.0, 0, false);
+        assert!(!p.is_down(0));
+        assert_eq!(p.candidates().len(), 2);
+        // Availability: 2 machines to t=10, 1 from 10..25, 2 to 40.
+        let mean = p.mean_available(40.0);
+        assert!(
+            (mean - (20.0 + 15.0 + 30.0) / 40.0).abs() < 1e-12,
+            "mean {mean}"
+        );
+        // Downtime integral: machine 0 down for 15 machine-time units.
+        assert!((p.downtime(40.0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn down_state_is_orthogonal_to_owner_and_occupancy() {
+        // A crash while the owner is home (or a guest is aboard) and a
+        // repair before/after the owner leaves must never double-count
+        // the free counter.
+        let mut p = Pool::new(1, 1.0, 100.0, &[]);
+        p.owner_transition(1.0, 0, true);
+        p.set_down(2.0, 0, true); // down while owner busy
+        assert_eq!(p.candidates().len(), 0);
+        p.owner_transition(3.0, 0, false); // owner leaves while down
+        assert_eq!(p.candidates().len(), 0, "down dominates owner state");
+        p.set_down(4.0, 0, false); // repair with owner away
+        assert_eq!(p.candidates().len(), 1);
+        assert_eq!(p.free_count, 1);
+        // Idempotent repair is a no-op.
+        p.set_down(5.0, 0, false);
+        assert_eq!(p.free_count, 1);
+        assert!((p.downtime(10.0) - 2.0).abs() < 1e-12);
+    }
+
     /// What the pre-incremental implementation rebuilt per call.
     fn brute_force_candidates(p: &Pool) -> Vec<CandidateMachine> {
         p.members
@@ -368,11 +454,13 @@ mod tests {
         for step in 0u32..200 {
             t += 1.0 + f64::from(step % 7);
             let m = (step as usize * 13 + 5) % 5;
-            match step % 4 {
+            match step % 6 {
                 0 => p.owner_transition(t, m, true),
                 1 => p.owner_transition(t, m, false),
                 2 => p.set_occupied(t, m, true),
-                _ => p.set_occupied(t, m, false),
+                3 => p.set_occupied(t, m, false),
+                4 => p.set_down(t, m, true),
+                _ => p.set_down(t, m, false),
             }
             let expected = brute_force_candidates(&p);
             assert_eq!(

@@ -87,6 +87,7 @@
 
 use crate::error::SchedError;
 use crate::eviction::{on_eviction, EvictionPolicy};
+use crate::failure::FailureModel;
 use crate::feed::JobFeed;
 use crate::gang::{GangPolicy, GangQueue, GangStats, PendingGang};
 use crate::metrics::{JobRecord, SchedMetrics};
@@ -142,6 +143,10 @@ pub struct SchedConfig {
     pub replication: u64,
     /// Safety cap on executed events.
     pub max_events: u64,
+    /// Machine crash/repair process ([`crate::failure`]). `None` (the
+    /// default) injects no failures and leaves every RNG stream and
+    /// event sequence bit-identical to the failure-free engine.
+    pub failures: Option<FailureModel>,
 }
 
 impl SchedConfig {
@@ -161,6 +166,7 @@ impl SchedConfig {
             seed: 0x5EED,
             replication: 0,
             max_events: 20_000_000,
+            failures: None,
         }
     }
 
@@ -256,6 +262,11 @@ impl SchedConfig {
         if let Err((field, reason)) = self.gang.validate() {
             return invalid(field, reason);
         }
+        if let Some(model) = &self.failures {
+            if let Err((field, reason)) = model.validate() {
+                return invalid(field, reason);
+            }
+        }
         Ok(())
     }
 
@@ -346,6 +357,7 @@ impl SchedConfig {
         let jobs: Vec<JobState> = self.jobs.iter().map(JobState::of_spec).collect();
         let jobs_remaining = jobs.len();
         let jobs = JobTable::from_states(jobs);
+        let failure_rngs = failure_streams(&factory, self.failures.is_some(), w, replication);
 
         let gangs: Vec<GangState> = if self.gang.is_on() {
             self.jobs
@@ -392,6 +404,9 @@ impl SchedConfig {
             frag_waiting: false,
             discipline: self.discipline,
             acc: Acc::default(),
+            failures: self.failures,
+            failure_rngs,
+            crashes_by_machine: vec![0; if self.failures.is_some() { w } else { 0 }],
             makespan: 0.0,
             done: false,
         };
@@ -406,6 +421,7 @@ impl SchedConfig {
             )
             .expect("invariant: think time is non-negative");
         }
+        seed_failures(&mut sim, &mut cal);
         // Job arrivals are known up front. When they come time-sorted
         // (streams, Poisson workloads — the common case) they take the
         // calendar's pre-sorted backlog, which keeps the heap at the
@@ -463,6 +479,12 @@ impl SchedConfig {
                 SchedEvent::GangSegmentEnd { j } => {
                     gang_segment_end(&mut sim, &mut cal, now, j as usize, tracer)
                 }
+                SchedEvent::MachineFailure { m } => {
+                    machine_failure(&mut sim, &mut cal, now, m as usize, tracer)
+                }
+                SchedEvent::MachineRepair { m } => {
+                    machine_repair(&mut sim, &mut cal, now, m as usize, tracer)
+                }
             }
             if T::ENABLED {
                 let nanos = started.map_or(0, |s| {
@@ -492,6 +514,7 @@ impl SchedConfig {
         }
         let makespan = sim.makespan;
         let mean_available_machines = sim.pool.mean_available(makespan);
+        let downtime = sim.pool.downtime(makespan);
         let acc = sim.acc;
         let gacc = sim.gacc;
         let metrics = SchedMetrics {
@@ -515,6 +538,10 @@ impl SchedConfig {
             mean_available_machines,
             gang: gacc,
             jobs: sim.jobs.records(),
+            crashes: acc.crashes,
+            crash_lost: acc.crash_lost,
+            downtime,
+            crashes_by_machine: std::mem::take(&mut sim.crashes_by_machine),
         };
         Ok((metrics, events))
     }
@@ -607,6 +634,9 @@ impl SchedConfig {
             frag_waiting: false,
             discipline: self.discipline,
             acc: Acc::default(),
+            failures: self.failures,
+            failure_rngs: failure_streams(&factory, self.failures.is_some(), w, replication),
+            crashes_by_machine: vec![0; if self.failures.is_some() { w } else { 0 }],
             makespan: 0.0,
             done: false,
         };
@@ -621,6 +651,7 @@ impl SchedConfig {
             )
             .expect("invariant: think time is non-negative");
         }
+        seed_failures(&mut sim, &mut cal);
 
         let mut feeder = ChunkFeeder::new(chunk);
         feeder.pull(feed, &mut sim, &mut cal)?;
@@ -663,6 +694,12 @@ impl SchedConfig {
                 SchedEvent::GangSegmentEnd { j } => {
                     gang_segment_end(&mut sim, &mut cal, now, j as usize, tracer);
                 }
+                SchedEvent::MachineFailure { m } => {
+                    machine_failure(&mut sim, &mut cal, now, m as usize, tracer);
+                }
+                SchedEvent::MachineRepair { m } => {
+                    machine_repair(&mut sim, &mut cal, now, m as usize, tracer);
+                }
             }
         }
         let events = cal.executed();
@@ -676,6 +713,7 @@ impl SchedConfig {
         sim.jobs.retire_completed(on_job);
         let makespan = sim.makespan;
         let mean_available_machines = sim.pool.mean_available(makespan);
+        let downtime = sim.pool.downtime(makespan);
         let acc = sim.acc;
         let gacc = sim.gacc;
         let metrics = SchedMetrics {
@@ -699,6 +737,10 @@ impl SchedConfig {
             mean_available_machines,
             gang: gacc,
             jobs: Vec::new(), // ndslint::allow(no-alloc-in-hot-path, reason = "streamed runs deliver records through the on_job sink, not the metrics struct")
+            crashes: acc.crashes,
+            crash_lost: acc.crash_lost,
+            downtime,
+            crashes_by_machine: std::mem::take(&mut sim.crashes_by_machine),
         };
         Ok((metrics, events))
     }
@@ -795,7 +837,7 @@ impl ChunkFeeder {
     }
 }
 
-/// The engine's entire event vocabulary: five plain variants, each a
+/// The engine's entire event vocabulary: seven plain variants, each a
 /// machine or job index. `Copy`, 8 bytes, no drop glue — what the
 /// typed calendar stores instead of a boxed closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -810,6 +852,11 @@ enum SchedEvent {
     SegmentEnd { m: u32 },
     /// Gang `j`'s in-flight segment runs to completion.
     GangSegmentEnd { j: u32 },
+    /// Machine `m` crashes (fault injection; never scheduled without a
+    /// [`FailureModel`]).
+    MachineFailure { m: u32 },
+    /// Machine `m` comes back from repair.
+    MachineRepair { m: u32 },
 }
 
 /// The profiler-facing class of a `SchedEvent`.
@@ -820,6 +867,8 @@ fn event_class(event: SchedEvent) -> EventClass {
         SchedEvent::JobArrival { .. } => EventClass::JobArrival,
         SchedEvent::SegmentEnd { .. } => EventClass::SegmentEnd,
         SchedEvent::GangSegmentEnd { .. } => EventClass::GangSegmentEnd,
+        SchedEvent::MachineFailure { .. } => EventClass::MachineFailure,
+        SchedEvent::MachineRepair { .. } => EventClass::MachineRepair,
     }
 }
 
@@ -1022,6 +1071,9 @@ struct Acc {
     completed_tasks: u64,
     placements: u64,
     total_wait: f64,
+    crashes: u64,
+    /// Crash-destroyed progress — a subset of `wasted`.
+    crash_lost: f64,
 }
 
 /// One gang's live state (only populated when a [`GangPolicy`] is on).
@@ -1154,6 +1206,14 @@ struct Sim<'a> {
     frag_waiting: bool,
     discipline: QueueDiscipline,
     acc: Acc,
+    /// Crash/repair process, if the config injects failures.
+    failures: Option<FailureModel>,
+    /// Per-machine failure-stream RNGs (empty without a failure model;
+    /// a separate labeled stream, so no-failure sample paths are
+    /// untouched).
+    failure_rngs: Vec<Xoshiro256StarStar>,
+    /// Per-machine crash counts (empty without a failure model).
+    crashes_by_machine: Vec<u64>,
     makespan: f64,
     done: bool,
 }
@@ -1179,16 +1239,42 @@ fn next_segment(eviction: EvictionPolicy, g: &GuestTask) -> Segment {
     if g.setup_left > 0.0 {
         return Segment::Setup { len: g.setup_left };
     }
-    if let EvictionPolicy::Checkpoint { interval, overhead } = eviction {
-        let to_ckpt = interval - g.since_ckpt;
-        if to_ckpt <= WORK_EPS {
-            return Segment::CkptWrite { len: overhead };
+    match eviction {
+        EvictionPolicy::Checkpoint { interval, overhead } => {
+            let to_ckpt = interval - g.since_ckpt;
+            if to_ckpt <= WORK_EPS {
+                return Segment::CkptWrite { len: overhead };
+            }
+            Segment::Work {
+                len: g.remaining.min(to_ckpt),
+            }
         }
-        return Segment::Work {
-            len: g.remaining.min(to_ckpt),
-        };
+        EvictionPolicy::Adaptive {
+            threshold,
+            interval,
+            overhead,
+        } => {
+            // Below the threshold the task runs uncheckpointed, with
+            // the segment clipped so the crossing lands on a segment
+            // boundary; above it, periodic checkpointing with
+            // `since_ckpt` counted from the placement start, so the
+            // first write lands at `max(threshold, interval)` invested.
+            let invested = g.demand - g.remaining;
+            if invested + WORK_EPS < threshold {
+                return Segment::Work {
+                    len: g.remaining.min(threshold - invested),
+                };
+            }
+            let to_ckpt = interval - g.since_ckpt;
+            if to_ckpt <= WORK_EPS {
+                return Segment::CkptWrite { len: overhead };
+            }
+            Segment::Work {
+                len: g.remaining.min(to_ckpt),
+            }
+        }
+        _ => Segment::Work { len: g.remaining },
     }
-    Segment::Work { len: g.remaining }
 }
 
 /// Begin the next segment of the guest on machine `m`.
@@ -1434,6 +1520,20 @@ fn owner_arrival<T: SchedTracer>(
         tracer.record(now, SchedRecord::OwnerArrival { machine: m as u32 });
     }
     sim.pool.owner_transition(now, m, true);
+    if sim.pool.is_down(m) {
+        // A crashed machine holds nothing live to reclaim (the crash
+        // already killed or froze whatever was aboard); the owner's
+        // think/use cycle keeps ticking on its own stream so repair
+        // re-enters an unperturbed sample path.
+        let mach = &mut sim.machines[m];
+        let service = mach.owner.sample_service(&mut mach.rng);
+        cal.post_in(
+            SimTime::new(service),
+            SchedEvent::OwnerDeparture { m: m as u32 },
+        )
+        .expect("invariant: sampled service time is positive");
+        return;
+    }
     let (service, outcome) = if sim.gang_policy.is_on() {
         let outcome = gang_owner_reclaim(sim, cal, now, m, tracer);
         let mach = &mut sim.machines[m];
@@ -1500,6 +1600,15 @@ fn owner_reclaim_task<T: SchedTracer>(
                         EvictionPolicy::Restart => EvictionAction::Restart,
                         EvictionPolicy::Migrate { .. } => EvictionAction::Migrate,
                         EvictionPolicy::Checkpoint { .. } => EvictionAction::Rollback,
+                        // At the threshold boundary both labels describe
+                        // the same outcome (no checkpoint exists yet).
+                        EvictionPolicy::Adaptive { threshold, .. } => {
+                            if guest.demand - guest.remaining < threshold {
+                                EvictionAction::Restart
+                            } else {
+                                EvictionAction::Rollback
+                            }
+                        }
                     },
                 },
             );
@@ -1528,6 +1637,14 @@ fn owner_reclaim_task<T: SchedTracer>(
                 match policy {
                     EvictionPolicy::Restart => sim.acc.restarts += 1,
                     EvictionPolicy::Migrate { .. } => sim.acc.migrations += 1,
+                    // Pre-threshold adaptive evictions are restarts;
+                    // post-threshold ones are rollbacks (uncounted,
+                    // like Checkpoint).
+                    EvictionPolicy::Adaptive { threshold, .. }
+                        if guest.demand - guest.remaining < threshold =>
+                    {
+                        sim.acc.restarts += 1;
+                    }
                     _ => {}
                 }
                 sim.pool.set_occupied(now, m, false);
@@ -1575,7 +1692,11 @@ fn owner_departure<T: SchedTracer>(
         tracer.record(now, SchedRecord::OwnerDeparture { machine: m as u32 });
     }
     sim.pool.owner_transition(now, m, false);
-    let action = if sim.gang_policy.is_on() {
+    let action = if sim.pool.is_down(m) {
+        // The machine is crashed: nothing resumes and nothing can be
+        // placed until repair.
+        Departure::Nothing
+    } else if sim.gang_policy.is_on() {
         gang_owner_release(sim, cal, now, m, tracer)
     } else if sim.machines[m].guest.is_some() {
         Departure::ResumeTask
@@ -1595,6 +1716,306 @@ fn owner_departure<T: SchedTracer>(
         Departure::Dispatch => dispatch_any(sim, cal, tracer),
         Departure::Nothing => {}
     }
+}
+
+/// One failure-process RNG per machine, derived like the owner streams
+/// (`machine << 32 | replication`) but under a dedicated label, so
+/// enabling failures never perturbs the owner, probe, or placement
+/// draws — the no-failure configuration stays bit-identical.
+fn failure_streams(
+    factory: &StreamFactory,
+    on: bool,
+    w: usize,
+    replication: u64,
+) -> Vec<Xoshiro256StarStar> {
+    if !on {
+        return Vec::new(); // ndslint::allow(no-alloc-in-hot-path, reason = "run setup, before the event loop")
+    }
+    (0..w)
+        .map(|i| factory.labeled_stream("sched-failure", (i as u64) << 32 | replication))
+        .collect()
+}
+
+/// Draw each machine's first uptime and schedule its initial crash.
+/// No-op without a failure model, leaving the calendar exactly as the
+/// failure-free engine builds it.
+fn seed_failures(sim: &mut Sim, cal: &mut Calendar<SchedEvent>) {
+    let Some(model) = sim.failures else { return };
+    for m in 0..sim.machines.len() {
+        let up = model.mtbf.sample(&mut sim.failure_rngs[m]);
+        cal.post(SimTime::new(up), SchedEvent::MachineFailure { m: m as u32 })
+            .expect("invariant: sampled lifetime is non-negative");
+    }
+}
+
+/// Machine `m` crashes: whatever guest work is aboard is destroyed or
+/// forced off per the crash semantics ([`crate::failure`]), the machine
+/// leaves the pool until repair, and the repair time is drawn from the
+/// failure model's MTTR lifetime.
+fn machine_failure<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) {
+    if sim.done {
+        return;
+    }
+    if T::ENABLED {
+        tracer.record(now, SchedRecord::MachineFailure { machine: m as u32 });
+    }
+    sim.acc.crashes += 1;
+    sim.crashes_by_machine[m] += 1;
+    let outcome = if sim.gang_policy.is_on() {
+        gang_crash(sim, cal, now, m, tracer)
+    } else {
+        ReclaimOutcome {
+            redispatch: crash_task(sim, cal, now, m, tracer),
+            restart: None,
+        }
+    };
+    sim.pool.set_down(now, m, true);
+    if sim.gang_policy.is_on() {
+        // The candidate set just shrank: re-snapshot the
+        // fragmentation integrand at the post-crash free count.
+        frag_update(sim, now);
+    }
+    let model = sim
+        .failures
+        .expect("invariant: failure events only fire with a failure model");
+    let mttr = model.mttr.sample(&mut sim.failure_rngs[m]);
+    cal.post_in(
+        SimTime::new(mttr),
+        SchedEvent::MachineRepair { m: m as u32 },
+    )
+    .expect("invariant: sampled repair time is positive");
+    if let Some(j) = outcome.restart {
+        start_gang_segment(sim, cal, j, tracer);
+    }
+    if outcome.redispatch {
+        dispatch_any(sim, cal, tracer);
+    }
+}
+
+/// Machine `m` comes back from repair: it rejoins the pool (unless its
+/// owner is at the console), the next crash is drawn from the MTBF
+/// lifetime, and whatever the repaired machine unblocks — the waiting
+/// queue, a pinned gang member — proceeds.
+fn machine_repair<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) {
+    if sim.done {
+        return;
+    }
+    if T::ENABLED {
+        tracer.record(now, SchedRecord::MachineRepair { machine: m as u32 });
+    }
+    sim.pool.set_down(now, m, false);
+    if sim.gang_policy.is_on() {
+        frag_update(sim, now);
+    }
+    let model = sim
+        .failures
+        .expect("invariant: repair events only fire with a failure model");
+    let next_up = model.mtbf.sample(&mut sim.failure_rngs[m]);
+    cal.post_in(
+        SimTime::new(next_up),
+        SchedEvent::MachineFailure { m: m as u32 },
+    )
+    .expect("invariant: sampled lifetime is positive");
+    if sim.pool.owner_busy(m) {
+        // The owner holds the repaired machine; their eventual
+        // departure runs the normal release path.
+        return;
+    }
+    let action = if sim.gang_policy.is_on() {
+        // A crash-pinned gang member is released exactly like one
+        // whose owner departs: rejoin a degraded gang mid-segment, or
+        // wake the gang if the floor is met again.
+        gang_owner_release(sim, cal, now, m, tracer)
+    } else {
+        debug_assert!(
+            sim.machines[m].guest.is_none(),
+            "a crash leaves no independent guest behind"
+        );
+        Departure::Dispatch
+    };
+    match action {
+        Departure::ResumeTask => start_segment(sim, cal, m, tracer),
+        Departure::ResumeGang(j) => start_gang_segment(sim, cal, j, tracer),
+        Departure::Dispatch => dispatch_any(sim, cal, tracer),
+        Departure::Nothing => {}
+    }
+}
+
+/// Crash on machine `m` in independent-task mode: kill whatever guest
+/// is aboard — running, or suspended in place beneath its owner — and
+/// requeue it. Progress not covered by a durable checkpoint is
+/// destroyed; suspension images do not survive a power cycle. Returns
+/// whether a task went back to the queue.
+fn crash_task<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) -> bool {
+    let Some(mut guest) = sim.machines[m].guest.take() else {
+        return false;
+    };
+    if let Some(run) = guest.run.take() {
+        cal.cancel(run.event);
+        if T::ENABLED {
+            tracer.record(
+                now,
+                SchedRecord::SegmentPreempted {
+                    machine: m as u32,
+                    job: guest.job as u32,
+                    task: guest.task,
+                    kind: segment_kind(run.segment),
+                },
+            );
+        }
+        let elapsed = now - run.slice_start;
+        sim.acc.delivered += elapsed;
+        match run.segment {
+            // A half-done restore was wasted CPU either way.
+            Segment::Setup { .. } => sim.acc.wasted += elapsed,
+            // The interrupted write is charged as overhead but does
+            // NOT commit: `since_ckpt` keeps covering the whole
+            // interval, which the crash then destroys.
+            Segment::CkptWrite { .. } => sim.acc.ckpt += elapsed,
+            Segment::Work { .. } => {
+                guest.remaining -= elapsed;
+                guest.since_ckpt += elapsed;
+            }
+        }
+    }
+    // Everything since the last durable checkpoint is destroyed.
+    // Policies that never checkpoint have `since_ckpt` spanning the
+    // whole investment, so they lose it all — including suspended
+    // [`EvictionPolicy::SuspendResume`] guests.
+    let lost = guest.since_ckpt;
+    sim.acc.wasted += lost;
+    sim.acc.crash_lost += lost;
+    sim.pool.set_occupied(now, m, false);
+    sim.queue.push(PendingTask {
+        job: guest.job,
+        task: guest.task,
+        demand: guest.demand,
+        remaining: guest.remaining + lost,
+        setup: 0.0,
+        enqueued_at: now,
+    });
+    true
+}
+
+/// Crash on machine `m` under a gang policy: the member is forced off
+/// exactly as if its owner had reclaimed the machine — the gang
+/// suspends below its floor, degrades above it, or migrates away as a
+/// unit — but no eviction is counted (crashes are tallied separately)
+/// and the member stays pinned until repair.
+fn gang_crash<T: SchedTracer>(
+    sim: &mut Sim,
+    cal: &mut Calendar<SchedEvent>,
+    now: f64,
+    m: usize,
+    tracer: &mut T,
+) -> ReclaimOutcome {
+    let Some(j) = sim.machine_gang[m] else {
+        frag_update(sim, now);
+        return ReclaimOutcome::nothing();
+    };
+    let policy = sim.gang_policy;
+    let outcome = match sim.gangs[j].phase {
+        GangPhase::Running { .. } => {
+            close_gang_segment(sim, cal, j, now, tracer);
+            {
+                let gang = &mut sim.gangs[j];
+                let idx = member_index(gang, m);
+                gang.member_busy[idx] = true;
+                gang.member_running[idx] = false;
+            }
+            match policy {
+                GangPolicy::MigrateAll { overhead } => {
+                    // A crash-triggered whole-gang migration: the gang
+                    // flees to the queue paying the same restore
+                    // overhead as an owner-triggered move.
+                    sim.gacc.gang_migrations += 1;
+                    let gang = &mut sim.gangs[j];
+                    gang.phase = GangPhase::Queued;
+                    gang.setup_left = overhead;
+                    gang.member_running.clear();
+                    gang.member_busy.clear();
+                    let members = std::mem::take(&mut gang.members);
+                    let pending = PendingGang {
+                        job: j,
+                        tasks: gang.width,
+                        min_tasks: gang.floor,
+                        demand: gang.demand,
+                        remaining: gang.remaining,
+                        setup: overhead,
+                        enqueued_at: now,
+                    };
+                    for &mm in &members {
+                        sim.pool.set_occupied(now, mm, false);
+                        sim.machine_gang[mm] = None;
+                    }
+                    sim.gang_queue.push(pending);
+                    refresh_grower(sim, j);
+                    if T::ENABLED {
+                        tracer.record(now, SchedRecord::GangMigrated { job: j as u32 });
+                    }
+                    ReclaimOutcome {
+                        redispatch: true,
+                        restart: None,
+                    }
+                }
+                GangPolicy::Off => unreachable!("gang paths need a gang policy"),
+                _ => {
+                    let gang = &mut sim.gangs[j];
+                    if running_members(gang) >= gang.floor {
+                        gang.phase = GangPhase::Suspended { last_t: now };
+                        ReclaimOutcome {
+                            redispatch: false,
+                            restart: Some(j),
+                        }
+                    } else {
+                        sim.gacc.gang_suspensions += 1;
+                        suspend_gang_members(gang);
+                        gang.phase = GangPhase::Suspended { last_t: now };
+                        if T::ENABLED {
+                            tracer.record(now, SchedRecord::GangSuspended { job: j as u32 });
+                        }
+                        ReclaimOutcome::nothing()
+                    }
+                }
+            }
+        }
+        GangPhase::Suspended { last_t } => {
+            // The gang already sleeps (or runs nothing here): extend
+            // the stall bookkeeping and pin the member.
+            let gang = &mut sim.gangs[j];
+            let k = gang.members.len() as u32;
+            let busy = busy_members(gang);
+            sim.gacc.barrier_stall += (now - last_t) * f64::from(k - busy);
+            let idx = member_index(gang, m);
+            gang.member_busy[idx] = true;
+            gang.phase = GangPhase::Suspended { last_t: now };
+            ReclaimOutcome::nothing()
+        }
+        GangPhase::Queued | GangPhase::Done => {
+            unreachable!("machines only map to placed, unfinished gangs")
+        }
+    };
+    frag_update(sim, now);
+    verify_gang_invariants(sim, j);
+    outcome
 }
 
 /// What an owner reclaim on a gang-mode machine requires once the
@@ -2317,6 +2738,264 @@ mod tests {
             "each eviction loses at most one interval"
         );
         assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+    }
+
+    fn failing_config(eviction: EvictionPolicy) -> SchedConfig {
+        let mut cfg = base_config(eviction);
+        cfg.failures = Some(FailureModel::exponential(120.0, 15.0).unwrap());
+        cfg
+    }
+
+    #[test]
+    fn crashes_destroy_unprotected_progress() {
+        let m = failing_config(EvictionPolicy::SuspendResume).run().unwrap();
+        assert!(m.crashes > 0, "mtbf 120 on 6 machines must crash");
+        assert!(m.crash_lost > 0.0, "suspension images die with the host");
+        assert!(
+            m.crash_lost <= m.wasted + 1e-9,
+            "crash losses are a share of wasted: {} vs {}",
+            m.crash_lost,
+            m.wasted
+        );
+        assert!(m.downtime > 0.0);
+        assert_eq!(m.crashes_by_machine.len(), 6);
+        assert_eq!(m.crashes_by_machine.iter().sum::<u64>(), m.crashes);
+        assert_eq!(m.completed_tasks, 14, "jobs still finish through crashes");
+        assert!((m.goodput - m.total_demand).abs() < 1e-9);
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+    }
+
+    #[test]
+    fn checkpoints_bound_crash_losses() {
+        let m = failing_config(EvictionPolicy::Checkpoint {
+            interval: 10.0,
+            overhead: 0.4,
+        })
+        .run()
+        .unwrap();
+        assert!(m.crashes > 0);
+        // `since_ckpt` never exceeds the interval under periodic
+        // checkpointing, so neither can any one crash's loss.
+        assert!(
+            m.crash_lost <= m.crashes as f64 * 10.0 + 1e-9,
+            "each crash rolls back at most one interval"
+        );
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+        assert!((m.goodput - m.total_demand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_during_checkpoint_write_loses_exactly_the_open_interval() {
+        // A checkpoint only protects once its write *completes*: a
+        // crash landing mid-write charges the served write time as
+        // overhead but must NOT commit — the task rolls back to the
+        // last durable checkpoint, losing exactly the whole open
+        // interval. Reconstruct that accounting from the flight
+        // recorder on a quiet pool (no owner evictions, so every
+        // preemption is a crash) and demand the engine's `crash_lost`
+        // and `checkpoint_overhead` match the replay to round-off.
+        use crate::trace::{FlightRecorder, SegmentKind};
+        use std::collections::BTreeMap;
+
+        let mut interrupted_writes = 0u32;
+        for seed in [1u64, 2, 3, 4] {
+            let mut cfg = SchedConfig::homogeneous(
+                4,
+                &owner(1e-9),
+                vec![JobSpec::at_zero(4, 100.0), JobSpec::at_zero(4, 100.0)],
+            );
+            cfg.eviction = EvictionPolicy::Checkpoint {
+                interval: 15.0,
+                overhead: 3.0,
+            };
+            cfg.failures = Some(FailureModel::exponential(50.0, 6.0).unwrap());
+            cfg.seed = seed;
+            let mut rec = FlightRecorder::new(4, 1e6);
+            let (m, _) = cfg.run_traced(&mut rec).unwrap();
+            assert_eq!(m.evictions, 0, "quiet owners: every preemption is a crash");
+            assert!(m.crashes > 0, "seed {seed} must crash");
+
+            // Replay the segment log: per task, the work accumulated
+            // since its last *durable* checkpoint; per machine, the
+            // open segment.
+            let mut since_ckpt: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+            let mut open: BTreeMap<u32, (f64, SegmentKind)> = BTreeMap::new();
+            let mut lost = 0.0;
+            let mut overhead = 0.0;
+            for &(t, ref r) in rec.events() {
+                match *r {
+                    SchedRecord::SegmentStart { machine, kind, .. } => {
+                        open.insert(machine, (t, kind));
+                    }
+                    SchedRecord::SegmentEnd {
+                        machine, job, task, ..
+                    } => {
+                        let (start, kind) = open.remove(&machine).expect("end without start");
+                        match kind {
+                            SegmentKind::Work => {
+                                *since_ckpt.entry((job, task)).or_insert(0.0) += t - start;
+                            }
+                            SegmentKind::CkptWrite => {
+                                // The write committed: the interval
+                                // behind it is durable.
+                                overhead += t - start;
+                                since_ckpt.insert((job, task), 0.0);
+                            }
+                            SegmentKind::Setup => {}
+                        }
+                    }
+                    SchedRecord::SegmentPreempted {
+                        machine, job, task, ..
+                    } => {
+                        // Quiet pool: only a crash cuts a segment
+                        // short, and it destroys everything since the
+                        // last durable commit.
+                        let (start, kind) = open.remove(&machine).expect("preempt without start");
+                        match kind {
+                            SegmentKind::Work => {
+                                *since_ckpt.entry((job, task)).or_insert(0.0) += t - start;
+                            }
+                            SegmentKind::CkptWrite => {
+                                // Charged as overhead, NOT committed.
+                                overhead += t - start;
+                                interrupted_writes += 1;
+                            }
+                            SegmentKind::Setup => {}
+                        }
+                        lost += since_ckpt.insert((job, task), 0.0).unwrap_or(0.0);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                (lost - m.crash_lost).abs() <= 1e-9 * m.crash_lost.max(1.0),
+                "seed {seed}: trace-reconstructed loss {lost} vs crash_lost {}",
+                m.crash_lost
+            );
+            assert!(
+                (overhead - m.checkpoint_overhead).abs() <= 1e-9 * m.checkpoint_overhead.max(1.0),
+                "seed {seed}: write time {overhead} vs checkpoint_overhead {}",
+                m.checkpoint_overhead
+            );
+            assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+        }
+        assert!(
+            interrupted_writes > 0,
+            "the sweep must crash at least one checkpoint write mid-flight"
+        );
+    }
+
+    #[test]
+    fn rare_failures_leave_sample_paths_untouched() {
+        // The failure process draws from its own labeled stream: a
+        // model whose first crash lands far past the makespan must
+        // reproduce the no-failure run's every float.
+        let base = base_config(EvictionPolicy::SuspendResume).run().unwrap();
+        let mut cfg = base_config(EvictionPolicy::SuspendResume);
+        cfg.failures = Some(FailureModel::exponential(1e12, 10.0).unwrap());
+        let m = cfg.run().unwrap();
+        assert_eq!(m.crashes, 0, "mtbf 1e12 must not crash inside this run");
+        assert_eq!(m.downtime, 0.0);
+        assert_eq!(m.makespan, base.makespan);
+        assert_eq!(m.delivered, base.delivered);
+        assert_eq!(m.jobs, base.jobs);
+    }
+
+    #[test]
+    fn failure_runs_replay_and_diverge_across_replications() {
+        let cfg = failing_config(EvictionPolicy::Restart);
+        let a = cfg.run().unwrap();
+        assert_eq!(a, cfg.run().unwrap(), "same seed must replay identically");
+        let mut cfg2 = cfg.clone();
+        cfg2.replication = 1;
+        assert_ne!(a.makespan, cfg2.run().unwrap().makespan);
+    }
+
+    #[test]
+    fn gang_crashes_route_through_the_reclaim_path() {
+        let mut cfg = gang_config(GangPolicy::SuspendAll);
+        cfg.failures = Some(FailureModel::exponential(150.0, 20.0).unwrap());
+        let m = cfg.run().unwrap();
+        assert!(m.crashes > 0);
+        assert_eq!(m.completed_tasks, 12);
+        assert_eq!(
+            m.crash_lost, 0.0,
+            "gang members freeze at barriers; a member crash suspends, not destroys"
+        );
+        assert!(m.downtime > 0.0);
+        assert_eq!(m.gang.lockstep_violations, 0);
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+
+        let mut cfgp = gang_config(GangPolicy::Partial { min_running: 2 });
+        cfgp.failures = Some(FailureModel::exponential(150.0, 20.0).unwrap());
+        let p = cfgp.run().unwrap();
+        assert_eq!(p.completed_tasks, 12);
+        assert_eq!(p.gang.floor_violations, 0);
+        assert!(p.is_consistent(), "residual {}", p.accounting_residual());
+    }
+
+    #[test]
+    fn adaptive_brackets_restart_and_checkpoint_bit_for_bit() {
+        // Threshold 0 starts checkpointing immediately: every segment,
+        // eviction outcome, and counter matches Checkpoint exactly.
+        let ck = base_config(EvictionPolicy::Checkpoint {
+            interval: 20.0,
+            overhead: 0.5,
+        })
+        .run()
+        .unwrap();
+        let ad = base_config(EvictionPolicy::Adaptive {
+            threshold: 0.0,
+            interval: 20.0,
+            overhead: 0.5,
+        })
+        .run()
+        .unwrap();
+        assert_eq!(ad, ck);
+        // An unreachable threshold never protects anything: Restart.
+        let rs = base_config(EvictionPolicy::Restart).run().unwrap();
+        let ad2 = base_config(EvictionPolicy::Adaptive {
+            threshold: f64::MAX,
+            interval: 20.0,
+            overhead: 0.5,
+        })
+        .run()
+        .unwrap();
+        assert_eq!(ad2, rs);
+    }
+
+    #[test]
+    fn adaptive_checkpoints_once_invested() {
+        let m = base_config(EvictionPolicy::Adaptive {
+            threshold: 20.0,
+            interval: 10.0,
+            overhead: 0.4,
+        })
+        .run()
+        .unwrap();
+        assert_eq!(m.completed_tasks, 14);
+        assert!(
+            m.checkpoint_overhead > 0.0,
+            "tasks past the threshold must write checkpoints"
+        );
+        assert!(m.is_consistent(), "residual {}", m.accounting_residual());
+    }
+
+    #[test]
+    fn streamed_run_with_failures_replays_materialized() {
+        use crate::feed::SliceFeed;
+        let mut cfg = streaming_config();
+        cfg.failures = Some(FailureModel::exponential(200.0, 25.0).unwrap());
+        let (want, want_events) = cfg.run_counted().unwrap();
+        assert!(want.crashes > 0, "this sweep must actually crash");
+        let mut feed = SliceFeed::new(&cfg.jobs);
+        let mut records = Vec::new();
+        let (mut got, events) = cfg
+            .run_streamed(&mut feed, 7, &mut |_, r| records.push(r))
+            .unwrap();
+        got.jobs = records;
+        assert_eq!(got, want, "streamed failure run diverged");
+        assert_eq!(events, want_events);
     }
 
     #[test]

@@ -170,16 +170,22 @@ pub enum EventClass {
     SegmentEnd,
     /// A gang's job-level segment ran out.
     GangSegmentEnd,
+    /// A machine crashed (fault injection).
+    MachineFailure,
+    /// A crashed machine came back up.
+    MachineRepair,
 }
 
 impl EventClass {
     /// Every class, in stable export order.
-    pub const ALL: [EventClass; 5] = [
+    pub const ALL: [EventClass; 7] = [
         Self::OwnerArrival,
         Self::OwnerDeparture,
         Self::JobArrival,
         Self::SegmentEnd,
         Self::GangSegmentEnd,
+        Self::MachineFailure,
+        Self::MachineRepair,
     ];
 
     /// Stable snake_case name used in exports.
@@ -190,6 +196,8 @@ impl EventClass {
             Self::JobArrival => "job_arrival",
             Self::SegmentEnd => "segment_end",
             Self::GangSegmentEnd => "gang_segment_end",
+            Self::MachineFailure => "machine_failure",
+            Self::MachineRepair => "machine_repair",
         }
     }
 
@@ -200,6 +208,8 @@ impl EventClass {
             Self::JobArrival => 2,
             Self::SegmentEnd => 3,
             Self::GangSegmentEnd => 4,
+            Self::MachineFailure => 5,
+            Self::MachineRepair => 6,
         }
     }
 }
@@ -307,11 +317,17 @@ pub enum SchedRecord {
     GangSuspended { job: u32 },
     /// Gang `job` was migrated back to the co-allocation queue.
     GangMigrated { job: u32 },
+    /// `machine` crashed: its guest (running or suspended) loses
+    /// progress per the crash semantics and the machine leaves the
+    /// pool until repair.
+    MachineFailure { machine: u32 },
+    /// `machine` was repaired and rejoined the pool.
+    MachineRepair { machine: u32 },
 }
 
 impl SchedRecord {
     /// Number of record classes (variants).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// Class index of [`SchedRecord::OwnerArrival`], for mask math.
     pub const OWNER_ARRIVAL_INDEX: usize = 7;
@@ -337,6 +353,8 @@ impl SchedRecord {
             Self::GangAdmitted { .. } => 10,
             Self::GangSuspended { .. } => 11,
             Self::GangMigrated { .. } => 12,
+            Self::MachineFailure { .. } => 13,
+            Self::MachineRepair { .. } => 14,
         }
     }
 
@@ -356,6 +374,8 @@ impl SchedRecord {
             Self::GangAdmitted { .. } => "gang_admitted",
             Self::GangSuspended { .. } => "gang_suspended",
             Self::GangMigrated { .. } => "gang_migrated",
+            Self::MachineFailure { .. } => "machine_failure",
+            Self::MachineRepair { .. } => "machine_repair",
         }
     }
 }
@@ -395,6 +415,8 @@ impl RecordFilter {
         "gang_admitted",
         "gang_suspended",
         "gang_migrated",
+        "machine_failure",
+        "machine_repair",
     ];
 
     /// Keep every record of every class.
@@ -415,8 +437,9 @@ impl RecordFilter {
     }
 
     /// The cheap tier's default: job- and gang-lifecycle records plus
-    /// evictions, with the per-segment firehose (placements, segment
-    /// start/end/preempt, task completions, owner activity) dropped.
+    /// evictions and machine failure/repair, with the per-segment
+    /// firehose (placements, segment start/end/preempt, task
+    /// completions, owner activity) dropped.
     pub fn cheap() -> Self {
         Self::none().with(&[
             "job_arrival",
@@ -425,6 +448,8 @@ impl RecordFilter {
             "gang_admitted",
             "gang_suspended",
             "gang_migrated",
+            "machine_failure",
+            "machine_repair",
         ])
     }
 
@@ -526,22 +551,25 @@ pub struct StateSample {
     pub wasted: f64,
 }
 
+/// Number of [`EventClass`] variants, sizing the per-class arrays.
+const N_CLASSES: usize = EventClass::ALL.len();
+
 /// Host-time attribution per scheduler event class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Profiler {
-    counts: [u64; 5],
-    nanos: [u64; 5],
-    mins: [u64; 5],
-    maxs: [u64; 5],
+    counts: [u64; N_CLASSES],
+    nanos: [u64; N_CLASSES],
+    mins: [u64; N_CLASSES],
+    maxs: [u64; N_CLASSES],
 }
 
 impl Default for Profiler {
     fn default() -> Self {
         Self {
-            counts: [0; 5],
-            nanos: [0; 5],
-            mins: [u64::MAX; 5],
-            maxs: [0; 5],
+            counts: [0; N_CLASSES],
+            nanos: [0; N_CLASSES],
+            mins: [u64::MAX; N_CLASSES],
+            maxs: [0; N_CLASSES],
         }
     }
 }
@@ -991,6 +1019,14 @@ impl FlightRecorder {
                     "{{\"name\":\"gang_migrated\",\"cat\":\"gang\",\"ph\":\"i\",\"ts\":{ts},\
                      \"pid\":0,\"tid\":{sched_tid},\"s\":\"t\",\"args\":{{\"job\":{job}}}}}"
                 ),
+                SchedRecord::MachineFailure { machine } => format!(
+                    "{{\"name\":\"machine_failure\",\"cat\":\"failure\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\"}}"
+                ),
+                SchedRecord::MachineRepair { machine } => format!(
+                    "{{\"name\":\"machine_repair\",\"cat\":\"failure\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{machine},\"s\":\"t\"}}"
+                ),
             };
             push(&ev, &mut out);
         }
@@ -1123,10 +1159,10 @@ pub struct ProgressMeter {
     label: String,
     total_nanos: u64,
     total_events: u64,
-    counts: [u64; 5],
+    counts: [u64; N_CLASSES],
     last_nanos: u64,
     last_events: u64,
-    last_counts: [u64; 5],
+    last_counts: [u64; N_CLASSES],
 }
 
 impl ProgressMeter {
@@ -1157,10 +1193,10 @@ impl ProgressMeter {
             label: String::new(),
             total_nanos: 0,
             total_events: 0,
-            counts: [0; 5],
+            counts: [0; N_CLASSES],
             last_nanos: 0,
             last_events: 0,
-            last_counts: [0; 5],
+            last_counts: [0; N_CLASSES],
         }
     }
 
@@ -1359,7 +1395,10 @@ fn render_record_json(out: &mut String, t: f64, rec: &SchedRecord) {
                 kind.name()
             );
         }
-        SchedRecord::OwnerArrival { machine } | SchedRecord::OwnerDeparture { machine } => {
+        SchedRecord::OwnerArrival { machine }
+        | SchedRecord::OwnerDeparture { machine }
+        | SchedRecord::MachineFailure { machine }
+        | SchedRecord::MachineRepair { machine } => {
             let _ = write!(out, ",\"machine\":{machine}");
         }
         SchedRecord::Eviction {
@@ -1531,6 +1570,8 @@ mod tests {
             SchedRecord::JobCompleted { job: 0 },
             SchedRecord::OwnerArrival { machine: 0 },
             SchedRecord::GangMigrated { job: 0 },
+            SchedRecord::MachineFailure { machine: 0 },
+            SchedRecord::MachineRepair { machine: 0 },
         ];
         for rec in probes {
             assert_eq!(RecordFilter::KINDS[rec.class_index()], rec.kind_name());
@@ -1643,6 +1684,22 @@ mod tests {
             meter.handled(f64::from(i), EventClass::SegmentEnd, 100);
         }
         assert_eq!(meter.events_seen(), 10);
+    }
+
+    #[test]
+    fn failure_records_render_and_stay_in_the_cheap_tier() {
+        let mut rec = FlightRecorder::new(2, 10.0);
+        rec.record(3.0, SchedRecord::MachineFailure { machine: 1 });
+        rec.record(9.5, SchedRecord::MachineRepair { machine: 1 });
+        let jsonl = rec.to_jsonl();
+        assert!(jsonl.contains("{\"t\":3,\"type\":\"machine_failure\",\"machine\":1}"));
+        assert!(jsonl.contains("{\"t\":9.5,\"type\":\"machine_repair\",\"machine\":1}"));
+        let chrome = rec.to_chrome_json();
+        assert!(chrome.contains("\"name\":\"machine_failure\",\"cat\":\"failure\""));
+        assert!(chrome.contains("\"name\":\"machine_repair\",\"cat\":\"failure\""));
+        // Crashes are rare and load-bearing: the cheap tier keeps them.
+        let f = RecordFilter::cheap();
+        assert!(f.keeps("machine_failure") && f.keeps("machine_repair"));
     }
 
     #[test]

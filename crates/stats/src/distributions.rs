@@ -6,7 +6,9 @@
 //! variance", citing Sauer & Chandy) motivates the higher-variance
 //! families implemented here: [`Exponential`], [`Erlang`],
 //! [`Hyperexponential`], and arbitrary [`Mixture`]s (used to model rare
-//! long-running owner jobs).
+//! long-running owner jobs). [`Weibull`] and [`BoundedPareto`] serve
+//! the robustness extensions: machine lifetime (MTBF/MTTR) and
+//! heavy-tailed trace demands respectively.
 
 use crate::error::StatsError;
 use crate::rng::Xoshiro256StarStar;
@@ -511,6 +513,94 @@ impl Distribution for BoundedPareto {
     }
 }
 
+/// Weibull distribution with shape `k` and scale `λ`.
+///
+/// The standard lifetime model for machine failure processes: `k < 1`
+/// gives infant-mortality (decreasing hazard), `k == 1` degenerates to
+/// [`Exponential`], and `k > 1` gives wear-out (increasing hazard) —
+/// exactly the MTBF/MTTR families a fault-injection model needs.
+/// Sampling is by inverse CDF and consumes exactly one uniform per
+/// draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Weibull with `shape > 0` and `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Weibull with the given `shape > 0` and target `mean > 0`:
+    /// solves `mean = scale · Γ(1 + 1/shape)` for the scale.
+    pub fn with_mean(shape: f64, mean: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let scale = mean / crate::special::ln_gamma(1.0 + 1.0 / shape).exp();
+        Self::new(shape, scale)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Raw moment `E[X^k] = λ^k · Γ(1 + k/shape)`.
+    fn raw_moment(&self, k: f64) -> f64 {
+        self.scale.powf(k) * crate::special::ln_gamma(1.0 + k / self.shape).exp()
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        // Inverse CDF: F(x) = 1 - exp(-(x/λ)^k), so with u in (0, 1]
+        // the sample is λ·(-ln u)^(1/k) — one uniform per draw.
+        self.scale * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.raw_moment(2.0) - m * m
+    }
+}
+
 /// Finite mixture of distributions with normalized weights.
 ///
 /// Models the "long-running workstation owner jobs" extension: e.g. 99%
@@ -825,6 +915,57 @@ mod tests {
         assert!(BoundedPareto::new(1.5, 5.0, 5.0).is_err());
         assert!(BoundedPareto::new(1.5, 5.0, 2.0).is_err());
         assert!(BoundedPareto::new(1.5, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn weibull_moments_and_exponential_degeneration() {
+        // k == 1 is Exponential(1/scale): same analytic moments.
+        let d = Weibull::new(1.0, 4.0).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-9, "mean {}", d.mean());
+        assert!((d.variance() - 16.0).abs() < 1e-8, "var {}", d.variance());
+        // k = 2 (Rayleigh-like wear-out): Γ(1.5) = √π/2.
+        let r = Weibull::new(2.0, 10.0).unwrap();
+        let gamma_1_5 = 0.5 * std::f64::consts::PI.sqrt();
+        assert!((r.mean() - 10.0 * gamma_1_5).abs() < 1e-9);
+        let s = sample_stats(&r, 200_000, 61);
+        assert!(
+            (s.mean() - r.mean()).abs() < 0.02 * r.mean(),
+            "mean {} vs analytic {}",
+            s.mean(),
+            r.mean()
+        );
+        assert!(
+            (s.variance() - r.variance()).abs() < 0.05 * r.variance(),
+            "var {} vs analytic {}",
+            s.variance(),
+            r.variance()
+        );
+        // Infant-mortality shapes are heavy-tailed: CV² > 1.
+        let h = Weibull::new(0.5, 1.0).unwrap();
+        assert!(h.cv2() > 1.0, "k<1 must have cv2 > 1, got {}", h.cv2());
+    }
+
+    #[test]
+    fn weibull_with_mean_hits_target() {
+        for (shape, mean) in [(0.7, 100.0), (1.0, 5.0), (3.0, 42.0)] {
+            let d = Weibull::with_mean(shape, mean).unwrap();
+            assert!(
+                (d.mean() - mean).abs() < 1e-9 * mean,
+                "shape {shape}: mean {} vs {mean}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(-1.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+        assert!(Weibull::new(1.0, f64::INFINITY).is_err());
+        assert!(Weibull::with_mean(1.0, 0.0).is_err());
+        assert!(Weibull::with_mean(0.0, 1.0).is_err());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod summary;
 pub use batch_means::{BatchMeans, BatchMeansReport};
 pub use distributions::{
     BoundedPareto, ClosedForm, Deterministic, Distribution, Erlang, Exponential, Geometric,
-    Hyperexponential, Mixture, Shifted, UniformRange,
+    Hyperexponential, Mixture, Shifted, UniformRange, Weibull,
 };
 pub use error::StatsError;
 pub use histogram::Histogram;

@@ -63,9 +63,9 @@ fn print_usage() {
          \x20 sched       [--workstations W] [--utilization U] [--owner-demand O]\n\
          \x20             [--jobs N] [--tasks K] [--task-demand T] [--arrival-gap G]\n\
          \x20             [--placement random|round-robin|least-loaded]\n\
-         \x20             [--eviction restart|suspend|migrate|checkpoint]\n\
-         \x20             [--overhead C] [--interval I] [--discipline fcfs|sjf]\n\
-         \x20             [--seed S] [--reps R]\n\
+         \x20             [--eviction restart|suspend|migrate|checkpoint|adaptive]\n\
+         \x20             [--overhead C] [--interval I] [--threshold T]\n\
+         \x20             [--discipline fcfs|sjf] [--seed S] [--reps R]\n\
          \x20                                 cycle-stealing pool scheduler experiment\n\
          \x20 stream      [--rate L] [--workstations W] [--utilization U]\n\
          \x20             [--owner-demand O] [--tasks K] [--task-demand T]\n\
@@ -99,6 +99,12 @@ fn print_usage() {
          \x20 help                            this message\n\n\
          sched/stream/gang also accept --trace DIR (record the run's flight data\n\
          under DIR) and --metrics-every T (sim-time snapshot interval, default 100).\n\
+         sched/stream/gang accept --mtbf M [--mttr R] (machine failure injection:\n\
+         exponential crashes with mean uptime M and mean repair R, default 15; a\n\
+         crash destroys the running guest's unprotected progress whatever the\n\
+         eviction policy — only checkpointed work survives). --eviction adaptive\n\
+         restarts below --threshold T invested progress (default 60), then\n\
+         checkpoints every --interval I.\n\
          sched/stream/gang/trace accept --progress SECS (heartbeat to stderr every\n\
          SECS wall-clock seconds), --cheap (bounded-cost recording tier: lifecycle\n\
          records only, grid-throttled state, host profiling off), and\n\
@@ -324,6 +330,11 @@ fn policy_flags(
         "suspend" | "suspend-resume" => EvictionPolicy::SuspendResume,
         "migrate" => EvictionPolicy::Migrate { overhead },
         "checkpoint" => EvictionPolicy::Checkpoint { interval, overhead },
+        "adaptive" => EvictionPolicy::Adaptive {
+            threshold: flag(args, "--threshold").unwrap_or(60.0),
+            interval,
+            overhead,
+        },
         other => return Err(format!("unknown eviction policy {other}")),
     };
     let discipline = match string_flag(args, "--discipline").unwrap_or("fcfs") {
@@ -357,6 +368,24 @@ fn obs_flags(mut b: SimBuilder, args: &[String]) -> Result<SimBuilder, String> {
         b = b.trace_capacity(cap);
     }
     Ok(b)
+}
+
+/// Parse the failure-injection flags shared by `sched`/`stream`/`gang`:
+/// `--mtbf M` arms a [`FailureModel`] with exponential uptime of mean
+/// `M` and exponential repair of mean `--mttr R` (default 15); without
+/// `--mtbf` the run injects no failures and is bit-identical to the
+/// pre-failure engine. `--mttr` without `--mtbf` is a usage error.
+fn fault_flags(b: SimBuilder, args: &[String]) -> Result<SimBuilder, String> {
+    let Some(mtbf) = flag(args, "--mtbf") else {
+        if string_flag(args, "--mttr").is_some() {
+            return Err("--mttr without --mtbf (nothing to repair)".into());
+        }
+        return Ok(b);
+    };
+    let mttr = flag(args, "--mttr").unwrap_or(15.0);
+    let model = FailureModel::exponential(mtbf, mttr)
+        .map_err(|e| format!("--mtbf {mtbf} --mttr {mttr}: {e}"))?;
+    Ok(b.failures(model))
 }
 
 fn sim_error_code(e: &SimError) -> i32 {
@@ -478,7 +507,7 @@ fn cmd_sched(args: &[String]) -> i32 {
         .backend(Backend::Sched)
         .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
         .workload(closed(specs));
-    let builder = match obs_flags(builder, args) {
+    let builder = match obs_flags(builder, args).and_then(|b| fault_flags(b, args)) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("sched: {e}");
@@ -547,6 +576,31 @@ fn cmd_sched(args: &[String]) -> i32 {
         "mean available machines",
         &format!("{:.2}", report.mean_over(|m| m.mean_available_machines)),
     ]);
+    if flag(args, "--mtbf").is_some() {
+        t.row([
+            "crashes",
+            &format!("{:.1}", report.mean_over(|m| m.crashes as f64)),
+        ]);
+        t.row([
+            "crash-destroyed CPU",
+            &format!("{:.1}", report.mean_over(|m| m.crash_lost)),
+        ]);
+        t.row([
+            "machine downtime",
+            &format!("{:.1}", report.mean_over(|m| m.downtime)),
+        ]);
+        t.row([
+            "observed availability",
+            &format!(
+                "{:.4}",
+                report.mean_over(|m| if m.makespan == 0.0 {
+                    1.0
+                } else {
+                    1.0 - m.downtime / (f64::from(w) * m.makespan)
+                })
+            ),
+        ]);
+    }
     print!("{}", t.render());
     let consistent = report.is_consistent();
     println!(
@@ -621,7 +675,7 @@ fn cmd_stream(args: &[String]) -> i32 {
                 .jobs(jobs)
                 .warmup(warmup),
         );
-    let builder = match obs_flags(builder, args) {
+    let builder = match obs_flags(builder, args).and_then(|b| fault_flags(b, args)) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("stream: {e}");
@@ -812,7 +866,9 @@ fn cmd_gang(args: &[String]) -> i32 {
             .backend(Backend::Sched)
             .metrics_every(flag(args, "--metrics-every").unwrap_or(100.0))
             .workload(closed(specs.clone()));
-        obs_flags(builder, args)?.build().map_err(|e| e.to_string())
+        fault_flags(obs_flags(builder, args)?, args)?
+            .build()
+            .map_err(|e| e.to_string())
     };
     let sim = match build(gang) {
         Ok(sim) => sim,

@@ -7,14 +7,18 @@
 //! comparison on the event path to `total_cmp`. These tests pin the
 //! guarantee that migration was made for: running the same configured
 //! experiment twice produces *identical* results, down to the last bit
-//! of every observable field.
+//! of every observable field. PR 10 extends the same guarantee to
+//! failure injection: crash/repair processes replay bit-for-bit and
+//! survive replication sharding.
 
 use nds::cluster::owner::OwnerWorkload;
 use nds::cluster::smp::SmpWorkstation;
+use nds::core::sim::{closed, Backend, Sim, SimBuilder};
 use nds::des::{Engine, SimTime};
 use nds::pvm::lan::LanModel;
 use nds::pvm::message::{Message, MessageBuffer};
 use nds::pvm::vm::{InterferenceMode, VirtualMachine};
+use nds::sched::{EvictionPolicy, FailureModel, JobSpec};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -131,6 +135,51 @@ fn smp_multi_owner_two_runs_identical() {
     let b = run(11);
     assert_eq!(a, b, "same seed must replay bit-for-bit");
     assert!(a.iter().any(|o| o.interruptions > 0), "runs must contend");
+}
+
+/// A failure-armed pool simulation, parameterized only by shard count.
+/// Crash/repair processes draw from their own labeled RNG streams, so
+/// determinism here pins both the failure sample paths and their
+/// interleaving with owner reclaims and job events.
+fn faulty_sim(shards: usize) -> SimBuilder {
+    let owner = OwnerWorkload::continuous_exponential(10.0, 0.12).expect("valid owner");
+    Sim::pool(6)
+        .owners(&owner)
+        .eviction(EvictionPolicy::Adaptive {
+            threshold: 40.0,
+            interval: 25.0,
+            overhead: 1.0,
+        })
+        .failures(FailureModel::exponential(90.0, 12.0).expect("valid lifetimes"))
+        .workload(closed(JobSpec::stream(3, 6, 100.0, 40.0)))
+        .backend(Backend::Sched)
+        .seed(0xFA11)
+        .replications(4)
+        .shards(shards)
+}
+
+/// Failure injection must not cost replay identity: two runs of the
+/// same failure-armed configuration agree on the full `Report` — every
+/// crash count, downtime integral, and per-machine tally bit-for-bit —
+/// and sharding the replications changes nothing.
+#[test]
+fn failure_runs_two_runs_identical() {
+    let a = faulty_sim(1).run().expect("faulty run completes");
+    let b = faulty_sim(1).run().expect("faulty run completes");
+    assert_eq!(a, b, "same seed must replay bit-for-bit under failures");
+    assert!(
+        a.runs.iter().all(|m| m.crashes > 0),
+        "every replication must actually crash: {:?}",
+        a.runs.iter().map(|m| m.crashes).collect::<Vec<_>>()
+    );
+    assert!(a.runs.iter().all(|m| m.downtime > 0.0));
+    let sharded = faulty_sim(4).run().expect("sharded faulty run completes");
+    assert_eq!(a, sharded, "shards(4) must equal shards(1) under failures");
+    let c = faulty_sim(1)
+        .seed(0xFA12)
+        .run()
+        .expect("reseeded run completes");
+    assert_ne!(a, c, "a different seed must change the sample path");
 }
 
 /// Heavy schedule/cancel churn through the closure engine: the lazy

@@ -22,7 +22,9 @@
 //!    *work*, not wall time) is compared with a total order: equal-key
 //!    jobs dispatch in strict arrival order at the engine level.
 
-use nds::sched::{GangPolicy, JobSpec, QueueDiscipline, SchedConfig, SchedMetrics};
+use nds::sched::{
+    EvictionPolicy, FailureModel, GangPolicy, JobSpec, QueueDiscipline, SchedConfig, SchedMetrics,
+};
 use nds_cluster::owner::OwnerWorkload;
 use proptest::prelude::*;
 
@@ -163,6 +165,86 @@ fn under_placed_gang_conserves_at_fractional_rate() {
         m.makespan >= 6.0 * 30.0 / 4.0 - 1e-9,
         "the rate cap k_pool/width lower-bounds the makespan"
     );
+}
+
+#[test]
+fn crashes_conserve_work_across_eviction_policies() {
+    // Machine crashes destroy progress, repeat work, and take machines
+    // out of the pool — yet every unit of delivered CPU must still be
+    // classified exactly once: delivered == goodput + wasted +
+    // checkpoint_overhead to 1e-9 relative, with the crash-attributed
+    // share a sub-account of wasted.
+    let jobs = vec![JobSpec::at_zero(6, 80.0), JobSpec::at_zero(6, 80.0)];
+    for eviction in [
+        EvictionPolicy::SuspendResume,
+        EvictionPolicy::Restart,
+        EvictionPolicy::Checkpoint {
+            interval: 20.0,
+            overhead: 1.0,
+        },
+        EvictionPolicy::Adaptive {
+            threshold: 40.0,
+            interval: 20.0,
+            overhead: 1.0,
+        },
+    ] {
+        let mut cfg = SchedConfig::homogeneous(6, &owner(0.12), jobs.clone());
+        cfg.eviction = eviction;
+        cfg.failures = Some(FailureModel::exponential(80.0, 10.0).unwrap());
+        cfg.seed = 0xFA17;
+        let m = cfg.run().unwrap();
+        let label = eviction.label();
+        assert!(m.crashes > 0, "{label}: mtbf 80 on 6 machines must crash");
+        assert!(
+            m.accounting_residual().abs() <= 1e-9 * m.delivered,
+            "{label}: residual {} on delivered {}",
+            m.accounting_residual(),
+            m.delivered
+        );
+        assert!(
+            m.crash_lost <= m.wasted + 1e-9,
+            "{label}: crash losses are a share of wasted ({} vs {})",
+            m.crash_lost,
+            m.wasted
+        );
+        assert!(m.downtime > 0.0, "{label}: crashes must accrue downtime");
+        assert!(
+            m.downtime <= 6.0 * m.makespan + 1e-9,
+            "{label}: downtime is a machine-time integral over the pool"
+        );
+        assert_eq!(
+            m.crashes_by_machine.iter().sum::<u64>(),
+            m.crashes,
+            "{label}"
+        );
+        assert_eq!(&m, &cfg.run().unwrap(), "{label}: crash runs must replay");
+    }
+}
+
+#[test]
+fn gang_runs_conserve_the_work_integral_under_crashes() {
+    // A gang member's crash routes through the gang reclaim path — the
+    // gang freezes (or migrates) instead of losing progress — so the
+    // rate-aware conservation law survives fault injection untouched.
+    for gang in [
+        GangPolicy::SuspendAll,
+        GangPolicy::Partial { min_running: 1 },
+        GangPolicy::Partial { min_running: 2 },
+    ] {
+        let mut cfg = SchedConfig::homogeneous(8, &owner(0.10), gang_mix());
+        cfg.gang = gang;
+        cfg.failures = Some(FailureModel::exponential(100.0, 12.0).unwrap());
+        cfg.seed = 0xFA17;
+        let m = cfg.run().unwrap();
+        let label = format!("{} under crashes", gang.label());
+        assert!(m.crashes > 0, "{label}: pool must crash");
+        assert_conserves(&m, &label);
+        assert_eq!(
+            m.crash_lost, 0.0,
+            "{label}: gangs freeze at barriers, crashes destroy nothing"
+        );
+        assert!(m.downtime > 0.0, "{label}");
+    }
 }
 
 #[test]

@@ -9,10 +9,14 @@
 //!    model, bit-for-bit (shared RNG stream derivation).
 //! 3. **Deterministic replay** — identical configs replay identically;
 //!    replications diverge.
+//! 4. **Availability accounting** — the pool's downtime integral under
+//!    arbitrary interleaved crash/repair/reclaim churn is non-negative,
+//!    monotone in time, and exact against a shadow integral.
 
 use nds::cluster::{ContinuousWorkstation, JobRunner, OwnerWorkload};
-use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, QueueDiscipline, SchedConfig};
+use nds::sched::{EvictionPolicy, JobSpec, PlacementKind, Pool, QueueDiscipline, SchedConfig};
 use nds::stats::rng::StreamFactory;
+use proptest::prelude::*;
 
 fn owner(u: f64) -> OwnerWorkload {
     OwnerWorkload::continuous_exponential(10.0, u).unwrap()
@@ -185,4 +189,66 @@ fn eviction_cost_ordering_is_sane() {
         restart.delivered >= suspend.delivered,
         "restart re-serves lost work"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pool's downtime integral under arbitrary interleaved
+    /// crash / repair / owner-reclaim / occupancy churn: non-negative,
+    /// monotone non-decreasing in time, bounded by the pool's total
+    /// machine-time, and exactly equal to an independently tracked
+    /// shadow integral — while down machines never leak back into the
+    /// candidate index before repair.
+    #[test]
+    fn downtime_integral_is_monotone_and_exact_under_interleaving(
+        w in 1u8..6,
+        ops in proptest::collection::vec((0.0f64..5.0, 0u8..8, 0u8..6), 1..80),
+    ) {
+        let w = w as usize;
+        let mut p = Pool::new(w, 1.0, 100.0, &[]);
+        let mut t = 0.0;
+        let mut down = vec![false; w];
+        let mut shadow = 0.0;
+        let mut prev = 0.0;
+        for (dt, m, op) in ops {
+            let m = m as usize % w;
+            shadow += dt * down.iter().filter(|&&d| d).count() as f64;
+            t += dt;
+            match op {
+                0 => p.owner_transition(t, m, true),
+                1 => p.owner_transition(t, m, false),
+                2 => p.set_occupied(t, m, true),
+                3 => p.set_occupied(t, m, false),
+                4 => {
+                    p.set_down(t, m, true);
+                    down[m] = true;
+                }
+                _ => {
+                    p.set_down(t, m, false);
+                    down[m] = false;
+                }
+            }
+            let d = p.downtime(t);
+            prop_assert!(d >= 0.0, "downtime integral went negative: {d}");
+            prop_assert!(d >= prev, "downtime shrank: {prev} -> {d}");
+            prop_assert!(
+                d <= w as f64 * t + 1e-9,
+                "downtime {d} exceeds pool machine-time {}",
+                w as f64 * t
+            );
+            prop_assert!(
+                (d - shadow).abs() <= 1e-9 * shadow.max(1.0),
+                "integral {d} diverged from shadow {shadow}"
+            );
+            if t > 0.0 {
+                let avail = p.mean_available(t);
+                prop_assert!((0.0..=w as f64 + 1e-9).contains(&avail));
+            }
+            for c in p.candidates() {
+                prop_assert!(!down[c.machine], "down machine {} offered", c.machine);
+            }
+            prev = d;
+        }
+    }
 }

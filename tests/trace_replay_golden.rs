@@ -35,6 +35,7 @@ fn config(owners: Vec<OwnerWorkload>) -> SchedConfig {
         placement: PlacementKind::LeastLoaded,
         eviction: EvictionPolicy::SuspendResume,
         gang: GangPolicy::Off,
+        failures: None,
         discipline: QueueDiscipline::Fcfs,
         admission_threshold: 1.0,
         estimator_tau: 1_000.0,
